@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper exhibit (Fig. 4/5, Table I/II).
+experiments:
+	$(PYTHON) -m repro.experiments.fig4
+	$(PYTHON) -m repro.experiments.fig5
+	$(PYTHON) -m repro.experiments.table1
+	$(PYTHON) -m repro.experiments.table2
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/delay_characterization.py
+	$(PYTHON) examples/avfs_exploration.py
+	$(PYTHON) examples/glitch_power_analysis.py
+	$(PYTHON) examples/timing_validation_flow.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

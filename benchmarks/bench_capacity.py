@@ -1,0 +1,53 @@
+"""Waveform-memory capacity ablation.
+
+The paper notes GPU runtime is dominated by waveform memory.  The engine
+must pick a per-net toggle capacity: too small triggers overflow retries
+(re-running the batch at doubled capacity), too large wastes bandwidth on
++inf padding.  These benchmarks sweep the starting capacity and check the
+overflow-growth policy recovers correctness at reasonable cost.
+"""
+
+import pytest
+
+from repro.simulation.base import SimulationConfig
+from repro.simulation.gpu import GpuWaveSim
+
+CAPACITIES = (4, 16, 64)
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_initial_capacity(benchmark, medium_workload, library, kernel_table,
+                          capacity):
+    workload = medium_workload
+    sim = GpuWaveSim(
+        workload.circuit, library, compiled=workload.compiled,
+        config=SimulationConfig(waveform_capacity=capacity),
+    )
+    pairs = workload.patterns.pairs[:32]
+    benchmark.pedantic(
+        sim.run, args=(pairs,), kwargs={"kernel_table": kernel_table},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["capacity"] = capacity
+    benchmark.extra_info["retries"] = sim.last_stats.retries
+
+
+def test_growth_recovers_identical_waveforms(medium_workload, library,
+                                             kernel_table):
+    """Tiny capacity + growth produces the same result as a generous one."""
+    workload = medium_workload
+    pairs = workload.patterns.pairs[:8]
+    tiny = GpuWaveSim(
+        workload.circuit, library, compiled=workload.compiled,
+        config=SimulationConfig(waveform_capacity=2, record_all_nets=True),
+    )
+    roomy = GpuWaveSim(
+        workload.circuit, library, compiled=workload.compiled,
+        config=SimulationConfig(waveform_capacity=128, record_all_nets=True),
+    )
+    a = tiny.run(pairs, kernel_table=kernel_table)
+    b = roomy.run(pairs, kernel_table=kernel_table)
+    assert tiny.last_stats.retries >= 1
+    for slot in range(len(pairs)):
+        for net in workload.circuit.nets():
+            assert a.waveform(slot, net).equivalent(b.waveform(slot, net), 0.0)

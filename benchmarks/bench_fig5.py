@@ -1,0 +1,40 @@
+"""Fig. 5 benchmark — NOR2_X2 rising-delay surface evaluation.
+
+Times the two halves of the Fig. 5 comparison on the 64×64 grid: the
+polynomial kernel (Horner) and the linear-interpolation reference; and
+re-checks the paper's headline error numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return fig5.run(grid=64)
+
+
+def test_polynomial_surface_eval(benchmark, surface):
+    """Evaluate the fitted polynomial on the full 64×64 grid."""
+    poly = surface.characterization.fit.polynomial
+    nv = np.linspace(0.0, 1.0, 64)
+    nc = np.linspace(0.0, 1.0, 64)
+    result = benchmark(poly.evaluate, nv[:, None], nc[None, :])
+    assert result.shape == (64, 64)
+
+
+def test_reference_surface_eval(benchmark, surface):
+    """Evaluate the bilinear SPICE reference on the same grid."""
+    reference = surface.characterization.reference
+    nv = np.linspace(0.0, 1.0, 64)
+    nc = np.linspace(0.0, 1.0, 64)
+    result = benchmark(reference, nv[:, None], nc[None, :])
+    assert result.shape == (64, 64)
+
+
+def test_fig5_error_matches_paper_class(surface):
+    """Paper: avg 0.38 %, max 2.41 % — reproduce the same magnitude."""
+    assert surface.avg_abs_error < 0.01
+    assert surface.max_abs_error < 0.025

@@ -1,0 +1,62 @@
+"""Slot-plane split ablation (Fig. 3 trade-off).
+
+The paper emphasizes that the engine can trade stimuli slots against
+operating-point slots arbitrarily.  These benchmarks run the *same*
+total slot count (64) in three different splits — all-stimuli, balanced
+and all-voltages — and the companion assertion checks they cost the same
+order of runtime (the engine is split-agnostic, as claimed).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+
+SPLITS = {
+    "64_patterns_x_1_voltage": (64, [0.8]),
+    "8_patterns_x_8_voltages": (8, list(np.linspace(0.55, 1.1, 8))),
+    "1_pattern_x_64_voltages": (1, list(np.linspace(0.55, 1.1, 64))),
+}
+
+
+@pytest.fixture(scope="module")
+def setup(medium_workload, library):
+    from repro.atpg.patterns import random_pattern_set
+
+    sim = GpuWaveSim(medium_workload.circuit, library,
+                     compiled=medium_workload.compiled)
+    pool = random_pattern_set(medium_workload.circuit, 64, seed=17)
+    return pool, sim
+
+
+@pytest.mark.parametrize("split", list(SPLITS))
+def test_slot_split(benchmark, setup, kernel_table, split):
+    pool, sim = setup
+    num_patterns, voltages = SPLITS[split]
+    pairs = pool.pairs[:num_patterns]
+    plan = SlotPlan.cross(len(pairs), voltages)
+    assert plan.num_slots == 64
+    benchmark.pedantic(
+        sim.run, args=(pairs,),
+        kwargs={"plan": plan, "kernel_table": kernel_table},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["split"] = split
+
+
+def test_splits_cost_similar(setup, kernel_table):
+    """The engine's cost tracks total slots, not how they are split."""
+    pool, sim = setup
+    runtimes = {}
+    for split, (num_patterns, voltages) in SPLITS.items():
+        pairs = pool.pairs[:num_patterns]
+        plan = SlotPlan.cross(len(pairs), voltages)
+        start = time.perf_counter()
+        sim.run(pairs, plan=plan, kernel_table=kernel_table)
+        runtimes[split] = time.perf_counter() - start
+    fastest = min(runtimes.values())
+    slowest = max(runtimes.values())
+    assert slowest < 5.0 * fastest, runtimes

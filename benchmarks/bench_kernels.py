@@ -1,0 +1,79 @@
+"""Kernel micro-benchmarks and the Horner-vs-naive ablation (Sec. IV).
+
+The paper enforces Horner form / FMA for the polynomial kernels; this
+file measures how much that matters, plus the raw throughput of the two
+hot kernels: batched delay computation and the waveform-merge kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delay_kernel import horner2d
+from repro.core.polynomial import SurfacePolynomial
+from repro.simulation.kernels import waveform_merge_kernel
+
+LANES = 20_000
+
+
+@pytest.fixture(scope="module")
+def poly(rng_seed=3):
+    rng = np.random.default_rng(rng_seed)
+    return SurfacePolynomial(rng.normal(size=(4, 4)))
+
+
+@pytest.fixture(scope="module")
+def samples():
+    rng = np.random.default_rng(4)
+    return rng.uniform(0, 1, LANES), rng.uniform(0, 1, LANES)
+
+
+def test_horner_evaluation(benchmark, poly, samples):
+    v, c = samples
+    benchmark(poly.evaluate, v, c)
+
+
+def test_naive_evaluation(benchmark, poly, samples):
+    v, c = samples
+    benchmark(poly.evaluate_naive, v, c)
+
+
+def test_horner_beats_naive(poly, samples):
+    """Ablation claim: Horner form is at least as fast as the double sum."""
+    import timeit
+    v, c = samples
+    horner = min(timeit.repeat(lambda: poly.evaluate(v, c), number=20,
+                               repeat=3))
+    naive = min(timeit.repeat(lambda: poly.evaluate_naive(v, c), number=20,
+                              repeat=3))
+    assert horner < naive * 1.2  # never meaningfully slower
+
+
+def test_batched_delay_kernel(benchmark, kernel_table):
+    """Online delay calculation for 2000 gates × 8 voltages (Sec. IV-A)."""
+    rng = np.random.default_rng(5)
+    gates = 2000
+    type_ids = rng.integers(0, kernel_table.num_types, size=gates)
+    loads = rng.uniform(1e-15, 1e-13, size=gates)
+    nominal = rng.uniform(1e-12, 2e-11, size=(gates, kernel_table.max_pins, 2))
+    voltages = np.linspace(0.55, 1.1, 8)
+    result = benchmark(kernel_table.delays_for_gates, type_ids, loads,
+                       nominal, voltages)
+    assert result.shape == (gates, kernel_table.max_pins, 2, 8)
+
+
+def test_waveform_merge_kernel(benchmark):
+    """Merge kernel over a 2-input thread group of 20k lanes."""
+    rng = np.random.default_rng(6)
+    capacity = 8
+    times = np.sort(rng.uniform(0, 1e-9, size=(2, LANES, capacity)), axis=2)
+    # terminate each lane after a random count
+    counts = rng.integers(0, capacity, size=(2, LANES))
+    mask = np.arange(capacity)[None, None, :] >= counts[:, :, None]
+    times[mask] = np.inf
+    initial = rng.integers(0, 2, size=(2, LANES)).astype(np.uint8)
+    delays = rng.uniform(1e-12, 5e-12, size=(2, 2, LANES))
+    tables = np.full(LANES, 0b0110, dtype=np.int64)  # XOR2
+    result = benchmark(
+        waveform_merge_kernel, times, initial, delays, tables, 32,
+    )
+    assert not result.overflow.any()

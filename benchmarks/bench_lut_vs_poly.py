@@ -1,0 +1,105 @@
+"""LUT-vs-polynomial delay model ablation (paper Sec. II comparison).
+
+Conventional flows interpolate look-up tables per (cell, pin, polarity);
+the paper replaces them with compact polynomial kernels.  This file
+compares the two on the axes the paper argues about:
+
+* evaluation throughput on large batches (GPU-style workloads),
+* memory per entry (LUT grid vs (N+1)² coefficients),
+* agreement of the two models away from grid points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.core.interpolation import LutDelayModel
+from repro.electrical.spice import AnalyticalSpice
+from repro.units import FF
+
+BATCH = 50_000
+
+
+@pytest.fixture(scope="module")
+def models(library, kernel_table):
+    cell = library["NAND2_X1"]
+    grid = AnalyticalSpice().sweep(cell, cell.pins[0], DrivePolarity.RISE)
+    lut = LutDelayModel(grid.voltages, grid.loads, grid.delays)
+    type_id = kernel_table.type_id(cell.name)
+    d_nom_fn = lambda c: np.interp(  # noqa: E731 - tiny local helper
+        np.log2(c), np.log2(grid.loads), grid.delays[5])  # row at 0.8 V
+    return lut, kernel_table, type_id, d_nom_fn
+
+
+@pytest.fixture(scope="module")
+def query(rng_seed=9):
+    rng = np.random.default_rng(rng_seed)
+    v = rng.uniform(0.55, 1.1, BATCH)
+    c = rng.uniform(0.5 * FF, 128 * FF, BATCH)
+    return v, c
+
+
+def test_lut_interpolation(benchmark, models, query):
+    lut, *_ = models
+    v, c = query
+    benchmark(lut.delay, v, c)
+
+
+def test_polynomial_kernel(benchmark, models, query):
+    _, table, type_id, d_nom_fn = models
+    v, c = query
+    d_nom = d_nom_fn(c)
+    benchmark(table.delay, d_nom, type_id, 0, DrivePolarity.RISE, v, c)
+
+
+def test_memory_footprint_comparison(models):
+    """Polynomial kernels store far fewer values per entry than LUTs."""
+    lut, table, *_ = models
+    coefficients_per_entry = (table.n + 1) ** 2
+    assert coefficients_per_entry < lut.table_entries  # 16 < 108
+
+@pytest.fixture(scope="module")
+def backends(kernel_table):
+    from repro.core.backends import AnalyticalDelayBackend, LutDelayBackend
+    from repro.electrical.model import TransistorCorner
+    from repro.experiments.common import default_characterization
+
+    characterization = default_characterization(3)
+    return {
+        "polynomial": kernel_table,
+        "lut": LutDelayBackend.from_characterization(characterization),
+        "analytical": AnalyticalDelayBackend.from_corner(
+            TransistorCorner.typical(), characterization.space),
+    }
+
+
+@pytest.mark.parametrize("backend_name", ["polynomial", "lut", "analytical"])
+def test_simulation_with_backend(benchmark, backends, medium_workload,
+                                 library, backend_name):
+    """End-to-end ablation: the same voltage sweep under each delay model."""
+    from repro.simulation.gpu import GpuWaveSim
+    from repro.simulation.grid import SlotPlan
+
+    workload = medium_workload
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled)
+    pairs = workload.patterns.pairs[:16]
+    plan = SlotPlan.cross(len(pairs), [0.55, 0.8, 1.1])
+    benchmark.pedantic(
+        sim.run, args=(pairs,),
+        kwargs={"plan": plan, "kernel_table": backends[backend_name]},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["backend"] = backend_name
+
+
+def test_models_agree_off_grid(models, query):
+    """Both models approximate the same surface: few-percent agreement."""
+    lut, table, type_id, d_nom_fn = models
+    v, c = query
+    lut_delay = lut.delay(v[:500], c[:500])
+    d_nom = d_nom_fn(c[:500])
+    poly_delay = table.delay(d_nom, type_id, 0, DrivePolarity.RISE,
+                             v[:500], c[:500])
+    relative = np.abs(poly_delay / lut_delay - 1.0)
+    assert np.median(relative) < 0.03
+    assert relative.max() < 0.15

@@ -1,0 +1,88 @@
+"""Table I benchmark — the three simulators on the scaled suite.
+
+One benchmark per (circuit, engine) cell of Table I:
+
+* ``event_driven`` — the serial baseline with static delays (timed on a
+  small pattern subset; serial cost is per-pattern linear),
+* ``gpu_static`` — the parallel engine with static delays ([25]),
+* ``gpu_parametric`` — the proposed engine with polynomial delay kernels.
+
+The companion assertions verify the table's claims: the parallel engine
+beats the serial baseline and the parametric kernels add only marginal
+overhead over static delays.
+"""
+
+import time
+
+import pytest
+
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+from repro.units import meps
+
+NOMINAL = 0.8
+ED_PAIRS = 4
+
+
+def test_event_driven_baseline(benchmark, workload, library):
+    sim = EventDrivenSimulator(workload.circuit, library,
+                               compiled=workload.compiled)
+    subset = workload.patterns.pairs[:ED_PAIRS]
+    result = benchmark.pedantic(
+        sim.run, args=(subset,), kwargs={"voltage": NOMINAL},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["circuit"] = workload.name
+    benchmark.extra_info["meps"] = meps(workload.nodes, len(subset),
+                                        result.runtime_seconds)
+
+
+def test_gpu_static(benchmark, workload, library):
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled)
+    pairs = workload.patterns.pairs
+    result = benchmark.pedantic(
+        sim.run, args=(pairs,), kwargs={"voltage": NOMINAL},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["circuit"] = workload.name
+    benchmark.extra_info["meps"] = meps(workload.nodes, len(pairs),
+                                        result.runtime_seconds)
+
+
+def test_gpu_parametric(benchmark, workload, library, kernel_table):
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled)
+    pairs = workload.patterns.pairs
+    result = benchmark.pedantic(
+        sim.run, args=(pairs,),
+        kwargs={"voltage": NOMINAL, "kernel_table": kernel_table},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["circuit"] = workload.name
+    benchmark.extra_info["meps"] = meps(workload.nodes, len(pairs),
+                                        result.runtime_seconds)
+
+
+def test_table1_claims(medium_workload, library, kernel_table):
+    """Non-timed companion: per-pattern speedup and parametric overhead."""
+    workload = medium_workload
+    pairs = workload.patterns.pairs
+    event = EventDrivenSimulator(workload.circuit, library,
+                                 compiled=workload.compiled)
+    gpu = GpuWaveSim(workload.circuit, library, compiled=workload.compiled)
+
+    start = time.perf_counter()
+    event.run(pairs[:ED_PAIRS], voltage=NOMINAL)
+    per_pattern_serial = (time.perf_counter() - start) / ED_PAIRS
+
+    start = time.perf_counter()
+    gpu.run(pairs, voltage=NOMINAL, kernel_table=kernel_table)
+    per_pattern_parametric = (time.perf_counter() - start) / len(pairs)
+
+    start = time.perf_counter()
+    gpu.run(pairs, voltage=NOMINAL)
+    per_pattern_static = (time.perf_counter() - start) / len(pairs)
+
+    # The parallel engine must win per pattern (Table I shape) ...
+    assert per_pattern_parametric < per_pattern_serial
+    # ... and parametric delays must not cost much over static ([25] column).
+    assert per_pattern_parametric < 2.0 * per_pattern_static

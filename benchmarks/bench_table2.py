@@ -1,0 +1,53 @@
+"""Table II benchmark — full voltage-sweep simulation.
+
+Times one complete Table II row: the whole (patterns × 6 voltages) slot
+plane in a single parallel run, then checks the row's shape claims
+(monotone voltage dependence, STA pessimism, sub-percent nominal
+residual).
+"""
+
+import pytest
+
+from repro.analysis.arrival import latest_arrivals
+from repro.experiments.paper_data import TABLE2_VOLTAGES
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.timing.sta import StaticTimingAnalysis
+
+
+def test_voltage_sweep(benchmark, medium_workload, library, kernel_table):
+    workload = medium_workload
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled)
+    pairs = workload.patterns.pairs
+    plan = SlotPlan.cross(len(pairs), TABLE2_VOLTAGES)
+    result = benchmark.pedantic(
+        sim.run, args=(pairs,),
+        kwargs={"plan": plan, "kernel_table": kernel_table},
+        rounds=2, iterations=1,
+    )
+    report = latest_arrivals(result, workload.circuit, plan=plan)
+    arrivals = [report.at(v) for v in TABLE2_VOLTAGES]
+    benchmark.extra_info["circuit"] = workload.name
+    benchmark.extra_info["arrival_0.55V_ps"] = arrivals[0] * 1e12
+    benchmark.extra_info["arrival_1.10V_ps"] = arrivals[-1] * 1e12
+    # Table II shape: delays shrink monotonically as V_DD rises.
+    assert arrivals == sorted(arrivals, reverse=True)
+
+
+def test_table2_claims(medium_workload, library, kernel_table):
+    """Non-timed companion: STA bound and nominal residual."""
+    workload = medium_workload
+    pairs = workload.patterns.pairs
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled)
+    plan = SlotPlan.cross(len(pairs), TABLE2_VOLTAGES)
+    swept = sim.run(pairs, plan=plan, kernel_table=kernel_table)
+    report = latest_arrivals(swept, workload.circuit, plan=plan)
+
+    static = sim.run(pairs, voltage=0.8)
+    static_arrival = latest_arrivals(static, workload.circuit).at(0.8)
+    residual = report.at(0.8) / static_arrival - 1.0
+    assert abs(residual) < 0.02  # paper: ~0.1 % average
+
+    sta = StaticTimingAnalysis(workload.circuit, library,
+                               compiled=workload.compiled)
+    assert report.at(0.8) <= sta.longest_path_delay() * 1.05

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks reuse the process-wide caches of
+:mod:`repro.experiments.common` so library characterization happens once
+per session.  Circuit scales are kept small enough for the whole
+``pytest benchmarks/ --benchmark-only`` run to finish in minutes while
+still spanning an order of magnitude in size (the Table I trend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import default_kernel_table, default_library
+from repro.experiments.workload import prepare_workload
+
+#: Scale used for benchmark workloads (smaller than the experiment
+#: default so benchmark repetition rounds stay cheap).
+BENCH_SCALE = 0.01
+
+#: Representative Table I circuits: small / medium / large.
+BENCH_CIRCUITS = ("s38417", "b17", "p100k")
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def kernel_table():
+    return default_kernel_table(3)
+
+
+@pytest.fixture(scope="session", params=BENCH_CIRCUITS)
+def workload(request):
+    return prepare_workload(request.param, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def medium_workload():
+    return prepare_workload("b17", scale=BENCH_SCALE)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Glitch-accurate switching activity and power across voltages.
+
+The paper motivates glitch-accurate simulation with small-delay fault
+testing and power estimation: zero-delay models miss hazard activity
+entirely.  This example quantifies that miss on an arithmetic block and
+shows how supply voltage shifts the energy/performance balance.
+
+Run:  python examples/glitch_power_analysis.py
+"""
+
+from repro import (
+    GpuWaveSim,
+    SimulationConfig,
+    SlotPlan,
+    characterize_library,
+    make_nangate15_library,
+    random_pattern_set,
+)
+from repro.analysis import dynamic_power, switching_activity
+from repro.netlist.generate import array_multiplier
+from repro.units import si_format
+
+
+def main() -> None:
+    library = make_nangate15_library()
+    kernels = characterize_library(library, n=3).compile()
+
+    # Array multipliers are glitch machines: long reconvergent carry-save
+    # chains produce hazards on almost every net.
+    circuit = array_multiplier(8)
+    patterns = random_pattern_set(circuit, 64, seed=5)
+    loads = circuit.net_loads(library)
+    print(f"8x8 array multiplier: {circuit.num_nodes} nodes, "
+          f"depth {circuit.depth}")
+
+    simulator = GpuWaveSim(circuit, library,
+                           config=SimulationConfig(record_all_nets=True))
+    voltages = [0.55, 0.8, 1.1]
+    plan = SlotPlan.cross(len(patterns), voltages)
+    result = simulator.run(patterns.pairs, plan=plan, kernel_table=kernels)
+
+    print("\nV_DD    toggles  glitches  glitch%   E/pattern  glitch energy")
+    for voltage in voltages:
+        slots = plan.slots_for_voltage(voltage).tolist()
+        activity = switching_activity(result, slots=slots)
+        power = dynamic_power(activity, loads, voltage)
+        print(f"{voltage:.2f} V  {activity.total_toggles:7d}  "
+              f"{activity.total_glitches:8d}  "
+              f"{activity.glitch_ratio:6.1%}  "
+              f"{si_format(power.energy_per_pattern, unit='J'):>9}  "
+              f"{power.glitch_fraction:6.1%}")
+
+    # Where do the glitches live?
+    nominal = switching_activity(
+        result, slots=plan.slots_for_voltage(0.8).tolist())
+    print("\nworst glitch hotspots at 0.8 V:")
+    for net in nominal.hotspots(5):
+        print(f"  {net}: {nominal.glitches[net]} glitch transitions over "
+              f"{nominal.num_slots} patterns")
+
+    # The zero-delay blind spot, quantified.
+    functional = sum(nominal.functional.values())
+    print(f"\na zero-delay model sees {functional} transitions; "
+          f"time simulation sees {nominal.total_toggles} "
+          f"(+{nominal.total_toggles / max(functional, 1) - 1:.0%}) — "
+          f"that difference is invisible without glitch-accurate waveforms.")
+
+
+if __name__ == "__main__":
+    main()

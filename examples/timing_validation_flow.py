@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""A full sign-off-style timing validation flow (paper Fig. 2).
+
+Covers the interchange-file path a real project would use:
+
+1. write the design out as structural Verilog + SDF + SPEF,
+2. read everything back (tool-to-tool handoff),
+3. STA for the pessimistic bound, timing-aware ATPG for the longest
+   paths (with false-path detection, the paper's '*' phenomenon),
+4. glitch-accurate simulation of the pattern set across voltages,
+5. compare simulated responses against zero-delay golden values.
+
+Run:  python examples/timing_validation_flow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    GpuWaveSim,
+    SlotPlan,
+    StaticTimingAnalysis,
+    ZeroDelaySimulator,
+    characterize_library,
+    generate_path_patterns,
+    generate_transition_patterns,
+    make_nangate15_library,
+    parse_sdf,
+    parse_spef,
+    parse_verilog,
+    random_circuit,
+    write_sdf,
+    write_spef,
+    write_verilog,
+)
+from repro.analysis import capture_responses, compare_responses, latest_arrivals
+from repro.netlist.sdf import annotate_nominal
+from repro.simulation.compiled import compile_circuit
+from repro.timing import k_longest_paths
+from repro.timing.report import format_timing_report
+from repro.units import si_format
+
+
+def main() -> None:
+    library = make_nangate15_library()
+    kernels = characterize_library(library, n=3).compile()
+    workdir = Path(tempfile.mkdtemp(prefix="repro_flow_"))
+
+    # -- 1. design hand-off files --------------------------------------------
+    design = random_circuit("block", num_inputs=20, num_gates=800, seed=33)
+    loads = design.net_loads(library)
+    annotation = annotate_nominal(design, library, loads=loads)
+    (workdir / "block.v").write_text(write_verilog(design, library))
+    (workdir / "block.sdf").write_text(write_sdf(design, library, annotation))
+    (workdir / "block.spef").write_text(write_spef(design, loads))
+    print(f"wrote Verilog/SDF/SPEF to {workdir}")
+
+    # -- 2. read back, compile -------------------------------------------------
+    circuit = parse_verilog((workdir / "block.v").read_text(), library)
+    sdf = parse_sdf((workdir / "block.sdf").read_text(), library)
+    spef = parse_spef((workdir / "block.spef").read_text())
+    compiled = compile_circuit(circuit, library, annotation=sdf, loads=spef)
+
+    # -- 3. STA + timing-aware ATPG ---------------------------------------------
+    sta = StaticTimingAnalysis(circuit, library, compiled=compiled)
+    arrivals = sta.analyze()
+    paths = k_longest_paths(circuit, library, k=5, compiled=compiled)
+    print("\n" + format_timing_report(arrivals, circuit.name, paths))
+
+    base_patterns, coverage = generate_transition_patterns(
+        circuit, library, max_pairs=64, fault_sample=1000)
+    print(f"transition-fault ATPG: {len(base_patterns)} pairs, "
+          f"{coverage:.0%} coverage of sampled faults")
+    path_result = generate_path_patterns(circuit, library, k=40,
+                                         compiled=compiled)
+    print(f"timing-aware ATPG over 40 longest paths: "
+          f"{len(path_result.tested_paths)} testable, "
+          f"{len(path_result.false_paths)} false paths"
+          + ("  <- all false: the paper's '*' case"
+             if path_result.all_false else ""))
+    base_patterns.extend(path_result.patterns)
+
+    # -- 4. voltage-sweep simulation ----------------------------------------------
+    voltages = [0.55, 0.8, 1.1]
+    simulator = GpuWaveSim(circuit, library, compiled=compiled)
+    plan = SlotPlan.cross(len(base_patterns), voltages)
+    result = simulator.run(base_patterns.pairs, plan=plan,
+                           kernel_table=kernels)
+    report = latest_arrivals(result, circuit, plan=plan)
+    print("\nlatest transition arrivals (STA bound: "
+          f"{si_format(arrivals.longest_path, unit='s')}):")
+    for voltage in voltages:
+        print(f"  {voltage:.2f} V: {si_format(report.at(voltage), unit='s')}")
+
+    # -- 5. response check against golden zero-delay values -------------------------
+    golden = ZeroDelaySimulator(circuit, library).responses(
+        base_patterns.v2_matrix())
+    nominal_slots = plan.slots_for_voltage(0.8).tolist()
+    check = compare_responses(
+        result, circuit,
+        golden[[int(plan.pattern_indices[s]) for s in nominal_slots]],
+        slots=nominal_slots)
+    print(f"\nresponse comparison at 0.8 V: "
+          f"{'PASS' if check.passed else 'FAIL'} "
+          f"({check.num_slots} slots x {check.num_outputs} outputs)")
+
+
+if __name__ == "__main__":
+    main()

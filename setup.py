@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP 660 editable installs (which build a wheel) are unavailable.  This
+shim lets ``pip install -e .`` fall back to ``setup.py develop``.
+Metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

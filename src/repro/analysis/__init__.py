@@ -1,0 +1,28 @@
+"""Waveform analysis: switching activity, glitches, power, responses."""
+
+from repro.analysis.activity import ActivityReport, switching_activity
+from repro.analysis.power import PowerReport, dynamic_power
+from repro.analysis.responses import ResponseReport, capture_responses, compare_responses
+from repro.analysis.arrival import ArrivalReport, latest_arrivals
+from repro.analysis.compare import (
+    ComparisonReport,
+    WaveformMismatch,
+    arrival_shifts,
+    compare_results,
+)
+
+__all__ = [
+    "ActivityReport",
+    "switching_activity",
+    "PowerReport",
+    "dynamic_power",
+    "ResponseReport",
+    "capture_responses",
+    "compare_responses",
+    "ArrivalReport",
+    "latest_arrivals",
+    "ComparisonReport",
+    "WaveformMismatch",
+    "arrival_shifts",
+    "compare_results",
+]

@@ -1,0 +1,81 @@
+"""Test-response capture and comparison (Fig. 2 step 4 outputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.simulation.base import SimulationResult
+
+__all__ = ["ResponseReport", "capture_responses", "compare_responses"]
+
+
+@dataclass(frozen=True)
+class ResponseReport:
+    """Comparison of captured vs expected output responses.
+
+    ``mismatches[slot]`` lists the output nets whose settled values
+    disagree; an empty report means the device under simulation behaves
+    functionally correctly.
+    """
+
+    num_slots: int
+    num_outputs: int
+    mismatches: List[List[str]]
+
+    @property
+    def failing_slots(self) -> List[int]:
+        return [slot for slot, bad in enumerate(self.mismatches) if bad]
+
+    @property
+    def passed(self) -> bool:
+        return not any(self.mismatches)
+
+
+def capture_responses(result: SimulationResult, circuit: Circuit) -> np.ndarray:
+    """Settled output values, shape ``(slots, outputs)``.
+
+    For a time simulation with a finite capture window this corresponds
+    to strobing the outputs after the last transition has settled.
+    """
+    return np.stack(
+        [result.final_values(slot, circuit.outputs)
+         for slot in range(result.num_slots)]
+    )
+
+
+def compare_responses(
+    result: SimulationResult,
+    circuit: Circuit,
+    expected: np.ndarray,
+    slots: Optional[Sequence[int]] = None,
+) -> ResponseReport:
+    """Compare captured responses against an expectation matrix.
+
+    ``expected`` has shape ``(slots, outputs)`` (e.g. produced by the
+    zero-delay simulator on the second vectors).
+    """
+    expected = np.asarray(expected, dtype=np.uint8)
+    chosen = list(slots) if slots is not None else list(range(result.num_slots))
+    if expected.shape != (len(chosen), len(circuit.outputs)):
+        raise SimulationError(
+            f"expected matrix shape {expected.shape} != "
+            f"({len(chosen)}, {len(circuit.outputs)})"
+        )
+    mismatches: List[List[str]] = []
+    for row, slot in enumerate(chosen):
+        captured = result.final_values(slot, circuit.outputs)
+        bad = [
+            net for position, net in enumerate(circuit.outputs)
+            if captured[position] != expected[row, position]
+        ]
+        mismatches.append(bad)
+    return ResponseReport(
+        num_slots=len(chosen),
+        num_outputs=len(circuit.outputs),
+        mismatches=mismatches,
+    )

@@ -1,0 +1,35 @@
+"""Test pattern generation substrate.
+
+The paper uses a commercial ATPG: transition-delay pattern pairs plus
+timing-aware patterns targeting the 200 longest paths.  This package
+provides the equivalent open pieces:
+
+* :mod:`repro.atpg.patterns` — pattern-set containers and random
+  generation,
+* :mod:`repro.atpg.transition_fault` — transition-fault list, parallel
+  fault simulation and coverage-driven pattern compaction,
+* :mod:`repro.atpg.path_patterns` — timing-aware longest-path pattern
+  generation with false-path detection (the source of the paper's ``*``
+  footnote).
+"""
+
+from repro.atpg.patterns import PatternSet, random_pattern_set
+from repro.atpg.transition_fault import (
+    TransitionFault,
+    FaultSimulator,
+    generate_transition_patterns,
+)
+from repro.atpg.path_patterns import PathPatternResult, generate_path_patterns
+from repro.atpg.small_delay import SmallDelayFault, SmallDelayFaultSimulator
+
+__all__ = [
+    "PatternSet",
+    "random_pattern_set",
+    "TransitionFault",
+    "FaultSimulator",
+    "generate_transition_patterns",
+    "PathPatternResult",
+    "generate_path_patterns",
+    "SmallDelayFault",
+    "SmallDelayFaultSimulator",
+]

@@ -1,0 +1,92 @@
+"""Pattern-set containers and random generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.simulation.base import PatternPair
+
+__all__ = ["PatternSet", "random_pattern_set"]
+
+
+@dataclass
+class PatternSet:
+    """An ordered collection of transition-delay pattern pairs.
+
+    ``source`` tags where each pair came from (``"random"``,
+    ``"transition-fault"``, ``"timing-aware"`` …) so experiment reports
+    can break down the pattern mix like the paper does.
+    """
+
+    circuit_name: str
+    pairs: List[PatternPair] = field(default_factory=list)
+    sources: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.sources) < len(self.pairs):
+            self.sources.extend(
+                ["unknown"] * (len(self.pairs) - len(self.sources))
+            )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[PatternPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> PatternPair:
+        return self.pairs[index]
+
+    def add(self, pair: PatternPair, source: str = "unknown") -> None:
+        self.pairs.append(pair)
+        self.sources.append(source)
+
+    def extend(self, other: "PatternSet") -> None:
+        self.pairs.extend(other.pairs)
+        self.sources.extend(other.sources)
+
+    def count_by_source(self) -> dict:
+        counts: dict = {}
+        for source in self.sources:
+            counts[source] = counts.get(source, 0) + 1
+        return counts
+
+    def v1_matrix(self) -> np.ndarray:
+        """All first vectors stacked, shape ``(pairs, inputs)``."""
+        return np.stack([pair.v1 for pair in self.pairs])
+
+    def v2_matrix(self) -> np.ndarray:
+        """All second vectors stacked, shape ``(pairs, inputs)``."""
+        return np.stack([pair.v2 for pair in self.pairs])
+
+
+def random_pattern_set(
+    circuit: Circuit,
+    count: int,
+    seed: int = 0,
+    adjacent: bool = False,
+) -> PatternSet:
+    """Generate ``count`` random pattern pairs.
+
+    ``adjacent=True`` derives ``v2`` from ``v1`` by flipping a single
+    random input (launch-off-shift-like single-transition pairs);
+    otherwise both vectors are independent (broadside-style).
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    width = len(circuit.inputs)
+    patterns = PatternSet(circuit_name=circuit.name)
+    for _ in range(count):
+        v1 = rng.integers(0, 2, size=width, dtype=np.uint8)
+        if adjacent:
+            v2 = v1.copy()
+            v2[rng.integers(width)] ^= 1
+        else:
+            v2 = rng.integers(0, 2, size=width, dtype=np.uint8)
+        patterns.add(PatternPair(v1=v1, v2=v2), source="random")
+    return patterns

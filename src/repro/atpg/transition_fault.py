@@ -1,0 +1,252 @@
+"""Transition-fault model, fault simulation and pattern generation.
+
+A *transition fault* makes one net slow-to-rise (STR) or slow-to-fall
+(STF).  A pattern pair ``(v1, v2)`` detects it when
+
+* **launch** — the net transitions in the right direction between the
+  two vectors (0→1 for STR, 1→0 for STF), and
+* **propagation** — with the net held at its ``v1`` value during the
+  second cycle (the gross-delay approximation), at least one primary
+  output differs from the good second-cycle response.
+
+Fault simulation is serial-fault / parallel-pattern: 64 pattern pairs per
+machine word, with re-simulation restricted to the fault's fanout cone.
+:func:`generate_transition_patterns` wraps it into a greedy
+coverage-driven ATPG: random candidate pairs are kept only when they
+detect new faults — producing compact pattern sets like the commercial
+tool the paper used (Table I column 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.errors import AtpgError
+from repro.netlist.circuit import Circuit
+from repro.simulation.base import PatternPair
+from repro.atpg.patterns import PatternSet, random_pattern_set
+
+__all__ = ["TransitionFault", "FaultSimulator", "generate_transition_patterns"]
+
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True, order=True)
+class TransitionFault:
+    """One transition fault: a net that is slow to rise or fall.
+
+    ``slow_to_rise=True`` models STR (needs a 0→1 launch), ``False``
+    models STF.
+    """
+
+    net: str
+    slow_to_rise: bool
+
+    def __str__(self) -> str:
+        return f"{self.net}:{'STR' if self.slow_to_rise else 'STF'}"
+
+
+def _pack_columns(matrix: np.ndarray) -> np.ndarray:
+    """Pack a (patterns, nets) 0/1 matrix into (words, nets) uint64."""
+    patterns, nets = matrix.shape
+    words = (patterns + _WORD_BITS - 1) // _WORD_BITS
+    padded = np.zeros((words * _WORD_BITS, nets), dtype=np.uint8)
+    padded[:patterns] = matrix
+    lanes = padded.reshape(words, _WORD_BITS, nets).astype(np.uint64)
+    shifts = np.arange(_WORD_BITS, dtype=np.uint64)[None, :, None]
+    return np.bitwise_or.reduce(lanes << shifts, axis=1)
+
+
+class FaultSimulator:
+    """Serial-fault, parallel-pattern transition-fault simulator."""
+
+    def __init__(self, circuit: Circuit, library: CellLibrary) -> None:
+        circuit.validate(library)
+        self.circuit = circuit
+        self.library = library
+        self._order = list(circuit.topological_gates())
+        self._gate_pos = {gate.name: pos for pos, gate in enumerate(self._order)}
+        # Fanout cone (gate positions in topological order) per net.
+        self._cones: Dict[str, List[int]] = {}
+        self._sinks: Dict[str, List[str]] = {}
+        for gate in circuit.gates:
+            for net in gate.inputs:
+                self._sinks.setdefault(net, []).append(gate.name)
+
+    # -- fault universe --------------------------------------------------------------
+
+    def all_faults(self) -> List[TransitionFault]:
+        """Both transition faults on every driven net."""
+        faults: List[TransitionFault] = []
+        for net in self.circuit.nets():
+            faults.append(TransitionFault(net, slow_to_rise=True))
+            faults.append(TransitionFault(net, slow_to_rise=False))
+        return faults
+
+    def _cone(self, net: str) -> List[int]:
+        """Topologically sorted gate positions downstream of ``net``."""
+        cached = self._cones.get(net)
+        if cached is not None:
+            return cached
+        member: Set[str] = set()
+        frontier = [net]
+        while frontier:
+            current = frontier.pop()
+            for gate_name in self._sinks.get(current, ()):
+                if gate_name not in member:
+                    member.add(gate_name)
+                    frontier.append(self._order[self._gate_pos[gate_name]].output)
+        cone = sorted(self._gate_pos[name] for name in member)
+        self._cones[net] = cone
+        return cone
+
+    # -- simulation --------------------------------------------------------------------
+
+    def _good_values(self, vectors: np.ndarray) -> Dict[str, np.ndarray]:
+        """Packed words for every net under the given vectors."""
+        values: Dict[str, np.ndarray] = {}
+        packed_inputs = _pack_columns(vectors)
+        for index, net in enumerate(self.circuit.inputs):
+            values[net] = packed_inputs[:, index].copy()
+        for gate in self._order:
+            cell = self.library[gate.cell]
+            operands = [values[net] for net in gate.inputs]
+            values[gate.output] = np.asarray(
+                cell.evaluate(operands, mask=_ALL_ONES), dtype=np.uint64
+            )
+        return values
+
+    def detecting_words(
+        self,
+        fault: TransitionFault,
+        values_v1: Dict[str, np.ndarray],
+        values_v2: Dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """Bit-per-pattern detection words for one fault."""
+        net = fault.net
+        if net not in values_v2:
+            raise AtpgError(f"fault on unknown net {net!r}")
+        if fault.slow_to_rise:
+            activation = ~values_v1[net] & values_v2[net]
+            forced = np.zeros_like(values_v2[net])
+        else:
+            activation = values_v1[net] & ~values_v2[net]
+            forced = np.full_like(values_v2[net], _ALL_ONES)
+        if not activation.any():
+            return activation  # all-zero words
+
+        # Cone-limited faulty re-simulation of the second cycle.
+        overlay: Dict[str, np.ndarray] = {net: forced}
+        for position in self._cone(net):
+            gate = self._order[position]
+            cell = self.library[gate.cell]
+            operands = [overlay.get(n, values_v2[n]) for n in gate.inputs]
+            overlay[gate.output] = np.asarray(
+                cell.evaluate(operands, mask=_ALL_ONES), dtype=np.uint64
+            )
+        detected = np.zeros_like(activation)
+        for out in self.circuit.outputs:
+            if out in overlay:
+                detected |= overlay[out] ^ values_v2[out]
+        return detected & activation
+
+    def simulate(
+        self,
+        patterns: Sequence[PatternPair],
+        faults: Optional[Sequence[TransitionFault]] = None,
+    ) -> Dict[TransitionFault, int]:
+        """Map each fault to the index of its first detecting pattern.
+
+        Undetected faults are absent from the result.
+        """
+        if not patterns:
+            return {}
+        faults = list(faults) if faults is not None else self.all_faults()
+        v1 = np.stack([p.v1 for p in patterns])
+        v2 = np.stack([p.v2 for p in patterns])
+        values_v1 = self._good_values(v1)
+        values_v2 = self._good_values(v2)
+        result: Dict[TransitionFault, int] = {}
+        for fault in faults:
+            words = self.detecting_words(fault, values_v1, values_v2)
+            for word_index, word in enumerate(words):
+                if word:
+                    bit = int(word & (~word + np.uint64(1))).bit_length() - 1
+                    pattern_index = word_index * _WORD_BITS + bit
+                    if pattern_index < len(patterns):
+                        result[fault] = pattern_index
+                        break
+        return result
+
+    def coverage(
+        self,
+        patterns: Sequence[PatternPair],
+        faults: Optional[Sequence[TransitionFault]] = None,
+    ) -> float:
+        """Transition-fault coverage of a pattern set (0..1)."""
+        faults = list(faults) if faults is not None else self.all_faults()
+        if not faults:
+            return 1.0
+        detected = self.simulate(patterns, faults)
+        return len(detected) / len(faults)
+
+
+def generate_transition_patterns(
+    circuit: Circuit,
+    library: CellLibrary,
+    seed: int = 0,
+    max_pairs: int = 256,
+    chunk: int = 64,
+    target_coverage: float = 0.95,
+    fault_sample: Optional[int] = None,
+) -> Tuple[PatternSet, float]:
+    """Greedy coverage-driven transition-fault ATPG.
+
+    Random candidate pairs are fault-simulated chunk-wise; a candidate is
+    kept only when it detects at least one not-yet-detected fault.  Stops
+    at ``target_coverage`` or ``max_pairs``.
+
+    ``fault_sample`` caps the fault list (random sample) to keep the run
+    tractable on large circuits — the returned coverage then refers to
+    the sampled universe.
+
+    Returns ``(patterns, coverage)``.
+    """
+    simulator = FaultSimulator(circuit, library)
+    faults = simulator.all_faults()
+    rng = np.random.default_rng(seed)
+    if fault_sample is not None and fault_sample < len(faults):
+        chosen = rng.choice(len(faults), size=fault_sample, replace=False)
+        faults = [faults[i] for i in sorted(chosen)]
+
+    remaining: Set[TransitionFault] = set(faults)
+    total = len(faults)
+    patterns = PatternSet(circuit_name=circuit.name)
+    chunk_seed = seed
+    while len(patterns) < max_pairs and remaining:
+        coverage = 1.0 - len(remaining) / total
+        if coverage >= target_coverage:
+            break
+        chunk_seed += 1
+        candidates = random_pattern_set(circuit, min(chunk, max_pairs), seed=chunk_seed)
+        detection = simulator.simulate(candidates.pairs, sorted(remaining))
+        keep: Dict[int, List[TransitionFault]] = {}
+        for fault, pattern_index in detection.items():
+            keep.setdefault(pattern_index, []).append(fault)
+        if not keep:
+            break  # random patterns saturated
+        for pattern_index in sorted(keep):
+            if len(patterns) >= max_pairs:
+                break
+            newly = [f for f in keep[pattern_index] if f in remaining]
+            if not newly:
+                continue
+            patterns.add(candidates[pattern_index], source="transition-fault")
+            remaining.difference_update(newly)
+    coverage = 1.0 - len(remaining) / total if total else 1.0
+    return patterns, coverage

@@ -1,0 +1,19 @@
+"""AVFS system layer: voltage–frequency management built on the simulator.
+
+This is the application the paper enables: *large-scale design space
+exploration of AVFS-based systems*.  The explorer sweeps operating
+points through the parallel simulator; the controller turns the results
+into voltage–frequency operating tables and runtime scaling decisions.
+"""
+
+from repro.avfs.scaling import VoltageFrequencyPoint, VoltageFrequencyTable
+from repro.avfs.controller import AvfsController
+from repro.avfs.explorer import DesignSpaceExplorer, OperatingPointResult
+
+__all__ = [
+    "VoltageFrequencyPoint",
+    "VoltageFrequencyTable",
+    "AvfsController",
+    "DesignSpaceExplorer",
+    "OperatingPointResult",
+]

@@ -1,0 +1,91 @@
+"""A closed-loop AVFS controller model.
+
+The controller owns a characterized :class:`VoltageFrequencyTable` and
+plays the runtime role of an adaptive voltage/frequency manager:
+
+* :meth:`set_performance` picks the lowest voltage sustaining a demanded
+  clock frequency (dynamic voltage scaling),
+* :meth:`apply_aging` derates the table for accumulated performance
+  degradation and re-decides — the self-adaptation loop the paper cites
+  as AVFS motivation (refs. [4, 5]),
+* :meth:`run_workload` steps through a demand trace and records the
+  chosen operating points with an energy-proportionality estimate
+  (E ∝ V² per cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.avfs.scaling import VoltageFrequencyTable
+from repro.errors import ParameterError
+
+__all__ = ["AvfsDecision", "AvfsController"]
+
+
+@dataclass(frozen=True)
+class AvfsDecision:
+    """One operating-point decision of the controller."""
+
+    demanded_frequency: float
+    voltage: float
+    frequency: float
+    relative_energy: float  # per-cycle energy relative to the top point
+
+
+@dataclass
+class AvfsController:
+    """Table-driven adaptive voltage and frequency scaling."""
+
+    table: VoltageFrequencyTable
+    aging_derate: float = 0.0  # accumulated delay degradation (fraction)
+    history: List[AvfsDecision] = field(default_factory=list)
+
+    def _derated(self) -> VoltageFrequencyTable:
+        if self.aging_derate == 0.0:
+            return self.table
+        return VoltageFrequencyTable.from_delays(
+            [p.voltage for p in self.table],
+            [p.critical_delay * (1.0 + self.aging_derate) for p in self.table],
+            guardband=self.table.points[0].guardband,
+        )
+
+    # -- runtime decisions ---------------------------------------------------------
+
+    def set_performance(self, frequency: float) -> AvfsDecision:
+        """Choose the minimum voltage sustaining ``frequency``."""
+        if frequency <= 0:
+            raise ParameterError("frequency must be positive")
+        table = self._derated()
+        voltage = table.voltage_for(frequency)
+        top = table.points[-1].voltage
+        decision = AvfsDecision(
+            demanded_frequency=frequency,
+            voltage=voltage,
+            frequency=table.frequency_at(voltage),
+            relative_energy=(voltage / top) ** 2,
+        )
+        self.history.append(decision)
+        return decision
+
+    def apply_aging(self, additional_derate: float) -> None:
+        """Account for additional delay degradation (e.g. NBTI aging)."""
+        if additional_derate < 0:
+            raise ParameterError("derate must be non-negative")
+        self.aging_derate += additional_derate
+
+    def max_frequency(self) -> float:
+        """Highest sustainable frequency in the current (aged) state."""
+        return max(p.max_frequency for p in self._derated())
+
+    def run_workload(self, demands: Sequence[float]) -> List[AvfsDecision]:
+        """Serve a trace of frequency demands; returns the decisions."""
+        return [self.set_performance(freq) for freq in demands]
+
+    def energy_saving(self) -> float:
+        """Average per-cycle energy saving vs always-max-voltage (0..1)."""
+        if not self.history:
+            return 0.0
+        mean = sum(d.relative_energy for d in self.history) / len(self.history)
+        return 1.0 - mean

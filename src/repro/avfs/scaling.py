@@ -1,0 +1,126 @@
+"""Voltage–frequency operating tables with guardbands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["VoltageFrequencyPoint", "VoltageFrequencyTable"]
+
+
+@dataclass(frozen=True, order=True)
+class VoltageFrequencyPoint:
+    """One characterized operating point of an AVFS system.
+
+    Attributes
+    ----------
+    voltage:
+        Supply voltage in volts.
+    critical_delay:
+        Latest simulated transition arrival at this voltage (seconds).
+    max_frequency:
+        Highest safe clock frequency, i.e. ``1 / (critical_delay ·
+        (1 + guardband))``.
+    guardband:
+        Relative timing margin applied on top of the simulated delay
+        (process variation, aging, jitter).
+    """
+
+    voltage: float
+    critical_delay: float
+    max_frequency: float
+    guardband: float
+
+
+class VoltageFrequencyTable:
+    """A sorted set of :class:`VoltageFrequencyPoint` entries.
+
+    The table answers the two AVFS runtime questions:
+
+    * :meth:`frequency_at` — how fast can the system clock at voltage v,
+    * :meth:`voltage_for` — what is the minimum voltage sustaining a
+      target frequency (the DVS energy-saving decision).
+    """
+
+    def __init__(self, points: Sequence[VoltageFrequencyPoint]) -> None:
+        if not points:
+            raise ParameterError("voltage-frequency table needs at least one point")
+        self.points: List[VoltageFrequencyPoint] = sorted(points)
+        voltages = [p.voltage for p in self.points]
+        if len(set(voltages)) != len(voltages):
+            raise ParameterError("duplicate voltages in VF table")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @classmethod
+    def from_delays(
+        cls,
+        voltages: Sequence[float],
+        delays: Sequence[float],
+        guardband: float = 0.10,
+    ) -> "VoltageFrequencyTable":
+        """Build from simulated critical delays per voltage."""
+        if len(voltages) != len(delays):
+            raise ParameterError("voltages and delays must align")
+        if guardband < 0:
+            raise ParameterError("guardband must be non-negative")
+        points = []
+        for voltage, delay in zip(voltages, delays):
+            if delay <= 0:
+                raise ParameterError(f"non-positive delay at {voltage} V")
+            points.append(
+                VoltageFrequencyPoint(
+                    voltage=float(voltage),
+                    critical_delay=float(delay),
+                    max_frequency=1.0 / (delay * (1.0 + guardband)),
+                    guardband=guardband,
+                )
+            )
+        return cls(points)
+
+    def frequency_at(self, voltage: float) -> float:
+        """Safe frequency at ``voltage`` (linear interpolation, clamped).
+
+        Interpolating between characterized points is conservative only
+        between grid points; querying outside the table raises.
+        """
+        voltages = np.asarray([p.voltage for p in self.points])
+        if not voltages[0] <= voltage <= voltages[-1]:
+            raise ParameterError(
+                f"{voltage} V outside characterized range "
+                f"[{voltages[0]}, {voltages[-1]}]"
+            )
+        frequencies = np.asarray([p.max_frequency for p in self.points])
+        return float(np.interp(voltage, voltages, frequencies))
+
+    def voltage_for(self, frequency: float) -> float:
+        """Minimum characterized voltage sustaining ``frequency``.
+
+        Only characterized grid points are returned (an AVFS regulator
+        steps through discrete levels).  Raises when even the highest
+        voltage is too slow.
+        """
+        for point in self.points:  # sorted ascending by voltage
+            if point.max_frequency >= frequency:
+                return point.voltage
+        raise ParameterError(
+            f"no characterized voltage reaches {frequency:.3e} Hz "
+            f"(max {self.points[-1].max_frequency:.3e} Hz)"
+        )
+
+    def summary(self) -> str:
+        lines = ["V [V]   delay      f_max"]
+        for point in self.points:
+            lines.append(
+                f"{point.voltage:5.2f}  {point.critical_delay*1e12:8.1f}ps "
+                f"{point.max_frequency/1e9:7.3f}GHz"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Standard-cell modeling: logic functions, cells and cell libraries."""
+
+from repro.cells.logic import LogicFunction, get_function, FUNCTIONS
+from repro.cells.cell import Cell, CellPin, DrivePolarity
+from repro.cells.library import CellLibrary
+from repro.cells.nangate15 import make_nangate15_library
+
+__all__ = [
+    "LogicFunction",
+    "get_function",
+    "FUNCTIONS",
+    "Cell",
+    "CellPin",
+    "DrivePolarity",
+    "CellLibrary",
+    "make_nangate15_library",
+]

@@ -1,0 +1,128 @@
+"""Cell and pin datatypes for standard-cell libraries."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cells.logic import LogicFunction, get_function
+
+__all__ = ["DrivePolarity", "CellPin", "Cell"]
+
+
+class DrivePolarity(enum.IntEnum):
+    """Output transition polarity, used to index pin-to-pin delays.
+
+    The integer values are stable and used as array indices in compiled
+    delay-kernel tables (Sec. III-D of the paper: one coefficient vector
+    per input pin *and* transition polarity).
+    """
+
+    RISE = 0
+    FALL = 1
+
+    @property
+    def symbol(self) -> str:
+        return "r" if self is DrivePolarity.RISE else "f"
+
+
+@dataclass(frozen=True)
+class CellPin:
+    """An input pin of a standard cell.
+
+    Attributes
+    ----------
+    name:
+        Pin name as it appears in netlists (``A1``, ``B``, ``S`` …).
+    index:
+        Position of the pin in the cell's logic-function argument list.
+    input_cap:
+        Pin input capacitance in farads.  Used to derive net load
+        capacitances (the ``c`` axis of the operating-point space).
+    effort:
+        Logical effort ``g`` of the pin (Sutherland et al., paper Eq. 2).
+        Scales the load-driven component of the propagation delay.
+    parasitic_weight:
+        Relative weight of this pin's contribution to the parasitic delay
+        term ``p``; models the pin-position asymmetry of stacked
+        transistors (inner pins of a NAND stack are slower).
+    """
+
+    name: str
+    index: int
+    input_cap: float
+    effort: float = 1.0
+    parasitic_weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A combinational standard cell (one family member at one strength).
+
+    A *cell type* such as ``NAND2_X2`` combines a logic *family*
+    (``NAND2``) with a *drive strength* (``X2``).  All strengths of a
+    family share the same logic function; the strength scales drive
+    capability and input capacitance.
+
+    Attributes
+    ----------
+    name:
+        Full library name, e.g. ``"NAND2_X2"``.
+    family:
+        Function family, e.g. ``"NAND2"`` (also the logic-function name).
+    strength:
+        Drive strength multiplier (1, 2, 4, …) — the ``X`` number.
+    pins:
+        Input pins in logic-function argument order.
+    output:
+        Output pin name (``Z`` or ``ZN`` in NanGate style).
+    parasitic:
+        Parasitic delay ``p`` in units of the process time constant τ
+        (paper Eq. 2); dimensionless, typically around the pin count.
+    """
+
+    name: str
+    family: str
+    strength: float
+    pins: Tuple[CellPin, ...]
+    output: str = "Z"
+    parasitic: float = 1.0
+
+    def __post_init__(self) -> None:
+        function = get_function(self.family)
+        if function.arity != len(self.pins):
+            raise ValueError(
+                f"cell {self.name}: function {self.family} has arity "
+                f"{function.arity} but {len(self.pins)} pins are defined"
+            )
+        indices = sorted(pin.index for pin in self.pins)
+        if indices != list(range(len(self.pins))):
+            raise ValueError(f"cell {self.name}: pin indices must be 0..n-1")
+
+    @property
+    def function(self) -> LogicFunction:
+        """The cell's logic function object."""
+        return get_function(self.family)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.pins)
+
+    @property
+    def is_inverting(self) -> bool:
+        return self.function.inverting
+
+    def pin(self, name: str) -> CellPin:
+        """Look up an input pin by name."""
+        for pin in self.pins:
+            if pin.name == name:
+                return pin
+        raise KeyError(f"cell {self.name} has no input pin {name!r}")
+
+    def pin_names(self) -> Tuple[str, ...]:
+        return tuple(pin.name for pin in sorted(self.pins, key=lambda p: p.index))
+
+    def evaluate(self, inputs, mask=1):
+        """Evaluate the cell's logic function (see :meth:`LogicFunction.evaluate`)."""
+        return self.function.evaluate(inputs, mask=mask)

@@ -1,0 +1,171 @@
+"""Cell-library container with lookup and JSON (de)serialization."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.cells.cell import Cell, CellPin
+from repro.errors import LibraryError, UnknownCellError
+
+__all__ = ["CellLibrary"]
+
+
+class CellLibrary:
+    """An ordered collection of :class:`Cell` objects.
+
+    Cells are indexed by full name (``NAND2_X2``).  The library assigns a
+    stable integer *type id* to each cell in insertion order; compiled
+    delay-kernel tables (Sec. IV of the paper) are indexed by this id.
+    """
+
+    def __init__(self, name: str = "library", cells: Optional[Iterable[Cell]] = None) -> None:
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        self._type_ids: Dict[str, int] = {}
+        if cells:
+            for cell in cells:
+                self.add(cell)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise UnknownCellError(name) from None
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, cell: Cell) -> Cell:
+        """Add a cell; names must be unique."""
+        if cell.name in self._cells:
+            raise LibraryError(f"duplicate cell name: {cell.name!r}")
+        self._type_ids[cell.name] = len(self._cells)
+        self._cells[cell.name] = cell
+        return cell
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Cell]:
+        return self._cells.get(name)
+
+    def type_id(self, name: str) -> int:
+        """Stable integer id of a cell type (kernel-table index)."""
+        try:
+            return self._type_ids[name]
+        except KeyError:
+            raise UnknownCellError(name) from None
+
+    def cell_by_type_id(self, type_id: int) -> Cell:
+        names = list(self._cells)
+        if not 0 <= type_id < len(names):
+            raise LibraryError(f"type id {type_id} out of range")
+        return self._cells[names[type_id]]
+
+    def names(self) -> List[str]:
+        return list(self._cells)
+
+    def families(self) -> List[str]:
+        """Distinct cell families in insertion order."""
+        seen: Dict[str, None] = {}
+        for cell in self:
+            seen.setdefault(cell.family, None)
+        return list(seen)
+
+    def members(self, family: str) -> List[Cell]:
+        """All drive strengths of a family, weakest first."""
+        cells = [cell for cell in self if cell.family == family]
+        return sorted(cells, key=lambda c: c.strength)
+
+    def select(self, families: Iterable[str]) -> "CellLibrary":
+        """Sub-library restricted to the given families (Fig. 4 uses a subset)."""
+        wanted = set(families)
+        missing = wanted - set(self.families())
+        if missing:
+            raise LibraryError(f"families not in library: {sorted(missing)}")
+        return CellLibrary(
+            name=f"{self.name}-subset",
+            cells=[cell for cell in self if cell.family in wanted],
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cells": [
+                {
+                    "name": cell.name,
+                    "family": cell.family,
+                    "strength": cell.strength,
+                    "output": cell.output,
+                    "parasitic": cell.parasitic,
+                    "pins": [
+                        {
+                            "name": pin.name,
+                            "index": pin.index,
+                            "input_cap": pin.input_cap,
+                            "effort": pin.effort,
+                            "parasitic_weight": pin.parasitic_weight,
+                        }
+                        for pin in cell.pins
+                    ],
+                }
+                for cell in self
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellLibrary":
+        library = cls(name=data.get("name", "library"))
+        for entry in data["cells"]:
+            pins = tuple(
+                CellPin(
+                    name=p["name"],
+                    index=p["index"],
+                    input_cap=p["input_cap"],
+                    effort=p.get("effort", 1.0),
+                    parasitic_weight=p.get("parasitic_weight", 1.0),
+                )
+                for p in entry["pins"]
+            )
+            library.add(
+                Cell(
+                    name=entry["name"],
+                    family=entry["family"],
+                    strength=entry["strength"],
+                    pins=pins,
+                    output=entry.get("output", "Z"),
+                    parasitic=entry.get("parasitic", 1.0),
+                )
+            )
+        return library
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellLibrary":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "CellLibrary":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CellLibrary({self.name!r}, {len(self)} cells)"

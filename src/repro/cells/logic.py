@@ -1,0 +1,161 @@
+"""Boolean functions of standard cells.
+
+Every combinational cell computes a single-output boolean function of its
+input pins.  The functions here are written with bitwise operators only so
+that the *same* callable evaluates
+
+* plain Python ``int`` scalars (0/1) — used by the event-driven simulator,
+* NumPy ``uint8``/``bool`` arrays — used by the vectorized GPU-style
+  engine, where one call evaluates an entire slot plane at once, and
+* bit-packed 64-bit words — used by the zero-delay pattern simulator.
+
+The registry maps a *function name* (``NAND2``, ``AOI21``, …) to a
+:class:`LogicFunction`.  Cell types reference functions by name so several
+drive strengths share one function object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, Sequence, Tuple
+
+__all__ = ["LogicFunction", "FUNCTIONS", "get_function", "register_function"]
+
+
+@dataclass(frozen=True)
+class LogicFunction:
+    """A named boolean function with a fixed number of inputs.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"NAND2"``.
+    arity:
+        Number of input operands.
+    func:
+        Bitwise implementation ``f(a, b, …) -> value``.  Must use only
+        ``& | ^ ~`` so it works on ints, words and arrays.  The result of
+        ``~`` is masked by the caller via :meth:`evaluate`.
+    inverting:
+        True when every input-to-output path is inverting (NAND, NOR, INV,
+        AOI, OAI).  Used by delay modeling for output polarity mapping.
+    """
+
+    name: str
+    arity: int
+    func: Callable[..., object] = field(repr=False)
+    inverting: bool = False
+
+    def evaluate(self, inputs: Sequence[object], mask: object = 1):
+        """Evaluate the function on ``inputs``.
+
+        ``mask`` bounds the result of bitwise NOT: pass ``1`` for scalar
+        0/1 logic (default), ``(1 << 64) - 1`` for packed words, or an
+        array of ones for array evaluation.
+        """
+        if len(inputs) != self.arity:
+            raise ValueError(
+                f"{self.name} expects {self.arity} inputs, got {len(inputs)}"
+            )
+        return self.func(*inputs) & mask
+
+    def truth_table(self) -> Tuple[int, ...]:
+        """Output column of the truth table, input bits in MSB-first order.
+
+        >>> get_function('AND2').truth_table()
+        (0, 0, 0, 1)
+        """
+        rows = []
+        for bits in product((0, 1), repeat=self.arity):
+            rows.append(int(self.evaluate(bits)) & 1)
+        return tuple(rows)
+
+    def unateness(self, pin_index: int) -> str:
+        """Return ``'positive'``, ``'negative'`` or ``'binate'`` for a pin.
+
+        A pin is positive-unate when raising it can only raise (or keep)
+        the output for every setting of the other pins.
+        """
+        rising_only = falling_only = True
+        others = self.arity - 1
+        for bits in product((0, 1), repeat=others):
+            low = list(bits[:pin_index]) + [0] + list(bits[pin_index:])
+            high = list(bits[:pin_index]) + [1] + list(bits[pin_index:])
+            out_low = int(self.evaluate(low)) & 1
+            out_high = int(self.evaluate(high)) & 1
+            if out_high < out_low:
+                rising_only = False
+            if out_high > out_low:
+                falling_only = False
+        if rising_only and not falling_only:
+            return "positive"
+        if falling_only and not rising_only:
+            return "negative"
+        if rising_only and falling_only:
+            # Output independent of the pin (degenerate); report positive.
+            return "positive"
+        return "binate"
+
+
+FUNCTIONS: Dict[str, LogicFunction] = {}
+
+
+def register_function(name: str, arity: int, func: Callable[..., object],
+                      inverting: bool = False) -> LogicFunction:
+    """Register ``func`` under ``name`` and return the wrapper object."""
+    if name in FUNCTIONS:
+        raise ValueError(f"logic function {name!r} already registered")
+    logic = LogicFunction(name=name, arity=arity, func=func, inverting=inverting)
+    FUNCTIONS[name] = logic
+    return logic
+
+
+def get_function(name: str) -> LogicFunction:
+    """Look up a registered logic function by name."""
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown logic function: {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Standard function set
+# ---------------------------------------------------------------------------
+
+register_function("BUF", 1, lambda a: a)
+register_function("INV", 1, lambda a: ~a, inverting=True)
+
+register_function("AND2", 2, lambda a, b: a & b)
+register_function("AND3", 3, lambda a, b, c: a & b & c)
+register_function("AND4", 4, lambda a, b, c, d: a & b & c & d)
+
+register_function("OR2", 2, lambda a, b: a | b)
+register_function("OR3", 3, lambda a, b, c: a | b | c)
+register_function("OR4", 4, lambda a, b, c, d: a | b | c | d)
+
+register_function("NAND2", 2, lambda a, b: ~(a & b), inverting=True)
+register_function("NAND3", 3, lambda a, b, c: ~(a & b & c), inverting=True)
+register_function("NAND4", 4, lambda a, b, c, d: ~(a & b & c & d), inverting=True)
+
+register_function("NOR2", 2, lambda a, b: ~(a | b), inverting=True)
+register_function("NOR3", 3, lambda a, b, c: ~(a | b | c), inverting=True)
+register_function("NOR4", 4, lambda a, b, c, d: ~(a | b | c | d), inverting=True)
+
+register_function("XOR2", 2, lambda a, b: a ^ b)
+register_function("XNOR2", 2, lambda a, b: ~(a ^ b), inverting=False)
+
+# And-Or-Invert / Or-And-Invert complex gates (NanGate style pin order):
+# AOI21: ZN = !((A1 & A2) | B)     pins A1, A2, B
+register_function("AOI21", 3, lambda a1, a2, b: ~((a1 & a2) | b), inverting=True)
+# AOI22: ZN = !((A1 & A2) | (B1 & B2))
+register_function("AOI22", 4, lambda a1, a2, b1, b2: ~((a1 & a2) | (b1 & b2)),
+                  inverting=True)
+# OAI21: ZN = !((A1 | A2) & B)
+register_function("OAI21", 3, lambda a1, a2, b: ~((a1 | a2) & b), inverting=True)
+# OAI22: ZN = !((A1 | A2) & (B1 | B2))
+register_function("OAI22", 4, lambda a1, a2, b1, b2: ~((a1 | a2) & (b1 | b2)),
+                  inverting=True)
+
+# MUX2: Z = S ? B : A   (pins A, B, S)
+register_function("MUX2", 3, lambda a, b, s: (a & ~s) | (b & s))

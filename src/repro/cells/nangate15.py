@@ -1,0 +1,128 @@
+"""A NanGate-15nm-*like* standard-cell library.
+
+The paper synthesizes its benchmarks with the NanGate 15 nm Open Cell
+Library.  That library's SPICE decks are not redistributable, so this
+module builds a library with the same *structure*: the combinational
+families the paper's Fig. 4 evaluates (AND, NAND, BUF, INV, OR, NOR — all
+driving strengths) plus XOR/XNOR, AOI/OAI complex gates and a mux, each in
+several drive strengths ``X1 … X16``.
+
+Electrical parameters (logical efforts, parasitics, pin capacitances)
+follow the standard logical-effort textbook values (Sutherland, Sproull,
+Harris — the paper's ref. [29]) and scale with drive strength exactly like
+a real library: an ``X2`` cell has twice the drive (half the load-driven
+delay) and twice the input capacitance of the ``X1`` member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cells.cell import Cell, CellPin
+from repro.cells.library import CellLibrary
+from repro.units import FF
+
+__all__ = ["make_nangate15_library", "FIG4_FAMILIES", "BASE_INPUT_CAP"]
+
+#: Families evaluated in the paper's Fig. 4 error study.
+FIG4_FAMILIES = ("AND2", "AND3", "AND4", "NAND2", "NAND3", "NAND4",
+                 "BUF", "INV", "OR2", "OR3", "OR4", "NOR2", "NOR3", "NOR4")
+
+#: Input capacitance of a unit-strength inverter pin (farads).  NanGate
+#: 15 nm input pins are in the sub-femtofarad range.
+BASE_INPUT_CAP = 0.45 * FF
+
+# family -> (pin names, logical effort g, parasitic p, per-pin cap factor)
+# Efforts/parasitics are the classic logical-effort values; AND/OR cells
+# are modeled as the corresponding NAND/NOR plus an output inverter which
+# adds parasitic delay and slightly increases effort.
+_FAMILY_SPECS: Dict[str, Tuple[Tuple[str, ...], float, float, float]] = {
+    "INV":   (("A",), 1.0, 1.0, 1.0),
+    "BUF":   (("A",), 1.0, 2.0, 1.0),
+    "NAND2": (("A1", "A2"), 4.0 / 3.0, 2.0, 4.0 / 3.0),
+    "NAND3": (("A1", "A2", "A3"), 5.0 / 3.0, 3.0, 5.0 / 3.0),
+    "NAND4": (("A1", "A2", "A3", "A4"), 2.0, 4.0, 2.0),
+    "NOR2":  (("A1", "A2"), 5.0 / 3.0, 2.0, 5.0 / 3.0),
+    "NOR3":  (("A1", "A2", "A3"), 7.0 / 3.0, 3.0, 7.0 / 3.0),
+    "NOR4":  (("A1", "A2", "A3", "A4"), 3.0, 4.0, 3.0),
+    "AND2":  (("A1", "A2"), 4.0 / 3.0, 3.0, 4.0 / 3.0),
+    "AND3":  (("A1", "A2", "A3"), 5.0 / 3.0, 4.0, 5.0 / 3.0),
+    "AND4":  (("A1", "A2", "A3", "A4"), 2.0, 5.0, 2.0),
+    "OR2":   (("A1", "A2"), 5.0 / 3.0, 3.0, 5.0 / 3.0),
+    "OR3":   (("A1", "A2", "A3"), 7.0 / 3.0, 4.0, 7.0 / 3.0),
+    "OR4":   (("A1", "A2", "A3", "A4"), 3.0, 5.0, 3.0),
+    "XOR2":  (("A", "B"), 4.0, 4.0, 2.0),
+    "XNOR2": (("A", "B"), 4.0, 4.0, 2.0),
+    "AOI21": (("A1", "A2", "B"), 2.0, 3.0, 5.0 / 3.0),
+    "AOI22": (("A1", "A2", "B1", "B2"), 2.0, 4.0, 2.0),
+    "OAI21": (("A1", "A2", "B"), 2.0, 3.0, 5.0 / 3.0),
+    "OAI22": (("A1", "A2", "B1", "B2"), 2.0, 4.0, 2.0),
+    "MUX2":  (("A", "B", "S"), 2.0, 4.0, 2.0),
+}
+
+#: Drive strengths per family.  Simple inverting cells come in the widest
+#: range (like real libraries); complex gates stop at X4.
+_STRENGTHS: Dict[str, Tuple[int, ...]] = {
+    "INV": (1, 2, 4, 8, 16),
+    "BUF": (1, 2, 4, 8, 16),
+    "NAND2": (1, 2, 4, 8),
+    "NOR2": (1, 2, 4, 8),
+}
+_DEFAULT_STRENGTHS: Tuple[int, ...] = (1, 2, 4)
+
+#: Per-pin parasitic asymmetry: inner pins of a transistor stack see more
+#: internal capacitance and are a few percent slower.
+_STACK_SKEW = 0.06
+
+#: Inverting families drive ``ZN`` in NanGate naming, the rest drive ``Z``.
+_INVERTING_OUTPUT = "ZN"
+_NONINVERTING_OUTPUT = "Z"
+
+
+def _make_cell(family: str, strength: int) -> Cell:
+    pin_names, effort, parasitic, cap_factor = _FAMILY_SPECS[family]
+    pins: List[CellPin] = []
+    for index, pin_name in enumerate(pin_names):
+        # The select pin of a mux is lighter than its data pins.
+        pin_cap_factor = cap_factor
+        if family == "MUX2" and pin_name == "S":
+            pin_cap_factor = 1.0
+        pins.append(
+            CellPin(
+                name=pin_name,
+                index=index,
+                input_cap=BASE_INPUT_CAP * pin_cap_factor * strength,
+                effort=effort,
+                parasitic_weight=1.0 + _STACK_SKEW * index,
+            )
+        )
+    from repro.cells.logic import get_function
+
+    inverting = get_function(family).inverting
+    return Cell(
+        name=f"{family}_X{strength}",
+        family=family,
+        strength=float(strength),
+        pins=tuple(pins),
+        output=_INVERTING_OUTPUT if inverting else _NONINVERTING_OUTPUT,
+        parasitic=parasitic,
+    )
+
+
+def make_nangate15_library(families: Sequence[str] = (), name: str = "nangate15") -> CellLibrary:
+    """Build the library.
+
+    Parameters
+    ----------
+    families:
+        Optional subset of family names; empty means every family.
+    """
+    chosen = tuple(families) or tuple(_FAMILY_SPECS)
+    unknown = set(chosen) - set(_FAMILY_SPECS)
+    if unknown:
+        raise ValueError(f"unknown cell families: {sorted(unknown)}")
+    library = CellLibrary(name=name)
+    for family in chosen:
+        for strength in _STRENGTHS.get(family, _DEFAULT_STRENGTHS):
+            library.add(_make_cell(family, strength))
+    return library

@@ -1,0 +1,345 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Wraps the library's main flows for shell use:
+
+* ``characterize`` — run the offline Fig. 1 flow, save a kernel table,
+* ``stats``       — circuit statistics (Table I columns 1–2),
+* ``sta``         — static timing analysis with optional voltage derating,
+* ``atpg``        — transition-fault + timing-aware pattern generation,
+* ``simulate``    — parallel voltage-sweep time simulation (+ VCD dump),
+* ``explore``     — AVFS design-space exploration / VF table.
+
+Circuits are specified either as a file (``.v`` structural Verilog or
+``.bench``) or as a generator spec:
+
+* ``suite:<name>[:scale]`` — a scaled paper-suite circuit (``suite:b17``),
+* ``random:<gates>[:seed]`` — a random mapped netlist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.cells.library import CellLibrary
+from repro.cells.nangate15 import make_nangate15_library
+from repro.core.characterization import characterize_library
+from repro.core.delay_kernel import DelayKernelTable
+from repro.electrical.model import TransistorCorner
+from repro.electrical.spice import AnalyticalSpice
+from repro.errors import ReproError
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import random_circuit
+from repro.netlist.stats import circuit_stats
+from repro.netlist.suite import DEFAULT_SCALE, build_suite_circuit
+from repro.netlist.verilog import parse_verilog
+from repro.units import si_format
+
+__all__ = ["main"]
+
+
+def _load_library() -> CellLibrary:
+    return make_nangate15_library()
+
+
+def _corner(name: str, temperature: Optional[float]) -> TransistorCorner:
+    factories = {
+        "typical": TransistorCorner.typical,
+        "slow": TransistorCorner.slow,
+        "fast": TransistorCorner.fast,
+    }
+    corner = factories[name]()
+    if temperature is not None:
+        corner = corner.at_temperature(temperature)
+    return corner
+
+
+def _load_circuit(spec: str, library: CellLibrary) -> Circuit:
+    """Resolve a circuit spec: file path or generator shorthand."""
+    if spec.startswith("suite:"):
+        parts = spec.split(":")
+        scale = float(parts[2]) if len(parts) > 2 else DEFAULT_SCALE
+        return build_suite_circuit(parts[1], scale=scale)
+    if spec.startswith("random:"):
+        parts = spec.split(":")
+        gates = int(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        return random_circuit(f"random{gates}", max(8, gates // 12), gates,
+                              seed=seed)
+    with open(spec, "r", encoding="utf-8") as stream:
+        text = stream.read()
+    if spec.endswith(".bench"):
+        base = spec.rsplit("/", 1)[-1]
+        return parse_bench(text, name=base.rsplit(".", 1)[0], filename=spec)
+    return parse_verilog(text, library, filename=spec)
+
+
+def _voltages(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+# -- subcommands -------------------------------------------------------------------
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    library = _load_library()
+    spice = AnalyticalSpice(_corner(args.corner, args.temperature))
+    print(f"characterizing {len(library)} cells at order 2*{args.order} "
+          f"({args.corner} corner"
+          + (f", {args.temperature:g} C" if args.temperature is not None else "")
+          + ") ...")
+    table = characterize_library(library, spice, n=args.order).compile()
+    table.save(args.output)
+    print(f"wrote {table.num_types} cell types "
+          f"({table.memory_bytes / 1024:.0f} KiB) to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    circuit.validate(library)
+    stats = circuit_stats(circuit)
+    print(stats.summary())
+    print(f"  avg fanin {stats.avg_fanin:.2f}, avg fanout "
+          f"{stats.avg_fanout:.2f}")
+    for family, count in sorted(stats.cells_by_family.items()):
+        print(f"  {family:8s} {count}")
+    return 0
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    from repro.timing.paths import k_longest_paths
+    from repro.timing.report import format_timing_report
+    from repro.timing.sta import StaticTimingAnalysis
+
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    sta = StaticTimingAnalysis(circuit, library)
+    kernel_table = DelayKernelTable.load(args.kernels) if args.kernels else None
+    arrivals = sta.analyze(voltage=args.voltage if kernel_table else None,
+                           kernel_table=kernel_table)
+    paths = k_longest_paths(circuit, library, k=args.paths,
+                            compiled=sta.compiled)
+    print(format_timing_report(
+        arrivals, circuit.name, paths,
+        voltage=args.voltage if kernel_table else None))
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.atpg.path_patterns import generate_path_patterns
+    from repro.atpg.transition_fault import generate_transition_patterns
+
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    patterns, coverage = generate_transition_patterns(
+        circuit, library, max_pairs=args.max_pairs,
+        fault_sample=args.fault_sample)
+    print(f"transition-fault ATPG: {len(patterns)} pairs, "
+          f"{coverage:.1%} coverage")
+    if args.paths:
+        result = generate_path_patterns(circuit, library, k=args.paths)
+        print(f"timing-aware: {len(result.tested_paths)} paths tested, "
+              f"{len(result.false_paths)} false paths"
+              + (" (*)" if result.all_false else ""))
+        patterns.extend(result.patterns)
+    print(f"total: {len(patterns)} pattern pairs "
+          f"{patterns.count_by_source()}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.arrival import latest_arrivals
+    from repro.atpg.patterns import random_pattern_set
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.gpu import GpuWaveSim
+    from repro.simulation.grid import SlotPlan
+
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    voltages = _voltages(args.voltages)
+    kernel_table = DelayKernelTable.load(args.kernels) if args.kernels else None
+    if kernel_table is None and len(voltages) > 1:
+        print("error: multi-voltage simulation needs --kernels",
+              file=sys.stderr)
+        return 2
+    patterns = random_pattern_set(circuit, args.patterns, seed=args.seed)
+    config = SimulationConfig(record_all_nets=bool(args.vcd))
+    simulator = GpuWaveSim(circuit, library, config=config)
+    plan = SlotPlan.cross(len(patterns), voltages)
+    result = simulator.run(patterns.pairs, plan=plan,
+                           kernel_table=kernel_table)
+    print(f"simulated {plan.num_slots} slots in "
+          f"{result.runtime_seconds:.3f}s ({result.engine})")
+    report = latest_arrivals(result, circuit, plan=plan)
+    for voltage in voltages:
+        print(f"  {voltage:.2f} V: latest transition "
+              f"{si_format(report.at(voltage), unit='s')}")
+    if args.vcd:
+        from repro.waveform.vcd import result_to_vcd
+        with open(args.vcd, "w", encoding="utf-8") as stream:
+            stream.write(result_to_vcd(result, args.vcd_slot))
+        print(f"  slot {args.vcd_slot} waveforms -> {args.vcd}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.netlist.bench import write_bench
+    from repro.netlist.sdf import annotate_nominal, write_sdf
+    from repro.netlist.spef import write_spef
+    from repro.netlist.verilog import write_verilog
+
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    circuit.validate(library)
+    output = args.output
+    if output.endswith(".v"):
+        text = write_verilog(circuit, library)
+    elif output.endswith(".bench"):
+        text = write_bench(circuit)
+    elif output.endswith(".sdf"):
+        text = write_sdf(circuit, library, annotate_nominal(circuit, library))
+    elif output.endswith(".spef"):
+        text = write_spef(circuit, circuit.net_loads(library))
+    else:
+        print(f"error: unknown output format for {output!r} "
+              "(use .v/.bench/.sdf/.spef)", file=sys.stderr)
+        return 2
+    with open(output, "w", encoding="utf-8") as stream:
+        stream.write(text)
+    print(f"wrote {circuit.num_nodes}-node {circuit.name} to {output}")
+    return 0
+
+
+def _cmd_liberty(args: argparse.Namespace) -> int:
+    from repro.netlist.liberty import write_liberty
+
+    library = _load_library()
+    spice = AnalyticalSpice(_corner(args.corner, args.temperature))
+    characterization = characterize_library(library, spice, n=args.order)
+    for voltage in _voltages(args.voltages):
+        text = write_liberty(characterization, voltage=voltage)
+        path = args.output_pattern.format(voltage=f"{voltage:.2f}")
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"wrote {voltage:.2f} V Liberty view to {path}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.atpg.patterns import random_pattern_set
+    from repro.avfs.explorer import DesignSpaceExplorer
+
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    if not args.kernels:
+        print("error: explore needs --kernels (run 'characterize' first)",
+              file=sys.stderr)
+        return 2
+    kernel_table = DelayKernelTable.load(args.kernels)
+    patterns = random_pattern_set(circuit, args.patterns, seed=args.seed)
+    explorer = DesignSpaceExplorer(circuit, library, kernel_table)
+    table = explorer.voltage_frequency_table(
+        patterns.pairs, _voltages(args.voltages), guardband=args.guardband)
+    print(f"voltage-frequency table for {circuit.name} "
+          f"(guardband {args.guardband:.0%}):")
+    print(table.summary())
+    return 0
+
+
+# -- parser ------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="build and save a kernel table")
+    p.add_argument("--order", type=int, default=3, help="polynomial half-order N")
+    p.add_argument("--corner", choices=["typical", "slow", "fast"],
+                   default="typical")
+    p.add_argument("--temperature", type=float, default=None,
+                   help="junction temperature in Celsius")
+    p.add_argument("--output", default="kernels.npz")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("stats", help="circuit statistics")
+    p.add_argument("circuit")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("sta", help="static timing analysis")
+    p.add_argument("circuit")
+    p.add_argument("--voltage", type=float, default=0.8)
+    p.add_argument("--kernels", default=None,
+                   help="kernel table for voltage derating")
+    p.add_argument("--paths", type=int, default=5, help="report K longest paths")
+    p.set_defaults(func=_cmd_sta)
+
+    p = sub.add_parser("atpg", help="generate test patterns")
+    p.add_argument("circuit")
+    p.add_argument("--max-pairs", type=int, default=64)
+    p.add_argument("--fault-sample", type=int, default=1000)
+    p.add_argument("--paths", type=int, default=0,
+                   help="also target the K longest paths")
+    p.set_defaults(func=_cmd_atpg)
+
+    p = sub.add_parser("simulate", help="parallel time simulation")
+    p.add_argument("circuit")
+    p.add_argument("--patterns", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--voltages", default="0.8", help="comma-separated volts")
+    p.add_argument("--kernels", default=None)
+    p.add_argument("--vcd", default=None, help="dump one slot as VCD")
+    p.add_argument("--vcd-slot", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("convert", help="convert/emit design-exchange files")
+    p.add_argument("circuit")
+    p.add_argument("output", help="target file: .v / .bench / .sdf / .spef")
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("liberty", help="emit per-voltage Liberty views")
+    p.add_argument("--order", type=int, default=3)
+    p.add_argument("--corner", choices=["typical", "slow", "fast"],
+                   default="typical")
+    p.add_argument("--temperature", type=float, default=None)
+    p.add_argument("--voltages", default="0.8")
+    p.add_argument("--output-pattern", default="nangate15_{voltage}V.lib",
+                   help="'{voltage}' is substituted per view")
+    p.set_defaults(func=_cmd_liberty)
+
+    p = sub.add_parser("explore", help="AVFS design-space exploration")
+    p.add_argument("circuit")
+    p.add_argument("--patterns", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--voltages", default="0.55,0.65,0.8,0.95,1.1")
+    p.add_argument("--guardband", type=float, default=0.10)
+    p.add_argument("--kernels", default=None)
+    p.set_defaults(func=_cmd_explore)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: parametric voltage-aware delay modeling.
+
+This package implements Sec. III of the paper end to end:
+
+* :mod:`repro.core.parameters` — operating points, the constrained 2-D
+  parameter space and the φ_V / φ_C / φ_D normalizations,
+* :mod:`repro.core.polynomial` — two-dimensional surface polynomials
+  (Eq. 4) with Horner-form evaluation,
+* :mod:`repro.core.regression` — multivariable OLS regression via the
+  normal equations (Eq. 5–8),
+* :mod:`repro.core.interpolation` — grid interpolation / sub-sampling
+  (Fig. 1 step B) and a conventional LUT delay model for comparison,
+* :mod:`repro.core.characterization` — the full Fig. 1 flow A→D,
+* :mod:`repro.core.delay_kernel` — compiled coefficient tables evaluated
+  on-the-fly during simulation (Sec. IV-A, Eq. 9).
+"""
+
+from repro.core.parameters import OperatingPoint, ParameterSpace
+from repro.core.polynomial import SurfacePolynomial, design_matrix
+from repro.core.regression import FitResult, fit_polynomial
+from repro.core.interpolation import GridInterpolator, LutDelayModel, subsample
+from repro.core.characterization import (
+    PinCharacterization,
+    CellCharacterization,
+    LibraryCharacterization,
+    characterize_pin,
+    characterize_cell,
+    characterize_library,
+)
+from repro.core.delay_kernel import DelayKernelTable
+from repro.core.backends import AnalyticalDelayBackend, LutDelayBackend
+
+__all__ = [
+    "OperatingPoint",
+    "ParameterSpace",
+    "SurfacePolynomial",
+    "design_matrix",
+    "FitResult",
+    "fit_polynomial",
+    "GridInterpolator",
+    "LutDelayModel",
+    "subsample",
+    "PinCharacterization",
+    "CellCharacterization",
+    "LibraryCharacterization",
+    "characterize_pin",
+    "characterize_cell",
+    "characterize_library",
+    "DelayKernelTable",
+    "AnalyticalDelayBackend",
+    "LutDelayBackend",
+]

@@ -1,0 +1,283 @@
+"""The offline cell-characterization flow (paper Fig. 1, steps A–D).
+
+For every cell type, input pin and output transition polarity:
+
+A. run a SPICE parameter sweep over the operating-point grid,
+B. normalize (φ_V, φ_C, φ_D) and densify the sample grid by bilinear
+   sub-sampling,
+C. fit a surface polynomial by multivariable linear regression,
+D. compile the coefficients into a delay-kernel table for the GPU.
+
+This flow runs **once per cell library**; the compiled kernels are reused
+by every simulation (the paper reports 1–40 ms of regression time per
+entry, a negligible preprocessing cost).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.cell import Cell, CellPin, DrivePolarity
+from repro.cells.library import CellLibrary
+from repro.core.interpolation import GridInterpolator, subsample
+from repro.core.parameters import ParameterSpace
+from repro.core.regression import FitResult, fit_polynomial
+from repro.electrical.spice import AnalyticalSpice, DelayGrid
+from repro.errors import CharacterizationError
+
+__all__ = [
+    "PinCharacterization",
+    "CellCharacterization",
+    "LibraryCharacterization",
+    "characterize_pin",
+    "characterize_cell",
+    "characterize_library",
+]
+
+
+@dataclass(frozen=True)
+class PinCharacterization:
+    """Characterization result for one (cell, pin, polarity) entry.
+
+    Attributes
+    ----------
+    fit:
+        The regression result; ``fit.polynomial`` is the delay kernel
+        operating on normalized ``(φ_V, φ_C)`` coordinates and returning
+        the relative deviation ``d/d_nom − 1``.
+    reference:
+        Bilinear interpolator of the *normalized deviation* samples —
+        the "linear approximation of the SPICE results" used as the
+        error reference in Sec. V-A.
+    nominal_delays:
+        Interpolator of the nominal (v = v_nom) absolute delay versus
+        normalized load, used to derive SDF annotations.
+    sweep:
+        The raw SPICE delay grid (step A output).
+    """
+
+    cell_name: str
+    pin_name: str
+    pin_index: int
+    polarity: DrivePolarity
+    space: ParameterSpace
+    fit: FitResult
+    reference: GridInterpolator = field(repr=False)
+    nominal_delays: np.ndarray = field(repr=False)
+    sweep: DelayGrid = field(repr=False)
+
+    def deviation(self, v, c):
+        """Predicted relative deviation at raw ``(v, c)`` operating points."""
+        nv = self.space.normalize_voltage(v)
+        nc = self.space.normalize_load(c)
+        return self.fit.polynomial.evaluate(nv, nc)
+
+    def nominal_delay(self, c) -> float:
+        """Nominal absolute delay at load ``c`` (linear in φ_C)."""
+        nc = np.asarray(self.space.normalize_load(c), dtype=np.float64)
+        nc_axis = self.space.normalize_load(self.sweep.loads)
+        return np.interp(nc, nc_axis, self.nominal_delays)
+
+    def delay(self, v, c):
+        """Absolute delay ``d' = d_nom(c) · (1 + f(φ_V(v), φ_C(c)))`` (Eq. 9)."""
+        return self.nominal_delay(c) * (1.0 + self.deviation(v, c))
+
+    def evaluation_error(self, grid: int = 64) -> Tuple[float, float, float]:
+        """Approximation error vs the linear reference on a dense grid.
+
+        Returns ``(mean_abs, std, max_abs)`` of the deviation error over a
+        ``grid × grid`` equidistant sample of the normalized space — the
+        paper's Fig. 4/5 metric.  Units are fractions of d_nom.
+        """
+        nv = np.linspace(0.0, 1.0, grid)
+        nc = np.linspace(0.0, 1.0, grid)
+        reference = self.reference(nv[:, None], nc[None, :])
+        predicted = self.fit.polynomial.evaluate(nv[:, None], nc[None, :])
+        error = np.abs(predicted - reference)
+        return float(error.mean()), float(error.std()), float(error.max())
+
+
+def characterize_pin(
+    spice: AnalyticalSpice,
+    cell: Cell,
+    pin: CellPin,
+    polarity: DrivePolarity,
+    space: Optional[ParameterSpace] = None,
+    n: int = 3,
+    subsample_factor: int = 4,
+    method: str = "auto",
+) -> PinCharacterization:
+    """Run the Fig. 1 flow (steps A–C) for a single pin/polarity entry.
+
+    Parameters
+    ----------
+    n:
+        Polynomial half-order N (polynomial order is 2·N).
+    subsample_factor:
+        Densification factor for step B; 1 disables sub-sampling.
+    """
+    space = space or ParameterSpace.paper_default()
+
+    # Step A: SPICE parameter sweep over the grid implied by the space.
+    voltages = _paper_like_voltages(space)
+    loads = _paper_like_loads(space)
+    grid = spice.sweep(cell, pin, polarity, voltages, loads)
+
+    # Normalization: deviations relative to the nominal-voltage row.
+    nominal_row = _nominal_row(grid, space.v_nom)
+    if np.any(nominal_row <= 0):
+        raise CharacterizationError(
+            f"{cell.name}/{pin.name}: non-positive nominal delay in sweep"
+        )
+    deviations = grid.delays / nominal_row[None, :] - 1.0
+    nv_axis = np.asarray(space.normalize_voltage(grid.voltages))
+    nc_axis = np.asarray(space.normalize_load(grid.loads))
+
+    # Step B: bilinear sub-sampling on the normalized grid.
+    base = GridInterpolator(nv_axis, nc_axis, deviations)
+    nv_dense, nc_dense, dense = subsample(base, subsample_factor)
+
+    # Step C: multivariable linear regression.
+    v_samples, c_samples = np.meshgrid(nv_dense, nc_dense, indexing="ij")
+    fit = fit_polynomial(v_samples, c_samples, dense, n=n, method=method)
+
+    return PinCharacterization(
+        cell_name=cell.name,
+        pin_name=pin.name,
+        pin_index=pin.index,
+        polarity=polarity,
+        space=space,
+        fit=fit,
+        reference=base,
+        nominal_delays=nominal_row,
+        sweep=grid,
+    )
+
+
+@dataclass(frozen=True)
+class CellCharacterization:
+    """All pin/polarity characterizations of one cell."""
+
+    cell: Cell
+    pins: Tuple[PinCharacterization, ...]
+    elapsed_seconds: float
+
+    def entry(self, pin_name: str, polarity: DrivePolarity) -> PinCharacterization:
+        for item in self.pins:
+            if item.pin_name == pin_name and item.polarity == polarity:
+                return item
+        raise KeyError(f"no characterization for {self.cell.name}/{pin_name}/{polarity.name}")
+
+    def worst_fit_error(self) -> float:
+        return max(item.fit.max_abs_error for item in self.pins)
+
+
+def characterize_cell(
+    spice: AnalyticalSpice,
+    cell: Cell,
+    space: Optional[ParameterSpace] = None,
+    n: int = 3,
+    subsample_factor: int = 4,
+    method: str = "auto",
+) -> CellCharacterization:
+    """Characterize every (pin, polarity) of a cell."""
+    start = time.perf_counter()
+    results: List[PinCharacterization] = []
+    for pin in sorted(cell.pins, key=lambda p: p.index):
+        for polarity in (DrivePolarity.RISE, DrivePolarity.FALL):
+            results.append(
+                characterize_pin(
+                    spice, cell, pin, polarity,
+                    space=space, n=n,
+                    subsample_factor=subsample_factor, method=method,
+                )
+            )
+    return CellCharacterization(
+        cell=cell,
+        pins=tuple(results),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class LibraryCharacterization:
+    """Characterization of a whole cell library (keyed by cell name)."""
+
+    library: CellLibrary
+    space: ParameterSpace
+    n: int
+    cells: Dict[str, CellCharacterization]
+
+    def entry(self, cell_name: str, pin_name: str, polarity: DrivePolarity) -> PinCharacterization:
+        return self.cells[cell_name].entry(pin_name, polarity)
+
+    def all_entries(self) -> Iterable[PinCharacterization]:
+        for cell_char in self.cells.values():
+            yield from cell_char.pins
+
+    def compile(self):
+        """Step D: compile into a :class:`~repro.core.delay_kernel.DelayKernelTable`."""
+        from repro.core.delay_kernel import DelayKernelTable
+
+        return DelayKernelTable.from_characterization(self)
+
+
+def characterize_library(
+    library: CellLibrary,
+    spice: Optional[AnalyticalSpice] = None,
+    space: Optional[ParameterSpace] = None,
+    n: int = 3,
+    subsample_factor: int = 4,
+    method: str = "auto",
+) -> LibraryCharacterization:
+    """Characterize every cell of a library (the full preprocessing pass)."""
+    spice = spice or AnalyticalSpice()
+    space = space or ParameterSpace.paper_default()
+    cells = {
+        cell.name: characterize_cell(
+            spice, cell, space=space, n=n,
+            subsample_factor=subsample_factor, method=method,
+        )
+        for cell in library
+    }
+    return LibraryCharacterization(library=library, space=space, n=n, cells=cells)
+
+
+# -- grid construction helpers ---------------------------------------------------
+
+
+def _paper_like_voltages(space: ParameterSpace, step: float = 0.05) -> np.ndarray:
+    """Voltage sweep points: ``step`` spacing, always including v_nom."""
+    count = int(round((space.v_max - space.v_min) / step)) + 1
+    voltages = np.linspace(space.v_min, space.v_max, count)
+    if not np.any(np.isclose(voltages, space.v_nom)):
+        voltages = np.sort(np.append(voltages, space.v_nom))
+    return voltages
+
+
+def _paper_like_loads(space: ParameterSpace) -> np.ndarray:
+    """Load sweep points: powers of two spanning the space."""
+    lo = np.log2(space.c_min)
+    hi = np.log2(space.c_max)
+    count = int(round(hi - lo)) + 1
+    return np.exp2(np.linspace(lo, hi, max(count, 2)))
+
+
+def _nominal_row(grid: DelayGrid, v_nom: float) -> np.ndarray:
+    """Delay row at the nominal voltage, interpolating when off-grid."""
+    idx = np.where(np.isclose(grid.voltages, v_nom))[0]
+    if idx.size:
+        return grid.delays[int(idx[0]), :].copy()
+    if not grid.voltages[0] <= v_nom <= grid.voltages[-1]:
+        raise CharacterizationError(
+            f"nominal voltage {v_nom} outside swept range "
+            f"[{grid.voltages[0]}, {grid.voltages[-1]}]"
+        )
+    return np.asarray(
+        [np.interp(v_nom, grid.voltages, grid.delays[:, j])
+         for j in range(len(grid.loads))]
+    )

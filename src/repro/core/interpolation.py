@@ -1,0 +1,139 @@
+"""Grid interpolation and sub-sampling (paper Fig. 1 step B).
+
+The SPICE sweep samples the operating-point space on a coarse grid (12
+voltages × 9 loads in the paper).  Before regression, *linear
+interpolation and sub-sampling on normalized data points* increases the
+density of the sample grid.  The same bilinear interpolator also serves
+as the *reference* against which the paper measures polynomial
+approximation error ("compared to a linear approximation of the SPICE
+results", Sec. V-A) — and, packaged as :class:`LutDelayModel`, as the
+conventional look-up-table delay model of Sec. II that the polynomial
+approach competes with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["GridInterpolator", "LutDelayModel", "subsample"]
+
+
+@dataclass(frozen=True)
+class GridInterpolator:
+    """Bilinear interpolation of values sampled on a rectilinear grid.
+
+    Axes are arbitrary strictly-increasing coordinates (the
+    characterization flow uses *normalized* coordinates, making the
+    power-of-two load axis equidistant).
+    """
+
+    x_axis: np.ndarray
+    y_axis: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x_axis, dtype=np.float64)
+        y = np.asarray(self.y_axis, dtype=np.float64)
+        z = np.asarray(self.values, dtype=np.float64)
+        if z.shape != (len(x), len(y)):
+            raise ValueError(
+                f"value grid {z.shape} does not match axes ({len(x)}, {len(y)})"
+            )
+        if len(x) < 2 or len(y) < 2:
+            raise ValueError("interpolation grid needs at least 2x2 samples")
+        if np.any(np.diff(x) <= 0) or np.any(np.diff(y) <= 0):
+            raise ValueError("grid axes must be strictly increasing")
+        object.__setattr__(self, "x_axis", x)
+        object.__setattr__(self, "y_axis", y)
+        object.__setattr__(self, "values", z)
+
+    def __call__(self, x, y):
+        """Interpolate at ``(x, y)``; scalars or broadcastable arrays.
+
+        Queries outside the grid are clamped to the boundary (flat
+        extrapolation), mirroring how LUT-based tools treat out-of-corner
+        parameters.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        scalar = np.ndim(x) == 0 and np.ndim(y) == 0
+        x_b, y_b = np.broadcast_arrays(x, y)
+
+        xi = np.clip(np.searchsorted(self.x_axis, x_b, side="right") - 1, 0,
+                     len(self.x_axis) - 2)
+        yi = np.clip(np.searchsorted(self.y_axis, y_b, side="right") - 1, 0,
+                     len(self.y_axis) - 2)
+
+        x0 = self.x_axis[xi]
+        x1 = self.x_axis[xi + 1]
+        y0 = self.y_axis[yi]
+        y1 = self.y_axis[yi + 1]
+        tx = np.clip((x_b - x0) / (x1 - x0), 0.0, 1.0)
+        ty = np.clip((y_b - y0) / (y1 - y0), 0.0, 1.0)
+
+        v00 = self.values[xi, yi]
+        v01 = self.values[xi, yi + 1]
+        v10 = self.values[xi + 1, yi]
+        v11 = self.values[xi + 1, yi + 1]
+        result = (
+            v00 * (1 - tx) * (1 - ty)
+            + v10 * tx * (1 - ty)
+            + v01 * (1 - tx) * ty
+            + v11 * tx * ty
+        )
+        return float(result) if scalar else result
+
+
+def subsample(interpolator: GridInterpolator, factor: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Densify a grid by bilinear sub-sampling (Fig. 1 step B).
+
+    Each original cell is split into ``factor`` sub-cells per axis.
+    Returns the new ``(x_axis, y_axis, values)`` with the original
+    samples preserved at their positions.
+    """
+    if factor < 1:
+        raise ValueError("subsample factor must be >= 1")
+    x_old = interpolator.x_axis
+    y_old = interpolator.y_axis
+    x_new = _densify(x_old, factor)
+    y_new = _densify(y_old, factor)
+    values = interpolator(x_new[:, None], y_new[None, :])
+    return x_new, y_new, values
+
+
+def _densify(axis: np.ndarray, factor: int) -> np.ndarray:
+    """Insert ``factor − 1`` equidistant points inside every axis segment."""
+    if factor == 1:
+        return axis.copy()
+    pieces = []
+    for left, right in zip(axis[:-1], axis[1:]):
+        pieces.append(np.linspace(left, right, factor, endpoint=False))
+    pieces.append(np.asarray([axis[-1]]))
+    return np.concatenate(pieces)
+
+
+class LutDelayModel:
+    """Conventional LUT delay model: bilinear interpolation of raw delays.
+
+    This is the Sec. II state-of-the-art comparator: per (cell, pin,
+    polarity) a table of absolute delays over parameter corners,
+    interpolated at simulation time.  It trades memory (full grid per
+    entry) for lookup cost, whereas the polynomial kernel stores
+    ``(N+1)²`` coefficients.
+    """
+
+    def __init__(self, voltages: np.ndarray, loads: np.ndarray, delays: np.ndarray) -> None:
+        # Interpolate linearly in (v, log2 c) like real liberty tables.
+        self._interp = GridInterpolator(
+            x_axis=np.asarray(voltages, dtype=np.float64),
+            y_axis=np.log2(np.asarray(loads, dtype=np.float64)),
+            values=np.asarray(delays, dtype=np.float64),
+        )
+        self.table_entries = self._interp.values.size
+
+    def delay(self, v, c):
+        """Absolute propagation delay at ``(v, c)`` in seconds."""
+        return self._interp(v, np.log2(np.asarray(c, dtype=np.float64)))

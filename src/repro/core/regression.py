@@ -1,0 +1,129 @@
+"""Multivariable linear regression for delay surfaces (paper Sec. III-C).
+
+Given ``m`` samples ``(v_k, c_k) → y_k`` (normalized predictors and
+relative delay deviations) the regression solves the ordinary
+least-squares problem
+
+    β̂ = argmin_β ‖y − X·β‖²₂                        (Eq. 7)
+
+by the normal equations
+
+    β̂ = (XᵀX)⁻¹ Xᵀ y                                (Eq. 8)
+
+with a numerically robust SVD-based ``lstsq`` fallback when XᵀX is badly
+conditioned (which happens for high orders with few samples).  An
+optional ridge term is provided for ablation studies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.polynomial import SurfacePolynomial, design_matrix
+from repro.errors import RegressionError
+
+__all__ = ["FitResult", "fit_polynomial"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted surface polynomial plus regression diagnostics.
+
+    Error statistics are computed on the *training* samples in deviation
+    units (i.e. fractions of the nominal delay; 0.01 means 1 % of d_nom).
+    """
+
+    polynomial: SurfacePolynomial
+    mean_abs_error: float
+    rms_error: float
+    max_abs_error: float
+    r_squared: float
+    condition_number: float
+    sample_count: int
+    solve_seconds: float
+    method: str
+
+    @property
+    def order(self) -> int:
+        return self.polynomial.order
+
+
+def fit_polynomial(
+    v: np.ndarray,
+    c: np.ndarray,
+    y: np.ndarray,
+    n: int,
+    method: str = "normal",
+    ridge: float = 0.0,
+) -> FitResult:
+    """Fit a half-order-``n`` surface polynomial to deviation samples.
+
+    Parameters
+    ----------
+    v, c:
+        Normalized predictor samples (``φ_V``, ``φ_C``), flattened.
+    y:
+        Relative delay deviations (``φ_D``), same length.
+    n:
+        Polynomial half-order N; the fitted polynomial has order ``2·N``
+        and ``(N+1)²`` coefficients.
+    method:
+        ``"normal"`` (paper Eq. 8), ``"lstsq"`` (SVD least squares) or
+        ``"auto"`` (normal equations with lstsq fallback).
+    ridge:
+        Optional Tikhonov regularization λ added as ``λ·I`` to XᵀX.
+    """
+    v = np.asarray(v, dtype=np.float64).ravel()
+    c = np.asarray(c, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if not (len(v) == len(c) == len(y)):
+        raise RegressionError("v, c and y must have equal sample counts")
+    num_coefficients = (n + 1) ** 2
+    if len(y) < num_coefficients:
+        raise RegressionError(
+            f"need at least {num_coefficients} samples for order 2*{n}, got {len(y)}"
+        )
+    if method not in ("normal", "lstsq", "auto"):
+        raise RegressionError(f"unknown regression method: {method!r}")
+
+    x_matrix = design_matrix(v, c, n)
+    start = time.perf_counter()
+    used = method
+    if method in ("normal", "auto"):
+        gram = x_matrix.T @ x_matrix
+        if ridge:
+            gram = gram + ridge * np.eye(num_coefficients)
+        rhs = x_matrix.T @ y
+        try:
+            beta = np.linalg.solve(gram, rhs)
+            used = "normal"
+        except np.linalg.LinAlgError:
+            if method == "normal":
+                raise RegressionError(
+                    "normal equations are singular; use method='auto' or 'lstsq'"
+                ) from None
+            beta, *_ = np.linalg.lstsq(x_matrix, y, rcond=None)
+            used = "lstsq"
+    else:
+        beta, *_ = np.linalg.lstsq(x_matrix, y, rcond=None)
+    solve_seconds = time.perf_counter() - start
+
+    residuals = y - x_matrix @ beta
+    abs_res = np.abs(residuals)
+    total_var = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - float(np.sum(residuals**2)) / total_var if total_var > 0 else 1.0
+    condition = float(np.linalg.cond(x_matrix))
+
+    return FitResult(
+        polynomial=SurfacePolynomial.from_vector(beta),
+        mean_abs_error=float(abs_res.mean()),
+        rms_error=float(np.sqrt(np.mean(residuals**2))),
+        max_abs_error=float(abs_res.max()),
+        r_squared=r_squared,
+        condition_number=condition,
+        sample_count=len(y),
+        solve_seconds=solve_seconds,
+        method=used,
+    )

@@ -1,0 +1,25 @@
+"""Analytical transistor-level delay modeling (the SPICE substitute).
+
+The paper extracts pin-to-pin propagation delays from commercial SPICE
+transient analyses of NanGate 15 nm cells.  Those decks are proprietary,
+so this package provides :class:`~repro.electrical.spice.AnalyticalSpice`,
+a drop-in "electrical simulator" built on the α-power-law MOSFET model the
+paper itself cites (Sakurai & Newton, ref. [16]) combined with the
+logical-effort delay decomposition (Eq. 2).  It produces smooth,
+non-polynomial (rational) delay surfaces ``d(v, c)`` per cell, pin and
+transition polarity — exactly the kind of data the regression pipeline of
+Sec. III has to approximate.
+"""
+
+from repro.electrical.alpha_power import AlphaPowerParams, time_constant
+from repro.electrical.model import ElectricalModel, TransistorCorner
+from repro.electrical.spice import AnalyticalSpice, DelayGrid
+
+__all__ = [
+    "AlphaPowerParams",
+    "time_constant",
+    "ElectricalModel",
+    "TransistorCorner",
+    "AnalyticalSpice",
+    "DelayGrid",
+]

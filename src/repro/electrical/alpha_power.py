@@ -1,0 +1,78 @@
+"""α-power-law MOSFET time constants (paper Eq. 1, ref. [16]).
+
+Sakurai and Newton's α-power law models the drain saturation current of a
+short-channel MOSFET as ``I_D ∝ (V_DD − V_th)^α`` with the velocity
+saturation index ``α ∈ [1, 2]``.  The time needed to (dis)charge a load
+through the transistor is then proportional to
+
+    τ(V_DD) = K · V_DD / (V_DD − V_th)^α
+
+which is the relation the paper quotes: the charge to move scales with
+``V_DD`` while the available current scales with ``(V_DD − V_th)^α``.
+This rational dependence on the supply voltage is what the polynomial
+delay kernels of Sec. III must approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["AlphaPowerParams", "time_constant"]
+
+
+@dataclass(frozen=True)
+class AlphaPowerParams:
+    """Parameters of one α-power-law time constant.
+
+    Attributes
+    ----------
+    k:
+        Proportionality constant in seconds; equals the time constant that
+        the bare ``v/(v−vth)^α`` factor is scaled by.
+    vth:
+        Effective threshold voltage in volts.
+    alpha:
+        Velocity-saturation index, between 1 (fully velocity saturated)
+        and 2 (long-channel square law).
+    """
+
+    k: float
+    vth: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ParameterError(f"alpha-power k must be positive, got {self.k}")
+        if not 0.0 <= self.vth < 2.0:
+            raise ParameterError(f"vth out of range: {self.vth}")
+        if not 0.5 <= self.alpha <= 2.5:
+            raise ParameterError(f"alpha out of range: {self.alpha}")
+
+    def __call__(self, v):
+        return time_constant(v, self)
+
+
+def time_constant(v, params: AlphaPowerParams):
+    """Evaluate ``τ(v) = k · v / (v − vth)^α``.
+
+    Accepts scalars or NumPy arrays.  Voltages at or below the threshold
+    have no meaningful saturation current; they raise
+    :class:`~repro.errors.ParameterError` because a simulation requesting
+    them indicates a mis-configured operating point, not a numerical
+    corner to clamp silently.
+    """
+    v_arr = np.asarray(v, dtype=np.float64)
+    overdrive = v_arr - params.vth
+    if np.any(overdrive <= 0):
+        raise ParameterError(
+            f"supply voltage {np.min(v_arr):.3f} V is at or below the "
+            f"effective threshold {params.vth:.3f} V"
+        )
+    tau = params.k * v_arr / np.power(overdrive, params.alpha)
+    if np.isscalar(v) or np.ndim(v) == 0:
+        return float(tau)
+    return tau

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class LibraryError(ReproError):
+    """Problems with standard-cell library definitions or lookups."""
+
+
+class UnknownCellError(LibraryError):
+    """A referenced cell type does not exist in the library."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown cell type: {name!r}")
+        self.name = name
+
+
+class CharacterizationError(ReproError):
+    """Failures in the offline cell characterization flow (Fig. 1)."""
+
+
+class RegressionError(CharacterizationError):
+    """The least-squares regression could not produce coefficients."""
+
+
+class ParameterError(ReproError):
+    """An operating point or parameter space is invalid or out of range."""
+
+
+class NetlistError(ReproError):
+    """Structural problems in a circuit netlist."""
+
+
+class ParseError(ReproError):
+    """A design-exchange file (.bench, Verilog, SDF, SPEF, …) is malformed."""
+
+    def __init__(self, message: str, *, filename: str = "<string>", line: int = 0) -> None:
+        location = f"{filename}:{line}: " if line else f"{filename}: "
+        super().__init__(location + message)
+        self.filename = filename
+        self.line = line
+
+
+class SimulationError(ReproError):
+    """Errors during time simulation."""
+
+
+class WaveformOverflowError(SimulationError):
+    """A packed waveform exceeded its transition capacity.
+
+    The GPU engine mirrors the paper's fixed per-slot waveform memory; when
+    a waveform produces more transitions than the configured capacity the
+    engine either grows the capacity (default) or raises this error when
+    growth is disabled.
+    """
+
+
+class TimingError(ReproError):
+    """Errors in static timing analysis or path enumeration."""
+
+
+class AtpgError(ReproError):
+    """Errors in test pattern generation."""

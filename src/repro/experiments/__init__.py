@@ -1,0 +1,17 @@
+"""Experiment harnesses regenerating every exhibit of the paper.
+
+One module per exhibit, each runnable as a script and importable as a
+function returning structured results:
+
+* ``python -m repro.experiments.fig4``   — polynomial-order error study
+* ``python -m repro.experiments.fig5``   — NOR2_X2 surface approximation
+* ``python -m repro.experiments.table1`` — simulation performance
+* ``python -m repro.experiments.table2`` — voltage-sweep arrival times
+
+``repro.experiments.paper_data`` holds the numbers printed in the paper
+so every run can report reproduction-vs-paper side by side.
+"""
+
+from repro.experiments.common import default_kernel_table, default_characterization
+
+__all__ = ["default_kernel_table", "default_characterization"]

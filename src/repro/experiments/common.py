@@ -1,0 +1,82 @@
+"""Shared experiment infrastructure: cached characterization, formatting."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.cells.library import CellLibrary
+from repro.cells.nangate15 import make_nangate15_library
+from repro.core.characterization import LibraryCharacterization, characterize_library
+from repro.core.delay_kernel import DelayKernelTable
+from repro.electrical.spice import AnalyticalSpice
+from repro.units import format_runtime, meps, si_format
+
+__all__ = [
+    "default_library",
+    "default_characterization",
+    "default_kernel_table",
+    "format_table",
+    "format_runtime",
+    "meps",
+    "si_format",
+]
+
+_LIBRARY: Optional[CellLibrary] = None
+_CHARACTERIZATIONS: Dict[int, LibraryCharacterization] = {}
+_TABLES: Dict[int, DelayKernelTable] = {}
+
+
+def default_library() -> CellLibrary:
+    """The NanGate-15nm-like library, built once per process."""
+    global _LIBRARY
+    if _LIBRARY is None:
+        _LIBRARY = make_nangate15_library()
+    return _LIBRARY
+
+
+def default_characterization(n: int = 3) -> LibraryCharacterization:
+    """Library characterization at half-order ``n``, cached per process."""
+    if n not in _CHARACTERIZATIONS:
+        _CHARACTERIZATIONS[n] = characterize_library(
+            default_library(), AnalyticalSpice(), n=n
+        )
+    return _CHARACTERIZATIONS[n]
+
+
+def default_kernel_table(n: int = 3) -> DelayKernelTable:
+    """Compiled delay kernels at half-order ``n``, cached per process."""
+    if n not in _TABLES:
+        _TABLES[n] = default_characterization(n).compile()
+    return _TABLES[n]
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table in the paper's layout style."""
+    columns = len(header)
+    widths = [len(str(header[i])) for i in range(columns)]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(header[i]).ljust(widths[i]) for i in range(columns)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(row[i]).rjust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+class Stopwatch:
+    """Tiny context-manager timer used across the harnesses."""
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start

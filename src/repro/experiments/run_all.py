@@ -1,0 +1,63 @@
+"""Run every paper exhibit in sequence: ``python -m repro.experiments.run_all``.
+
+Convenience driver for regenerating the full EXPERIMENTS.md record.
+Accepts the same ``--scale`` / ``--circuits`` knobs as the table
+harnesses; ``--quick`` selects a reduced configuration (three circuits,
+small scale) that finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import fig4, fig5, table1, table2
+from repro.experiments.workload import DEFAULT_SCALE
+
+__all__ = ["main"]
+
+QUICK_CIRCUITS = ("s38417", "b17", "p100k")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced circuit set and scale")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--circuits", nargs="+", default=None)
+    args = parser.parse_args(argv)
+
+    scale = args.scale
+    circuits = args.circuits
+    if args.quick:
+        scale = scale or 0.008
+        circuits = circuits or list(QUICK_CIRCUITS)
+    scale = scale or DEFAULT_SCALE
+
+    start = time.perf_counter()
+
+    print("=" * 72)
+    result4 = fig4.run()
+    print(fig4.format_result(result4))
+
+    print("\n" + "=" * 72)
+    result5 = fig5.run()
+    print(fig5.format_result(result5))
+
+    print("\n" + "=" * 72)
+    result1 = table1.run(circuits=circuits, scale=scale,
+                         ed_max_pairs=6, repeats=2)
+    print(table1.format_result(result1))
+
+    print("\n" + "=" * 72)
+    result2 = table2.run(circuits=circuits, scale=scale)
+    print(table2.format_result(result2))
+
+    print(f"\nall exhibits regenerated in "
+          f"{time.perf_counter() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Workload preparation shared by the Table I / Table II harnesses.
+
+For every suite circuit this builds the scaled synthetic netlist, the
+compiled simulation model and a transition-delay pattern set the way the
+paper's flow does: a transition-fault ATPG base set topped up with
+timing-aware patterns for the longest paths (small circuits), or random
+transition pairs when the circuit is too large for the pure-Python ATPG
+to stay in budget.  Results are cached per (name, scale) so the two
+table harnesses and the benchmarks share one preparation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.atpg.patterns import PatternSet, random_pattern_set
+from repro.atpg.path_patterns import generate_path_patterns
+from repro.atpg.transition_fault import generate_transition_patterns
+from repro.experiments.common import default_library
+from repro.netlist.circuit import Circuit
+from repro.netlist.suite import (
+    BENCHMARK_SUITE,
+    DEFAULT_SCALE,
+    build_suite_circuit,
+    scaled_pattern_count,
+)
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+
+__all__ = ["Workload", "prepare_workload", "DEFAULT_SCALE"]
+
+#: Run the full ATPG flow (fault-targeted + timing-aware) only below this
+#: gate count; larger stand-ins get random transition pairs.
+ATPG_GATE_LIMIT = 1500
+
+#: Longest paths targeted by the timing-aware top-up (paper: 200).
+PATH_TARGET = 200
+
+
+@dataclass
+class Workload:
+    """Everything the table harnesses need for one circuit."""
+
+    name: str
+    circuit: Circuit
+    compiled: CompiledCircuit
+    patterns: PatternSet
+    all_longest_paths_false: bool
+    atpg_used: bool
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def nodes(self) -> int:
+        return self.circuit.num_nodes
+
+
+_CACHE: Dict[Tuple[str, float], Workload] = {}
+
+
+def prepare_workload(name: str, scale: float = DEFAULT_SCALE,
+                     seed: int = 0) -> Workload:
+    """Build (or fetch the cached) workload for a suite circuit."""
+    key = (name, scale)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    entry = BENCHMARK_SUITE[name]
+    library = default_library()
+    circuit = build_suite_circuit(name, scale=scale)
+    compiled = compile_circuit(circuit, library)
+    target_pairs = scaled_pattern_count(name, scale=scale)
+
+    all_false = entry.false_paths_only
+    atpg_used = circuit.num_gates <= ATPG_GATE_LIMIT
+    if atpg_used:
+        patterns, _coverage = generate_transition_patterns(
+            circuit, library,
+            seed=seed + entry.seed,
+            max_pairs=target_pairs,
+            fault_sample=min(2000, 2 * circuit.num_nodes),
+        )
+        path_result = generate_path_patterns(
+            circuit, library,
+            k=min(PATH_TARGET, max(20, target_pairs)),
+            compiled=compiled,
+        )
+        all_false = path_result.all_false
+        patterns.extend(path_result.patterns)
+        if len(patterns) < target_pairs:
+            filler = random_pattern_set(
+                circuit, target_pairs - len(patterns), seed=seed + 1
+            )
+            patterns.extend(filler)
+    else:
+        patterns = random_pattern_set(circuit, target_pairs, seed=seed + entry.seed)
+
+    workload = Workload(
+        name=name,
+        circuit=circuit,
+        compiled=compiled,
+        patterns=patterns,
+        all_longest_paths_false=all_false,
+        atpg_used=atpg_used,
+    )
+    _CACHE[key] = workload
+    return workload

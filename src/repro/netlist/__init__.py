@@ -1,0 +1,46 @@
+"""Netlist substrate: circuit graphs, parsers, writers and generators."""
+
+from repro.netlist.circuit import Circuit, Gate
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.netlist.sdf import write_sdf, parse_sdf, SdfAnnotation
+from repro.netlist.spef import write_spef, parse_spef
+from repro.netlist.generate import (
+    random_circuit,
+    ripple_carry_adder,
+    array_multiplier,
+    parity_tree,
+    c17,
+)
+from repro.netlist.suite import BENCHMARK_SUITE, build_suite_circuit
+from repro.netlist.scan import ScanDesign, counter_bench, parse_scan_bench
+from repro.netlist.liberty import parse_liberty, write_liberty
+from repro.netlist.stats import CircuitStats, circuit_stats
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "parse_bench",
+    "write_bench",
+    "parse_verilog",
+    "write_verilog",
+    "write_sdf",
+    "parse_sdf",
+    "SdfAnnotation",
+    "write_spef",
+    "parse_spef",
+    "random_circuit",
+    "ripple_carry_adder",
+    "array_multiplier",
+    "parity_tree",
+    "c17",
+    "BENCHMARK_SUITE",
+    "build_suite_circuit",
+    "ScanDesign",
+    "counter_bench",
+    "parse_scan_bench",
+    "parse_liberty",
+    "write_liberty",
+    "CircuitStats",
+    "circuit_stats",
+]

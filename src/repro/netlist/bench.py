@@ -1,0 +1,202 @@
+"""ISCAS-89 ``.bench`` netlist reader and writer.
+
+The ``.bench`` format describes gate-level circuits as::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G17 = NOT(G10)
+
+The reader maps the generic bench gate types onto library cells
+(``NAND`` with two fanins → ``NAND2_X1`` …).  Gates with more fanins than
+the library supports are decomposed into balanced trees, exactly what a
+technology mapper would do.  ``DFF`` gates are handled the full-scan way
+the paper describes: the flip-flop is removed, its input becomes a
+primary (pseudo) output and its output a primary (pseudo) input.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ParseError
+from repro.netlist.circuit import Circuit
+
+__all__ = ["parse_bench", "write_bench"]
+
+#: bench gate type → (library family prefix, max native arity)
+_BENCH_FAMILIES: Dict[str, Tuple[str, int]] = {
+    "AND": ("AND", 4),
+    "OR": ("OR", 4),
+    "NAND": ("NAND", 4),
+    "NOR": ("NOR", 4),
+    "XOR": ("XOR", 2),
+    "XNOR": ("XNOR", 2),
+    "NOT": ("INV", 1),
+    "INV": ("INV", 1),
+    "BUF": ("BUF", 1),
+    "BUFF": ("BUF", 1),
+}
+
+_LINE_RE = re.compile(
+    r"^(?:(?P<decl>INPUT|OUTPUT)\s*\(\s*(?P<decl_net>[^)\s]+)\s*\)"
+    r"|(?P<out>\S+)\s*=\s*(?P<type>[A-Za-z]+)\s*\(\s*(?P<ins>[^)]*)\)\s*)$"
+)
+
+
+def _cell_name(family: str, arity: int, strength: int) -> str:
+    if family in ("INV", "BUF"):
+        return f"{family}_X{strength}"
+    if family in ("XOR", "XNOR"):
+        return f"{family}{arity}_X{strength}"
+    return f"{family}{arity}_X{strength}"
+
+
+def parse_bench(text: str, name: str = "bench", strength: int = 1,
+                filename: str = "<bench>") -> Circuit:
+    """Parse ``.bench`` text into a :class:`Circuit`.
+
+    Parameters
+    ----------
+    strength:
+        Drive strength used for all mapped cells.
+    """
+    circuit = Circuit(name)
+    gate_defs: List[Tuple[str, str, List[str], int]] = []  # out, type, ins, line
+    outputs: List[Tuple[str, int]] = []
+    scan_counter = 0
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise ParseError(f"unrecognized line: {raw.strip()!r}",
+                             filename=filename, line=line_no)
+        if match.group("decl"):
+            net = match.group("decl_net")
+            if match.group("decl") == "INPUT":
+                circuit.add_input(net)
+            else:
+                outputs.append((net, line_no))
+            continue
+        out = match.group("out")
+        gate_type = match.group("type").upper()
+        ins = [part.strip() for part in match.group("ins").split(",") if part.strip()]
+        gate_defs.append((out, gate_type, ins, line_no))
+
+    # Full-scan transformation for DFFs: Q-net becomes a pseudo input,
+    # D-net becomes a pseudo output.
+    kept: List[Tuple[str, str, List[str], int]] = []
+    for out, gate_type, ins, line_no in gate_defs:
+        if gate_type == "DFF":
+            if len(ins) != 1:
+                raise ParseError(f"DFF must have one input, got {len(ins)}",
+                                 filename=filename, line=line_no)
+            circuit.add_input(out)
+            outputs.append((ins[0], line_no))
+            scan_counter += 1
+        else:
+            kept.append((out, gate_type, ins, line_no))
+
+    counter = 0
+    for out, gate_type, ins, line_no in kept:
+        if gate_type not in _BENCH_FAMILIES:
+            raise ParseError(f"unknown bench gate type {gate_type!r}",
+                             filename=filename, line=line_no)
+        family, max_arity = _BENCH_FAMILIES[gate_type]
+        if family in ("INV", "BUF"):
+            if len(ins) != 1:
+                raise ParseError(
+                    f"{gate_type} must have one input, got {len(ins)}",
+                    filename=filename, line=line_no)
+            circuit.add_gate(f"g{counter}", _cell_name(family, 1, strength), ins, out)
+            counter += 1
+            continue
+        if len(ins) < 2:
+            raise ParseError(f"{gate_type} needs at least 2 inputs",
+                             filename=filename, line=line_no)
+        counter = _map_tree(circuit, family, max_arity, strength, ins, out, counter)
+
+    seen = set()
+    for net, line_no in outputs:
+        if net in seen:
+            continue
+        seen.add(net)
+        circuit.add_output(net)
+    return circuit
+
+
+def _map_tree(circuit: Circuit, family: str, max_arity: int, strength: int,
+              ins: Sequence[str], out: str, counter: int) -> int:
+    """Map a wide gate onto a balanced tree of native-arity cells.
+
+    For inverting families (NAND/NOR) the inner tree nodes use the
+    non-inverting base function (AND/OR) so the overall logic function is
+    preserved; only the root is inverting.
+    """
+    ins = list(ins)
+    inner_family = family
+    root_family = family
+    if family == "NAND":
+        inner_family = "AND"
+    elif family == "NOR":
+        inner_family = "OR"
+    elif family == "XNOR":
+        inner_family = "XOR"
+
+    while len(ins) > max_arity:
+        grouped: List[str] = []
+        index = 0
+        while index < len(ins):
+            chunk = ins[index:index + max_arity]
+            if len(chunk) == 1:
+                grouped.append(chunk[0])
+            else:
+                net = f"{out}__t{counter}"
+                circuit.add_gate(
+                    f"g{counter}",
+                    _cell_name(inner_family, len(chunk), strength),
+                    chunk,
+                    net,
+                )
+                counter += 1
+                grouped.append(net)
+            index += max_arity
+        ins = grouped
+    circuit.add_gate(f"g{counter}", _cell_name(root_family, len(ins), strength),
+                     ins, out)
+    return counter + 1
+
+
+# reverse mapping for the writer: family → bench type
+_FAMILY_TO_BENCH = {
+    "AND": "AND", "OR": "OR", "NAND": "NAND", "NOR": "NOR",
+    "XOR": "XOR", "XNOR": "XNOR", "INV": "NOT", "BUF": "BUFF",
+}
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text.
+
+    Only circuits built from simple families (no AOI/OAI/MUX) can be
+    expressed in bench; complex cells raise :class:`ParseError`.
+    """
+    lines = [f"# {circuit.name}"]
+    for net in circuit.inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({net})")
+    for gate in circuit.gates:
+        family = re.sub(r"\d*_X\d+$", "", gate.cell)
+        bench_type = _FAMILY_TO_BENCH.get(family)
+        if bench_type is None:
+            raise ParseError(
+                f"cell family {family!r} has no .bench equivalent "
+                f"(gate {gate.name})"
+            )
+        lines.append(f"{gate.output} = {bench_type}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,291 @@
+"""Combinational circuit graph with levelization (paper Fig. 2, step 1).
+
+A :class:`Circuit` is a directed acyclic graph of cell instances
+connected by named nets.  Following the paper's experimental setup, all
+circuits are purely combinational (sequential elements removed assuming
+full scan): primary inputs drive the graph, primary outputs observe nets.
+
+Levelization assigns every gate the length of the longest path from any
+primary input; all gates of one level are structurally independent and
+can be evaluated concurrently — the *vertical* dimension of the GPU
+thread grid (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cells.library import CellLibrary
+from repro.errors import NetlistError
+
+__all__ = ["Gate", "Circuit"]
+
+#: Default interconnect capacitance added per fanout branch (farads).
+#: Stands in for the SPEF wire parasitics of a routed design.
+WIRE_CAP_PER_FANOUT = 0.20e-15
+
+#: Capacitive load presented by a primary-output port.
+OUTPUT_PORT_CAP = 2.0e-15
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One cell instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name (``u42``).
+    cell:
+        Library cell-type name (``NAND2_X1``).
+    inputs:
+        Driven input nets in cell pin order.
+    output:
+        The net driven by this gate's output pin.
+    """
+
+    name: str
+    cell: str
+    inputs: Tuple[str, ...]
+    output: str
+
+
+class Circuit:
+    """A named combinational netlist.
+
+    Nets are identified by strings.  Every net has exactly one driver —
+    either a primary input or a gate output.  Gates are stored in
+    insertion order; :meth:`levelize` derives the level structure used by
+    the simulators.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.gates: List[Gate] = []
+        self._driver: Dict[str, Optional[Gate]] = {}
+        self._gate_index: Dict[str, int] = {}
+        self._levels: Optional[List[List[int]]] = None
+
+    # -- construction ------------------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input driving net ``net``."""
+        self._check_undriven(net)
+        self.inputs.append(net)
+        self._driver[net] = None
+        self._levels = None
+        return net
+
+    def add_gate(self, name: str, cell: str, inputs: Sequence[str], output: str) -> Gate:
+        """Instantiate a cell.
+
+        Input nets need not be driven yet (forward references are fine);
+        :meth:`validate` checks completeness.
+        """
+        if name in self._gate_index:
+            raise NetlistError(f"{self.name}: duplicate gate name {name!r}")
+        self._check_undriven(output)
+        gate = Gate(name=name, cell=cell, inputs=tuple(inputs), output=output)
+        self._gate_index[name] = len(self.gates)
+        self.gates.append(gate)
+        self._driver[output] = gate
+        self._levels = None
+        return gate
+
+    def add_output(self, net: str) -> str:
+        """Mark ``net`` as a primary output."""
+        if net in self.outputs:
+            raise NetlistError(f"{self.name}: duplicate output {net!r}")
+        self.outputs.append(net)
+        return net
+
+    def _check_undriven(self, net: str) -> None:
+        if net in self._driver:
+            raise NetlistError(f"{self.name}: net {net!r} already driven")
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count the way Table I counts: cells + inputs + outputs."""
+        return len(self.gates) + len(self.inputs) + len(self.outputs)
+
+    def nets(self) -> List[str]:
+        """All driven nets (inputs first, then gate outputs in order)."""
+        return list(self._driver)
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self.gates[self._gate_index[name]]
+        except KeyError:
+            raise NetlistError(f"{self.name}: no gate named {name!r}") from None
+
+    def driver(self, net: str) -> Optional[Gate]:
+        """The gate driving ``net``; ``None`` for primary inputs."""
+        try:
+            return self._driver[net]
+        except KeyError:
+            raise NetlistError(f"{self.name}: net {net!r} is undriven") from None
+
+    def is_input(self, net: str) -> bool:
+        return net in self._driver and self._driver[net] is None
+
+    def fanout(self) -> Dict[str, List[Tuple[Gate, int]]]:
+        """Map net → list of (sink gate, pin index) pairs."""
+        result: Dict[str, List[Tuple[Gate, int]]] = {net: [] for net in self._driver}
+        for gate in self.gates:
+            for pin_index, net in enumerate(gate.inputs):
+                if net not in result:
+                    raise NetlistError(
+                        f"{self.name}: gate {gate.name} reads undriven net {net!r}"
+                    )
+                result[net].append((gate, pin_index))
+        return result
+
+    # -- validation -------------------------------------------------------------------
+
+    def validate(self, library: Optional[CellLibrary] = None) -> None:
+        """Check structural well-formedness; raise :class:`NetlistError`.
+
+        With a library, also checks that every instance's cell exists and
+        its pin count matches the cell arity.
+        """
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in self._driver:
+                    raise NetlistError(
+                        f"{self.name}: gate {gate.name} reads undriven net {net!r}"
+                    )
+            if library is not None:
+                cell = library[gate.cell]
+                if cell.num_inputs != len(gate.inputs):
+                    raise NetlistError(
+                        f"{self.name}: gate {gate.name} connects "
+                        f"{len(gate.inputs)} nets to {cell.name} "
+                        f"({cell.num_inputs} pins)"
+                    )
+        for net in self.outputs:
+            if net not in self._driver:
+                raise NetlistError(f"{self.name}: output net {net!r} is undriven")
+        if not self.outputs:
+            raise NetlistError(f"{self.name}: circuit has no outputs")
+        self.levelize()  # raises on combinational cycles
+
+    # -- levelization --------------------------------------------------------------------
+
+    def levelize(self) -> List[List[int]]:
+        """Topological levels as lists of gate indices.
+
+        Level of a gate = 1 + max level of its input drivers; primary
+        inputs sit at level 0.  Cached until the circuit changes.
+        """
+        if self._levels is not None:
+            return self._levels
+        level_of_net: Dict[str, int] = {net: 0 for net in self.inputs}
+        indegree: Dict[int, int] = {}
+        sinks: Dict[str, List[int]] = {}
+        for index, gate in enumerate(self.gates):
+            pending = 0
+            for net in gate.inputs:
+                if self._driver.get(net) is not None:
+                    pending += 1
+                    sinks.setdefault(net, []).append(index)
+            indegree[index] = pending
+        ready = [i for i, d in indegree.items() if d == 0]
+        order: List[int] = []
+        gate_level: Dict[int, int] = {}
+        while ready:
+            next_ready: List[int] = []
+            for index in ready:
+                gate = self.gates[index]
+                level = 1 + max(
+                    (level_of_net.get(net, 0) for net in gate.inputs), default=0
+                )
+                gate_level[index] = level
+                level_of_net[gate.output] = level
+                order.append(index)
+                for sink in sinks.get(gate.output, ()):
+                    indegree[sink] -= 1
+                    if indegree[sink] == 0:
+                        next_ready.append(sink)
+            ready = next_ready
+        if len(order) != len(self.gates):
+            cyclic = [self.gates[i].name for i, d in indegree.items() if d > 0]
+            raise NetlistError(
+                f"{self.name}: combinational cycle involving {cyclic[:5]}"
+            )
+        depth = max(gate_level.values(), default=0)
+        levels: List[List[int]] = [[] for _ in range(depth)]
+        for index, level in gate_level.items():
+            levels[level - 1].append(index)
+        for bucket in levels:
+            bucket.sort()
+        self._levels = levels
+        return levels
+
+    @property
+    def depth(self) -> int:
+        """Logic depth: number of gate levels."""
+        return len(self.levelize())
+
+    def topological_gates(self) -> Iterator[Gate]:
+        """Gates in level order (a valid evaluation order)."""
+        for bucket in self.levelize():
+            for index in bucket:
+                yield self.gates[index]
+
+    # -- electrical annotation ------------------------------------------------------------
+
+    def net_loads(
+        self,
+        library: CellLibrary,
+        wire_cap_per_fanout: float = WIRE_CAP_PER_FANOUT,
+        output_port_cap: float = OUTPUT_PORT_CAP,
+    ) -> Dict[str, float]:
+        """Capacitive load of every net (the ``c`` parameter of its driver).
+
+        Load = Σ input capacitance of sink pins + wire capacitance per
+        fanout branch + port capacitance for primary outputs.  This
+        derives the same quantity a SPEF file would annotate.
+        """
+        fanout = self.fanout()
+        loads: Dict[str, float] = {}
+        output_set = set(self.outputs)
+        for net, sinks in fanout.items():
+            load = 0.0
+            for gate, pin_index in sinks:
+                cell = library[gate.cell]
+                load += cell.pins[pin_index].input_cap
+            load += wire_cap_per_fanout * len(sinks)
+            if net in output_set:
+                load += output_port_cap
+            if load == 0.0:
+                # Dangling internal net: model the minimum wire stub.
+                load = wire_cap_per_fanout
+            loads[net] = load
+        return loads
+
+    # -- misc -------------------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        clone = Circuit(name or self.name)
+        for net in self.inputs:
+            clone.add_input(net)
+        for gate in self.gates:
+            clone.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
+        for net in self.outputs:
+            clone.add_output(net)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Circuit({self.name!r}, {len(self.inputs)} inputs, "
+            f"{len(self.gates)} gates, {len(self.outputs)} outputs)"
+        )

@@ -1,0 +1,396 @@
+"""Synthetic circuit generators.
+
+The paper evaluates on ISCAS'89 / ITC'99 / industrial netlists synthesized
+with a commercial flow.  Those netlists (and the flow) are proprietary,
+so this module generates deterministic synthetic circuits with controlled
+node count, logic depth and fanout distribution:
+
+* :func:`random_circuit` — technology-mapped-looking random DAGs, the
+  workhorse behind the scaled benchmark suite of Table I/II,
+* :func:`ripple_carry_adder`, :func:`array_multiplier`,
+  :func:`parity_tree` — structured arithmetic blocks with long, real
+  sensitizable paths (useful for timing-aware ATPG tests),
+* :func:`c17` — the classic ISCAS'85 c17, embedded as ``.bench`` text.
+
+All generators are pure functions of their arguments (seeded PRNG), so
+every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "random_circuit",
+    "ripple_carry_adder",
+    "array_multiplier",
+    "parity_tree",
+    "decoder",
+    "equality_comparator",
+    "barrel_shifter",
+    "c17",
+]
+
+#: Families eligible for random mapping, keyed by arity.
+_FAMILIES_BY_ARITY = {
+    1: ("INV", "BUF"),
+    2: ("NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2"),
+    3: ("NAND3", "NOR3", "AND3", "OR3", "AOI21", "OAI21", "MUX2"),
+    4: ("NAND4", "NOR4", "AND4", "OR4", "AOI22", "OAI22"),
+}
+
+#: Arity mix of a typical mapped design: dominated by 2-input cells.
+_ARITY_WEIGHTS = ((1, 18), (2, 58), (3, 16), (4, 8))
+
+#: Drive strength mix: weaker cells dominate.
+_STRENGTH_WEIGHTS = ((1, 60), (2, 30), (4, 10))
+
+
+def random_circuit(
+    name: str,
+    num_inputs: int,
+    num_gates: int,
+    seed: int = 0,
+    target_depth: Optional[int] = None,
+    strengths: Sequence[int] = (1, 2, 4),
+) -> Circuit:
+    """Generate a random technology-mapped combinational circuit.
+
+    Parameters
+    ----------
+    num_inputs:
+        Number of primary inputs.
+    num_gates:
+        Number of cell instances.
+    target_depth:
+        Approximate logic depth; default scales with circuit size like
+        synthesized designs do (≈ 12·log₂(gates)).
+    strengths:
+        Allowed drive strengths (subset of 1/2/4).
+
+    Every net left without fanout becomes a primary output, so the
+    generated circuit has no dangling logic.
+    """
+    if num_inputs < 2:
+        raise ValueError("need at least 2 primary inputs")
+    if num_gates < 1:
+        raise ValueError("need at least 1 gate")
+    rng = random.Random(seed)
+    circuit = Circuit(name)
+    nets: List[str] = []
+    for index in range(num_inputs):
+        nets.append(circuit.add_input(f"i{index}"))
+
+    if target_depth is None:
+        target_depth = max(10, 5 * max(num_gates, 2).bit_length())
+    # Mean look-back window so depth comes out near the target.  With an
+    # exponential look-back of mean L, roughly every 4th gate lands on the
+    # current frontier and deepens it, hence the factor 4 (calibrated
+    # empirically; see tests/netlist/test_generate.py).
+    locality = max(2.0, 4.0 * num_gates / float(target_depth))
+
+    arities = [a for a, w in _ARITY_WEIGHTS for _ in range(w)]
+    strength_pool = [s for s, w in _STRENGTH_WEIGHTS if s in strengths
+                     for _ in range(w)]
+    if not strength_pool:
+        raise ValueError(f"no usable strengths in {strengths}")
+
+    # Nets not yet consumed by any gate.  Preferring them as inputs keeps
+    # the sink count (and hence the primary-output count) realistically
+    # small, like a synthesized netlist where almost every cell's output
+    # is used downstream.  The list uses lazy deletion with periodic
+    # compaction so each pick stays O(1) amortized.
+    unconsumed_list: List[str] = list(nets)
+    unconsumed_set = set(nets)
+
+    def pick_unconsumed(back: int) -> Optional[str]:
+        position = max(0, len(unconsumed_list) - 1 - back)
+        while position >= 0 and unconsumed_list[position] not in unconsumed_set:
+            position -= 1
+        return unconsumed_list[position] if position >= 0 else None
+
+    for index in range(num_gates):
+        arity = min(rng.choice(arities), len(nets))
+        family = rng.choice(_FAMILIES_BY_ARITY[arity])
+        strength = rng.choice(strength_pool)
+        chosen: List[str] = []
+        attempts = 0
+        while len(chosen) < arity and attempts < 64:
+            attempts += 1
+            back = int(rng.expovariate(1.0 / locality))
+            net = None
+            if unconsumed_set and rng.random() < 0.7:
+                net = pick_unconsumed(back)
+            if net is None:
+                net = nets[max(0, len(nets) - 1 - back)]
+            if net not in chosen:
+                chosen.append(net)
+        if len(chosen) < arity:  # tiny pools: fall back to uniform sampling
+            remaining = [net for net in nets if net not in chosen]
+            chosen.extend(rng.sample(remaining, arity - len(chosen)))
+        unconsumed_set.difference_update(chosen)
+        if len(unconsumed_list) > 2 * len(unconsumed_set) + 16:
+            unconsumed_list = [n for n in unconsumed_list if n in unconsumed_set]
+        output = f"n{index}"
+        circuit.add_gate(f"g{index}", f"{family}_X{strength}", chosen, output)
+        nets.append(output)
+        unconsumed_list.append(output)
+        unconsumed_set.add(output)
+
+    fanout = circuit.fanout()
+    sinks = [net for net, readers in fanout.items() if not readers]
+    for net in sinks:
+        circuit.add_output(net)
+    if not circuit.outputs:
+        circuit.add_output(nets[-1])
+    return circuit
+
+
+def ripple_carry_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """A ``width``-bit ripple-carry adder (5 cells per full adder).
+
+    Inputs ``a<i>``, ``b<i>``, ``cin``; outputs ``s<i>`` and ``cout``.
+    The carry chain is the classic long true path for timing validation.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"rca{width}")
+    a = [circuit.add_input(f"a{i}") for i in range(width)]
+    b = [circuit.add_input(f"b{i}") for i in range(width)]
+    carry = circuit.add_input("cin")
+    counter = 0
+
+    def gate(cell: str, ins: List[str], out: str) -> str:
+        nonlocal counter
+        circuit.add_gate(f"g{counter}", cell, ins, out)
+        counter += 1
+        return out
+
+    for i in range(width):
+        half = gate("XOR2_X1", [a[i], b[i]], f"hx{i}")
+        gate("XOR2_X1", [half, carry], f"s{i}")
+        circuit.add_output(f"s{i}")
+        generate = gate("AND2_X1", [a[i], b[i]], f"gn{i}")
+        propagate = gate("AND2_X1", [half, carry], f"pp{i}")
+        carry = gate("OR2_X1", [generate, propagate], f"c{i}")
+    circuit.add_output(carry)
+    return circuit
+
+
+def array_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """A ``width × width`` unsigned array multiplier.
+
+    Built from AND2 partial products and carry-save full-adder rows;
+    produces ``2·width`` product bits ``p<i>``.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    circuit = Circuit(name or f"mul{width}")
+    a = [circuit.add_input(f"a{i}") for i in range(width)]
+    b = [circuit.add_input(f"b{i}") for i in range(width)]
+    counter = 0
+
+    def gate(cell: str, ins: List[str], out_hint: str) -> str:
+        nonlocal counter
+        out = f"{out_hint}_{counter}"
+        circuit.add_gate(f"g{counter}", cell, ins, out)
+        counter += 1
+        return out
+
+    def full_adder(x: str, y: str, z: str):
+        half = gate("XOR2_X1", [x, y], "fx")
+        total = gate("XOR2_X1", [half, z], "fs")
+        g1 = gate("AND2_X1", [x, y], "fg")
+        g2 = gate("AND2_X1", [half, z], "fp")
+        carry = gate("OR2_X1", [g1, g2], "fc")
+        return total, carry
+
+    def half_adder(x: str, y: str):
+        total = gate("XOR2_X1", [x, y], "hs")
+        carry = gate("AND2_X1", [x, y], "hc")
+        return total, carry
+
+    # Column-wise carry-save reduction of the partial-product matrix.
+    columns: List[List[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(gate("AND2_X1", [a[i], b[j]], f"pp{i}_{j}"))
+
+    product: List[str] = []
+    for col in range(2 * width):
+        bits = columns[col]
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                total, carry = full_adder(bits.pop(), bits.pop(), bits.pop())
+            else:
+                total, carry = half_adder(bits.pop(), bits.pop())
+            bits.append(total)
+            if col + 1 < 2 * width:
+                columns[col + 1].append(carry)
+        product.append(bits[0] if bits else None)
+
+    for index, net in enumerate(product):
+        if net is None:
+            continue
+        out = f"p{index}"
+        circuit.add_gate(f"g{counter}", "BUF_X1", [net], out)
+        counter += 1
+        circuit.add_output(out)
+    return circuit
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """A balanced XOR parity tree over ``width`` inputs."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    circuit = Circuit(name or f"parity{width}")
+    level = [circuit.add_input(f"i{index}") for index in range(width)]
+    counter = 0
+    while len(level) > 1:
+        nxt: List[str] = []
+        for index in range(0, len(level) - 1, 2):
+            out = f"x{counter}"
+            circuit.add_gate(f"g{counter}", "XOR2_X1",
+                             [level[index], level[index + 1]], out)
+            counter += 1
+            nxt.append(out)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    circuit.add_gate(f"g{counter}", "BUF_X1", [level[0]], "parity")
+    circuit.add_output("parity")
+    return circuit
+
+
+def decoder(bits: int, name: Optional[str] = None) -> Circuit:
+    """An n-to-2ⁿ decoder: output ``d<k>`` is 1 iff the input equals k.
+
+    Built from per-input true/complement rails and AND trees — wide
+    fanout on the input rails, shallow depth: the structural opposite of
+    the adder's carry chain, useful for fanout-stress tests.
+    """
+    if not 1 <= bits <= 8:
+        raise ValueError("decoder supports 1..8 select bits")
+    circuit = Circuit(name or f"dec{bits}")
+    inputs = [circuit.add_input(f"s{i}") for i in range(bits)]
+    counter = 0
+
+    def gate(cell: str, ins: List[str], out: str) -> str:
+        nonlocal counter
+        circuit.add_gate(f"g{counter}", cell, ins, out)
+        counter += 1
+        return out
+
+    complements = [gate("INV_X1", [net], f"ns{i}")
+                   for i, net in enumerate(inputs)]
+    for value in range(1 << bits):
+        rails = [inputs[i] if (value >> i) & 1 else complements[i]
+                 for i in range(bits)]
+        while len(rails) > 1:
+            grouped = []
+            for index in range(0, len(rails) - 1, 2):
+                grouped.append(gate("AND2_X1", rails[index:index + 2],
+                                    f"d{value}_t{counter}"))
+            if len(rails) % 2:
+                grouped.append(rails[-1])
+            rails = grouped
+        gate("BUF_X1", [rails[0]], f"d{value}")
+        circuit.add_output(f"d{value}")
+    return circuit
+
+
+def equality_comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """A ``width``-bit equality comparator: ``eq = (a == b)``.
+
+    XNOR per bit position followed by a balanced AND tree.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"cmp{width}")
+    a = [circuit.add_input(f"a{i}") for i in range(width)]
+    b = [circuit.add_input(f"b{i}") for i in range(width)]
+    counter = 0
+
+    def gate(cell: str, ins: List[str], out: str) -> str:
+        nonlocal counter
+        circuit.add_gate(f"g{counter}", cell, ins, out)
+        counter += 1
+        return out
+
+    level = [gate("XNOR2_X1", [a[i], b[i]], f"x{i}") for i in range(width)]
+    while len(level) > 1:
+        grouped = []
+        for index in range(0, len(level) - 1, 2):
+            grouped.append(gate("AND2_X1", level[index:index + 2],
+                                f"t{counter}"))
+        if len(level) % 2:
+            grouped.append(level[-1])
+        level = grouped
+    gate("BUF_X1", [level[0]], "eq")
+    circuit.add_output("eq")
+    return circuit
+
+
+def barrel_shifter(width: int, name: Optional[str] = None) -> Circuit:
+    """A logarithmic left barrel shifter built from MUX2 cells.
+
+    Inputs ``d<i>`` (data) and ``s<k>`` (shift amount bits); outputs
+    ``q<i> = d[(i - shift) mod width]`` — a rotate-left by ``shift``.
+    Exercises the binate select pins of the mux cells.
+    """
+    if width < 2 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 2")
+    circuit = Circuit(name or f"bshift{width}")
+    data = [circuit.add_input(f"d{i}") for i in range(width)]
+    stages = width.bit_length() - 1
+    selects = [circuit.add_input(f"s{k}") for k in range(stages)]
+    counter = 0
+
+    current = data
+    for stage in range(stages):
+        amount = 1 << stage
+        nxt: List[str] = []
+        for i in range(width):
+            out = f"m{stage}_{i}"
+            # MUX2 pins (A, B, S): S=0 -> A (no shift), S=1 -> B (shifted)
+            circuit.add_gate(
+                f"g{counter}", "MUX2_X1",
+                [current[i], current[(i - amount) % width], selects[stage]],
+                out,
+            )
+            counter += 1
+            nxt.append(out)
+        current = nxt
+    for i, net in enumerate(current):
+        out = f"q{i}"
+        circuit.add_gate(f"g{counter}", "BUF_X1", [net], out)
+        counter += 1
+        circuit.add_output(out)
+    return circuit
+
+
+_C17_BENCH = """\
+# c17 (ISCAS'85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Circuit:
+    """The ISCAS'85 c17 benchmark (6 NAND2 gates)."""
+    return parse_bench(_C17_BENCH, name="c17")

@@ -1,0 +1,198 @@
+"""Full-scan designs: the sequential wrapper around the combinational core.
+
+The paper's benchmarks are sequential designs with "all sequential
+elements removed assuming full scan".  This module keeps the removed
+information: which pseudo primary input (a flip-flop's Q) pairs with
+which pseudo primary output (its D), in scan-chain order.  That is what
+turns the combinational core back into a *testable sequential design*:
+
+* **launch-on-capture (LOC)** — scan in a state, pulse the clock twice:
+  the first capture computes the next state, whose update launches the
+  transitions of the second cycle.  ``v1 = (PI, S)``,
+  ``v2 = (PI, nextstate(PI, S))`` — exactly the broadside transition
+  pattern pairs the paper's ATPG produces.
+* **launch-on-shift (LOS)** — the last shift of the scan chain launches:
+  ``v2``'s state is ``v1``'s state shifted by one position with a new
+  scan-in bit.
+
+Both constructions yield ordinary :class:`PatternPair` objects, so every
+simulator and analysis in this library applies unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.errors import NetlistError, ParseError
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+from repro.simulation.base import PatternPair
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+__all__ = ["ScanDesign", "parse_scan_bench", "counter_bench"]
+
+_DFF_RE = re.compile(r"^\s*(?P<q>\S+)\s*=\s*DFF\s*\(\s*(?P<d>[^)\s]+)\s*\)\s*$")
+
+
+@dataclass
+class ScanDesign:
+    """A combinational core plus its scan-chain bookkeeping.
+
+    Attributes
+    ----------
+    core:
+        The full-scan-transformed combinational circuit (flop Q nets are
+        pseudo primary inputs, D nets pseudo primary outputs).
+    flops:
+        ``(q_net, d_net)`` per flip-flop, in scan-chain order.
+    """
+
+    core: Circuit
+    flops: List[Tuple[str, str]]
+
+    def __post_init__(self) -> None:
+        inputs = set(self.core.inputs)
+        outputs = set(self.core.outputs)
+        for q_net, d_net in self.flops:
+            if q_net not in inputs:
+                raise NetlistError(f"flop Q net {q_net!r} is not a core input")
+            if d_net not in outputs:
+                raise NetlistError(f"flop D net {d_net!r} is not a core output")
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def num_flops(self) -> int:
+        return len(self.flops)
+
+    @property
+    def primary_inputs(self) -> List[str]:
+        """True PIs (core inputs that are not flop Q nets)."""
+        pseudo = {q for q, _ in self.flops}
+        return [net for net in self.core.inputs if net not in pseudo]
+
+    @property
+    def primary_outputs(self) -> List[str]:
+        """True POs (core outputs that are not flop D nets)."""
+        pseudo = {d for _, d in self.flops}
+        return [net for net in self.core.outputs if net not in pseudo]
+
+    # -- vector packing --------------------------------------------------------------
+
+    def pack(self, pi_bits: np.ndarray, state_bits: np.ndarray) -> np.ndarray:
+        """Assemble a full core input vector from PI bits + scan state."""
+        pi_bits = np.asarray(pi_bits, dtype=np.uint8)
+        state_bits = np.asarray(state_bits, dtype=np.uint8)
+        if pi_bits.size != len(self.primary_inputs):
+            raise NetlistError(
+                f"expected {len(self.primary_inputs)} PI bits, "
+                f"got {pi_bits.size}")
+        if state_bits.size != self.num_flops:
+            raise NetlistError(
+                f"expected {self.num_flops} state bits, got {state_bits.size}")
+        by_net: Dict[str, int] = {}
+        for net, bit in zip(self.primary_inputs, pi_bits):
+            by_net[net] = int(bit)
+        for (q_net, _), bit in zip(self.flops, state_bits):
+            by_net[q_net] = int(bit)
+        return np.asarray([by_net[net] for net in self.core.inputs],
+                          dtype=np.uint8)
+
+    def next_state(self, simulator: ZeroDelaySimulator,
+                   pi_bits: np.ndarray, state_bits: np.ndarray) -> np.ndarray:
+        """The state captured after one functional clock."""
+        vector = self.pack(pi_bits, state_bits)[None, :]
+        d_nets = [d for _, d in self.flops]
+        values = simulator.evaluate(vector, nets=d_nets)
+        return np.asarray([values[d][0] for d in d_nets], dtype=np.uint8)
+
+    # -- pattern construction -----------------------------------------------------------
+
+    def launch_on_capture(self, simulator: ZeroDelaySimulator,
+                          pi_bits: np.ndarray,
+                          state_bits: np.ndarray) -> PatternPair:
+        """Broadside (LOC) transition pattern pair from one scan state."""
+        state2 = self.next_state(simulator, pi_bits, state_bits)
+        return PatternPair(
+            v1=self.pack(pi_bits, state_bits),
+            v2=self.pack(pi_bits, state2),
+        )
+
+    def launch_on_shift(self, pi_bits: np.ndarray, state_bits: np.ndarray,
+                        scan_in: int) -> PatternPair:
+        """Skewed-load (LOS) pair: the launch is the last shift.
+
+        The chain shifts toward higher positions: flop ``k`` receives
+        flop ``k−1``'s value, flop 0 receives ``scan_in``.
+        """
+        state_bits = np.asarray(state_bits, dtype=np.uint8)
+        if state_bits.size != self.num_flops:
+            raise NetlistError("state width mismatch")
+        shifted = np.empty_like(state_bits)
+        shifted[0] = scan_in
+        shifted[1:] = state_bits[:-1]
+        return PatternPair(
+            v1=self.pack(pi_bits, state_bits),
+            v2=self.pack(pi_bits, shifted),
+        )
+
+    def random_loc_patterns(self, library: CellLibrary, count: int,
+                            seed: int = 0) -> List[PatternPair]:
+        """Random-state LOC pattern pairs (the functional launch set)."""
+        simulator = ZeroDelaySimulator(self.core, library)
+        rng = np.random.default_rng(seed)
+        pairs: List[PatternPair] = []
+        for _ in range(count):
+            pi_bits = rng.integers(0, 2, size=len(self.primary_inputs),
+                                   dtype=np.uint8)
+            state = rng.integers(0, 2, size=self.num_flops, dtype=np.uint8)
+            pairs.append(self.launch_on_capture(simulator, pi_bits, state))
+        return pairs
+
+
+def parse_scan_bench(text: str, name: str = "bench",
+                     strength: int = 1) -> ScanDesign:
+    """Parse a sequential ``.bench`` and keep the scan bookkeeping.
+
+    The combinational core is produced by the ordinary full-scan
+    transform of :func:`repro.netlist.bench.parse_bench`; additionally
+    every ``q = DFF(d)`` line is recorded as a ``(q, d)`` scan-chain
+    element (chain order = appearance order).
+    """
+    flops: List[Tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        match = _DFF_RE.match(line)
+        if match:
+            flops.append((match.group("q"), match.group("d")))
+    core = parse_bench(text, name=name, strength=strength)
+    if not flops:
+        raise ParseError("no DFFs found; use parse_bench for combinational designs")
+    return ScanDesign(core=core, flops=flops)
+
+
+def counter_bench(bits: int) -> str:
+    """``.bench`` text of an up-counter with enable (a sequential DUT).
+
+    ``count[k] <= count[k] XOR carry[k]`` with ``carry[0] = en`` and
+    ``carry[k] = carry[k−1] AND count[k−1]``.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    lines = ["# up-counter", "INPUT(en)"]
+    for k in range(bits):
+        lines.append(f"OUTPUT(out{k})")
+    for k in range(bits):
+        lines.append(f"q{k} = DFF(d{k})")
+    lines.append("carry0 = BUFF(en)")
+    for k in range(1, bits):
+        lines.append(f"carry{k} = AND(carry{k-1}, q{k-1})")
+    for k in range(bits):
+        lines.append(f"d{k} = XOR(q{k}, carry{k})")
+        lines.append(f"out{k} = BUFF(q{k})")
+    return "\n".join(lines) + "\n"

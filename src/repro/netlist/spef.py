@@ -1,0 +1,95 @@
+"""SPEF-style parasitics: per-net total load capacitance.
+
+The paper reads gate load capacitances from *detailed standard parasitics
+format* files.  This module writes and parses the subset the simulator
+consumes — the total capacitance seen by each net's driver — in a SPEF-
+like syntax with a name map and ``*D_NET`` records::
+
+    *SPEF "IEEE 1481"
+    *DESIGN "s27"
+    *C_UNIT 1 FF
+
+    *NAME_MAP
+    *1 n1
+    *2 n2
+
+    *D_NET *1 3.85
+    *D_NET *2 1.20
+    *END
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from repro.errors import ParseError
+from repro.netlist.circuit import Circuit
+from repro.units import FF
+
+__all__ = ["write_spef", "parse_spef"]
+
+
+def write_spef(circuit: Circuit, loads: Dict[str, float]) -> str:
+    """Serialize net loads (farads) as SPEF-like text (capacitances in fF)."""
+    lines = [
+        '*SPEF "IEEE 1481"',
+        f'*DESIGN "{circuit.name}"',
+        "*C_UNIT 1 FF",
+        "",
+        "*NAME_MAP",
+    ]
+    nets = list(loads)
+    for index, net in enumerate(nets, start=1):
+        lines.append(f"*{index} {net}")
+    lines.append("")
+    for index, net in enumerate(nets, start=1):
+        lines.append(f"*D_NET *{index} {loads[net] / FF:.6f}")
+    lines.append("*END")
+    return "\n".join(lines) + "\n"
+
+
+_NAME_RE = re.compile(r"^\*(\d+)\s+(\S+)$")
+_DNET_RE = re.compile(r"^\*D_NET\s+\*(\d+)\s+([\d.eE+-]+)$")
+_CUNIT_RE = re.compile(r"^\*C_UNIT\s+([\d.eE+-]+)\s+(FF|PF|NF)$", re.I)
+
+_CAP_SCALES = {"FF": 1e-15, "PF": 1e-12, "NF": 1e-9}
+
+
+def parse_spef(text: str, filename: str = "<spef>") -> Dict[str, float]:
+    """Parse SPEF-like text back into a net → load (farads) mapping."""
+    if "*SPEF" not in text:
+        raise ParseError("not a SPEF file (missing *SPEF)", filename=filename)
+    name_map: Dict[str, str] = {}
+    loads: Dict[str, float] = {}
+    scale = FF
+    in_name_map = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        unit = _CUNIT_RE.match(line)
+        if unit:
+            scale = _CAP_SCALES[unit.group(2).upper()] * float(unit.group(1))
+            continue
+        if line == "*NAME_MAP":
+            in_name_map = True
+            continue
+        if line == "*END":
+            break
+        dnet = _DNET_RE.match(line)
+        if dnet:
+            in_name_map = False
+            index, value = dnet.groups()
+            if index not in name_map:
+                raise ParseError(f"*D_NET references unmapped index *{index}",
+                                 filename=filename, line=line_no)
+            loads[name_map[index]] = float(value) * scale
+            continue
+        if in_name_map:
+            named = _NAME_RE.match(line)
+            if not named:
+                raise ParseError(f"bad name-map entry {line!r}",
+                                 filename=filename, line=line_no)
+            name_map[named.group(1)] = named.group(2)
+    return loads

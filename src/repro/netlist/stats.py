@@ -1,0 +1,61 @@
+"""Circuit statistics (Table I columns 1–2 and general reporting)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["CircuitStats", "circuit_stats"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of a circuit.
+
+    ``nodes`` counts cells + primary inputs + primary outputs, matching
+    how Table I reports circuit size.
+    """
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    nodes: int
+    depth: int
+    max_fanout: int
+    avg_fanout: float
+    avg_fanin: float
+    cells_by_family: Dict[str, int]
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.nodes} nodes ({self.num_inputs} PI, "
+            f"{self.num_gates} cells, {self.num_outputs} PO), "
+            f"depth {self.depth}, max fanout {self.max_fanout}"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for a circuit."""
+    fanout = circuit.fanout()
+    fanout_counts = [len(readers) for readers in fanout.values()]
+    fanin_counts = [len(gate.inputs) for gate in circuit.gates]
+    families: Counter = Counter()
+    for gate in circuit.gates:
+        family = gate.cell.rsplit("_X", 1)[0]
+        families[family] += 1
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=len(circuit.inputs),
+        num_outputs=len(circuit.outputs),
+        num_gates=circuit.num_gates,
+        nodes=circuit.num_nodes,
+        depth=circuit.depth,
+        max_fanout=max(fanout_counts, default=0),
+        avg_fanout=(sum(fanout_counts) / len(fanout_counts)) if fanout_counts else 0.0,
+        avg_fanin=(sum(fanin_counts) / len(fanin_counts)) if fanin_counts else 0.0,
+        cells_by_family=dict(families),
+    )

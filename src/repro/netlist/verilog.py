@@ -1,0 +1,129 @@
+"""Minimal structural Verilog reader and writer.
+
+Supports the single-module, named-port-connection netlist style that
+synthesis tools emit::
+
+    module s27 (G0, G1, G17);
+      input G0, G1;
+      output G17;
+      wire n1, n2;
+
+      NAND2_X1 u1 (.A1(G0), .A2(G1), .ZN(n1));
+      INV_X2   u2 (.A(n1), .ZN(G17));
+    endmodule
+
+Pin names are resolved against a cell library so instances can list
+connections in any order.  Behavioral constructs are rejected.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.cells.library import CellLibrary
+from repro.errors import ParseError
+from repro.netlist.circuit import Circuit
+
+__all__ = ["parse_verilog", "write_verilog"]
+
+_MODULE_RE = re.compile(r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.S)
+_DECL_RE = re.compile(r"(?P<kind>input|output|wire)\s+(?P<nets>[^;]+);")
+_INSTANCE_RE = re.compile(
+    r"(?P<cell>\w+)\s+(?P<inst>\w+)\s*\(\s*(?P<conns>\.[^;]*)\)\s*;", re.S
+)
+_CONN_RE = re.compile(r"\.\s*(?P<pin>\w+)\s*\(\s*(?P<net>[\w\[\]\.]*)\s*\)")
+_RANGE_RE = re.compile(r"\[\s*\d+\s*:\s*\d+\s*\]")
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return text
+
+
+def parse_verilog(text: str, library: CellLibrary,
+                  filename: str = "<verilog>") -> Circuit:
+    """Parse structural Verilog into a :class:`Circuit`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if not module:
+        raise ParseError("no module declaration found", filename=filename)
+    circuit = Circuit(module.group("name"))
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise ParseError("missing endmodule", filename=filename)
+    body = body[:end]
+
+    declared: Dict[str, str] = {}
+    for decl in _DECL_RE.finditer(body):
+        kind = decl.group("kind")
+        nets_text = _RANGE_RE.sub("", decl.group("nets"))
+        for net in (n.strip() for n in nets_text.split(",")):
+            if not net:
+                continue
+            if net in declared:
+                raise ParseError(f"net {net!r} declared twice", filename=filename)
+            declared[net] = kind
+            if kind == "input":
+                circuit.add_input(net)
+
+    instance_body = _DECL_RE.sub("", body)
+    for match in _INSTANCE_RE.finditer(instance_body):
+        cell_name = match.group("cell")
+        inst = match.group("inst")
+        cell = library.get(cell_name)
+        if cell is None:
+            raise ParseError(f"instance {inst}: unknown cell {cell_name!r}",
+                             filename=filename)
+        conns: Dict[str, str] = {}
+        for conn in _CONN_RE.finditer(match.group("conns")):
+            conns[conn.group("pin")] = conn.group("net")
+        if cell.output not in conns:
+            raise ParseError(
+                f"instance {inst}: output pin {cell.output} unconnected",
+                filename=filename)
+        ordered_inputs: List[str] = []
+        for pin in sorted(cell.pins, key=lambda p: p.index):
+            if pin.name not in conns:
+                raise ParseError(
+                    f"instance {inst}: input pin {pin.name} unconnected",
+                    filename=filename)
+            ordered_inputs.append(conns[pin.name])
+        extra = set(conns) - {p.name for p in cell.pins} - {cell.output}
+        if extra:
+            raise ParseError(
+                f"instance {inst}: unknown pins {sorted(extra)}",
+                filename=filename)
+        circuit.add_gate(inst, cell_name, ordered_inputs, conns[cell.output])
+
+    for net, kind in declared.items():
+        if kind == "output":
+            circuit.add_output(net)
+    return circuit
+
+
+def write_verilog(circuit: Circuit, library: CellLibrary) -> str:
+    """Serialize a circuit as structural Verilog."""
+    ports = circuit.inputs + circuit.outputs
+    lines = [f"module {circuit.name} ({', '.join(ports)});"]
+    if circuit.inputs:
+        lines.append(f"  input {', '.join(circuit.inputs)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(circuit.outputs)};")
+    port_set = set(ports)
+    wires = [g.output for g in circuit.gates if g.output not in port_set]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.append("")
+    for gate in circuit.gates:
+        cell = library[gate.cell]
+        conns = [
+            f".{pin.name}({net})"
+            for pin, net in zip(sorted(cell.pins, key=lambda p: p.index), gate.inputs)
+        ]
+        conns.append(f".{cell.output}({gate.output})")
+        lines.append(f"  {gate.cell} {gate.name} ({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

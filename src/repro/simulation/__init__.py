@@ -1,0 +1,35 @@
+"""Time simulation engines.
+
+* :mod:`repro.simulation.zero_delay` — plain logic evaluation (responses),
+* :mod:`repro.simulation.event_driven` — the serial event-queue baseline
+  (stands in for the commercial event-driven simulator of Table I),
+* :mod:`repro.simulation.gpu` — the paper's contribution: the massively
+  parallel waveform simulator with online parametric delay calculation,
+  vectorized across the slot plane of stimuli × operating points.
+"""
+
+from repro.simulation.base import (
+    PatternPair,
+    SimulationConfig,
+    SimulationResult,
+    stimuli_from_pair,
+)
+from repro.simulation.grid import SlotPlan
+from repro.simulation.zero_delay import ZeroDelaySimulator
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.multi import MultiDeviceWaveSim
+from repro.simulation.variation import ProcessVariation
+
+__all__ = [
+    "ProcessVariation",
+    "PatternPair",
+    "SimulationConfig",
+    "SimulationResult",
+    "stimuli_from_pair",
+    "SlotPlan",
+    "ZeroDelaySimulator",
+    "EventDrivenSimulator",
+    "GpuWaveSim",
+    "MultiDeviceWaveSim",
+]

@@ -1,0 +1,172 @@
+"""Shared simulation types: stimuli, configuration and results.
+
+The paper evaluates *transition delay test pattern pairs*: the circuit
+settles under the first vector, then at launch time the second vector is
+applied and the resulting switching history is observed.  A
+:class:`PatternPair` captures one such pair; :func:`stimuli_from_pair`
+turns it into primary-input waveforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.waveform.waveform import Waveform
+
+__all__ = [
+    "PatternPair",
+    "stimuli_from_pair",
+    "SimulationConfig",
+    "SimulationResult",
+]
+
+#: Launch time of the second vector of a pattern pair (seconds).
+LAUNCH_TIME = 0.0
+
+
+@dataclass(frozen=True)
+class PatternPair:
+    """A transition-delay test pattern pair ``(v1, v2)``.
+
+    ``v1`` and ``v2`` are bit vectors over the circuit's primary inputs
+    (uint8 arrays of equal length, one entry per input in circuit input
+    order).
+    """
+
+    v1: np.ndarray
+    v2: np.ndarray
+
+    def __post_init__(self) -> None:
+        v1 = np.asarray(self.v1, dtype=np.uint8)
+        v2 = np.asarray(self.v2, dtype=np.uint8)
+        if v1.shape != v2.shape or v1.ndim != 1:
+            raise ValueError("v1/v2 must be equal-length vectors")
+        if np.any(v1 > 1) or np.any(v2 > 1):
+            raise ValueError("pattern bits must be 0/1")
+        object.__setattr__(self, "v1", v1)
+        object.__setattr__(self, "v2", v2)
+
+    @property
+    def width(self) -> int:
+        return int(self.v1.size)
+
+    def launches_transition(self) -> bool:
+        """True when at least one input toggles at launch."""
+        return bool(np.any(self.v1 != self.v2))
+
+    @classmethod
+    def random(cls, width: int, rng: np.random.Generator) -> "PatternPair":
+        return cls(
+            v1=rng.integers(0, 2, size=width, dtype=np.uint8),
+            v2=rng.integers(0, 2, size=width, dtype=np.uint8),
+        )
+
+
+def stimuli_from_pair(circuit: Circuit, pair: PatternPair,
+                      launch_time: float = LAUNCH_TIME) -> Dict[str, Waveform]:
+    """Primary-input waveforms for a pattern pair.
+
+    Each input starts at its ``v1`` bit; inputs whose ``v2`` bit differs
+    toggle once at ``launch_time``.
+    """
+    if pair.width != len(circuit.inputs):
+        raise ValueError(
+            f"pattern width {pair.width} != {len(circuit.inputs)} inputs"
+        )
+    waveforms: Dict[str, Waveform] = {}
+    for index, net in enumerate(circuit.inputs):
+        if pair.v1[index] != pair.v2[index]:
+            waveforms[net] = Waveform(
+                initial=int(pair.v1[index]),
+                times=np.asarray([launch_time], dtype=np.float64),
+            )
+        else:
+            waveforms[net] = Waveform.constant(int(pair.v1[index]))
+    return waveforms
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs shared by the simulators.
+
+    Attributes
+    ----------
+    pulse_filtering:
+        ``"inertial"`` — pulses shorter than the propagation delay of the
+        suppressing transition are filtered (paper default: inertial
+        delay equals propagation delay); ``"transport"`` — only causal
+        cancellation, arbitrarily narrow pulses survive.
+    waveform_capacity:
+        Initial per-slot toggle capacity of the GPU waveform memory.
+    grow_on_overflow:
+        Re-run overflowing batches with doubled capacity (default) or
+        raise :class:`~repro.errors.WaveformOverflowError`.
+    record_all_nets:
+        Keep every net's waveforms (needed for switching-activity
+        analysis); otherwise only primary outputs are retained.
+    """
+
+    pulse_filtering: str = "inertial"
+    waveform_capacity: int = 16
+    grow_on_overflow: bool = True
+    record_all_nets: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pulse_filtering not in ("inertial", "transport"):
+            raise ValueError(
+                f"pulse_filtering must be 'inertial' or 'transport', "
+                f"got {self.pulse_filtering!r}"
+            )
+        if self.waveform_capacity < 2:
+            raise ValueError("waveform capacity must be at least 2")
+
+
+@dataclass
+class SimulationResult:
+    """Waveforms and bookkeeping of one simulation run.
+
+    ``waveforms[slot][net]`` is the computed :class:`Waveform` of ``net``
+    in slot ``slot`` (a (pattern, operating point) combination as listed
+    in ``slot_labels``).  Only primary outputs are present unless the run
+    recorded all nets.
+    """
+
+    circuit_name: str
+    slot_labels: List[Tuple[int, float]]
+    waveforms: List[Dict[str, Waveform]]
+    runtime_seconds: float
+    gate_evaluations: int
+    engine: str
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.waveforms)
+
+    def waveform(self, slot: int, net: str) -> Waveform:
+        try:
+            return self.waveforms[slot][net]
+        except KeyError:
+            raise KeyError(
+                f"net {net!r} not recorded (enable record_all_nets?)"
+            ) from None
+
+    def latest_arrival(self, slot: int, nets: Optional[Sequence[str]] = None) -> float:
+        """Latest toggle time over ``nets`` (default: all recorded nets)."""
+        chosen = nets if nets is not None else list(self.waveforms[slot])
+        latest = float("-inf")
+        for net in chosen:
+            latest = max(latest, self.waveform(slot, net).latest_transition())
+        return latest
+
+    def final_values(self, slot: int, nets: Sequence[str]) -> np.ndarray:
+        """Settled logic values (test responses) for the given nets."""
+        return np.asarray(
+            [self.waveform(slot, net).final_value for net in nets], dtype=np.uint8
+        )
+
+    def total_transitions(self, slot: int) -> int:
+        return sum(w.num_transitions for w in self.waveforms[slot].values())

@@ -1,0 +1,179 @@
+"""Netlist compilation for the simulation engines (paper Fig. 2, step 1).
+
+The combinational network is extracted into flat integer arrays — the
+form in which the paper stores the netlist in GPU global memory:
+
+* nets are numbered (primary inputs first, then gate outputs),
+* per gate: cell type id, input net ids (padded), output net id, load
+  capacitance, nominal pin-to-pin delays and a truth table,
+* gates are bucketed into topological levels, and within each level into
+  same-arity groups (the SIMD thread groups of Sec. IV-B: all threads of
+  a group execute the same gate-function kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.netlist.circuit import Circuit
+from repro.netlist.sdf import SdfAnnotation, annotate_nominal
+
+__all__ = ["CompiledCircuit", "compile_circuit"]
+
+
+def _truth_table(cell) -> int:
+    """Truth table as an integer: bit ``idx`` = output for input index
+    ``idx`` where input pin ``i`` contributes bit ``i`` of ``idx``."""
+    arity = cell.num_inputs
+    table = 0
+    for idx in range(1 << arity):
+        bits = [(idx >> i) & 1 for i in range(arity)]
+        if int(cell.evaluate(bits)) & 1:
+            table |= 1 << idx
+    return table
+
+
+def _pad_truth_table(table: int, arity: int, padded_arity: int) -> int:
+    """Extend a truth table with don't-care upper pins.
+
+    The padded table returns the original output for any setting of the
+    extra pins, so a gate can run in a wider SIMD group with dummy
+    (constant) inputs wired to the spare pins.
+    """
+    padded = 0
+    for idx in range(1 << padded_arity):
+        if (table >> (idx & ((1 << arity) - 1))) & 1:
+            padded |= 1 << idx
+    return padded
+
+
+@dataclass
+class CompiledCircuit:
+    """Flat-array circuit representation shared by the engines."""
+
+    circuit: Circuit
+    library: CellLibrary
+    net_index: Dict[str, int]
+    num_nets: int
+    input_net_ids: np.ndarray        # (num_inputs,)
+    output_net_ids: np.ndarray       # (num_outputs,)
+    gate_type_ids: np.ndarray        # (G,)
+    gate_arity: np.ndarray           # (G,)
+    gate_inputs: np.ndarray          # (G, max_pins) net ids, -1 padding
+    gate_output: np.ndarray          # (G,)
+    gate_loads: np.ndarray           # (G,) farads
+    nominal_delays: np.ndarray       # (G, max_pins, 2) seconds
+    truth_tables: np.ndarray         # (G,) uint32
+    padded_truth_tables: np.ndarray  # (G,) uint32, don't-care padded to max_pins
+    padded_inputs: np.ndarray        # (G, max_pins) net ids, spare pins -> dummy net
+    dummy_net_id: int                # constant-0 net fed to spare pins
+    levels: List[np.ndarray]         # gate indices per level
+    level_groups: List[List[Tuple[int, np.ndarray]]]  # per level: (arity, gate idx)
+
+    @property
+    def num_gates(self) -> int:
+        return int(self.gate_type_ids.size)
+
+    @property
+    def max_pins(self) -> int:
+        return int(self.gate_inputs.shape[1])
+
+    def net_id(self, net: str) -> int:
+        return self.net_index[net]
+
+
+def compile_circuit(
+    circuit: Circuit,
+    library: CellLibrary,
+    annotation: Optional[SdfAnnotation] = None,
+    loads: Optional[Dict[str, float]] = None,
+) -> CompiledCircuit:
+    """Compile a validated circuit into flat arrays.
+
+    ``annotation`` supplies the nominal pin-to-pin delays (SDF); when
+    omitted it is derived from the default electrical model at the
+    nominal voltage.  ``loads`` likewise defaults to the SPEF-equivalent
+    computed from the library's pin capacitances.
+    """
+    circuit.validate(library)
+    loads = loads or circuit.net_loads(library)
+    annotation = annotation or annotate_nominal(circuit, library, loads=loads)
+
+    net_index: Dict[str, int] = {}
+    for net in circuit.inputs:
+        net_index[net] = len(net_index)
+    for gate in circuit.gates:
+        net_index[gate.output] = len(net_index)
+
+    num_gates = circuit.num_gates
+    max_pins = max((len(g.inputs) for g in circuit.gates), default=1)
+    gate_type_ids = np.zeros(num_gates, dtype=np.int64)
+    gate_arity = np.zeros(num_gates, dtype=np.int64)
+    gate_inputs = np.full((num_gates, max_pins), -1, dtype=np.int64)
+    gate_output = np.zeros(num_gates, dtype=np.int64)
+    gate_loads = np.zeros(num_gates, dtype=np.float64)
+    nominal = np.zeros((num_gates, max_pins, 2), dtype=np.float64)
+    truth_tables = np.zeros(num_gates, dtype=np.uint32)
+
+    padded_tables = np.zeros(num_gates, dtype=np.uint32)
+    pad_cache: Dict[Tuple[int, int], int] = {}
+
+    for index, gate in enumerate(circuit.gates):
+        cell = library[gate.cell]
+        gate_type_ids[index] = library.type_id(gate.cell)
+        gate_arity[index] = len(gate.inputs)
+        for pin, net in enumerate(gate.inputs):
+            gate_inputs[index, pin] = net_index[net]
+        gate_output[index] = net_index[gate.output]
+        gate_loads[index] = loads[gate.output]
+        for pin, (rise, fall) in enumerate(annotation.gate_delays(gate.name)):
+            nominal[index, pin, 0] = rise
+            nominal[index, pin, 1] = fall
+        table = _truth_table(cell)
+        truth_tables[index] = table
+        key = (table, len(gate.inputs))
+        if key not in pad_cache:
+            pad_cache[key] = _pad_truth_table(table, len(gate.inputs), max_pins)
+        padded_tables[index] = pad_cache[key]
+
+    # Spare pins of narrow gates point at a reserved constant-0 net so a
+    # whole level can run as one uniform SIMD group.
+    dummy_net_id = len(net_index)
+    padded_inputs = gate_inputs.copy()
+    padded_inputs[padded_inputs < 0] = dummy_net_id
+
+    levels = [np.asarray(bucket, dtype=np.int64) for bucket in circuit.levelize()]
+    level_groups: List[List[Tuple[int, np.ndarray]]] = []
+    for bucket in levels:
+        groups: Dict[int, List[int]] = {}
+        for gate_index in bucket:
+            groups.setdefault(int(gate_arity[gate_index]), []).append(int(gate_index))
+        level_groups.append(
+            [(arity, np.asarray(indices, dtype=np.int64))
+             for arity, indices in sorted(groups.items())]
+        )
+
+    return CompiledCircuit(
+        circuit=circuit,
+        library=library,
+        net_index=net_index,
+        num_nets=len(net_index),
+        input_net_ids=np.asarray([net_index[n] for n in circuit.inputs], dtype=np.int64),
+        output_net_ids=np.asarray([net_index[n] for n in circuit.outputs], dtype=np.int64),
+        gate_type_ids=gate_type_ids,
+        gate_arity=gate_arity,
+        gate_inputs=gate_inputs,
+        gate_output=gate_output,
+        gate_loads=gate_loads,
+        nominal_delays=nominal,
+        truth_tables=truth_tables,
+        padded_truth_tables=padded_tables,
+        padded_inputs=padded_inputs,
+        dummy_net_id=dummy_net_id,
+        levels=levels,
+        level_groups=level_groups,
+    )

@@ -1,0 +1,245 @@
+"""Serial event-driven time simulation (the Table I baseline).
+
+A classic single-threaded event-queue simulator: net toggles are kept in
+a priority queue; when a net toggles, its sink gates re-evaluate and
+schedule output toggles after their pin-to-pin delay, with cancellation
+and inertial pulse filtering.  One pattern pair is simulated at a time —
+the algorithm class of the "conventional serial commercial event-driven
+logic level time simulator" the paper compares against.
+
+The simulator supports both delay modes so it can double as a reference
+oracle for the parallel engine:
+
+* **static** — nominal SDF delays only (like the commercial tool),
+* **parametric** — delays adapted per operating point through the same
+  polynomial kernel table the GPU engine uses (Eq. 9).
+
+Timing semantics (shared with :mod:`repro.simulation.gpu`):
+
+* transitions propagate with the pin-to-pin delay selected by causing
+  pin and output polarity,
+* a scheduled toggle at or before the pending one cancels both
+  (causality), and in ``inertial`` mode a toggle closer than the new
+  transition's own propagation delay to the pending one also cancels
+  both (pulse filtering; the paper sets inertial = propagation delay),
+* simultaneous input events are applied together before one evaluation;
+  the lowest-numbered toggling pin selects the delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.core.delay_kernel import DelayKernelTable
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.sdf import SdfAnnotation
+from repro.simulation.base import (
+    LAUNCH_TIME,
+    PatternPair,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+from repro.waveform.waveform import Waveform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.variation import ProcessVariation
+
+__all__ = ["EventDrivenSimulator"]
+
+
+class EventDrivenSimulator:
+    """Single-threaded event-queue waveform simulator."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        annotation: Optional[SdfAnnotation] = None,
+        loads: Optional[Dict[str, float]] = None,
+        config: Optional[SimulationConfig] = None,
+        compiled: Optional[CompiledCircuit] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.compiled = compiled or compile_circuit(circuit, library, annotation, loads)
+        # net id -> [(gate index, pin index), ...]
+        fanout: List[List[Tuple[int, int]]] = [[] for _ in range(self.compiled.num_nets)]
+        for gate_index in range(self.compiled.num_gates):
+            arity = int(self.compiled.gate_arity[gate_index])
+            for pin in range(arity):
+                fanout[int(self.compiled.gate_inputs[gate_index, pin])].append(
+                    (gate_index, pin)
+                )
+        self._fanout = fanout
+
+    # -- delay preparation -------------------------------------------------------
+
+    def _delays(self, voltage: Optional[float],
+                kernel_table: Optional[DelayKernelTable]) -> np.ndarray:
+        """Per-gate pin/polarity delays, shape ``(G, max_pins, 2)``."""
+        if kernel_table is None:
+            return self.compiled.nominal_delays
+        if voltage is None:
+            raise SimulationError("parametric mode requires a voltage")
+        adapted = kernel_table.delays_for_gates(
+            self.compiled.gate_type_ids,
+            self.compiled.gate_loads,
+            self.compiled.nominal_delays,
+            np.asarray([voltage], dtype=np.float64),
+        )
+        return adapted[..., 0]
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(
+        self,
+        pairs: Sequence[PatternPair],
+        voltage: float = 0.8,
+        kernel_table: Optional[DelayKernelTable] = None,
+        variation: Optional["ProcessVariation"] = None,
+    ) -> SimulationResult:
+        """Simulate the pattern pairs serially at one operating point.
+
+        With ``kernel_table`` the delays are voltage-adapted via the
+        polynomial kernels; without it the nominal (static) delays are
+        used, matching the conventional-baseline column of Table I.
+        ``variation`` applies the same per-slot Monte-Carlo delay
+        factors as the parallel engine (slot = pattern index here).
+        """
+        delays = self._delays(voltage, kernel_table)
+        factors = None
+        if variation is not None:
+            factors = variation.factors(self.compiled.num_gates,
+                                        np.arange(len(pairs)))
+        start = _time.perf_counter()
+        waveforms: List[Dict[str, Waveform]] = []
+        evaluations = 0
+        for index, pair in enumerate(pairs):
+            slot_delays = delays
+            if factors is not None:
+                slot_delays = delays * factors[:, index][:, None, None]
+            slot_waveforms, evals = self._simulate_pair(pair, slot_delays)
+            waveforms.append(slot_waveforms)
+            evaluations += evals
+        return SimulationResult(
+            circuit_name=self.compiled.circuit.name,
+            slot_labels=[(index, voltage) for index in range(len(pairs))],
+            waveforms=waveforms,
+            runtime_seconds=_time.perf_counter() - start,
+            gate_evaluations=evaluations,
+            engine="event-driven",
+        )
+
+    # -- core algorithm ----------------------------------------------------------------
+
+    def _simulate_pair(
+        self, pair: PatternPair, delays: np.ndarray
+    ) -> Tuple[Dict[str, Waveform], int]:
+        compiled = self.compiled
+        circuit = compiled.circuit
+        if pair.width != len(circuit.inputs):
+            raise SimulationError(
+                f"pattern width {pair.width} != {len(circuit.inputs)} inputs"
+            )
+        inertial = self.config.pulse_filtering == "inertial"
+        num_gates = compiled.num_gates
+        truth_tables = compiled.truth_tables
+        gate_inputs = compiled.gate_inputs
+        gate_arity = compiled.gate_arity
+
+        # Settle the circuit under v1 (levelized zero-delay evaluation).
+        net_values = np.zeros(compiled.num_nets, dtype=np.uint8)
+        net_values[compiled.input_net_ids] = pair.v1
+        for level in compiled.levels:
+            for gate_index in level:
+                arity = int(gate_arity[gate_index])
+                idx = 0
+                for pin in range(arity):
+                    idx |= int(net_values[gate_inputs[gate_index, pin]]) << pin
+                net_values[compiled.gate_output[gate_index]] = (
+                    int(truth_tables[gate_index]) >> idx
+                ) & 1
+        evaluations = num_gates
+
+        gate_in_vals = np.zeros((num_gates, compiled.max_pins), dtype=np.uint8)
+        for gate_index in range(num_gates):
+            for pin in range(int(gate_arity[gate_index])):
+                gate_in_vals[gate_index, pin] = net_values[gate_inputs[gate_index, pin]]
+        last_target = net_values[compiled.gate_output].copy()
+        initial_values = net_values.copy()
+
+        stacks: List[List[Tuple[float, int]]] = [[] for _ in range(num_gates)]
+        cancelled: set = set()
+        heap: List[Tuple[float, int, int]] = []  # (time, event id, net id)
+        event_net: Dict[int, int] = {}
+        next_id = 0
+        for index, net_id in enumerate(compiled.input_net_ids):
+            if pair.v1[index] != pair.v2[index]:
+                heapq.heappush(heap, (LAUNCH_TIME, next_id, int(net_id)))
+                next_id += 1
+
+        while heap:
+            now = heap[0][0]
+            affected: Dict[int, int] = {}  # gate -> lowest causing pin
+            while heap and heap[0][0] == now:
+                _, event_id, net_id = heapq.heappop(heap)
+                if event_id in cancelled:
+                    cancelled.discard(event_id)
+                    continue
+                for gate_index, pin in self._fanout[net_id]:
+                    gate_in_vals[gate_index, pin] ^= 1
+                    previous = affected.get(gate_index)
+                    if previous is None or pin < previous:
+                        affected[gate_index] = pin
+
+            for gate_index in sorted(affected):
+                arity = int(gate_arity[gate_index])
+                idx = 0
+                for pin in range(arity):
+                    idx |= int(gate_in_vals[gate_index, pin]) << pin
+                new_val = (int(truth_tables[gate_index]) >> idx) & 1
+                evaluations += 1
+                if new_val == last_target[gate_index]:
+                    continue
+                polarity = 0 if new_val == 1 else 1  # RISE=0, FALL=1
+                delay = float(delays[gate_index, affected[gate_index], polarity])
+                t_out = now + delay
+                width = delay if inertial else 0.0
+                stack = stacks[gate_index]
+                top = stack[-1][0] if stack else -np.inf
+                if stack and (t_out <= top or t_out - top < width):
+                    cancelled.add(stack.pop()[1])
+                else:
+                    stack.append((t_out, next_id))
+                    heapq.heappush(
+                        heap, (t_out, next_id, int(compiled.gate_output[gate_index]))
+                    )
+                    next_id += 1
+                last_target[gate_index] ^= 1
+
+        # Assemble result waveforms.
+        slot: Dict[str, Waveform] = {}
+        record_all = self.config.record_all_nets
+        wanted_nets = (
+            circuit.nets() if record_all else list(circuit.outputs)
+        )
+        gate_of_net = {int(compiled.gate_output[g]): g for g in range(num_gates)}
+        for net in wanted_nets:
+            net_id = compiled.net_index[net]
+            if net_id in gate_of_net:
+                stack = stacks[gate_of_net[net_id]]
+                times = np.asarray([entry[0] for entry in stack], dtype=np.float64)
+            else:  # primary input
+                index = circuit.inputs.index(net)
+                times = (
+                    np.asarray([LAUNCH_TIME]) if pair.v1[index] != pair.v2[index]
+                    else np.empty(0)
+                )
+            slot[net] = Waveform(initial=int(initial_values[net_id]), times=times)
+        return slot, evaluations

@@ -1,0 +1,349 @@
+"""The parallel waveform time simulator (the paper's engine, Sec. IV).
+
+``GpuWaveSim`` is the NumPy-SIMT port of the paper's CUDA simulator.  The
+three dimensions of parallelism map onto array axes:
+
+* **gates** — the circuit is processed level by level; all gates of a
+  level are structurally independent and evaluated together as one
+  uniform SIMD thread group (narrow gates run with don't-care-padded
+  truth tables and a constant dummy input, so control flow never
+  diverges; an optional per-arity grouping mode exists for ablation),
+* **stimuli × operating points** — the slot plane (Fig. 3): each kernel
+  call spans ``lanes = gates_in_level × slots`` with per-lane waveform
+  data and per-lane delays,
+* **online delay calculation** — in parametric mode each level's
+  pin-to-pin delays are computed on the fly from the polynomial kernel
+  table and the slots' supply voltages (Sec. IV-A steps 1–5); delays are
+  evaluated once per *distinct* voltage and broadcast to slots, because
+  parallel instances of a gate share coefficients and function calls
+  (Sec. IV-B).  In static mode the SDF nominal delays are used unchanged
+  — the baseline [25] configuration.
+
+Waveform memory is a dense ``(nets, slots, capacity)`` float64 array with
+``+inf`` termination, like the GPU global-memory layout.  Overflowing
+batches are re-run with doubled capacity (configurable).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.core.delay_kernel import DelayKernelTable
+from repro.errors import SimulationError, WaveformOverflowError
+from repro.netlist.circuit import Circuit
+from repro.netlist.sdf import SdfAnnotation
+from repro.simulation.base import (
+    LAUNCH_TIME,
+    PatternPair,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+from repro.simulation.grid import SlotPlan
+from repro.simulation.kernels import waveform_merge_kernel
+from repro.waveform.waveform import Waveform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.variation import ProcessVariation
+
+__all__ = ["GpuWaveSim"]
+
+INF = np.float64(np.inf)
+
+#: Waveform-memory budget per batch (bytes); batches are sized so the
+#: dense (nets × slots × capacity) array stays below this.
+DEFAULT_MEMORY_BUDGET = 1024 * 1024 * 1024
+
+#: Hard ceiling for overflow-driven capacity growth.
+MAX_CAPACITY = 4096
+
+
+@dataclass
+class _BatchStats:
+    """Per-run engine diagnostics."""
+
+    gate_evaluations: int = 0
+    kernel_calls: int = 0
+    kernel_iterations: int = 0
+    retries: int = 0
+    batches: int = 0
+
+
+class GpuWaveSim:
+    """Massively parallel waveform simulator (NumPy-SIMT).
+
+    Parameters
+    ----------
+    group_by_arity:
+        ``False`` (default): one kernel call per level with padded truth
+        tables.  ``True``: split levels into per-arity groups (smaller
+        calls, no padding overhead) — kept for the ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        annotation: Optional[SdfAnnotation] = None,
+        loads: Optional[Dict[str, float]] = None,
+        config: Optional[SimulationConfig] = None,
+        compiled: Optional[CompiledCircuit] = None,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        group_by_arity: bool = False,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.compiled = compiled or compile_circuit(circuit, library, annotation, loads)
+        self.memory_budget = memory_budget
+        self.group_by_arity = group_by_arity
+        self.last_stats: Optional[_BatchStats] = None
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(
+        self,
+        pairs: Sequence[PatternPair],
+        plan: Optional[SlotPlan] = None,
+        voltage: float = 0.8,
+        kernel_table: Optional[DelayKernelTable] = None,
+        variation: Optional["ProcessVariation"] = None,
+    ) -> SimulationResult:
+        """Simulate a slot plane.
+
+        Parameters
+        ----------
+        pairs:
+            The stimuli referenced by the plan's pattern indices.
+        plan:
+            Slot plane; defaults to all pairs at the single ``voltage``.
+        kernel_table:
+            Compiled polynomial delay kernels.  ``None`` selects static
+            (nominal SDF) delays — the baseline [25] configuration; plans
+            spanning several voltages then raise, because static delays
+            cannot differentiate operating points.
+        variation:
+            Optional :class:`~repro.simulation.variation.ProcessVariation`;
+            each slot then gets its own random per-gate delay factors
+            (Monte-Carlo over the slot plane).
+        """
+        if not pairs:
+            raise SimulationError("need at least one pattern pair")
+        plan = plan or SlotPlan.uniform(len(pairs), voltage)
+        if int(plan.pattern_indices.max()) >= len(pairs):
+            raise SimulationError("slot plan references missing pattern index")
+        if kernel_table is None and plan.distinct_voltages().size > 1:
+            raise SimulationError(
+                "static delay mode cannot differentiate operating points; "
+                "pass a kernel_table for voltage-aware simulation"
+            )
+
+        v1 = np.stack([p.v1 for p in pairs])
+        v2 = np.stack([p.v2 for p in pairs])
+        if v1.shape[1] != len(self.compiled.circuit.inputs):
+            raise SimulationError("pattern width does not match circuit inputs")
+
+        stats = _BatchStats()
+        start = _time.perf_counter()
+        waveforms: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots
+        max_slots = self._max_batch_slots()
+        for indices, sub_plan in plan.batches(max_slots):
+            stats.batches += 1
+            batch_waveforms = self._run_batch(v1, v2, sub_plan, kernel_table,
+                                              stats, variation, indices)
+            for local, slot in enumerate(indices):
+                waveforms[int(slot)] = batch_waveforms[local]
+        runtime = _time.perf_counter() - start
+        self.last_stats = stats
+        return SimulationResult(
+            circuit_name=self.compiled.circuit.name,
+            slot_labels=plan.labels(),
+            waveforms=waveforms,  # type: ignore[arg-type]
+            runtime_seconds=runtime,
+            gate_evaluations=stats.gate_evaluations,
+            engine="gpu-static" if kernel_table is None else "gpu-parametric",
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _max_batch_slots(self) -> int:
+        per_slot = (self.compiled.num_nets + 1) * self.config.waveform_capacity * 8
+        return max(4, int(self.memory_budget // max(per_slot, 1)))
+
+    def _run_batch(
+        self,
+        v1: np.ndarray,
+        v2: np.ndarray,
+        plan: SlotPlan,
+        kernel_table: Optional[DelayKernelTable],
+        stats: _BatchStats,
+        variation: Optional["ProcessVariation"] = None,
+        global_slots: Optional[np.ndarray] = None,
+    ) -> List[Dict[str, Waveform]]:
+        capacity = self.config.waveform_capacity
+        while True:
+            try:
+                return self._run_batch_at_capacity(v1, v2, plan, kernel_table,
+                                                   capacity, stats, variation,
+                                                   global_slots)
+            except WaveformOverflowError:
+                if not self.config.grow_on_overflow or capacity >= MAX_CAPACITY:
+                    raise
+                capacity *= 2
+                stats.retries += 1
+
+    def _run_batch_at_capacity(
+        self,
+        v1: np.ndarray,
+        v2: np.ndarray,
+        plan: SlotPlan,
+        kernel_table: Optional[DelayKernelTable],
+        capacity: int,
+        stats: _BatchStats,
+        variation: Optional["ProcessVariation"] = None,
+        global_slots: Optional[np.ndarray] = None,
+    ) -> List[Dict[str, Waveform]]:
+        compiled = self.compiled
+        num_slots = plan.num_slots
+        inertial = self.config.pulse_filtering == "inertial"
+
+        # Waveform memory: (nets + dummy, slots, capacity) toggle times.
+        times_all = np.full((compiled.num_nets + 1, num_slots, capacity), INF,
+                            dtype=np.float64)
+        initial_all = np.zeros((compiled.num_nets + 1, num_slots), dtype=np.uint8)
+
+        # Load stimuli (Fig. 2 step 3): per slot, its pattern pair.
+        pattern_of_slot = plan.pattern_indices
+        first = v1[pattern_of_slot]                        # (S, num_inputs)
+        toggles = (v1 != v2)[pattern_of_slot]              # (S, num_inputs)
+        initial_all[compiled.input_net_ids] = first.T
+        times_all[compiled.input_net_ids, :, 0] = np.where(
+            toggles.T, LAUNCH_TIME, INF
+        )
+
+        # Parallel instances share delay-function calls: evaluate each
+        # distinct voltage once and broadcast to its slots.
+        distinct_v, slot_to_v = np.unique(plan.voltages, return_inverse=True)
+
+        # Monte-Carlo die samples: per-gate, per-slot delay factors.
+        factors = None
+        if variation is not None:
+            if global_slots is None:
+                global_slots = np.arange(num_slots)
+            factors = variation.factors(compiled.num_gates, global_slots)
+
+        # Level-wise processing (the vertical grid dimension).
+        for level_index, level_gates in enumerate(compiled.levels):
+            if self.group_by_arity:
+                for arity, gate_indices in compiled.level_groups[level_index]:
+                    self._run_group(
+                        gate_indices, arity, times_all, initial_all,
+                        distinct_v, slot_to_v, kernel_table, capacity,
+                        inertial, stats, padded=False, factors=factors,
+                    )
+            else:
+                self._run_group(
+                    level_gates, compiled.max_pins, times_all, initial_all,
+                    distinct_v, slot_to_v, kernel_table, capacity,
+                    inertial, stats, padded=True, factors=factors,
+                )
+
+        # Waveform analysis (Fig. 2 step 4): unpack the requested nets.
+        wanted = (
+            list(compiled.net_index)
+            if self.config.record_all_nets
+            else list(compiled.circuit.outputs)
+        )
+        result: List[Dict[str, Waveform]] = [dict() for _ in range(num_slots)]
+        for net in wanted:
+            net_id = compiled.net_index[net]
+            rows = times_all[net_id]                       # (S, C)
+            counts = np.sum(np.isfinite(rows), axis=1)
+            initials = initial_all[net_id]
+            for slot in range(num_slots):
+                result[slot][net] = Waveform.trusted(
+                    int(initials[slot]), rows[slot, : counts[slot]].copy()
+                )
+        return result
+
+    def _run_group(
+        self,
+        gate_indices: np.ndarray,
+        arity: int,
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        distinct_v: np.ndarray,
+        slot_to_v: np.ndarray,
+        kernel_table: Optional[DelayKernelTable],
+        capacity: int,
+        inertial: bool,
+        stats: _BatchStats,
+        padded: bool,
+        factors: Optional[np.ndarray] = None,
+    ) -> None:
+        """Evaluate one SIMD thread group across all slots.
+
+        ``padded=True`` runs a whole level with don't-care-padded truth
+        tables and a constant dummy net on spare pins; ``padded=False``
+        runs a same-arity subset natively (ablation mode).
+        """
+        compiled = self.compiled
+        num_slots = slot_to_v.size
+        group_size = gate_indices.size
+        if group_size == 0:
+            return
+        if padded:
+            in_ids = compiled.padded_inputs[gate_indices]            # (g, P)
+            tables = compiled.padded_truth_tables[gate_indices]
+        else:
+            in_ids = compiled.gate_inputs[gate_indices, :arity]      # (g, k)
+            tables = compiled.truth_tables[gate_indices]
+
+        # Gather inputs: (g, k, S, C) -> (k, g*S, C).
+        lanes = group_size * num_slots
+        input_times = times_all[in_ids].transpose(1, 0, 2, 3).reshape(
+            arity, lanes, capacity
+        )
+        input_initial = initial_all[in_ids].transpose(1, 0, 2).reshape(arity, lanes)
+
+        # Online delay calculation (Sec. IV-A): adapt the nominal delays
+        # to each slot's operating point, or broadcast them in static mode.
+        nominal = compiled.nominal_delays[gate_indices, :arity]      # (g, k, 2)
+        if kernel_table is None:
+            delays = np.broadcast_to(
+                nominal[..., None], (group_size, arity, 2, num_slots)
+            )
+        else:
+            per_voltage = kernel_table.delays_for_gates(
+                compiled.gate_type_ids[gate_indices],
+                compiled.gate_loads[gate_indices],
+                compiled.nominal_delays[gate_indices],
+                distinct_v,
+            )[:, :arity]                                             # (g, k, 2, V)
+            delays = per_voltage[..., slot_to_v]                     # (g, k, 2, S)
+        if factors is not None:
+            delays = delays * factors[gate_indices][:, None, None, :]
+        delays = np.ascontiguousarray(delays.transpose(1, 2, 0, 3)).reshape(
+            arity, 2, lanes
+        )
+
+        lane_tables = np.repeat(tables.astype(np.int64), num_slots)
+
+        merged = waveform_merge_kernel(
+            input_times, input_initial, delays, lane_tables, capacity,
+            inertial=inertial,
+        )
+        stats.gate_evaluations += lanes
+        stats.kernel_calls += 1
+        stats.kernel_iterations += merged.iterations
+        if merged.overflow.any():
+            raise WaveformOverflowError(
+                f"{int(merged.overflow.sum())} lanes exceeded capacity {capacity}"
+            )
+
+        out_ids = compiled.gate_output[gate_indices]
+        times_all[out_ids] = merged.times.reshape(group_size, num_slots, capacity)
+        initial_all[out_ids] = merged.initial.reshape(group_size, num_slots)

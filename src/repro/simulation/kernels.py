@@ -1,0 +1,251 @@
+"""Vectorized simulation kernels — the SIMT core of the GPU engine.
+
+:func:`waveform_merge_kernel` is the direct NumPy port of the CUDA
+waveform-processing kernel of the paper (following Holst et al. [25] with
+the online delay calculation of Sec. IV-A).  One call processes a whole
+*thread group*: ``L`` lanes (= gates of one level × all slots), each lane
+lock-step executing the same control flow with per-lane data, divergence
+handled by masking — exactly how a SIMD thread group runs on the GPU.
+
+Per lane the kernel
+
+1. merges the input waveforms in time order (pointer per input),
+2. evaluates the gate function via its truth table,
+3. selects the pin-to-pin delay of the causing pin and output polarity
+   (already adapted to the lane's operating point by the delay kernel),
+4. appends the output toggle with cancellation / inertial filtering,
+5. flags capacity overflow instead of dropping toggles silently.
+
+Lanes whose input events are exhausted can never change their output
+again; when enough lanes retire, the kernel *compacts* the live set so
+the remaining work runs dense.  (On a real GPU the scheduler retires
+finished warps the same way.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["waveform_merge_kernel", "merge_single", "MergeResult"]
+
+INF = np.float64(np.inf)
+
+#: Compact the live-lane set when fewer than this fraction remain active.
+_COMPACT_THRESHOLD = 0.5
+
+#: Never bother compacting below this lane count.
+_COMPACT_MIN_LANES = 128
+
+
+@dataclass
+class MergeResult:
+    """Output of one kernel call (all arrays per lane)."""
+
+    initial: np.ndarray      # (L,) uint8 settled output value before launch
+    times: np.ndarray        # (L, capacity) toggle times, +inf padded
+    counts: np.ndarray       # (L,) number of valid toggles
+    overflow: np.ndarray     # (L,) bool
+    iterations: int          # kernel main-loop trip count (diagnostics)
+
+
+def merge_single(input_waveforms, delays, truth_table: int,
+                 inertial: bool = True):
+    """Scalar reference of the merge kernel: one gate, one slot.
+
+    Exactly the per-lane algorithm of :func:`waveform_merge_kernel`
+    (documented there), operating on :class:`~repro.waveform.waveform.
+    Waveform` objects.  Used by incremental re-simulation (fault
+    grading restricted to a fanout cone) and as an independent oracle in
+    tests.
+
+    Parameters
+    ----------
+    input_waveforms:
+        One waveform per input pin.
+    delays:
+        ``(pins, 2)`` pin-to-pin delays in seconds (rise, fall).
+    truth_table:
+        Integer table, pin ``i`` = bit ``i`` of the index.
+    """
+    from repro.waveform.waveform import Waveform
+
+    k = len(input_waveforms)
+    pointers = [0] * k
+    values = [w.initial for w in input_waveforms]
+
+    def evaluate() -> int:
+        index = 0
+        for pin in range(k):
+            index |= values[pin] << pin
+        return (truth_table >> index) & 1
+
+    last_target = evaluate()
+    initial = last_target
+    out: list = []
+    while True:
+        current = [
+            input_waveforms[pin].times[pointers[pin]]
+            if pointers[pin] < input_waveforms[pin].num_transitions else INF
+            for pin in range(k)
+        ]
+        now = min(current)
+        if now == INF:
+            break
+        causing = None
+        for pin in range(k):
+            if current[pin] == now:
+                values[pin] ^= 1
+                pointers[pin] += 1
+                if causing is None:
+                    causing = pin
+        new_value = evaluate()
+        if new_value == last_target:
+            continue
+        delay = delays[causing][1 - new_value]  # RISE=0, FALL=1
+        t_out = now + delay
+        width = delay if inertial else 0.0
+        if out and (t_out <= out[-1] or t_out - out[-1] < width):
+            out.pop()
+        else:
+            out.append(float(t_out))
+        last_target ^= 1
+    return Waveform(initial=initial, times=np.asarray(out, dtype=np.float64))
+
+
+def waveform_merge_kernel(
+    input_times: np.ndarray,
+    input_initial: np.ndarray,
+    delays: np.ndarray,
+    truth_tables: np.ndarray,
+    out_capacity: int,
+    inertial: bool = True,
+) -> MergeResult:
+    """Evaluate one gate per lane from its input waveforms.
+
+    Parameters
+    ----------
+    input_times:
+        ``(k, L, C)`` toggle times of the ``k`` input pins, +inf padded.
+    input_initial:
+        ``(k, L)`` uint8 initial input values.
+    delays:
+        ``(k, 2, L)`` pin-to-pin delays (seconds), polarity index 0=rise
+        1=fall, already adapted to each lane's operating point.
+    truth_tables:
+        ``(L,)`` integer truth tables (input pin ``i`` = bit ``i`` of the
+        index).
+    out_capacity:
+        Toggle capacity of the output waveform memory.
+    inertial:
+        Apply inertial pulse filtering (width = the suppressing
+        transition's own propagation delay) in addition to causal
+        cancellation.
+    """
+    k, num_lanes, capacity_in = input_times.shape
+    if input_initial.shape != (k, num_lanes):
+        raise ValueError("input_initial shape mismatch")
+    if delays.shape != (k, 2, num_lanes):
+        raise ValueError("delays shape mismatch")
+
+    tables = np.asarray(truth_tables, dtype=np.int64)
+    vals = input_initial.astype(np.int64)                  # (k, L)
+    pointers = np.zeros((k, num_lanes), dtype=np.int64)    # next event per pin
+
+    # Settled output value before the first event.
+    index = np.zeros(num_lanes, dtype=np.int64)
+    for pin in range(k):
+        index |= vals[pin] << pin
+    last_target = (tables >> index) & 1
+    initial = last_target.astype(np.uint8)
+
+    # Full-size result state, addressed through global lane ids.
+    out_times = np.full((num_lanes, out_capacity), INF, dtype=np.float64)
+    depth = np.zeros(num_lanes, dtype=np.int64)
+    overflow = np.zeros(num_lanes, dtype=bool)
+
+    # Live working set (compacted as lanes retire).
+    lane_ids = np.arange(num_lanes)
+    live_times = input_times
+    live_delays = delays
+    live_tables = tables
+
+    iterations = 0
+    while lane_ids.size:
+        live = lane_ids.size
+        rows = np.arange(live)
+        current = np.empty((k, live), dtype=np.float64)
+        for pin in range(k):
+            safe = np.minimum(pointers[pin], capacity_in - 1)
+            current[pin] = live_times[pin, rows, safe]
+            current[pin][pointers[pin] >= capacity_in] = INF
+        now = current.min(axis=0)
+        active = np.isfinite(now)
+        n_active = int(active.sum())
+        if n_active == 0:
+            break
+        iterations += 1
+
+        if n_active < _COMPACT_THRESHOLD * live and live > _COMPACT_MIN_LANES:
+            keep = np.where(active)[0]
+            lane_ids = lane_ids[keep]
+            live_times = live_times[:, keep]
+            live_delays = live_delays[:, :, keep]
+            live_tables = live_tables[keep]
+            vals = vals[:, keep]
+            pointers = pointers[:, keep]
+            last_target = last_target[keep]
+            current = current[:, keep]
+            now = now[keep]
+            live = keep.size
+            active = np.ones(live, dtype=bool)
+
+        toggled = (current == now[None, :]) & active[None, :]   # (k, live)
+        toggled_int = toggled.astype(np.int64)
+        vals ^= toggled_int
+        pointers += toggled_int
+        causing = np.argmax(toggled, axis=0)               # lowest toggling pin
+
+        index = np.zeros(live, dtype=np.int64)
+        for pin in range(k):
+            index |= vals[pin] << pin
+        new_val = (live_tables >> index) & 1
+        changed = (new_val != last_target) & active
+
+        polarity = 1 - new_val                             # RISE=0, FALL=1
+        rows = np.arange(live)
+        delay = live_delays[causing, polarity, rows]
+        t_out = now + delay
+        width = delay if inertial else 0.0
+
+        gids = lane_ids
+        top = np.where(depth[gids] > 0,
+                       out_times[gids, np.maximum(depth[gids] - 1, 0)], -INF)
+        cancel = changed & (depth[gids] > 0) & (
+            (t_out <= top) | (t_out - top < width)
+        )
+        append = changed & ~cancel
+
+        # Pop the cancelled toggles.
+        pop = gids[cancel]
+        depth[pop] -= 1
+        out_times[pop, depth[pop]] = INF
+
+        # Append, flagging lanes that exceed the waveform memory.
+        full = append & (depth[gids] >= out_capacity)
+        overflow[gids[full]] = True
+        ok = append & ~full
+        ok_gids = gids[ok]
+        out_times[ok_gids, depth[ok_gids]] = t_out[ok]
+        depth[ok_gids] += 1
+
+        last_target ^= changed.astype(np.int64)
+
+    return MergeResult(
+        initial=initial,
+        times=out_times,
+        counts=depth,
+        overflow=overflow,
+        iterations=iterations,
+    )

@@ -1,0 +1,86 @@
+"""Per-instance process variation — Monte-Carlo on the slot plane.
+
+The paper motivates voltage-aware simulation with the growing
+process/voltage/temperature sensitivity of nano-scale devices and treats
+its kernel residual as "uncertainty due to random process variations"
+(Sec. V-C).  This module makes that uncertainty explicit: every slot of
+the plane becomes one Monte-Carlo *die sample* with its own random
+per-gate delay factors, so a single parallel run yields a whole
+statistical population of timing outcomes — variation-aware validation
+and fault grading (paper refs. [12, 13]) on the same engine.
+
+Factors are derived deterministically from ``(seed, slot)`` so results
+are independent of batching and reproducible across engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["ProcessVariation"]
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """Random per-gate delay scaling for Monte-Carlo timing.
+
+    Attributes
+    ----------
+    sigma:
+        Relative spread of the per-gate delay factor.  With the default
+        log-normal model the factor's median is exactly 1 and its log
+        has standard deviation ``sigma`` — delays stay positive for any
+        sigma.  The ``"normal"`` model uses ``1 + N(0, sigma)`` clipped
+        at 0.05.
+    seed:
+        Base seed; die ``d`` uses the stream ``(seed, d)``.
+    distribution:
+        ``"lognormal"`` (default) or ``"normal"``.
+    group_size:
+        Number of consecutive slots sharing one die sample (``die =
+        slot // group_size``).  Use it to simulate the *same* die under
+        many patterns: lay the plan out die-major with ``group_size``
+        patterns per die and every pattern of a die sees identical
+        silicon.  The default 1 makes every slot its own die.
+    """
+
+    sigma: float
+    seed: int = 0
+    distribution: str = "lognormal"
+    group_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise SimulationError("variation sigma must be non-negative")
+        if self.distribution not in ("lognormal", "normal"):
+            raise SimulationError(
+                f"unknown variation distribution {self.distribution!r}"
+            )
+        if self.group_size < 1:
+            raise SimulationError("group_size must be >= 1")
+
+    def factors(self, num_gates: int, slot_indices: np.ndarray) -> np.ndarray:
+        """Delay factors of shape ``(num_gates, len(slot_indices))``.
+
+        ``slot_indices`` are *global* slot numbers; the same slot always
+        receives the same factors regardless of how the plane is
+        batched or which engine asks.
+        """
+        slot_indices = np.asarray(slot_indices, dtype=np.int64)
+        result = np.empty((num_gates, slot_indices.size), dtype=np.float64)
+        cache = {}
+        for column, slot in enumerate(slot_indices):
+            die = int(slot) // self.group_size
+            if die not in cache:
+                rng = np.random.default_rng([self.seed, die])
+                noise = rng.standard_normal(num_gates)
+                if self.distribution == "lognormal":
+                    cache[die] = np.exp(self.sigma * noise)
+                else:
+                    cache[die] = np.maximum(1.0 + self.sigma * noise, 0.05)
+            result[:, column] = cache[die]
+        return result

@@ -1,0 +1,13 @@
+"""Static timing analysis and path enumeration."""
+
+from repro.timing.sta import StaticTimingAnalysis, ArrivalTimes
+from repro.timing.paths import Path, k_longest_paths
+from repro.timing.report import format_timing_report
+
+__all__ = [
+    "StaticTimingAnalysis",
+    "ArrivalTimes",
+    "Path",
+    "k_longest_paths",
+    "format_timing_report",
+]

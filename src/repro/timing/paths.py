@@ -1,0 +1,220 @@
+"""K-longest path enumeration for timing-aware ATPG.
+
+The paper's timing-aware pattern generation targets the 200 longest
+paths of each design.  This module enumerates *polarity-aware* paths —
+a path is a net sequence together with the transition polarity at every
+hop, so its delay sums exactly the pin-to-pin delays STA would use:
+
+* positive-unate pins keep the polarity, negative-unate pins flip it,
+  binate pins (XOR, MUX) branch into both,
+* each hop adds the delay of (pin, output polarity).
+
+Enumeration is best-first over path prefixes with an exact "longest
+completion" potential:
+
+1. compute, for every (net, polarity) state, the longest delay from the
+   state to any primary output (``suffix``),
+2. expand prefixes from primary inputs, ordering the frontier by
+   ``prefix delay + suffix`` — the first K completed paths are exactly
+   the K longest.
+
+The top path's delay therefore equals the STA longest-path delay by
+construction (both engines use identical edge weights).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.cell import DrivePolarity
+from repro.cells.library import CellLibrary
+from repro.errors import TimingError
+from repro.netlist.circuit import Circuit
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+
+__all__ = ["Path", "k_longest_paths"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A polarity-annotated combinational path.
+
+    Attributes
+    ----------
+    nets:
+        The nets along the path, starting at a primary input and ending
+        at a primary output net.
+    gates:
+        Gate instance names traversed, one per edge (``len(nets) - 1``).
+    pins:
+        The input-pin index used at each traversed gate.
+    polarities:
+        Transition polarity (:class:`DrivePolarity`) *at each net* of the
+        path (``len(nets)`` entries); ``polarities[0]`` is the launch
+        edge at the path's primary input.
+    delay:
+        Total path delay in seconds under nominal conditions.
+    """
+
+    nets: Tuple[str, ...]
+    gates: Tuple[str, ...]
+    pins: Tuple[int, ...]
+    polarities: Tuple[DrivePolarity, ...]
+    delay: float
+
+    @property
+    def start(self) -> str:
+        return self.nets[0]
+
+    @property
+    def end(self) -> str:
+        return self.nets[-1]
+
+    @property
+    def launch_polarity(self) -> DrivePolarity:
+        return self.polarities[0]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+def _state(net_id: int, polarity: int) -> int:
+    return net_id * 2 + polarity
+
+
+def k_longest_paths(
+    circuit: Circuit,
+    library: CellLibrary,
+    k: int = 200,
+    compiled: Optional[CompiledCircuit] = None,
+    max_expansions: int = 2_000_000,
+) -> List[Path]:
+    """Enumerate the ``k`` longest polarity-aware input→output paths.
+
+    ``max_expansions`` bounds the search frontier for pathological
+    circuits; hitting it raises :class:`TimingError` rather than
+    returning a silently incomplete ranking.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    compiled = compiled or compile_circuit(circuit, library)
+
+    unateness: Dict[str, Tuple[str, ...]] = {
+        cell.name: tuple(
+            cell.function.unateness(pin.index)
+            for pin in sorted(cell.pins, key=lambda p: p.index)
+        )
+        for cell in library
+    }
+
+    # Edges between states: state -> [(gate, pin, out_state, delay)].
+    edges: Dict[int, List[Tuple[int, int, int, float]]] = {}
+    for gate_index, gate in enumerate(circuit.gates):
+        senses = unateness[gate.cell]
+        out_id = int(compiled.gate_output[gate_index])
+        for pin in range(int(compiled.gate_arity[gate_index])):
+            net_id = int(compiled.gate_inputs[gate_index, pin])
+            for in_pol in (0, 1):  # RISE=0, FALL=1 at the input net
+                if senses[pin] == "positive":
+                    out_pols = (in_pol,)
+                elif senses[pin] == "negative":
+                    out_pols = (1 - in_pol,)
+                else:
+                    out_pols = (0, 1)
+                for out_pol in out_pols:
+                    delay = float(compiled.nominal_delays[gate_index, pin, out_pol])
+                    edges.setdefault(_state(net_id, in_pol), []).append(
+                        (gate_index, pin, _state(out_id, out_pol), delay)
+                    )
+
+    # Longest completion per state (reverse level order).
+    suffix = np.full(compiled.num_nets * 2, -np.inf, dtype=np.float64)
+    for net_id in compiled.output_net_ids:
+        suffix[_state(int(net_id), 0)] = 0.0
+        suffix[_state(int(net_id), 1)] = 0.0
+    ordered_states: List[int] = []
+    for net in circuit.inputs:
+        net_id = compiled.net_index[net]
+        ordered_states.extend((_state(net_id, 0), _state(net_id, 1)))
+    for level in compiled.levels:
+        for gate_index in level:
+            out_id = int(compiled.gate_output[gate_index])
+            ordered_states.extend((_state(out_id, 0), _state(out_id, 1)))
+    for state in reversed(ordered_states):
+        best = suffix[state]
+        for _, _, next_state, delay in edges.get(state, ()):
+            candidate = suffix[next_state] + delay
+            if candidate > best:
+                best = candidate
+        suffix[state] = best
+
+    id_to_net = {index: net for net, index in compiled.net_index.items()}
+    gate_names = [gate.name for gate in circuit.gates]
+    output_set = {int(i) for i in compiled.output_net_ids}
+
+    # Best-first expansion.  Two entry kinds share the heap, ordered by
+    # exact potential so the first K *terminal* pops are the K longest:
+    #   advance:  (-prefix - suffix[state], n, False, state, prefix, parent)
+    #   terminal: (-prefix,                 n, True,  state, prefix, parent)
+    counter = itertools.count()
+    heap: List[Tuple[float, int, bool, int, float, Optional[tuple]]] = []
+
+    def push_state(state: int, prefix: float, parent: Optional[tuple]) -> None:
+        if state // 2 in output_set:
+            heapq.heappush(
+                heap, (-prefix, next(counter), True, state, prefix, parent)
+            )
+        if np.isfinite(suffix[state]) and edges.get(state):
+            heapq.heappush(
+                heap,
+                (-(prefix + suffix[state]), next(counter), False, state,
+                 prefix, parent),
+            )
+
+    for net in circuit.inputs:
+        net_id = compiled.net_index[net]
+        push_state(_state(net_id, 0), 0.0, None)
+        push_state(_state(net_id, 1), 0.0, None)
+
+    results: List[Path] = []
+    expansions = 0
+    while heap and len(results) < k:
+        _, _, terminal, state, prefix_delay, parent = heapq.heappop(heap)
+        expansions += 1
+        if expansions > max_expansions:
+            raise TimingError(
+                f"path enumeration exceeded {max_expansions} expansions"
+            )
+        if not terminal:
+            for gate_index, pin, next_state, delay in edges.get(state, ()):
+                push_state(next_state, prefix_delay + delay,
+                           (state, gate_index, pin, parent))
+            continue
+
+        # Completed path: materialize by walking the parent chain of
+        # (state, gate, pin, grandparent) records.
+        nets: List[str] = [id_to_net[state // 2]]
+        pols: List[DrivePolarity] = [DrivePolarity(state % 2)]
+        gates: List[str] = []
+        pins: List[int] = []
+        node = parent
+        while node is not None:
+            prev_state, gate_index, pin, node = node
+            nets.append(id_to_net[prev_state // 2])
+            pols.append(DrivePolarity(prev_state % 2))
+            gates.append(gate_names[gate_index])
+            pins.append(pin)
+        nets.reverse()
+        pols.reverse()
+        gates.reverse()
+        pins.reverse()
+        results.append(
+            Path(nets=tuple(nets), gates=tuple(gates), pins=tuple(pins),
+                 polarities=tuple(pols), delay=prefix_delay)
+        )
+    return results

@@ -1,0 +1,43 @@
+"""Human-readable timing reports."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.timing.paths import Path
+from repro.timing.sta import ArrivalTimes
+from repro.units import si_format
+
+__all__ = ["format_timing_report", "format_path"]
+
+
+def format_path(path: Path, index: Optional[int] = None) -> str:
+    """One-line summary of a path (``#3 1.234ns i5 -> g8/g12/... -> n42``)."""
+    prefix = f"#{index} " if index is not None else ""
+    hops = "/".join(path.gates[:6]) + ("/…" if len(path.gates) > 6 else "")
+    return (
+        f"{prefix}{si_format(path.delay, unit='s')}  "
+        f"{path.start} -> [{hops}] -> {path.end}  ({len(path)} stages)"
+    )
+
+
+def format_timing_report(
+    arrivals: ArrivalTimes,
+    circuit_name: str,
+    paths: Sequence[Path] = (),
+    voltage: Optional[float] = None,
+) -> str:
+    """Render an STA summary plus the top paths, signoff-report style."""
+    condition = f" @ {voltage:.2f} V" if voltage is not None else " (nominal)"
+    lines = [
+        f"Timing report for {circuit_name}{condition}",
+        "=" * 60,
+        f"Longest path delay : {si_format(arrivals.longest_path, unit='s')}",
+        f"Critical output    : {arrivals.critical_output}",
+        "",
+    ]
+    if paths:
+        lines.append(f"Top {len(paths)} structural paths:")
+        for index, path in enumerate(paths, start=1):
+            lines.append("  " + format_path(path, index))
+    return "\n".join(lines) + "\n"

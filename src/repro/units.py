@@ -1,0 +1,128 @@
+"""Engineering-notation units used throughout the library.
+
+Internally the library uses plain SI floats everywhere:
+
+* time in **seconds**,
+* capacitance in **farads**,
+* voltage in **volts**.
+
+The paper reports times in picoseconds/nanoseconds and loads in
+femtofarads; the helpers here convert and pretty-print values in the same
+style as the paper's tables (e.g. ``145.3p``, ``2.234n``).
+"""
+
+from __future__ import annotations
+
+import math
+
+# Convenience scale constants -------------------------------------------------
+
+FS = 1e-15
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+FF = 1e-15  # femtofarad
+PF = 1e-12  # picofarad
+
+#: SI prefixes by exponent of 10**3.
+_SI_PREFIXES = {
+    -6: "a",
+    -5: "f",
+    -4: "p",
+    -3: "n",
+    -2: "u",
+    -1: "m",
+    0: "",
+    1: "k",
+    2: "M",
+    3: "G",
+}
+
+
+def si_format(value: float, digits: int = 4, unit: str = "") -> str:
+    """Format ``value`` with an SI prefix, paper style.
+
+    >>> si_format(145.3e-12)
+    '145.3p'
+    >>> si_format(2.234e-9, unit='s')
+    '2.234ns'
+    """
+    if value == 0:
+        return f"0{unit}"
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return ("-inf" if value < 0 else "inf") + unit
+    sign = "-" if value < 0 else ""
+    mag = abs(value)
+    exp3 = int(math.floor(math.log10(mag) / 3.0))
+    exp3 = max(min(exp3, max(_SI_PREFIXES)), min(_SI_PREFIXES))
+    scaled = mag / 10.0 ** (3 * exp3)
+    # Keep `digits` significant digits like the paper (145.3p, 2.234n).
+    if scaled >= 100:
+        text = f"{scaled:.{max(digits - 3, 0)}f}"
+    elif scaled >= 10:
+        text = f"{scaled:.{max(digits - 2, 0)}f}"
+    else:
+        text = f"{scaled:.{max(digits - 1, 0)}f}"
+    return f"{sign}{text}{_SI_PREFIXES[exp3]}{unit}"
+
+
+def si_parse(text: str) -> float:
+    """Parse an SI-suffixed number such as ``'145.3p'`` or ``'0.5f'``.
+
+    An optional trailing unit letter (``s``, ``F``, ``V``) is ignored.
+
+    >>> si_parse('145.3p')
+    1.453e-10
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty SI literal")
+    for unit in ("s", "F", "V", "Hz"):
+        if text.endswith(unit) and len(text) > len(unit):
+            text = text[: -len(unit)]
+            break
+    multiplier = 1.0
+    prefixes = {"a": 1e-18, "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6,
+                "m": 1e-3, "k": 1e3, "M": 1e6, "G": 1e9}
+    if text and text[-1] in prefixes:
+        multiplier = prefixes[text[-1]]
+        text = text[:-1]
+    return float(text) * multiplier
+
+
+def format_runtime(seconds: float) -> str:
+    """Format a runtime the way Table I does (``5ms``, ``16.31s``, ``2:20m``, ``0:49h``).
+
+    >>> format_runtime(0.005)
+    '5ms'
+    >>> format_runtime(140)
+    '2:20m'
+    """
+    if seconds < 0:
+        raise ValueError("runtime must be non-negative")
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 100.0:
+        return f"{seconds:.2f}s"
+    if seconds < 600.0:
+        minutes = int(seconds // 60)
+        rest = int(round(seconds - 60 * minutes))
+        return f"{minutes}:{rest:02d}m"
+    hours = int(seconds // 3600)
+    minutes = int(round((seconds - 3600 * hours) / 60.0))
+    return f"{hours}:{minutes:02d}h"
+
+
+def meps(node_count: int, pattern_count: int, runtime_seconds: float) -> float:
+    """Throughput in *million node evaluations per second* (Table I metric).
+
+    One evaluation of every node for every pattern pair counts as
+    ``node_count * pattern_count`` node evaluations.
+    """
+    if runtime_seconds <= 0:
+        raise ValueError("runtime must be positive")
+    return node_count * pattern_count / runtime_seconds / 1e6

@@ -1,0 +1,9 @@
+"""Waveform data structures: switching histories with full glitch support."""
+
+from repro.waveform.waveform import Waveform
+from repro.waveform.inertial import cancel_monotonic, filter_inertial
+from repro.waveform.packed import PackedWaveforms
+from repro.waveform.vcd import dump_vcd, result_to_vcd
+
+__all__ = ["Waveform", "cancel_monotonic", "filter_inertial",
+           "PackedWaveforms", "dump_vcd", "result_to_vcd"]

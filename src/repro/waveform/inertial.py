@@ -1,0 +1,62 @@
+"""Pulse filtering: transition cancellation and inertial delay.
+
+Two physical effects bound which generated output transitions survive:
+
+* **Cancellation** — pin-to-pin delays differ per pin and polarity, so a
+  later input event can schedule an output toggle at or before the
+  previously scheduled one.  The two toggles annihilate (the output
+  never actually moved).  This keeps toggle sequences strictly
+  increasing.
+* **Inertial filtering** — a gate cannot propagate a pulse shorter than
+  its inertial delay; such glitches are absorbed.  Following the paper,
+  the inertial delay of a cell equals its propagation delay.
+
+Both rules are implemented as a single left-to-right stack scan, the same
+logic the simulation kernels apply incrementally while emitting output
+transitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.waveform.waveform import Waveform
+
+__all__ = ["cancel_monotonic", "filter_inertial"]
+
+
+def cancel_monotonic(times: Sequence[float]) -> np.ndarray:
+    """Annihilate out-of-order toggle pairs.
+
+    ``times`` is the sequence of scheduled output toggle times in
+    generation order (not necessarily increasing).  Whenever a toggle is
+    scheduled at or before the previously surviving one, both cancel.
+    The result is strictly increasing.
+    """
+    return filter_inertial(times, 0.0)
+
+
+def filter_inertial(times: Sequence[float], min_width: float) -> np.ndarray:
+    """Cancellation plus inertial pulse filtering in one pass.
+
+    A toggle closer than ``min_width`` to the previous surviving toggle
+    annihilates together with it (the pulse between them is too short to
+    propagate).  ``min_width = 0`` gives pure cancellation.
+    """
+    if min_width < 0:
+        raise ValueError("minimum pulse width must be non-negative")
+    stack: List[float] = []
+    for time in times:
+        if stack and time - stack[-1] <= min_width:
+            stack.pop()
+        else:
+            stack.append(float(time))
+    return np.asarray(stack, dtype=np.float64)
+
+
+def filter_waveform(waveform: Waveform, min_width: float) -> Waveform:
+    """Apply inertial filtering to an existing waveform."""
+    return Waveform(initial=waveform.initial,
+                    times=filter_inertial(waveform.times, min_width))

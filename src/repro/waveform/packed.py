@@ -1,0 +1,138 @@
+"""Packed waveform storage — the GPU waveform memory layout.
+
+The GPU engine stores one net's switching history for *all* parallel
+slots (stimuli × operating points, Sec. IV-B) as a dense float64 array of
+shape ``(num_slots, capacity)``:
+
+* row ``s`` holds the toggle times of slot ``s`` in increasing order,
+* unused tail entries are padded with ``+inf`` (the paper's waveform
+  memory works the same way: a terminator after the last transition),
+* a separate ``(num_slots,)`` array holds the initial values.
+
+The paper notes that overall GPU runtime is dominated by waveform memory;
+:class:`PackedWaveforms` therefore tracks overflow so the engine can
+re-run a net with a larger capacity instead of silently dropping
+glitches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WaveformOverflowError
+from repro.waveform.waveform import Waveform
+
+__all__ = ["PackedWaveforms"]
+
+INF = np.float64(np.inf)
+
+
+class PackedWaveforms:
+    """Fixed-capacity toggle-time storage for a plane of slots."""
+
+    def __init__(self, num_slots: int, capacity: int,
+                 initial: Optional[np.ndarray] = None) -> None:
+        if num_slots < 1:
+            raise ValueError("need at least one slot")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.times = np.full((num_slots, capacity), INF, dtype=np.float64)
+        if initial is None:
+            self.initial = np.zeros(num_slots, dtype=np.uint8)
+        else:
+            initial = np.asarray(initial, dtype=np.uint8)
+            if initial.shape != (num_slots,):
+                raise ValueError(
+                    f"initial values shape {initial.shape} != ({num_slots},)"
+                )
+            if np.any(initial > 1):
+                raise ValueError("initial values must be 0/1")
+            self.initial = initial.copy()
+        self.overflow = np.zeros(num_slots, dtype=bool)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return self.times.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        return self.times.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self.times.nbytes + self.initial.nbytes + self.overflow.nbytes
+
+    # -- conversions ------------------------------------------------------------
+
+    @classmethod
+    def from_waveforms(cls, waveforms: Sequence[Waveform],
+                       capacity: Optional[int] = None) -> "PackedWaveforms":
+        """Pack per-slot :class:`Waveform` objects into one array."""
+        if not waveforms:
+            raise ValueError("need at least one waveform")
+        needed = max(w.num_transitions for w in waveforms)
+        capacity = max(capacity or 0, needed, 1)
+        packed = cls(
+            num_slots=len(waveforms),
+            capacity=capacity,
+            initial=np.asarray([w.initial for w in waveforms], dtype=np.uint8),
+        )
+        for slot, waveform in enumerate(waveforms):
+            count = waveform.num_transitions
+            packed.times[slot, :count] = waveform.times
+        return packed
+
+    def to_waveform(self, slot: int) -> Waveform:
+        """Unpack one slot (raises on overflowed slots)."""
+        if self.overflow[slot]:
+            raise WaveformOverflowError(
+                f"slot {slot} overflowed capacity {self.capacity}"
+            )
+        row = self.times[slot]
+        count = int(np.searchsorted(row, INF))
+        return Waveform(initial=int(self.initial[slot]), times=row[:count].copy())
+
+    def to_waveforms(self) -> List[Waveform]:
+        return [self.to_waveform(slot) for slot in range(self.num_slots)]
+
+    # -- bulk queries -------------------------------------------------------------
+
+    def transition_counts(self) -> np.ndarray:
+        """Number of toggles per slot (glitch-accurate switching activity)."""
+        return np.sum(np.isfinite(self.times), axis=1).astype(np.int64)
+
+    def final_values(self) -> np.ndarray:
+        """Settled logic value per slot."""
+        return (self.initial ^ (self.transition_counts() & 1).astype(np.uint8))
+
+    def values_at(self, time: float) -> np.ndarray:
+        """Logic value per slot at a given sample time."""
+        counts = np.sum(self.times <= time, axis=1)
+        return (self.initial ^ (counts & 1).astype(np.uint8))
+
+    def latest_times(self) -> np.ndarray:
+        """Last toggle time per slot; ``-inf`` where constant."""
+        counts = self.transition_counts()
+        result = np.full(self.num_slots, -np.inf, dtype=np.float64)
+        nonzero = counts > 0
+        result[nonzero] = self.times[nonzero, counts[nonzero] - 1]
+        return result
+
+    def grown(self, new_capacity: int) -> "PackedWaveforms":
+        """A copy with larger capacity (overflow recovery)."""
+        if new_capacity <= self.capacity:
+            raise ValueError("new capacity must exceed the current one")
+        bigger = PackedWaveforms(self.num_slots, new_capacity, self.initial)
+        bigger.times[:, : self.capacity] = self.times
+        bigger.overflow[:] = self.overflow
+        return bigger
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PackedWaveforms({self.num_slots} slots x {self.capacity} cap, "
+            f"{int(self.overflow.sum())} overflowed)"
+        )

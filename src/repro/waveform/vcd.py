@@ -1,0 +1,136 @@
+"""VCD (Value Change Dump) export of simulation waveforms.
+
+Glitch-accurate switching histories are most useful when they can be
+inspected in a standard waveform viewer (GTKWave & co.).  This module
+dumps one simulation slot — or several slots side by side — as IEEE 1364
+VCD text, with configurable timescale quantization.
+
+VCD is a change-dump format: each signal gets a short identifier code and
+every toggle becomes a ``<value><code>`` line under its ``#<time>``
+stamp, which maps one-to-one onto the library's toggle-time waveforms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.units import FS
+from repro.waveform.waveform import Waveform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.simulation.base import SimulationResult
+
+__all__ = ["dump_vcd", "result_to_vcd"]
+
+#: Printable VCD identifier characters (IEEE 1364: '!' … '~').
+_ID_FIRST = 33
+_ID_LAST = 126
+_ID_RANGE = _ID_LAST - _ID_FIRST + 1
+
+
+def _identifier(index: int) -> str:
+    """Short unique identifier code for the ``index``-th signal."""
+    code = ""
+    index += 1
+    while index > 0:
+        index, digit = divmod(index - 1, _ID_RANGE)
+        code = chr(_ID_FIRST + digit) + code
+    return code
+
+
+def _timescale_label(timescale: float) -> Tuple[int, str]:
+    """Map a timescale in seconds onto VCD's ``<1|10|100> <unit>`` form."""
+    for unit_seconds, label in ((1e-15, "fs"), (1e-12, "ps"), (1e-9, "ns"),
+                                (1e-6, "us"), (1e-3, "ms"), (1.0, "s")):
+        for multiplier in (1, 10, 100):
+            if abs(timescale / (multiplier * unit_seconds) - 1.0) < 1e-6:
+                return multiplier, label
+    raise SimulationError(
+        f"timescale {timescale} is not 1/10/100 of a standard VCD unit"
+    )
+
+
+def dump_vcd(
+    waveforms: Mapping[str, Waveform],
+    timescale: float = FS,
+    date: str = "",
+    scope: str = "dut",
+) -> str:
+    """Serialize named waveforms as VCD text.
+
+    Parameters
+    ----------
+    waveforms:
+        Net name → :class:`Waveform`.  Net names become VCD variable
+        names (``$var wire 1 <code> <name> $end``).
+    timescale:
+        VCD time unit in seconds; toggle times are rounded to integer
+        multiples of it (default 1 fs — lossless for this library's
+        picosecond-scale delays).
+    """
+    if not waveforms:
+        raise SimulationError("nothing to dump")
+    if timescale <= 0:
+        raise SimulationError("timescale must be positive")
+
+    unit, label = _timescale_label(timescale)
+    lines: List[str] = []
+    if date:
+        lines += ["$date", f"  {date}", "$end"]
+    lines += [
+        "$version", "  repro waveform dump", "$end",
+        f"$timescale {unit} {label} $end",
+        f"$scope module {scope} $end",
+    ]
+    codes: Dict[str, str] = {}
+    for index, net in enumerate(waveforms):
+        codes[net] = _identifier(index)
+        lines.append(f"$var wire 1 {codes[net]} {net} $end")
+    lines += ["$upscope $end", "$enddefinitions $end"]
+
+    # Initial values.
+    lines.append("$dumpvars")
+    for net, waveform in waveforms.items():
+        lines.append(f"{waveform.initial}{codes[net]}")
+    lines.append("$end")
+
+    # Merge all toggles into one global time order.
+    events: List[Tuple[int, str, int]] = []
+    for net, waveform in waveforms.items():
+        for time, value in waveform.transitions():
+            events.append((int(round(time / timescale)), codes[net], value))
+    events.sort(key=lambda item: (item[0], item[1]))
+
+    current_stamp: Optional[int] = None
+    for stamp, code, value in events:
+        if stamp != current_stamp:
+            lines.append(f"#{stamp}")
+            current_stamp = stamp
+        lines.append(f"{value}{code}")
+    return "\n".join(lines) + "\n"
+
+
+def result_to_vcd(
+    result: "SimulationResult",
+    slot: int,
+    nets: Optional[Sequence[str]] = None,
+    timescale: float = FS,
+) -> str:
+    """Dump one slot of a simulation result as VCD.
+
+    ``nets`` defaults to everything the result recorded for the slot.
+    """
+    if not 0 <= slot < result.num_slots:
+        raise SimulationError(f"slot {slot} out of range")
+    recorded = result.waveforms[slot]
+    chosen: Iterable[str] = nets if nets is not None else recorded.keys()
+    waveforms = {net: result.waveform(slot, net) for net in chosen}
+    pattern, voltage = result.slot_labels[slot]
+    return dump_vcd(
+        waveforms,
+        timescale=timescale,
+        date=(f"{result.circuit_name} pattern {pattern} @ {voltage:.2f} V "
+              f"({result.engine})"),
+        scope=result.circuit_name,
+    )

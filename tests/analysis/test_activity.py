@@ -1,0 +1,77 @@
+"""Tests for glitch-accurate switching-activity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.activity import switching_activity
+from repro.errors import SimulationError
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair, SimulationConfig, SimulationResult
+from repro.simulation.gpu import GpuWaveSim
+from repro.waveform.waveform import Waveform
+
+
+def synthetic_result():
+    """Hand-built result: one slot, three nets with known toggles."""
+    waveforms = [{
+        "quiet": Waveform.constant(1),
+        "clean": Waveform(initial=0, times=np.asarray([1e-12])),
+        "glitchy": Waveform(initial=0, times=np.asarray([1e-12, 2e-12, 3e-12])),
+    }]
+    return SimulationResult(
+        circuit_name="synthetic", slot_labels=[(0, 0.8)],
+        waveforms=waveforms, runtime_seconds=0.0,
+        gate_evaluations=0, engine="test",
+    )
+
+
+class TestCounting:
+    def test_known_counts(self):
+        report = switching_activity(synthetic_result())
+        assert report.toggles == {"quiet": 0, "clean": 1, "glitchy": 3}
+        assert report.functional == {"quiet": 0, "clean": 1, "glitchy": 1}
+        assert report.glitches == {"quiet": 0, "clean": 0, "glitchy": 2}
+        assert report.total_toggles == 4
+        assert report.total_glitches == 2
+        assert report.glitch_ratio == pytest.approx(0.5)
+
+    def test_hotspots(self):
+        report = switching_activity(synthetic_result())
+        assert report.hotspots() == ["glitchy"]
+
+    def test_no_slots_rejected(self):
+        with pytest.raises(SimulationError):
+            switching_activity(synthetic_result(), slots=[])
+
+    def test_empty_activity(self):
+        result = synthetic_result()
+        result.waveforms[0] = {"quiet": Waveform.constant(0)}
+        report = switching_activity(result)
+        assert report.glitch_ratio == 0.0
+        assert report.hotspots() == []
+
+
+class TestFromSimulation:
+    def test_glitches_require_time_simulation(self, library, rng):
+        """Glitch counts from a real run: toggles >= functional everywhere."""
+        circuit = random_circuit("act", 12, 200, seed=3)
+        sim = GpuWaveSim(circuit, library,
+                         config=SimulationConfig(record_all_nets=True))
+        pairs = [PatternPair.random(12, rng) for _ in range(16)]
+        report = switching_activity(sim.run(pairs))
+        assert report.num_slots == 16
+        for net in circuit.nets():
+            assert report.toggles[net] >= report.functional[net]
+        # random reconvergent logic always glitches somewhere
+        assert report.total_glitches > 0
+
+    def test_slot_subset(self, library, rng):
+        circuit = random_circuit("act", 12, 100, seed=4)
+        sim = GpuWaveSim(circuit, library,
+                         config=SimulationConfig(record_all_nets=True))
+        pairs = [PatternPair.random(12, rng) for _ in range(8)]
+        result = sim.run(pairs)
+        full = switching_activity(result)
+        half = switching_activity(result, slots=range(4))
+        assert half.num_slots == 4
+        assert half.total_toggles <= full.total_toggles

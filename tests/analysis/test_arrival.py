@@ -1,0 +1,64 @@
+"""Tests for latest-transition arrival extraction (Table II metric)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.arrival import latest_arrivals
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+
+
+@pytest.fixture(scope="module")
+def sweep(library, kernel_table):
+    circuit = random_circuit("arr", 12, 250, seed=6)
+    rng = np.random.default_rng(1)
+    pairs = [PatternPair.random(12, rng) for _ in range(10)]
+    voltages = [0.55, 0.7, 0.8, 1.1]
+    plan = SlotPlan.cross(len(pairs), voltages)
+    sim = GpuWaveSim(circuit, library)
+    result = sim.run(pairs, plan=plan, kernel_table=kernel_table)
+    return circuit, plan, result, voltages
+
+
+class TestExtraction:
+    def test_per_voltage_report(self, sweep):
+        circuit, plan, result, voltages = sweep
+        report = latest_arrivals(result, circuit, plan=plan)
+        assert report.voltages() == sorted(voltages)
+        for voltage in voltages:
+            assert np.isfinite(report.at(voltage))
+
+    def test_monotone_voltage_dependence(self, sweep):
+        circuit, plan, result, voltages = sweep
+        report = latest_arrivals(result, circuit, plan=plan)
+        ordered = [report.at(v) for v in sorted(voltages)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_critical_slot_consistent(self, sweep):
+        circuit, plan, result, voltages = sweep
+        report = latest_arrivals(result, circuit, plan=plan)
+        for voltage in voltages:
+            slot = report.critical_slot[voltage]
+            assert result.latest_arrival(slot, circuit.outputs) == \
+                pytest.approx(report.at(voltage))
+            assert plan.voltages[slot] == pytest.approx(voltage)
+
+    def test_relative_to(self, sweep):
+        circuit, plan, result, voltages = sweep
+        report = latest_arrivals(result, circuit, plan=plan)
+        assert report.relative_to(report.at(0.8), 0.8) == pytest.approx(0.0)
+        assert report.relative_to(report.at(0.8), 0.55) > 0
+
+    def test_unknown_voltage(self, sweep):
+        circuit, plan, result, voltages = sweep
+        report = latest_arrivals(result, circuit, plan=plan)
+        with pytest.raises(KeyError):
+            report.at(0.95)
+
+    def test_without_plan_uses_labels(self, sweep):
+        circuit, plan, result, voltages = sweep
+        report = latest_arrivals(result, circuit)
+        for voltage in voltages:
+            assert np.isfinite(report.at(voltage))

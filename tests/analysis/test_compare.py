@@ -1,0 +1,98 @@
+"""Tests for waveform-level result comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import arrival_shifts, compare_results
+from repro.errors import SimulationError
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+
+
+@pytest.fixture(scope="module")
+def setup(library):
+    circuit = random_circuit("cmp", 10, 150, seed=31)
+    compiled = compile_circuit(circuit, library)
+    rng = np.random.default_rng(31)
+    pairs = [PatternPair.random(10, rng) for _ in range(8)]
+    config = SimulationConfig(record_all_nets=True)
+    return circuit, compiled, pairs, config
+
+
+class TestCompare:
+    def test_identical_engines(self, setup, library, kernel_table):
+        circuit, compiled, pairs, config = setup
+        a = GpuWaveSim(circuit, library, config=config, compiled=compiled).run(
+            pairs, kernel_table=kernel_table)
+        b = EventDrivenSimulator(circuit, library, config=config,
+                                 compiled=compiled).run(
+            pairs, kernel_table=kernel_table)
+        report = compare_results(a, b)
+        assert report.identical
+        assert report.num_waveforms == len(pairs) * len(circuit.nets())
+        assert "0 mismatches" in report.summary()
+
+    def test_static_vs_parametric_timing_shift(self, setup, library,
+                                               kernel_table):
+        """At nominal voltage the two models differ only by small timing
+        shifts (the Table II residual), never by waveform shape."""
+        circuit, compiled, pairs, config = setup
+        sim = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+        static = sim.run(pairs)
+        parametric = sim.run(pairs, kernel_table=kernel_table)
+        strict = compare_results(static, parametric)
+        assert strict.shape_clean
+        assert 0 < strict.max_time_shift < 50e-12
+        # within a generous tolerance the runs agree completely
+        loose = compare_results(static, parametric, time_tolerance=50e-12)
+        assert not loose.mismatches
+
+    def test_detects_shape_difference(self, setup, library):
+        """Transport vs inertial filtering changes waveform shapes."""
+        circuit, compiled, pairs, _config = setup
+        transport = GpuWaveSim(
+            circuit, library, compiled=compiled,
+            config=SimulationConfig(record_all_nets=True,
+                                    pulse_filtering="transport")).run(pairs)
+        inertial = GpuWaveSim(
+            circuit, library, compiled=compiled,
+            config=SimulationConfig(record_all_nets=True,
+                                    pulse_filtering="inertial")).run(pairs)
+        report = compare_results(transport, inertial, time_tolerance=1.0)
+        kinds = {m.kind for m in report.mismatches}
+        assert kinds <= {"shape"}
+
+    def test_worst_ranking(self, setup, library, kernel_table):
+        circuit, compiled, pairs, config = setup
+        sim = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+        report = compare_results(sim.run(pairs),
+                                 sim.run(pairs, kernel_table=kernel_table))
+        worst = report.worst(3)
+        assert len(worst) <= 3
+        shifts = [m.max_shift for m in worst]
+        assert shifts == sorted(shifts, reverse=True)
+
+    def test_slot_count_mismatch(self, setup, library):
+        circuit, compiled, pairs, config = setup
+        sim = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+        with pytest.raises(SimulationError):
+            compare_results(sim.run(pairs), sim.run(pairs[:3]))
+
+
+class TestArrivalShifts:
+    def test_voltage_shift_signs(self, setup, library, kernel_table):
+        circuit, compiled, pairs, config = setup
+        sim = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+        nominal = sim.run(pairs, voltage=0.8, kernel_table=kernel_table)
+        slow = sim.run(pairs, voltage=0.6, kernel_table=kernel_table)
+        shifts = arrival_shifts(nominal, slow, circuit.outputs)
+        assert shifts.shape == (len(pairs),)
+        # Dominantly positive: 0.6 V arrivals come later.  Individual
+        # patterns may shift negative when the wider inertial window at
+        # low voltage swallows a late glitch entirely.
+        assert np.mean(shifts) > 0
+        assert np.max(shifts) > 0
+        assert np.sum(shifts > 0) >= 0.6 * len(shifts)

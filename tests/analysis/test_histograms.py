@@ -1,0 +1,95 @@
+"""Tests for distribution statistics over waveform populations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import (
+    arrival_histogram,
+    pulse_width_histogram,
+    toggles_per_level,
+)
+from repro.errors import SimulationError
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.variation import ProcessVariation
+
+
+@pytest.fixture(scope="module")
+def mc_result(library, kernel_table):
+    circuit = random_circuit("hist", 12, 250, seed=13)
+    sim = GpuWaveSim(circuit, library,
+                     config=SimulationConfig(record_all_nets=True))
+    rng = np.random.default_rng(13)
+    pairs = [PatternPair.random(12, rng) for _ in range(40)]
+    result = sim.run(pairs, kernel_table=kernel_table,
+                     variation=ProcessVariation(sigma=0.05, seed=5))
+    return circuit, result
+
+
+class TestArrivalHistogram:
+    def test_statistics_consistent(self, mc_result):
+        circuit, result = mc_result
+        hist = arrival_histogram(result, circuit.outputs, bins=12)
+        assert hist.samples <= result.num_slots
+        assert hist.minimum <= hist.mean <= hist.maximum
+        assert hist.counts.sum() == hist.samples
+        assert len(hist.edges) == len(hist.counts) + 1
+
+    def test_percentiles_ordered(self, mc_result):
+        circuit, result = mc_result
+        hist = arrival_histogram(result, circuit.outputs)
+        p10 = hist.percentile(10)
+        p50 = hist.percentile(50)
+        p95 = hist.percentile(95)
+        assert p10 <= p50 <= p95
+        with pytest.raises(ValueError):
+            hist.percentile(150)
+
+    def test_slot_subset(self, mc_result):
+        circuit, result = mc_result
+        subset = arrival_histogram(result, circuit.outputs, slots=range(5))
+        assert subset.samples <= 5
+
+    def test_ascii_rendering(self, mc_result):
+        circuit, result = mc_result
+        text = arrival_histogram(result, circuit.outputs, bins=5).format()
+        assert text.count("\n") == 4
+        assert "ps |" in text
+
+
+class TestPulseWidthHistogram:
+    def test_inertial_cutoff(self, mc_result):
+        """Inertial filtering guarantees no sub-cutoff pulses survive
+        anywhere near zero width."""
+        circuit, result = mc_result
+        hist = pulse_width_histogram(result)
+        assert hist.minimum > 0
+        assert hist.samples > 0
+
+    def test_empty_raises(self, library):
+        circuit = random_circuit("quiet", 6, 30, seed=1)
+        sim = GpuWaveSim(circuit, library,
+                         config=SimulationConfig(record_all_nets=True))
+        v = np.zeros(6, dtype=np.uint8)
+        result = sim.run([PatternPair(v1=v, v2=v.copy())])
+        with pytest.raises(SimulationError, match="no pulses"):
+            pulse_width_histogram(result)
+
+
+class TestTogglesPerLevel:
+    def test_covers_levels(self, mc_result):
+        circuit, result = mc_result
+        profile = toggles_per_level(result, circuit)
+        assert 0 in profile  # primary inputs toggle at launch
+        assert max(profile) <= circuit.depth
+        total = sum(profile.values())
+        expected = sum(result.total_transitions(slot)
+                       for slot in range(result.num_slots))
+        assert total == expected
+
+    def test_slot_subset_scales_down(self, mc_result):
+        circuit, result = mc_result
+        full = toggles_per_level(result, circuit)
+        half = toggles_per_level(result, circuit, slots=range(10))
+        assert sum(half.values()) < sum(full.values())

@@ -1,0 +1,58 @@
+"""Tests for dynamic power estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.activity import ActivityReport
+from repro.analysis.power import dynamic_power
+from repro.errors import SimulationError
+
+
+def report(num_slots=2):
+    return ActivityReport(
+        num_slots=num_slots,
+        toggles={"a": 4, "b": 2},
+        functional={"a": 2, "b": 2},
+        glitches={"a": 2, "b": 0},
+    )
+
+
+LOADS = {"a": 2e-15, "b": 1e-15}
+
+
+class TestArithmetic:
+    def test_energy_formula(self):
+        power = dynamic_power(report(), LOADS, voltage=1.0)
+        # E = 0.5 * V^2 * (C_a*4 + C_b*2) / slots
+        expected = 0.5 * (2e-15 * 4 + 1e-15 * 2) / 2
+        assert power.energy_per_pattern == pytest.approx(expected)
+        glitch = 0.5 * (2e-15 * 2) / 2
+        assert power.glitch_energy_per_pattern == pytest.approx(glitch)
+        assert power.glitch_fraction == pytest.approx(glitch / expected)
+
+    def test_scales_with_v_squared(self):
+        low = dynamic_power(report(), LOADS, voltage=0.5)
+        high = dynamic_power(report(), LOADS, voltage=1.0)
+        assert high.energy_per_pattern == pytest.approx(
+            4 * low.energy_per_pattern)
+
+    def test_power_with_frequency(self):
+        result = dynamic_power(report(), LOADS, voltage=1.0, frequency=1e9)
+        assert result.power == pytest.approx(result.energy_per_pattern * 1e9)
+        assert dynamic_power(report(), LOADS, voltage=1.0).power is None
+
+    def test_missing_loads_skipped(self):
+        partial = dynamic_power(report(), {"a": 2e-15}, voltage=1.0)
+        full = dynamic_power(report(), LOADS, voltage=1.0)
+        assert partial.energy_per_pattern < full.energy_per_pattern
+
+    def test_zero_activity(self):
+        empty = ActivityReport(num_slots=1, toggles={}, functional={},
+                               glitches={})
+        result = dynamic_power(empty, LOADS, voltage=1.0)
+        assert result.energy_per_pattern == 0.0
+        assert result.glitch_fraction == 0.0
+
+    def test_voltage_validation(self):
+        with pytest.raises(SimulationError):
+            dynamic_power(report(), LOADS, voltage=0.0)

@@ -1,0 +1,58 @@
+"""Tests for test-response capture and comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.responses import capture_responses, compare_responses
+from repro.errors import SimulationError
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+@pytest.fixture(scope="module")
+def setup(library):
+    circuit = random_circuit("resp", 10, 120, seed=2)
+    rng = np.random.default_rng(0)
+    pairs = [PatternPair.random(10, rng) for _ in range(12)]
+    result = GpuWaveSim(circuit, library).run(pairs)
+    expected = ZeroDelaySimulator(circuit, library).responses(
+        np.stack([p.v2 for p in pairs]))
+    return circuit, pairs, result, expected
+
+
+class TestCapture:
+    def test_capture_matches_zero_delay(self, setup):
+        circuit, pairs, result, expected = setup
+        captured = capture_responses(result, circuit)
+        np.testing.assert_array_equal(captured, expected)
+
+
+class TestCompare:
+    def test_pass(self, setup):
+        circuit, pairs, result, expected = setup
+        report = compare_responses(result, circuit, expected)
+        assert report.passed
+        assert report.failing_slots == []
+        assert report.num_slots == len(pairs)
+
+    def test_detects_mismatch(self, setup):
+        circuit, pairs, result, expected = setup
+        corrupted = expected.copy()
+        corrupted[3, 0] ^= 1
+        report = compare_responses(result, circuit, corrupted)
+        assert not report.passed
+        assert report.failing_slots == [3]
+        assert report.mismatches[3] == [circuit.outputs[0]]
+
+    def test_slot_subset(self, setup):
+        circuit, pairs, result, expected = setup
+        report = compare_responses(result, circuit, expected[2:5],
+                                   slots=[2, 3, 4])
+        assert report.passed
+
+    def test_shape_validation(self, setup):
+        circuit, pairs, result, expected = setup
+        with pytest.raises(SimulationError, match="shape"):
+            compare_responses(result, circuit, expected[:3])

@@ -1,0 +1,85 @@
+"""Tests for timing-aware path pattern generation and false paths."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.path_patterns import _Justifier, generate_path_patterns
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import random_circuit, ripple_carry_adder
+from repro.simulation.base import SimulationConfig
+from repro.simulation.event_driven import EventDrivenSimulator
+
+
+class TestJustifier:
+    def test_simple_and_justification(self, library):
+        circuit = Circuit("j")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g0", "AND2_X1", ["a", "b"], "y")
+        circuit.add_output("y")
+        justifier = _Justifier(circuit, library)
+        solution = justifier.solve({"y": 1})
+        assert solution["a"] == 1 and solution["b"] == 1
+        solution0 = justifier.solve({"y": 0})
+        assert solution0["a"] == 0 or solution0["b"] == 0
+
+    def test_conflicting_requirements(self, library):
+        circuit = Circuit("j")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "BUF_X1", ["a"], "y")
+        circuit.add_gate("g1", "INV_X1", ["a"], "z")
+        circuit.add_output("y")
+        circuit.add_output("z")
+        justifier = _Justifier(circuit, library)
+        # y == z is impossible: y = a, z = !a
+        assert justifier.solve({"y": 1, "z": 1}) is None
+        assert justifier.solve({"y": 1, "z": 0}) == {"y": 1, "z": 0, "a": 1}
+
+    def test_reconvergent_conflict(self, library):
+        circuit = Circuit("j")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "INV_X1", ["a"], "na")
+        circuit.add_gate("g1", "AND2_X1", ["a", "na"], "y")  # always 0
+        circuit.add_output("y")
+        justifier = _Justifier(circuit, library)
+        assert justifier.solve({"y": 1}) is None
+        assert justifier.solve({"y": 0}) is not None
+
+
+class TestPathPatterns:
+    def test_adder_carry_paths_testable(self, library):
+        result = generate_path_patterns(ripple_carry_adder(6), library, k=12)
+        assert result.tested_paths
+        assert len(result.patterns) == len(result.tested_paths)
+        assert not result.all_false
+
+    def test_validated_by_simulation(self, library):
+        """Each returned pattern really propagates to the path end."""
+        circuit = ripple_carry_adder(4)
+        result = generate_path_patterns(circuit, library, k=8)
+        sim = EventDrivenSimulator(
+            circuit, library,
+            config=SimulationConfig(record_all_nets=True))
+        for path, pair in zip(result.tested_paths, result.patterns.pairs):
+            run = sim.run([pair])
+            assert run.waveform(0, path.end).num_transitions > 0
+
+    def test_launch_vector_flips_path_start(self, library):
+        circuit = ripple_carry_adder(4)
+        result = generate_path_patterns(circuit, library, k=8)
+        for path, pair in zip(result.tested_paths, result.patterns.pairs):
+            position = circuit.inputs.index(path.start)
+            assert pair.v1[position] != pair.v2[position]
+
+    def test_random_logic_mostly_false(self, library):
+        """Reconvergent random logic exhibits the paper's '*' phenomenon."""
+        circuit = random_circuit("fp", 24, 500, seed=11)
+        result = generate_path_patterns(circuit, library, k=25)
+        assert len(result.false_paths) + len(result.tested_paths) == 25
+        assert result.false_paths  # at least some are false
+
+    def test_all_false_property(self, library):
+        circuit = random_circuit("fp", 24, 500, seed=11)
+        result = generate_path_patterns(circuit, library, k=10)
+        assert result.all_false == (
+            bool(result.false_paths) and not result.tested_paths)

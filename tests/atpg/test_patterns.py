@@ -1,0 +1,61 @@
+"""Tests for pattern-set containers and random generation."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.patterns import PatternSet, random_pattern_set
+from repro.netlist.generate import c17
+from repro.simulation.base import PatternPair
+
+
+class TestPatternSet:
+    def test_add_and_sources(self):
+        patterns = PatternSet(circuit_name="x")
+        pair = PatternPair(v1=np.zeros(2, dtype=np.uint8),
+                           v2=np.ones(2, dtype=np.uint8))
+        patterns.add(pair, source="random")
+        patterns.add(pair, source="timing-aware")
+        assert len(patterns) == 2
+        assert patterns.count_by_source() == {"random": 1, "timing-aware": 1}
+        assert patterns[0] is pair
+        assert list(patterns) == [pair, pair]
+
+    def test_extend(self):
+        a = random_pattern_set(c17(), 3, seed=1)
+        b = random_pattern_set(c17(), 2, seed=2)
+        a.extend(b)
+        assert len(a) == 5
+        assert a.count_by_source() == {"random": 5}
+
+    def test_matrices(self):
+        patterns = random_pattern_set(c17(), 4, seed=3)
+        assert patterns.v1_matrix().shape == (4, 5)
+        assert patterns.v2_matrix().shape == (4, 5)
+
+    def test_sources_padded(self):
+        pair = PatternPair(v1=np.zeros(1, dtype=np.uint8),
+                           v2=np.zeros(1, dtype=np.uint8))
+        patterns = PatternSet(circuit_name="x", pairs=[pair])
+        assert patterns.sources == ["unknown"]
+
+
+class TestRandomGeneration:
+    def test_deterministic(self):
+        a = random_pattern_set(c17(), 10, seed=7)
+        b = random_pattern_set(c17(), 10, seed=7)
+        np.testing.assert_array_equal(a.v1_matrix(), b.v1_matrix())
+        np.testing.assert_array_equal(a.v2_matrix(), b.v2_matrix())
+
+    def test_seed_matters(self):
+        a = random_pattern_set(c17(), 10, seed=1)
+        b = random_pattern_set(c17(), 10, seed=2)
+        assert not np.array_equal(a.v1_matrix(), b.v1_matrix())
+
+    def test_adjacent_flips_one_bit(self):
+        patterns = random_pattern_set(c17(), 20, seed=4, adjacent=True)
+        diff = patterns.v1_matrix() != patterns.v2_matrix()
+        np.testing.assert_array_equal(diff.sum(axis=1), np.ones(20))
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            random_pattern_set(c17(), 0)

@@ -1,0 +1,197 @@
+"""Tests for small-delay fault simulation."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.small_delay import SmallDelayFault, SmallDelayFaultSimulator
+from repro.errors import AtpgError
+from repro.netlist.circuit import Circuit
+from repro.netlist.sdf import SdfAnnotation
+from repro.simulation.base import PatternPair
+from repro.simulation.compiled import compile_circuit
+
+
+def chain(library):
+    """Two-inverter chain with exact 1 ps per stage delays."""
+    circuit = Circuit("sdqm")
+    circuit.add_input("a")
+    circuit.add_gate("g0", "INV_X1", ["a"], "n0")
+    circuit.add_gate("g1", "INV_X1", ["n0"], "y")
+    circuit.add_output("y")
+    annotation = SdfAnnotation(design="sdqm")
+    annotation.delays["g0"] = ((1e-12, 1e-12),)
+    annotation.delays["g1"] = ((1e-12, 1e-12),)
+    return circuit, compile_circuit(circuit, library, annotation=annotation)
+
+
+RISING = [PatternPair(v1=np.asarray([0], dtype=np.uint8),
+                      v2=np.asarray([1], dtype=np.uint8))]
+
+
+class TestDetection:
+    def test_fault_slipping_past_capture_detected(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        # fault-free: y settles at 2 ps; capture at 3 ps
+        fault = SmallDelayFault("g0", extra_delay=2e-12)  # y now at 4 ps
+        verdict = sim.simulate([fault], RISING, capture_time=3e-12)
+        assert verdict[fault] == 0
+
+    def test_small_defect_hides_in_slack(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        fault = SmallDelayFault("g0", extra_delay=0.5e-12)  # y at 2.5 ps < 3 ps
+        verdict = sim.simulate([fault], RISING, capture_time=3e-12)
+        assert verdict[fault] is None
+
+    def test_faster_capture_exposes_hidden_defect(self, library):
+        """The FAST (faster-than-at-speed) effect the paper cites."""
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        fault = SmallDelayFault("g0", extra_delay=0.5e-12)
+        relaxed = sim.simulate([fault], RISING, capture_time=3e-12)
+        tight = sim.simulate([fault], RISING, capture_time=2.2e-12)
+        assert relaxed[fault] is None
+        assert tight[fault] == 0
+
+    def test_unsensitized_fault_escapes(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        stable = [PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                              v2=np.asarray([1], dtype=np.uint8))]
+        fault = SmallDelayFault("g0", extra_delay=5e-12)
+        assert sim.simulate([fault], stable, capture_time=3e-12)[fault] is None
+
+    def test_coverage(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        faults = [SmallDelayFault("g0", 2e-12), SmallDelayFault("g1", 0.1e-12)]
+        coverage = sim.coverage(faults, RISING, capture_time=3e-12)
+        assert coverage == pytest.approx(0.5)
+        assert sim.coverage([], RISING, capture_time=3e-12) == 1.0
+
+
+class TestThreshold:
+    def test_minimum_detectable_delay_bisection(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        # slack at capture 3 ps is 1 ps: threshold must bisect to ~1 ps
+        threshold = sim.minimum_detectable_delay(
+            "g0", RISING, capture_time=3e-12, upper=8e-12, iterations=14)
+        assert threshold == pytest.approx(1e-12, rel=0.01)
+
+    def test_untestable_returns_none(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        stable = [PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                              v2=np.asarray([1], dtype=np.uint8))]
+        assert sim.minimum_detectable_delay(
+            "g0", stable, capture_time=3e-12, upper=1e-10) is None
+
+
+class TestVoltageAwareness:
+    def test_lower_voltage_exposes_smaller_defects(self, library, kernel_table,
+                                                   medium_circuit, rng):
+        """At reduced V_DD the same capture clock leaves less slack, so the
+        minimum detectable delay shrinks — the paper's variation-aware
+        fault-grading use case."""
+        sim = SmallDelayFaultSimulator(medium_circuit, library)
+        pairs = [PatternPair.random(len(medium_circuit.inputs), rng)
+                 for _ in range(8)]
+        # capture at the nominal settling time plus a little margin
+        from repro.simulation.gpu import GpuWaveSim
+        nominal = GpuWaveSim(medium_circuit, library).run(pairs)
+        capture = 1.15 * max(nominal.latest_arrival(s, medium_circuit.outputs)
+                             for s in range(len(pairs)))
+        gate = medium_circuit.gates[len(medium_circuit.gates) // 2].name
+        t_nom = sim.minimum_detectable_delay(
+            gate, pairs, capture, voltage=0.8, kernel_table=kernel_table,
+            upper=2e-9, iterations=8)
+        t_low = sim.minimum_detectable_delay(
+            gate, pairs, capture, voltage=0.6, kernel_table=kernel_table,
+            upper=2e-9, iterations=8)
+        if t_nom is not None and t_low is not None:
+            assert t_low <= t_nom * 1.05
+
+
+class TestIncrementalStrategy:
+    def test_matches_full_rerun(self, library, kernel_table, rng):
+        """Cone-limited and full re-simulation give identical verdicts
+        across many faults, sizes and capture times."""
+        from repro.netlist.generate import random_circuit
+        from repro.simulation.gpu import GpuWaveSim
+
+        circuit = random_circuit("sdq", 10, 180, seed=61)
+        compiled = compile_circuit(circuit, library)
+        pairs = [PatternPair.random(10, rng) for _ in range(10)]
+        nominal = GpuWaveSim(circuit, library, compiled=compiled).run(
+            pairs, voltage=0.8, kernel_table=kernel_table)
+        base_arrival = max(nominal.latest_arrival(s, circuit.outputs)
+                           for s in range(len(pairs)))
+
+        fast = SmallDelayFaultSimulator(circuit, library, compiled=compiled,
+                                        incremental=True)
+        slow = SmallDelayFaultSimulator(circuit, library, compiled=compiled,
+                                        incremental=False)
+        chooser = np.random.default_rng(61)
+        faults = [
+            SmallDelayFault(circuit.gates[int(g)].name,
+                            float(chooser.uniform(5e-12, 80e-12)))
+            for g in chooser.choice(circuit.num_gates, size=10, replace=False)
+        ]
+        for capture in (base_arrival * 1.02, base_arrival * 1.2):
+            a = fast.simulate(faults, pairs, capture, voltage=0.8,
+                              kernel_table=kernel_table)
+            b = slow.simulate(faults, pairs, capture, voltage=0.8,
+                              kernel_table=kernel_table)
+            assert a == b
+
+    def test_matches_full_rerun_static_mode(self, library, rng):
+        from repro.netlist.generate import random_circuit
+
+        circuit = random_circuit("sdq2", 8, 100, seed=62)
+        compiled = compile_circuit(circuit, library)
+        pairs = [PatternPair.random(8, rng) for _ in range(6)]
+        fast = SmallDelayFaultSimulator(circuit, library, compiled=compiled,
+                                        incremental=True)
+        slow = SmallDelayFaultSimulator(circuit, library, compiled=compiled,
+                                        incremental=False)
+        faults = [SmallDelayFault(circuit.gates[k].name, 20e-12)
+                  for k in (5, 30, 70)]
+        a = fast.simulate(faults, pairs, 0.4e-9)
+        b = slow.simulate(faults, pairs, 0.4e-9)
+        assert a == b
+
+    def test_golden_run_cached(self, library, rng):
+        from repro.netlist.generate import random_circuit
+
+        circuit = random_circuit("sdq3", 8, 60, seed=63)
+        sim = SmallDelayFaultSimulator(circuit, library)
+        pairs = [PatternPair.random(8, rng) for _ in range(4)]
+        fault = SmallDelayFault(circuit.gates[10].name, 10e-12)
+        sim.simulate([fault], pairs, 1e-9)
+        assert len(sim._golden_cache) == 1
+        sim.simulate([fault], pairs, 2e-9)   # same workload, new capture
+        assert len(sim._golden_cache) == 1
+        # static mode ignores voltage differences only via the kernel
+        # table; a different voltage key still creates a new entry
+        sim.simulate([fault], pairs, 1e-9, voltage=0.7)
+        assert len(sim._golden_cache) == 2
+
+
+class TestValidation:
+    def test_bad_fault(self):
+        with pytest.raises(AtpgError):
+            SmallDelayFault("g0", extra_delay=0.0)
+
+    def test_unknown_gate(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        with pytest.raises(AtpgError, match="no gate"):
+            sim.simulate([SmallDelayFault("ghost", 1e-12)], RISING, 3e-12)
+
+    def test_bad_capture_time(self, library):
+        circuit, compiled = chain(library)
+        sim = SmallDelayFaultSimulator(circuit, library, compiled=compiled)
+        with pytest.raises(AtpgError, match="capture"):
+            sim.simulate([SmallDelayFault("g0", 1e-12)], RISING, 0.0)

@@ -1,0 +1,130 @@
+"""Tests for transition-fault simulation and coverage-driven ATPG."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.patterns import random_pattern_set
+from repro.atpg.transition_fault import (
+    FaultSimulator,
+    TransitionFault,
+    generate_transition_patterns,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import c17, ripple_carry_adder
+from repro.simulation.base import PatternPair
+
+
+def buffer_circuit() -> Circuit:
+    circuit = Circuit("buf")
+    circuit.add_input("a")
+    circuit.add_gate("g0", "BUF_X1", ["a"], "y")
+    circuit.add_output("y")
+    return circuit
+
+
+class TestDetectionSemantics:
+    def test_buffer_str_needs_rising_launch(self, library):
+        sim = FaultSimulator(buffer_circuit(), library)
+        str_fault = TransitionFault("a", slow_to_rise=True)
+        rising = PatternPair(v1=np.asarray([0], dtype=np.uint8),
+                             v2=np.asarray([1], dtype=np.uint8))
+        falling = PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                              v2=np.asarray([0], dtype=np.uint8))
+        stable = PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                             v2=np.asarray([1], dtype=np.uint8))
+        detected = sim.simulate([falling, stable, rising], [str_fault])
+        assert detected == {str_fault: 2}
+
+    def test_stf_symmetry(self, library):
+        sim = FaultSimulator(buffer_circuit(), library)
+        stf = TransitionFault("y", slow_to_rise=False)
+        falling = PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                              v2=np.asarray([0], dtype=np.uint8))
+        assert sim.simulate([falling], [stf]) == {stf: 0}
+
+    def test_masked_fault_not_detected(self, library):
+        """A transition that does not propagate to any output is undetected."""
+        circuit = Circuit("mask")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g0", "AND2_X1", ["a", "b"], "y")
+        circuit.add_output("y")
+        sim = FaultSimulator(circuit, library)
+        fault = TransitionFault("a", slow_to_rise=True)
+        # a rises but b=0 blocks the AND: no detection
+        blocked = PatternPair(v1=np.asarray([0, 0], dtype=np.uint8),
+                              v2=np.asarray([1, 0], dtype=np.uint8))
+        assert sim.simulate([blocked], [fault]) == {}
+        # with b=1 the effect reaches the output
+        open_path = PatternPair(v1=np.asarray([0, 1], dtype=np.uint8),
+                                v2=np.asarray([1, 1], dtype=np.uint8))
+        assert sim.simulate([open_path], [fault]) == {fault: 0}
+
+    def test_all_faults_universe(self, library):
+        sim = FaultSimulator(c17(), library)
+        faults = sim.all_faults()
+        assert len(faults) == 2 * len(c17().nets())
+
+    def test_unknown_net_fault(self, library):
+        from repro.errors import AtpgError
+        sim = FaultSimulator(buffer_circuit(), library)
+        values1 = sim._good_values(np.zeros((1, 1), dtype=np.uint8))
+        values2 = sim._good_values(np.ones((1, 1), dtype=np.uint8))
+        with pytest.raises(AtpgError):
+            sim.detecting_words(TransitionFault("ghost", True), values1, values2)
+
+
+class TestCoverage:
+    def test_coverage_monotone_in_patterns(self, library):
+        circuit = c17()
+        sim = FaultSimulator(circuit, library)
+        patterns = random_pattern_set(circuit, 32, seed=5)
+        few = sim.coverage(patterns.pairs[:4])
+        many = sim.coverage(patterns.pairs)
+        assert many >= few
+
+    def test_c17_full_coverage_with_enough_patterns(self, library):
+        circuit = c17()
+        sim = FaultSimulator(circuit, library)
+        patterns = random_pattern_set(circuit, 200, seed=1)
+        assert sim.coverage(patterns.pairs) == pytest.approx(1.0)
+
+    def test_empty_pattern_set(self, library):
+        sim = FaultSimulator(c17(), library)
+        assert sim.simulate([]) == {}
+
+
+class TestAtpg:
+    def test_c17_atpg(self, library):
+        patterns, coverage = generate_transition_patterns(
+            c17(), library, max_pairs=64)
+        assert coverage == pytest.approx(1.0)
+        assert 0 < len(patterns) <= 64
+        assert set(patterns.count_by_source()) == {"transition-fault"}
+
+    def test_adder_atpg(self, library):
+        patterns, coverage = generate_transition_patterns(
+            ripple_carry_adder(6), library, max_pairs=96)
+        assert coverage > 0.95
+
+    def test_kept_patterns_add_incremental_coverage(self, library):
+        """Greedy keep order: every prefix extension adds new detections."""
+        circuit = c17()
+        patterns, _ = generate_transition_patterns(
+            circuit, library, max_pairs=64, target_coverage=1.0)
+        sim = FaultSimulator(circuit, library)
+        previous = 0.0
+        for count in range(1, len(patterns) + 1):
+            coverage = sim.coverage(patterns.pairs[:count])
+            assert coverage > previous
+            previous = coverage
+
+    def test_fault_sampling(self, library):
+        patterns, coverage = generate_transition_patterns(
+            ripple_carry_adder(8), library, max_pairs=48, fault_sample=30)
+        assert coverage > 0.9
+
+    def test_max_pairs_respected(self, library):
+        patterns, _ = generate_transition_patterns(
+            ripple_carry_adder(10), library, max_pairs=5)
+        assert len(patterns) <= 5

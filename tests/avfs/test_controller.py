@@ -1,0 +1,65 @@
+"""Tests for the closed-loop AVFS controller."""
+
+import pytest
+
+from repro.avfs.controller import AvfsController
+from repro.avfs.scaling import VoltageFrequencyTable
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def table():
+    return VoltageFrequencyTable.from_delays(
+        [0.6, 0.8, 1.0], [2e-9, 1e-9, 0.5e-9], guardband=0.0)
+
+
+class TestDecisions:
+    def test_low_demand_low_voltage(self, table):
+        controller = AvfsController(table)
+        decision = controller.set_performance(0.3e9)
+        assert decision.voltage == 0.6
+        assert decision.relative_energy == pytest.approx(0.36)
+
+    def test_high_demand_high_voltage(self, table):
+        controller = AvfsController(table)
+        assert controller.set_performance(1.8e9).voltage == 1.0
+
+    def test_invalid_frequency(self, table):
+        with pytest.raises(ParameterError):
+            AvfsController(table).set_performance(0.0)
+
+    def test_history_and_saving(self, table):
+        controller = AvfsController(table)
+        assert controller.energy_saving() == 0.0
+        controller.run_workload([0.3e9, 0.3e9, 1.8e9])
+        assert len(controller.history) == 3
+        saving = controller.energy_saving()
+        assert 0 < saving < 1
+        # two low-voltage cycles out of three: saving = 1 - (0.36+0.36+1)/3
+        assert saving == pytest.approx(1 - (0.36 + 0.36 + 1.0) / 3)
+
+
+class TestAging:
+    def test_aging_raises_voltage(self, table):
+        controller = AvfsController(table)
+        fresh = controller.set_performance(0.95e9)
+        assert fresh.voltage == 0.8
+        controller.apply_aging(0.10)  # 10% slower: 0.8 V now gives ~0.91 GHz
+        aged = controller.set_performance(0.95e9)
+        assert aged.voltage == 1.0
+
+    def test_aging_reduces_max_frequency(self, table):
+        controller = AvfsController(table)
+        before = controller.max_frequency()
+        controller.apply_aging(0.2)
+        assert controller.max_frequency() == pytest.approx(before / 1.2)
+
+    def test_negative_derate_rejected(self, table):
+        with pytest.raises(ParameterError):
+            AvfsController(table).apply_aging(-0.1)
+
+    def test_aging_accumulates(self, table):
+        controller = AvfsController(table)
+        controller.apply_aging(0.05)
+        controller.apply_aging(0.05)
+        assert controller.aging_derate == pytest.approx(0.10)

@@ -1,0 +1,82 @@
+"""Tests for PVT-corner design-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.avfs.explorer import DesignSpaceExplorer
+from repro.cells.nangate15 import make_nangate15_library
+from repro.core.characterization import characterize_library
+from repro.electrical.model import TransistorCorner
+from repro.electrical.spice import AnalyticalSpice
+from repro.errors import ParameterError
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair
+
+VOLTAGES = [0.6, 0.8, 1.0]
+
+
+@pytest.fixture(scope="module")
+def pvt_setup(library, kernel_table):
+    """Characterize a reduced library at two extra corners (kept small:
+    one family subset keeps the test fast)."""
+    subset = library  # type ids must match the circuit's library
+    slow_table = characterize_library(
+        subset, AnalyticalSpice(TransistorCorner.slow()), n=2).compile()
+    fast_table = characterize_library(
+        subset, AnalyticalSpice(TransistorCorner.fast()), n=2).compile()
+    circuit = random_circuit("pvt", 10, 120, seed=19)
+    rng = np.random.default_rng(19)
+    pairs = [PatternPair.random(10, rng) for _ in range(6)]
+    return circuit, pairs, {"typ": kernel_table, "slow": slow_table,
+                            "fast": fast_table}
+
+
+class TestPvtSweep:
+    def test_corner_ordering(self, pvt_setup, library):
+        circuit, pairs, tables = pvt_setup
+        explorer = DesignSpaceExplorer(circuit, library, tables["typ"])
+        results = explorer.pvt_sweep(pairs, VOLTAGES, tables)
+        assert set(results) == {"typ", "slow", "fast"}
+        for index in range(len(VOLTAGES)):
+            # NOTE: corner tables scale *deviation*, not the SDF nominal
+            # delays, so ordering shows up in the voltage sensitivity.
+            slow = results["slow"][index].latest_arrival
+            fast = results["fast"][index].latest_arrival
+            assert slow > 0 and fast > 0
+
+    def test_slow_corner_more_voltage_sensitive(self, pvt_setup, library):
+        """The slow corner's low-voltage penalty exceeds the fast one's —
+        the reason worst-case AVFS tables use SS silicon."""
+        circuit, pairs, tables = pvt_setup
+        explorer = DesignSpaceExplorer(circuit, library, tables["typ"])
+        results = explorer.pvt_sweep(pairs, VOLTAGES, tables)
+        ratio = {
+            label: points[0].latest_arrival / points[-1].latest_arrival
+            for label, points in results.items()
+        }
+        assert ratio["slow"] > ratio["typ"] > ratio["fast"]
+
+    def test_kernel_table_restored(self, pvt_setup, library):
+        circuit, pairs, tables = pvt_setup
+        explorer = DesignSpaceExplorer(circuit, library, tables["typ"])
+        explorer.pvt_sweep(pairs, VOLTAGES, tables)
+        assert explorer.kernel_table is tables["typ"]
+
+    def test_worst_case_reduction(self, pvt_setup, library):
+        circuit, pairs, tables = pvt_setup
+        explorer = DesignSpaceExplorer(circuit, library, tables["typ"])
+        results = explorer.pvt_sweep(pairs, VOLTAGES, tables)
+        worst = DesignSpaceExplorer.worst_case_delays(results)
+        assert len(worst) == len(VOLTAGES)
+        for index in range(len(VOLTAGES)):
+            maxima = max(points[index].latest_arrival
+                         for points in results.values())
+            assert worst[index].latest_arrival == maxima
+
+    def test_validation(self, pvt_setup, library):
+        circuit, pairs, tables = pvt_setup
+        explorer = DesignSpaceExplorer(circuit, library, tables["typ"])
+        with pytest.raises(ParameterError):
+            explorer.pvt_sweep(pairs, VOLTAGES, {})
+        with pytest.raises(ParameterError):
+            DesignSpaceExplorer.worst_case_delays({})

@@ -1,0 +1,72 @@
+"""Tests for voltage-frequency tables."""
+
+import pytest
+
+from repro.avfs.scaling import VoltageFrequencyPoint, VoltageFrequencyTable
+from repro.errors import ParameterError
+
+VOLTAGES = [0.6, 0.8, 1.0]
+DELAYS = [2e-9, 1e-9, 0.5e-9]
+
+
+class TestConstruction:
+    def test_from_delays(self):
+        table = VoltageFrequencyTable.from_delays(VOLTAGES, DELAYS,
+                                                  guardband=0.0)
+        assert len(table) == 3
+        assert table.points[0].max_frequency == pytest.approx(0.5e9)
+        assert table.points[-1].max_frequency == pytest.approx(2e9)
+
+    def test_guardband_reduces_frequency(self):
+        plain = VoltageFrequencyTable.from_delays(VOLTAGES, DELAYS, 0.0)
+        guarded = VoltageFrequencyTable.from_delays(VOLTAGES, DELAYS, 0.10)
+        for a, b in zip(plain, guarded):
+            assert b.max_frequency == pytest.approx(a.max_frequency / 1.1)
+            assert b.guardband == 0.10
+
+    @pytest.mark.parametrize("kwargs", [
+        {"voltages": [0.8], "delays": [1e-9, 2e-9]},
+        {"voltages": [0.8], "delays": [0.0]},
+        {"voltages": [0.8], "delays": [1e-9], "guardband": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            VoltageFrequencyTable.from_delays(**kwargs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            VoltageFrequencyTable([])
+
+    def test_duplicate_voltages_rejected(self):
+        point = VoltageFrequencyPoint(0.8, 1e-9, 1e9, 0.0)
+        with pytest.raises(ParameterError, match="duplicate"):
+            VoltageFrequencyTable([point, point])
+
+
+class TestQueries:
+    @pytest.fixture
+    def table(self):
+        return VoltageFrequencyTable.from_delays(VOLTAGES, DELAYS, 0.0)
+
+    def test_frequency_at_grid_points(self, table):
+        assert table.frequency_at(0.8) == pytest.approx(1e9)
+
+    def test_frequency_interpolation(self, table):
+        mid = table.frequency_at(0.9)
+        assert 1e9 < mid < 2e9
+
+    def test_frequency_out_of_range(self, table):
+        with pytest.raises(ParameterError, match="outside"):
+            table.frequency_at(1.2)
+
+    def test_voltage_for_picks_minimum(self, table):
+        assert table.voltage_for(0.4e9) == 0.6
+        assert table.voltage_for(1.5e9) == 1.0
+
+    def test_voltage_for_unreachable(self, table):
+        with pytest.raises(ParameterError, match="no characterized voltage"):
+            table.voltage_for(5e9)
+
+    def test_summary_text(self, table):
+        text = table.summary()
+        assert "f_max" in text and "0.80" in text

@@ -1,0 +1,63 @@
+"""Tests for repro.cells.cell — cell and pin datatypes."""
+
+import pytest
+
+from repro.cells.cell import Cell, CellPin, DrivePolarity
+from repro.units import FF
+
+
+def make_nand2(strength: float = 1.0) -> Cell:
+    pins = (
+        CellPin(name="A1", index=0, input_cap=0.6 * FF),
+        CellPin(name="A2", index=1, input_cap=0.6 * FF, parasitic_weight=1.06),
+    )
+    return Cell(name=f"NAND2_X{strength:g}", family="NAND2", strength=strength,
+                pins=pins, output="ZN", parasitic=2.0)
+
+
+class TestDrivePolarity:
+    def test_stable_indices(self):
+        assert int(DrivePolarity.RISE) == 0
+        assert int(DrivePolarity.FALL) == 1
+
+    def test_symbols(self):
+        assert DrivePolarity.RISE.symbol == "r"
+        assert DrivePolarity.FALL.symbol == "f"
+
+
+class TestCell:
+    def test_basic_properties(self):
+        cell = make_nand2()
+        assert cell.num_inputs == 2
+        assert cell.is_inverting
+        assert cell.pin_names() == ("A1", "A2")
+        assert cell.function.name == "NAND2"
+
+    def test_evaluate(self):
+        cell = make_nand2()
+        assert cell.evaluate([1, 1]) == 0
+        assert cell.evaluate([0, 1]) == 1
+
+    def test_pin_lookup(self):
+        cell = make_nand2()
+        assert cell.pin("A2").index == 1
+        with pytest.raises(KeyError, match="no input pin"):
+            cell.pin("B")
+
+    def test_arity_mismatch_rejected(self):
+        pins = (CellPin(name="A", index=0, input_cap=1e-15),)
+        with pytest.raises(ValueError, match="arity"):
+            Cell(name="BAD", family="NAND2", strength=1.0, pins=pins)
+
+    def test_bad_pin_indices_rejected(self):
+        pins = (
+            CellPin(name="A1", index=0, input_cap=1e-15),
+            CellPin(name="A2", index=2, input_cap=1e-15),
+        )
+        with pytest.raises(ValueError, match="pin indices"):
+            Cell(name="BAD", family="NAND2", strength=1.0, pins=pins)
+
+    def test_frozen(self):
+        cell = make_nand2()
+        with pytest.raises(AttributeError):
+            cell.strength = 4.0

@@ -1,0 +1,80 @@
+"""Tests for repro.cells.library — the cell-library container."""
+
+import pytest
+
+from repro.cells.cell import Cell, CellPin
+from repro.cells.library import CellLibrary
+from repro.errors import LibraryError, UnknownCellError
+
+
+def inv(name="INV_X1", strength=1.0) -> Cell:
+    return Cell(name=name, family="INV", strength=strength,
+                pins=(CellPin(name="A", index=0, input_cap=1e-15),),
+                output="ZN")
+
+
+class TestContainer:
+    def test_add_and_lookup(self):
+        lib = CellLibrary("t")
+        cell = lib.add(inv())
+        assert lib["INV_X1"] is cell
+        assert "INV_X1" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = CellLibrary("t", [inv()])
+        with pytest.raises(LibraryError, match="duplicate"):
+            lib.add(inv())
+
+    def test_unknown_cell_error(self):
+        lib = CellLibrary("t")
+        with pytest.raises(UnknownCellError):
+            lib["NAND2_X1"]
+        assert lib.get("NAND2_X1") is None
+
+    def test_type_ids_stable(self):
+        lib = CellLibrary("t", [inv("INV_X1", 1), inv("INV_X2", 2)])
+        assert lib.type_id("INV_X1") == 0
+        assert lib.type_id("INV_X2") == 1
+        assert lib.cell_by_type_id(1).name == "INV_X2"
+
+    def test_cell_by_bad_type_id(self):
+        lib = CellLibrary("t", [inv()])
+        with pytest.raises(LibraryError, match="out of range"):
+            lib.cell_by_type_id(5)
+
+    def test_families_and_members(self, library):
+        assert "NAND2" in library.families()
+        members = library.members("NAND2")
+        strengths = [cell.strength for cell in members]
+        assert strengths == sorted(strengths)
+
+    def test_select_subset(self, library):
+        subset = library.select(["INV", "BUF"])
+        assert set(subset.families()) == {"INV", "BUF"}
+        with pytest.raises(LibraryError, match="not in library"):
+            library.select(["INV", "FLUXCAP"])
+
+
+class TestSerialization:
+    def test_json_round_trip(self, library):
+        restored = CellLibrary.from_json(library.to_json())
+        assert restored.names() == library.names()
+        for name in library.names():
+            original = library[name]
+            copy = restored[name]
+            assert copy.family == original.family
+            assert copy.strength == original.strength
+            assert copy.parasitic == original.parasitic
+            assert [p.input_cap for p in copy.pins] == [
+                p.input_cap for p in original.pins
+            ]
+
+    def test_save_load(self, library, tmp_path):
+        path = str(tmp_path / "lib.json")
+        library.save(path)
+        restored = CellLibrary.load(path)
+        assert restored.names() == library.names()
+        # type ids must survive the round trip (kernel tables rely on them)
+        for name in library.names():
+            assert restored.type_id(name) == library.type_id(name)

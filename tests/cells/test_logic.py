@@ -1,0 +1,123 @@
+"""Tests for repro.cells.logic — boolean function registry."""
+
+import numpy as np
+import pytest
+
+from repro.cells.logic import FUNCTIONS, LogicFunction, get_function, register_function
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("name, expected", [
+        ("BUF", (0, 1)),
+        ("INV", (1, 0)),
+        ("AND2", (0, 0, 0, 1)),
+        ("OR2", (0, 1, 1, 1)),
+        ("NAND2", (1, 1, 1, 0)),
+        ("NOR2", (1, 0, 0, 0)),
+        ("XOR2", (0, 1, 1, 0)),
+        ("XNOR2", (1, 0, 0, 1)),
+    ])
+    def test_two_input_tables(self, name, expected):
+        assert get_function(name).truth_table() == expected
+
+    def test_and3(self):
+        table = get_function("AND3").truth_table()
+        assert table == (0, 0, 0, 0, 0, 0, 0, 1)
+
+    def test_nand4_only_all_ones_low(self):
+        table = get_function("NAND4").truth_table()
+        assert table[-1] == 0
+        assert all(v == 1 for v in table[:-1])
+
+    def test_aoi21(self):
+        f = get_function("AOI21")
+        # ZN = !((A1 & A2) | B)
+        assert f.evaluate([1, 1, 0]) == 0
+        assert f.evaluate([0, 1, 0]) == 1
+        assert f.evaluate([0, 0, 1]) == 0
+
+    def test_oai22(self):
+        f = get_function("OAI22")
+        # ZN = !((A1 | A2) & (B1 | B2))
+        assert f.evaluate([0, 0, 1, 1]) == 1
+        assert f.evaluate([1, 0, 0, 1]) == 0
+
+    def test_mux2(self):
+        f = get_function("MUX2")
+        # Z = S ? B : A
+        assert f.evaluate([1, 0, 0]) == 1
+        assert f.evaluate([1, 0, 1]) == 0
+        assert f.evaluate([0, 1, 1]) == 1
+
+
+class TestEvaluate:
+    def test_scalar_masking(self):
+        inv = get_function("INV")
+        assert inv.evaluate([0]) == 1
+        assert inv.evaluate([1]) == 0
+
+    def test_word_masking(self):
+        nand = get_function("NAND2")
+        mask = (1 << 64) - 1
+        a = 0b1100
+        b = 0b1010
+        assert nand.evaluate([a, b], mask=mask) == (~(a & b)) & mask
+
+    def test_numpy_arrays(self):
+        xor = get_function("XOR2")
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        result = xor.evaluate([a, b], mask=np.uint8(1))
+        assert list(result) == [0, 1, 1, 0]
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            get_function("AND2").evaluate([1])
+
+
+class TestUnateness:
+    def test_and_positive(self):
+        assert get_function("AND2").unateness(0) == "positive"
+        assert get_function("AND2").unateness(1) == "positive"
+
+    def test_nand_negative(self):
+        assert get_function("NAND3").unateness(2) == "negative"
+
+    def test_inv_negative(self):
+        assert get_function("INV").unateness(0) == "negative"
+
+    def test_xor_binate(self):
+        assert get_function("XOR2").unateness(0) == "binate"
+
+    def test_mux_select_binate_data_positive(self):
+        mux = get_function("MUX2")
+        assert mux.unateness(0) == "positive"
+        assert mux.unateness(1) == "positive"
+        assert mux.unateness(2) == "binate"
+
+    def test_aoi_negative(self):
+        aoi = get_function("AOI21")
+        assert all(aoi.unateness(i) == "negative" for i in range(3))
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        expected = {"BUF", "INV", "AND2", "AND3", "AND4", "OR2", "OR3", "OR4",
+                    "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4",
+                    "XOR2", "XNOR2", "AOI21", "AOI22", "OAI21", "OAI22", "MUX2"}
+        assert expected <= set(FUNCTIONS)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown logic function"):
+            get_function("NAND17")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_function("INV", 1, lambda a: ~a)
+
+    def test_inverting_flags(self):
+        assert get_function("NAND2").inverting
+        assert get_function("NOR4").inverting
+        assert get_function("AOI22").inverting
+        assert not get_function("AND2").inverting
+        assert not get_function("XOR2").inverting

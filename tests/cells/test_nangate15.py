@@ -1,0 +1,61 @@
+"""Tests for the NanGate-15nm-like library builder."""
+
+import pytest
+
+from repro.cells.nangate15 import FIG4_FAMILIES, make_nangate15_library
+
+
+class TestLibraryStructure:
+    def test_fig4_families_present(self, library):
+        assert set(FIG4_FAMILIES) <= set(library.families())
+
+    def test_complex_gates_present(self, library):
+        for family in ("AOI21", "AOI22", "OAI21", "OAI22", "MUX2", "XOR2"):
+            assert library.members(family), family
+
+    def test_inverter_strength_range(self, library):
+        strengths = {cell.strength for cell in library.members("INV")}
+        assert strengths == {1, 2, 4, 8, 16}
+
+    def test_complex_gates_capped_at_x4(self, library):
+        strengths = {cell.strength for cell in library.members("AOI22")}
+        assert max(strengths) == 4
+
+    def test_output_pin_naming(self, library):
+        assert library["NAND2_X1"].output == "ZN"
+        assert library["INV_X1"].output == "ZN"
+        assert library["AND2_X1"].output == "Z"
+        assert library["XOR2_X1"].output == "Z"
+
+    def test_input_cap_scales_with_strength(self, library):
+        x1 = library["NAND2_X1"].pins[0].input_cap
+        x4 = library["NAND2_X4"].pins[0].input_cap
+        assert x4 == pytest.approx(4 * x1)
+
+    def test_stack_skew_increases_with_pin_index(self, library):
+        cell = library["NAND4_X1"]
+        weights = [pin.parasitic_weight for pin in cell.pins]
+        assert weights == sorted(weights)
+        assert weights[0] < weights[-1]
+
+    def test_mux_select_lighter_than_data(self, library):
+        mux = library["MUX2_X1"]
+        assert mux.pin("S").input_cap < mux.pin("A").input_cap
+
+    def test_subset_build(self):
+        lib = make_nangate15_library(["INV", "NAND2"])
+        assert set(lib.families()) == {"INV", "NAND2"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell families"):
+            make_nangate15_library(["NAND9"])
+
+    def test_logical_effort_values(self, library):
+        # textbook logical-effort values (Sutherland et al.)
+        assert library["INV_X1"].pins[0].effort == pytest.approx(1.0)
+        assert library["NAND2_X1"].pins[0].effort == pytest.approx(4.0 / 3.0)
+        assert library["NOR2_X1"].pins[0].effort == pytest.approx(5.0 / 3.0)
+
+    def test_every_cell_validates_arity(self, library):
+        for cell in library:
+            assert cell.function.arity == cell.num_inputs

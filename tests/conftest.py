@@ -1,0 +1,53 @@
+"""Shared fixtures: one library/characterization per test session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import make_nangate15_library
+from repro.core.characterization import characterize_library
+from repro.core.parameters import ParameterSpace
+from repro.electrical.spice import AnalyticalSpice
+from repro.netlist.generate import random_circuit
+
+
+@pytest.fixture(scope="session")
+def library():
+    return make_nangate15_library()
+
+@pytest.fixture(scope="session")
+def space():
+    return ParameterSpace.paper_default()
+
+
+@pytest.fixture(scope="session")
+def spice():
+    return AnalyticalSpice()
+
+
+@pytest.fixture(scope="session")
+def characterization(library):
+    """Full library characterization at the paper's default order N=3."""
+    return characterize_library(library, n=3)
+
+
+@pytest.fixture(scope="session")
+def kernel_table(characterization):
+    return characterization.compile()
+
+
+@pytest.fixture(scope="session")
+def small_circuit():
+    """A 60-gate random circuit used across simulator tests."""
+    return random_circuit("small", num_inputs=8, num_gates=60, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_circuit():
+    return random_circuit("medium", num_inputs=16, num_gates=400, seed=7)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

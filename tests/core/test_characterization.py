@@ -1,0 +1,101 @@
+"""Tests for the Fig. 1 characterization flow A→D."""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.core.characterization import (
+    characterize_cell,
+    characterize_library,
+    characterize_pin,
+)
+from repro.core.parameters import ParameterSpace
+from repro.units import FF
+
+
+class TestPinCharacterization:
+    @pytest.fixture(scope="class")
+    def nor_rise(self, spice, library, space):
+        cell = library["NOR2_X2"]
+        return characterize_pin(spice, cell, cell.pins[0], DrivePolarity.RISE,
+                                space=space, n=3)
+
+    def test_zero_deviation_at_nominal(self, nor_rise, space):
+        # f(v_nom, c) must be ~0 for every load: the deviation is defined
+        # relative to the same-load nominal delay.
+        for c in (0.5 * FF, 4 * FF, 64 * FF):
+            assert abs(nor_rise.deviation(space.v_nom, c)) < 0.02
+
+    def test_deviation_sign(self, nor_rise):
+        assert nor_rise.deviation(0.55, 4 * FF) > 0.2   # slower at low V
+        assert nor_rise.deviation(1.10, 4 * FF) < -0.1  # faster at high V
+
+    def test_delay_matches_spice_within_percent(self, nor_rise, spice, library):
+        cell = library["NOR2_X2"]
+        for v in (0.6, 0.8, 1.0):
+            for c in (1 * FF, 16 * FF):
+                predicted = nor_rise.delay(v, c)
+                actual = spice.model.pin_delay(cell, cell.pins[0],
+                                               DrivePolarity.RISE, v, c)
+                assert predicted == pytest.approx(actual, rel=0.03)
+
+    def test_nominal_delay_interpolation(self, nor_rise):
+        d2 = nor_rise.nominal_delay(2 * FF)
+        d4 = nor_rise.nominal_delay(4 * FF)
+        assert d2 < d4
+        between = nor_rise.nominal_delay(np.sqrt(8.0) * FF)
+        assert d2 < between < d4
+
+    def test_evaluation_error_structure(self, nor_rise):
+        mean, std, maximum = nor_rise.evaluation_error(32)
+        assert 0 <= mean <= maximum
+        assert std >= 0
+        assert maximum < 0.05  # N=3 stays well under 5 %
+
+    def test_paper_fig5_magnitudes(self, nor_rise):
+        mean, _std, maximum = nor_rise.evaluation_error(64)
+        # Paper: avg 0.38 %, max 2.41 % — same order of magnitude expected.
+        assert mean < 0.01
+        assert maximum < 0.03
+
+
+class TestOrderTrend:
+    def test_error_decreases_with_order(self, spice, library, space):
+        cell = library["NAND2_X1"]
+        maxima = []
+        for n in (1, 2, 3):
+            pc = characterize_pin(spice, cell, cell.pins[0],
+                                  DrivePolarity.FALL, space=space, n=n)
+            maxima.append(pc.evaluation_error(32)[2])
+        assert maxima[0] > maxima[1] > maxima[2]
+
+    def test_subsampling_changes_sample_count(self, spice, library, space):
+        cell = library["INV_X1"]
+        few = characterize_pin(spice, cell, cell.pins[0], DrivePolarity.RISE,
+                               space=space, n=2, subsample_factor=1)
+        many = characterize_pin(spice, cell, cell.pins[0], DrivePolarity.RISE,
+                                space=space, n=2, subsample_factor=4)
+        assert many.fit.sample_count > few.fit.sample_count
+
+
+class TestCellAndLibrary:
+    def test_cell_covers_all_pins_and_polarities(self, spice, library, space):
+        cell = library["NAND3_X1"]
+        result = characterize_cell(spice, cell, space=space, n=2)
+        assert len(result.pins) == 6
+        assert result.entry("A2", DrivePolarity.FALL).pin_index == 1
+        with pytest.raises(KeyError):
+            result.entry("B9", DrivePolarity.RISE)
+        assert result.worst_fit_error() >= 0
+        assert result.elapsed_seconds > 0
+
+    def test_library_characterization(self, characterization, library):
+        assert set(characterization.cells) == set(library.names())
+        entries = list(characterization.all_entries())
+        expected = sum(2 * cell.num_inputs for cell in library)
+        assert len(entries) == expected
+
+    def test_compile_produces_table(self, characterization, library):
+        table = characterization.compile()
+        assert table.num_types == len(library)
+        assert table.n == characterization.n

@@ -1,0 +1,118 @@
+"""Tests for compiled delay-kernel tables (Sec. III-D / IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.core.delay_kernel import MIN_DELAY, DelayKernelTable, horner2d
+from repro.core.polynomial import SurfacePolynomial
+from repro.units import FF
+
+
+class TestHorner2d:
+    def test_matches_surface_polynomial(self, rng):
+        coeffs = rng.normal(size=(4, 4))
+        poly = SurfacePolynomial(coeffs)
+        v = rng.uniform(0, 1, 10)
+        c = rng.uniform(0, 1, 10)
+        np.testing.assert_allclose(horner2d(coeffs, v, c), poly.evaluate(v, c),
+                                   rtol=1e-12)
+
+    def test_batched_coefficients(self, rng):
+        coeffs = rng.normal(size=(5, 3, 3))  # five polynomials
+        v = 0.4
+        c = 0.6
+        batched = horner2d(coeffs, v, c)
+        assert batched.shape == (5,)
+        for k in range(5):
+            expected = SurfacePolynomial(coeffs[k]).evaluate(v, c)
+            assert batched[k] == pytest.approx(expected)
+
+
+class TestTableStructure:
+    def test_indexing(self, kernel_table, library):
+        assert kernel_table.num_types == len(library)
+        assert kernel_table.max_pins == 4
+        assert kernel_table.n == 3
+        assert kernel_table.order == 6
+        type_id = kernel_table.type_id("NAND2_X1")
+        assert type_id == library.type_id("NAND2_X1")
+        assert kernel_table.pin_counts[type_id] == 2
+
+    def test_unknown_cell(self, kernel_table):
+        from repro.errors import CharacterizationError
+        with pytest.raises(CharacterizationError):
+            kernel_table.type_id("NAND9_X9")
+
+    def test_memory_footprint_is_small(self, kernel_table):
+        # The paper: coefficient memory is negligible vs waveforms.
+        assert kernel_table.memory_bytes < 1_000_000  # < 1 MB for 69 cells
+
+
+class TestKernelEvaluation:
+    def test_deviation_matches_characterization(self, kernel_table,
+                                                characterization, library):
+        cell = library["NOR2_X2"]
+        type_id = kernel_table.type_id(cell.name)
+        entry = characterization.entry(cell.name, "A1", DrivePolarity.RISE)
+        for v in (0.6, 0.8, 1.05):
+            table_dev = kernel_table.deviation(type_id, 0, DrivePolarity.RISE,
+                                               v, 4 * FF)
+            char_dev = entry.deviation(v, 4 * FF)
+            assert float(table_dev) == pytest.approx(float(char_dev), rel=1e-10)
+
+    def test_delay_eq9(self, kernel_table):
+        type_id = kernel_table.type_id("INV_X1")
+        d_nom = 5e-12
+        deviation = float(kernel_table.deviation(type_id, 0, DrivePolarity.FALL,
+                                                 0.6, 2 * FF))
+        delay = float(kernel_table.delay(d_nom, type_id, 0, DrivePolarity.FALL,
+                                         0.6, 2 * FF))
+        assert delay == pytest.approx(d_nom * (1 + deviation))
+
+    def test_delay_clipped_at_floor(self, kernel_table):
+        type_id = kernel_table.type_id("INV_X1")
+        # A tiny nominal delay cannot go to zero or negative.
+        delay = float(kernel_table.delay(1e-18, type_id, 0, DrivePolarity.RISE,
+                                         1.1, 0.5 * FF))
+        assert delay >= MIN_DELAY
+
+    def test_batch_matches_scalar(self, kernel_table, rng):
+        gates = 7
+        type_ids = rng.integers(0, kernel_table.num_types, size=gates)
+        loads = rng.uniform(1, 100, size=gates) * FF
+        nominal = rng.uniform(1, 20, size=(gates, kernel_table.max_pins, 2)) * 1e-12
+        voltages = np.asarray([0.6, 0.8, 1.0])
+        batch = kernel_table.delays_for_gates(type_ids, loads, nominal, voltages)
+        assert batch.shape == (gates, kernel_table.max_pins, 2, 3)
+        for g in rng.choice(gates, size=3, replace=False):
+            pins = int(kernel_table.pin_counts[type_ids[g]])
+            for pin in range(pins):
+                for pol in (DrivePolarity.RISE, DrivePolarity.FALL):
+                    for s, v in enumerate(voltages):
+                        scalar = kernel_table.delay(
+                            nominal[g, pin, int(pol)], int(type_ids[g]),
+                            pin, pol, v, loads[g])
+                        assert batch[g, pin, int(pol), s] == pytest.approx(
+                            float(scalar), rel=1e-12)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, kernel_table, tmp_path):
+        path = str(tmp_path / "kernels.npz")
+        kernel_table.save(path)
+        restored = DelayKernelTable.load(path)
+        np.testing.assert_array_equal(restored.coefficients,
+                                      kernel_table.coefficients)
+        assert restored.type_names == kernel_table.type_names
+        assert restored.space == kernel_table.space
+
+    def test_invalid_shape_rejected(self, kernel_table):
+        from repro.errors import CharacterizationError
+        with pytest.raises(CharacterizationError):
+            DelayKernelTable(
+                coefficients=np.zeros((2, 4, 3, 4, 4)),  # polarity dim != 2
+                pin_counts=np.asarray([1, 2]),
+                type_names=("A", "B"),
+                space=kernel_table.space,
+            )

@@ -1,0 +1,105 @@
+"""Tests for grid interpolation, sub-sampling and the LUT delay model."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpolation import GridInterpolator, LutDelayModel, subsample
+from repro.units import FF
+
+
+def simple_grid():
+    x = np.asarray([0.0, 1.0, 2.0])
+    y = np.asarray([0.0, 2.0])
+    values = np.asarray([[0.0, 2.0], [1.0, 3.0], [2.0, 4.0]])  # x + y
+    return GridInterpolator(x, y, values)
+
+
+class TestGridInterpolator:
+    def test_exact_at_samples(self):
+        interp = simple_grid()
+        assert interp(1.0, 2.0) == pytest.approx(3.0)
+        assert interp(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_bilinear_midpoints(self):
+        interp = simple_grid()
+        assert interp(0.5, 1.0) == pytest.approx(1.5)
+
+    def test_linear_function_reproduced_everywhere(self, rng):
+        interp = simple_grid()
+        xs = rng.uniform(0, 2, 50)
+        ys = rng.uniform(0, 2, 50)
+        np.testing.assert_allclose(interp(xs, ys), xs + ys, rtol=1e-12)
+
+    def test_clamped_extrapolation(self):
+        interp = simple_grid()
+        assert interp(-1.0, 0.0) == pytest.approx(0.0)
+        assert interp(5.0, 5.0) == pytest.approx(4.0)
+
+    def test_broadcasting(self):
+        interp = simple_grid()
+        result = interp(np.asarray([[0.0], [1.0]]), np.asarray([[0.0, 2.0]]))
+        assert result.shape == (2, 2)
+
+    @pytest.mark.parametrize("x, y, z", [
+        (np.asarray([0.0]), np.asarray([0.0, 1.0]), np.zeros((1, 2))),
+        (np.asarray([0.0, 1.0]), np.asarray([0.0, 1.0]), np.zeros((3, 2))),
+        (np.asarray([1.0, 0.0]), np.asarray([0.0, 1.0]), np.zeros((2, 2))),
+    ])
+    def test_invalid_grids(self, x, y, z):
+        with pytest.raises(ValueError):
+            GridInterpolator(x, y, z)
+
+
+class TestSubsample:
+    def test_preserves_original_samples(self):
+        interp = simple_grid()
+        x, y, values = subsample(interp, 4)
+        for i, xv in enumerate(interp.x_axis):
+            for j, yv in enumerate(interp.y_axis):
+                xi = int(np.argmin(np.abs(x - xv)))
+                yi = int(np.argmin(np.abs(y - yv)))
+                assert values[xi, yi] == pytest.approx(interp.values[i, j])
+
+    def test_density(self):
+        interp = simple_grid()
+        x, y, values = subsample(interp, 4)
+        assert len(x) == (len(interp.x_axis) - 1) * 4 + 1
+        assert len(y) == (len(interp.y_axis) - 1) * 4 + 1
+        assert values.shape == (len(x), len(y))
+
+    def test_factor_one_is_identity(self):
+        interp = simple_grid()
+        x, y, values = subsample(interp, 1)
+        np.testing.assert_array_equal(x, interp.x_axis)
+        np.testing.assert_allclose(values, interp.values)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            subsample(simple_grid(), 0)
+
+    def test_linear_surface_interpolated_exactly(self):
+        interp = simple_grid()
+        x, y, values = subsample(interp, 3)
+        expected = x[:, None] + y[None, :]
+        np.testing.assert_allclose(values, expected, rtol=1e-12)
+
+
+class TestLutDelayModel:
+    def test_matches_grid_samples(self, spice, library):
+        from repro.cells.cell import DrivePolarity
+        cell = library["NAND2_X1"]
+        grid = spice.sweep(cell, cell.pins[0], DrivePolarity.RISE)
+        lut = LutDelayModel(grid.voltages, grid.loads, grid.delays)
+        assert lut.delay(0.8, 2 * FF) == pytest.approx(grid.delay_at(0.8, 2 * FF))
+        assert lut.table_entries == grid.delays.size
+
+    def test_interpolates_between_loads_logarithmically(self, spice, library):
+        from repro.cells.cell import DrivePolarity
+        cell = library["INV_X1"]
+        grid = spice.sweep(cell, cell.pins[0], DrivePolarity.FALL)
+        lut = LutDelayModel(grid.voltages, grid.loads, grid.delays)
+        between = lut.delay(0.8, np.sqrt(2.0 * 4.0) * FF)  # log-midpoint of 2,4 fF
+        bounds = sorted([grid.delay_at(0.8, 2 * FF), grid.delay_at(0.8, 4 * FF)])
+        assert bounds[0] <= between <= bounds[1]
+        mid = 0.5 * (bounds[0] + bounds[1])
+        assert between == pytest.approx(mid, rel=1e-6)

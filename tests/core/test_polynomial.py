@@ -1,0 +1,138 @@
+"""Tests for surface polynomials (Eq. 4) and Horner evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.polynomial import SurfacePolynomial, design_matrix, term_exponents
+
+
+class TestStructure:
+    def test_orders(self):
+        poly = SurfacePolynomial(np.zeros((4, 4)))
+        assert poly.n == 3
+        assert poly.order == 6
+        assert poly.num_coefficients == 16
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            SurfacePolynomial(np.zeros((2, 3)))
+
+    def test_vector_round_trip(self):
+        coeffs = np.arange(9, dtype=float).reshape(3, 3)
+        poly = SurfacePolynomial(coeffs)
+        restored = SurfacePolynomial.from_vector(poly.to_vector())
+        assert np.array_equal(restored.coefficients, coeffs)
+
+    def test_bad_vector_length(self):
+        with pytest.raises(ValueError, match="not square"):
+            SurfacePolynomial.from_vector([1.0, 2.0, 3.0])
+
+    def test_term_exponents_order(self):
+        assert term_exponents(1) == ((0, 0), (0, 1), (1, 0), (1, 1))
+        with pytest.raises(ValueError):
+            term_exponents(-1)
+
+
+class TestEvaluation:
+    def test_constant(self):
+        poly = SurfacePolynomial([[2.5]])
+        assert poly.evaluate(0.3, 0.7) == pytest.approx(2.5)
+
+    def test_known_bilinear(self):
+        # f(v, c) = 1 + 2c + 3v + 4vc
+        poly = SurfacePolynomial([[1.0, 2.0], [3.0, 4.0]])
+        assert poly.evaluate(0.5, 0.25) == pytest.approx(1 + 0.5 + 1.5 + 0.5)
+
+    def test_horner_equals_naive_random(self, rng):
+        for n in (1, 2, 3, 4, 5):
+            coeffs = rng.normal(size=(n + 1, n + 1))
+            poly = SurfacePolynomial(coeffs)
+            v = rng.uniform(0, 1, size=40)
+            c = rng.uniform(0, 1, size=40)
+            np.testing.assert_allclose(
+                poly.evaluate(v, c), poly.evaluate_naive(v, c), rtol=1e-11
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=4),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_horner_equals_naive_property(self, n, v, c, seed):
+        coeffs = np.random.default_rng(seed).uniform(-2, 2, size=(n + 1, n + 1))
+        poly = SurfacePolynomial(coeffs)
+        assert poly.evaluate(v, c) == pytest.approx(
+            poly.evaluate_naive(v, c), rel=1e-9, abs=1e-12
+        )
+
+    def test_broadcasting(self):
+        poly = SurfacePolynomial([[0.0, 1.0], [1.0, 0.0]])  # c + v
+        v = np.asarray([[0.1], [0.2]])
+        c = np.asarray([[0.3, 0.4]])
+        result = poly.evaluate(v, c)
+        assert result.shape == (2, 2)
+        assert result[1, 0] == pytest.approx(0.5)
+
+    def test_callable(self):
+        poly = SurfacePolynomial([[1.0]])
+        assert poly(0.0, 0.0) == 1.0
+
+    def test_scalar_returns_float(self):
+        poly = SurfacePolynomial([[1.0, 1.0], [1.0, 1.0]])
+        assert isinstance(poly.evaluate(0.5, 0.5), float)
+
+
+class TestDesignMatrix:
+    def test_first_column_all_ones(self, rng):
+        v = rng.uniform(0, 1, 10)
+        c = rng.uniform(0, 1, 10)
+        matrix = design_matrix(v, c, 3)
+        assert matrix.shape == (10, 16)
+        assert np.allclose(matrix[:, 0], 1.0)
+
+    def test_entries_match_exponents(self, rng):
+        v = rng.uniform(0, 1, 5)
+        c = rng.uniform(0, 1, 5)
+        n = 2
+        matrix = design_matrix(v, c, n)
+        for column, (i, j) in enumerate(term_exponents(n)):
+            np.testing.assert_allclose(matrix[:, column], v**i * c**j)
+
+    def test_matrix_times_beta_equals_eval(self, rng):
+        n = 3
+        coeffs = rng.normal(size=(n + 1, n + 1))
+        poly = SurfacePolynomial(coeffs)
+        v = rng.uniform(0, 1, 20)
+        c = rng.uniform(0, 1, 20)
+        matrix = design_matrix(v, c, n)
+        np.testing.assert_allclose(
+            matrix @ poly.to_vector(), poly.evaluate(v, c), rtol=1e-10
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            design_matrix(np.zeros(3), np.zeros(4), 1)
+
+
+class TestCalculus:
+    def test_partial_v(self):
+        # f = v^2 c  -> df/dv = 2 v c
+        coeffs = np.zeros((3, 3))
+        coeffs[2, 1] = 1.0
+        dv = SurfacePolynomial(coeffs).partial_v()
+        assert dv.evaluate(0.5, 0.4) == pytest.approx(2 * 0.5 * 0.4)
+
+    def test_partial_c(self):
+        coeffs = np.zeros((3, 3))
+        coeffs[1, 2] = 3.0  # f = 3 v c^2 -> df/dc = 6 v c
+        dc = SurfacePolynomial(coeffs).partial_c()
+        assert dc.evaluate(0.5, 0.5) == pytest.approx(6 * 0.25)
+
+    def test_addition(self):
+        a = SurfacePolynomial([[1.0]])
+        b = SurfacePolynomial([[0.0, 1.0], [0.0, 0.0]])
+        total = a + b
+        assert total.evaluate(0.0, 0.5) == pytest.approx(1.5)

@@ -1,0 +1,103 @@
+"""Tests for the OLS regression (Eq. 5–8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.polynomial import SurfacePolynomial
+from repro.core.regression import fit_polynomial
+from repro.errors import RegressionError
+
+
+def grid_samples(count=12):
+    v, c = np.meshgrid(np.linspace(0, 1, count), np.linspace(0, 1, count),
+                       indexing="ij")
+    return v.ravel(), c.ravel()
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_recovers_exact_polynomial(self, n, rng):
+        truth = SurfacePolynomial(rng.normal(size=(n + 1, n + 1)))
+        v, c = grid_samples()
+        y = truth.evaluate(v, c)
+        fit = fit_polynomial(v, c, y, n=n)
+        np.testing.assert_allclose(
+            fit.polynomial.coefficients, truth.coefficients, rtol=1e-7, atol=1e-9
+        )
+        assert fit.max_abs_error < 1e-9
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_overfit_order_still_exact(self, rng):
+        truth = SurfacePolynomial(rng.normal(size=(2, 2)))
+        v, c = grid_samples()
+        y = truth.evaluate(v, c)
+        fit = fit_polynomial(v, c, y, n=3, method="auto")
+        assert fit.max_abs_error < 1e-8
+
+    def test_methods_agree(self, rng):
+        v, c = grid_samples()
+        y = np.sin(3 * v) * np.exp(c)  # non-polynomial target
+        normal = fit_polynomial(v, c, y, n=3, method="normal")
+        lstsq = fit_polynomial(v, c, y, n=3, method="lstsq")
+        np.testing.assert_allclose(
+            normal.polynomial.coefficients, lstsq.polynomial.coefficients,
+            rtol=1e-6, atol=1e-9,
+        )
+
+
+class TestDiagnostics:
+    def test_error_decreases_with_order(self):
+        v, c = grid_samples(16)
+        y = 1.0 / (1.2 - v) + 0.1 * c  # rational, like the alpha-power law
+        errors = [fit_polynomial(v, c, y, n=n).rms_error for n in (1, 2, 3, 4)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_residual_statistics_consistent(self, rng):
+        v, c = grid_samples()
+        y = v**2 + 0.5 * c + rng.normal(scale=1e-3, size=v.size)
+        fit = fit_polynomial(v, c, y, n=2)
+        assert fit.mean_abs_error <= fit.max_abs_error
+        assert fit.rms_error <= fit.max_abs_error
+        assert 0.99 < fit.r_squared <= 1.0
+        assert fit.sample_count == v.size
+        assert fit.solve_seconds >= 0.0
+
+    def test_regression_runtime_is_milliseconds(self):
+        # The paper reports 1-40 ms per entry; ours must stay in that class.
+        v, c = grid_samples(45)  # 2025 samples, like a 4x-subsampled grid
+        y = 1.0 / (1.3 - v) + 0.2 * c
+        fit = fit_polynomial(v, c, y, n=3)
+        assert fit.solve_seconds < 0.5
+
+    def test_ridge_shrinks_coefficients(self):
+        v, c = grid_samples()
+        y = 5 * v * c
+        plain = fit_polynomial(v, c, y, n=2, ridge=0.0)
+        ridged = fit_polynomial(v, c, y, n=2, ridge=10.0)
+        assert np.abs(ridged.polynomial.coefficients).sum() < \
+            np.abs(plain.polynomial.coefficients).sum()
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(RegressionError, match="at least"):
+            fit_polynomial(np.zeros(3), np.zeros(3), np.zeros(3), n=2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(RegressionError, match="equal sample counts"):
+            fit_polynomial(np.zeros(5), np.zeros(5), np.zeros(4), n=1)
+
+    def test_unknown_method(self):
+        v, c = grid_samples(4)
+        with pytest.raises(RegressionError, match="unknown regression method"):
+            fit_polynomial(v, c, np.zeros_like(v), n=1, method="magic")
+
+    def test_singular_normal_equations_fallback(self):
+        # All samples at one point -> singular X^T X; 'auto' must fall back.
+        v = np.full(16, 0.5)
+        c = np.full(16, 0.5)
+        y = np.ones(16)
+        fit = fit_polynomial(v, c, y, n=1, method="auto")
+        assert fit.method == "lstsq"
+        with pytest.raises(RegressionError, match="singular"):
+            fit_polynomial(v, c, y, n=1, method="normal")

@@ -1,0 +1,60 @@
+"""Tests for the α-power-law time constants."""
+
+import numpy as np
+import pytest
+
+from repro.electrical.alpha_power import AlphaPowerParams, time_constant
+from repro.errors import ParameterError
+
+
+class TestParams:
+    def test_valid(self):
+        params = AlphaPowerParams(k=1e-12, vth=0.3, alpha=1.3)
+        assert params.k == 1e-12
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 0.0, "vth": 0.3, "alpha": 1.3},
+        {"k": -1e-12, "vth": 0.3, "alpha": 1.3},
+        {"k": 1e-12, "vth": -0.1, "alpha": 1.3},
+        {"k": 1e-12, "vth": 0.3, "alpha": 0.1},
+        {"k": 1e-12, "vth": 0.3, "alpha": 3.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            AlphaPowerParams(**kwargs)
+
+
+class TestTimeConstant:
+    def setup_method(self):
+        self.params = AlphaPowerParams(k=1e-12, vth=0.25, alpha=1.2)
+
+    def test_monotone_decreasing_in_voltage(self):
+        voltages = np.linspace(0.4, 1.2, 30)
+        taus = time_constant(voltages, self.params)
+        assert np.all(np.diff(taus) < 0)
+
+    def test_exact_value(self):
+        v = 0.8
+        expected = 1e-12 * v / (v - 0.25) ** 1.2
+        assert time_constant(v, self.params) == pytest.approx(expected)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(time_constant(0.8, self.params), float)
+
+    def test_array_shape_preserved(self):
+        v = np.asarray([[0.6, 0.8], [1.0, 1.1]])
+        assert time_constant(v, self.params).shape == (2, 2)
+
+    def test_below_threshold_raises(self):
+        with pytest.raises(ParameterError, match="threshold"):
+            time_constant(0.2, self.params)
+        with pytest.raises(ParameterError):
+            time_constant(np.asarray([0.8, 0.25]), self.params)
+
+    def test_callable_shorthand(self):
+        assert self.params(0.8) == time_constant(0.8, self.params)
+
+    def test_blows_up_near_threshold(self):
+        near = time_constant(0.26, self.params)
+        far = time_constant(1.1, self.params)
+        assert near > 40 * far

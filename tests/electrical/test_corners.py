@@ -1,0 +1,64 @@
+"""Tests for process corners (SS/TT/FF) of the electrical model."""
+
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.core.characterization import characterize_pin
+from repro.core.parameters import ParameterSpace
+from repro.electrical.model import ElectricalModel, TransistorCorner
+from repro.electrical.spice import AnalyticalSpice
+from repro.units import FF
+
+
+class TestCorners:
+    def test_corner_ordering(self, library):
+        cell = library["NAND2_X1"]
+        pin = cell.pins[0]
+        slow = ElectricalModel(TransistorCorner.slow())
+        typical = ElectricalModel(TransistorCorner.typical())
+        fast = ElectricalModel(TransistorCorner.fast())
+        for polarity in (DrivePolarity.RISE, DrivePolarity.FALL):
+            d_slow = slow.pin_delay(cell, pin, polarity, 0.8, 4 * FF)
+            d_typ = typical.pin_delay(cell, pin, polarity, 0.8, 4 * FF)
+            d_fast = fast.pin_delay(cell, pin, polarity, 0.8, 4 * FF)
+            assert d_slow > d_typ > d_fast
+
+    def test_corner_names(self):
+        assert TransistorCorner.slow().name == "slow"
+        assert TransistorCorner.fast().name == "fast"
+        assert TransistorCorner.typical().name == "typical"
+
+    def test_scaled_preserves_noise_and_coupling(self):
+        base = TransistorCorner(noise=0.002, coupling=0.05)
+        derived = base.scaled("x", 1.1, 0.01)
+        assert derived.noise == base.noise
+        assert derived.coupling == base.coupling
+        assert derived.rise_load.k == pytest.approx(base.rise_load.k * 1.1)
+        assert derived.rise_load.vth == pytest.approx(base.rise_load.vth + 0.01)
+
+    def test_slow_corner_more_voltage_sensitive(self, library):
+        """Higher V_th makes low-voltage operation disproportionately slow —
+        the reason worst-case AVFS characterization uses the SS corner."""
+        cell = library["INV_X1"]
+        pin = cell.pins[0]
+        slow = ElectricalModel(TransistorCorner.slow())
+        fast = ElectricalModel(TransistorCorner.fast())
+        ratio_slow = (slow.pin_delay(cell, pin, DrivePolarity.RISE, 0.55, 4 * FF)
+                      / slow.pin_delay(cell, pin, DrivePolarity.RISE, 1.1, 4 * FF))
+        ratio_fast = (fast.pin_delay(cell, pin, DrivePolarity.RISE, 0.55, 4 * FF)
+                      / fast.pin_delay(cell, pin, DrivePolarity.RISE, 1.1, 4 * FF))
+        assert ratio_slow > ratio_fast
+
+    def test_corner_characterization_flow(self, library):
+        """Per-corner kernel tables come out of the same Fig. 1 flow."""
+        cell = library["NOR2_X1"]
+        space = ParameterSpace.paper_default()
+        slow_entry = characterize_pin(
+            AnalyticalSpice(TransistorCorner.slow()), cell, cell.pins[0],
+            DrivePolarity.RISE, space=space, n=3)
+        typ_entry = characterize_pin(
+            AnalyticalSpice(TransistorCorner.typical()), cell, cell.pins[0],
+            DrivePolarity.RISE, space=space, n=3)
+        assert slow_entry.nominal_delay(4 * FF) > typ_entry.nominal_delay(4 * FF)
+        # fit quality stays in the paper's class on every corner
+        assert slow_entry.evaluation_error(32)[2] < 0.05

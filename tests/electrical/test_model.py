@@ -1,0 +1,115 @@
+"""Tests for the analytical per-cell delay model (the SPICE substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.electrical.model import ElectricalModel, TransistorCorner
+from repro.units import FF
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ElectricalModel()
+
+
+@pytest.fixture(scope="module")
+def noiseless_model():
+    return ElectricalModel(TransistorCorner(noise=0.0))
+
+
+class TestMonotonicity:
+    def test_delay_decreases_with_voltage(self, noiseless_model, library):
+        cell = library["NAND2_X1"]
+        pin = cell.pins[0]
+        voltages = np.linspace(0.5, 1.2, 20)
+        delays = noiseless_model.pin_delay(cell, pin, DrivePolarity.RISE,
+                                           voltages, 4 * FF)
+        assert np.all(np.diff(delays) < 0)
+
+    def test_delay_increases_with_load(self, noiseless_model, library):
+        cell = library["NOR2_X2"]
+        pin = cell.pins[0]
+        loads = np.linspace(0.5, 128, 30) * FF
+        delays = noiseless_model.pin_delay(cell, pin, DrivePolarity.FALL,
+                                           0.8, loads)
+        assert np.all(np.diff(delays) > 0)
+
+
+class TestStructure:
+    def test_rise_fall_asymmetry(self, noiseless_model, library):
+        cell = library["INV_X1"]
+        pin = cell.pins[0]
+        rise = noiseless_model.pin_delay(cell, pin, DrivePolarity.RISE, 0.8, 4 * FF)
+        fall = noiseless_model.pin_delay(cell, pin, DrivePolarity.FALL, 0.8, 4 * FF)
+        assert rise != pytest.approx(fall, rel=1e-3)
+
+    def test_pin_asymmetry(self, noiseless_model, library):
+        cell = library["NAND4_X1"]
+        first = noiseless_model.pin_delay(cell, cell.pins[0], DrivePolarity.FALL,
+                                          0.8, 4 * FF)
+        last = noiseless_model.pin_delay(cell, cell.pins[3], DrivePolarity.FALL,
+                                         0.8, 4 * FF)
+        assert last > first  # inner stack pins are slower
+
+    def test_stronger_cell_is_faster_at_fixed_load(self, noiseless_model, library):
+        weak = library["NAND2_X1"]
+        strong = library["NAND2_X4"]
+        d_weak = noiseless_model.pin_delay(weak, weak.pins[0], DrivePolarity.RISE,
+                                           0.8, 8 * FF)
+        d_strong = noiseless_model.pin_delay(strong, strong.pins[0],
+                                             DrivePolarity.RISE, 0.8, 8 * FF)
+        assert d_strong < d_weak
+
+    def test_delays_in_picosecond_range(self, model, library):
+        # 15nm-class cells driving femtofarad loads switch in picoseconds
+        cell = library["INV_X1"]
+        delay = model.pin_delay(cell, cell.pins[0], DrivePolarity.RISE, 0.8, 2 * FF)
+        assert 0.5e-12 < delay < 100e-12
+
+    def test_cell_delays_structure(self, model, library):
+        cell = library["NAND3_X1"]
+        pairs = model.cell_delays(cell, 0.8, 4 * FF)
+        assert len(pairs) == 3
+        for rise, fall in pairs:
+            assert rise > 0 and fall > 0
+
+
+class TestDeterminismAndNoise:
+    def test_deterministic(self, model, library):
+        cell = library["NOR2_X1"]
+        pin = cell.pins[0]
+        a = model.pin_delay(cell, pin, DrivePolarity.RISE, 0.73, 3.1 * FF)
+        b = model.pin_delay(cell, pin, DrivePolarity.RISE, 0.73, 3.1 * FF)
+        assert a == b
+
+    def test_noise_small_and_bounded(self, library):
+        clean = ElectricalModel(TransistorCorner(noise=0.0))
+        noisy = ElectricalModel(TransistorCorner(noise=0.0012))
+        cell = library["AND2_X1"]
+        pin = cell.pins[0]
+        voltages = np.linspace(0.55, 1.1, 12)
+        a = clean.pin_delay(cell, pin, DrivePolarity.FALL, voltages, 4 * FF)
+        b = noisy.pin_delay(cell, pin, DrivePolarity.FALL, voltages, 4 * FF)
+        assert np.all(np.abs(b / a - 1.0) < 0.0013)
+
+    def test_noise_differs_per_entry(self, model, library):
+        cell = library["AND2_X1"]
+        r = model.pin_delay(cell, cell.pins[0], DrivePolarity.RISE, 0.8, 4 * FF)
+        f = model.pin_delay(cell, cell.pins[0], DrivePolarity.FALL, 0.8, 4 * FF)
+        assert r != f
+
+
+class TestValidation:
+    def test_nonpositive_load_rejected(self, model, library):
+        cell = library["INV_X1"]
+        with pytest.raises(ValueError, match="positive"):
+            model.pin_delay(cell, cell.pins[0], DrivePolarity.RISE, 0.8, 0.0)
+
+    def test_scalar_vs_array_consistency(self, model, library):
+        cell = library["OR2_X1"]
+        pin = cell.pins[0]
+        scalar = model.pin_delay(cell, pin, DrivePolarity.RISE, 0.8, 4 * FF)
+        array = model.pin_delay(cell, pin, DrivePolarity.RISE,
+                                np.asarray([0.8]), np.asarray([4 * FF]))
+        assert scalar == pytest.approx(float(array[0]))

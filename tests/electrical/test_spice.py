@@ -1,0 +1,86 @@
+"""Tests for the AnalyticalSpice sweep front end."""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.electrical.spice import (
+    NOMINAL_VOLTAGE,
+    PAPER_LOADS,
+    PAPER_VOLTAGES,
+    AnalyticalSpice,
+    DelayGrid,
+)
+from repro.units import FF
+
+
+class TestPaperGrids:
+    def test_voltage_grid_matches_paper(self):
+        assert PAPER_VOLTAGES[0] == 0.55
+        assert PAPER_VOLTAGES[-1] == 1.10
+        assert len(PAPER_VOLTAGES) == 12
+        steps = np.diff(PAPER_VOLTAGES)
+        assert np.allclose(steps, 0.05)
+        assert NOMINAL_VOLTAGE in PAPER_VOLTAGES
+
+    def test_load_grid_matches_paper(self):
+        assert len(PAPER_LOADS) == 9
+        assert PAPER_LOADS[0] == pytest.approx(0.5 * FF)
+        assert PAPER_LOADS[-1] == pytest.approx(128 * FF)
+        ratios = np.asarray(PAPER_LOADS[1:]) / np.asarray(PAPER_LOADS[:-1])
+        assert np.allclose(ratios, 2.0)
+
+
+class TestDelayGrid:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            DelayGrid(voltages=np.asarray([0.6, 0.8]),
+                      loads=np.asarray([1e-15]),
+                      delays=np.zeros((3, 1)))
+
+    def test_axis_monotonicity_required(self):
+        with pytest.raises(ValueError, match="increasing"):
+            DelayGrid(voltages=np.asarray([0.8, 0.6]),
+                      loads=np.asarray([1e-15, 2e-15]),
+                      delays=np.zeros((2, 2)))
+
+    def test_delay_at_and_column(self, spice, library):
+        cell = library["NAND2_X1"]
+        grid = spice.sweep(cell, cell.pins[0], DrivePolarity.RISE)
+        value = grid.delay_at(0.8, 2 * FF)
+        column = grid.column(2 * FF)
+        v_index = list(PAPER_VOLTAGES).index(0.8)
+        assert column[v_index] == pytest.approx(value)
+        with pytest.raises(KeyError):
+            grid.delay_at(0.81, 2 * FF)
+        with pytest.raises(KeyError):
+            grid.column(3 * FF)
+
+
+class TestSweep:
+    def test_sweep_shape_and_values(self, library):
+        spice = AnalyticalSpice()
+        cell = library["NOR2_X2"]
+        pin = cell.pins[1]
+        grid = spice.sweep(cell, pin, DrivePolarity.FALL)
+        assert grid.shape == (12, 9)
+        direct = spice.model.pin_delay(cell, pin, DrivePolarity.FALL, 0.7, 8 * FF)
+        assert grid.delay_at(0.7, 8 * FF) == pytest.approx(direct)
+
+    def test_transient_run_accounting(self, library):
+        spice = AnalyticalSpice()
+        cell = library["INV_X1"]
+        spice.measure(cell, cell.pins[0], DrivePolarity.RISE, 0.8, 2 * FF)
+        assert spice.transient_runs == 1
+        spice.sweep(cell, cell.pins[0], DrivePolarity.RISE)
+        assert spice.transient_runs == 1 + 12 * 9
+
+    def test_sweep_cell_covers_all_entries(self, library):
+        spice = AnalyticalSpice()
+        cell = library["NAND3_X1"]
+        entries = list(spice.sweep_cell(cell))
+        assert len(entries) == 3 * 2  # pins x polarities
+        pins = [pin.name for pin, _, _ in entries]
+        assert pins == ["A1", "A1", "A2", "A2", "A3", "A3"]
+        polarities = [pol for _, pol, _ in entries[:2]]
+        assert polarities == [DrivePolarity.RISE, DrivePolarity.FALL]

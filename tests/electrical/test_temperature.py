@@ -1,0 +1,59 @@
+"""Tests for temperature derating of the electrical model."""
+
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.electrical.model import ElectricalModel, TransistorCorner
+from repro.units import FF
+
+
+def delay_at(corner, library, voltage):
+    cell = library["INV_X1"]
+    model = ElectricalModel(corner)
+    return model.pin_delay(cell, cell.pins[0], DrivePolarity.RISE,
+                           voltage, 4 * FF)
+
+
+class TestTemperature:
+    def test_hot_is_slower_at_high_voltage(self, library):
+        cold = TransistorCorner.typical().at_temperature(-40.0)
+        hot = TransistorCorner.typical().at_temperature(125.0)
+        assert delay_at(hot, library, 1.1) > delay_at(cold, library, 1.1)
+
+    def test_temperature_inversion_trend(self, library):
+        """Near threshold, heat hurts far less than at strong overdrive
+        (the temperature-inversion effect of nanometer nodes)."""
+        cold = TransistorCorner.typical().at_temperature(-40.0)
+        hot = TransistorCorner.typical().at_temperature(125.0)
+        ratio_low_v = delay_at(hot, library, 0.55) / delay_at(cold, library, 0.55)
+        ratio_high_v = delay_at(hot, library, 1.1) / delay_at(cold, library, 1.1)
+        assert ratio_low_v < ratio_high_v
+
+    def test_reference_temperature_is_identity(self, library):
+        base = TransistorCorner.typical()
+        same = base.at_temperature(25.0)
+        assert delay_at(same, library, 0.8) == pytest.approx(
+            delay_at(base, library, 0.8), rel=1e-9)
+
+    def test_composes_with_process_corners(self, library):
+        slow_hot = TransistorCorner.slow().at_temperature(125.0)
+        fast_cold = TransistorCorner.fast().at_temperature(-40.0)
+        # worst-worst must dominate best-best at nominal overdrive
+        assert delay_at(slow_hot, library, 1.0) > delay_at(fast_cold, library, 1.0)
+        assert slow_hot.name == "slow@125C"
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            TransistorCorner.typical().at_temperature(300.0)
+
+    def test_characterization_across_temperature(self, library):
+        """Per-temperature kernel tables stay in the Fig. 4 accuracy class."""
+        from repro.core.characterization import characterize_pin
+        from repro.core.parameters import ParameterSpace
+        from repro.electrical.spice import AnalyticalSpice
+
+        cell = library["NAND2_X1"]
+        spice = AnalyticalSpice(TransistorCorner.typical().at_temperature(125.0))
+        entry = characterize_pin(spice, cell, cell.pins[0], DrivePolarity.FALL,
+                                 space=ParameterSpace.paper_default(), n=3)
+        assert entry.evaluation_error(32)[2] < 0.05

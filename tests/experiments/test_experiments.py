@@ -1,0 +1,125 @@
+"""Tests for the experiment harnesses (small, fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4, fig5, table1, table2
+from repro.experiments.common import (
+    default_kernel_table,
+    default_library,
+    format_table,
+)
+from repro.experiments.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    TABLE2_VOLTAGES,
+)
+from repro.experiments.workload import prepare_workload
+
+
+class TestCommon:
+    def test_default_library_cached(self):
+        assert default_library() is default_library()
+
+    def test_kernel_table_cached(self):
+        assert default_kernel_table(3) is default_kernel_table(3)
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["33", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        assert len(PAPER_TABLE1) == 15
+        assert PAPER_TABLE1["b18"].speedup == 1785
+
+    def test_table2_complete(self):
+        assert len(PAPER_TABLE2) == 15
+        row = PAPER_TABLE2["s38584"]
+        assert row.longest_path == pytest.approx(610.9e-12)
+        assert row.arrivals[0.55] == pytest.approx(846.0e-12)
+        # monotone decreasing arrivals with voltage wherever present
+        for name, entry in PAPER_TABLE2.items():
+            values = [entry.arrivals[v] for v in TABLE2_VOLTAGES
+                      if entry.arrivals[v] is not None]
+            assert values == sorted(values, reverse=True), name
+
+
+class TestFig4:
+    def test_small_run(self):
+        result = fig4.run(orders=(1, 3), families=("INV", "NOR2"), grid=24)
+        assert len(result.orders) == 2
+        low = result.stats_for(1)
+        high = result.stats_for(3)
+        # INV: 5 strengths x 1 pin x 2 polarities; NOR2: 4 x 2 x 2
+        assert low.num_entries == high.num_entries == 5 * 2 + 4 * 4
+        # paper shape: errors shrink with order, coefficients grow
+        assert high.avg_max < low.avg_max
+        assert high.avg_mean < low.avg_mean
+        assert high.coefficients == 16
+        assert fig4.format_result(result)
+
+    def test_paper_claims_at_n3(self):
+        result = fig4.run(orders=(3,), families=("NOR2", "NAND2", "INV"),
+                          grid=32)
+        stats = result.stats_for(3)
+        assert stats.avg_mean < 0.01      # mean well below 1 %
+        assert stats.avg_std < 0.01       # stddev below 1 % for N >= 3
+        assert stats.avg_max < 0.027      # below the paper's 2.7 %
+        assert stats.worst_max < 0.0535   # below the paper's worst sample
+
+
+class TestFig5:
+    def test_matches_paper_magnitudes(self):
+        result = fig5.run(grid=64)
+        assert result.cell == "NOR2_X2"
+        # paper: 0.38 % average, 2.41 % max — demand the same class
+        assert result.avg_abs_error < 0.01
+        assert result.max_abs_error < 0.025
+        assert result.polynomial_surface.shape == (64, 64)
+        assert fig5.format_result(result)
+
+    def test_csv_dump(self, tmp_path):
+        result = fig5.run(grid=8)
+        path = tmp_path / "surface.csv"
+        fig5.write_csv(result, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + 64
+        assert lines[0].startswith("voltage,")
+
+
+class TestWorkload:
+    def test_prepare_small(self):
+        workload = prepare_workload("s38417", scale=0.004)
+        assert workload.name == "s38417"
+        assert workload.num_pairs >= 16
+        assert workload.atpg_used
+        assert workload.patterns.count_by_source()
+        # cached on second call
+        assert prepare_workload("s38417", scale=0.004) is workload
+
+
+class TestTables:
+    def test_table1_tiny(self):
+        result = table1.run(circuits=["s38417"], scale=0.004,
+                            ed_max_pairs=4, repeats=1)
+        row = result.rows[0]
+        assert row.name == "s38417"
+        assert row.pairs >= 16
+        assert row.event_driven_seconds > 0
+        assert row.proposed_seconds > 0
+        assert row.speedup == pytest.approx(
+            row.event_driven_seconds / row.proposed_seconds)
+        assert table1.format_result(result)
+
+    def test_table2_tiny(self):
+        result = table2.run(circuits=["s38417"], scale=0.004)
+        row = result.rows[0]
+        assert row.monotone_decreasing()
+        assert abs(row.nominal_vs_static) < 0.02  # sub-2% kernel residual
+        assert row.longest_path >= row.arrivals[0.8] * 0.5
+        assert table2.format_result(result)

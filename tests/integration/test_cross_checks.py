@@ -1,0 +1,122 @@
+"""Cross-component consistency checks spanning several subsystems."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.netlist.generate import random_circuit
+from repro.netlist.liberty import parse_liberty, write_liberty
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.simulation.variation import ProcessVariation
+from repro.timing.sta import StaticTimingAnalysis
+
+
+class TestLibertyVsSimulation:
+    def test_liberty_view_predicts_simulated_gate_delay(self, library,
+                                                        characterization,
+                                                        kernel_table):
+        """The emitted .lib tables and the live simulator use the same
+        kernels: an inverter's simulated transition time must match the
+        Liberty view's table entry at the same (voltage, load)."""
+        from repro.netlist.circuit import Circuit
+        from repro.netlist.sdf import annotate_nominal
+
+        voltage = 0.65
+        parsed = parse_liberty(write_liberty(characterization,
+                                             voltage=voltage))
+        circuit = Circuit("lib_xcheck")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "INV_X1", ["a"], "y")
+        circuit.add_output("y")
+        loads = circuit.net_loads(library)
+        compiled = compile_circuit(circuit, library,
+                                   annotation=annotate_nominal(
+                                       circuit, library, loads=loads),
+                                   loads=loads)
+        sim = GpuWaveSim(circuit, library, compiled=compiled,
+                         config=SimulationConfig(record_all_nets=True))
+        pair = PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                           v2=np.asarray([0], dtype=np.uint8))  # y rises
+        result = sim.run([pair], voltage=voltage, kernel_table=kernel_table)
+        simulated = float(result.waveform(0, "y").times[0])
+
+        table_loads = parsed["__loads__"]
+        rise = parsed["INV_X1"]["timing"]["A"]["rise"]
+        # delay is near-linear in load, so interpolate on the linear axis
+        expected = float(np.interp(loads["y"], table_loads, rise))
+        assert simulated == pytest.approx(expected, rel=0.03)
+
+
+class TestStaVsKernels:
+    def test_parametric_sta_tracks_simulated_scaling(self, library,
+                                                     kernel_table, rng):
+        """STA's voltage derating and the simulator's must agree on the
+        *ratio* of slowdown (same kernels drive both)."""
+        circuit = random_circuit("xsta", 10, 200, seed=47)
+        compiled = compile_circuit(circuit, library)
+        sta = StaticTimingAnalysis(circuit, library, compiled=compiled)
+        sta_ratio = (sta.longest_path_delay(0.6, kernel_table)
+                     / sta.longest_path_delay(0.9, kernel_table))
+        sim = GpuWaveSim(circuit, library, compiled=compiled)
+        pairs = [PatternPair.random(10, rng) for _ in range(20)]
+        plan = SlotPlan.cross(len(pairs), [0.6, 0.9])
+        result = sim.run(pairs, plan=plan, kernel_table=kernel_table)
+        from repro.analysis.arrival import latest_arrivals
+        report = latest_arrivals(result, circuit, plan=plan)
+        sim_ratio = report.at(0.6) / report.at(0.9)
+        assert sim_ratio == pytest.approx(sta_ratio, rel=0.10)
+
+
+class TestVariationUnderSweep:
+    def test_variation_composes_with_voltage_sweep(self, library,
+                                                   kernel_table, rng):
+        """Monte-Carlo factors and the voltage plane compose: engines
+        agree slot-for-slot on the combined configuration."""
+        circuit = random_circuit("xmc", 8, 90, seed=51)
+        compiled = compile_circuit(circuit, library)
+        config = SimulationConfig(record_all_nets=True)
+        pairs = [PatternPair.random(8, rng) for _ in range(4)]
+        variation = ProcessVariation(sigma=0.07, seed=9)
+        plan = SlotPlan.cross(len(pairs), [0.7])
+        parallel = GpuWaveSim(circuit, library, config=config,
+                              compiled=compiled).run(
+            pairs, plan=plan, kernel_table=kernel_table, variation=variation)
+        serial = EventDrivenSimulator(circuit, library, config=config,
+                                      compiled=compiled).run(
+            pairs, voltage=0.7, kernel_table=kernel_table,
+            variation=variation)
+        for slot in range(len(pairs)):
+            for net in circuit.nets():
+                assert serial.waveform(slot, net).equivalent(
+                    parallel.waveform(slot, net), 0.0)
+
+
+class TestCliModule:
+    def test_python_dash_m_entrypoint(self):
+        """``python -m repro`` dispatches to the CLI help cleanly."""
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert process.returncode == 0
+        assert "characterize" in process.stdout
+        assert "simulate" in process.stdout
+
+
+class TestFig4Csv:
+    def test_csv_dump(self, tmp_path):
+        from repro.experiments import fig4
+
+        result = fig4.run(orders=(1,), families=("INV",), grid=8)
+        path = tmp_path / "fig4.csv"
+        fig4.write_csv(result, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("order,")
+        assert len(lines) == 1 + result.orders[0].num_entries

@@ -1,0 +1,147 @@
+"""End-to-end integration: the full paper flow on one circuit.
+
+Exercises the complete pipeline the README advertises:
+
+    library -> characterization -> kernels -> netlist + SDF + SPEF
+    -> ATPG -> parallel voltage-sweep simulation -> analysis -> AVFS
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AvfsController,
+    DesignSpaceExplorer,
+    EventDrivenSimulator,
+    GpuWaveSim,
+    SimulationConfig,
+    SlotPlan,
+    StaticTimingAnalysis,
+    ZeroDelaySimulator,
+    circuit_stats,
+    generate_transition_patterns,
+    parse_sdf,
+    parse_spef,
+    parse_verilog,
+    random_circuit,
+    write_sdf,
+    write_spef,
+    write_verilog,
+)
+from repro.analysis import dynamic_power, latest_arrivals, switching_activity
+from repro.netlist.sdf import annotate_nominal
+from repro.simulation.compiled import compile_circuit
+
+VOLTAGES = [0.55, 0.7, 0.8, 1.1]
+
+
+@pytest.fixture(scope="module")
+def flow(library, kernel_table, tmp_path_factory):
+    """Run the whole flow once; individual tests check its stages."""
+    root = tmp_path_factory.mktemp("flow")
+    circuit = random_circuit("design", num_inputs=14, num_gates=300, seed=21)
+
+    # Design-exchange round trip through files on disk (Fig. 2 step 1).
+    loads = circuit.net_loads(library)
+    annotation = annotate_nominal(circuit, library, loads=loads)
+    (root / "design.v").write_text(write_verilog(circuit, library))
+    (root / "design.sdf").write_text(write_sdf(circuit, library, annotation))
+    (root / "design.spef").write_text(write_spef(circuit, loads))
+
+    reparsed = parse_verilog((root / "design.v").read_text(), library)
+    re_annotation = parse_sdf((root / "design.sdf").read_text(), library)
+    re_loads = parse_spef((root / "design.spef").read_text())
+    compiled = compile_circuit(reparsed, library, annotation=re_annotation,
+                               loads=re_loads)
+
+    patterns, coverage = generate_transition_patterns(
+        reparsed, library, max_pairs=48, fault_sample=500)
+
+    sim = GpuWaveSim(reparsed, library, compiled=compiled,
+                     config=SimulationConfig(record_all_nets=True))
+    plan = SlotPlan.cross(len(patterns), VOLTAGES)
+    result = sim.run(patterns.pairs, plan=plan, kernel_table=kernel_table)
+    return {
+        "circuit": reparsed,
+        "compiled": compiled,
+        "patterns": patterns,
+        "coverage": coverage,
+        "plan": plan,
+        "result": result,
+        "loads": re_loads,
+    }
+
+
+class TestFlow:
+    def test_circuit_round_trip(self, flow):
+        stats = circuit_stats(flow["circuit"])
+        assert stats.num_gates == 300
+
+    def test_atpg_found_patterns(self, flow):
+        assert len(flow["patterns"]) > 4
+        assert flow["coverage"] > 0.4
+
+    def test_final_values_match_zero_delay(self, flow, library):
+        circuit = flow["circuit"]
+        result = flow["result"]
+        plan = flow["plan"]
+        expected = ZeroDelaySimulator(circuit, library).responses(
+            flow["patterns"].v2_matrix())
+        for slot in range(0, result.num_slots, 7):
+            pattern = int(plan.pattern_indices[slot])
+            np.testing.assert_array_equal(
+                result.final_values(slot, circuit.outputs), expected[pattern])
+
+    def test_voltage_arrival_shape(self, flow):
+        report = latest_arrivals(flow["result"], flow["circuit"],
+                                 plan=flow["plan"])
+        arrivals = [report.at(v) for v in VOLTAGES]
+        assert arrivals == sorted(arrivals, reverse=True)
+
+    def test_sta_bounds_and_pessimism(self, flow, library):
+        sta = StaticTimingAnalysis(flow["circuit"], library,
+                                   compiled=flow["compiled"])
+        longest = sta.longest_path_delay()
+        report = latest_arrivals(flow["result"], flow["circuit"],
+                                 plan=flow["plan"])
+        assert report.at(0.8) <= longest * 1.05
+
+    def test_event_driven_agrees_on_sample(self, flow, library,
+                                           kernel_table):
+        circuit = flow["circuit"]
+        config = SimulationConfig(record_all_nets=True)
+        event = EventDrivenSimulator(circuit, library,
+                                     compiled=flow["compiled"], config=config)
+        reference = event.run(flow["patterns"].pairs[:3], voltage=0.7,
+                              kernel_table=kernel_table)
+        plan = flow["plan"]
+        slots = [s for s in plan.slots_for_voltage(0.7)
+                 if plan.pattern_indices[s] < 3]
+        for slot in slots:
+            pattern = int(plan.pattern_indices[slot])
+            for net in circuit.nets():
+                assert reference.waveform(pattern, net).equivalent(
+                    flow["result"].waveform(int(slot), net), 0.0)
+
+    def test_power_increases_with_voltage(self, flow):
+        plan = flow["plan"]
+        result = flow["result"]
+        energies = []
+        for voltage in (0.55, 1.1):
+            slots = plan.slots_for_voltage(voltage).tolist()
+            activity = switching_activity(result, slots=slots)
+            energies.append(
+                dynamic_power(activity, flow["loads"], voltage)
+                .energy_per_pattern)
+        assert energies[1] > energies[0]
+
+    def test_avfs_closes_the_loop(self, flow, library, kernel_table):
+        explorer = DesignSpaceExplorer(flow["circuit"], library, kernel_table)
+        table = explorer.voltage_frequency_table(
+            flow["patterns"].pairs[:8], VOLTAGES, guardband=0.05)
+        controller = AvfsController(table)
+        low = controller.set_performance(table.points[0].max_frequency * 0.5)
+        assert low.voltage == min(VOLTAGES)
+        controller.apply_aging(0.3)
+        aged = controller.set_performance(table.points[0].max_frequency * 0.9)
+        assert aged.voltage >= low.voltage

@@ -1,0 +1,106 @@
+"""Property-based cross-engine validation on random circuits.
+
+These are the heavyweight invariants of the whole system:
+
+* the parallel SIMT engine and the serial event-driven engine produce
+  bit- and time-identical waveforms on arbitrary circuits and stimuli,
+* settled values always equal the zero-delay responses,
+* transport-mode arrivals never exceed the STA bound,
+* inertial filtering only ever removes transitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.zero_delay import ZeroDelaySimulator
+from repro.timing.sta import StaticTimingAnalysis
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def circuit_strategy():
+    return st.builds(
+        random_circuit,
+        name=st.just("prop"),
+        num_inputs=st.integers(4, 10),
+        num_gates=st.integers(10, 90),
+        seed=st.integers(0, 10_000),
+    )
+
+
+@SLOW
+@given(circuit=circuit_strategy(), pattern_seed=st.integers(0, 1000),
+       voltage=st.sampled_from([0.55, 0.8, 1.1]),
+       filtering=st.sampled_from(["inertial", "transport"]))
+def test_engines_equivalent(circuit, pattern_seed, voltage, filtering,
+                            library, kernel_table):
+    config = SimulationConfig(record_all_nets=True, pulse_filtering=filtering)
+    compiled = compile_circuit(circuit, library)
+    rng = np.random.default_rng(pattern_seed)
+    pairs = [PatternPair.random(len(circuit.inputs), rng) for _ in range(4)]
+    event = EventDrivenSimulator(circuit, library, config=config,
+                                 compiled=compiled)
+    parallel = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+    reference = event.run(pairs, voltage=voltage, kernel_table=kernel_table)
+    candidate = parallel.run(
+        pairs, voltage=voltage, kernel_table=kernel_table)
+    for slot in range(len(pairs)):
+        for net in circuit.nets():
+            assert reference.waveform(slot, net).equivalent(
+                candidate.waveform(slot, net), 0.0), net
+
+
+@SLOW
+@given(circuit=circuit_strategy(), pattern_seed=st.integers(0, 1000))
+def test_final_values_equal_zero_delay(circuit, pattern_seed, library):
+    compiled = compile_circuit(circuit, library)
+    rng = np.random.default_rng(pattern_seed)
+    pairs = [PatternPair.random(len(circuit.inputs), rng) for _ in range(6)]
+    result = GpuWaveSim(circuit, library, compiled=compiled).run(pairs)
+    expected = ZeroDelaySimulator(circuit, library).responses(
+        np.stack([p.v2 for p in pairs]))
+    for slot in range(len(pairs)):
+        np.testing.assert_array_equal(
+            result.final_values(slot, circuit.outputs), expected[slot])
+
+
+@SLOW
+@given(circuit=circuit_strategy(), pattern_seed=st.integers(0, 1000))
+def test_sta_bounds_transport_arrivals(circuit, pattern_seed, library):
+    compiled = compile_circuit(circuit, library)
+    longest = StaticTimingAnalysis(circuit, library,
+                                   compiled=compiled).longest_path_delay()
+    rng = np.random.default_rng(pattern_seed)
+    pairs = [PatternPair.random(len(circuit.inputs), rng) for _ in range(6)]
+    sim = GpuWaveSim(circuit, library, compiled=compiled,
+                     config=SimulationConfig(pulse_filtering="transport"))
+    result = sim.run(pairs)
+    for slot in range(len(pairs)):
+        assert result.latest_arrival(slot, circuit.outputs) <= longest + 1e-18
+
+
+@SLOW
+@given(circuit=circuit_strategy(), pattern_seed=st.integers(0, 1000))
+def test_inertial_never_adds_transitions(circuit, pattern_seed, library):
+    compiled = compile_circuit(circuit, library)
+    rng = np.random.default_rng(pattern_seed)
+    pairs = [PatternPair.random(len(circuit.inputs), rng) for _ in range(4)]
+    transport = GpuWaveSim(
+        circuit, library, compiled=compiled,
+        config=SimulationConfig(record_all_nets=True,
+                                pulse_filtering="transport")).run(pairs)
+    inertial = GpuWaveSim(
+        circuit, library, compiled=compiled,
+        config=SimulationConfig(record_all_nets=True,
+                                pulse_filtering="inertial")).run(pairs)
+    for slot in range(len(pairs)):
+        total_transport = transport.total_transitions(slot)
+        total_inertial = inertial.total_transitions(slot)
+        assert total_inertial <= total_transport

@@ -1,0 +1,164 @@
+"""Tests for the circuit graph and levelization."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+
+
+def chain_circuit() -> Circuit:
+    """a -> INV -> n0 -> INV -> n1 (output)."""
+    circuit = Circuit("chain")
+    circuit.add_input("a")
+    circuit.add_gate("g0", "INV_X1", ["a"], "n0")
+    circuit.add_gate("g1", "INV_X1", ["n0"], "n1")
+    circuit.add_output("n1")
+    return circuit
+
+
+def diamond_circuit() -> Circuit:
+    """Two parallel inverters reconverging in a NAND."""
+    circuit = Circuit("diamond")
+    circuit.add_input("a")
+    circuit.add_gate("u", "INV_X1", ["a"], "top")
+    circuit.add_gate("v", "INV_X2", ["a"], "bot")
+    circuit.add_gate("w", "NAND2_X1", ["top", "bot"], "out")
+    circuit.add_output("out")
+    return circuit
+
+
+class TestConstruction:
+    def test_counts(self):
+        circuit = diamond_circuit()
+        assert circuit.num_gates == 3
+        assert circuit.num_nodes == 1 + 3 + 1  # PI + cells + PO
+
+    def test_duplicate_gate_name(self):
+        circuit = chain_circuit()
+        with pytest.raises(NetlistError, match="duplicate gate name"):
+            circuit.add_gate("g0", "INV_X1", ["a"], "n9")
+
+    def test_net_double_drive(self):
+        circuit = chain_circuit()
+        with pytest.raises(NetlistError, match="already driven"):
+            circuit.add_gate("g9", "INV_X1", ["a"], "n0")
+        with pytest.raises(NetlistError, match="already driven"):
+            circuit.add_input("n1")
+
+    def test_duplicate_output(self):
+        circuit = chain_circuit()
+        with pytest.raises(NetlistError, match="duplicate output"):
+            circuit.add_output("n1")
+
+    def test_gate_lookup(self):
+        circuit = chain_circuit()
+        assert circuit.gate("g1").cell == "INV_X1"
+        with pytest.raises(NetlistError):
+            circuit.gate("nope")
+
+    def test_driver(self):
+        circuit = chain_circuit()
+        assert circuit.driver("a") is None
+        assert circuit.driver("n0").name == "g0"
+        assert circuit.is_input("a")
+        assert not circuit.is_input("n0")
+        with pytest.raises(NetlistError, match="undriven"):
+            circuit.driver("ghost")
+
+
+class TestLevelization:
+    def test_chain_levels(self):
+        levels = chain_circuit().levelize()
+        assert [len(level) for level in levels] == [1, 1]
+        assert chain_circuit().depth == 2
+
+    def test_diamond_levels(self):
+        circuit = diamond_circuit()
+        levels = circuit.levelize()
+        assert len(levels) == 2
+        assert sorted(circuit.gates[i].name for i in levels[0]) == ["u", "v"]
+        assert [circuit.gates[i].name for i in levels[1]] == ["w"]
+
+    def test_topological_order_respects_dependencies(self):
+        circuit = diamond_circuit()
+        seen = set(circuit.inputs)
+        for gate in circuit.topological_gates():
+            assert all(net in seen for net in gate.inputs)
+            seen.add(gate.output)
+
+    def test_cycle_detection(self):
+        circuit = Circuit("cyc")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "NAND2_X1", ["a", "n1"], "n0")
+        circuit.add_gate("g1", "INV_X1", ["n0"], "n1")
+        circuit.add_output("n1")
+        with pytest.raises(NetlistError, match="cycle"):
+            circuit.levelize()
+
+    def test_levels_cached_and_invalidated(self):
+        circuit = chain_circuit()
+        first = circuit.levelize()
+        assert circuit.levelize() is first
+        circuit.add_gate("g2", "INV_X1", ["n1"], "n2")
+        assert circuit.depth == 3
+
+
+class TestValidation:
+    def test_undriven_input_net(self, library):
+        circuit = Circuit("bad")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "NAND2_X1", ["a", "ghost"], "n0")
+        circuit.add_output("n0")
+        with pytest.raises(NetlistError, match="undriven"):
+            circuit.validate(library)
+
+    def test_arity_mismatch(self, library):
+        circuit = Circuit("bad")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "NAND2_X1", ["a"], "n0")
+        circuit.add_output("n0")
+        with pytest.raises(NetlistError, match="pins"):
+            circuit.validate(library)
+
+    def test_no_outputs(self, library):
+        circuit = Circuit("bad")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "INV_X1", ["a"], "n0")
+        with pytest.raises(NetlistError, match="no outputs"):
+            circuit.validate(library)
+
+    def test_undriven_output(self, library):
+        circuit = Circuit("bad")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "INV_X1", ["a"], "n0")
+        circuit.add_output("n0")
+        circuit.add_output("ghost")
+        with pytest.raises(NetlistError, match="output net"):
+            circuit.validate(library)
+
+
+class TestLoadsAndFanout:
+    def test_fanout_map(self):
+        circuit = diamond_circuit()
+        fanout = circuit.fanout()
+        assert len(fanout["a"]) == 2
+        assert {(g.name, pin) for g, pin in fanout["top"]} == {("w", 0)}
+        assert fanout["out"] == []
+
+    def test_net_loads(self, library):
+        circuit = diamond_circuit()
+        loads = circuit.net_loads(library)
+        # 'a' drives two inverter pins plus two wire stubs.
+        inv1 = library["INV_X1"].pins[0].input_cap
+        inv2 = library["INV_X2"].pins[0].input_cap
+        from repro.netlist.circuit import WIRE_CAP_PER_FANOUT, OUTPUT_PORT_CAP
+        assert loads["a"] == pytest.approx(inv1 + inv2 + 2 * WIRE_CAP_PER_FANOUT)
+        # output net carries the port capacitance
+        assert loads["out"] == pytest.approx(OUTPUT_PORT_CAP)
+
+    def test_copy_is_equal_structure(self):
+        circuit = diamond_circuit()
+        clone = circuit.copy("clone")
+        assert clone.name == "clone"
+        assert clone.num_nodes == circuit.num_nodes
+        assert [g.name for g in clone.gates] == [g.name for g in circuit.gates]

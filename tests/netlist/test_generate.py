@@ -1,0 +1,131 @@
+"""Tests for the synthetic circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generate import (
+    array_multiplier,
+    parity_tree,
+    random_circuit,
+    ripple_carry_adder,
+)
+from repro.netlist.stats import circuit_stats
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+class TestRandomCircuit:
+    def test_deterministic(self):
+        a = random_circuit("a", 8, 100, seed=9)
+        b = random_circuit("a", 8, 100, seed=9)
+        assert [g.inputs for g in a.gates] == [g.inputs for g in b.gates]
+        assert [g.cell for g in a.gates] == [g.cell for g in b.gates]
+
+    def test_seed_changes_structure(self):
+        a = random_circuit("a", 8, 100, seed=1)
+        b = random_circuit("a", 8, 100, seed=2)
+        assert [g.inputs for g in a.gates] != [g.inputs for g in b.gates]
+
+    def test_counts(self):
+        circuit = random_circuit("c", 12, 300, seed=0)
+        assert len(circuit.inputs) == 12
+        assert circuit.num_gates == 300
+
+    def test_validates_against_library(self, library):
+        circuit = random_circuit("c", 10, 200, seed=3)
+        circuit.validate(library)
+
+    def test_no_dangling_nets(self):
+        circuit = random_circuit("c", 10, 150, seed=4)
+        fanout = circuit.fanout()
+        outputs = set(circuit.outputs)
+        for net, sinks in fanout.items():
+            assert sinks or net in outputs
+
+    @pytest.mark.parametrize("target", [25, 50])
+    def test_depth_calibration(self, target):
+        circuit = random_circuit("d", 32, 3000, seed=1, target_depth=target)
+        assert 0.6 * target <= circuit.depth <= 1.6 * target
+
+    def test_realistic_output_fraction(self):
+        circuit = random_circuit("c", 64, 2000, seed=6)
+        stats = circuit_stats(circuit)
+        # sink-preferring input selection keeps POs a small fraction
+        assert stats.num_outputs < 0.15 * stats.num_gates
+
+    def test_strength_restriction(self):
+        circuit = random_circuit("c", 8, 100, seed=0, strengths=(1,))
+        assert all(gate.cell.endswith("_X1") for gate in circuit.gates)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_circuit("c", 1, 10)
+        with pytest.raises(ValueError):
+            random_circuit("c", 4, 0)
+        with pytest.raises(ValueError):
+            random_circuit("c", 4, 10, strengths=(16,))
+
+
+class TestAdder:
+    @pytest.mark.parametrize("width", [1, 4, 8])
+    def test_addition_exhaustive_or_sampled(self, width, library, rng):
+        circuit = ripple_carry_adder(width)
+        sim = ZeroDelaySimulator(circuit, library)
+        trials = min(64, 4 ** width)
+        for _ in range(trials):
+            a = int(rng.integers(0, 2 ** width))
+            b = int(rng.integers(0, 2 ** width))
+            cin = int(rng.integers(0, 2))
+            vector = np.zeros((1, 2 * width + 1), dtype=np.uint8)
+            for i in range(width):
+                vector[0, circuit.inputs.index(f"a{i}")] = (a >> i) & 1
+                vector[0, circuit.inputs.index(f"b{i}")] = (b >> i) & 1
+            vector[0, circuit.inputs.index("cin")] = cin
+            outputs = sim.evaluate(vector)
+            total = sum(int(outputs[f"s{i}"][0]) << i for i in range(width))
+            carry_net = circuit.outputs[-1]
+            total += int(outputs[carry_net][0]) << width
+            assert total == a + b + cin
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_multiplication(self, width, library, rng):
+        circuit = array_multiplier(width)
+        sim = ZeroDelaySimulator(circuit, library)
+        for _ in range(32):
+            a = int(rng.integers(0, 2 ** width))
+            b = int(rng.integers(0, 2 ** width))
+            vector = np.zeros((1, 2 * width), dtype=np.uint8)
+            for i in range(width):
+                vector[0, circuit.inputs.index(f"a{i}")] = (a >> i) & 1
+                vector[0, circuit.inputs.index(f"b{i}")] = (b >> i) & 1
+            outputs = sim.evaluate(vector)
+            product = 0
+            for net in circuit.outputs:
+                bit_index = int(net[1:])
+                product |= int(outputs[net][0]) << bit_index
+            assert product == a * b
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            array_multiplier(1)
+
+
+class TestParityTree:
+    @pytest.mark.parametrize("width", [2, 5, 16])
+    def test_parity(self, width, library):
+        circuit = parity_tree(width)
+        sim = ZeroDelaySimulator(circuit, library)
+        rng = np.random.default_rng(width)
+        vectors = rng.integers(0, 2, size=(20, width), dtype=np.uint8)
+        outputs = sim.evaluate(vectors)
+        expected = np.bitwise_xor.reduce(vectors, axis=1)
+        np.testing.assert_array_equal(outputs["parity"], expected)
+
+    def test_logarithmic_depth(self):
+        circuit = parity_tree(64)
+        assert circuit.depth <= 8  # 6 XOR levels + output buffer

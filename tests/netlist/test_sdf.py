@@ -1,0 +1,104 @@
+"""Tests for the SDF writer/parser and nominal annotation."""
+
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.electrical.model import ElectricalModel
+from repro.errors import ParseError
+from repro.netlist.generate import c17, random_circuit
+from repro.netlist.sdf import annotate_nominal, parse_sdf, write_sdf
+from repro.units import PS
+
+
+class TestAnnotate:
+    def test_nominal_matches_electrical_model(self, library):
+        circuit = c17()
+        model = ElectricalModel()
+        loads = circuit.net_loads(library)
+        annotation = annotate_nominal(circuit, library, model=model, loads=loads)
+        gate = circuit.gates[0]
+        cell = library[gate.cell]
+        rise, fall = annotation.gate_delays(gate.name)[0]
+        assert rise == pytest.approx(
+            model.pin_delay(cell, cell.pins[0], DrivePolarity.RISE, 0.8,
+                            loads[gate.output]))
+        assert fall == pytest.approx(
+            model.pin_delay(cell, cell.pins[0], DrivePolarity.FALL, 0.8,
+                            loads[gate.output]))
+
+    def test_every_gate_annotated(self, library):
+        circuit = random_circuit("sdf", num_inputs=6, num_gates=50, seed=1)
+        annotation = annotate_nominal(circuit, library)
+        assert len(annotation) == circuit.num_gates
+
+    def test_missing_instance_raises(self, library):
+        annotation = annotate_nominal(c17(), library)
+        with pytest.raises(ParseError, match="no SDF annotation"):
+            annotation.gate_delays("ghost")
+
+
+class TestRoundTrip:
+    def test_values_survive(self, library):
+        circuit = random_circuit("sdf", num_inputs=6, num_gates=30, seed=2)
+        annotation = annotate_nominal(circuit, library)
+        text = write_sdf(circuit, library, annotation)
+        parsed = parse_sdf(text, library)
+        assert parsed.design == circuit.name
+        assert len(parsed) == len(annotation)
+        for gate in circuit.gates:
+            for (r1, f1), (r2, f2) in zip(annotation.gate_delays(gate.name),
+                                          parsed.gate_delays(gate.name)):
+                # writer quantizes to 0.1 fs at 1 ps timescale
+                assert r2 == pytest.approx(r1, abs=0.001 * PS)
+                assert f2 == pytest.approx(f1, abs=0.001 * PS)
+
+    def test_sdf_header_fields(self, library):
+        circuit = c17()
+        text = write_sdf(circuit, library, annotate_nominal(circuit, library))
+        assert '(SDFVERSION "3.0")' in text
+        assert "(TIMESCALE 1ps)" in text
+        assert "(IOPATH A1 ZN" in text
+
+
+class TestParseEdgeCases:
+    def test_not_sdf(self, library):
+        with pytest.raises(ParseError, match="DELAYFILE"):
+            parse_sdf("hello", library)
+
+    def test_nanosecond_timescale(self, library):
+        circuit = c17()
+        text = write_sdf(circuit, library, annotate_nominal(circuit, library))
+        # Rescale to ns: same numbers now mean 1000x the delay.
+        text_ns = text.replace("(TIMESCALE 1ps)", "(TIMESCALE 1ns)")
+        ps_val = parse_sdf(text, library).gate_delays("g0")[0][0]
+        ns_val = parse_sdf(text_ns, library).gate_delays("g0")[0][0]
+        assert ns_val == pytest.approx(1000 * ps_val)
+
+    def test_unknown_celltype(self, library):
+        text = (
+            '(DELAYFILE (SDFVERSION "3.0") (DESIGN "x") (TIMESCALE 1ps)\n'
+            '  (CELL (CELLTYPE "MYSTERY_X1") (INSTANCE u0)\n'
+            "    (DELAY (ABSOLUTE (IOPATH A Z (1:1:1) (1:1:1)))))\n)"
+        )
+        with pytest.raises(ParseError, match="unknown CELLTYPE"):
+            parse_sdf(text, library)
+
+    def test_missing_iopath(self, library):
+        text = (
+            '(DELAYFILE (SDFVERSION "3.0") (DESIGN "x") (TIMESCALE 1ps)\n'
+            '  (CELL (CELLTYPE "NAND2_X1") (INSTANCE u0)\n'
+            "    (DELAY (ABSOLUTE (IOPATH A1 ZN (1:1:1) (1:1:1)))))\n)"
+        )
+        with pytest.raises(ParseError, match="missing IOPATH"):
+            parse_sdf(text, library)
+
+    def test_single_value_triple(self, library):
+        text = (
+            '(DELAYFILE (SDFVERSION "3.0") (DESIGN "x") (TIMESCALE 1ps)\n'
+            '  (CELL (CELLTYPE "INV_X1") (INSTANCE u0)\n'
+            "    (DELAY (ABSOLUTE (IOPATH A ZN (2.5) (3.5)))))\n)"
+        )
+        parsed = parse_sdf(text, library)
+        rise, fall = parsed.gate_delays("u0")[0]
+        assert rise == pytest.approx(2.5 * PS)
+        assert fall == pytest.approx(3.5 * PS)

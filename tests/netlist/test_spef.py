@@ -1,0 +1,63 @@
+"""Tests for the SPEF-like parasitics writer/parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.generate import c17, random_circuit
+from repro.netlist.spef import parse_spef, write_spef
+from repro.units import FF
+
+
+class TestRoundTrip:
+    def test_values_survive(self, library):
+        circuit = random_circuit("spef", num_inputs=6, num_gates=40, seed=5)
+        loads = circuit.net_loads(library)
+        parsed = parse_spef(write_spef(circuit, loads))
+        assert set(parsed) == set(loads)
+        for net, cap in loads.items():
+            assert parsed[net] == pytest.approx(cap, rel=1e-5)
+
+    def test_header(self, library):
+        circuit = c17()
+        text = write_spef(circuit, circuit.net_loads(library))
+        assert text.startswith('*SPEF')
+        assert '*DESIGN "c17"' in text
+        assert "*C_UNIT 1 FF" in text
+
+
+class TestParse:
+    def test_not_spef(self):
+        with pytest.raises(ParseError, match="SPEF"):
+            parse_spef("nope")
+
+    def test_pf_unit(self):
+        text = (
+            '*SPEF "IEEE 1481"\n*DESIGN "x"\n*C_UNIT 1 PF\n\n'
+            "*NAME_MAP\n*1 n1\n\n*D_NET *1 2.0\n*END\n"
+        )
+        parsed = parse_spef(text)
+        assert parsed["n1"] == pytest.approx(2e-12)
+
+    def test_unmapped_index(self):
+        text = (
+            '*SPEF "IEEE 1481"\n*C_UNIT 1 FF\n\n*NAME_MAP\n*1 n1\n\n'
+            "*D_NET *7 2.0\n*END\n"
+        )
+        with pytest.raises(ParseError, match="unmapped"):
+            parse_spef(text)
+
+    def test_bad_name_map_entry(self):
+        text = '*SPEF "x"\n*NAME_MAP\nthis is wrong\n*END\n'
+        with pytest.raises(ParseError, match="name-map"):
+            parse_spef(text)
+
+    def test_loads_usable_for_simulation(self, library):
+        """SPEF-provided loads feed the compiler exactly like computed ones."""
+        from repro.simulation.compiled import compile_circuit
+        circuit = c17()
+        loads = circuit.net_loads(library)
+        parsed = parse_spef(write_spef(circuit, loads))
+        compiled = compile_circuit(circuit, library, loads=parsed)
+        direct = compile_circuit(circuit, library, loads=loads)
+        for a, b in zip(compiled.gate_loads, direct.gate_loads):
+            assert a == pytest.approx(b, rel=1e-5)

@@ -1,0 +1,35 @@
+"""Tests for circuit statistics."""
+
+import pytest
+
+from repro.netlist.generate import c17, ripple_carry_adder
+from repro.netlist.stats import circuit_stats
+
+
+class TestStats:
+    def test_c17(self):
+        stats = circuit_stats(c17())
+        assert stats.nodes == 5 + 6 + 2
+        assert stats.num_gates == 6
+        assert stats.depth == 3
+        assert stats.cells_by_family == {"NAND2": 6}
+        assert stats.avg_fanin == pytest.approx(2.0)
+
+    def test_adder(self):
+        width = 4
+        stats = circuit_stats(ripple_carry_adder(width))
+        assert stats.num_gates == 5 * width
+        assert stats.num_inputs == 2 * width + 1
+        assert stats.num_outputs == width + 1
+        assert stats.depth >= width  # the carry chain dominates
+
+    def test_summary_text(self):
+        stats = circuit_stats(c17())
+        text = stats.summary()
+        assert "c17" in text
+        assert "13 nodes" in text
+
+    def test_max_fanout(self):
+        stats = circuit_stats(c17())
+        # G11 and G16 each feed two NAND gates
+        assert stats.max_fanout == 2

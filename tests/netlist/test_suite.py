@@ -1,0 +1,74 @@
+"""Tests for the paper benchmark-suite registry."""
+
+import pytest
+
+from repro.netlist.suite import (
+    BENCHMARK_SUITE,
+    build_suite_circuit,
+    scaled_pattern_count,
+)
+
+
+class TestRegistry:
+    def test_all_fifteen_circuits(self):
+        assert len(BENCHMARK_SUITE) == 15
+        assert list(BENCHMARK_SUITE)[0] == "s38417"
+        assert list(BENCHMARK_SUITE)[-1] == "p1522k"
+
+    def test_paper_statistics(self):
+        assert BENCHMARK_SUITE["s38417"].paper_nodes == 18999
+        assert BENCHMARK_SUITE["s38417"].paper_pairs == 173
+        assert BENCHMARK_SUITE["p951k"].paper_nodes == 1090419
+
+    def test_false_path_markers(self):
+        starred = {name for name, e in BENCHMARK_SUITE.items()
+                   if e.false_paths_only}
+        assert starred == {"b17", "b18", "b19", "p1522k"}
+
+    def test_families(self):
+        assert BENCHMARK_SUITE["s38584"].family == "iscas89"
+        assert BENCHMARK_SUITE["b22"].family == "itc99"
+        assert BENCHMARK_SUITE["p100k"].family == "industrial"
+
+
+class TestBuild:
+    def test_deterministic(self, library):
+        a = build_suite_circuit("s38417", scale=0.01)
+        b = build_suite_circuit("s38417", scale=0.01)
+        assert [g.inputs for g in a.gates] == [g.inputs for g in b.gates]
+        a.validate(library)
+
+    def test_size_scales(self):
+        small = build_suite_circuit("b17", scale=0.005)
+        large = build_suite_circuit("b17", scale=0.02)
+        assert large.num_nodes > 2 * small.num_nodes
+        assert abs(large.num_nodes - 0.02 * 42779) < 0.25 * 0.02 * 42779
+
+    def test_size_ordering_preserved(self):
+        sizes = [build_suite_circuit(name, scale=0.005).num_nodes
+                 for name in ("s38417", "b19", "p951k")]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError, match="unknown suite circuit"):
+            build_suite_circuit("c9999")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            build_suite_circuit("b17", scale=0.0)
+
+    def test_min_gates_floor(self):
+        tiny = build_suite_circuit("s38417", scale=1e-6, min_gates=64)
+        assert tiny.num_gates >= 64
+
+
+class TestPatternCounts:
+    def test_gentler_than_node_scale(self):
+        pairs = scaled_pattern_count("p35k", scale=0.02)
+        assert pairs == int(3298 * 0.1)
+
+    def test_capped_at_paper_count(self):
+        assert scaled_pattern_count("s38417", scale=1.0) == 173
+
+    def test_minimum(self):
+        assert scaled_pattern_count("s38417", scale=1e-6) == 16

@@ -1,0 +1,85 @@
+"""Tests for the structural Verilog reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.generate import c17, random_circuit
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+SAMPLE = """
+// sample netlist
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire n1; /* internal */
+
+  NAND2_X1 u1 (.A1(a), .A2(b), .ZN(n1));
+  INV_X2   u2 (.A(n1), .ZN(y));
+endmodule
+"""
+
+
+class TestParse:
+    def test_sample(self, library):
+        circuit = parse_verilog(SAMPLE, library)
+        assert circuit.name == "top"
+        assert circuit.inputs == ["a", "b"]
+        assert circuit.outputs == ["y"]
+        assert circuit.num_gates == 2
+        assert circuit.gate("u1").inputs == ("a", "b")
+
+    def test_out_of_order_connections(self, library):
+        text = SAMPLE.replace(".A1(a), .A2(b)", ".A2(b), .A1(a)")
+        circuit = parse_verilog(text, library)
+        # pin order must follow the cell definition, not the source order
+        assert circuit.gate("u1").inputs == ("a", "b")
+
+    def test_unknown_cell(self, library):
+        text = SAMPLE.replace("NAND2_X1", "SUPERNAND")
+        with pytest.raises(ParseError, match="unknown cell"):
+            parse_verilog(text, library)
+
+    def test_unconnected_pin(self, library):
+        text = SAMPLE.replace(".A2(b), ", "")
+        with pytest.raises(ParseError, match="unconnected"):
+            parse_verilog(text, library)
+
+    def test_unknown_pin(self, library):
+        text = SAMPLE.replace(".A2(b)", ".A2(b), .Q(b)")
+        with pytest.raises(ParseError, match="unknown pins"):
+            parse_verilog(text, library)
+
+    def test_missing_module(self, library):
+        with pytest.raises(ParseError, match="module"):
+            parse_verilog("wire x;", library)
+
+    def test_missing_endmodule(self, library):
+        with pytest.raises(ParseError, match="endmodule"):
+            parse_verilog("module m (a); input a;", library)
+
+    def test_double_declaration(self, library):
+        text = SAMPLE.replace("wire n1;", "wire n1; wire n1;")
+        with pytest.raises(ParseError, match="declared twice"):
+            parse_verilog(text, library)
+
+
+class TestRoundTrip:
+    def test_c17_round_trip(self, library):
+        circuit = c17()
+        text = write_verilog(circuit, library)
+        reparsed = parse_verilog(text, library)
+        assert reparsed.inputs == circuit.inputs
+        assert reparsed.outputs == circuit.outputs
+        assert [g.cell for g in reparsed.gates] == [g.cell for g in circuit.gates]
+        assert [g.inputs for g in reparsed.gates] == [g.inputs for g in circuit.gates]
+
+    def test_random_circuit_round_trip(self, library):
+        circuit = random_circuit("rt", num_inputs=6, num_gates=40, seed=3)
+        text = write_verilog(circuit, library)
+        reparsed = parse_verilog(text, library)
+        assert reparsed.num_gates == circuit.num_gates
+        reparsed.validate(library)
+        for original, copy in zip(circuit.gates, reparsed.gates):
+            assert original.cell == copy.cell
+            assert original.inputs == copy.inputs
+            assert original.output == copy.output

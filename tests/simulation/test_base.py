@@ -1,0 +1,71 @@
+"""Tests for shared simulation types."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generate import c17
+from repro.simulation.base import (
+    PatternPair,
+    SimulationConfig,
+    stimuli_from_pair,
+)
+
+
+class TestPatternPair:
+    def test_valid(self):
+        pair = PatternPair(v1=np.asarray([0, 1], dtype=np.uint8),
+                           v2=np.asarray([1, 1], dtype=np.uint8))
+        assert pair.width == 2
+        assert pair.launches_transition()
+
+    def test_no_transition(self):
+        pair = PatternPair(v1=np.asarray([0, 1]), v2=np.asarray([0, 1]))
+        assert not pair.launches_transition()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PatternPair(v1=np.asarray([0, 1]), v2=np.asarray([0]))
+
+    def test_non_binary(self):
+        with pytest.raises(ValueError):
+            PatternPair(v1=np.asarray([0, 2]), v2=np.asarray([0, 1]))
+
+    def test_random(self, rng):
+        pair = PatternPair.random(16, rng)
+        assert pair.width == 16
+        assert set(np.unique(pair.v1)) <= {0, 1}
+
+
+class TestStimuli:
+    def test_stimuli_from_pair(self):
+        circuit = c17()
+        v1 = np.asarray([0, 0, 1, 1, 0], dtype=np.uint8)
+        v2 = np.asarray([1, 0, 1, 0, 0], dtype=np.uint8)
+        stimuli = stimuli_from_pair(circuit, PatternPair(v1, v2))
+        assert stimuli["G1"].initial == 0
+        assert stimuli["G1"].num_transitions == 1
+        assert stimuli["G2"].num_transitions == 0
+        assert stimuli["G6"].initial == 1
+        assert stimuli["G6"].value_at(0.0) == 0
+
+    def test_width_mismatch(self):
+        circuit = c17()
+        pair = PatternPair(v1=np.zeros(3, dtype=np.uint8),
+                           v2=np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError, match="width"):
+            stimuli_from_pair(circuit, pair)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.pulse_filtering == "inertial"
+        assert config.grow_on_overflow
+
+    def test_bad_filtering(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(pulse_filtering="psychic")
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(waveform_capacity=1)

@@ -1,0 +1,113 @@
+"""Edge-case circuits both engines must agree on."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+def both_engines(circuit, library, pairs, kernel_table=None, voltage=0.8):
+    config = SimulationConfig(record_all_nets=True)
+    compiled = compile_circuit(circuit, library)
+    serial = EventDrivenSimulator(circuit, library, config=config,
+                                  compiled=compiled).run(
+        pairs, voltage=voltage, kernel_table=kernel_table)
+    parallel = GpuWaveSim(circuit, library, config=config,
+                          compiled=compiled).run(
+        pairs, voltage=voltage, kernel_table=kernel_table)
+    for slot in range(len(pairs)):
+        for net in circuit.nets():
+            assert serial.waveform(slot, net).equivalent(
+                parallel.waveform(slot, net), 0.0), (slot, net)
+    return serial
+
+
+class TestDuplicateInputNet:
+    """One net driving two pins of the same gate (legal and common)."""
+
+    def make(self) -> Circuit:
+        circuit = Circuit("dup")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "XOR2_X1", ["a", "a"], "zero")   # always 0
+        circuit.add_gate("g1", "AND2_X1", ["a", "a"], "same")   # follows a
+        circuit.add_output("zero")
+        circuit.add_output("same")
+        return circuit
+
+    def test_function(self, library):
+        circuit = self.make()
+        sim = ZeroDelaySimulator(circuit, library)
+        outputs = sim.evaluate(np.asarray([[0], [1]], dtype=np.uint8))
+        np.testing.assert_array_equal(outputs["zero"], [0, 0])
+        np.testing.assert_array_equal(outputs["same"], [0, 1])
+
+    def test_time_simulation_engines_agree(self, library, kernel_table):
+        circuit = self.make()
+        pairs = [
+            PatternPair(v1=np.asarray([0], dtype=np.uint8),
+                        v2=np.asarray([1], dtype=np.uint8)),
+            PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                        v2=np.asarray([0], dtype=np.uint8)),
+        ]
+        result = both_engines(circuit, library, pairs, kernel_table)
+        # XOR(a, a) never moves even though both pins toggle together.
+        for slot in range(2):
+            assert result.waveform(slot, "zero").num_transitions == 0
+            assert result.waveform(slot, "same").num_transitions == 1
+
+    def test_bench_duplicate_inputs(self, library):
+        circuit = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n")
+        circuit.validate(library)
+
+
+class TestDegenerateShapes:
+    def test_single_gate_circuit(self, library, kernel_table):
+        circuit = Circuit("one")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "INV_X1", ["a"], "y")
+        circuit.add_output("y")
+        pairs = [PatternPair(v1=np.asarray([0], dtype=np.uint8),
+                             v2=np.asarray([1], dtype=np.uint8))]
+        result = both_engines(circuit, library, pairs, kernel_table)
+        assert result.waveform(0, "y").num_transitions == 1
+
+    def test_input_fed_directly_to_output_via_buffer(self, library):
+        circuit = Circuit("thru")
+        circuit.add_input("a")
+        circuit.add_gate("g0", "BUF_X1", ["a"], "y")
+        circuit.add_output("y")
+        pairs = [PatternPair(v1=np.asarray([1], dtype=np.uint8),
+                             v2=np.asarray([1], dtype=np.uint8))]
+        result = both_engines(circuit, library, pairs)
+        assert result.waveform(0, "y").num_transitions == 0
+        assert result.waveform(0, "y").initial == 1
+
+    def test_no_toggling_pattern_set(self, library, medium_circuit, rng):
+        """All-stable pairs: zero events anywhere, still well-formed."""
+        width = len(medium_circuit.inputs)
+        v = rng.integers(0, 2, size=width, dtype=np.uint8)
+        pairs = [PatternPair(v1=v, v2=v.copy())]
+        result = both_engines(medium_circuit, library, pairs)
+        assert result.total_transitions(0) == 0
+
+    def test_wide_gate_simultaneous_toggles(self, library, kernel_table):
+        """All four pins of a NAND4 toggling at launch."""
+        circuit = Circuit("wide")
+        for name in "abcd":
+            circuit.add_input(name)
+        circuit.add_gate("g0", "NAND4_X1", list("abcd"), "y")
+        circuit.add_output("y")
+        pairs = [PatternPair(v1=np.zeros(4, dtype=np.uint8),
+                             v2=np.ones(4, dtype=np.uint8))]
+        result = both_engines(circuit, library, pairs, kernel_table)
+        wave = result.waveform(0, "y")
+        assert wave.initial == 1
+        assert wave.num_transitions == 1
+        assert wave.final_value == 0

@@ -1,0 +1,210 @@
+"""Tests for the serial event-driven time simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.sdf import SdfAnnotation
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+def inv_chain(length: int) -> Circuit:
+    circuit = Circuit(f"chain{length}")
+    circuit.add_input("a")
+    previous = "a"
+    for i in range(length):
+        circuit.add_gate(f"g{i}", "INV_X1", [previous], f"n{i}")
+        previous = f"n{i}"
+    circuit.add_output(previous)
+    return circuit
+
+
+def fixed_annotation(circuit: Circuit, rise: float, fall: float) -> SdfAnnotation:
+    annotation = SdfAnnotation(design=circuit.name)
+    for gate in circuit.gates:
+        annotation.delays[gate.name] = tuple(
+            (rise, fall) for _ in gate.inputs
+        )
+    return annotation
+
+
+class TestHandComputedDelays:
+    def test_inverter_chain_arrival(self, library):
+        circuit = inv_chain(4)
+        annotation = fixed_annotation(circuit, rise=2e-12, fall=3e-12)
+        sim = EventDrivenSimulator(circuit, library, annotation=annotation,
+                                   config=SimulationConfig(record_all_nets=True))
+        # rising input: inverters alternate fall (3ps), rise (2ps), ...
+        pair = PatternPair(v1=np.asarray([0]), v2=np.asarray([1]))
+        result = sim.run([pair])
+        w = result.waveform(0, circuit.outputs[0])
+        assert w.num_transitions == 1
+        assert w.times[0] == pytest.approx(3e-12 + 2e-12 + 3e-12 + 2e-12)
+
+    def test_nand_glitch_generation_transport(self, library):
+        """A NAND with skewed input arrival produces a 0-pulse glitch."""
+        circuit = Circuit("glitch")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("u0", "BUF_X1", ["a"], "a_slow")
+        circuit.add_gate("u1", "NAND2_X1", ["a_slow", "b"], "y")
+        circuit.add_output("y")
+        annotation = SdfAnnotation(design="glitch")
+        annotation.delays["u0"] = ((5e-12, 5e-12),)
+        annotation.delays["u1"] = ((1e-12, 1e-12), (1e-12, 1e-12))
+        sim = EventDrivenSimulator(circuit, library, annotation=annotation,
+                                   config=SimulationConfig(
+                                       record_all_nets=True,
+                                       pulse_filtering="transport"))
+        # a: 1->0 (slow path), b: 0->1 : y = !(a_slow & b)
+        # settle: a=1,b=0 -> a_slow=1, y=1
+        # t=0: b->1 => y falls at 1ps ; a_slow falls at 5ps => y rises at 6ps
+        pair = PatternPair(v1=np.asarray([1, 0]), v2=np.asarray([0, 1]))
+        result = sim.run([pair])
+        w = result.waveform(0, "y")
+        assert w.initial == 1
+        np.testing.assert_allclose(w.times, [1e-12, 6e-12])
+        assert w.final_value == 1  # glitch: returns to 1
+
+    def test_inertial_filters_short_pulse(self, library):
+        """Same circuit, but a 0.5 ps pulse dies against a 1 ps inertial."""
+        circuit = Circuit("glitch")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("u0", "BUF_X1", ["a"], "a_slow")
+        circuit.add_gate("u1", "NAND2_X1", ["a_slow", "b"], "y")
+        circuit.add_output("y")
+        annotation = SdfAnnotation(design="glitch")
+        annotation.delays["u0"] = ((0.5e-12, 0.5e-12),)
+        annotation.delays["u1"] = ((1e-12, 1e-12), (1e-12, 1e-12))
+        sim = EventDrivenSimulator(circuit, library, annotation=annotation,
+                                   config=SimulationConfig(record_all_nets=True))
+        pair = PatternPair(v1=np.asarray([1, 0]), v2=np.asarray([0, 1]))
+        result = sim.run([pair])
+        # pulse would be 1ps..1.5ps = 0.5 ps wide < 1 ps inertial -> filtered
+        assert result.waveform(0, "y").num_transitions == 0
+
+
+class TestDescheduling:
+    def test_queued_event_cancelled_before_dispatch(self, library):
+        """A toggle already in the event queue gets invalidated when a
+        later input event annihilates it — downstream gates must never
+        see the phantom pulse."""
+        circuit = Circuit("cancel")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("u0", "BUF_X1", ["a"], "a_slow")
+        circuit.add_gate("u1", "NAND2_X1", ["a_slow", "b"], "pulse")
+        circuit.add_gate("u2", "INV_X1", ["pulse"], "y")
+        circuit.add_output("y")
+        annotation = SdfAnnotation(design="cancel")
+        # b falls y at t=0+2ps (pulse falls at 2ps); a_slow falls at
+        # 1.5ps scheduling the rise at 1.5+1=2.5ps: the 0.5ps pulse is
+        # narrower than the 1ps inertial window -> both toggles cancel,
+        # including the already-queued 2ps event.
+        annotation.delays["u0"] = ((1.5e-12, 1.5e-12),)
+        annotation.delays["u1"] = ((1e-12, 2e-12), (2e-12, 2e-12))
+        annotation.delays["u2"] = ((1e-12, 1e-12),)
+        sim = EventDrivenSimulator(circuit, library, annotation=annotation,
+                                   config=SimulationConfig(record_all_nets=True))
+        pair = PatternPair(v1=np.asarray([1, 0]), v2=np.asarray([0, 1]))
+        result = sim.run([pair])
+        assert result.waveform(0, "pulse").num_transitions == 0
+        assert result.waveform(0, "y").num_transitions == 0  # no phantom
+
+    def test_cancelled_event_matches_parallel_engine(self, library):
+        """The same crafted circuit agrees with the SIMT engine."""
+        from repro.simulation.compiled import compile_circuit
+        from repro.simulation.gpu import GpuWaveSim
+
+        circuit = Circuit("cancel2")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("u0", "BUF_X1", ["a"], "a_slow")
+        circuit.add_gate("u1", "NAND2_X1", ["a_slow", "b"], "pulse")
+        circuit.add_gate("u2", "INV_X1", ["pulse"], "y")
+        circuit.add_output("y")
+        annotation = SdfAnnotation(design="cancel2")
+        annotation.delays["u0"] = ((1.5e-12, 1.5e-12),)
+        annotation.delays["u1"] = ((1e-12, 2e-12), (2e-12, 2e-12))
+        annotation.delays["u2"] = ((1e-12, 1e-12),)
+        compiled = compile_circuit(circuit, library, annotation=annotation)
+        config = SimulationConfig(record_all_nets=True)
+        pair = PatternPair(v1=np.asarray([1, 0]), v2=np.asarray([0, 1]))
+        serial = EventDrivenSimulator(circuit, library, compiled=compiled,
+                                      config=config).run([pair])
+        parallel = GpuWaveSim(circuit, library, compiled=compiled,
+                              config=config).run([pair])
+        for net in circuit.nets():
+            assert serial.waveform(0, net).equivalent(
+                parallel.waveform(0, net), 0.0)
+
+
+class TestConsistency:
+    def test_final_values_match_zero_delay(self, library, small_circuit, rng):
+        config = SimulationConfig(record_all_nets=True)
+        sim = EventDrivenSimulator(small_circuit, library, config=config)
+        zd = ZeroDelaySimulator(small_circuit, library)
+        pairs = [PatternPair.random(len(small_circuit.inputs), rng)
+                 for _ in range(20)]
+        result = sim.run(pairs)
+        expected = zd.responses(np.stack([p.v2 for p in pairs]))
+        for slot in range(len(pairs)):
+            np.testing.assert_array_equal(
+                result.final_values(slot, small_circuit.outputs), expected[slot]
+            )
+
+    def test_initial_values_match_v1(self, library, small_circuit, rng):
+        config = SimulationConfig(record_all_nets=True)
+        sim = EventDrivenSimulator(small_circuit, library, config=config)
+        zd = ZeroDelaySimulator(small_circuit, library)
+        pairs = [PatternPair.random(len(small_circuit.inputs), rng)
+                 for _ in range(5)]
+        result = sim.run(pairs)
+        settled = zd.responses(np.stack([p.v1 for p in pairs]))
+        for slot in range(len(pairs)):
+            initial = np.asarray(
+                [result.waveform(slot, net).initial
+                 for net in small_circuit.outputs])
+            np.testing.assert_array_equal(initial, settled[slot])
+
+    def test_parametric_voltage_scaling(self, library, small_circuit,
+                                        kernel_table, rng):
+        sim = EventDrivenSimulator(small_circuit, library)
+        pairs = [PatternPair.random(len(small_circuit.inputs), rng)
+                 for _ in range(10)]
+        slow = sim.run(pairs, voltage=0.55, kernel_table=kernel_table)
+        fast = sim.run(pairs, voltage=1.10, kernel_table=kernel_table)
+        arr_slow = max(slow.latest_arrival(s, small_circuit.outputs)
+                       for s in range(10))
+        arr_fast = max(fast.latest_arrival(s, small_circuit.outputs)
+                       for s in range(10))
+        assert arr_slow > 1.2 * arr_fast
+
+
+class TestValidation:
+    def test_pattern_width(self, library, small_circuit):
+        sim = EventDrivenSimulator(small_circuit, library)
+        bad = PatternPair(v1=np.zeros(3, dtype=np.uint8),
+                          v2=np.zeros(3, dtype=np.uint8))
+        with pytest.raises(SimulationError, match="width"):
+            sim.run([bad])
+
+    def test_parametric_requires_voltage(self, library, small_circuit,
+                                         kernel_table):
+        sim = EventDrivenSimulator(small_circuit, library)
+        with pytest.raises(SimulationError, match="voltage"):
+            sim._delays(None, kernel_table)
+
+    def test_result_metadata(self, library, small_circuit, rng):
+        sim = EventDrivenSimulator(small_circuit, library)
+        pairs = [PatternPair.random(len(small_circuit.inputs), rng)
+                 for _ in range(3)]
+        result = sim.run(pairs, voltage=0.8)
+        assert result.engine == "event-driven"
+        assert result.num_slots == 3
+        assert result.gate_evaluations >= 3 * small_circuit.num_gates
+        assert result.runtime_seconds > 0

@@ -1,0 +1,168 @@
+"""Tests for the parallel GPU-style waveform simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, WaveformOverflowError
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+def make_pairs(circuit, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [PatternPair.random(len(circuit.inputs), rng) for _ in range(count)]
+
+
+def assert_equivalent(result_a, slot_a, result_b, slot_b, nets):
+    for net in nets:
+        wa = result_a.waveform(slot_a, net)
+        wb = result_b.waveform(slot_b, net)
+        assert wa.equivalent(wb, 0.0), (net, wa, wb)
+
+
+class TestEquivalenceWithEventDriven:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("filtering", ["inertial", "transport"])
+    def test_static_delays(self, library, seed, filtering):
+        circuit = random_circuit(f"eq{seed}", 8, 80, seed=seed)
+        config = SimulationConfig(record_all_nets=True,
+                                  pulse_filtering=filtering)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 8, seed)
+        reference = EventDrivenSimulator(circuit, library, config=config,
+                                         compiled=compiled).run(pairs)
+        parallel = GpuWaveSim(circuit, library, config=config,
+                              compiled=compiled).run(pairs)
+        for slot in range(len(pairs)):
+            assert_equivalent(reference, slot, parallel, slot, circuit.nets())
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_parametric_delays(self, library, kernel_table, seed):
+        circuit = random_circuit(f"eqp{seed}", 8, 80, seed=seed)
+        config = SimulationConfig(record_all_nets=True)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 6, seed)
+        voltages = [0.55, 0.8, 1.1]
+        plan = SlotPlan.cross(len(pairs), voltages)
+        event = EventDrivenSimulator(circuit, library, config=config,
+                                     compiled=compiled)
+        parallel = GpuWaveSim(circuit, library, config=config,
+                              compiled=compiled)
+        full = parallel.run(pairs, plan=plan, kernel_table=kernel_table)
+        for voltage in voltages:
+            reference = event.run(pairs, voltage=voltage,
+                                  kernel_table=kernel_table)
+            for slot in plan.slots_for_voltage(voltage):
+                pattern = int(plan.pattern_indices[slot])
+                assert_equivalent(reference, pattern, full, int(slot),
+                                  circuit.nets())
+
+    def test_group_by_arity_equivalent(self, library, kernel_table):
+        circuit = random_circuit("grp", 8, 100, seed=9)
+        config = SimulationConfig(record_all_nets=True)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 5, 9)
+        padded = GpuWaveSim(circuit, library, config=config, compiled=compiled,
+                            group_by_arity=False).run(
+            pairs, kernel_table=kernel_table)
+        grouped = GpuWaveSim(circuit, library, config=config, compiled=compiled,
+                             group_by_arity=True).run(
+            pairs, kernel_table=kernel_table)
+        for slot in range(len(pairs)):
+            assert_equivalent(padded, slot, grouped, slot, circuit.nets())
+
+    def test_small_memory_budget_batches(self, library):
+        """Tiny budget forces multiple batches; results must stitch."""
+        circuit = random_circuit("mem", 8, 80, seed=5)
+        config = SimulationConfig(record_all_nets=True)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 10, 5)
+        whole = GpuWaveSim(circuit, library, config=config,
+                           compiled=compiled).run(pairs)
+        tiny = GpuWaveSim(circuit, library, config=config, compiled=compiled,
+                          memory_budget=50_000)
+        batched = tiny.run(pairs)
+        assert tiny.last_stats.batches > 1
+        for slot in range(len(pairs)):
+            assert_equivalent(whole, slot, batched, slot, circuit.nets())
+
+
+class TestFinalValues:
+    def test_match_zero_delay(self, library, medium_circuit, rng):
+        pairs = make_pairs(medium_circuit, 16, 11)
+        result = GpuWaveSim(medium_circuit, library).run(pairs)
+        expected = ZeroDelaySimulator(medium_circuit, library).responses(
+            np.stack([p.v2 for p in pairs]))
+        for slot in range(len(pairs)):
+            np.testing.assert_array_equal(
+                result.final_values(slot, medium_circuit.outputs),
+                expected[slot])
+
+
+class TestOverflowHandling:
+    def test_capacity_growth(self, library):
+        """A tiny starting capacity grows transparently on overflow."""
+        circuit = random_circuit("ovf", 12, 200, seed=6)
+        config = SimulationConfig(record_all_nets=True, waveform_capacity=2)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 8, 6)
+        sim = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+        result = sim.run(pairs)
+        assert sim.last_stats.retries >= 1
+        baseline = GpuWaveSim(
+            circuit, library, compiled=compiled,
+            config=SimulationConfig(record_all_nets=True, waveform_capacity=64),
+        ).run(pairs)
+        for slot in range(len(pairs)):
+            assert_equivalent(result, slot, baseline, slot, circuit.nets())
+
+    def test_growth_disabled_raises(self, library):
+        circuit = random_circuit("ovf2", 12, 200, seed=6)
+        config = SimulationConfig(waveform_capacity=2, grow_on_overflow=False)
+        sim = GpuWaveSim(circuit, library, config=config)
+        with pytest.raises(WaveformOverflowError):
+            sim.run(make_pairs(circuit, 8, 6))
+
+
+class TestValidation:
+    def test_no_pairs(self, library, small_circuit):
+        with pytest.raises(SimulationError, match="at least one"):
+            GpuWaveSim(small_circuit, library).run([])
+
+    def test_plan_references_missing_pattern(self, library, small_circuit):
+        sim = GpuWaveSim(small_circuit, library)
+        pairs = make_pairs(small_circuit, 2)
+        plan = SlotPlan.zip([0, 5], [0.8, 0.8])
+        with pytest.raises(SimulationError, match="missing pattern"):
+            sim.run(pairs, plan=plan)
+
+    def test_static_multi_voltage_rejected(self, library, small_circuit):
+        sim = GpuWaveSim(small_circuit, library)
+        pairs = make_pairs(small_circuit, 2)
+        plan = SlotPlan.cross(2, [0.6, 0.8])
+        with pytest.raises(SimulationError, match="static delay mode"):
+            sim.run(pairs, plan=plan)
+
+    def test_width_mismatch(self, library, small_circuit):
+        sim = GpuWaveSim(small_circuit, library)
+        bad = PatternPair(v1=np.zeros(2, dtype=np.uint8),
+                          v2=np.ones(2, dtype=np.uint8))
+        with pytest.raises(SimulationError, match="width"):
+            sim.run([bad])
+
+    def test_outputs_only_by_default(self, library, small_circuit):
+        sim = GpuWaveSim(small_circuit, library)
+        result = sim.run(make_pairs(small_circuit, 2))
+        with pytest.raises(KeyError, match="record_all_nets"):
+            result.waveform(0, small_circuit.gates[0].output)
+
+    def test_engine_labels(self, library, small_circuit, kernel_table):
+        sim = GpuWaveSim(small_circuit, library)
+        pairs = make_pairs(small_circuit, 2)
+        assert sim.run(pairs).engine == "gpu-static"
+        assert sim.run(pairs, kernel_table=kernel_table).engine == "gpu-parametric"

@@ -1,0 +1,67 @@
+"""Tests for the slot-plane organization (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.grid import SlotPlan
+
+
+class TestConstructors:
+    def test_cross_layout(self):
+        plan = SlotPlan.cross(3, [0.6, 0.8])
+        assert plan.num_slots == 6
+        # voltage-major: first all patterns at 0.6 V
+        np.testing.assert_array_equal(plan.pattern_indices, [0, 1, 2, 0, 1, 2])
+        np.testing.assert_allclose(plan.voltages, [0.6] * 3 + [0.8] * 3)
+
+    def test_zip_layout(self):
+        plan = SlotPlan.zip([0, 2, 1], [0.6, 0.7, 0.8])
+        assert plan.num_slots == 3
+        assert plan.labels() == [(0, 0.6), (2, 0.7), (1, 0.8)]
+
+    def test_uniform(self):
+        plan = SlotPlan.uniform(4, 0.8)
+        assert plan.num_slots == 4
+        assert plan.distinct_voltages().tolist() == [0.8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotPlan(pattern_indices=np.asarray([0, 1]),
+                     voltages=np.asarray([0.8]))
+        with pytest.raises(ValueError):
+            SlotPlan(pattern_indices=np.asarray([], dtype=np.int64),
+                     voltages=np.asarray([]))
+
+
+class TestQueries:
+    def test_slots_for_voltage(self):
+        plan = SlotPlan.cross(2, [0.6, 0.8, 1.0])
+        np.testing.assert_array_equal(plan.slots_for_voltage(0.8), [2, 3])
+        assert plan.slots_for_voltage(0.9).size == 0
+
+    def test_distinct_voltages_sorted(self):
+        plan = SlotPlan.zip([0, 0, 0], [1.0, 0.6, 0.8])
+        np.testing.assert_allclose(plan.distinct_voltages(), [0.6, 0.8, 1.0])
+
+
+class TestBatching:
+    def test_batches_cover_all_slots(self):
+        plan = SlotPlan.cross(5, [0.6, 0.8])
+        seen = []
+        for indices, sub in plan.batches(3):
+            assert sub.num_slots == len(indices) <= 3
+            for local, slot in enumerate(indices):
+                assert sub.pattern_indices[local] == plan.pattern_indices[slot]
+                assert sub.voltages[local] == plan.voltages[slot]
+            seen.extend(indices.tolist())
+        assert seen == list(range(10))
+
+    def test_single_batch_when_large(self):
+        plan = SlotPlan.uniform(4, 0.8)
+        batches = list(plan.batches(100))
+        assert len(batches) == 1
+
+    def test_bad_batch_size(self):
+        plan = SlotPlan.uniform(4, 0.8)
+        with pytest.raises(ValueError):
+            list(plan.batches(0))

@@ -1,0 +1,144 @@
+"""Tests for the vectorized waveform-merge kernel against a scalar oracle."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.kernels import waveform_merge_kernel
+
+INF = np.inf
+
+
+def scalar_merge(input_times, input_initial, delays, table, inertial):
+    """Reference implementation of one lane (pure Python)."""
+    k = len(input_times)
+    pointers = [0] * k
+    vals = list(input_initial)
+
+    def evaluate():
+        idx = sum(vals[i] << i for i in range(k))
+        return (table >> idx) & 1
+
+    last_target = evaluate()
+    initial = last_target
+    out = []
+    while True:
+        current = [
+            input_times[i][pointers[i]] if pointers[i] < len(input_times[i])
+            else INF
+            for i in range(k)
+        ]
+        now = min(current)
+        if now == INF:
+            break
+        causing = None
+        for i in range(k):
+            if current[i] == now:
+                vals[i] ^= 1
+                pointers[i] += 1
+                if causing is None:
+                    causing = i
+        new_val = evaluate()
+        if new_val == last_target:
+            continue
+        polarity = 1 - new_val
+        delay = delays[causing][polarity]
+        t_out = now + delay
+        width = delay if inertial else 0.0
+        if out and (t_out <= out[-1] or t_out - out[-1] < width):
+            out.pop()
+        else:
+            out.append(t_out)
+        last_target ^= 1
+    return initial, out
+
+
+def random_lane(rng, k):
+    """Random input waveforms, delays and truth table for one lane."""
+    times = []
+    for _ in range(k):
+        count = int(rng.integers(0, 5))
+        toggles = np.sort(rng.uniform(0, 10, size=count))
+        times.append(list(np.unique(toggles)))
+    initial = [int(v) for v in rng.integers(0, 2, size=k)]
+    delays = [[float(d) for d in rng.uniform(0.5, 3.0, size=2)] for _ in range(k)]
+    table = int(rng.integers(0, 1 << (1 << k)))
+    return times, initial, delays, table
+
+
+def pack_lanes(lanes, k):
+    capacity = max(max((len(t) for t in times), default=0)
+                   for times, _, _, _ in lanes)
+    capacity = max(capacity, 1)
+    count = len(lanes)
+    input_times = np.full((k, count, capacity), INF)
+    input_initial = np.zeros((k, count), dtype=np.uint8)
+    delays = np.zeros((k, 2, count))
+    tables = np.zeros(count, dtype=np.int64)
+    for lane, (times, initial, lane_delays, table) in enumerate(lanes):
+        for pin in range(k):
+            input_times[pin, lane, : len(times[pin])] = times[pin]
+            input_initial[pin, lane] = initial[pin]
+            delays[pin, 0, lane] = lane_delays[pin][0]
+            delays[pin, 1, lane] = lane_delays[pin][1]
+        tables[lane] = table
+    return input_times, input_initial, delays, tables
+
+
+class TestAgainstScalarOracle:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("inertial", [True, False])
+    def test_random_lanes(self, k, inertial):
+        rng = np.random.default_rng(100 * k + inertial)
+        lanes = [random_lane(rng, k) for _ in range(300)]
+        input_times, input_initial, delays, tables = pack_lanes(lanes, k)
+        result = waveform_merge_kernel(
+            input_times, input_initial, delays, tables,
+            out_capacity=32, inertial=inertial,
+        )
+        assert not result.overflow.any()
+        for lane, (times, initial, lane_delays, table) in enumerate(lanes):
+            exp_initial, exp_times = scalar_merge(times, initial, lane_delays,
+                                                  table, inertial)
+            assert result.initial[lane] == exp_initial, lane
+            count = int(result.counts[lane])
+            np.testing.assert_allclose(result.times[lane, :count], exp_times,
+                                       err_msg=f"lane {lane}")
+            assert np.isinf(result.times[lane, count:]).all()
+
+    def test_compaction_triggered(self):
+        """Many already-finished lanes force the compaction path."""
+        rng = np.random.default_rng(0)
+        # one busy lane among many constant lanes
+        lanes = [([[], []], [0, 0], [[1.0, 1.0]] * 2, 0b1000)
+                 for _ in range(400)]
+        busy_times = [list(np.arange(1.0, 9.0)), [0.5]]
+        lanes.append((busy_times, [1, 1], [[1.0, 2.0], [1.0, 2.0]], 0b1000))
+        input_times, input_initial, delays, tables = pack_lanes(lanes, 2)
+        result = waveform_merge_kernel(input_times, input_initial, delays,
+                                       tables, out_capacity=32)
+        exp_initial, exp_times = scalar_merge(
+            busy_times, [1, 1], [[1.0, 2.0], [1.0, 2.0]], 0b1000, True)
+        count = int(result.counts[400])
+        np.testing.assert_allclose(result.times[400, :count], exp_times)
+
+
+class TestOverflow:
+    def test_overflow_flagged(self):
+        # an inverter fed 6 toggles with capacity 2 must overflow
+        input_times = np.asarray([[[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]])
+        input_initial = np.zeros((1, 1), dtype=np.uint8)
+        delays = np.full((1, 2, 1), 0.1)
+        tables = np.asarray([0b01])  # BUF
+        result = waveform_merge_kernel(input_times, input_initial, delays,
+                                       tables, out_capacity=2)
+        assert result.overflow[0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            waveform_merge_kernel(
+                np.zeros((2, 3, 4)), np.zeros((1, 3), dtype=np.uint8),
+                np.zeros((2, 2, 3)), np.zeros(3, dtype=np.int64), 4)
+        with pytest.raises(ValueError):
+            waveform_merge_kernel(
+                np.zeros((2, 3, 4)), np.zeros((2, 3), dtype=np.uint8),
+                np.zeros((2, 2, 9)), np.zeros(3, dtype=np.int64), 4)

@@ -1,0 +1,59 @@
+"""merge_single (scalar) vs waveform_merge_kernel (vectorized) oracle."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.kernels import merge_single, waveform_merge_kernel
+from repro.waveform.waveform import Waveform
+
+
+def random_case(rng, k):
+    waveforms = []
+    for _ in range(k):
+        count = int(rng.integers(0, 6))
+        times = np.unique(np.sort(rng.uniform(0, 10, size=count)))
+        waveforms.append(Waveform(initial=int(rng.integers(0, 2)),
+                                  times=times))
+    delays = rng.uniform(0.5, 3.0, size=(k, 2))
+    table = int(rng.integers(0, 1 << (1 << k)))
+    return waveforms, delays, table
+
+
+class TestScalarVsVectorized:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("inertial", [True, False])
+    def test_agreement(self, k, inertial):
+        rng = np.random.default_rng(1000 + k + int(inertial))
+        for trial in range(60):
+            waveforms, delays, table = random_case(rng, k)
+            scalar = merge_single(waveforms, delays, table,
+                                  inertial=inertial)
+            capacity = max(max(w.num_transitions for w in waveforms), 1)
+            input_times = np.full((k, 1, capacity), np.inf)
+            input_initial = np.zeros((k, 1), dtype=np.uint8)
+            kernel_delays = np.zeros((k, 2, 1))
+            for pin in range(k):
+                count = waveforms[pin].num_transitions
+                input_times[pin, 0, :count] = waveforms[pin].times
+                input_initial[pin, 0] = waveforms[pin].initial
+                kernel_delays[pin, :, 0] = delays[pin]
+            merged = waveform_merge_kernel(
+                input_times, input_initial, kernel_delays,
+                np.asarray([table], dtype=np.int64), 64, inertial=inertial)
+            count = int(merged.counts[0])
+            vector = Waveform(initial=int(merged.initial[0]),
+                              times=merged.times[0, :count].copy())
+            assert scalar == vector, (k, trial, inertial)
+
+    def test_constant_inputs(self):
+        waveforms = [Waveform.constant(1), Waveform.constant(0)]
+        result = merge_single(waveforms, np.ones((2, 2)), 0b0111)  # NAND2
+        assert result.initial == 1
+        assert result.num_transitions == 0
+
+    def test_simple_inverter(self):
+        wave = Waveform(initial=0, times=np.asarray([1.0, 2.0]))
+        delays = np.asarray([[0.5, 0.3]])
+        result = merge_single([wave], delays, 0b01)  # INV
+        assert result.initial == 1
+        np.testing.assert_allclose(result.times, [1.3, 2.5])

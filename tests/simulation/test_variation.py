@@ -1,0 +1,134 @@
+"""Tests for Monte-Carlo process variation on the slot plane."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.generate import random_circuit
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.simulation.variation import ProcessVariation
+
+
+class TestFactors:
+    def test_shape_and_determinism(self):
+        variation = ProcessVariation(sigma=0.05, seed=3)
+        a = variation.factors(100, np.arange(8))
+        b = variation.factors(100, np.arange(8))
+        assert a.shape == (100, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_invariance(self):
+        """Slot k's factors do not depend on which batch contains it."""
+        variation = ProcessVariation(sigma=0.1, seed=5)
+        full = variation.factors(50, np.arange(10))
+        part = variation.factors(50, np.asarray([7, 8]))
+        np.testing.assert_array_equal(full[:, 7:9], part)
+
+    def test_lognormal_median_one(self):
+        variation = ProcessVariation(sigma=0.1, seed=1)
+        factors = variation.factors(2000, np.arange(4))
+        assert np.median(factors) == pytest.approx(1.0, abs=0.02)
+        assert np.all(factors > 0)
+
+    def test_normal_clipped(self):
+        variation = ProcessVariation(sigma=2.0, seed=1, distribution="normal")
+        factors = variation.factors(500, np.arange(2))
+        assert factors.min() >= 0.05
+
+    def test_zero_sigma_identity(self):
+        variation = ProcessVariation(sigma=0.0, seed=9)
+        factors = variation.factors(10, np.arange(3))
+        np.testing.assert_allclose(factors, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ProcessVariation(sigma=-0.1)
+        with pytest.raises(SimulationError):
+            ProcessVariation(sigma=0.1, distribution="cauchy")
+        with pytest.raises(SimulationError):
+            ProcessVariation(sigma=0.1, group_size=0)
+
+    def test_group_size_shares_die_factors(self):
+        """Slots of the same die group receive identical factors."""
+        variation = ProcessVariation(sigma=0.1, seed=2, group_size=4)
+        factors = variation.factors(30, np.arange(8))
+        for slot in range(1, 4):
+            np.testing.assert_array_equal(factors[:, 0], factors[:, slot])
+        assert not np.array_equal(factors[:, 0], factors[:, 4])
+
+    def test_group_matches_ungrouped_die_stream(self):
+        """Die d of a grouped plan equals slot d of an ungrouped one."""
+        grouped = ProcessVariation(sigma=0.1, seed=2, group_size=3)
+        plain = ProcessVariation(sigma=0.1, seed=2, group_size=1)
+        a = grouped.factors(20, np.asarray([3, 4, 5]))  # die 1
+        b = plain.factors(20, np.asarray([1]))
+        np.testing.assert_array_equal(a[:, 0], b[:, 0])
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def setup(self, library):
+        circuit = random_circuit("mc", 10, 150, seed=23)
+        compiled = compile_circuit(circuit, library)
+        rng = np.random.default_rng(23)
+        pairs = [PatternPair.random(10, rng) for _ in range(6)]
+        return circuit, compiled, pairs
+
+    def test_zero_sigma_equals_baseline(self, setup, library, kernel_table):
+        circuit, compiled, pairs = setup
+        config = SimulationConfig(record_all_nets=True)
+        sim = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+        base = sim.run(pairs, kernel_table=kernel_table)
+        varied = sim.run(pairs, kernel_table=kernel_table,
+                         variation=ProcessVariation(sigma=0.0))
+        for slot in range(len(pairs)):
+            for net in circuit.nets():
+                assert base.waveform(slot, net).equivalent(
+                    varied.waveform(slot, net), 0.0)
+
+    def test_engines_agree_under_variation(self, setup, library, kernel_table):
+        circuit, compiled, pairs = setup
+        config = SimulationConfig(record_all_nets=True)
+        variation = ProcessVariation(sigma=0.08, seed=4)
+        parallel = GpuWaveSim(circuit, library, config=config,
+                              compiled=compiled).run(
+            pairs, kernel_table=kernel_table, variation=variation)
+        serial = EventDrivenSimulator(circuit, library, config=config,
+                                      compiled=compiled).run(
+            pairs, kernel_table=kernel_table, variation=variation)
+        for slot in range(len(pairs)):
+            for net in circuit.nets():
+                assert serial.waveform(slot, net).equivalent(
+                    parallel.waveform(slot, net), 0.0), net
+
+    def test_monte_carlo_spread(self, setup, library, kernel_table):
+        """Replicating one pattern across slots yields a distribution of
+        arrival times — the variation-aware analysis the paper cites."""
+        circuit, compiled, pairs = setup
+        sim = GpuWaveSim(circuit, library, compiled=compiled)
+        samples = 48
+        plan = SlotPlan.zip([0] * samples, [0.8] * samples)
+        result = sim.run(pairs[:1], plan=plan, kernel_table=kernel_table,
+                         variation=ProcessVariation(sigma=0.08, seed=11))
+        arrivals = np.asarray([
+            result.latest_arrival(slot, circuit.outputs)
+            for slot in range(samples)
+        ])
+        assert np.std(arrivals) > 0
+        spread = arrivals.max() / arrivals.min()
+        assert 1.01 < spread < 2.0  # sigma=8% per gate -> modest path spread
+
+    def test_final_values_unchanged_by_variation(self, setup, library):
+        """Variation perturbs timing, never logic values."""
+        circuit, compiled, pairs = setup
+        sim = GpuWaveSim(circuit, library, compiled=compiled)
+        base = sim.run(pairs)
+        varied = sim.run(pairs, variation=ProcessVariation(sigma=0.15, seed=2))
+        for slot in range(len(pairs)):
+            np.testing.assert_array_equal(
+                base.final_values(slot, circuit.outputs),
+                varied.final_values(slot, circuit.outputs))

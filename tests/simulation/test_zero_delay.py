@@ -1,0 +1,65 @@
+"""Tests for the bit-parallel zero-delay simulator."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generate import c17, random_circuit
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+class TestCorrectness:
+    def test_c17_matches_formula(self, library):
+        circuit = c17()
+        sim = ZeroDelaySimulator(circuit, library)
+        vectors = np.asarray(
+            [[(i >> b) & 1 for b in range(5)] for i in range(32)], dtype=np.uint8
+        )
+        outputs = sim.evaluate(vectors, nets=circuit.nets())
+        for gate in circuit.gates:
+            a = outputs[gate.inputs[0]]
+            b = outputs[gate.inputs[1]]
+            np.testing.assert_array_equal(outputs[gate.output], 1 - (a & b))
+
+    def test_matches_naive_evaluation(self, library, rng):
+        circuit = random_circuit("zd", num_inputs=10, num_gates=120, seed=8)
+        sim = ZeroDelaySimulator(circuit, library)
+        vectors = rng.integers(0, 2, size=(30, 10), dtype=np.uint8)
+        fast = sim.evaluate(vectors, nets=circuit.nets())
+        # naive scalar evaluation per pattern
+        for p in range(0, 30, 7):
+            values = {net: int(vectors[p, i])
+                      for i, net in enumerate(circuit.inputs)}
+            for gate in circuit.topological_gates():
+                cell = library[gate.cell]
+                values[gate.output] = int(cell.evaluate(
+                    [values[n] for n in gate.inputs])) & 1
+            for net, expected in values.items():
+                assert fast[net][p] == expected
+
+    def test_word_boundary(self, library, rng):
+        """65 and 128 patterns exercise multi-word packing."""
+        circuit = random_circuit("zd", num_inputs=6, num_gates=40, seed=2)
+        sim = ZeroDelaySimulator(circuit, library)
+        for count in (1, 63, 64, 65, 128, 129):
+            vectors = rng.integers(0, 2, size=(count, 6), dtype=np.uint8)
+            responses = sim.responses(vectors)
+            assert responses.shape == (count, len(circuit.outputs))
+            single = sim.responses(vectors[-1:])
+            np.testing.assert_array_equal(responses[-1], single[0])
+
+
+class TestApi:
+    def test_width_mismatch(self, library):
+        sim = ZeroDelaySimulator(c17(), library)
+        with pytest.raises(ValueError, match="columns"):
+            sim.evaluate(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_single_vector_promoted(self, library):
+        sim = ZeroDelaySimulator(c17(), library)
+        out = sim.evaluate(np.zeros(5, dtype=np.uint8))
+        assert out["G22"].shape == (1,)
+
+    def test_requested_nets_only(self, library):
+        sim = ZeroDelaySimulator(c17(), library)
+        out = sim.evaluate(np.zeros((4, 5), dtype=np.uint8), nets=["G10"])
+        assert set(out) == {"G10"}

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.delay_kernel import DelayKernelTable
+
+
+@pytest.fixture(scope="module")
+def kernels_file(tmp_path_factory, kernel_table):
+    path = tmp_path_factory.mktemp("cli") / "kernels.npz"
+    kernel_table.save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def verilog_file(tmp_path_factory, library):
+    from repro.netlist.generate import random_circuit
+    from repro.netlist.verilog import write_verilog
+
+    circuit = random_circuit("clidesign", 10, 120, seed=3)
+    path = tmp_path_factory.mktemp("cli_netlist") / "design.v"
+    path.write_text(write_verilog(circuit, library))
+    return str(path)
+
+
+class TestCharacterize:
+    def test_writes_table(self, tmp_path, capsys):
+        out = str(tmp_path / "k.npz")
+        assert main(["characterize", "--order", "2", "--output", out]) == 0
+        table = DelayKernelTable.load(out)
+        assert table.n == 2
+        assert "wrote" in capsys.readouterr().out
+
+    def test_corner_and_temperature(self, tmp_path):
+        out = str(tmp_path / "k_slow_hot.npz")
+        assert main(["characterize", "--order", "1", "--corner", "slow",
+                     "--temperature", "125", "--output", out]) == 0
+
+
+class TestStats:
+    def test_suite_spec(self, capsys):
+        assert main(["stats", "suite:s38417:0.004"]) == 0
+        out = capsys.readouterr().out
+        assert "s38417" in out and "depth" in out
+
+    def test_random_spec(self, capsys):
+        assert main(["stats", "random:100:3"]) == 0
+        assert "random100" in capsys.readouterr().out
+
+    def test_verilog_file(self, verilog_file, capsys):
+        assert main(["stats", verilog_file]) == 0
+        assert "clidesign" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "no_such_file.v"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSta:
+    def test_nominal(self, verilog_file, capsys):
+        assert main(["sta", verilog_file, "--paths", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Longest path delay" in out
+        assert "#3" in out
+
+    def test_derated(self, verilog_file, kernels_file, capsys):
+        assert main(["sta", verilog_file, "--kernels", kernels_file,
+                     "--voltage", "0.6"]) == 0
+        assert "0.60 V" in capsys.readouterr().out
+
+
+class TestAtpg:
+    def test_transition_and_paths(self, capsys):
+        assert main(["atpg", "random:80:5", "--max-pairs", "16",
+                     "--paths", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "transition-fault ATPG" in out
+        assert "timing-aware" in out
+
+
+class TestSimulate:
+    def test_single_voltage_static(self, verilog_file, capsys):
+        assert main(["simulate", verilog_file, "--patterns", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "gpu-static" in out
+        assert "0.80 V" in out
+
+    def test_sweep_with_kernels_and_vcd(self, verilog_file, kernels_file,
+                                        tmp_path, capsys):
+        vcd = str(tmp_path / "wave.vcd")
+        assert main(["simulate", verilog_file, "--patterns", "4",
+                     "--voltages", "0.6,1.0", "--kernels", kernels_file,
+                     "--vcd", vcd]) == 0
+        out = capsys.readouterr().out
+        assert "gpu-parametric" in out
+        text = open(vcd).read()
+        assert "$enddefinitions" in text
+
+    def test_sweep_without_kernels_fails(self, verilog_file, capsys):
+        assert main(["simulate", verilog_file, "--voltages", "0.6,1.0"]) == 2
+        assert "needs --kernels" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_bench_to_verilog_and_back(self, tmp_path, capsys):
+        from repro.netlist.bench import write_bench
+        from repro.netlist.generate import c17
+
+        bench_in = tmp_path / "c17.bench"
+        bench_in.write_text(write_bench(c17()))
+        verilog = str(tmp_path / "c.v")
+        assert main(["convert", str(bench_in), verilog]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "module" in open(verilog).read()
+        bench_out = str(tmp_path / "c_back.bench")
+        assert main(["convert", verilog, bench_out]) == 0
+        assert "NAND" in open(bench_out).read()
+
+    def test_sdf_and_spef_emission(self, verilog_file, tmp_path):
+        sdf = str(tmp_path / "d.sdf")
+        spef = str(tmp_path / "d.spef")
+        assert main(["convert", verilog_file, sdf]) == 0
+        assert main(["convert", verilog_file, spef]) == 0
+        assert "(DELAYFILE" in open(sdf).read()
+        assert "*SPEF" in open(spef).read()
+
+    def test_unknown_format(self, verilog_file, tmp_path, capsys):
+        assert main(["convert", verilog_file,
+                     str(tmp_path / "d.xyz")]) == 2
+        assert "unknown output format" in capsys.readouterr().err
+
+
+class TestLiberty:
+    def test_per_voltage_views(self, tmp_path, capsys):
+        pattern = str(tmp_path / "lib_{voltage}V.lib")
+        assert main(["liberty", "--order", "1", "--voltages", "0.6,1.0",
+                     "--output-pattern", pattern]) == 0
+        out = capsys.readouterr().out
+        assert "0.60 V Liberty view" in out
+        text = open(str(tmp_path / "lib_0.60V.lib")).read()
+        assert text.startswith("library (")
+
+
+class TestExplore:
+    def test_vf_table(self, verilog_file, kernels_file, capsys):
+        assert main(["explore", verilog_file, "--kernels", kernels_file,
+                     "--patterns", "6",
+                     "--voltages", "0.6,0.8,1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "voltage-frequency table" in out
+        assert "f_max" in out
+
+    def test_requires_kernels(self, verilog_file, capsys):
+        assert main(["explore", verilog_file]) == 2

@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("subclass", [
+        errors.LibraryError, errors.CharacterizationError,
+        errors.ParameterError, errors.NetlistError, errors.ParseError,
+        errors.SimulationError, errors.TimingError, errors.AtpgError,
+    ])
+    def test_all_derive_from_base(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.UnknownCellError, errors.LibraryError)
+        assert issubclass(errors.RegressionError, errors.CharacterizationError)
+        assert issubclass(errors.WaveformOverflowError, errors.SimulationError)
+
+    def test_unknown_cell_message(self):
+        error = errors.UnknownCellError("NAND9")
+        assert "NAND9" in str(error)
+        assert error.name == "NAND9"
+
+    def test_parse_error_location(self):
+        error = errors.ParseError("bad token", filename="f.v", line=12)
+        assert str(error).startswith("f.v:12:")
+        no_line = errors.ParseError("bad", filename="f.v")
+        assert str(no_line).startswith("f.v:")
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("boom")

@@ -1,0 +1,79 @@
+"""Tests for engineering-notation units and formatting."""
+
+import math
+
+import pytest
+
+from repro.units import FF, PS, format_runtime, meps, si_format, si_parse
+
+
+class TestSiFormat:
+    @pytest.mark.parametrize("value, expected", [
+        (145.3e-12, "145.3p"),
+        (2.234e-9, "2.234n"),
+        (610.9e-12, "610.9p"),
+        (0.0, "0"),
+        (1.0, "1.000"),
+        (-3.3e-12, "-3.300p"),
+    ])
+    def test_paper_style(self, value, expected):
+        assert si_format(value) == expected
+
+    def test_unit_suffix(self):
+        assert si_format(5e-12, unit="s") == "5.000ps"
+
+    def test_nan_inf(self):
+        assert si_format(float("nan")) == "nan"
+        assert si_format(float("inf")) == "inf"
+        assert si_format(float("-inf")) == "-inf"
+
+
+class TestSiParse:
+    @pytest.mark.parametrize("text, expected", [
+        ("145.3p", 145.3e-12),
+        ("2.234n", 2.234e-9),
+        ("0.5f", 0.5e-15),
+        ("3.4k", 3400.0),
+        ("1.2", 1.2),
+        ("5ps", 5e-12),
+        ("128fF", 128e-15),
+    ])
+    def test_values(self, text, expected):
+        assert si_parse(text) == pytest.approx(expected)
+
+    def test_round_trip(self):
+        for value in (1.5e-12, 2.7e-9, 4.2e-15):
+            assert si_parse(si_format(value)) == pytest.approx(value, rel=1e-3)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            si_parse("  ")
+
+
+class TestRuntime:
+    @pytest.mark.parametrize("seconds, expected", [
+        (0.005, "5ms"),
+        (1.93, "1.93s"),
+        (16.31, "16.31s"),
+        (140.0, "2:20m"),
+        (464.0, "7:44m"),
+        (2940.0, "0:49h"),
+        (4080.0, "1:08h"),
+    ])
+    def test_table1_style(self, seconds, expected):
+        assert format_runtime(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_runtime(-1.0)
+
+
+class TestMeps:
+    def test_definition(self):
+        # 18999 nodes x 173 pairs in 5 ms -> 657 MEPS-ish
+        value = meps(18999, 173, 0.005)
+        assert value == pytest.approx(18999 * 173 / 0.005 / 1e6)
+
+    def test_zero_runtime(self):
+        with pytest.raises(ValueError):
+            meps(10, 10, 0.0)

@@ -1,0 +1,86 @@
+"""Tests for polarity-aware K-longest path enumeration."""
+
+import pytest
+
+from repro.cells.cell import DrivePolarity
+from repro.netlist.generate import random_circuit, ripple_carry_adder
+from repro.simulation.compiled import compile_circuit
+from repro.timing.paths import k_longest_paths
+from repro.timing.sta import StaticTimingAnalysis
+
+
+class TestRanking:
+    @pytest.mark.parametrize("seed", [5, 9, 13])
+    def test_top_path_equals_sta(self, library, seed):
+        circuit = random_circuit(f"p{seed}", 12, 250, seed=seed)
+        compiled = compile_circuit(circuit, library)
+        paths = k_longest_paths(circuit, library, k=5, compiled=compiled)
+        longest = StaticTimingAnalysis(circuit, library,
+                                       compiled=compiled).longest_path_delay()
+        assert paths[0].delay == pytest.approx(longest, rel=1e-12)
+
+    def test_descending_order(self, library, medium_circuit):
+        paths = k_longest_paths(medium_circuit, library, k=50)
+        delays = [p.delay for p in paths]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_k_larger_than_path_count(self, library):
+        circuit = ripple_carry_adder(1)
+        paths = k_longest_paths(circuit, library, k=10_000)
+        assert 0 < len(paths) < 10_000
+
+    def test_k_validation(self, library, small_circuit):
+        with pytest.raises(ValueError):
+            k_longest_paths(small_circuit, library, k=0)
+
+    def test_expansion_limit(self, library, medium_circuit):
+        from repro.errors import TimingError
+        with pytest.raises(TimingError, match="expansions"):
+            k_longest_paths(medium_circuit, library, k=10_000,
+                            max_expansions=10)
+
+
+class TestPathStructure:
+    def test_paths_are_connected(self, library, small_circuit):
+        compiled = compile_circuit(small_circuit, library)
+        for path in k_longest_paths(small_circuit, library, k=10,
+                                    compiled=compiled):
+            assert path.start in small_circuit.inputs
+            assert path.end in small_circuit.outputs
+            assert len(path.nets) == len(path.gates) + 1
+            assert len(path.polarities) == len(path.nets)
+            for hop, gate_name in enumerate(path.gates):
+                gate = small_circuit.gate(gate_name)
+                assert gate.inputs[path.pins[hop]] == path.nets[hop]
+                assert gate.output == path.nets[hop + 1]
+
+    def test_delay_sums_edge_delays(self, library, small_circuit):
+        compiled = compile_circuit(small_circuit, library)
+        gate_index = {g.name: i for i, g in enumerate(small_circuit.gates)}
+        for path in k_longest_paths(small_circuit, library, k=5,
+                                    compiled=compiled):
+            total = 0.0
+            for hop, gate_name in enumerate(path.gates):
+                out_pol = int(path.polarities[hop + 1])
+                total += compiled.nominal_delays[
+                    gate_index[gate_name], path.pins[hop], out_pol]
+            assert path.delay == pytest.approx(total, rel=1e-12)
+
+    def test_polarity_chain_consistent(self, library, small_circuit):
+        """Polarity flips at negative-unate pins, stays at positive ones."""
+        for path in k_longest_paths(small_circuit, library, k=10):
+            for hop, gate_name in enumerate(path.gates):
+                gate = small_circuit.gate(gate_name)
+                cell = library[gate.cell]
+                sense = cell.function.unateness(path.pins[hop])
+                pol_in = path.polarities[hop]
+                pol_out = path.polarities[hop + 1]
+                if sense == "positive":
+                    assert pol_out == pol_in
+                elif sense == "negative":
+                    assert pol_out != pol_in
+
+    def test_launch_polarity_exposed(self, library, small_circuit):
+        path = k_longest_paths(small_circuit, library, k=1)[0]
+        assert path.launch_polarity in (DrivePolarity.RISE, DrivePolarity.FALL)
+        assert len(path) == len(path.gates)

@@ -1,0 +1,32 @@
+"""Smoke tests for timing-report formatting."""
+
+from repro.netlist.generate import random_circuit
+from repro.timing.paths import k_longest_paths
+from repro.timing.report import format_path, format_timing_report
+from repro.timing.sta import StaticTimingAnalysis
+
+
+class TestFormatting:
+    def test_report_contains_key_facts(self, library):
+        circuit = random_circuit("rep", 8, 60, seed=1)
+        sta = StaticTimingAnalysis(circuit, library)
+        arrivals = sta.analyze()
+        paths = k_longest_paths(circuit, library, k=3)
+        text = format_timing_report(arrivals, "rep", paths, voltage=0.8)
+        assert "rep" in text
+        assert "0.80 V" in text
+        assert "Longest path delay" in text
+        assert "#1" in text and "#3" in text
+
+    def test_nominal_label(self, library):
+        circuit = random_circuit("rep", 8, 60, seed=1)
+        arrivals = StaticTimingAnalysis(circuit, library).analyze()
+        assert "(nominal)" in format_timing_report(arrivals, "rep")
+
+    def test_format_path_truncates_long_chains(self, library):
+        circuit = random_circuit("rep", 8, 200, seed=2)
+        path = k_longest_paths(circuit, library, k=1)[0]
+        line = format_path(path, 1)
+        assert line.startswith("#1 ")
+        assert path.start in line
+        assert path.end in line

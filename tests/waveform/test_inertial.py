@@ -1,0 +1,72 @@
+"""Tests for cancellation and inertial pulse filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.waveform.inertial import cancel_monotonic, filter_inertial, filter_waveform
+from repro.waveform.waveform import Waveform
+
+
+class TestCancellation:
+    def test_in_order_kept(self):
+        times = [1.0, 2.0, 3.0]
+        np.testing.assert_array_equal(cancel_monotonic(times), times)
+
+    def test_out_of_order_annihilates(self):
+        # second toggle scheduled before the first -> both vanish
+        assert list(cancel_monotonic([2.0, 1.5])) == []
+
+    def test_equal_time_annihilates(self):
+        assert list(cancel_monotonic([2.0, 2.0])) == []
+
+    def test_partial(self):
+        assert list(cancel_monotonic([1.0, 3.0, 2.5, 4.0])) == [1.0, 4.0]
+
+    def test_empty(self):
+        assert list(cancel_monotonic([])) == []
+
+
+class TestInertialFilter:
+    def test_short_pulse_removed(self):
+        assert list(filter_inertial([1.0, 1.2], min_width=0.5)) == []
+
+    def test_long_pulse_kept(self):
+        assert list(filter_inertial([1.0, 2.0], min_width=0.5)) == [1.0, 2.0]
+
+    def test_cascaded_removal(self):
+        # [1.0, 1.2] cancel; then 1.3 vs empty stack -> kept; 2.5 kept
+        assert list(filter_inertial([1.0, 1.2, 1.3, 2.5], 0.4)) == [1.3, 2.5]
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            filter_inertial([1.0], -0.1)
+
+    def test_filter_waveform(self):
+        w = Waveform(initial=0, times=np.asarray([1.0, 1.1, 3.0]))
+        filtered = filter_waveform(w, 0.5)
+        assert list(filtered.times) == [3.0]
+        assert filtered.initial == 0
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                    max_size=20),
+           st.floats(min_value=0, max_value=5))
+    def test_output_pulses_exceed_width(self, times, width):
+        result = filter_inertial(times, width)
+        gaps = np.diff(result)
+        assert np.all(gaps > width)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                    max_size=20))
+    def test_parity_preserved_mod2(self, times):
+        # each annihilation removes exactly two toggles
+        result = cancel_monotonic(times)
+        assert (len(times) - len(result)) % 2 == 0
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                    max_size=20).map(sorted))
+    def test_sorted_input_with_zero_width_unchanged_if_distinct(self, times):
+        distinct = sorted(set(times))
+        np.testing.assert_array_equal(cancel_monotonic(distinct), distinct)

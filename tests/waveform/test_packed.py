@@ -1,0 +1,92 @@
+"""Tests for PackedWaveforms (GPU waveform memory layout)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveformOverflowError
+from repro.waveform.packed import PackedWaveforms
+from repro.waveform.waveform import Waveform
+
+
+def sample_waveforms():
+    return [
+        Waveform.constant(0),
+        Waveform(initial=1, times=np.asarray([1e-12])),
+        Waveform(initial=0, times=np.asarray([1e-12, 2e-12, 5e-12])),
+    ]
+
+
+class TestPacking:
+    def test_round_trip(self):
+        waveforms = sample_waveforms()
+        packed = PackedWaveforms.from_waveforms(waveforms)
+        for slot, original in enumerate(waveforms):
+            assert packed.to_waveform(slot) == original
+        assert packed.to_waveforms() == waveforms
+
+    def test_capacity_sizing(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        assert packed.capacity == 3
+        explicit = PackedWaveforms.from_waveforms(sample_waveforms(), capacity=8)
+        assert explicit.capacity == 8
+
+    def test_padding_is_inf(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        assert np.isinf(packed.times[0]).all()
+        assert np.isinf(packed.times[1, 1:]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PackedWaveforms(0, 4)
+        with pytest.raises(ValueError):
+            PackedWaveforms(2, 0)
+        with pytest.raises(ValueError):
+            PackedWaveforms(2, 4, initial=np.asarray([0, 1, 0], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            PackedWaveforms(2, 4, initial=np.asarray([0, 7], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            PackedWaveforms.from_waveforms([])
+
+
+class TestBulkQueries:
+    def test_transition_counts(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        np.testing.assert_array_equal(packed.transition_counts(), [0, 1, 3])
+
+    def test_final_values(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        np.testing.assert_array_equal(packed.final_values(), [0, 0, 1])
+
+    def test_values_at(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        np.testing.assert_array_equal(packed.values_at(1.5e-12), [0, 0, 1])
+        np.testing.assert_array_equal(packed.values_at(0.0), [0, 1, 0])
+
+    def test_latest_times(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        latest = packed.latest_times()
+        assert latest[0] == -np.inf
+        assert latest[2] == pytest.approx(5e-12)
+
+    def test_nbytes(self):
+        packed = PackedWaveforms(4, 8)
+        assert packed.nbytes >= 4 * 8 * 8
+
+
+class TestOverflow:
+    def test_overflow_slot_refuses_unpack(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        packed.overflow[1] = True
+        with pytest.raises(WaveformOverflowError):
+            packed.to_waveform(1)
+        packed.to_waveform(0)  # other slots still fine
+
+    def test_grown(self):
+        packed = PackedWaveforms.from_waveforms(sample_waveforms())
+        packed.overflow[2] = True
+        bigger = packed.grown(16)
+        assert bigger.capacity == 16
+        assert bigger.to_waveform(1) == packed.to_waveform(1)
+        assert bigger.overflow[2]
+        with pytest.raises(ValueError):
+            packed.grown(2)

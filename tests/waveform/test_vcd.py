@@ -1,0 +1,100 @@
+"""Tests for the VCD waveform exporter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.generate import c17
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.gpu import GpuWaveSim
+from repro.units import FS, PS
+from repro.waveform.vcd import _identifier, dump_vcd, result_to_vcd
+from repro.waveform.waveform import Waveform
+
+
+def sample_waveforms():
+    return {
+        "clk_like": Waveform(initial=0, times=np.asarray([1e-12, 2e-12, 3e-12])),
+        "stable": Waveform.constant(1),
+    }
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        codes = [_identifier(i) for i in range(500)]
+        assert len(set(codes)) == 500
+        for code in codes:
+            assert all(33 <= ord(ch) <= 126 for ch in code)
+
+    def test_first_codes_single_char(self):
+        assert len(_identifier(0)) == 1
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+
+
+class TestDump:
+    def test_structure(self):
+        text = dump_vcd(sample_waveforms(), date="test run")
+        assert "$timescale 1 fs $end" in text
+        assert "$var wire 1 ! clk_like $end" in text
+        assert "$var wire 1 \" stable $end" in text
+        assert "$dumpvars" in text
+        # initial values
+        assert "0!" in text and "1\"" in text
+
+    def test_toggle_times_quantized(self):
+        text = dump_vcd(sample_waveforms(), timescale=PS)
+        assert "#1\n1!" in text
+        assert "#2\n0!" in text
+        assert "#3\n1!" in text
+
+    def test_femtosecond_default_lossless(self):
+        text = dump_vcd(sample_waveforms())
+        assert "#1000" in text  # 1 ps = 1000 fs
+
+    def test_shared_timestamp_grouped(self):
+        waveforms = {
+            "a": Waveform(initial=0, times=np.asarray([1e-12])),
+            "b": Waveform(initial=1, times=np.asarray([1e-12])),
+        }
+        text = dump_vcd(waveforms, timescale=PS)
+        assert text.count("#1") == 1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            dump_vcd({})
+        with pytest.raises(SimulationError):
+            dump_vcd(sample_waveforms(), timescale=0.0)
+
+
+class TestFromResult:
+    def test_result_slot_dump(self, library):
+        circuit = c17()
+        sim = GpuWaveSim(circuit, library,
+                         config=SimulationConfig(record_all_nets=True))
+        pair = PatternPair(v1=np.zeros(5, dtype=np.uint8),
+                           v2=np.ones(5, dtype=np.uint8))
+        result = sim.run([pair])
+        text = result_to_vcd(result, 0)
+        assert "$scope module c17 $end" in text
+        for net in circuit.nets():
+            assert f" {net} $end" in text
+        # parse back the toggle counts and compare
+        toggles = sum(
+            1 for line in text.splitlines()
+            if line and line[0] in "01" and not line.startswith("0 "))
+        expected = sum(result.waveform(0, n).num_transitions
+                       for n in circuit.nets())
+        dumped_initials = len(circuit.nets())
+        assert toggles == expected + dumped_initials
+
+    def test_net_subset_and_bad_slot(self, library):
+        circuit = c17()
+        sim = GpuWaveSim(circuit, library)
+        pair = PatternPair(v1=np.zeros(5, dtype=np.uint8),
+                           v2=np.ones(5, dtype=np.uint8))
+        result = sim.run([pair])
+        text = result_to_vcd(result, 0, nets=["G22"])
+        assert "G22" in text and "G23" not in text
+        with pytest.raises(SimulationError):
+            result_to_vcd(result, 5)

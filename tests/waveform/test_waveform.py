@@ -1,0 +1,125 @@
+"""Tests for the Waveform type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.waveform.waveform import Waveform
+
+
+def toggle_times():
+    return st.lists(
+        st.floats(min_value=0.0, max_value=1e-9, allow_nan=False),
+        max_size=12, unique=True,
+    ).map(sorted)
+
+
+class TestConstruction:
+    def test_constant(self):
+        w = Waveform.constant(1)
+        assert w.num_transitions == 0
+        assert w.final_value == 1
+        assert w.latest_transition() == float("-inf")
+
+    def test_step(self):
+        w = Waveform.step(value_after=1, at=5e-12)
+        assert w.initial == 0
+        assert w.value_at(4e-12) == 0
+        assert w.value_at(5e-12) == 1
+
+    def test_bad_initial(self):
+        with pytest.raises(ValueError, match="initial"):
+            Waveform(initial=2)
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Waveform(initial=0, times=np.asarray([2e-12, 1e-12]))
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Waveform(initial=0, times=np.asarray([1e-12, 1e-12]))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Waveform(initial=0, times=np.asarray([np.inf]))
+
+    def test_from_transitions_drops_redundant(self):
+        w = Waveform.from_transitions(0, [(1e-12, 1), (2e-12, 1), (3e-12, 0)])
+        assert w.num_transitions == 2
+        assert list(w.times) == [1e-12, 3e-12]
+
+    def test_from_transitions_bad_value(self):
+        with pytest.raises(ValueError):
+            Waveform.from_transitions(0, [(1e-12, 2)])
+
+    def test_trusted_constructor(self):
+        times = np.asarray([1e-12, 2e-12])
+        w = Waveform.trusted(1, times)
+        assert w.initial == 1
+        assert w.num_transitions == 2
+
+
+class TestQueries:
+    def test_value_at_parity(self):
+        w = Waveform(initial=0, times=np.asarray([1.0, 2.0, 3.0]))
+        assert [w.value_at(t) for t in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0)] == \
+            [0, 1, 1, 0, 0, 1, 1]
+        assert w.final_value == 1
+
+    def test_transitions_iterator(self):
+        w = Waveform(initial=1, times=np.asarray([1.0, 2.0]))
+        assert list(w.transitions()) == [(1.0, 0), (2.0, 1)]
+
+    def test_pulse_widths(self):
+        w = Waveform(initial=0, times=np.asarray([1.0, 1.5, 4.0]))
+        np.testing.assert_allclose(w.pulse_widths(), [0.5, 2.5])
+        assert w.min_pulse_width() == pytest.approx(0.5)
+        assert Waveform.constant(0).min_pulse_width() == float("inf")
+
+    def test_sampled(self):
+        w = Waveform(initial=0, times=np.asarray([1.0, 3.0]))
+        np.testing.assert_array_equal(w.sampled([0.0, 1.0, 2.0, 3.0]),
+                                      [0, 1, 1, 0])
+
+
+class TestAlgebra:
+    def test_shifted(self):
+        w = Waveform(initial=0, times=np.asarray([1.0]))
+        assert w.shifted(0.5).value_at(1.2) == 0
+        assert w.shifted(0.5).value_at(1.5) == 1
+
+    def test_inverted(self):
+        w = Waveform(initial=0, times=np.asarray([1.0]))
+        inv = w.inverted()
+        assert inv.initial == 1
+        assert inv.value_at(2.0) == 0
+
+    def test_equivalence_with_tolerance(self):
+        a = Waveform(initial=0, times=np.asarray([1.0, 2.0]))
+        b = Waveform(initial=0, times=np.asarray([1.0 + 1e-15, 2.0]))
+        assert a.equivalent(b, tolerance=1e-12)
+        assert not a.equivalent(b, tolerance=0.0)
+        assert not a.equivalent(b.inverted(), tolerance=1.0)
+
+    def test_eq_and_hash(self):
+        a = Waveform(initial=0, times=np.asarray([1.0]))
+        b = Waveform(initial=0, times=np.asarray([1.0]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestProperties:
+    @given(st.integers(0, 1), toggle_times())
+    def test_final_value_parity(self, initial, times):
+        w = Waveform(initial=initial, times=np.asarray(times, dtype=float))
+        assert w.final_value == initial ^ (len(times) & 1)
+
+    @given(st.integers(0, 1), toggle_times())
+    def test_value_at_after_last_is_final(self, initial, times):
+        w = Waveform(initial=initial, times=np.asarray(times, dtype=float))
+        assert w.value_at(2e-9) == w.final_value
+
+    @given(st.integers(0, 1), toggle_times())
+    def test_inversion_involution(self, initial, times):
+        w = Waveform(initial=initial, times=np.asarray(times, dtype=float))
+        assert w.inverted().inverted() == w
