@@ -7,6 +7,7 @@ Wraps the library's main flows for shell use:
 * ``sta``         — static timing analysis with optional voltage derating,
 * ``atpg``        — transition-fault + timing-aware pattern generation,
 * ``simulate``    — parallel voltage-sweep time simulation (+ VCD dump),
+* ``campaign``    — fault-tolerant sweep with checkpoint/resume,
 * ``explore``     — AVFS design-space exploration / VF table.
 
 Circuits are specified either as a file (``.v`` structural Verilog or
@@ -186,6 +187,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.atpg.patterns import random_pattern_set
+    from repro.runtime import CampaignConfig, CampaignRunner
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.grid import SlotPlan
+
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    voltages = _voltages(args.voltages)
+    kernel_table = DelayKernelTable.load(args.kernels) if args.kernels else None
+    if kernel_table is None and len(voltages) > 1:
+        print("error: multi-voltage campaigns need --kernels", file=sys.stderr)
+        return 2
+    variation = None
+    if args.sigma is not None:
+        from repro.simulation.variation import ProcessVariation
+        variation = ProcessVariation(sigma=args.sigma,
+                                     seed=args.variation_seed)
+    patterns = random_pattern_set(circuit, args.patterns, seed=args.seed)
+    plan = SlotPlan.cross(len(patterns), voltages)
+    runner = CampaignRunner(
+        circuit, library,
+        config=SimulationConfig(),
+        campaign=CampaignConfig(
+            chunk_slots=args.chunk_slots,
+            num_workers=args.workers,
+            max_worker_attempts=args.max_attempts,
+            degrade_in_process=not args.no_degrade,
+            degrade_event_driven=not args.no_degrade,
+        ),
+    )
+    result = runner.run(patterns.pairs, plan=plan, kernel_table=kernel_table,
+                        variation=variation,
+                        checkpoint_dir=args.checkpoint_dir)
+    print(result.report.summary())
+    print(f"engine {result.engine}, {result.gate_evaluations} gate "
+          f"evaluations")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as stream:
+            json.dump(result.report.to_dict(), stream, indent=2)
+        print(f"run report -> {args.report_json}")
+    return 0
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     from repro.netlist.bench import write_bench
     from repro.netlist.sdf import annotate_nominal, write_sdf
@@ -299,6 +346,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vcd", default=None, help="dump one slot as VCD")
     p.add_argument("--vcd-slot", type=int, default=0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "campaign",
+        help="fault-tolerant sweep with checkpoint/resume")
+    p.add_argument("circuit")
+    p.add_argument("--patterns", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--voltages", default="0.8", help="comma-separated volts")
+    p.add_argument("--kernels", default=None)
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="campaign directory for checkpoint/resume")
+    p.add_argument("--chunk-slots", type=int, default=64,
+                   help="slots per chunk (retry/checkpoint granularity)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (0 = in-process only)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="worker attempts per chunk before degrading")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="disable the in-process/event-driven fallbacks")
+    p.add_argument("--sigma", type=float, default=None,
+                   help="Monte-Carlo process-variation sigma")
+    p.add_argument("--variation-seed", type=int, default=0)
+    p.add_argument("--report-json", default=None,
+                   help="write the structured run report to this file")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("convert", help="convert/emit design-exchange files")
     p.add_argument("circuit")

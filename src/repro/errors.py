@@ -64,6 +64,32 @@ class WaveformOverflowError(SimulationError):
     """
 
 
+class CampaignError(ReproError):
+    """Errors in the fault-tolerant campaign runtime."""
+
+
+class PreflightError(CampaignError):
+    """A campaign failed validation before any worker was spawned."""
+
+
+class CheckpointError(CampaignError):
+    """A campaign checkpoint directory is missing, corrupt or mismatched."""
+
+
+class ChunkExecutionError(CampaignError):
+    """A slot-plane chunk failed after exhausting every retry and
+    degradation level.
+
+    ``attempts`` carries the per-attempt diagnostics (engine, capacity,
+    error) recorded by the runner up to the final failure.
+    """
+
+    def __init__(self, chunk_index: int, message: str, attempts=()) -> None:
+        super().__init__(f"chunk {chunk_index}: {message}")
+        self.chunk_index = chunk_index
+        self.attempts = list(attempts)
+
+
 class TimingError(ReproError):
     """Errors in static timing analysis or path enumeration."""
 

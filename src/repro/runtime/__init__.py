@@ -1,0 +1,25 @@
+"""Fault-tolerant campaign runtime (checkpoint/resume, crash recovery).
+
+The production layer above the simulation engines: it partitions a slot
+plane into chunks, executes them across worker processes with retry,
+backoff and a degradation ladder, persists completed chunks to a
+resumable checkpoint directory, and validates the whole campaign before
+the first worker spawns.  See :mod:`repro.runtime.campaign` for the
+execution model.
+"""
+
+from repro.runtime.campaign import CampaignConfig, CampaignRunner
+from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
+from repro.runtime.preflight import validate_campaign
+from repro.runtime.report import AttemptReport, ChunkReport, RunReport
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignRunner",
+    "CheckpointStore",
+    "campaign_fingerprint",
+    "validate_campaign",
+    "AttemptReport",
+    "ChunkReport",
+    "RunReport",
+]

@@ -1,0 +1,267 @@
+"""Campaign checkpoint directory: chunk waveforms + manifest.
+
+A campaign directory holds one ``manifest.json`` plus one ``.npz`` file
+per completed slot-plane chunk:
+
+* the manifest pins the campaign identity — a SHA-256 fingerprint over
+  the compiled circuit, stimuli, slot plan, engine configuration,
+  kernel table and variation model — together with the chunking so a
+  resume run can prove it is continuing the *same* campaign and re-use
+  the same chunk boundaries;
+* each chunk file stores the per-slot waveforms in a flat columnar form
+  (net names, initial values, toggle counts and one concatenated
+  toggle-time vector), written atomically (temp file + ``os.replace``)
+  so an interrupt can never leave a half-written chunk behind.
+
+Corrupt or truncated chunk files are treated as *missing*: the loader
+deletes them and the runner simply re-simulates those chunks — a crash
+during checkpointing degrades to recomputation, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.grid import SlotPlan
+from repro.waveform.waveform import Waveform
+
+__all__ = ["CheckpointStore", "campaign_fingerprint", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+
+#: Bumped whenever the chunk or manifest layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def campaign_fingerprint(
+    compiled: CompiledCircuit,
+    pairs: Sequence[PatternPair],
+    plan: SlotPlan,
+    config: SimulationConfig,
+    kernel_table=None,
+    variation=None,
+) -> str:
+    """SHA-256 identity of a campaign's inputs.
+
+    Two invocations get the same fingerprint exactly when they would
+    produce bit-identical waveforms: same circuit structure and delays,
+    same stimuli, same slot plan, same semantic engine settings, same
+    kernel table and same variation model.  Purely *operational* knobs
+    (chunk size, worker count, memory budget, retry policy) are
+    deliberately excluded — they never change results.
+    """
+    digest = hashlib.sha256()
+
+    def feed(tag: str, payload: bytes) -> None:
+        digest.update(tag.encode("utf-8"))
+        digest.update(len(payload).to_bytes(8, "little"))
+        digest.update(payload)
+
+    feed("circuit", compiled.circuit.name.encode("utf-8"))
+    feed("inputs", "\0".join(compiled.circuit.inputs).encode("utf-8"))
+    feed("outputs", "\0".join(compiled.circuit.outputs).encode("utf-8"))
+    feed("gate_types", np.ascontiguousarray(compiled.gate_type_ids).tobytes())
+    feed("gate_inputs", np.ascontiguousarray(compiled.gate_inputs).tobytes())
+    feed("delays", np.ascontiguousarray(compiled.nominal_delays).tobytes())
+    feed("v1", np.ascontiguousarray(np.stack([p.v1 for p in pairs])).tobytes())
+    feed("v2", np.ascontiguousarray(np.stack([p.v2 for p in pairs])).tobytes())
+    feed("plan_patterns", np.ascontiguousarray(plan.pattern_indices).tobytes())
+    feed("plan_voltages", np.ascontiguousarray(plan.voltages).tobytes())
+    feed("config", json.dumps({
+        "pulse_filtering": config.pulse_filtering,
+        "record_all_nets": config.record_all_nets,
+    }, sort_keys=True).encode("utf-8"))
+    if kernel_table is None:
+        feed("kernels", b"static")
+    else:
+        feed("kernels", np.ascontiguousarray(
+            kernel_table.coefficients).tobytes())
+        feed("kernel_names", "\0".join(kernel_table.type_names).encode("utf-8"))
+    if variation is None:
+        feed("variation", b"none")
+    else:
+        feed("variation", json.dumps({
+            "sigma": variation.sigma,
+            "seed": variation.seed,
+            "distribution": variation.distribution,
+            "group_size": variation.group_size,
+        }, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """File-backed chunk results for one campaign directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    # -- manifest -------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def load_manifest(self) -> Optional[dict]:
+        """The stored manifest, or ``None`` for a fresh directory."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as stream:
+                manifest = json.load(stream)
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"unreadable campaign manifest {self.manifest_path}: {error}"
+            ) from error
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"campaign manifest {self.manifest_path} has format version "
+                f"{manifest.get('format_version')!r}, expected {FORMAT_VERSION}"
+            )
+        return manifest
+
+    def write_manifest(self, manifest: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = dict(manifest, format_version=FORMAT_VERSION)
+        self._atomic_write(self.manifest_path,
+                           json.dumps(manifest, indent=2).encode("utf-8"))
+
+    # -- chunks ---------------------------------------------------------------
+
+    def chunk_path(self, index: int) -> Path:
+        return self.directory / f"chunk_{index:05d}.npz"
+
+    def has_chunk(self, index: int) -> bool:
+        return self.chunk_path(index).exists()
+
+    def completed_chunks(self) -> Set[int]:
+        """Indices of chunk files present in the directory."""
+        found: Set[int] = set()
+        if not self.directory.exists():
+            return found
+        for path in self.directory.glob("chunk_*.npz"):
+            stem = path.stem.split("_", 1)[-1]
+            if stem.isdigit():
+                found.add(int(stem))
+        return found
+
+    def save_chunk(self, index: int,
+                   waveforms: List[Dict[str, Waveform]]) -> None:
+        """Persist one chunk's per-slot waveform dicts atomically."""
+        if not waveforms:
+            raise CheckpointError("cannot checkpoint an empty chunk")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        nets = list(waveforms[0])
+        num_slots = len(waveforms)
+        initial = np.zeros((len(nets), num_slots), dtype=np.uint8)
+        counts = np.zeros((len(nets), num_slots), dtype=np.int64)
+        pieces: List[np.ndarray] = []
+        for row, net in enumerate(nets):
+            for slot in range(num_slots):
+                try:
+                    waveform = waveforms[slot][net]
+                except KeyError:
+                    raise CheckpointError(
+                        f"chunk {index}: slot {slot} is missing net {net!r}"
+                    ) from None
+                initial[row, slot] = waveform.initial
+                counts[row, slot] = waveform.num_transitions
+                pieces.append(waveform.times)
+        times = (np.concatenate(pieces) if pieces
+                 else np.empty(0, dtype=np.float64))
+        payload = {
+            "nets": np.asarray(nets),
+            "initial": initial,
+            "counts": counts,
+            "times": times,
+        }
+        target = self.chunk_path(index)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=f".chunk_{index:05d}.",
+            suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                np.savez_compressed(stream, **payload)
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def load_chunk(self, index: int,
+                   expected_slots: int) -> List[Dict[str, Waveform]]:
+        """Load one chunk; raises :class:`CheckpointError` on corruption."""
+        path = self.chunk_path(index)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                nets = [str(net) for net in data["nets"]]
+                initial = data["initial"]
+                counts = data["counts"]
+                times = np.asarray(data["times"], dtype=np.float64)
+        except (OSError, ValueError, KeyError) as error:
+            raise CheckpointError(
+                f"corrupt chunk file {path}: {error}"
+            ) from error
+        if initial.shape != (len(nets), expected_slots) or \
+                counts.shape != (len(nets), expected_slots):
+            raise CheckpointError(
+                f"chunk file {path} holds {initial.shape[1] if initial.ndim == 2 else '?'} "
+                f"slots, expected {expected_slots}"
+            )
+        if int(counts.sum()) != times.size:
+            raise CheckpointError(
+                f"chunk file {path} toggle payload is truncated"
+            )
+        result: List[Dict[str, Waveform]] = [dict() for _ in range(expected_slots)]
+        offset = 0
+        for row, net in enumerate(nets):
+            for slot in range(expected_slots):
+                count = int(counts[row, slot])
+                result[slot][net] = Waveform.trusted(
+                    int(initial[row, slot]),
+                    times[offset:offset + count].copy(),
+                )
+                offset += count
+        return result
+
+    def try_load_chunk(self, index: int,
+                       expected_slots: int) -> Optional[List[Dict[str, Waveform]]]:
+        """Graceful loader: a corrupt chunk is deleted and reported as
+        missing so the runner re-simulates it instead of aborting."""
+        if not self.has_chunk(index):
+            return None
+        try:
+            return self.load_chunk(index, expected_slots)
+        except CheckpointError:
+            try:
+                os.unlink(self.chunk_path(index))
+            except OSError:
+                pass
+            return None
+
+    # -- helpers --------------------------------------------------------------
+
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".manifest.", suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise

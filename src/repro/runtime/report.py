@@ -1,0 +1,177 @@
+"""Structured diagnostics of a fault-tolerant campaign run.
+
+Every chunk of the slot plane records the full history of its execution
+attempts — which engine ran it, at what waveform capacity and memory
+budget, how long it took and how it failed — so a finished (or aborted)
+campaign can answer "what actually happened" without log archaeology:
+how many worker crashes were absorbed, which chunks degraded to the
+in-process or event-driven engines, and how much waveform capacity had
+to grow.  The report travels on
+:attr:`repro.simulation.base.SimulationResult.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["AttemptReport", "ChunkReport", "RunReport"]
+
+#: Engine identifiers used by the campaign runner, in degradation order.
+ENGINE_WORKER = "worker"
+ENGINE_IN_PROCESS = "in-process"
+ENGINE_EVENT_DRIVEN = "event-driven"
+
+
+@dataclass
+class AttemptReport:
+    """One execution attempt of one chunk.
+
+    ``error`` is ``None`` for the successful attempt; failed attempts
+    keep a one-line description of the exception (including worker
+    crashes, which surface as broken-pool errors).
+    """
+
+    engine: str
+    waveform_capacity: int
+    memory_budget: int
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "waveform_capacity": self.waveform_capacity,
+            "memory_budget": self.memory_budget,
+            "seconds": self.seconds,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ChunkReport:
+    """Execution history of one slot-plane chunk."""
+
+    index: int
+    num_slots: int
+    attempts: List[AttemptReport] = field(default_factory=list)
+    from_checkpoint: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.from_checkpoint or any(a.succeeded for a in self.attempts)
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts before the final outcome."""
+        return sum(1 for a in self.attempts if not a.succeeded)
+
+    @property
+    def final_engine(self) -> Optional[str]:
+        """Engine that produced the chunk's waveforms (``None`` if it
+        came from the checkpoint or never completed)."""
+        for attempt in self.attempts:
+            if attempt.succeeded:
+                return attempt.engine
+        return None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the chunk did not complete on the primary engine."""
+        return self.final_engine not in (None, ENGINE_WORKER)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "num_slots": self.num_slots,
+            "from_checkpoint": self.from_checkpoint,
+            "completed": self.completed,
+            "retries": self.retries,
+            "final_engine": self.final_engine,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+
+@dataclass
+class RunReport:
+    """Campaign-level summary across all chunks."""
+
+    circuit_name: str
+    num_slots: int
+    chunk_slots: int
+    chunks: List[ChunkReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    resumed: bool = False
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def chunks_from_checkpoint(self) -> int:
+        return sum(1 for c in self.chunks if c.from_checkpoint)
+
+    @property
+    def chunks_executed(self) -> int:
+        return sum(1 for c in self.chunks if c.attempts)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(c.retries for c in self.chunks)
+
+    @property
+    def degraded_chunks(self) -> int:
+        return sum(1 for c in self.chunks if c.degraded)
+
+    @property
+    def max_capacity_used(self) -> int:
+        """Largest waveform capacity any successful attempt ran at."""
+        capacities = [a.waveform_capacity for c in self.chunks
+                      for a in c.attempts if a.succeeded]
+        return max(capacities, default=0)
+
+    def engines_used(self) -> List[str]:
+        seen: List[str] = []
+        for chunk in self.chunks:
+            engine = chunk.final_engine
+            if engine is not None and engine not in seen:
+                seen.append(engine)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "circuit_name": self.circuit_name,
+            "num_slots": self.num_slots,
+            "chunk_slots": self.chunk_slots,
+            "num_chunks": self.num_chunks,
+            "chunks_executed": self.chunks_executed,
+            "chunks_from_checkpoint": self.chunks_from_checkpoint,
+            "total_retries": self.total_retries,
+            "degraded_chunks": self.degraded_chunks,
+            "max_capacity_used": self.max_capacity_used,
+            "wall_seconds": self.wall_seconds,
+            "resumed": self.resumed,
+            "warnings": list(self.warnings),
+            "chunks": [c.to_dict() for c in self.chunks],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest for the CLI."""
+        lines = [
+            f"campaign {self.circuit_name}: {self.num_slots} slots in "
+            f"{self.num_chunks} chunks of <= {self.chunk_slots}",
+            f"  executed {self.chunks_executed}, from checkpoint "
+            f"{self.chunks_from_checkpoint}"
+            + (" (resumed)" if self.resumed else ""),
+            f"  retries {self.total_retries}, degraded chunks "
+            f"{self.degraded_chunks}, engines {self.engines_used() or ['-']}",
+            f"  wall time {self.wall_seconds:.3f}s",
+        ]
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)

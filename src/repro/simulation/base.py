@@ -133,6 +133,12 @@ class SimulationResult:
     in slot ``slot`` (a (pattern, operating point) combination as listed
     in ``slot_labels``).  Only primary outputs are present unless the run
     recorded all nets.
+
+    ``report`` is populated by the fault-tolerant campaign runtime
+    (:mod:`repro.runtime`) with a structured
+    :class:`~repro.runtime.report.RunReport` — per-chunk attempts,
+    retries, capacity growth and degraded-engine usage; plain engine
+    runs leave it ``None``.
     """
 
     circuit_name: str
@@ -141,6 +147,7 @@ class SimulationResult:
     runtime_seconds: float
     gate_evaluations: int
     engine: str
+    report: Optional[object] = None
 
     @property
     def num_slots(self) -> int:

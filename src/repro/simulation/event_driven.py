@@ -103,6 +103,7 @@ class EventDrivenSimulator:
         voltage: float = 0.8,
         kernel_table: Optional[DelayKernelTable] = None,
         variation: Optional["ProcessVariation"] = None,
+        slot_indices: Optional[np.ndarray] = None,
     ) -> SimulationResult:
         """Simulate the pattern pairs serially at one operating point.
 
@@ -110,13 +111,24 @@ class EventDrivenSimulator:
         polynomial kernels; without it the nominal (static) delays are
         used, matching the conventional-baseline column of Table I.
         ``variation`` applies the same per-slot Monte-Carlo delay
-        factors as the parallel engine (slot = pattern index here).
+        factors as the parallel engine; ``slot_indices`` optionally maps
+        each pair to its *global* slot number (defaults to the pair
+        index) so chunked fallback runs reproduce the parallel engine's
+        die factors exactly.
         """
         delays = self._delays(voltage, kernel_table)
         factors = None
         if variation is not None:
+            if slot_indices is None:
+                slot_indices = np.arange(len(pairs))
+            else:
+                slot_indices = np.asarray(slot_indices, dtype=np.int64)
+                if slot_indices.shape != (len(pairs),):
+                    raise SimulationError(
+                        "slot_indices must provide one index per pair"
+                    )
             factors = variation.factors(self.compiled.num_gates,
-                                        np.arange(len(pairs)))
+                                        slot_indices)
         start = _time.perf_counter()
         waveforms: List[Dict[str, Waveform]] = []
         evaluations = 0

@@ -111,6 +111,7 @@ class GpuWaveSim:
         voltage: float = 0.8,
         kernel_table: Optional[DelayKernelTable] = None,
         variation: Optional["ProcessVariation"] = None,
+        global_slots: Optional[np.ndarray] = None,
     ) -> SimulationResult:
         """Simulate a slot plane.
 
@@ -129,12 +130,26 @@ class GpuWaveSim:
             Optional :class:`~repro.simulation.variation.ProcessVariation`;
             each slot then gets its own random per-gate delay factors
             (Monte-Carlo over the slot plane).
+        global_slots:
+            When the plan is a chunk of a larger plane (multi-device or
+            campaign execution), the full-plane slot index of each local
+            slot.  Monte-Carlo die factors follow these *global* indices,
+            so chunked runs stay bit-identical to a whole-plane run.
+            Defaults to ``0..num_slots-1`` (the plan is the whole plane).
         """
         if not pairs:
             raise SimulationError("need at least one pattern pair")
         plan = plan or SlotPlan.uniform(len(pairs), voltage)
         if int(plan.pattern_indices.max()) >= len(pairs):
             raise SimulationError("slot plan references missing pattern index")
+        if global_slots is not None:
+            global_slots = np.asarray(global_slots, dtype=np.int64)
+            if global_slots.shape != (plan.num_slots,):
+                raise SimulationError(
+                    "global_slots must provide one index per plan slot"
+                )
+            if global_slots.size and int(global_slots.min()) < 0:
+                raise SimulationError("global_slots must be non-negative")
         if kernel_table is None and plan.distinct_voltages().size > 1:
             raise SimulationError(
                 "static delay mode cannot differentiate operating points; "
@@ -152,8 +167,10 @@ class GpuWaveSim:
         max_slots = self._max_batch_slots()
         for indices, sub_plan in plan.batches(max_slots):
             stats.batches += 1
+            batch_globals = (global_slots[indices] if global_slots is not None
+                             else indices)
             batch_waveforms = self._run_batch(v1, v2, sub_plan, kernel_table,
-                                              stats, variation, indices)
+                                              stats, variation, batch_globals)
             for local, slot in enumerate(indices):
                 waveforms[int(slot)] = batch_waveforms[local]
         runtime = _time.perf_counter() - start

@@ -44,6 +44,8 @@ class SlotPlan:
             raise ValueError("pattern indices and voltages must be equal-length vectors")
         if patterns.size == 0:
             raise ValueError("slot plan must contain at least one slot")
+        if int(patterns.min()) < 0:
+            raise ValueError("pattern indices must be non-negative")
         object.__setattr__(self, "pattern_indices", patterns)
         object.__setattr__(self, "voltages", volts)
 

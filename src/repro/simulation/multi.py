@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.simulation.base import PatternPair, SimulationConfig, SimulationResult
 from repro.simulation.compiled import CompiledCircuit, compile_circuit
-from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.gpu import GpuWaveSim, _BatchStats
 from repro.simulation.grid import SlotPlan
 from repro.waveform.waveform import Waveform
 
@@ -45,27 +45,32 @@ def _run_chunk(
     voltages: np.ndarray,
     variation,
     global_slots: np.ndarray,
-) -> List[Dict[str, Waveform]]:
+) -> Tuple[List[Dict[str, Waveform]], _BatchStats]:
     """Worker entry point: simulate one slot-plane chunk on one 'device'.
 
     ``global_slots`` carries each chunk slot's index in the full plane so
-    Monte-Carlo die factors stay identical to a single-device run.
+    Monte-Carlo die factors stay identical to a single-device run.  Goes
+    through the public :meth:`GpuWaveSim.run` entry point, so pattern
+    width/plan validation and memory-budget batching apply to every
+    chunk; the engine's real :class:`_BatchStats` travel back with the
+    waveforms.
     """
     engine = GpuWaveSim(compiled.circuit, compiled.library, config=config,
                         compiled=compiled)
     plan = SlotPlan(pattern_indices=pattern_indices, voltages=voltages)
-    if variation is None:
-        result = engine.run(pairs, plan=plan, kernel_table=kernel_table)
-        return result.waveforms
-    # Reuse the engine internals with explicit global slot ids so the
-    # per-die factor streams match the single-device layout exactly.
-    from repro.simulation.gpu import _BatchStats
+    result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                        variation=variation, global_slots=global_slots)
+    return result.waveforms, engine.last_stats
 
-    v1 = np.stack([p.v1 for p in pairs])
-    v2 = np.stack([p.v2 for p in pairs])
-    stats = _BatchStats()
-    return engine._run_batch(v1, v2, plan, kernel_table, stats,
-                             variation, global_slots)
+
+def _merge_stats(target: _BatchStats, source: Optional[_BatchStats]) -> None:
+    if source is None:
+        return
+    target.gate_evaluations += source.gate_evaluations
+    target.kernel_calls += source.kernel_calls
+    target.kernel_iterations += source.kernel_iterations
+    target.retries += source.retries
+    target.batches += source.batches
 
 
 class MultiDeviceWaveSim:
@@ -91,6 +96,7 @@ class MultiDeviceWaveSim:
         if num_devices is not None and num_devices < 1:
             raise SimulationError("need at least one device")
         self.num_devices = num_devices or max(1, os.cpu_count() or 1)
+        self.last_stats: Optional[_BatchStats] = None
 
     def run(
         self,
@@ -119,6 +125,7 @@ class MultiDeviceWaveSim:
                                 config=self.config, compiled=self.compiled)
             result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
                                 variation=variation)
+            self.last_stats = engine.last_stats
             return SimulationResult(
                 circuit_name=result.circuit_name,
                 slot_labels=result.slot_labels,
@@ -131,6 +138,7 @@ class MultiDeviceWaveSim:
         chunk_size = (plan.num_slots + devices - 1) // devices
         chunks = list(plan.batches(chunk_size))
         waveforms: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots
+        totals = _BatchStats()
         with ProcessPoolExecutor(max_workers=devices) as pool:
             futures = [
                 pool.submit(
@@ -141,15 +149,17 @@ class MultiDeviceWaveSim:
                 for indices, sub in chunks
             ]
             for (indices, _sub), future in zip(chunks, futures):
-                chunk_waveforms = future.result()
+                chunk_waveforms, chunk_stats = future.result()
+                _merge_stats(totals, chunk_stats)
                 for local, slot in enumerate(indices):
                     waveforms[int(slot)] = chunk_waveforms[local]
 
+        self.last_stats = totals
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
             slot_labels=plan.labels(),
             waveforms=waveforms,  # type: ignore[arg-type]
             runtime_seconds=_time.perf_counter() - start,
-            gate_evaluations=self.compiled.num_gates * plan.num_slots,
+            gate_evaluations=totals.gate_evaluations,
             engine=f"multi-device[{devices}]",
         )

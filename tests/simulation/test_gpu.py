@@ -121,12 +121,55 @@ class TestOverflowHandling:
         for slot in range(len(pairs)):
             assert_equivalent(result, slot, baseline, slot, circuit.nets())
 
+    def test_growth_doubles_until_success(self, library):
+        """Capacity grows 2 -> 4 -> 8 for a run needing 7 toggles; the
+        retry count records every doubling."""
+        circuit = random_circuit("ovf3", 12, 300, seed=6)
+        config = SimulationConfig(record_all_nets=True, waveform_capacity=2)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 8, 6)
+        sim = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+        result = sim.run(pairs)
+        needed = max(w.num_transitions for slot in result.waveforms
+                     for w in slot.values())
+        assert needed > 4  # the run genuinely required two doublings
+        assert sim.last_stats.retries == 2
+
+    def test_max_capacity_raises(self, library, monkeypatch):
+        """Growth stops at MAX_CAPACITY and surfaces the overflow."""
+        monkeypatch.setattr("repro.simulation.gpu.MAX_CAPACITY", 4)
+        circuit = random_circuit("ovf3", 12, 300, seed=6)
+        config = SimulationConfig(waveform_capacity=2)
+        sim = GpuWaveSim(circuit, library, config=config)
+        with pytest.raises(WaveformOverflowError, match="exceeded capacity"):
+            sim.run(make_pairs(circuit, 8, 6))
+
     def test_growth_disabled_raises(self, library):
         circuit = random_circuit("ovf2", 12, 200, seed=6)
         config = SimulationConfig(waveform_capacity=2, grow_on_overflow=False)
         sim = GpuWaveSim(circuit, library, config=config)
         with pytest.raises(WaveformOverflowError):
             sim.run(make_pairs(circuit, 8, 6))
+
+    def test_growth_disabled_raises_without_retrying(self, library):
+        """grow_on_overflow=False fails on the first overflow, and the
+        engine stays usable at a sufficient capacity afterwards."""
+        circuit = random_circuit("ovf2", 12, 200, seed=6)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 8, 6)
+        strict = GpuWaveSim(
+            circuit, library, compiled=compiled,
+            config=SimulationConfig(waveform_capacity=2,
+                                    grow_on_overflow=False))
+        with pytest.raises(WaveformOverflowError):
+            strict.run(pairs)
+        roomy = GpuWaveSim(
+            circuit, library, compiled=compiled,
+            config=SimulationConfig(waveform_capacity=64,
+                                    grow_on_overflow=False))
+        result = roomy.run(pairs)
+        assert roomy.last_stats.retries == 0
+        assert result.num_slots == len(pairs)
 
 
 class TestValidation:
@@ -160,6 +203,39 @@ class TestValidation:
         result = sim.run(make_pairs(small_circuit, 2))
         with pytest.raises(KeyError, match="record_all_nets"):
             result.waveform(0, small_circuit.gates[0].output)
+
+    def test_global_slots_shape_mismatch(self, library, small_circuit):
+        sim = GpuWaveSim(small_circuit, library)
+        pairs = make_pairs(small_circuit, 2)
+        with pytest.raises(SimulationError, match="global_slots"):
+            sim.run(pairs, global_slots=np.asarray([0]))
+
+    def test_global_slots_negative(self, library, small_circuit):
+        sim = GpuWaveSim(small_circuit, library)
+        pairs = make_pairs(small_circuit, 2)
+        with pytest.raises(SimulationError, match="non-negative"):
+            sim.run(pairs, global_slots=np.asarray([-1, 0]))
+
+    def test_global_slots_select_die_factors(self, library, small_circuit,
+                                             kernel_table):
+        """A chunk run with explicit global slot ids reproduces the
+        matching slots of a whole-plane Monte-Carlo run."""
+        from repro.simulation.variation import ProcessVariation
+
+        config = SimulationConfig(record_all_nets=True)
+        compiled = compile_circuit(small_circuit, library)
+        pairs = make_pairs(small_circuit, 6)
+        variation = ProcessVariation(sigma=0.1, seed=11)
+        sim = GpuWaveSim(small_circuit, library, config=config,
+                         compiled=compiled)
+        whole = sim.run(pairs, kernel_table=kernel_table, variation=variation)
+        chunk_plan = SlotPlan.zip([3, 4, 5], [0.8, 0.8, 0.8])
+        chunk = sim.run(pairs, plan=chunk_plan, kernel_table=kernel_table,
+                        variation=variation,
+                        global_slots=np.asarray([3, 4, 5]))
+        for local, slot in enumerate([3, 4, 5]):
+            assert_equivalent(whole, slot, chunk, local,
+                              small_circuit.nets())
 
     def test_engine_labels(self, library, small_circuit, kernel_table):
         sim = GpuWaveSim(small_circuit, library)

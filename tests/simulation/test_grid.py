@@ -32,6 +32,13 @@ class TestConstructors:
             SlotPlan(pattern_indices=np.asarray([], dtype=np.int64),
                      voltages=np.asarray([]))
 
+    def test_negative_pattern_indices_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SlotPlan(pattern_indices=np.asarray([0, -1]),
+                     voltages=np.asarray([0.8, 0.8]))
+        with pytest.raises(ValueError, match="non-negative"):
+            SlotPlan.zip([-3], [0.8])
+
 
 class TestQueries:
     def test_slots_for_voltage(self):

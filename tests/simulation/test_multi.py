@@ -82,6 +82,45 @@ class TestVariationComposition:
                     multi.waveform(slot, net), 0.0)
 
 
+class TestStatsAggregation:
+    def test_real_worker_stats_merged(self, setup, library):
+        """gate_evaluations comes from the workers' _BatchStats, not a
+        synthetic num_gates * num_slots estimate."""
+        circuit, compiled, pairs = setup
+        single = GpuWaveSim(circuit, library, compiled=compiled)
+        reference = single.run(pairs)
+        multi = MultiDeviceWaveSim(circuit, library, compiled=compiled,
+                                   num_devices=2)
+        result = multi.run(pairs)
+        assert result.gate_evaluations == reference.gate_evaluations
+        assert multi.last_stats is not None
+        assert multi.last_stats.gate_evaluations == result.gate_evaluations
+        assert multi.last_stats.kernel_calls == \
+            single.last_stats.kernel_calls * 2
+        assert multi.last_stats.batches == 2
+
+    def test_overflow_retries_surface_in_stats(self, setup, library):
+        """Capacity-growth retries inside workers are visible (and the
+        re-evaluated lanes are counted) after aggregation."""
+        circuit, compiled, pairs = setup
+        config = SimulationConfig(waveform_capacity=2)
+        multi = MultiDeviceWaveSim(circuit, library, config=config,
+                                   compiled=compiled, num_devices=2)
+        result = multi.run(pairs)
+        assert multi.last_stats.retries >= 1
+        assert result.gate_evaluations > \
+            compiled.num_gates * len(pairs)  # retried lanes re-counted
+
+    def test_single_device_stats(self, setup, library):
+        circuit, compiled, pairs = setup
+        multi = MultiDeviceWaveSim(circuit, library, compiled=compiled,
+                                   num_devices=1)
+        result = multi.run(pairs)
+        assert multi.last_stats is not None
+        assert result.gate_evaluations == \
+            multi.last_stats.gate_evaluations > 0
+
+
 class TestValidation:
     def test_empty_pairs(self, setup, library):
         circuit, compiled, _pairs = setup

@@ -103,6 +103,41 @@ class TestSimulate:
         assert "needs --kernels" in capsys.readouterr().err
 
 
+class TestCampaign:
+    def test_checkpoint_and_resume(self, verilog_file, tmp_path, capsys):
+        import json
+
+        directory = str(tmp_path / "campaign")
+        report = str(tmp_path / "report.json")
+        assert main(["campaign", verilog_file, "--patterns", "8",
+                     "--chunk-slots", "3", "--workers", "0",
+                     "--checkpoint-dir", directory,
+                     "--report-json", report]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "3 chunks" in out
+        with open(report) as stream:
+            payload = json.load(stream)
+        assert payload["chunks_executed"] == 3
+        # Second invocation resumes entirely from the checkpoint.
+        assert main(["campaign", verilog_file, "--patterns", "8",
+                     "--chunk-slots", "3", "--workers", "0",
+                     "--checkpoint-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "from checkpoint 3" in out and "(resumed)" in out
+
+    def test_multi_voltage_needs_kernels(self, verilog_file, capsys):
+        assert main(["campaign", verilog_file,
+                     "--voltages", "0.6,1.0"]) == 2
+        assert "need --kernels" in capsys.readouterr().err
+
+    def test_sweep_with_kernels(self, verilog_file, kernels_file, capsys):
+        assert main(["campaign", verilog_file, "--patterns", "4",
+                     "--workers", "0", "--voltages", "0.6,1.0",
+                     "--kernels", kernels_file]) == 0
+        out = capsys.readouterr().out
+        assert "8 slots" in out and "campaign[0]" in out
+
+
 class TestConvert:
     def test_bench_to_verilog_and_back(self, tmp_path, capsys):
         from repro.netlist.bench import write_bench
