@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-pytest experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -10,7 +10,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Record the benchmark trajectory (BENCH_kernels.json) across the
+# available compute backends and flag wall-time regressions.
 bench:
+	$(PYTHON) benchmarks/record.py
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper exhibit (Fig. 4/5, Table I/II).

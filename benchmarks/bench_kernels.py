@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.delay_kernel import horner2d
 from repro.core.polynomial import SurfacePolynomial
+from repro.simulation.backend import available_backends, resolve_backend
 from repro.simulation.kernels import waveform_merge_kernel
 
 LANES = 20_000
@@ -61,8 +62,7 @@ def test_batched_delay_kernel(benchmark, kernel_table):
     assert result.shape == (gates, kernel_table.max_pins, 2, 8)
 
 
-def test_waveform_merge_kernel(benchmark):
-    """Merge kernel over a 2-input thread group of 20k lanes."""
+def merge_workload():
     rng = np.random.default_rng(6)
     capacity = 8
     times = np.sort(rng.uniform(0, 1e-9, size=(2, LANES, capacity)), axis=2)
@@ -73,7 +73,25 @@ def test_waveform_merge_kernel(benchmark):
     initial = rng.integers(0, 2, size=(2, LANES)).astype(np.uint8)
     delays = rng.uniform(1e-12, 5e-12, size=(2, 2, LANES))
     tables = np.full(LANES, 0b0110, dtype=np.int64)  # XOR2
+    return times, initial, delays, tables
+
+
+def test_waveform_merge_kernel(benchmark):
+    """Merge kernel over a 2-input thread group of 20k lanes."""
+    times, initial, delays, tables = merge_workload()
     result = benchmark(
         waveform_merge_kernel, times, initial, delays, tables, 32,
+    )
+    assert not result.overflow.any()
+
+
+@pytest.mark.parametrize("backend_name", available_backends())
+def test_waveform_merge_backends(benchmark, backend_name):
+    """The same thread group through each loadable compute backend."""
+    backend = resolve_backend(backend_name)
+    times, initial, delays, tables = merge_workload()
+    backend.merge_kernel(times, initial, delays, tables, 32)  # warm-up
+    result = benchmark(
+        backend.merge_kernel, times, initial, delays, tables, 32,
     )
     assert not result.overflow.any()

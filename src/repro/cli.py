@@ -8,7 +8,8 @@ Wraps the library's main flows for shell use:
 * ``atpg``        — transition-fault + timing-aware pattern generation,
 * ``simulate``    — parallel voltage-sweep time simulation (+ VCD dump),
 * ``campaign``    — fault-tolerant sweep with checkpoint/resume,
-* ``explore``     — AVFS design-space exploration / VF table.
+* ``explore``     — AVFS design-space exploration / VF table,
+* ``bench``       — record kernel/e2e benchmarks, check for regressions.
 
 Circuits are specified either as a file (``.v`` structural Verilog or
 ``.bench``) or as a generator spec:
@@ -168,7 +169,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     patterns = random_pattern_set(circuit, args.patterns, seed=args.seed)
-    config = SimulationConfig(record_all_nets=bool(args.vcd))
+    config = SimulationConfig(record_all_nets=bool(args.vcd),
+                              backend=args.backend)
     simulator = GpuWaveSim(circuit, library, config=config)
     plan = SlotPlan.cross(len(patterns), voltages)
     result = simulator.run(patterns.pairs, plan=plan,
@@ -211,7 +213,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     plan = SlotPlan.cross(len(patterns), voltages)
     runner = CampaignRunner(
         circuit, library,
-        config=SimulationConfig(),
+        config=SimulationConfig(backend=args.backend),
         campaign=CampaignConfig(
             chunk_slots=args.chunk_slots,
             num_workers=args.workers,
@@ -297,6 +299,25 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.record import main as bench_main
+
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.no_e2e:
+        forwarded.append("--no-e2e")
+    if args.no_fail:
+        forwarded.append("--no-fail")
+    forwarded += ["--output", args.output,
+                  "--threshold", str(args.threshold)]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.backends:
+        forwarded += ["--backends", args.backends]
+    return bench_main(forwarded)
+
+
 # -- parser ------------------------------------------------------------------------
 
 
@@ -345,6 +366,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernels", default=None)
     p.add_argument("--vcd", default=None, help="dump one slot as VCD")
     p.add_argument("--vcd-slot", type=int, default=0)
+    p.add_argument("--backend", default=None,
+                   choices=["auto", "numpy", "numba", "cext"],
+                   help="compute backend (default: REPRO_BACKEND or auto)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -370,6 +394,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variation-seed", type=int, default=0)
     p.add_argument("--report-json", default=None,
                    help="write the structured run report to this file")
+    p.add_argument("--backend", default=None,
+                   choices=["auto", "numpy", "numba", "cext"],
+                   help="compute backend (default: REPRO_BACKEND or auto)")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("convert", help="convert/emit design-exchange files")
@@ -386,6 +413,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-pattern", default="nangate15_{voltage}V.lib",
                    help="'{voltage}' is substituted per view")
     p.set_defaults(func=_cmd_liberty)
+
+    p = sub.add_parser("bench",
+                       help="record benchmarks / check for regressions")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller sizes (CI smoke)")
+    p.add_argument("--output", default="BENCH_kernels.json")
+    p.add_argument("--baseline", default=None,
+                   help="baseline record (default: previous output file)")
+    p.add_argument("--threshold", type=float, default=1.5,
+                   help="regression factor on wall time")
+    p.add_argument("--backends", default=None,
+                   help="comma-separated backend subset")
+    p.add_argument("--no-e2e", action="store_true",
+                   help="kernel micro-benchmarks only")
+    p.add_argument("--no-fail", action="store_true",
+                   help="report regressions but exit 0")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("explore", help="AVFS design-space exploration")
     p.add_argument("circuit")

@@ -1,0 +1,17 @@
+"""Performance tracking: benchmark recording and regression checks.
+
+:mod:`repro.perf.record` runs the kernel micro-benchmarks and
+end-to-end circuit benchmarks across the available compute backends,
+writes ``BENCH_kernels.json`` and compares against a previous record —
+the repository's perf trajectory (``make bench`` / ``repro bench`` /
+``benchmarks/record.py``).
+"""
+
+from repro.perf.record import (
+    compare_reports,
+    load_report,
+    run_suite,
+    write_report,
+)
+
+__all__ = ["compare_reports", "load_report", "run_suite", "write_report"]

@@ -1,0 +1,367 @@
+"""Benchmark-recording harness (``make bench`` / ``repro bench``).
+
+Runs the two hot kernels and end-to-end circuit simulations on every
+available compute backend, records per-benchmark wall time and
+gate-evaluation throughput together with backend/machine metadata, and
+compares against a previous record with a configurable regression
+threshold.  The JSON record (``BENCH_kernels.json``) is committed to the
+repository so the perf trajectory is inspectable per commit, and CI
+uploads a fresh record as an artifact on every push.
+
+Report schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "recorded_unix": <float>,
+      "machine": {"platform": ..., "python": ..., "numpy": ...,
+                  "cpu_count": ..., "backends": {name: "ok" | reason}},
+      "benchmarks": [
+        {"name": ..., "backend": ..., "wall_seconds": ...,
+         "gate_evals_per_second": ..., "params": {...}},
+        ...
+      ],
+      "speedups": {benchmark-name: {backend: numpy_wall / backend_wall}}
+    }
+
+Wall times are best-of-N (minimum over repeats) — the standard way to
+suppress scheduler noise in micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.backend import (
+    available_backends,
+    backend_status,
+    resolve_backend,
+)
+
+__all__ = [
+    "DEFAULT_OUTPUT",
+    "DEFAULT_THRESHOLD",
+    "bench_end_to_end",
+    "bench_delay_kernel",
+    "bench_merge_kernel",
+    "compare_reports",
+    "load_report",
+    "main",
+    "run_suite",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+DEFAULT_OUTPUT = "BENCH_kernels.json"
+
+#: A benchmark is a regression when its wall time exceeds the baseline
+#: by more than this factor.
+DEFAULT_THRESHOLD = 1.5
+
+#: (lanes, events per pin) of the merge micro-benchmark.
+MERGE_LANES = 20_000
+MERGE_LANES_QUICK = 4_000
+
+#: Gates in the delay-kernel micro-benchmark.
+DELAY_GATES = 2_000
+DELAY_GATES_QUICK = 400
+
+#: End-to-end circuits (Table I representatives) and workload scale.
+E2E_CIRCUITS = ("s38417", "b17")
+E2E_CIRCUITS_QUICK = ("s38417",)
+E2E_SCALE = 0.01
+E2E_PATTERNS = 16
+E2E_PATTERNS_QUICK = 6
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entry(name: str, backend: str, wall: float, evals: float,
+           **params) -> dict:
+    return {
+        "name": name,
+        "backend": backend,
+        "wall_seconds": wall,
+        "gate_evals_per_second": evals / wall if wall > 0 else None,
+        "params": params,
+    }
+
+
+# -- micro-benchmarks --------------------------------------------------------------
+
+
+def _merge_workload(lanes: int, capacity: int = 8, seed: int = 6):
+    """The synthetic XOR2 thread group of ``bench_kernels.py``."""
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0, 1e-9, size=(2, lanes, capacity)), axis=2)
+    counts = rng.integers(0, capacity, size=(2, lanes))
+    mask = np.arange(capacity)[None, None, :] >= counts[:, :, None]
+    times[mask] = np.inf
+    initial = rng.integers(0, 2, size=(2, lanes)).astype(np.uint8)
+    delays = rng.uniform(1e-12, 5e-12, size=(2, 2, lanes))
+    tables = np.full(lanes, 0b0110, dtype=np.int64)
+    return times, initial, delays, tables
+
+
+def bench_merge_kernel(backend_name: str, lanes: int,
+                       repeats: int = 5) -> dict:
+    """``waveform_merge_kernel`` throughput: one 2-input thread group."""
+    backend = resolve_backend(backend_name)
+    times, initial, delays, tables = _merge_workload(lanes)
+    out_capacity = 32
+
+    def call():
+        backend.merge_kernel(times, initial, delays, tables, out_capacity)
+
+    call()  # warm-up (JIT compilation, cache effects)
+    wall = _best_of(call, repeats)
+    return _entry("waveform_merge_kernel", backend.name, wall, lanes,
+                  lanes=lanes, capacity=out_capacity)
+
+
+def bench_delay_kernel(backend_name: str, kernel_table, gates: int,
+                       repeats: int = 5) -> dict:
+    """Online delay calculation: ``gates`` gates × 8 voltages."""
+    backend = resolve_backend(backend_name)
+    rng = np.random.default_rng(5)
+    type_ids = rng.integers(0, kernel_table.num_types, size=gates)
+    loads = rng.uniform(1e-15, 1e-13, size=gates)
+    nominal = rng.uniform(1e-12, 2e-11,
+                          size=(gates, kernel_table.max_pins, 2))
+    voltages = np.linspace(0.55, 1.1, 8)
+
+    def call():
+        backend.delays_for_gates(kernel_table, type_ids, loads, nominal,
+                                 voltages)
+
+    call()
+    wall = _best_of(call, repeats)
+    return _entry("delays_for_gates", backend.name, wall,
+                  gates * voltages.size, gates=gates,
+                  voltages=int(voltages.size))
+
+
+# -- end-to-end --------------------------------------------------------------------
+
+
+def bench_end_to_end(backend_name: str, circuit_name: str, scale: float,
+                     num_patterns: int, parametric: bool,
+                     repeats: int = 2) -> dict:
+    """Whole-engine run on a scaled Table I circuit."""
+    from repro.experiments.common import default_kernel_table, default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.gpu import GpuWaveSim
+
+    workload = prepare_workload(circuit_name, scale=scale)
+    library = default_library()
+    kernel_table = default_kernel_table(3) if parametric else None
+    pairs = workload.patterns.pairs[:num_patterns]
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled,
+                     config=SimulationConfig(backend=backend_name))
+    results = []
+
+    def call():
+        results.append(sim.run(pairs, kernel_table=kernel_table))
+
+    call()
+    wall = _best_of(call, repeats)
+    evals = results[-1].gate_evaluations
+    mode = "parametric" if parametric else "static"
+    return _entry(f"e2e_{circuit_name}_{mode}", sim.backend.name, wall, evals,
+                  circuit=circuit_name, scale=scale, patterns=len(pairs),
+                  gate_evaluations=int(evals))
+
+
+# -- suite -------------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False,
+              backends: Optional[Sequence[str]] = None,
+              include_e2e: bool = True) -> dict:
+    """Record all benchmarks across ``backends`` (default: available)."""
+    chosen = list(backends) if backends else available_backends()
+    benchmarks: List[dict] = []
+
+    lanes = MERGE_LANES_QUICK if quick else MERGE_LANES
+    for name in chosen:
+        benchmarks.append(bench_merge_kernel(name, lanes))
+
+    gates = DELAY_GATES_QUICK if quick else DELAY_GATES
+    kernel_table = None
+    if include_e2e:
+        from repro.experiments.common import default_kernel_table
+        kernel_table = default_kernel_table(3)
+        for name in chosen:
+            benchmarks.append(bench_delay_kernel(name, kernel_table, gates))
+
+        circuits = E2E_CIRCUITS_QUICK if quick else E2E_CIRCUITS
+        patterns = E2E_PATTERNS_QUICK if quick else E2E_PATTERNS
+        for circuit in circuits:
+            for parametric in ((False,) if quick else (False, True)):
+                for name in chosen:
+                    benchmarks.append(bench_end_to_end(
+                        name, circuit, E2E_SCALE, patterns, parametric))
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "recorded_unix": time.time(),
+        "quick": quick,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "backends": backend_status(),
+        },
+        "benchmarks": benchmarks,
+        "speedups": _speedups(benchmarks),
+    }
+
+
+def _speedups(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
+    """Per benchmark name: wall(numpy) / wall(backend)."""
+    by_name: Dict[str, Dict[str, float]] = {}
+    for entry in benchmarks:
+        by_name.setdefault(entry["name"], {})[entry["backend"]] = \
+            entry["wall_seconds"]
+    speedups: Dict[str, Dict[str, float]] = {}
+    for name, walls in by_name.items():
+        base = walls.get("numpy")
+        if base is None:
+            continue
+        speedups[name] = {backend: base / wall
+                          for backend, wall in walls.items() if wall > 0}
+    return speedups
+
+
+# -- persistence / regression gate -------------------------------------------------
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=False)
+        stream.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def compare_reports(current: dict, baseline: dict,
+                    threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Regression check: wall time vs the baseline record.
+
+    Returns one message per benchmark whose wall time exceeds
+    ``baseline * threshold``.  Benchmarks are matched by
+    ``(name, backend)``; entries missing on either side are skipped
+    (machines and backend availability legitimately differ).
+    """
+    previous = {(entry["name"], entry["backend"]): entry["wall_seconds"]
+                for entry in baseline.get("benchmarks", [])}
+    regressions = []
+    for entry in current.get("benchmarks", []):
+        key = (entry["name"], entry["backend"])
+        before = previous.get(key)
+        if before is None or before <= 0:
+            continue
+        ratio = entry["wall_seconds"] / before
+        if ratio > threshold:
+            regressions.append(
+                f"{entry['name']}[{entry['backend']}]: "
+                f"{entry['wall_seconds']:.4f}s vs baseline {before:.4f}s "
+                f"({ratio:.2f}x > {threshold:.2f}x threshold)"
+            )
+    return regressions
+
+
+def _print_summary(report: dict, stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    print(f"recorded {len(report['benchmarks'])} benchmarks "
+          f"({', '.join(sorted(report['machine']['backends']))})",
+          file=stream)
+    for entry in report["benchmarks"]:
+        evals = entry["gate_evals_per_second"]
+        rate = f"{evals / 1e6:8.2f} Meval/s" if evals else "  n/a"
+        print(f"  {entry['name']:32s} {entry['backend']:6s} "
+              f"{entry['wall_seconds'] * 1e3:10.3f} ms {rate}", file=stream)
+    for name, ratios in report.get("speedups", {}).items():
+        interesting = {b: r for b, r in ratios.items() if b != "numpy"}
+        if interesting:
+            text = ", ".join(f"{b} {r:.2f}x" for b, r in interesting.items())
+            print(f"  speedup over numpy — {name}: {text}", file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="record kernel/e2e benchmarks and check for regressions",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes (CI smoke)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"record file (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline record to compare against "
+                             "(default: the previous --output file)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="regression factor on wall time "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated backend subset "
+                             "(default: all available)")
+    parser.add_argument("--no-e2e", action="store_true",
+                        help="kernel micro-benchmarks only (no library "
+                             "characterization, much faster)")
+    parser.add_argument("--no-fail", action="store_true",
+                        help="report regressions but exit 0 (artifact "
+                             "recording on foreign machines)")
+    args = parser.parse_args(argv)
+
+    backends = ([b.strip() for b in args.backends.split(",") if b.strip()]
+                if args.backends else None)
+
+    baseline = None
+    baseline_path = args.baseline or (
+        args.output if os.path.exists(args.output) else None)
+    if baseline_path and os.path.exists(baseline_path):
+        baseline = load_report(baseline_path)
+
+    report = run_suite(quick=args.quick, backends=backends,
+                       include_e2e=not args.no_e2e)
+    _print_summary(report)
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+
+    if baseline is not None:
+        regressions = compare_reports(report, baseline, args.threshold)
+        if regressions:
+            print(f"{len(regressions)} regression(s) vs {baseline_path}:",
+                  file=sys.stderr)
+            for message in regressions:
+                print(f"  {message}", file=sys.stderr)
+            if not args.no_fail:
+                return 3
+        else:
+            print(f"no regressions vs {baseline_path} "
+                  f"(threshold {args.threshold:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

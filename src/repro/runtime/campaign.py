@@ -54,6 +54,7 @@ from repro.runtime.report import (
     ChunkReport,
     RunReport,
 )
+from repro.simulation.backend import resolve_backend
 from repro.simulation.base import PatternPair, SimulationConfig, SimulationResult
 from repro.simulation.compiled import CompiledCircuit, compile_circuit
 from repro.simulation.event_driven import EventDrivenSimulator
@@ -249,6 +250,7 @@ class CampaignRunner:
             chunks=[ChunkReport(index=i, num_slots=indices.size)
                     for i, (indices, _sub) in enumerate(chunks)],
             resumed=resumed,
+            backend=resolve_backend(self.config.backend).name,
         )
 
         waveforms: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots

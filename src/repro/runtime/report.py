@@ -107,6 +107,9 @@ class RunReport:
     wall_seconds: float = 0.0
     resumed: bool = False
     warnings: List[str] = field(default_factory=list)
+    #: Compute backend resolved for the primary engine (``""`` for
+    #: reports predating the backend layer).
+    backend: str = ""
 
     @property
     def num_chunks(self) -> int:
@@ -148,6 +151,7 @@ class RunReport:
             "circuit_name": self.circuit_name,
             "num_slots": self.num_slots,
             "chunk_slots": self.chunk_slots,
+            "backend": self.backend,
             "num_chunks": self.num_chunks,
             "chunks_executed": self.chunks_executed,
             "chunks_from_checkpoint": self.chunks_from_checkpoint,
@@ -169,7 +173,8 @@ class RunReport:
             f"{self.chunks_from_checkpoint}"
             + (" (resumed)" if self.resumed else ""),
             f"  retries {self.total_retries}, degraded chunks "
-            f"{self.degraded_chunks}, engines {self.engines_used() or ['-']}",
+            f"{self.degraded_chunks}, engines {self.engines_used() or ['-']}"
+            + (f", backend {self.backend}" if self.backend else ""),
             f"  wall time {self.wall_seconds:.3f}s",
         ]
         for warning in self.warnings:

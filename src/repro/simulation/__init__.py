@@ -8,6 +8,11 @@
   vectorized across the slot plane of stimuli × operating points.
 """
 
+from repro.simulation.backend import (
+    available_backends,
+    backend_status,
+    resolve_backend,
+)
 from repro.simulation.base import (
     PatternPair,
     SimulationConfig,
@@ -22,6 +27,9 @@ from repro.simulation.multi import MultiDeviceWaveSim
 from repro.simulation.variation import ProcessVariation
 
 __all__ = [
+    "available_backends",
+    "backend_status",
+    "resolve_backend",
     "ProcessVariation",
     "PatternPair",
     "SimulationConfig",

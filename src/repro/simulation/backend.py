@@ -1,0 +1,332 @@
+"""Pluggable compute backends for the hot simulation kernels.
+
+The engine's inner loops — the waveform-merge kernel and the online
+delay calculation (polynomial Horner evaluation, Sec. IV-A) — exist in
+several implementations behind one interface:
+
+* ``numpy``  — the vectorized lockstep port (always available).  All
+  lanes of a thread group advance through their event streams together;
+  a single long-waveform lane keeps every live lane iterating
+  (mitigated, but not removed, by live-set compaction).
+* ``numba``  — ``@njit(parallel=True)`` per-lane scalar loops over
+  ``prange``: each lane runs its own event loop to exhaustion, the shape
+  GATSPI demonstrates for gate-level SIMT throughput.  Includes a JIT
+  Horner evaluator for :meth:`DelayKernelTable.delays_for_gates`.
+  Gated on ``import numba``.
+* ``cext``   — the same per-lane scalar loops as portable C99, compiled
+  on first use with the system C compiler (OpenMP-parallel) and loaded
+  through :mod:`ctypes`.  Covers machines where numba is not installed
+  but a toolchain is.
+* ``auto``   — the best available: numba, else cext, else numpy.  Never
+  an import error.
+
+Selection order: explicit :attr:`SimulationConfig.backend` (e.g. from
+the ``--backend`` CLI flag), else the ``REPRO_BACKEND`` environment
+variable, else ``auto``.
+
+Equivalence guarantee: every backend implements the exact per-lane
+algorithm of :func:`~repro.simulation.kernels.waveform_merge_kernel`
+with identical IEEE-754 operation order, so results are **bit-identical**
+across backends (asserted in ``tests/simulation/test_backend.py``).
+
+Adding a backend: subclass :class:`ComputeBackend`, implement
+``merge_kernel`` (lane-oriented API, used by micro-benchmarks and the
+gather path) and ``merge_group`` (arena API, used by the engine), add a
+loader branch to :func:`_load` and the name to :data:`BACKEND_CHOICES`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.kernels import MergeResult, waveform_merge_kernel
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "AUTO_ORDER",
+    "ComputeBackend",
+    "GroupResult",
+    "NumpyBackend",
+    "available_backends",
+    "backend_status",
+    "resolve_backend",
+]
+
+#: Valid values for ``SimulationConfig.backend`` / ``REPRO_BACKEND``.
+BACKEND_CHOICES = ("auto", "numpy", "numba", "cext")
+
+#: Preference order tried by ``auto``.
+AUTO_ORDER = ("numba", "cext", "numpy")
+
+#: Environment variable consulted when no explicit backend is configured.
+ENV_VAR = "REPRO_BACKEND"
+
+
+@dataclass
+class GroupResult:
+    """Outcome of one arena-level thread-group evaluation."""
+
+    lanes: int            # gate instances evaluated (gates × slots)
+    iterations: int       # kernel loop trips (diagnostics; see note below)
+    overflow_lanes: int   # lanes that exceeded the waveform capacity
+
+    # Note: the numpy backend reports global lockstep iterations, the
+    # per-lane backends report the summed per-lane event count — both
+    # measure kernel work, on different axes.
+
+
+class ComputeBackend:
+    """Interface shared by all kernel implementations."""
+
+    name = "?"
+
+    def merge_kernel(
+        self,
+        input_times: np.ndarray,
+        input_initial: np.ndarray,
+        delays: np.ndarray,
+        truth_tables: np.ndarray,
+        out_capacity: int,
+        inertial: bool = True,
+    ) -> MergeResult:
+        """Lane-oriented merge: same contract as
+        :func:`~repro.simulation.kernels.waveform_merge_kernel`."""
+        raise NotImplementedError
+
+    def merge_group(
+        self,
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        in_ids: np.ndarray,
+        out_ids: np.ndarray,
+        per_voltage: np.ndarray,
+        slot_to_v: np.ndarray,
+        factors: Optional[np.ndarray],
+        truth_tables: np.ndarray,
+        capacity: int,
+        inertial: bool,
+    ) -> GroupResult:
+        """Evaluate one thread group directly against the waveform arena.
+
+        Parameters
+        ----------
+        times_all, initial_all:
+            The ``(nets, slots, capacity)`` toggle-time arena and the
+            ``(nets, slots)`` initial values.  Inputs are read from and
+            outputs written to these arrays in place.
+        in_ids:
+            ``(g, k)`` input net ids per gate of the group.
+        out_ids:
+            ``(g,)`` output net ids.
+        per_voltage:
+            ``(g, k, 2, V)`` pin-to-pin delays per *distinct* voltage.
+        slot_to_v:
+            ``(S,)`` index of each slot's voltage into the ``V`` axis.
+        factors:
+            Optional ``(g, S)`` Monte-Carlo delay factors.
+        truth_tables:
+            ``(g,)`` int64 truth tables.
+
+        On overflow the arena contents for the group's output nets are
+        unspecified — the caller discards the arena and retries at a
+        larger capacity.
+        """
+        raise NotImplementedError
+
+    def delays_for_gates(self, kernel_table, type_ids, loads, nominal_delays,
+                         voltages) -> np.ndarray:
+        """Online delay calculation; same contract as
+        :meth:`DelayKernelTable.delays_for_gates`."""
+        return kernel_table.delays_for_gates(type_ids, loads, nominal_delays,
+                                             voltages)
+
+
+class NumpyBackend(ComputeBackend):
+    """The vectorized lockstep reference implementation."""
+
+    name = "numpy"
+
+    def merge_kernel(self, input_times, input_initial, delays, truth_tables,
+                     out_capacity, inertial=True):
+        return waveform_merge_kernel(input_times, input_initial, delays,
+                                     truth_tables, out_capacity,
+                                     inertial=inertial)
+
+    def merge_group(self, times_all, initial_all, in_ids, out_ids,
+                    per_voltage, slot_to_v, factors, truth_tables, capacity,
+                    inertial):
+        group_size, arity = in_ids.shape
+        num_slots = slot_to_v.size
+        lanes = group_size * num_slots
+
+        # Gather inputs: (g, k, S, C) -> (k, g*S, C).
+        input_times = times_all[in_ids].transpose(1, 0, 2, 3).reshape(
+            arity, lanes, capacity
+        )
+        input_initial = initial_all[in_ids].transpose(1, 0, 2).reshape(
+            arity, lanes
+        )
+
+        delays = per_voltage[..., slot_to_v]                     # (g, k, 2, S)
+        if factors is not None:
+            delays = delays * factors[:, None, None, :]
+        delays = np.ascontiguousarray(delays.transpose(1, 2, 0, 3)).reshape(
+            arity, 2, lanes
+        )
+        lane_tables = np.repeat(truth_tables, num_slots)
+
+        merged = waveform_merge_kernel(input_times, input_initial, delays,
+                                       lane_tables, capacity,
+                                       inertial=inertial)
+        overflow_lanes = int(merged.overflow.sum())
+        if overflow_lanes == 0:
+            times_all[out_ids] = merged.times.reshape(group_size, num_slots,
+                                                      capacity)
+            initial_all[out_ids] = merged.initial.reshape(group_size,
+                                                          num_slots)
+        return GroupResult(lanes=lanes, iterations=merged.iterations,
+                           overflow_lanes=overflow_lanes)
+
+
+class _LaneBackend(ComputeBackend):
+    """Shared shim for the per-lane scalar backends (numba / cext).
+
+    The kernel modules expose a uniform API:
+
+    * ``merge_lanes(times, initial, delays, tables, out_capacity,
+      inertial)`` → ``(initial, times, counts, overflow, iterations)``
+    * ``merge_group(times_all, initial_all, in_ids, out_ids, per_voltage,
+      slot_to_v, factors, tables, capacity, inertial)``
+      → ``(overflow_lanes, iterations)``
+    """
+
+    def __init__(self, kernels) -> None:
+        self._kernels = kernels
+
+    def merge_kernel(self, input_times, input_initial, delays, truth_tables,
+                     out_capacity, inertial=True):
+        k, num_lanes, _ = input_times.shape
+        if input_initial.shape != (k, num_lanes):
+            raise ValueError("input_initial shape mismatch")
+        if delays.shape != (k, 2, num_lanes):
+            raise ValueError("delays shape mismatch")
+        initial, times, counts, overflow, iterations = self._kernels.merge_lanes(
+            input_times, input_initial, delays, truth_tables, out_capacity,
+            inertial,
+        )
+        return MergeResult(initial=initial, times=times, counts=counts,
+                           overflow=overflow, iterations=int(iterations))
+
+    def merge_group(self, times_all, initial_all, in_ids, out_ids,
+                    per_voltage, slot_to_v, factors, truth_tables, capacity,
+                    inertial):
+        lanes = in_ids.shape[0] * slot_to_v.size
+        overflow_lanes, iterations = self._kernels.merge_group(
+            times_all, initial_all, in_ids, out_ids, per_voltage, slot_to_v,
+            factors, truth_tables, capacity, inertial,
+        )
+        return GroupResult(lanes=lanes, iterations=int(iterations),
+                           overflow_lanes=int(overflow_lanes))
+
+
+class NumbaBackend(_LaneBackend):
+    """``@njit(parallel=True)`` per-lane loops (requires numba)."""
+
+    name = "numba"
+
+    def delays_for_gates(self, kernel_table, type_ids, loads, nominal_delays,
+                         voltages):
+        return self._kernels.delays_for_gates(kernel_table, type_ids, loads,
+                                              nominal_delays, voltages)
+
+
+class CextBackend(_LaneBackend):
+    """ctypes-loaded C kernels (requires a working C compiler)."""
+
+    name = "cext"
+
+
+# -- registry ----------------------------------------------------------------------
+
+_CACHE: Dict[str, ComputeBackend] = {}
+_FAILURES: Dict[str, str] = {}
+
+
+def _clear_caches() -> None:
+    """Forget loaded backends and failure reasons (for tests)."""
+    _CACHE.clear()
+    _FAILURES.clear()
+
+
+def _load(name: str) -> Optional[ComputeBackend]:
+    """Load a concrete backend, caching both successes and failures."""
+    if name in _CACHE:
+        return _CACHE[name]
+    if name in _FAILURES:
+        return None
+    try:
+        if name == "numpy":
+            backend: ComputeBackend = NumpyBackend()
+        elif name == "numba":
+            from repro.simulation import kernels_numba
+            backend = NumbaBackend(kernels_numba)
+        elif name == "cext":
+            from repro.simulation import kernels_cext
+            backend = CextBackend(kernels_cext.load())
+        else:  # pragma: no cover - guarded by resolve_backend
+            raise SimulationError(f"unknown backend {name!r}")
+    except Exception as error:  # gated dependency missing / build failure
+        _FAILURES[name] = f"{type(error).__name__}: {error}"
+        return None
+    _CACHE[name] = backend
+    return backend
+
+
+def resolve_backend(name: Optional[str] = None) -> ComputeBackend:
+    """Resolve a backend by name, env var or ``auto`` preference.
+
+    ``auto`` silently falls back along :data:`AUTO_ORDER` and can never
+    fail (numpy always loads); a concrete name raises
+    :class:`~repro.errors.SimulationError` when its dependency is
+    missing.
+    """
+    requested = (name or os.environ.get(ENV_VAR) or "auto").strip().lower()
+    if requested not in BACKEND_CHOICES:
+        raise SimulationError(
+            f"unknown compute backend {requested!r} "
+            f"(choose from {', '.join(BACKEND_CHOICES)})"
+        )
+    if requested == "auto":
+        for candidate in AUTO_ORDER:
+            backend = _load(candidate)
+            if backend is not None:
+                return backend
+        raise SimulationError(  # pragma: no cover - numpy always loads
+            "no compute backend available"
+        )
+    backend = _load(requested)
+    if backend is None:
+        raise SimulationError(
+            f"compute backend {requested!r} is unavailable "
+            f"({_FAILURES[requested]}); use backend='auto' for automatic "
+            f"fallback"
+        )
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Names of the concrete backends that load on this machine."""
+    return [name for name in BACKEND_CHOICES[1:] if _load(name) is not None]
+
+
+def backend_status() -> Dict[str, str]:
+    """Per-backend availability ("ok" or the load-failure reason)."""
+    status = {}
+    for name in BACKEND_CHOICES[1:]:
+        status[name] = "ok" if _load(name) is not None else _FAILURES[name]
+    return status

@@ -108,14 +108,23 @@ class SimulationConfig:
     record_all_nets:
         Keep every net's waveforms (needed for switching-activity
         analysis); otherwise only primary outputs are retained.
+    backend:
+        Compute backend executing the hot kernels: ``"numpy"``,
+        ``"numba"``, ``"cext"`` or ``"auto"`` (best available, never an
+        import error).  ``None`` (default) defers to the
+        ``REPRO_BACKEND`` environment variable, then ``auto``.  See
+        :mod:`repro.simulation.backend`.
     """
 
     pulse_filtering: str = "inertial"
     waveform_capacity: int = 16
     grow_on_overflow: bool = True
     record_all_nets: bool = False
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.simulation.backend import BACKEND_CHOICES
+
         if self.pulse_filtering not in ("inertial", "transport"):
             raise ValueError(
                 f"pulse_filtering must be 'inertial' or 'transport', "
@@ -123,6 +132,11 @@ class SimulationConfig:
             )
         if self.waveform_capacity < 2:
             raise ValueError("waveform capacity must be at least 2")
+        if self.backend is not None and self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_CHOICES} or None, "
+                f"got {self.backend!r}"
+            )
 
 
 @dataclass

@@ -21,7 +21,15 @@ three dimensions of parallelism map onto array axes:
 
 Waveform memory is a dense ``(nets, slots, capacity)`` float64 array with
 ``+inf`` termination, like the GPU global-memory layout.  Overflowing
-batches are re-run with doubled capacity (configurable).
+batches are re-run with doubled capacity (configurable); the batch is
+re-sized at the grown capacity so the memory budget holds on retries.
+
+The kernels themselves are pluggable (:mod:`repro.simulation.backend`):
+the vectorized lockstep numpy port, JIT-compiled per-lane loops (numba),
+or compiled C (cext).  The JIT backends consume per-gate net-id index
+arrays and read/write the waveform arena in place, skipping the
+``(k, lanes, capacity)`` gather copy and the output reshape of the numpy
+path entirely.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.core.delay_kernel import DelayKernelTable
 from repro.errors import SimulationError, WaveformOverflowError
 from repro.netlist.circuit import Circuit
 from repro.netlist.sdf import SdfAnnotation
+from repro.simulation.backend import ComputeBackend, resolve_backend
 from repro.simulation.base import (
     LAUNCH_TIME,
     PatternPair,
@@ -45,7 +54,6 @@ from repro.simulation.base import (
 )
 from repro.simulation.compiled import CompiledCircuit, compile_circuit
 from repro.simulation.grid import SlotPlan
-from repro.simulation.kernels import waveform_merge_kernel
 from repro.waveform.waveform import Waveform
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +80,7 @@ class _BatchStats:
     kernel_iterations: int = 0
     retries: int = 0
     batches: int = 0
+    backend: str = ""
 
 
 class GpuWaveSim:
@@ -83,6 +92,10 @@ class GpuWaveSim:
         ``False`` (default): one kernel call per level with padded truth
         tables.  ``True``: split levels into per-arity groups (smaller
         calls, no padding overhead) — kept for the ablation benchmark.
+
+    The compute backend executing the kernels follows
+    ``config.backend`` / the ``REPRO_BACKEND`` environment variable
+    (default ``auto``; see :mod:`repro.simulation.backend`).
     """
 
     def __init__(
@@ -100,6 +113,7 @@ class GpuWaveSim:
         self.compiled = compiled or compile_circuit(circuit, library, annotation, loads)
         self.memory_budget = memory_budget
         self.group_by_arity = group_by_arity
+        self.backend: ComputeBackend = resolve_backend(self.config.backend)
         self.last_stats: Optional[_BatchStats] = None
 
     # -- public API ----------------------------------------------------------------
@@ -161,7 +175,7 @@ class GpuWaveSim:
         if v1.shape[1] != len(self.compiled.circuit.inputs):
             raise SimulationError("pattern width does not match circuit inputs")
 
-        stats = _BatchStats()
+        stats = _BatchStats(backend=self.backend.name)
         start = _time.perf_counter()
         waveforms: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots
         max_slots = self._max_batch_slots()
@@ -175,19 +189,21 @@ class GpuWaveSim:
                 waveforms[int(slot)] = batch_waveforms[local]
         runtime = _time.perf_counter() - start
         self.last_stats = stats
+        mode = "gpu-static" if kernel_table is None else "gpu-parametric"
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
             slot_labels=plan.labels(),
             waveforms=waveforms,  # type: ignore[arg-type]
             runtime_seconds=runtime,
             gate_evaluations=stats.gate_evaluations,
-            engine="gpu-static" if kernel_table is None else "gpu-parametric",
+            engine=f"{mode}[{self.backend.name}]",
         )
 
     # -- internals ---------------------------------------------------------------------
 
-    def _max_batch_slots(self) -> int:
-        per_slot = (self.compiled.num_nets + 1) * self.config.waveform_capacity * 8
+    def _max_batch_slots(self, capacity: Optional[int] = None) -> int:
+        capacity = capacity or self.config.waveform_capacity
+        per_slot = (self.compiled.num_nets + 1) * capacity * 8
         return max(4, int(self.memory_budget // max(per_slot, 1)))
 
     def _run_batch(
@@ -201,16 +217,52 @@ class GpuWaveSim:
         global_slots: Optional[np.ndarray] = None,
     ) -> List[Dict[str, Waveform]]:
         capacity = self.config.waveform_capacity
+        # Per-voltage delays depend only on (gates, distinct voltages) —
+        # the cache survives capacity-doubling retries and budget splits,
+        # so overflow recovery never re-evaluates the polynomials.
+        delay_cache: Optional[Dict] = {} if kernel_table is not None else None
         while True:
             try:
-                return self._run_batch_at_capacity(v1, v2, plan, kernel_table,
-                                                   capacity, stats, variation,
-                                                   global_slots)
+                return self._run_batch_within_budget(
+                    v1, v2, plan, kernel_table, capacity, stats, variation,
+                    global_slots, delay_cache)
             except WaveformOverflowError:
                 if not self.config.grow_on_overflow or capacity >= MAX_CAPACITY:
                     raise
                 capacity *= 2
                 stats.retries += 1
+
+    def _run_batch_within_budget(
+        self,
+        v1: np.ndarray,
+        v2: np.ndarray,
+        plan: SlotPlan,
+        kernel_table: Optional[DelayKernelTable],
+        capacity: int,
+        stats: _BatchStats,
+        variation: Optional["ProcessVariation"],
+        global_slots: Optional[np.ndarray],
+        delay_cache: Optional[Dict],
+    ) -> List[Dict[str, Waveform]]:
+        """Run one batch at the given capacity, re-chunking first if the
+        grown capacity would blow the memory budget (a retried batch is
+        re-sized instead of exceeding ``memory_budget`` by the growth
+        factor)."""
+        max_slots = self._max_batch_slots(capacity)
+        if plan.num_slots <= max_slots:
+            return self._run_batch_at_capacity(
+                v1, v2, plan, kernel_table, capacity, stats, variation,
+                global_slots, delay_cache)
+        if global_slots is None:
+            global_slots = np.arange(plan.num_slots, dtype=np.int64)
+        results: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots
+        for indices, sub_plan in plan.batches(max_slots):
+            sub_waveforms = self._run_batch_at_capacity(
+                v1, v2, sub_plan, kernel_table, capacity, stats, variation,
+                global_slots[indices], delay_cache)
+            for local, slot in enumerate(indices):
+                results[int(slot)] = sub_waveforms[local]
+        return results  # type: ignore[return-value]
 
     def _run_batch_at_capacity(
         self,
@@ -222,6 +274,7 @@ class GpuWaveSim:
         stats: _BatchStats,
         variation: Optional["ProcessVariation"] = None,
         global_slots: Optional[np.ndarray] = None,
+        delay_cache: Optional[Dict] = None,
     ) -> List[Dict[str, Waveform]]:
         compiled = self.compiled
         num_slots = plan.num_slots
@@ -244,6 +297,7 @@ class GpuWaveSim:
         # Parallel instances share delay-function calls: evaluate each
         # distinct voltage once and broadcast to its slots.
         distinct_v, slot_to_v = np.unique(plan.voltages, return_inverse=True)
+        slot_to_v = np.ascontiguousarray(slot_to_v, dtype=np.int64)
 
         # Monte-Carlo die samples: per-gate, per-slot delay factors.
         factors = None
@@ -255,36 +309,98 @@ class GpuWaveSim:
         # Level-wise processing (the vertical grid dimension).
         for level_index, level_gates in enumerate(compiled.levels):
             if self.group_by_arity:
-                for arity, gate_indices in compiled.level_groups[level_index]:
+                for group_index, (arity, gate_indices) in enumerate(
+                        compiled.level_groups[level_index]):
                     self._run_group(
                         gate_indices, arity, times_all, initial_all,
                         distinct_v, slot_to_v, kernel_table, capacity,
                         inertial, stats, padded=False, factors=factors,
+                        delay_cache=delay_cache,
+                        cache_key=(level_index, group_index),
                     )
             else:
                 self._run_group(
                     level_gates, compiled.max_pins, times_all, initial_all,
                     distinct_v, slot_to_v, kernel_table, capacity,
                     inertial, stats, padded=True, factors=factors,
+                    delay_cache=delay_cache, cache_key=(level_index,),
                 )
 
-        # Waveform analysis (Fig. 2 step 4): unpack the requested nets.
-        wanted = (
-            list(compiled.net_index)
-            if self.config.record_all_nets
-            else list(compiled.circuit.outputs)
-        )
+        return self._unpack_waveforms(times_all, initial_all, num_slots)
+
+    def _unpack_waveforms(
+        self,
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        num_slots: int,
+    ) -> List[Dict[str, Waveform]]:
+        """Waveform analysis (Fig. 2 step 4): unpack the requested nets.
+
+        One vectorized pass extracts every finite toggle of every wanted
+        net at once; slots then receive zero-copy slices of the flat
+        array instead of a per-(net, slot) ``isfinite`` + ``copy`` pair.
+        """
+        compiled = self.compiled
+        if self.config.record_all_nets:
+            # Net ids are assigned in net_index insertion order, so the
+            # arena rows are already the wanted nets in order: no gather.
+            wanted = list(compiled.net_index)
+            sub_times = times_all[: compiled.num_nets]
+            initials = initial_all[: compiled.num_nets]
+        else:
+            wanted = list(compiled.circuit.outputs)
+            net_ids = np.asarray([compiled.net_index[n] for n in wanted],
+                                 dtype=np.int64)
+            sub_times = times_all[net_ids]
+            initials = initial_all[net_ids]
+
+        finite = np.isfinite(sub_times)
+        counts = finite.sum(axis=2)                        # (W, S)
+        flat = sub_times[finite]                           # valid toggles only
         result: List[Dict[str, Waveform]] = [dict() for _ in range(num_slots)]
-        for net in wanted:
-            net_id = compiled.net_index[net]
-            rows = times_all[net_id]                       # (S, C)
-            counts = np.sum(np.isfinite(rows), axis=1)
-            initials = initial_all[net_id]
+        position = 0
+        trusted = Waveform.trusted
+        for row, net in enumerate(wanted):
+            row_counts = counts[row].tolist()
+            row_initials = initials[row].tolist()
             for slot in range(num_slots):
-                result[slot][net] = Waveform.trusted(
-                    int(initials[slot]), rows[slot, : counts[slot]].copy()
-                )
+                end = position + row_counts[slot]
+                result[slot][net] = trusted(row_initials[slot],
+                                            flat[position:end])
+                position = end
         return result
+
+    def _group_delays(
+        self,
+        gate_indices: np.ndarray,
+        arity: int,
+        distinct_v: np.ndarray,
+        kernel_table: Optional[DelayKernelTable],
+        delay_cache: Optional[Dict],
+        cache_key: tuple,
+    ) -> np.ndarray:
+        """Per-gate ``(g, arity, 2, V)`` delays per distinct voltage.
+
+        Parametric results are memoized per (group, voltage set): they
+        depend only on the gates and the distinct voltages, never on the
+        waveform capacity, so overflow retries reuse them.
+        """
+        compiled = self.compiled
+        if kernel_table is None:
+            return compiled.nominal_delays[gate_indices, :arity][..., None]
+        key = cache_key + (distinct_v.tobytes(),)
+        if delay_cache is not None and key in delay_cache:
+            return delay_cache[key]
+        per_voltage = self.backend.delays_for_gates(
+            kernel_table,
+            compiled.gate_type_ids[gate_indices],
+            compiled.gate_loads[gate_indices],
+            compiled.nominal_delays[gate_indices],
+            distinct_v,
+        )[:, :arity]                                       # (g, k, 2, V)
+        if delay_cache is not None:
+            delay_cache[key] = per_voltage
+        return per_voltage
 
     def _run_group(
         self,
@@ -300,17 +416,18 @@ class GpuWaveSim:
         stats: _BatchStats,
         padded: bool,
         factors: Optional[np.ndarray] = None,
+        delay_cache: Optional[Dict] = None,
+        cache_key: tuple = (),
     ) -> None:
         """Evaluate one SIMD thread group across all slots.
 
         ``padded=True`` runs a whole level with don't-care-padded truth
         tables and a constant dummy net on spare pins; ``padded=False``
-        runs a same-arity subset natively (ablation mode).
+        runs a same-arity subset natively (ablation mode).  The compute
+        backend does the actual work against the waveform arena.
         """
         compiled = self.compiled
-        num_slots = slot_to_v.size
-        group_size = gate_indices.size
-        if group_size == 0:
+        if gate_indices.size == 0:
             return
         if padded:
             in_ids = compiled.padded_inputs[gate_indices]            # (g, P)
@@ -318,49 +435,22 @@ class GpuWaveSim:
         else:
             in_ids = compiled.gate_inputs[gate_indices, :arity]      # (g, k)
             tables = compiled.truth_tables[gate_indices]
-
-        # Gather inputs: (g, k, S, C) -> (k, g*S, C).
-        lanes = group_size * num_slots
-        input_times = times_all[in_ids].transpose(1, 0, 2, 3).reshape(
-            arity, lanes, capacity
-        )
-        input_initial = initial_all[in_ids].transpose(1, 0, 2).reshape(arity, lanes)
+        out_ids = compiled.gate_output[gate_indices]
 
         # Online delay calculation (Sec. IV-A): adapt the nominal delays
-        # to each slot's operating point, or broadcast them in static mode.
-        nominal = compiled.nominal_delays[gate_indices, :arity]      # (g, k, 2)
-        if kernel_table is None:
-            delays = np.broadcast_to(
-                nominal[..., None], (group_size, arity, 2, num_slots)
-            )
-        else:
-            per_voltage = kernel_table.delays_for_gates(
-                compiled.gate_type_ids[gate_indices],
-                compiled.gate_loads[gate_indices],
-                compiled.nominal_delays[gate_indices],
-                distinct_v,
-            )[:, :arity]                                             # (g, k, 2, V)
-            delays = per_voltage[..., slot_to_v]                     # (g, k, 2, S)
-        if factors is not None:
-            delays = delays * factors[gate_indices][:, None, None, :]
-        delays = np.ascontiguousarray(delays.transpose(1, 2, 0, 3)).reshape(
-            arity, 2, lanes
-        )
+        # to each distinct operating point (static mode: V = 1).
+        per_voltage = self._group_delays(gate_indices, arity, distinct_v,
+                                         kernel_table, delay_cache, cache_key)
+        group_factors = factors[gate_indices] if factors is not None else None
 
-        lane_tables = np.repeat(tables.astype(np.int64), num_slots)
-
-        merged = waveform_merge_kernel(
-            input_times, input_initial, delays, lane_tables, capacity,
-            inertial=inertial,
+        result = self.backend.merge_group(
+            times_all, initial_all, in_ids, out_ids, per_voltage, slot_to_v,
+            group_factors, tables.astype(np.int64), capacity, inertial,
         )
-        stats.gate_evaluations += lanes
+        stats.gate_evaluations += result.lanes
         stats.kernel_calls += 1
-        stats.kernel_iterations += merged.iterations
-        if merged.overflow.any():
+        stats.kernel_iterations += result.iterations
+        if result.overflow_lanes:
             raise WaveformOverflowError(
-                f"{int(merged.overflow.sum())} lanes exceeded capacity {capacity}"
+                f"{result.overflow_lanes} lanes exceeded capacity {capacity}"
             )
-
-        out_ids = compiled.gate_output[gate_indices]
-        times_all[out_ids] = merged.times.reshape(group_size, num_slots, capacity)
-        initial_all[out_ids] = merged.initial.reshape(group_size, num_slots)

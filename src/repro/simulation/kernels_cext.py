@@ -1,0 +1,344 @@
+"""C implementations of the hot kernels, compiled on first use.
+
+The same per-lane scalar event loops as :mod:`kernels_numba`, written in
+portable C99 and built into a shared library with the system C compiler
+(OpenMP-parallel when available, serial otherwise).  The library is
+cached under ``~/.cache/repro`` keyed by a digest of the source and
+compile flags, so compilation happens once per machine.
+
+This backend exists for machines that have a toolchain but no numba:
+the container baking this repository ships gcc but not numba, and the
+benchmark trajectory in ``BENCH_kernels.json`` needs a compiled backend
+to compare against the numpy lockstep kernel.
+
+The per-lane algorithm and IEEE-754 operation order are identical to
+:func:`repro.simulation.kernels.waveform_merge_kernel`, so results are
+bit-identical across backends.
+
+:func:`load` raises on any build/load failure;
+:mod:`repro.simulation.backend` gates on that and falls back.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["load", "merge_lanes", "merge_group"]
+
+INF = np.float64(np.inf)
+
+#: Hard bound on gate arity in the C kernels (padded truth tables are
+#: uint32, so real circuits stay at <= 5 pins).
+MAX_PINS = 16
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+#define MAX_PINS 16
+
+/* Per-lane waveform merge; lane-oriented layout:
+ *   times   (k, L, cin)  delays (k, 2, L)  out_times (L, cout)
+ * out_times must be pre-filled with +inf by the caller. */
+void merge_lanes(const double *times, const uint8_t *initial,
+                 const double *delays, const int64_t *tables,
+                 int64_t k, int64_t L, int64_t cin, int64_t cout,
+                 int32_t inertial,
+                 uint8_t *out_initial, double *out_times,
+                 int64_t *out_counts, uint8_t *out_overflow,
+                 int64_t *out_iterations)
+{
+    int64_t iterations = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64) reduction(+:iterations)
+#endif
+    for (int64_t lane = 0; lane < L; lane++) {
+        int64_t pointers[MAX_PINS];
+        int64_t vals[MAX_PINS];
+        double current[MAX_PINS];
+        const int64_t table = tables[lane];
+        int64_t index = 0;
+        for (int64_t pin = 0; pin < k; pin++) {
+            pointers[pin] = 0;
+            vals[pin] = initial[pin * L + lane];
+            index |= vals[pin] << pin;
+        }
+        int64_t last_target = (table >> index) & 1;
+        out_initial[lane] = (uint8_t)last_target;
+        double *out = out_times + lane * cout;
+        int64_t depth = 0;
+        uint8_t overflow = 0;
+        for (;;) {
+            double now = INFINITY;
+            for (int64_t pin = 0; pin < k; pin++) {
+                double t = pointers[pin] < cin
+                    ? times[(pin * L + lane) * cin + pointers[pin]]
+                    : INFINITY;
+                current[pin] = t;
+                if (t < now) now = t;
+            }
+            if (!(now < INFINITY)) break;
+            iterations++;
+            int64_t causing = -1;
+            for (int64_t pin = 0; pin < k; pin++) {
+                if (current[pin] == now) {
+                    vals[pin] ^= 1;
+                    pointers[pin]++;
+                    if (causing < 0) causing = pin;
+                }
+            }
+            index = 0;
+            for (int64_t pin = 0; pin < k; pin++) index |= vals[pin] << pin;
+            int64_t new_val = (table >> index) & 1;
+            if (new_val == last_target) continue;
+            double delay = delays[(causing * 2 + (1 - new_val)) * L + lane];
+            double t_out = now + delay;
+            double width = inertial ? delay : 0.0;
+            if (depth > 0 && (t_out <= out[depth - 1]
+                              || t_out - out[depth - 1] < width)) {
+                depth--;
+                out[depth] = INFINITY;
+            } else if (depth >= cout) {
+                overflow = 1;
+            } else {
+                out[depth++] = t_out;
+            }
+            last_target ^= 1;
+        }
+        out_counts[lane] = depth;
+        out_overflow[lane] = overflow;
+    }
+    *out_iterations = iterations;
+}
+
+/* Arena-level merge: one thread group evaluated in place against the
+ * (nets, slots, capacity) waveform arena.
+ *   in_ids (g, P)   out_ids (g,)   per_voltage (g, P, 2, V)
+ *   slot_to_v (S,)  factors (g, S) when has_factors  tables (g,) */
+void merge_group(double *times_all, uint8_t *initial_all,
+                 const int64_t *in_ids, const int64_t *out_ids,
+                 const double *per_voltage, const int64_t *slot_to_v,
+                 const double *factors, int32_t has_factors,
+                 const int64_t *tables,
+                 int64_t g, int64_t P, int64_t S, int64_t V, int64_t cap,
+                 int32_t inertial,
+                 int64_t *out_overflow, int64_t *out_iterations)
+{
+    int64_t iterations = 0;
+    int64_t overflow_lanes = 0;
+    const int64_t lanes = g * S;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+:iterations) reduction(+:overflow_lanes)
+#endif
+    for (int64_t lane = 0; lane < lanes; lane++) {
+        const int64_t gate = lane / S;
+        const int64_t slot = lane % S;
+        const int64_t v = slot_to_v[slot];
+        const double factor = has_factors ? factors[gate * S + slot] : 1.0;
+        int64_t pointers[MAX_PINS];
+        int64_t vals[MAX_PINS];
+        double current[MAX_PINS];
+        const double *in_rows[MAX_PINS];
+        const int64_t table = tables[gate];
+        int64_t index = 0;
+        for (int64_t pin = 0; pin < P; pin++) {
+            const int64_t net = in_ids[gate * P + pin];
+            in_rows[pin] = times_all + (net * S + slot) * cap;
+            pointers[pin] = 0;
+            vals[pin] = initial_all[net * S + slot];
+            index |= vals[pin] << pin;
+        }
+        int64_t last_target = (table >> index) & 1;
+        const int64_t out_net = out_ids[gate];
+        initial_all[out_net * S + slot] = (uint8_t)last_target;
+        double *out = times_all + (out_net * S + slot) * cap;
+        int64_t depth = 0;
+        int64_t overflow = 0;
+        for (;;) {
+            double now = INFINITY;
+            for (int64_t pin = 0; pin < P; pin++) {
+                double t = pointers[pin] < cap
+                    ? in_rows[pin][pointers[pin]] : INFINITY;
+                current[pin] = t;
+                if (t < now) now = t;
+            }
+            if (!(now < INFINITY)) break;
+            iterations++;
+            int64_t causing = -1;
+            for (int64_t pin = 0; pin < P; pin++) {
+                if (current[pin] == now) {
+                    vals[pin] ^= 1;
+                    pointers[pin]++;
+                    if (causing < 0) causing = pin;
+                }
+            }
+            index = 0;
+            for (int64_t pin = 0; pin < P; pin++) index |= vals[pin] << pin;
+            int64_t new_val = (table >> index) & 1;
+            if (new_val == last_target) continue;
+            double delay = per_voltage[((gate * P + causing) * 2
+                                        + (1 - new_val)) * V + v];
+            if (has_factors) delay = delay * factor;
+            double t_out = now + delay;
+            double width = inertial ? delay : 0.0;
+            if (depth > 0 && (t_out <= out[depth - 1]
+                              || t_out - out[depth - 1] < width)) {
+                depth--;
+                out[depth] = INFINITY;
+            } else if (depth >= cap) {
+                overflow = 1;
+            } else {
+                out[depth++] = t_out;
+            }
+            last_target ^= 1;
+        }
+        overflow_lanes += overflow;
+    }
+    *out_overflow = overflow_lanes;
+    *out_iterations = iterations;
+}
+"""
+
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c99"]
+
+_lib: Optional[ctypes.CDLL] = None
+
+
+def _cache_dir() -> str:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    path = os.path.join(base, "repro")
+    try:
+        os.makedirs(path, exist_ok=True)
+        return path
+    except OSError:
+        return tempfile.gettempdir()
+
+
+def _compiler() -> str:
+    return os.environ.get("CC", "cc")
+
+
+def _build() -> str:
+    """Compile the kernel library (once per source digest) and return its
+    path."""
+    compiler = _compiler()
+    digest = hashlib.sha256(
+        ("\x00".join([_SOURCE, compiler] + _CFLAGS)).encode("utf-8")
+    ).hexdigest()[:16]
+    lib_path = os.path.join(_cache_dir(), f"repro_kernels_{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    with tempfile.TemporaryDirectory() as workdir:
+        source_path = os.path.join(workdir, "kernels.c")
+        with open(source_path, "w", encoding="utf-8") as stream:
+            stream.write(_SOURCE)
+        build_path = os.path.join(workdir, "kernels.so")
+        # Try OpenMP first; fall back to a serial build.
+        for extra in (["-fopenmp"], []):
+            command = [compiler, *_CFLAGS, *extra, source_path,
+                       "-o", build_path, "-lm"]
+            proc = subprocess.run(command, capture_output=True, text=True)
+            if proc.returncode == 0:
+                break
+        else:
+            raise RuntimeError(
+                f"C kernel build failed with {compiler}: {proc.stderr.strip()}"
+            )
+        os.replace(build_path, lib_path)
+    return lib_path
+
+
+_i64 = ctypes.c_int64
+_i32 = ctypes.c_int32
+_p_f64 = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_p_u8 = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+_p_i64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+
+
+def load():
+    """Build (if needed) and load the C kernel library; returns this
+    module, which then satisfies the backend kernel API."""
+    global _lib
+    if _lib is None:
+        lib = ctypes.CDLL(_build())
+        lib.merge_lanes.argtypes = [
+            _p_f64, _p_u8, _p_f64, _p_i64,
+            _i64, _i64, _i64, _i64, _i32,
+            _p_u8, _p_f64, _p_i64, _p_u8,
+            ctypes.POINTER(_i64),
+        ]
+        lib.merge_lanes.restype = None
+        lib.merge_group.argtypes = [
+            _p_f64, _p_u8, _p_i64, _p_i64, _p_f64, _p_i64,
+            _p_f64, _i32, _p_i64,
+            _i64, _i64, _i64, _i64, _i64, _i32,
+            ctypes.POINTER(_i64), ctypes.POINTER(_i64),
+        ]
+        lib.merge_group.restype = None
+        _lib = lib
+    import sys
+    return sys.modules[__name__]
+
+
+def merge_lanes(input_times, input_initial, delays, tables, out_capacity,
+                inertial):
+    """Lane-oriented merge (see ``waveform_merge_kernel`` for the contract)."""
+    k, num_lanes, _ = input_times.shape
+    if k > MAX_PINS:
+        raise ValueError(f"cext backend supports at most {MAX_PINS} pins")
+    times = np.ascontiguousarray(input_times, dtype=np.float64)
+    initial = np.ascontiguousarray(input_initial, dtype=np.uint8)
+    lane_delays = np.ascontiguousarray(delays, dtype=np.float64)
+    lane_tables = np.ascontiguousarray(tables, dtype=np.int64)
+    out_initial = np.empty(num_lanes, dtype=np.uint8)
+    out_times = np.full((num_lanes, out_capacity), INF, dtype=np.float64)
+    counts = np.zeros(num_lanes, dtype=np.int64)
+    overflow = np.zeros(num_lanes, dtype=np.uint8)
+    iterations = _i64(0)
+    _lib.merge_lanes(
+        times, initial, lane_delays, lane_tables,
+        k, num_lanes, times.shape[2], out_capacity, int(bool(inertial)),
+        out_initial, out_times, counts, overflow, ctypes.byref(iterations),
+    )
+    return out_initial, out_times, counts, overflow.astype(bool), \
+        iterations.value
+
+
+def merge_group(times_all, initial_all, in_ids, out_ids, per_voltage,
+                slot_to_v, factors, tables, capacity, inertial):
+    """Arena-level merge: read inputs from and write outputs into the
+    ``(nets, slots, capacity)`` waveform arena in place."""
+    group_size, arity = in_ids.shape
+    if arity > MAX_PINS:
+        raise ValueError(f"cext backend supports at most {MAX_PINS} pins")
+    num_slots = slot_to_v.size
+    has_factors = factors is not None
+    if factors is None:
+        group_factors = np.zeros((1, 1), dtype=np.float64)
+    else:
+        group_factors = np.ascontiguousarray(factors, dtype=np.float64)
+    per_voltage = np.ascontiguousarray(per_voltage, dtype=np.float64)
+    overflow = _i64(0)
+    iterations = _i64(0)
+    _lib.merge_group(
+        times_all, initial_all,
+        np.ascontiguousarray(in_ids, dtype=np.int64),
+        np.ascontiguousarray(out_ids, dtype=np.int64),
+        per_voltage,
+        np.ascontiguousarray(slot_to_v, dtype=np.int64),
+        group_factors, int(has_factors),
+        np.ascontiguousarray(tables, dtype=np.int64),
+        group_size, arity, num_slots, per_voltage.shape[3], capacity,
+        int(bool(inertial)),
+        ctypes.byref(overflow), ctypes.byref(iterations),
+    )
+    return overflow.value, iterations.value

@@ -71,6 +71,8 @@ def _merge_stats(target: _BatchStats, source: Optional[_BatchStats]) -> None:
     target.kernel_iterations += source.kernel_iterations
     target.retries += source.retries
     target.batches += source.batches
+    if source.backend:
+        target.backend = source.backend
 
 
 class MultiDeviceWaveSim:

@@ -238,7 +238,82 @@ class TestValidation:
                               small_circuit.nets())
 
     def test_engine_labels(self, library, small_circuit, kernel_table):
-        sim = GpuWaveSim(small_circuit, library)
+        """The engine label records delay mode and compute backend."""
+        sim = GpuWaveSim(small_circuit, library,
+                         config=SimulationConfig(backend="numpy"))
         pairs = make_pairs(small_circuit, 2)
-        assert sim.run(pairs).engine == "gpu-static"
-        assert sim.run(pairs, kernel_table=kernel_table).engine == "gpu-parametric"
+        assert sim.run(pairs).engine == "gpu-static[numpy]"
+        assert (sim.run(pairs, kernel_table=kernel_table).engine
+                == "gpu-parametric[numpy]")
+        assert sim.last_stats.backend == "numpy"
+
+
+class TestSatelliteRegressions:
+    def test_overflow_retry_respects_memory_budget(self, library):
+        """A capacity-doubling retry re-sizes the batch so the waveform
+        arena never exceeds the memory budget."""
+        circuit = random_circuit("budget", 12, 200, seed=6)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 16, 6)
+        per_slot_base = (compiled.num_nets + 1) * 2 * 8
+        budget = per_slot_base * 16  # all 16 slots fit at capacity 2 ...
+        sim = GpuWaveSim(circuit, library, compiled=compiled,
+                         memory_budget=budget,
+                         config=SimulationConfig(waveform_capacity=2))
+        seen = []
+        original = GpuWaveSim._run_batch_at_capacity
+
+        def spy(self, v1, v2, plan, kernel_table, capacity, *args, **kwargs):
+            seen.append((plan.num_slots, capacity))
+            return original(self, v1, v2, plan, kernel_table, capacity,
+                            *args, **kwargs)
+
+        sim._run_batch_at_capacity = spy.__get__(sim)
+        result = sim.run(pairs)
+        assert sim.last_stats.retries > 0, "test needs the overflow path"
+        for num_slots, capacity in seen:
+            arena_bytes = (compiled.num_nets + 1) * num_slots * capacity * 8
+            assert arena_bytes <= budget, (num_slots, capacity)
+        # ... and the stitched result still covers every slot.
+        assert result.num_slots == len(pairs)
+        assert all(result.waveforms[s] for s in range(len(pairs)))
+
+    def test_budget_split_matches_unsplit_run(self, library):
+        """Budget-forced re-chunking on retry is result-invariant."""
+        circuit = random_circuit("budget2", 12, 200, seed=6)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 16, 6)
+        config = SimulationConfig(waveform_capacity=2, record_all_nets=True)
+        roomy = GpuWaveSim(circuit, library, compiled=compiled,
+                           config=config).run(pairs)
+        per_slot_base = (compiled.num_nets + 1) * 2 * 8
+        tight = GpuWaveSim(circuit, library, compiled=compiled,
+                           memory_budget=per_slot_base * 16,
+                           config=config).run(pairs)
+        for slot in range(len(pairs)):
+            assert_equivalent(roomy, slot, tight, slot, circuit.nets())
+
+    def test_delay_evaluation_reused_across_retries(self, library,
+                                                    kernel_table):
+        """Per-voltage polynomial evaluation depends only on the gates
+        and distinct voltages — capacity-doubling retries reuse it."""
+        circuit = random_circuit("reuse", 12, 200, seed=6)
+        compiled = compile_circuit(circuit, library)
+        pairs = make_pairs(circuit, 8, 6)
+        sim = GpuWaveSim(circuit, library, compiled=compiled,
+                         config=SimulationConfig(waveform_capacity=2))
+        calls = []
+        original = kernel_table.delays_for_gates
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        kernel_table.delays_for_gates = counting
+        try:
+            sim.run(pairs, kernel_table=kernel_table)
+        finally:
+            kernel_table.delays_for_gates = original
+        assert sim.last_stats.retries > 0, "test needs the overflow path"
+        levels = sum(1 for level in compiled.levels if level.size)
+        assert len(calls) == levels

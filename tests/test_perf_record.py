@@ -1,0 +1,104 @@
+"""Tests for the benchmark-recording harness (``repro.perf.record``)."""
+
+import json
+
+import pytest
+
+from repro.perf import record
+
+
+class TestMicroBenchmarks:
+    def test_merge_kernel_entry(self):
+        entry = record.bench_merge_kernel("numpy", lanes=64, repeats=1)
+        assert entry["name"] == "waveform_merge_kernel"
+        assert entry["backend"] == "numpy"
+        assert entry["wall_seconds"] > 0
+        assert entry["gate_evals_per_second"] > 0
+        assert entry["params"]["lanes"] == 64
+
+    def test_delay_kernel_entry(self, kernel_table):
+        entry = record.bench_delay_kernel("numpy", kernel_table, gates=16,
+                                          repeats=1)
+        assert entry["name"] == "delays_for_gates"
+        assert entry["backend"] == "numpy"
+        assert entry["wall_seconds"] > 0
+
+
+def make_report(walls):
+    return {"benchmarks": [
+        {"name": name, "backend": backend, "wall_seconds": wall}
+        for (name, backend), wall in walls.items()
+    ]}
+
+
+class TestRegressionGate:
+    def test_no_regression_within_threshold(self):
+        baseline = make_report({("merge", "numpy"): 1.0})
+        current = make_report({("merge", "numpy"): 1.4})
+        assert record.compare_reports(current, baseline, 1.5) == []
+
+    def test_regression_flagged(self):
+        baseline = make_report({("merge", "numpy"): 1.0,
+                                ("merge", "cext"): 0.2})
+        current = make_report({("merge", "numpy"): 1.1,
+                               ("merge", "cext"): 0.5})
+        messages = record.compare_reports(current, baseline, 1.5)
+        assert len(messages) == 1
+        assert "merge[cext]" in messages[0]
+        assert "2.50x" in messages[0]
+
+    def test_unmatched_entries_skipped(self):
+        """Machines legitimately differ in backend availability."""
+        baseline = make_report({("merge", "numba"): 0.1})
+        current = make_report({("merge", "cext"): 5.0})
+        assert record.compare_reports(current, baseline, 1.5) == []
+
+    def test_speedups_relative_to_numpy(self):
+        report = make_report({("merge", "numpy"): 1.0,
+                              ("merge", "cext"): 0.25,
+                              ("delay", "cext"): 0.5})
+        speedups = record._speedups(report["benchmarks"])
+        assert speedups["merge"]["cext"] == pytest.approx(4.0)
+        assert "delay" not in speedups  # no numpy baseline entry
+
+    def test_report_roundtrip(self, tmp_path):
+        report = make_report({("merge", "numpy"): 1.0})
+        path = str(tmp_path / "bench.json")
+        record.write_report(report, path)
+        assert record.load_report(path) == report
+
+
+class TestCli:
+    def test_quick_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = record.main(["--quick", "--no-e2e", "--backends", "numpy",
+                            "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        names = {e["name"] for e in report["benchmarks"]}
+        # --no-e2e skips the delay/e2e benchmarks (they need the full
+        # library characterization) — only the merge kernel remains.
+        assert names == {"waveform_merge_kernel"}
+        assert report["machine"]["backends"]
+        assert "recorded" in capsys.readouterr().out
+
+    def test_second_run_compares_against_first(self, tmp_path):
+        out = tmp_path / "bench.json"
+        argv = ["--quick", "--no-e2e", "--backends", "numpy",
+                "--output", str(out)]
+        assert record.main(argv) == 0
+        # Same machine, same workload: far below any regression threshold.
+        assert record.main(argv + ["--threshold", "100"]) == 0
+
+    def test_regression_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        argv = ["--quick", "--no-e2e", "--backends", "numpy",
+                "--output", str(out)]
+        assert record.main(argv) == 0
+        baseline = json.loads(out.read_text())
+        for entry in baseline["benchmarks"]:
+            entry["wall_seconds"] /= 1e6  # impossible baseline
+        (tmp_path / "fast.json").write_text(json.dumps(baseline))
+        argv_vs = argv + ["--baseline", str(tmp_path / "fast.json")]
+        assert record.main(argv_vs) == 3
+        assert record.main(argv_vs + ["--no-fail"]) == 0
