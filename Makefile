@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-pytest experiments examples clean
+.PHONY: install test lint bench bench-pytest experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Critical-error lint gate (rule subset in pyproject.toml).
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 # Record the benchmark trajectory (BENCH_kernels.json) across the
 # available compute backends and flag wall-time regressions.

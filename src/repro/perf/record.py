@@ -20,8 +20,14 @@ Report schema (version 1)::
          "gate_evals_per_second": ..., "params": {...}},
         ...
       ],
-      "speedups": {benchmark-name: {backend: numpy_wall / backend_wall}}
+      "speedups": {benchmark-name: {backend: numpy_wall / backend_wall}},
+      "pruning_speedups": {scenario: {backend: dense_wall / sparse_wall}}
     }
+
+The low-activity scenario (``e2e_*_lowact_{sparse,dense}``) runs the
+same stimulus — mostly quiet pattern pairs — once with activity pruning
+and once dense; ``pruning_speedups`` records the end-to-end win of
+skipping quiet lanes.
 
 Wall times are best-of-N (minimum over repeats) — the standard way to
 suppress scheduler noise in micro-benchmarks.
@@ -50,6 +56,7 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "bench_end_to_end",
     "bench_delay_kernel",
+    "bench_low_activity",
     "bench_merge_kernel",
     "compare_reports",
     "load_report",
@@ -79,6 +86,16 @@ E2E_CIRCUITS_QUICK = ("s38417",)
 E2E_SCALE = 0.01
 E2E_PATTERNS = 16
 E2E_PATTERNS_QUICK = 6
+
+#: Low-activity scenario: one pair in LOWACT_ACTIVE_EVERY launches
+#: transitions, the rest are quiet (v2 == v1) — the regime activity
+#: pruning targets.  A wide slot plane on a larger circuit scale, so
+#: per-lane kernel work and arena traffic (what pruning removes)
+#: dominate the per-level dispatch overhead (which it cannot).
+LOWACT_ACTIVE_EVERY = 8
+LOWACT_SCALE = 0.1
+LOWACT_PATTERNS = 256
+LOWACT_PATTERNS_QUICK = 64
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -187,6 +204,57 @@ def bench_end_to_end(backend_name: str, circuit_name: str, scale: float,
                   gate_evaluations=int(evals))
 
 
+def _low_activity_pairs(pairs, num_patterns: int):
+    """Mostly-quiet stimulus: every LOWACT_ACTIVE_EVERY-th pair is a real
+    transition pattern, the rest hold their first vector (no toggles)."""
+    from repro.simulation.base import PatternPair
+
+    out = []
+    for i in range(num_patterns):
+        source = pairs[i % len(pairs)]
+        if i % LOWACT_ACTIVE_EVERY == 0:
+            out.append(source)
+        else:
+            out.append(PatternPair(source.v1, source.v1.copy()))
+    return out
+
+
+def bench_low_activity(backend_name: str, circuit_name: str, scale: float,
+                       num_patterns: int, repeats: int = 2) -> List[dict]:
+    """Sparse-vs-dense pair on a mostly-quiet stimulus (two entries)."""
+    from repro.experiments.common import default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.gpu import GpuWaveSim
+
+    workload = prepare_workload(circuit_name, scale=scale)
+    library = default_library()
+    pairs = _low_activity_pairs(workload.patterns.pairs, num_patterns)
+    entries = []
+    for prune in (True, False):
+        sim = GpuWaveSim(workload.circuit, library,
+                         compiled=workload.compiled,
+                         config=SimulationConfig(backend=backend_name,
+                                                 prune_inactive=prune))
+        results = []
+
+        def call():
+            results.append(sim.run(pairs))
+
+        call()
+        wall = _best_of(call, repeats)
+        evals = results[-1].gate_evaluations
+        stats = sim.last_stats
+        mode = "sparse" if prune else "dense"
+        entries.append(_entry(
+            f"e2e_{circuit_name}_lowact_{mode}", sim.backend.name, wall,
+            evals, circuit=circuit_name, scale=scale, patterns=len(pairs),
+            gate_evaluations=int(evals),
+            lanes_skipped=int(stats.lanes_skipped),
+            active_fraction=round(stats.active_fraction, 4)))
+    return entries
+
+
 # -- suite -------------------------------------------------------------------------
 
 
@@ -217,6 +285,12 @@ def run_suite(quick: bool = False,
                     benchmarks.append(bench_end_to_end(
                         name, circuit, E2E_SCALE, patterns, parametric))
 
+        lowact = LOWACT_PATTERNS_QUICK if quick else LOWACT_PATTERNS
+        for circuit in circuits:
+            for name in chosen:
+                benchmarks.extend(bench_low_activity(
+                    name, circuit, LOWACT_SCALE, lowact))
+
     return {
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": time.time(),
@@ -230,6 +304,7 @@ def run_suite(quick: bool = False,
         },
         "benchmarks": benchmarks,
         "speedups": _speedups(benchmarks),
+        "pruning_speedups": _pruning_speedups(benchmarks),
     }
 
 
@@ -246,6 +321,25 @@ def _speedups(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
             continue
         speedups[name] = {backend: base / wall
                           for backend, wall in walls.items() if wall > 0}
+    return speedups
+
+
+def _pruning_speedups(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
+    """Per low-activity scenario: wall(dense) / wall(sparse), by backend."""
+    walls: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for entry in benchmarks:
+        name = entry["name"]
+        for suffix in ("_sparse", "_dense"):
+            if name.endswith(suffix):
+                scenario = name[:-len(suffix)]
+                walls.setdefault(scenario, {}).setdefault(
+                    entry["backend"], {})[suffix[1:]] = entry["wall_seconds"]
+    speedups: Dict[str, Dict[str, float]] = {}
+    for scenario, per_backend in walls.items():
+        for backend, pair in per_backend.items():
+            if "sparse" in pair and "dense" in pair and pair["sparse"] > 0:
+                speedups.setdefault(scenario, {})[backend] = \
+                    pair["dense"] / pair["sparse"]
     return speedups
 
 
@@ -305,6 +399,9 @@ def _print_summary(report: dict, stream=None) -> None:
         if interesting:
             text = ", ".join(f"{b} {r:.2f}x" for b, r in interesting.items())
             print(f"  speedup over numpy — {name}: {text}", file=stream)
+    for name, ratios in report.get("pruning_speedups", {}).items():
+        text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
+        print(f"  pruning speedup — {name}: {text}", file=stream)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -156,6 +156,7 @@ def _merge_stats(target: _BatchStats, source: Optional[_BatchStats]) -> None:
     target.kernel_iterations += source.kernel_iterations
     target.retries += source.retries
     target.batches += source.batches
+    target.lanes_skipped += source.lanes_skipped
 
 
 class CampaignRunner:
@@ -269,6 +270,8 @@ class CampaignRunner:
         execution.execute(pending)
 
         report.wall_seconds = _time.perf_counter() - start
+        report.gate_evaluations = totals.gate_evaluations
+        report.lanes_skipped = totals.lanes_skipped
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
             slot_labels=plan.labels(),

@@ -110,10 +110,23 @@ class RunReport:
     #: Compute backend resolved for the primary engine (``""`` for
     #: reports predating the backend layer).
     backend: str = ""
+    #: Activity-pruning counters aggregated across every chunk's engine
+    #: stats: lanes dispatched to the compute backends vs quiet lanes
+    #: settled by the truth-table lookup (0 for reports predating sparse
+    #: evaluation, and for event-driven fallback chunks, which have no
+    #: lane accounting).
+    gate_evaluations: int = 0
+    lanes_skipped: int = 0
 
     @property
     def num_chunks(self) -> int:
         return len(self.chunks)
+
+    @property
+    def active_fraction(self) -> float:
+        """Dispatched share of all lanes (1.0 when nothing was skipped)."""
+        total = self.gate_evaluations + self.lanes_skipped
+        return 1.0 if total == 0 else self.gate_evaluations / total
 
     @property
     def chunks_from_checkpoint(self) -> int:
@@ -158,6 +171,9 @@ class RunReport:
             "total_retries": self.total_retries,
             "degraded_chunks": self.degraded_chunks,
             "max_capacity_used": self.max_capacity_used,
+            "gate_evaluations": self.gate_evaluations,
+            "lanes_skipped": self.lanes_skipped,
+            "active_fraction": self.active_fraction,
             "wall_seconds": self.wall_seconds,
             "resumed": self.resumed,
             "warnings": list(self.warnings),
@@ -177,6 +193,10 @@ class RunReport:
             + (f", backend {self.backend}" if self.backend else ""),
             f"  wall time {self.wall_seconds:.3f}s",
         ]
+        if self.lanes_skipped:
+            lines.insert(3, f"  lanes evaluated {self.gate_evaluations}, "
+                            f"skipped {self.lanes_skipped} "
+                            f"(active fraction {self.active_fraction:.3f})")
         for warning in self.warnings:
             lines.append(f"  warning: {warning}")
         return "\n".join(lines)

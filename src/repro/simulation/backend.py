@@ -31,8 +31,10 @@ across backends (asserted in ``tests/simulation/test_backend.py``).
 
 Adding a backend: subclass :class:`ComputeBackend`, implement
 ``merge_kernel`` (lane-oriented API, used by micro-benchmarks and the
-gather path) and ``merge_group`` (arena API, used by the engine), add a
-loader branch to :func:`_load` and the name to :data:`BACKEND_CHOICES`.
+gather path), ``merge_group`` (dense arena API, used by the engine) and
+``merge_group_sparse`` (the lane-compacted arena path driven by the
+engine's activity tracker), add a loader branch to :func:`_load` and
+the name to :data:`BACKEND_CHOICES`.
 """
 
 from __future__ import annotations
@@ -138,6 +140,36 @@ class ComputeBackend:
         """
         raise NotImplementedError
 
+    def merge_group_sparse(
+        self,
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        in_ids: np.ndarray,
+        out_ids: np.ndarray,
+        per_voltage: np.ndarray,
+        slot_to_v: np.ndarray,
+        factors: Optional[np.ndarray],
+        truth_tables: np.ndarray,
+        capacity: int,
+        inertial: bool,
+        lane_gates: np.ndarray,
+        lane_slots: np.ndarray,
+    ) -> GroupResult:
+        """Lane-compacted variant of :meth:`merge_group`.
+
+        Instead of the dense ``gates × slots`` plane, only the lanes
+        listed in ``lane_gates`` / ``lane_slots`` — parallel ``(i,)``
+        index arrays into the group's gate axis and the slot axis — are
+        evaluated.  The engine's activity tracker compacts the plane
+        down to lanes whose inputs actually carry toggles; every other
+        lane's output is a pure logic settle the engine writes itself.
+
+        The per-lane algorithm is the same, so results for dispatched
+        lanes are bit-identical to a dense :meth:`merge_group` call.
+        Output rows of undispatched lanes are left untouched.
+        """
+        raise NotImplementedError
+
     def delays_for_gates(self, kernel_table, type_ids, loads, nominal_delays,
                          voltages) -> np.ndarray:
         """Online delay calculation; same contract as
@@ -192,6 +224,34 @@ class NumpyBackend(ComputeBackend):
         return GroupResult(lanes=lanes, iterations=merged.iterations,
                            overflow_lanes=overflow_lanes)
 
+    def merge_group_sparse(self, times_all, initial_all, in_ids, out_ids,
+                           per_voltage, slot_to_v, factors, truth_tables,
+                           capacity, inertial, lane_gates, lane_slots):
+        lanes = int(lane_gates.size)
+
+        # Gather only the active lanes: (lanes, k, C) -> (k, lanes, C).
+        lane_nets = in_ids[lane_gates]                           # (lanes, k)
+        input_times = np.ascontiguousarray(
+            times_all[lane_nets, lane_slots[:, None]].transpose(1, 0, 2))
+        input_initial = np.ascontiguousarray(
+            initial_all[lane_nets, lane_slots[:, None]].T)       # (k, lanes)
+
+        delays = per_voltage[lane_gates, :, :, slot_to_v[lane_slots]]
+        if factors is not None:                                  # (lanes, k, 2)
+            delays = delays * factors[lane_gates, lane_slots][:, None, None]
+        delays = np.ascontiguousarray(delays.transpose(1, 2, 0))  # (k, 2, lanes)
+        lane_tables = truth_tables[lane_gates]
+
+        merged = waveform_merge_kernel(input_times, input_initial, delays,
+                                       lane_tables, capacity,
+                                       inertial=inertial)
+        overflow_lanes = int(merged.overflow.sum())
+        if overflow_lanes == 0:
+            times_all[out_ids[lane_gates], lane_slots] = merged.times
+            initial_all[out_ids[lane_gates], lane_slots] = merged.initial
+        return GroupResult(lanes=lanes, iterations=merged.iterations,
+                           overflow_lanes=overflow_lanes)
+
 
 class _LaneBackend(ComputeBackend):
     """Shared shim for the per-lane scalar backends (numba / cext).
@@ -203,6 +263,8 @@ class _LaneBackend(ComputeBackend):
     * ``merge_group(times_all, initial_all, in_ids, out_ids, per_voltage,
       slot_to_v, factors, tables, capacity, inertial)``
       → ``(overflow_lanes, iterations)``
+    * ``merge_group_sparse(..., lane_gates, lane_slots)`` — the
+      lane-compacted entry path, same return shape
     """
 
     def __init__(self, kernels) -> None:
@@ -231,6 +293,17 @@ class _LaneBackend(ComputeBackend):
             factors, truth_tables, capacity, inertial,
         )
         return GroupResult(lanes=lanes, iterations=int(iterations),
+                           overflow_lanes=int(overflow_lanes))
+
+    def merge_group_sparse(self, times_all, initial_all, in_ids, out_ids,
+                           per_voltage, slot_to_v, factors, truth_tables,
+                           capacity, inertial, lane_gates, lane_slots):
+        overflow_lanes, iterations = self._kernels.merge_group_sparse(
+            times_all, initial_all, in_ids, out_ids, per_voltage, slot_to_v,
+            factors, truth_tables, capacity, inertial, lane_gates, lane_slots,
+        )
+        return GroupResult(lanes=int(lane_gates.size),
+                           iterations=int(iterations),
                            overflow_lanes=int(overflow_lanes))
 
 

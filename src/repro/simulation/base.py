@@ -114,6 +114,14 @@ class SimulationConfig:
         import error).  ``None`` (default) defers to the
         ``REPRO_BACKEND`` environment variable, then ``auto``.  See
         :mod:`repro.simulation.backend`.
+    prune_inactive:
+        Activity-driven sparse evaluation (default on): lanes whose
+        input nets carry no toggles in a slot are not dispatched to the
+        compute backend — their settled output value is written by a
+        vectorized truth-table lookup instead.  Results are bit-identical
+        either way; only ``gate_evaluations`` / ``lanes_skipped``
+        accounting and throughput change.  Turn off for dense-dispatch
+        benchmarking or ablation.
     """
 
     pulse_filtering: str = "inertial"
@@ -121,6 +129,7 @@ class SimulationConfig:
     grow_on_overflow: bool = True
     record_all_nets: bool = False
     backend: Optional[str] = None
+    prune_inactive: bool = True
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import BACKEND_CHOICES

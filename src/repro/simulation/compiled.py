@@ -73,6 +73,19 @@ class CompiledCircuit:
     dummy_net_id: int                # constant-0 net fed to spare pins
     levels: List[np.ndarray]         # gate indices per level
     level_groups: List[List[Tuple[int, np.ndarray]]]  # per level: (arity, gate idx)
+    #: int64 views of the truth tables, in the exact dtype the kernel
+    #: backends consume — gathered per gate group without a per-call
+    #: ``astype`` reallocation.
+    truth_tables_i64: np.ndarray         # (G,) int64
+    padded_truth_tables_i64: np.ndarray  # (G,) int64
+    #: Per-level fanin bookkeeping: the padded input net ids, output net
+    #: ids and int64 truth tables of each level's gates, gathered once at
+    #: compile time (the engine reads them per level, per batch, per
+    #: overflow retry — and the activity tracker derives its per-(gate,
+    #: slot) active mask from ``level_inputs``).
+    level_inputs: List[np.ndarray]   # per level: (g, max_pins) net ids
+    level_outputs: List[np.ndarray]  # per level: (g,) net ids
+    level_tables: List[np.ndarray]   # per level: (g,) int64 padded tables
 
     @property
     def num_gates(self) -> int:
@@ -157,6 +170,8 @@ def compile_circuit(
              for arity, indices in sorted(groups.items())]
         )
 
+    padded_tables_i64 = padded_tables.astype(np.int64)
+
     return CompiledCircuit(
         circuit=circuit,
         library=library,
@@ -176,4 +191,9 @@ def compile_circuit(
         dummy_net_id=dummy_net_id,
         levels=levels,
         level_groups=level_groups,
+        truth_tables_i64=truth_tables.astype(np.int64),
+        padded_truth_tables_i64=padded_tables_i64,
+        level_inputs=[padded_inputs[bucket] for bucket in levels],
+        level_outputs=[gate_output[bucket] for bucket in levels],
+        level_tables=[padded_tables_i64[bucket] for bucket in levels],
     )

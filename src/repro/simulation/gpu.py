@@ -23,6 +23,23 @@ Waveform memory is a dense ``(nets, slots, capacity)`` float64 array with
 ``+inf`` termination, like the GPU global-memory layout.  Overflowing
 batches are re-run with doubled capacity (configurable); the batch is
 re-sized at the grown capacity so the memory budget holds on retries.
+The arena is *pooled* per engine instance: successive batches reset the
+same allocation in place instead of re-allocating (and re-faulting) up
+to a gigabyte per batch.
+
+On realistic low-activity stimuli most lanes carry zero input toggles —
+their output is a pure logic settle with no waveform work.  The engine
+therefore prunes at two slot-classified granularities: slots whose
+stimulus launches no toggle at all settle in one vectorized truth-table
+sweep and never touch the arena, and slots toggling only a small
+fraction of their inputs run with per-(net, slot) activity tracking —
+the per-(gate, slot) active mask is derived before each level and only
+active lanes are dispatched to the backend (the lane-compaction path
+GATSPI demonstrates as the dominant speedup lever for gate-level GPU
+simulation).  High-toggle slots run the plain dense path, where mask
+bookkeeping could not pay for itself.  Quiet lanes get their settled
+output value from a vectorized truth-table lookup; results are
+bit-identical to dense evaluation (``config.prune_inactive=False``).
 
 The kernels themselves are pluggable (:mod:`repro.simulation.backend`):
 the vectorized lockstep numpy port, JIT-compiled per-lane loops (numba),
@@ -70,17 +87,80 @@ DEFAULT_MEMORY_BUDGET = 1024 * 1024 * 1024
 #: Hard ceiling for overflow-driven capacity growth.
 MAX_CAPACITY = 4096
 
+#: A thread group takes the lane-compacted sparse path only when its
+#: active lane share is below this fraction; above it the dense kernel
+#: is cheaper (a toggle-free lane settles in about one event-loop
+#: iteration, while compaction pays index bookkeeping per lane).  The
+#: dispatch choice never affects results or the evaluated/skipped lane
+#: accounting — both are derived from the activity mask alone.
+SPARSE_DISPATCH_FRACTION = 0.5
+
+#: Slots toggling at least this fraction of the primary inputs skip
+#: lane-grained activity tracking entirely — activity spreads so wide
+#: that the per-level mask bookkeeping cannot pay for itself, so they
+#: run the plain dense path (and count every lane as evaluated).  The
+#: classification is per slot, keeping the accounting invariant across
+#: backends and slot-plane chunkings.
+LANE_TRACK_INPUT_FRACTION = 0.25
+
 
 @dataclass
 class _BatchStats:
-    """Per-run engine diagnostics."""
+    """Per-run engine diagnostics.
+
+    With activity pruning enabled, ``lanes_skipped`` counts the quiet
+    lanes settled by truth-table lookup instead of kernel work — whole
+    quiet slots plus, in lane-tracked slots, lanes whose inputs carry no
+    toggles — and ``gate_evaluations`` the rest;
+    ``gate_evaluations + lanes_skipped`` equals the dense lane count,
+    and the split is invariant across backends and slot-plane chunkings
+    (each lane's class depends only on its own slot's stimulus).
+    """
 
     gate_evaluations: int = 0
     kernel_calls: int = 0
     kernel_iterations: int = 0
     retries: int = 0
     batches: int = 0
+    lanes_skipped: int = 0
     backend: str = ""
+
+    @property
+    def active_fraction(self) -> float:
+        """Dispatched share of all lanes (1.0 when nothing was skipped)."""
+        total = self.gate_evaluations + self.lanes_skipped
+        return 1.0 if total == 0 else self.gate_evaluations / total
+
+
+class _ArenaPool:
+    """Reusable backing store for the waveform arena.
+
+    A batch needs a ``(nets, slots, capacity)`` float64 toggle-time
+    array (+inf filled) and a ``(nets, slots)`` uint8 initial-value
+    array.  Allocating these per batch costs up to ``memory_budget``
+    bytes of fresh pages each time; the pool keeps one flat buffer per
+    dtype and hands out reset-in-place views instead.  Safe because the
+    engine copies every surviving toggle out of the arena during
+    waveform unpack (fancy indexing) before the next acquire.
+    """
+
+    def __init__(self) -> None:
+        self._times: Optional[np.ndarray] = None
+        self._initial: Optional[np.ndarray] = None
+
+    def acquire(self, nets: int, slots: int, capacity: int):
+        """A zeroed ``(times, initial)`` arena pair of the given shape."""
+        n_times = nets * slots * capacity
+        if self._times is None or self._times.size < n_times:
+            self._times = np.empty(n_times, dtype=np.float64)
+        times = self._times[:n_times].reshape(nets, slots, capacity)
+        times.fill(INF)
+        n_initial = nets * slots
+        if self._initial is None or self._initial.size < n_initial:
+            self._initial = np.empty(n_initial, dtype=np.uint8)
+        initial = self._initial[:n_initial].reshape(nets, slots)
+        initial.fill(0)
+        return times, initial
 
 
 class GpuWaveSim:
@@ -115,6 +195,7 @@ class GpuWaveSim:
         self.group_by_arity = group_by_arity
         self.backend: ComputeBackend = resolve_backend(self.config.backend)
         self.last_stats: Optional[_BatchStats] = None
+        self._arena_pool = _ArenaPool()
 
     # -- public API ----------------------------------------------------------------
 
@@ -190,13 +271,14 @@ class GpuWaveSim:
         runtime = _time.perf_counter() - start
         self.last_stats = stats
         mode = "gpu-static" if kernel_table is None else "gpu-parametric"
+        sparse = ",sparse" if self.config.prune_inactive else ""
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
             slot_labels=plan.labels(),
             waveforms=waveforms,  # type: ignore[arg-type]
             runtime_seconds=runtime,
             gate_evaluations=stats.gate_evaluations,
-            engine=f"{mode}[{self.backend.name}]",
+            engine=f"{mode}[{self.backend.name}{sparse}]",
         )
 
     # -- internals ---------------------------------------------------------------------
@@ -280,19 +362,50 @@ class GpuWaveSim:
         num_slots = plan.num_slots
         inertial = self.config.pulse_filtering == "inertial"
 
-        # Waveform memory: (nets + dummy, slots, capacity) toggle times.
-        times_all = np.full((compiled.num_nets + 1, num_slots, capacity), INF,
-                            dtype=np.float64)
-        initial_all = np.zeros((compiled.num_nets + 1, num_slots), dtype=np.uint8)
-
         # Load stimuli (Fig. 2 step 3): per slot, its pattern pair.
         pattern_of_slot = plan.pattern_indices
         first = v1[pattern_of_slot]                        # (S, num_inputs)
         toggles = (v1 != v2)[pattern_of_slot]              # (S, num_inputs)
+
+        # Slot-grained pruning: classify each slot by its input-toggle
+        # fraction.  Quiet slots (zero toggles) never enter the arena or
+        # the level loop; low-toggle slots run with lane-grained
+        # activity tracking; high-toggle slots run the plain dense path
+        # where the per-level mask bookkeeping could not pay for
+        # itself.  The classification is per slot, so the
+        # evaluated/skipped accounting stays invariant across backends
+        # and slot-plane chunkings.
+        track_lanes = False
+        if self.config.prune_inactive:
+            fraction = toggles.mean(axis=1)                # (S,)
+            quiet = fraction == 0.0
+            tracked = ~quiet & (fraction < LANE_TRACK_INPUT_FRACTION)
+            n_quiet = int(np.count_nonzero(quiet))
+            n_tracked = int(np.count_nonzero(tracked))
+            if n_quiet or (0 < n_tracked < num_slots):
+                return self._run_batch_slot_compacted(
+                    v1, v2, plan, kernel_table, capacity, stats, variation,
+                    global_slots, delay_cache, first, quiet, tracked)
+            track_lanes = n_tracked == num_slots
+
+        # Waveform memory: (nets + dummy, slots, capacity) toggle times.
+        # Pooled per engine: batches (and overflow retries) reset the
+        # same allocation in place instead of np.full-ing a fresh one.
+        times_all, initial_all = self._arena_pool.acquire(
+            compiled.num_nets + 1, num_slots, capacity)
+
         initial_all[compiled.input_net_ids] = first.T
         times_all[compiled.input_net_ids, :, 0] = np.where(
             toggles.T, LAUNCH_TIME, INF
         )
+
+        # Toggle activity per (net, slot): a lane is dispatched to the
+        # backend only when at least one of its input nets toggles.
+        activity = None
+        if track_lanes:
+            activity = np.zeros((compiled.num_nets + 1, num_slots),
+                                dtype=bool)
+            activity[compiled.input_net_ids] = toggles.T
 
         # Parallel instances share delay-function calls: evaluate each
         # distinct voltage once and broadcast to its slots.
@@ -312,21 +425,123 @@ class GpuWaveSim:
                 for group_index, (arity, gate_indices) in enumerate(
                         compiled.level_groups[level_index]):
                     self._run_group(
-                        gate_indices, arity, times_all, initial_all,
+                        gate_indices, arity,
+                        compiled.gate_inputs[gate_indices, :arity],
+                        compiled.gate_output[gate_indices],
+                        compiled.truth_tables_i64[gate_indices],
+                        times_all, initial_all,
                         distinct_v, slot_to_v, kernel_table, capacity,
-                        inertial, stats, padded=False, factors=factors,
+                        inertial, stats, factors=factors,
                         delay_cache=delay_cache,
                         cache_key=(level_index, group_index),
+                        activity=activity,
                     )
             else:
                 self._run_group(
-                    level_gates, compiled.max_pins, times_all, initial_all,
+                    level_gates, compiled.max_pins,
+                    compiled.level_inputs[level_index],
+                    compiled.level_outputs[level_index],
+                    compiled.level_tables[level_index],
+                    times_all, initial_all,
                     distinct_v, slot_to_v, kernel_table, capacity,
-                    inertial, stats, padded=True, factors=factors,
+                    inertial, stats, factors=factors,
                     delay_cache=delay_cache, cache_key=(level_index,),
+                    activity=activity,
                 )
 
         return self._unpack_waveforms(times_all, initial_all, num_slots)
+
+    def _run_batch_slot_compacted(
+        self,
+        v1: np.ndarray,
+        v2: np.ndarray,
+        plan: SlotPlan,
+        kernel_table: Optional[DelayKernelTable],
+        capacity: int,
+        stats: _BatchStats,
+        variation: Optional["ProcessVariation"],
+        global_slots: Optional[np.ndarray],
+        delay_cache: Optional[Dict],
+        first: np.ndarray,
+        quiet: np.ndarray,
+        tracked: np.ndarray,
+    ) -> List[Dict[str, Waveform]]:
+        """Split a batch into quiet / lane-tracked / dense slot classes.
+
+        Quiet slots (no launched transition on any input) are settled by
+        :meth:`_settle_logic` — they contribute ``num_gates`` skipped
+        lanes each and never touch the arena.  The tracked and dense
+        subsets re-enter :meth:`_run_batch_at_capacity` on homogeneous
+        slot-compacted plans, so the split never recurses twice.
+        """
+        compiled = self.compiled
+        num_slots = plan.num_slots
+        quiet_idx = np.nonzero(quiet)[0]
+        stats.lanes_skipped += compiled.num_gates * int(quiet_idx.size)
+        if global_slots is None:
+            global_slots = np.arange(num_slots, dtype=np.int64)
+
+        results: List[Optional[Dict[str, Waveform]]] = [None] * num_slots
+        for subset in (np.nonzero(tracked)[0], np.nonzero(~quiet & ~tracked)[0]):
+            if not subset.size:
+                continue
+            sub_plan = SlotPlan(
+                pattern_indices=plan.pattern_indices[subset],
+                voltages=plan.voltages[subset])
+            sub_results = self._run_batch_at_capacity(
+                v1, v2, sub_plan, kernel_table, capacity, stats, variation,
+                global_slots[subset], delay_cache)
+            for local, slot in enumerate(subset):
+                results[int(slot)] = sub_results[local]
+        if quiet_idx.size:
+            settled = self._settle_logic(first[quiet_idx])
+            for local, slot in enumerate(quiet_idx):
+                results[int(slot)] = settled[local]
+        return results  # type: ignore[return-value]
+
+    def _settle_logic(self, first: np.ndarray) -> List[Dict[str, Waveform]]:
+        """Pure logic settle for toggle-free slots.
+
+        One truth-table sweep per level over the ``(gates, quiet_slots)``
+        plane — no waveform arena, no kernel dispatch.  Matches what
+        dense evaluation produces for these slots bit for bit: with zero
+        input toggles every merge degenerates to the same table lookup.
+
+        Slots repeating the same input vector settle identically, so the
+        sweep runs once per *unique* vector and the slots share the
+        (immutable) :class:`Waveform` objects — on realistic campaigns
+        quiet background stimuli repeat heavily.
+        """
+        compiled = self.compiled
+        first, inverse = np.unique(first, axis=0, return_inverse=True)
+        quiet = first.shape[0]
+        initial = np.zeros((compiled.num_nets + 1, quiet), dtype=np.uint8)
+        initial[compiled.input_net_ids] = first.T
+        for level_index in range(len(compiled.levels)):
+            in_ids = compiled.level_inputs[level_index]
+            tables = compiled.level_tables[level_index]
+            out_ids = compiled.level_outputs[level_index]
+            index = np.zeros((in_ids.shape[0], quiet), dtype=np.int64)
+            for pin in range(in_ids.shape[1]):
+                index |= initial[in_ids[:, pin]].astype(np.int64) << pin
+            initial[out_ids] = ((tables[:, None] >> index) & 1).astype(
+                np.uint8)
+        if self.config.record_all_nets:
+            wanted = list(compiled.net_index)
+            values = initial[: compiled.num_nets]
+        else:
+            wanted = list(compiled.circuit.outputs)
+            net_ids = np.asarray([compiled.net_index[n] for n in wanted],
+                                 dtype=np.int64)
+            values = initial[net_ids]
+        no_toggles = np.empty(0, dtype=np.float64)
+        trusted = Waveform.trusted
+        settled: List[Dict[str, Waveform]] = [dict() for _ in range(quiet)]
+        for row, net in enumerate(wanted):
+            row_values = values[row].tolist()
+            for slot in range(quiet):
+                settled[slot][net] = trusted(row_values[slot], no_toggles)
+        return [settled[u].copy() for u in inverse.tolist()]
 
     def _unpack_waveforms(
         self,
@@ -402,10 +617,30 @@ class GpuWaveSim:
             delay_cache[key] = per_voltage
         return per_voltage
 
+    @staticmethod
+    def _settle_group_outputs(
+        in_ids: np.ndarray,
+        out_ids: np.ndarray,
+        tables: np.ndarray,
+        arity: int,
+        initial_all: np.ndarray,
+        num_slots: int,
+    ) -> None:
+        """Write every lane's settled output value into ``initial_all``
+        via one vectorized truth-table lookup over the group plane."""
+        index = np.zeros((in_ids.shape[0], num_slots), dtype=np.int64)
+        for pin in range(arity):
+            index |= initial_all[in_ids[:, pin]].astype(np.int64) << pin
+        initial_all[out_ids] = ((tables[:, None] >> index) & 1).astype(
+            np.uint8)
+
     def _run_group(
         self,
         gate_indices: np.ndarray,
         arity: int,
+        in_ids: np.ndarray,
+        out_ids: np.ndarray,
+        tables: np.ndarray,
         times_all: np.ndarray,
         initial_all: np.ndarray,
         distinct_v: np.ndarray,
@@ -414,28 +649,36 @@ class GpuWaveSim:
         capacity: int,
         inertial: bool,
         stats: _BatchStats,
-        padded: bool,
         factors: Optional[np.ndarray] = None,
         delay_cache: Optional[Dict] = None,
         cache_key: tuple = (),
+        activity: Optional[np.ndarray] = None,
     ) -> None:
         """Evaluate one SIMD thread group across all slots.
 
-        ``padded=True`` runs a whole level with don't-care-padded truth
-        tables and a constant dummy net on spare pins; ``padded=False``
-        runs a same-arity subset natively (ablation mode).  The compute
-        backend does the actual work against the waveform arena.
+        ``in_ids``/``out_ids``/``tables`` are the group's ``(g, k)``
+        input net ids, ``(g,)`` output net ids and ``(g,)`` int64 truth
+        tables — the whole level with don't-care-padded tables and a
+        constant dummy net on spare pins, or a same-arity subset
+        (ablation mode).  The compute backend does the actual work
+        against the waveform arena.
+
+        With ``activity`` (the per-(net, slot) toggle mask), quiet lanes
+        never count as evaluated and their (pooled, +inf-reset) arena
+        row stays empty.  How they settle depends on the group's active
+        share: mostly-quiet groups take the lane-compacted backend path
+        (quiet outputs via a vectorized truth-table lookup, only active
+        lanes dispatched); mostly-active groups dispatch dense, because
+        the kernel settles a toggle-free lane in about one iteration —
+        cheaper than the compaction bookkeeping.  The lane *accounting*
+        is decoupled from the dispatch choice, so the
+        ``gate_evaluations`` / ``lanes_skipped`` split is invariant
+        across backends and slot-plane chunkings either way.
         """
-        compiled = self.compiled
         if gate_indices.size == 0:
             return
-        if padded:
-            in_ids = compiled.padded_inputs[gate_indices]            # (g, P)
-            tables = compiled.padded_truth_tables[gate_indices]
-        else:
-            in_ids = compiled.gate_inputs[gate_indices, :arity]      # (g, k)
-            tables = compiled.truth_tables[gate_indices]
-        out_ids = compiled.gate_output[gate_indices]
+        num_slots = slot_to_v.size
+        total_lanes = in_ids.shape[0] * num_slots
 
         # Online delay calculation (Sec. IV-A): adapt the nominal delays
         # to each distinct operating point (static mode: V = 1).
@@ -443,14 +686,46 @@ class GpuWaveSim:
                                          kernel_table, delay_cache, cache_key)
         group_factors = factors[gate_indices] if factors is not None else None
 
-        result = self.backend.merge_group(
-            times_all, initial_all, in_ids, out_ids, per_voltage, slot_to_v,
-            group_factors, tables.astype(np.int64), capacity, inertial,
-        )
-        stats.gate_evaluations += result.lanes
+        lane_gates = lane_slots = None
+        active_lanes = total_lanes
+        if activity is not None:
+            lane_active = activity[in_ids].any(axis=1)           # (g, S)
+            active_lanes = int(np.count_nonzero(lane_active))
+            stats.lanes_skipped += total_lanes - active_lanes
+            if active_lanes == 0:
+                # Whole group is quiet: settle, outputs stay toggle-free.
+                self._settle_group_outputs(in_ids, out_ids, tables, arity,
+                                           initial_all, num_slots)
+                activity[out_ids] = False
+                return
+            if active_lanes < total_lanes * SPARSE_DISPATCH_FRACTION:
+                # Settle every lane's output from the input initial
+                # values — the same table lookup the kernel performs
+                # before its event loop, so dispatched lanes just
+                # rewrite the same byte.
+                self._settle_group_outputs(in_ids, out_ids, tables, arity,
+                                           initial_all, num_slots)
+                lane_gates, lane_slots = np.nonzero(lane_active)
+
+        if lane_gates is not None:
+            result = self.backend.merge_group_sparse(
+                times_all, initial_all, in_ids, out_ids, per_voltage,
+                slot_to_v, group_factors, tables, capacity, inertial,
+                lane_gates, lane_slots,
+            )
+        else:
+            result = self.backend.merge_group(
+                times_all, initial_all, in_ids, out_ids, per_voltage,
+                slot_to_v, group_factors, tables, capacity, inertial,
+            )
+        stats.gate_evaluations += active_lanes
         stats.kernel_calls += 1
         stats.kernel_iterations += result.iterations
         if result.overflow_lanes:
             raise WaveformOverflowError(
                 f"{result.overflow_lanes} lanes exceeded capacity {capacity}"
             )
+        if activity is not None:
+            # A net is active downstream iff the lane kept >= 1 toggle
+            # (all-cancelled lanes settle back to a quiet output).
+            activity[out_ids] = np.isfinite(times_all[out_ids, :, 0])

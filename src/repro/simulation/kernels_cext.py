@@ -30,7 +30,7 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["load", "merge_lanes", "merge_group"]
+__all__ = ["load", "merge_lanes", "merge_group", "merge_group_sparse"]
 
 INF = np.float64(np.inf)
 
@@ -205,6 +205,95 @@ void merge_group(double *times_all, uint8_t *initial_all,
     *out_overflow = overflow_lanes;
     *out_iterations = iterations;
 }
+
+/* Lane-compacted arena merge: the same per-lane event loop as
+ * merge_group, but only for the (gate, slot) lanes listed in
+ * lane_gates / lane_slots (parallel arrays of length L).  Output rows
+ * of undispatched lanes stay untouched. */
+void merge_group_sparse(double *times_all, uint8_t *initial_all,
+                        const int64_t *in_ids, const int64_t *out_ids,
+                        const double *per_voltage, const int64_t *slot_to_v,
+                        const double *factors, int32_t has_factors,
+                        const int64_t *tables,
+                        int64_t P, int64_t S, int64_t V, int64_t cap,
+                        int32_t inertial,
+                        const int64_t *lane_gates, const int64_t *lane_slots,
+                        int64_t L,
+                        int64_t *out_overflow, int64_t *out_iterations)
+{
+    int64_t iterations = 0;
+    int64_t overflow_lanes = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+:iterations) reduction(+:overflow_lanes)
+#endif
+    for (int64_t lane = 0; lane < L; lane++) {
+        const int64_t gate = lane_gates[lane];
+        const int64_t slot = lane_slots[lane];
+        const int64_t v = slot_to_v[slot];
+        const double factor = has_factors ? factors[gate * S + slot] : 1.0;
+        int64_t pointers[MAX_PINS];
+        int64_t vals[MAX_PINS];
+        double current[MAX_PINS];
+        const double *in_rows[MAX_PINS];
+        const int64_t table = tables[gate];
+        int64_t index = 0;
+        for (int64_t pin = 0; pin < P; pin++) {
+            const int64_t net = in_ids[gate * P + pin];
+            in_rows[pin] = times_all + (net * S + slot) * cap;
+            pointers[pin] = 0;
+            vals[pin] = initial_all[net * S + slot];
+            index |= vals[pin] << pin;
+        }
+        int64_t last_target = (table >> index) & 1;
+        const int64_t out_net = out_ids[gate];
+        initial_all[out_net * S + slot] = (uint8_t)last_target;
+        double *out = times_all + (out_net * S + slot) * cap;
+        int64_t depth = 0;
+        int64_t overflow = 0;
+        for (;;) {
+            double now = INFINITY;
+            for (int64_t pin = 0; pin < P; pin++) {
+                double t = pointers[pin] < cap
+                    ? in_rows[pin][pointers[pin]] : INFINITY;
+                current[pin] = t;
+                if (t < now) now = t;
+            }
+            if (!(now < INFINITY)) break;
+            iterations++;
+            int64_t causing = -1;
+            for (int64_t pin = 0; pin < P; pin++) {
+                if (current[pin] == now) {
+                    vals[pin] ^= 1;
+                    pointers[pin]++;
+                    if (causing < 0) causing = pin;
+                }
+            }
+            index = 0;
+            for (int64_t pin = 0; pin < P; pin++) index |= vals[pin] << pin;
+            int64_t new_val = (table >> index) & 1;
+            if (new_val == last_target) continue;
+            double delay = per_voltage[((gate * P + causing) * 2
+                                        + (1 - new_val)) * V + v];
+            if (has_factors) delay = delay * factor;
+            double t_out = now + delay;
+            double width = inertial ? delay : 0.0;
+            if (depth > 0 && (t_out <= out[depth - 1]
+                              || t_out - out[depth - 1] < width)) {
+                depth--;
+                out[depth] = INFINITY;
+            } else if (depth >= cap) {
+                overflow = 1;
+            } else {
+                out[depth++] = t_out;
+            }
+            last_target ^= 1;
+        }
+        overflow_lanes += overflow;
+    }
+    *out_overflow = overflow_lanes;
+    *out_iterations = iterations;
+}
 """
 
 _CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c99"]
@@ -284,6 +373,14 @@ def load():
             ctypes.POINTER(_i64), ctypes.POINTER(_i64),
         ]
         lib.merge_group.restype = None
+        lib.merge_group_sparse.argtypes = [
+            _p_f64, _p_u8, _p_i64, _p_i64, _p_f64, _p_i64,
+            _p_f64, _i32, _p_i64,
+            _i64, _i64, _i64, _i64, _i32,
+            _p_i64, _p_i64, _i64,
+            ctypes.POINTER(_i64), ctypes.POINTER(_i64),
+        ]
+        lib.merge_group_sparse.restype = None
         _lib = lib
     import sys
     return sys.modules[__name__]
@@ -339,6 +436,41 @@ def merge_group(times_all, initial_all, in_ids, out_ids, per_voltage,
         np.ascontiguousarray(tables, dtype=np.int64),
         group_size, arity, num_slots, per_voltage.shape[3], capacity,
         int(bool(inertial)),
+        ctypes.byref(overflow), ctypes.byref(iterations),
+    )
+    return overflow.value, iterations.value
+
+
+def merge_group_sparse(times_all, initial_all, in_ids, out_ids, per_voltage,
+                       slot_to_v, factors, tables, capacity, inertial,
+                       lane_gates, lane_slots):
+    """Lane-compacted arena merge: only the listed ``(gate, slot)`` lanes
+    run their event loops; everything else in the arena is untouched."""
+    arity = in_ids.shape[1]
+    if arity > MAX_PINS:
+        raise ValueError(f"cext backend supports at most {MAX_PINS} pins")
+    num_slots = slot_to_v.size
+    has_factors = factors is not None
+    if factors is None:
+        group_factors = np.zeros((1, 1), dtype=np.float64)
+    else:
+        group_factors = np.ascontiguousarray(factors, dtype=np.float64)
+    per_voltage = np.ascontiguousarray(per_voltage, dtype=np.float64)
+    lane_gates = np.ascontiguousarray(lane_gates, dtype=np.int64)
+    lane_slots = np.ascontiguousarray(lane_slots, dtype=np.int64)
+    overflow = _i64(0)
+    iterations = _i64(0)
+    _lib.merge_group_sparse(
+        times_all, initial_all,
+        np.ascontiguousarray(in_ids, dtype=np.int64),
+        np.ascontiguousarray(out_ids, dtype=np.int64),
+        per_voltage,
+        np.ascontiguousarray(slot_to_v, dtype=np.int64),
+        group_factors, int(has_factors),
+        np.ascontiguousarray(tables, dtype=np.int64),
+        arity, num_slots, per_voltage.shape[3], capacity,
+        int(bool(inertial)),
+        lane_gates, lane_slots, lane_gates.size,
         ctypes.byref(overflow), ctypes.byref(iterations),
     )
     return overflow.value, iterations.value

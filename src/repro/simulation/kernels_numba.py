@@ -24,7 +24,8 @@ from numba import njit, prange
 
 from repro.core.delay_kernel import MIN_DELAY
 
-__all__ = ["merge_lanes", "merge_group", "delays_for_gates"]
+__all__ = ["merge_lanes", "merge_group", "merge_group_sparse",
+           "delays_for_gates"]
 
 INF = np.float64(np.inf)
 
@@ -196,6 +197,102 @@ def merge_group(times_all, initial_all, in_ids, out_ids, per_voltage,
         np.ascontiguousarray(tables, dtype=np.int64),
         capacity,
         bool(inertial),
+    )
+
+
+@njit(parallel=True, cache=True)
+def _merge_group_sparse_jit(times_all, initial_all, in_ids, out_ids,
+                            per_voltage, slot_to_v, factors, has_factors,
+                            tables, capacity, inertial, lane_gates,
+                            lane_slots):
+    arity = in_ids.shape[1]
+    lanes = lane_gates.size
+    overflow_lanes = 0
+    iterations = 0
+    for lane in prange(lanes):
+        gate = lane_gates[lane]
+        slot = lane_slots[lane]
+        v = slot_to_v[slot]
+        factor = factors[gate, slot] if has_factors else 1.0
+        pointers = np.zeros(arity, dtype=np.int64)
+        vals = np.empty(arity, dtype=np.int64)
+        table = tables[gate]
+        index = np.int64(0)
+        for pin in range(arity):
+            vals[pin] = initial_all[in_ids[gate, pin], slot]
+            index |= vals[pin] << pin
+        last_target = (table >> index) & 1
+        out_net = out_ids[gate]
+        initial_all[out_net, slot] = np.uint8(last_target)
+        depth = 0
+        lane_iterations = 0
+        lane_overflow = 0
+        while True:
+            now = INF
+            for pin in range(arity):
+                if pointers[pin] < capacity:
+                    t = times_all[in_ids[gate, pin], slot, pointers[pin]]
+                    if t < now:
+                        now = t
+            if now == INF:
+                break
+            lane_iterations += 1
+            causing = -1
+            for pin in range(arity):
+                if pointers[pin] < capacity and \
+                        times_all[in_ids[gate, pin], slot, pointers[pin]] == now:
+                    vals[pin] ^= 1
+                    pointers[pin] += 1
+                    if causing < 0:
+                        causing = pin
+            index = np.int64(0)
+            for pin in range(arity):
+                index |= vals[pin] << pin
+            new_val = (table >> index) & 1
+            if new_val == last_target:
+                continue
+            delay = per_voltage[gate, causing, 1 - new_val, v]
+            if has_factors:
+                delay = delay * factor
+            t_out = now + delay
+            width = delay if inertial else 0.0
+            if depth > 0 and (t_out <= times_all[out_net, slot, depth - 1]
+                              or t_out - times_all[out_net, slot, depth - 1]
+                              < width):
+                depth -= 1
+                times_all[out_net, slot, depth] = INF
+            elif depth >= capacity:
+                lane_overflow = 1
+            else:
+                times_all[out_net, slot, depth] = t_out
+                depth += 1
+            last_target ^= 1
+        overflow_lanes += lane_overflow
+        iterations += lane_iterations
+    return overflow_lanes, iterations
+
+
+def merge_group_sparse(times_all, initial_all, in_ids, out_ids, per_voltage,
+                       slot_to_v, factors, tables, capacity, inertial,
+                       lane_gates, lane_slots):
+    """Lane-compacted arena merge: only the listed ``(gate, slot)`` lanes
+    run their event loops; everything else in the arena is untouched."""
+    has_factors = factors is not None
+    if factors is None:
+        factors = np.zeros((1, 1), dtype=np.float64)
+    return _merge_group_sparse_jit(
+        times_all, initial_all,
+        np.ascontiguousarray(in_ids, dtype=np.int64),
+        np.ascontiguousarray(out_ids, dtype=np.int64),
+        np.ascontiguousarray(per_voltage, dtype=np.float64),
+        np.ascontiguousarray(slot_to_v, dtype=np.int64),
+        np.ascontiguousarray(factors, dtype=np.float64),
+        has_factors,
+        np.ascontiguousarray(tables, dtype=np.int64),
+        capacity,
+        bool(inertial),
+        np.ascontiguousarray(lane_gates, dtype=np.int64),
+        np.ascontiguousarray(lane_slots, dtype=np.int64),
     )
 
 

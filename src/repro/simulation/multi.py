@@ -11,7 +11,9 @@ and the per-slot results are stitched back in place.
 Every worker receives the same compiled circuit and delay-kernel table
 (the coefficient memory is tiny — this mirrors replicating the constant
 tables into each GPU's global memory) and a disjoint slice of the slot
-plan, so no communication happens during simulation.
+plan — together with only the pattern pairs that slice references, so
+per-worker IPC stays proportional to the chunk, not the campaign.  No
+communication happens during simulation.
 """
 
 from __future__ import annotations
@@ -71,8 +73,23 @@ def _merge_stats(target: _BatchStats, source: Optional[_BatchStats]) -> None:
     target.kernel_iterations += source.kernel_iterations
     target.retries += source.retries
     target.batches += source.batches
+    target.lanes_skipped += source.lanes_skipped
     if source.backend:
         target.backend = source.backend
+
+
+def _chunk_pairs(pairs: Sequence[PatternPair],
+                 pattern_indices: np.ndarray):
+    """Slice the pattern pairs down to the ones a chunk references.
+
+    Workers receive (pickle) only the pairs their sub-plan actually
+    uses, with ``pattern_indices`` remapped into the sliced list — a
+    chunk of a large plane no longer ships the full pattern set over
+    IPC.
+    """
+    used, remapped = np.unique(pattern_indices, return_inverse=True)
+    return ([pairs[int(i)] for i in used],
+            np.ascontiguousarray(remapped, dtype=np.int64))
 
 
 class MultiDeviceWaveSim:
@@ -134,7 +151,7 @@ class MultiDeviceWaveSim:
                 waveforms=result.waveforms,
                 runtime_seconds=_time.perf_counter() - start,
                 gate_evaluations=result.gate_evaluations,
-                engine="multi-device[1]",
+                engine=f"multi-device[1][{engine.backend.name}]",
             )
 
         chunk_size = (plan.num_slots + devices - 1) // devices
@@ -142,14 +159,15 @@ class MultiDeviceWaveSim:
         waveforms: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots
         totals = _BatchStats()
         with ProcessPoolExecutor(max_workers=devices) as pool:
-            futures = [
-                pool.submit(
+            futures = []
+            for indices, sub in chunks:
+                sub_pairs, sub_indices = _chunk_pairs(pairs,
+                                                      sub.pattern_indices)
+                futures.append(pool.submit(
                     _run_chunk, self.compiled, self.config, kernel_table,
-                    list(pairs), sub.pattern_indices, sub.voltages,
+                    sub_pairs, sub_indices, sub.voltages,
                     variation, indices,
-                )
-                for indices, sub in chunks
-            ]
+                ))
             for (indices, _sub), future in zip(chunks, futures):
                 chunk_waveforms, chunk_stats = future.result()
                 _merge_stats(totals, chunk_stats)
@@ -163,5 +181,5 @@ class MultiDeviceWaveSim:
             waveforms=waveforms,  # type: ignore[arg-type]
             runtime_seconds=_time.perf_counter() - start,
             gate_evaluations=totals.gate_evaluations,
-            engine=f"multi-device[{devices}]",
+            engine=f"multi-device[{devices}][{totals.backend}]",
         )

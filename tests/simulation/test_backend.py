@@ -203,7 +203,7 @@ class TestEngineEquivalence:
                              compiled=compiled)
             result = sim.run(pairs)
             assert sim.last_stats.backend == name
-            assert result.engine == f"gpu-static[{name}]"
+            assert result.engine == f"gpu-static[{name},sparse]"
             return result
 
         self.assert_identical(run("numpy"), run(backend_name), len(pairs),

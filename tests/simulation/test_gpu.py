@@ -242,10 +242,14 @@ class TestValidation:
         sim = GpuWaveSim(small_circuit, library,
                          config=SimulationConfig(backend="numpy"))
         pairs = make_pairs(small_circuit, 2)
-        assert sim.run(pairs).engine == "gpu-static[numpy]"
+        assert sim.run(pairs).engine == "gpu-static[numpy,sparse]"
         assert (sim.run(pairs, kernel_table=kernel_table).engine
-                == "gpu-parametric[numpy]")
+                == "gpu-parametric[numpy,sparse]")
         assert sim.last_stats.backend == "numpy"
+        dense = GpuWaveSim(small_circuit, library,
+                           config=SimulationConfig(backend="numpy",
+                                                   prune_inactive=False))
+        assert dense.run(pairs).engine == "gpu-static[numpy]"
 
 
 class TestSatelliteRegressions:

@@ -32,7 +32,7 @@ class TestEquivalence:
         multi = MultiDeviceWaveSim(circuit, library, config=config,
                                    compiled=compiled, num_devices=2).run(
             pairs, plan=plan, kernel_table=kernel_table)
-        assert multi.engine == "multi-device[2]"
+        assert multi.engine.startswith("multi-device[2][")
         for slot in range(plan.num_slots):
             for net in circuit.nets():
                 assert single.waveform(slot, net).equivalent(
@@ -43,7 +43,7 @@ class TestEquivalence:
         sim = MultiDeviceWaveSim(circuit, library, compiled=compiled,
                                  num_devices=1)
         result = sim.run(pairs)
-        assert result.engine == "multi-device[1]"
+        assert result.engine.startswith("multi-device[1][")
         assert result.num_slots == len(pairs)
 
     def test_more_devices_than_slots(self, setup, library):
@@ -51,7 +51,7 @@ class TestEquivalence:
         sim = MultiDeviceWaveSim(circuit, library, compiled=compiled,
                                  num_devices=64)
         result = sim.run(pairs[:2])
-        assert result.engine == "multi-device[2]"
+        assert result.engine.startswith("multi-device[2][")
         reference = GpuWaveSim(circuit, library, compiled=compiled).run(
             pairs[:2])
         for slot in range(2):
@@ -95,8 +95,14 @@ class TestStatsAggregation:
         assert result.gate_evaluations == reference.gate_evaluations
         assert multi.last_stats is not None
         assert multi.last_stats.gate_evaluations == result.gate_evaluations
-        assert multi.last_stats.kernel_calls == \
-            single.last_stats.kernel_calls * 2
+        # A level whose lanes are all quiet inside one chunk makes no
+        # kernel call there, so the split can only drop calls, never
+        # add beyond one call per chunk per level group.
+        assert single.last_stats.kernel_calls \
+            <= multi.last_stats.kernel_calls \
+            <= single.last_stats.kernel_calls * 2
+        assert multi.last_stats.lanes_skipped == \
+            single.last_stats.lanes_skipped
         assert multi.last_stats.batches == 2
 
     def test_overflow_retries_surface_in_stats(self, setup, library):
@@ -108,8 +114,11 @@ class TestStatsAggregation:
                                    compiled=compiled, num_devices=2)
         result = multi.run(pairs)
         assert multi.last_stats.retries >= 1
+        clean = MultiDeviceWaveSim(circuit, library, compiled=compiled,
+                                   num_devices=2)
+        clean.run(pairs)
         assert result.gate_evaluations > \
-            compiled.num_gates * len(pairs)  # retried lanes re-counted
+            clean.last_stats.gate_evaluations  # retried lanes re-counted
 
     def test_single_device_stats(self, setup, library):
         circuit, compiled, pairs = setup

@@ -61,6 +61,23 @@ class TestRegressionGate:
         assert speedups["merge"]["cext"] == pytest.approx(4.0)
         assert "delay" not in speedups  # no numpy baseline entry
 
+    def test_pruning_speedups_pair_dense_with_sparse(self):
+        benchmarks = [
+            {"name": "e2e_x_lowact_sparse", "backend": "numpy",
+             "wall_seconds": 1.0},
+            {"name": "e2e_x_lowact_dense", "backend": "numpy",
+             "wall_seconds": 3.0},
+            # No dense partner on cext: no ratio for it.
+            {"name": "e2e_x_lowact_sparse", "backend": "cext",
+             "wall_seconds": 0.5},
+            # Unrelated benchmarks are ignored.
+            {"name": "waveform_merge_kernel", "backend": "numpy",
+             "wall_seconds": 2.0},
+        ]
+        speedups = record._pruning_speedups(benchmarks)
+        assert speedups["e2e_x_lowact"]["numpy"] == pytest.approx(3.0)
+        assert "cext" not in speedups["e2e_x_lowact"]
+
     def test_report_roundtrip(self, tmp_path):
         report = make_report({("merge", "numpy"): 1.0})
         path = str(tmp_path / "bench.json")
