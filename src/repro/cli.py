@@ -8,6 +8,7 @@ Wraps the library's main flows for shell use:
 * ``atpg``        — transition-fault + timing-aware pattern generation,
 * ``simulate``    — parallel voltage-sweep time simulation (+ VCD dump),
 * ``campaign``    — fault-tolerant sweep with checkpoint/resume,
+* ``serve``       — JSON-lines simulation service with dynamic batching,
 * ``explore``     — AVFS design-space exploration / VF table,
 * ``bench``       — record kernel/e2e benchmarks, check for regressions.
 
@@ -235,6 +236,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import (ServiceClient, ServiceConfig,
+                               SimulationService, serve_jsonl)
+
+    library = _load_library()
+    kernel_table = DelayKernelTable.load(args.kernels) if args.kernels else None
+    config = ServiceConfig(
+        max_batch_slots=args.max_batch_slots,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+    )
+    with SimulationService(config=config) as service:
+        client = ServiceClient(service, library, _load_circuit,
+                               kernel_table=kernel_table,
+                               backend=args.backend)
+        status = serve_jsonl(sys.stdin, sys.stdout, client)
+        metrics = service.metrics()
+    print(metrics.summary(), file=sys.stderr)
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as stream:
+            json.dump(metrics.to_dict(), stream, indent=2)
+        print(f"service metrics -> {args.metrics_json}", file=sys.stderr)
+    return status
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     from repro.netlist.bench import write_bench
     from repro.netlist.sdf import annotate_nominal, write_sdf
@@ -398,6 +429,31 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "numpy", "numba", "cext"],
                    help="compute backend (default: REPRO_BACKEND or auto)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="JSON-lines simulation service (one request per stdin line)")
+    p.add_argument("--kernels", default=None,
+                   help="kernel table for voltage-aware jobs")
+    p.add_argument("--max-batch-slots", type=int, default=256,
+                   help="flush a compatibility group at this many slots")
+    p.add_argument("--max-wait-ms", type=float, default=5.0,
+                   help="flush a batch once its oldest job waited this long")
+    p.add_argument("--queue-depth", type=int, default=1024,
+                   help="admission-control bound on in-flight jobs")
+    p.add_argument("--admission", choices=["block", "reject"],
+                   default="block",
+                   help="behaviour at the queue-depth bound")
+    p.add_argument("--workers", type=int, default=1,
+                   help="engine worker threads")
+    p.add_argument("--cache-entries", type=int, default=256,
+                   help="result-cache capacity (0 disables the cache)")
+    p.add_argument("--backend", default=None,
+                   choices=["auto", "numpy", "numba", "cext"],
+                   help="compute backend (default: REPRO_BACKEND or auto)")
+    p.add_argument("--metrics-json", default=None,
+                   help="write the final service metrics to this file")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("convert", help="convert/emit design-exchange files")
     p.add_argument("circuit")

@@ -90,6 +90,27 @@ class ChunkExecutionError(CampaignError):
         self.attempts = list(attempts)
 
 
+class ServiceError(ReproError):
+    """Errors in the simulation service layer."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused a job because its queue is full.
+
+    ``retry_after_seconds`` is the service's estimate of when capacity
+    will be available again (inference-server-style backpressure hint);
+    callers should wait at least that long before resubmitting.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class ServiceClosedError(ServiceError):
+    """A job was submitted to (or was pending in) a closed service."""
+
+
 class TimingError(ReproError):
     """Errors in static timing analysis or path enumeration."""
 

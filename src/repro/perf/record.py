@@ -21,13 +21,20 @@ Report schema (version 1)::
         ...
       ],
       "speedups": {benchmark-name: {backend: numpy_wall / backend_wall}},
-      "pruning_speedups": {scenario: {backend: dense_wall / sparse_wall}}
+      "pruning_speedups": {scenario: {backend: dense_wall / sparse_wall}},
+      "service_speedups": {backend: sequential_wall / batched_wall}
     }
 
 The low-activity scenario (``e2e_*_lowact_{sparse,dense}``) runs the
 same stimulus — mostly quiet pattern pairs — once with activity pruning
 and once dense; ``pruning_speedups`` records the end-to-end win of
 skipping quiet lanes.
+
+The service scenario (``service_throughput_{sequential,batched}``) runs
+the same fine-grained jobs once as per-job ``GpuWaveSim.run`` calls and
+once through :class:`repro.service.SimulationService` (result cache
+disabled); ``service_speedups`` records the dynamic-batching win of
+coalescing small jobs into one shared slot plane.
 
 Wall times are best-of-N (minimum over repeats) — the standard way to
 suppress scheduler noise in micro-benchmarks.
@@ -58,6 +65,7 @@ __all__ = [
     "bench_delay_kernel",
     "bench_low_activity",
     "bench_merge_kernel",
+    "bench_service_throughput",
     "compare_reports",
     "load_report",
     "main",
@@ -96,6 +104,14 @@ LOWACT_ACTIVE_EVERY = 8
 LOWACT_SCALE = 0.1
 LOWACT_PATTERNS = 256
 LOWACT_PATTERNS_QUICK = 64
+
+#: Service scenario: many fine-grained jobs of SERVICE_SLOTS_PER_JOB
+#: slots each — the regime dynamic batching targets (per-run dispatch
+#: overhead dominates tiny planes).
+SERVICE_JOBS = 64
+SERVICE_JOBS_QUICK = 16
+SERVICE_SLOTS_PER_JOB = 2
+SERVICE_CIRCUIT = "s38417"
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -255,6 +271,68 @@ def bench_low_activity(backend_name: str, circuit_name: str, scale: float,
     return entries
 
 
+def bench_service_throughput(backend_name: str, num_jobs: int,
+                             repeats: int = 2) -> List[dict]:
+    """Sequential-vs-batched pair for fine-grained jobs (two entries).
+
+    The same ``num_jobs`` jobs (each :data:`SERVICE_SLOTS_PER_JOB`
+    unique pattern pairs) run once as individual ``GpuWaveSim.run``
+    calls and once submitted through a :class:`SimulationService` sized
+    to coalesce them into one slot plane.  The result cache is disabled
+    so the batched number measures dispatch, not memoization.
+    """
+    from repro.experiments.common import default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.service import ServiceConfig, SimulationService
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.gpu import GpuWaveSim
+
+    workload = prepare_workload(SERVICE_CIRCUIT, scale=E2E_SCALE)
+    library = default_library()
+    source = workload.patterns.pairs
+    jobs = [[source[(num_jobs * i + j) % len(source)]
+             for j in range(SERVICE_SLOTS_PER_JOB)]
+            for i in range(num_jobs)]
+    config = SimulationConfig(backend=backend_name)
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled,
+                     config=config)
+    evals: List[int] = []
+
+    def sequential():
+        evals.append(sum(sim.run(pairs).gate_evaluations for pairs in jobs))
+
+    sequential()
+    wall_seq = _best_of(sequential, repeats)
+
+    total_slots = num_jobs * SERVICE_SLOTS_PER_JOB
+    service_config = ServiceConfig(max_batch_slots=total_slots,
+                                   max_wait_ms=100.0, idle_ms=20.0,
+                                   cache_entries=0)
+    coalesce: List[float] = []
+
+    def batched():
+        with SimulationService(config=service_config) as service:
+            key = service.register_circuit(workload.circuit, library,
+                                           compiled=workload.compiled)
+            handles = [service.submit(key, pairs, config=config)
+                       for pairs in jobs]
+            evals.append(sum(handle.result().gate_evaluations
+                             for handle in handles))
+            coalesce.append(service.metrics().coalesce_factor)
+
+    batched()
+    wall_bat = _best_of(batched, repeats)
+
+    params = dict(circuit=SERVICE_CIRCUIT, scale=E2E_SCALE, jobs=num_jobs,
+                  slots_per_job=SERVICE_SLOTS_PER_JOB)
+    return [
+        _entry("service_throughput_sequential", sim.backend.name, wall_seq,
+               evals[0], **params),
+        _entry("service_throughput_batched", sim.backend.name, wall_bat,
+               evals[-1], coalesce_factor=round(coalesce[-1], 2), **params),
+    ]
+
+
 # -- suite -------------------------------------------------------------------------
 
 
@@ -291,6 +369,10 @@ def run_suite(quick: bool = False,
                 benchmarks.extend(bench_low_activity(
                     name, circuit, LOWACT_SCALE, lowact))
 
+        service_jobs = SERVICE_JOBS_QUICK if quick else SERVICE_JOBS
+        for name in chosen:
+            benchmarks.extend(bench_service_throughput(name, service_jobs))
+
     return {
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": time.time(),
@@ -305,6 +387,7 @@ def run_suite(quick: bool = False,
         "benchmarks": benchmarks,
         "speedups": _speedups(benchmarks),
         "pruning_speedups": _pruning_speedups(benchmarks),
+        "service_speedups": _service_speedups(benchmarks),
     }
 
 
@@ -341,6 +424,20 @@ def _pruning_speedups(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
                 speedups.setdefault(scenario, {})[backend] = \
                     pair["dense"] / pair["sparse"]
     return speedups
+
+
+def _service_speedups(benchmarks: List[dict]) -> Dict[str, float]:
+    """Per backend: wall(sequential per-job runs) / wall(batched service)."""
+    walls: Dict[str, Dict[str, float]] = {}
+    for entry in benchmarks:
+        for mode in ("sequential", "batched"):
+            if entry["name"] == f"service_throughput_{mode}":
+                walls.setdefault(entry["backend"], {})[mode] = \
+                    entry["wall_seconds"]
+    return {backend: pair["sequential"] / pair["batched"]
+            for backend, pair in walls.items()
+            if "sequential" in pair and "batched" in pair
+            and pair["batched"] > 0}
 
 
 # -- persistence / regression gate -------------------------------------------------
@@ -402,6 +499,10 @@ def _print_summary(report: dict, stream=None) -> None:
     for name, ratios in report.get("pruning_speedups", {}).items():
         text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
         print(f"  pruning speedup — {name}: {text}", file=stream)
+    service = report.get("service_speedups", {})
+    if service:
+        text = ", ".join(f"{b} {r:.2f}x" for b, r in service.items())
+        print(f"  service batching speedup: {text}", file=stream)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

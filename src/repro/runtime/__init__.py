@@ -9,7 +9,14 @@ execution model.
 """
 
 from repro.runtime.campaign import CampaignConfig, CampaignRunner
-from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.fingerprint import (
+    Fingerprinter,
+    campaign_fingerprint,
+    circuit_fingerprint,
+    compatibility_fingerprint,
+    job_fingerprint,
+)
 from repro.runtime.preflight import validate_campaign
 from repro.runtime.report import AttemptReport, ChunkReport, RunReport
 
@@ -17,7 +24,11 @@ __all__ = [
     "CampaignConfig",
     "CampaignRunner",
     "CheckpointStore",
+    "Fingerprinter",
     "campaign_fingerprint",
+    "circuit_fingerprint",
+    "compatibility_fingerprint",
+    "job_fingerprint",
     "validate_campaign",
     "AttemptReport",
     "ChunkReport",

@@ -20,19 +20,16 @@ during checkpointing degrades to recomputation, never to wrong results.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from repro.errors import CheckpointError
-from repro.simulation.base import PatternPair, SimulationConfig
-from repro.simulation.compiled import CompiledCircuit
-from repro.simulation.grid import SlotPlan
+from repro.runtime.fingerprint import campaign_fingerprint
 from repro.waveform.waveform import Waveform
 
 __all__ = ["CheckpointStore", "campaign_fingerprint", "MANIFEST_NAME"]
@@ -41,62 +38,6 @@ MANIFEST_NAME = "manifest.json"
 
 #: Bumped whenever the chunk or manifest layout changes incompatibly.
 FORMAT_VERSION = 1
-
-
-def campaign_fingerprint(
-    compiled: CompiledCircuit,
-    pairs: Sequence[PatternPair],
-    plan: SlotPlan,
-    config: SimulationConfig,
-    kernel_table=None,
-    variation=None,
-) -> str:
-    """SHA-256 identity of a campaign's inputs.
-
-    Two invocations get the same fingerprint exactly when they would
-    produce bit-identical waveforms: same circuit structure and delays,
-    same stimuli, same slot plan, same semantic engine settings, same
-    kernel table and same variation model.  Purely *operational* knobs
-    (chunk size, worker count, memory budget, retry policy) are
-    deliberately excluded — they never change results.
-    """
-    digest = hashlib.sha256()
-
-    def feed(tag: str, payload: bytes) -> None:
-        digest.update(tag.encode("utf-8"))
-        digest.update(len(payload).to_bytes(8, "little"))
-        digest.update(payload)
-
-    feed("circuit", compiled.circuit.name.encode("utf-8"))
-    feed("inputs", "\0".join(compiled.circuit.inputs).encode("utf-8"))
-    feed("outputs", "\0".join(compiled.circuit.outputs).encode("utf-8"))
-    feed("gate_types", np.ascontiguousarray(compiled.gate_type_ids).tobytes())
-    feed("gate_inputs", np.ascontiguousarray(compiled.gate_inputs).tobytes())
-    feed("delays", np.ascontiguousarray(compiled.nominal_delays).tobytes())
-    feed("v1", np.ascontiguousarray(np.stack([p.v1 for p in pairs])).tobytes())
-    feed("v2", np.ascontiguousarray(np.stack([p.v2 for p in pairs])).tobytes())
-    feed("plan_patterns", np.ascontiguousarray(plan.pattern_indices).tobytes())
-    feed("plan_voltages", np.ascontiguousarray(plan.voltages).tobytes())
-    feed("config", json.dumps({
-        "pulse_filtering": config.pulse_filtering,
-        "record_all_nets": config.record_all_nets,
-    }, sort_keys=True).encode("utf-8"))
-    if kernel_table is None:
-        feed("kernels", b"static")
-    else:
-        feed("kernels", np.ascontiguousarray(
-            kernel_table.coefficients).tobytes())
-        feed("kernel_names", "\0".join(kernel_table.type_names).encode("utf-8"))
-    if variation is None:
-        feed("variation", b"none")
-    else:
-        feed("variation", json.dumps({
-            "sigma": variation.sigma,
-            "seed": variation.seed,
-            "distribution": variation.distribution,
-            "group_size": variation.group_size,
-        }, sort_keys=True).encode("utf-8"))
-    return digest.hexdigest()
 
 
 class CheckpointStore:

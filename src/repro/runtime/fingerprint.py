@@ -1,0 +1,183 @@
+"""Canonical SHA-256 fingerprinting of simulation inputs.
+
+Both durable-state layers of the runtime key their artifacts by content
+identity: the campaign checkpoint manifest proves a directory belongs to
+the campaign being resumed, and the service result cache proves a cached
+waveform slice answers the job being submitted.  Both must agree on what
+"the same simulation" means — same circuit structure and delays, same
+stimuli, same slot plan, same *semantic* engine settings, same kernel
+table and variation model — so the canonicalization lives here, in one
+place, and the two layers compose their keys from the same feeders.
+
+Purely *operational* knobs (chunk size, worker count, memory budget,
+batching policy, compute backend) are deliberately excluded everywhere:
+they never change results, so they must never split a cache or reject a
+resume.
+
+Every payload is framed as ``tag + 8-byte little-endian length + bytes``
+before hashing, so adjacent fields cannot alias (``"ab" + "c"`` vs
+``"a" + "bc"``) and a reordered feed changes the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Fingerprinter",
+    "campaign_fingerprint",
+    "circuit_fingerprint",
+    "compatibility_fingerprint",
+    "job_fingerprint",
+]
+
+
+class Fingerprinter:
+    """Incremental SHA-256 over tagged, length-framed payloads."""
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256()
+
+    def feed(self, tag: str, payload: bytes) -> None:
+        self._digest.update(tag.encode("utf-8"))
+        self._digest.update(len(payload).to_bytes(8, "little"))
+        self._digest.update(payload)
+
+    def feed_text(self, tag: str, text: str) -> None:
+        self.feed(tag, text.encode("utf-8"))
+
+    def feed_array(self, tag: str, array: np.ndarray) -> None:
+        self.feed(tag, np.ascontiguousarray(array).tobytes())
+
+    def feed_json(self, tag: str, obj) -> None:
+        self.feed(tag, json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+# -- component feeders -------------------------------------------------------------
+#
+# Field names and feed order are part of the on-disk checkpoint contract
+# (the manifest stores the composed digest): changing either invalidates
+# every existing campaign directory, so extend by *appending* new tagged
+# fields only.
+
+
+def feed_compiled(fp: Fingerprinter, compiled) -> None:
+    """Circuit structure and nominal delays of a compiled circuit."""
+    fp.feed_text("circuit", compiled.circuit.name)
+    fp.feed_text("inputs", "\0".join(compiled.circuit.inputs))
+    fp.feed_text("outputs", "\0".join(compiled.circuit.outputs))
+    fp.feed_array("gate_types", compiled.gate_type_ids)
+    fp.feed_array("gate_inputs", compiled.gate_inputs)
+    fp.feed_array("delays", compiled.nominal_delays)
+
+
+def feed_stimuli(fp: Fingerprinter, pairs: Sequence) -> None:
+    fp.feed_array("v1", np.stack([p.v1 for p in pairs]))
+    fp.feed_array("v2", np.stack([p.v2 for p in pairs]))
+
+
+def feed_plan(fp: Fingerprinter, plan) -> None:
+    fp.feed_array("plan_patterns", plan.pattern_indices)
+    fp.feed_array("plan_voltages", plan.voltages)
+
+
+def feed_config(fp: Fingerprinter, config) -> None:
+    """Only the semantic engine settings — the ones that change waveforms."""
+    fp.feed_json("config", {
+        "pulse_filtering": config.pulse_filtering,
+        "record_all_nets": config.record_all_nets,
+    })
+
+
+def feed_kernel_table(fp: Fingerprinter, kernel_table=None) -> None:
+    if kernel_table is None:
+        fp.feed("kernels", b"static")
+    else:
+        fp.feed_array("kernels", kernel_table.coefficients)
+        fp.feed_text("kernel_names", "\0".join(kernel_table.type_names))
+
+
+def feed_variation(fp: Fingerprinter, variation=None) -> None:
+    if variation is None:
+        fp.feed("variation", b"none")
+    else:
+        fp.feed_json("variation", {
+            "sigma": variation.sigma,
+            "seed": variation.seed,
+            "distribution": variation.distribution,
+            "group_size": variation.group_size,
+        })
+
+
+# -- composed identities -----------------------------------------------------------
+
+
+def campaign_fingerprint(
+    compiled,
+    pairs: Sequence,
+    plan,
+    config,
+    kernel_table=None,
+    variation=None,
+) -> str:
+    """SHA-256 identity of a campaign's inputs.
+
+    Two invocations get the same fingerprint exactly when they would
+    produce bit-identical waveforms.  This is the digest stored in
+    checkpoint manifests (the feed order is therefore frozen — see the
+    module docstring).
+    """
+    fp = Fingerprinter()
+    feed_compiled(fp, compiled)
+    feed_stimuli(fp, pairs)
+    feed_plan(fp, plan)
+    feed_config(fp, config)
+    feed_kernel_table(fp, kernel_table)
+    feed_variation(fp, variation)
+    return fp.hexdigest()
+
+
+#: A service job and a campaign are fingerprinted identically: both name
+#: "one simulation of these stimuli over this slot plane".  The alias
+#: keeps call sites honest about which identity they mean.
+job_fingerprint = campaign_fingerprint
+
+
+def circuit_fingerprint(compiled) -> str:
+    """Identity of a compiled circuit alone (the service circuit key)."""
+    fp = Fingerprinter()
+    feed_compiled(fp, compiled)
+    return fp.hexdigest()
+
+
+def compatibility_fingerprint(
+    compiled,
+    config,
+    kernel_table=None,
+    variation=None,
+    static_voltages: Optional[np.ndarray] = None,
+) -> str:
+    """Coalescing key: jobs with equal keys may share one slot plane.
+
+    Everything but the stimuli and the plan — circuit, semantic config,
+    kernel table and variation model.  In static-delay mode the distinct
+    voltages are included too, because the engine (correctly) refuses to
+    differentiate operating points without a kernel table: coalescing a
+    0.7 V job with a 0.8 V one would turn two valid static jobs into one
+    invalid plane.
+    """
+    fp = Fingerprinter()
+    feed_compiled(fp, compiled)
+    feed_config(fp, config)
+    feed_kernel_table(fp, kernel_table)
+    feed_variation(fp, variation)
+    if kernel_table is None and static_voltages is not None:
+        fp.feed_array("static_voltages", np.unique(static_voltages))
+    return fp.hexdigest()

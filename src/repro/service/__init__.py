@@ -1,0 +1,32 @@
+"""Simulation service layer (the inference-server-shaped front door).
+
+Aggregates fine-grained simulation jobs from many callers into the wide
+slot planes the engines need: an async intake queue with admission
+control, a dynamic batcher (flush on fullness / age / queue-idle), a
+worker pool dispatching through the existing engines, per-job result
+demultiplexing, and a fingerprinted LRU result cache.  See
+:mod:`repro.service.core` for the execution model and the bit-identity
+contract, and ``docs/architecture.md`` §9 for the design.
+"""
+
+from repro.service.batcher import DynamicBatcher, PendingBatch
+from repro.service.cache import CachedResult, ResultCache
+from repro.service.client import ServiceClient, serve_jsonl
+from repro.service.core import SimulationService
+from repro.service.jobs import JobHandle, JobResult, ServiceConfig
+from repro.service.metrics import MetricsRecorder, ServiceMetrics
+
+__all__ = [
+    "CachedResult",
+    "DynamicBatcher",
+    "JobHandle",
+    "JobResult",
+    "MetricsRecorder",
+    "PendingBatch",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SimulationService",
+    "serve_jsonl",
+]

@@ -1,0 +1,101 @@
+"""Fingerprinted LRU result cache.
+
+Keys are the shared :func:`repro.runtime.fingerprint.job_fingerprint`
+SHA-256 digests — the exact identity the campaign checkpoint manifest
+uses — so a cached entry answers a job precisely when a checkpoint
+directory would have resumed it: same circuit, stimuli, slot plane,
+semantic config, kernel table and variation model.  Operational knobs
+(backend, batching policy, capacity) never split the cache.
+
+Entries are immutable once stored: the waveform lists come straight
+from the engine's demultiplexed output and are handed back as shallow
+copies, so one caller mutating its per-slot dict cannot poison another
+caller's hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.waveform.waveform import Waveform
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """Engine output retained for one job fingerprint."""
+
+    waveforms: List[Dict[str, Waveform]]
+    slot_labels: List[Tuple[int, float]]
+    engine: str
+    gate_evaluations: int
+
+
+class ResultCache:
+    """Thread-safe LRU over job fingerprints with hit/miss/eviction counters."""
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, fingerprint: str) -> Optional[CachedResult]:
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return entry
+
+    def put(self, fingerprint: str, entry: CachedResult) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+                self._entries[fingerprint] = entry
+                return
+            self._entries[fingerprint] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return 0.0 if total == 0 else self.hits / total
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }

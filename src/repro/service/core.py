@@ -1,0 +1,480 @@
+"""The simulation service: queue → batcher → engine pool → demux.
+
+:class:`SimulationService` is the shared front door the engines never
+had: callers submit fine-grained jobs (circuit fingerprint, stimuli,
+operating points, config) and get back per-job futures, while behind
+the queue a dynamic batcher coalesces compatible jobs into the wide
+slot planes the paper's 3-D parallelism (Sec. IV-B) actually needs to
+pay off.  The shape is deliberately that of an inference server:
+
+* **admission control** — a bounded backlog with a configurable policy
+  (block until capacity, or reject with a retry-after hint), so a
+  traffic burst degrades to backpressure instead of unbounded memory;
+* **dynamic batching** — flush on fullness / age / queue-idle
+  (:mod:`repro.service.batcher`), per compatibility group;
+* **engine pool** — worker threads each owning their engine instances
+  (the waveform-arena pool is per engine and not thread-safe); batches
+  dispatch through :class:`~repro.simulation.gpu.GpuWaveSim` or, with
+  ``num_devices > 1``, :class:`~repro.simulation.multi.MultiDeviceWaveSim`;
+* **demultiplexing** — each job receives exactly its slice of the
+  shared plane, with a per-job :class:`~repro.runtime.report.RunReport`
+  describing the batch it rode in;
+* **result cache** — a fingerprinted LRU (:mod:`repro.service.cache`)
+  keyed by the same SHA-256 identity as campaign checkpoints; hits
+  resolve at submission time and never touch the queue or an engine.
+
+**Bit-identity contract.**  A job's waveforms are bit-identical to a
+standalone ``GpuWaveSim.run`` of the same request no matter which
+batch it coalesced into: the combined plane keeps every job's slots
+contiguous, pattern indices are offset per job, and ``global_slots``
+pins each slot's *job-local* index so Monte-Carlo die factors ignore
+the job's position in the batch.
+
+**Graceful shutdown.**  ``close()`` (or leaving the context manager)
+stops intake, flushes the batcher, drains in-flight batches and joins
+the workers; ``close(drain=False)`` instead fails every unfinished job
+with :class:`~repro.errors.ServiceClosedError`.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.errors import AdmissionError, ServiceClosedError, ServiceError
+from repro.netlist.circuit import Circuit
+from repro.runtime.fingerprint import (
+    circuit_fingerprint,
+    compatibility_fingerprint,
+    job_fingerprint,
+)
+from repro.runtime.report import AttemptReport, ChunkReport, RunReport
+from repro.service.batcher import DynamicBatcher, PendingBatch
+from repro.service.cache import CachedResult, ResultCache
+from repro.service.jobs import (
+    JobHandle,
+    JobResult,
+    ServiceConfig,
+    SimulationJob,
+    resolved_handle,
+    validate_job,
+)
+from repro.service.metrics import MetricsRecorder, ServiceMetrics
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+from repro.simulation.grid import SlotPlan
+
+__all__ = ["SimulationService"]
+
+#: Engine name recorded on cache-served results.
+ENGINE_CACHE = "cache"
+
+_STOP = object()   # drain pending batches, then exit the batch loop
+_ABORT = object()  # fail pending jobs, then exit the batch loop
+
+
+class SimulationService:
+    """Dynamic-batching, caching, admission-controlled simulation server.
+
+    Usage::
+
+        with SimulationService(config=ServiceConfig(max_wait_ms=2.0)) as svc:
+            key = svc.register_circuit(circuit, library)
+            handles = [svc.submit(key, job_pairs) for job_pairs in jobs]
+            results = [h.result() for h in handles]
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self._circuits: Dict[str, CompiledCircuit] = {}
+        self._circuits_lock = threading.Lock()
+        self._cache = ResultCache(self.config.cache_entries)
+        self._metrics = MetricsRecorder()
+        self._queue: "_queue.Queue" = _queue.Queue()
+        self._batcher = DynamicBatcher(self.config.max_batch_slots,
+                                       self.config.max_wait_ms / 1e3)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service")
+        self._engines = threading.local()
+        self._admission = threading.Condition()
+        self._backlog = 0
+        self._closed = False
+        self._batch_thread = threading.Thread(
+            target=self._batch_loop, name="repro-service-batcher", daemon=True)
+        self._batch_thread.start()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop intake and shut down.
+
+        ``drain=True`` finishes every admitted job first (pending batches
+        are flushed and executed); ``drain=False`` fails every unfinished
+        job with :class:`~repro.errors.ServiceClosedError`.  Idempotent.
+        """
+        with self._admission:
+            if self._closed:
+                return
+            self._closed = True
+            self._admission.notify_all()
+        self._queue.put(_STOP if drain else _ABORT)
+        self._batch_thread.join()
+        self._executor.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- circuits -------------------------------------------------------------
+
+    def register_circuit(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        annotation=None,
+        loads=None,
+        compiled: Optional[CompiledCircuit] = None,
+    ) -> str:
+        """Compile (once) and register a circuit; returns its fingerprint.
+
+        Registering the same circuit again is a no-op returning the same
+        key — the compiled form is shared by every job referencing it.
+        """
+        compiled = compiled or compile_circuit(circuit, library, annotation,
+                                               loads)
+        key = circuit_fingerprint(compiled)
+        with self._circuits_lock:
+            self._circuits.setdefault(key, compiled)
+        return key
+
+    def circuit(self, circuit_key: str) -> CompiledCircuit:
+        with self._circuits_lock:
+            try:
+                return self._circuits[circuit_key]
+            except KeyError:
+                raise ServiceError(
+                    f"unknown circuit fingerprint {circuit_key[:12]}…; "
+                    "register_circuit() first") from None
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        circuit_key: str,
+        pairs: Sequence[PatternPair],
+        plan: Optional[SlotPlan] = None,
+        voltage: float = 0.8,
+        config: Optional[SimulationConfig] = None,
+        kernel_table=None,
+        variation=None,
+    ) -> JobHandle:
+        """Submit one job; returns a :class:`JobHandle` future.
+
+        Raises :class:`~repro.errors.AdmissionError` under the
+        ``reject`` policy (or a timed-out ``block``) when the backlog is
+        full, and :class:`~repro.errors.ServiceClosedError` after
+        :meth:`close`.
+        """
+        started = _time.monotonic()
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        compiled = self.circuit(circuit_key)
+        config = config or SimulationConfig()
+        pairs = list(pairs)
+        if not pairs:
+            raise ServiceError("job needs at least one pattern pair")
+        plan = plan or SlotPlan.uniform(len(pairs), voltage)
+        validate_job(compiled, pairs, plan, kernel_table)
+        fingerprint = job_fingerprint(compiled, pairs, plan, config,
+                                      kernel_table, variation)
+        self._metrics.record_submitted()
+
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            latency = _time.monotonic() - started
+            self._metrics.record_completed(latency)
+            return resolved_handle(
+                fingerprint, self._cached_result(compiled, cached, latency))
+
+        job = SimulationJob(
+            circuit_key=circuit_key, pairs=pairs, plan=plan, config=config,
+            kernel_table=kernel_table, variation=variation,
+            fingerprint=fingerprint,
+            compat_key=compatibility_fingerprint(
+                compiled, config, kernel_table, variation,
+                static_voltages=(plan.voltages if kernel_table is None
+                                 else None)),
+        )
+        self._admit(job)
+        job.submitted = _time.monotonic()
+        self._queue.put(job)
+        return JobHandle(fingerprint, job.future)
+
+    def metrics(self) -> ServiceMetrics:
+        """Point-in-time service metrics snapshot."""
+        with self._admission:
+            depth = self._backlog
+        return self._metrics.snapshot(depth, self._cache.stats())
+
+    @property
+    def engine_dispatches(self) -> int:
+        """Engine ``run()`` calls so far (cache hits never increment it)."""
+        return self._metrics.batches_dispatched
+
+    # -- admission ------------------------------------------------------------
+
+    def _admit(self, job: SimulationJob) -> None:
+        with self._admission:
+            if self.config.admission == "reject":
+                if self._backlog >= self.config.queue_depth:
+                    self._metrics.record_rejected()
+                    retry = self._metrics.retry_after(self._backlog,
+                                                      self.config.workers)
+                    raise AdmissionError(
+                        f"queue depth {self.config.queue_depth} reached; "
+                        f"retry in {retry:.3f}s",
+                        retry_after_seconds=retry)
+            else:
+                deadline = (None if self.config.block_timeout_s is None
+                            else _time.monotonic()
+                            + self.config.block_timeout_s)
+                while self._backlog >= self.config.queue_depth:
+                    if self._closed:
+                        raise ServiceClosedError(
+                            "service closed while waiting for admission")
+                    remaining = (None if deadline is None
+                                 else deadline - _time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        self._metrics.record_rejected()
+                        retry = self._metrics.retry_after(
+                            self._backlog, self.config.workers)
+                        raise AdmissionError(
+                            "admission wait timed out; "
+                            f"retry in {retry:.3f}s",
+                            retry_after_seconds=retry)
+                    self._admission.wait(timeout=remaining)
+            self._backlog += 1
+
+    def _release(self, jobs: int = 1) -> None:
+        with self._admission:
+            self._backlog -= jobs
+            self._admission.notify_all()
+
+    # -- batching loop --------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        idle_s = self.config.idle_ms / 1e3
+        while True:
+            now = _time.monotonic()
+            deadline = self._batcher.next_deadline(now)
+            timeout = None if deadline is None else max(
+                min(deadline, idle_s), 1e-4)
+            try:
+                item = self._queue.get(timeout=timeout)
+            except _queue.Empty:
+                # The queue stayed empty for `timeout`: everything whose
+                # max-wait deadline passed is due, and if the wait covered
+                # a full idle period there is nothing arriving to coalesce
+                # with — flush it all.
+                now = _time.monotonic()
+                ready = self._batcher.due(now)
+                if timeout is not None and timeout >= idle_s:
+                    ready.extend(self._batcher.drain())
+                for batch in ready:
+                    self._dispatch(batch)
+                continue
+            if item is _STOP or item is _ABORT:
+                self._finish(item is _STOP)
+                return
+            ready = self._batcher.add(item, _time.monotonic())
+            # Opportunistic non-blocking drain: a submission burst lands
+            # in one plane instead of one batch per wakeup.
+            stop_item = None
+            while stop_item is None:
+                try:
+                    nxt = self._queue.get_nowait()
+                except _queue.Empty:
+                    break
+                if nxt is _STOP or nxt is _ABORT:
+                    stop_item = nxt
+                    break
+                ready.extend(self._batcher.add(nxt, _time.monotonic()))
+            ready.extend(self._batcher.due(_time.monotonic()))
+            for batch in ready:
+                self._dispatch(batch)
+            if stop_item is not None:
+                self._finish(stop_item is _STOP)
+                return
+
+    def _finish(self, drain: bool) -> None:
+        """Terminal flush: run or fail everything still pending."""
+        batches = self._batcher.drain()
+        leftovers: List[SimulationJob] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except _queue.Empty:
+                break
+            if item is not _STOP and item is not _ABORT:
+                leftovers.append(item)
+        if drain:
+            for batch in batches:
+                self._dispatch(batch)
+            for job in leftovers:
+                batch = PendingBatch(compat_key=job.compat_key)
+                batch.add(job, _time.monotonic())
+                self._dispatch(batch)
+        else:
+            error = ServiceClosedError("service closed before execution")
+            for job in leftovers + [j for b in batches for j in b.jobs]:
+                job.future.set_exception(error)
+                self._metrics.record_failed()
+                self._release()
+
+    def _dispatch(self, batch: PendingBatch) -> None:
+        self._metrics.record_batch(batch.num_jobs, batch.num_slots)
+        self._executor.submit(self._execute_batch, batch)
+
+    # -- execution ------------------------------------------------------------
+
+    def _engine_for(self, circuit_key: str, config: SimulationConfig):
+        """Per-worker-thread engine instances (arena pools don't share)."""
+        engines = getattr(self._engines, "by_key", None)
+        if engines is None:
+            engines = self._engines.by_key = {}
+        key = (circuit_key, config)
+        engine = engines.get(key)
+        if engine is None:
+            compiled = self.circuit(circuit_key)
+            if self.config.num_devices > 1:
+                from repro.simulation.multi import MultiDeviceWaveSim
+                engine = MultiDeviceWaveSim(
+                    compiled.circuit, compiled.library, config=config,
+                    compiled=compiled, num_devices=self.config.num_devices)
+            else:
+                from repro.simulation.gpu import GpuWaveSim
+                engine = GpuWaveSim(compiled.circuit, compiled.library,
+                                    config=config, compiled=compiled)
+            engines[key] = engine
+        return engine
+
+    def _execute_batch(self, batch: PendingBatch) -> None:
+        jobs = batch.jobs
+        started = _time.monotonic()
+        try:
+            self._run_and_demux(jobs, started)
+        except Exception as error:  # noqa: BLE001 - isolate, then report
+            if len(jobs) > 1:
+                # One poison job must not sink its batch neighbours:
+                # re-run each job as a singleton (inline, same worker) so
+                # only the guilty one surfaces the failure.
+                for job in jobs:
+                    single = PendingBatch(compat_key=job.compat_key)
+                    single.add(job, _time.monotonic())
+                    self._metrics.record_batch(1, job.num_slots)
+                    self._execute_batch(single)
+            else:
+                jobs[0].future.set_exception(error)
+                self._metrics.record_failed()
+                self._release()
+
+    def _run_and_demux(self, jobs: List[SimulationJob],
+                       started: float) -> None:
+        compiled = self.circuit(jobs[0].circuit_key)
+        config = jobs[0].config
+        combined_pairs: List[PatternPair] = []
+        offsets: List[int] = []
+        for job in jobs:
+            offsets.append(len(combined_pairs))
+            combined_pairs.extend(job.pairs)
+        plan = SlotPlan.concat([job.plan for job in jobs], offsets)
+        # Job-local slot indices: Monte-Carlo die factors must not
+        # depend on where in the shared plane a job landed.
+        global_slots = np.concatenate(
+            [np.arange(job.num_slots, dtype=np.int64) for job in jobs])
+
+        engine = self._engine_for(jobs[0].circuit_key, config)
+        result = engine.run(combined_pairs, plan=plan,
+                            kernel_table=jobs[0].kernel_table,
+                            variation=jobs[0].variation,
+                            global_slots=global_slots)
+        stats = engine.last_stats
+        seconds = _time.monotonic() - started
+        total_slots = plan.num_slots
+
+        start = 0
+        now = _time.monotonic()
+        for position, job in enumerate(jobs):
+            n = job.num_slots
+            wave_slice = result.waveforms[start:start + n]
+            start += n
+            evals = stats.gate_evaluations * n // total_slots
+            skipped = stats.lanes_skipped * n // total_slots
+            report = RunReport(
+                circuit_name=compiled.circuit.name,
+                num_slots=n,
+                chunk_slots=total_slots,
+                chunks=[ChunkReport(index=position, num_slots=n,
+                                    attempts=[AttemptReport(
+                                        engine=f"service:{result.engine}",
+                                        waveform_capacity=config.waveform_capacity,
+                                        memory_budget=0,
+                                        seconds=seconds)])],
+                backend=stats.backend,
+                wall_seconds=seconds,
+                gate_evaluations=evals,
+                lanes_skipped=skipped,
+            )
+            job_result = JobResult(
+                waveforms=wave_slice,
+                slot_labels=job.plan.labels(),
+                engine=result.engine,
+                gate_evaluations=evals,
+                cache_hit=False,
+                latency_seconds=now - job.submitted,
+                report=report,
+            )
+            self._cache.put(job.fingerprint, CachedResult(
+                waveforms=wave_slice,
+                slot_labels=job_result.slot_labels,
+                engine=result.engine,
+                gate_evaluations=evals,
+            ))
+            job.future.set_result(job_result)
+            self._metrics.record_completed(job_result.latency_seconds)
+            self._release()
+
+    # -- cache ----------------------------------------------------------------
+
+    def _cached_result(self, compiled: CompiledCircuit, entry: CachedResult,
+                       latency: float) -> JobResult:
+        n = len(entry.waveforms)
+        report = RunReport(
+            circuit_name=compiled.circuit.name,
+            num_slots=n,
+            chunk_slots=n,
+            chunks=[ChunkReport(index=0, num_slots=n, from_checkpoint=True)],
+            wall_seconds=latency,
+        )
+        return JobResult(
+            waveforms=[dict(slot) for slot in entry.waveforms],
+            slot_labels=list(entry.slot_labels),
+            engine=ENGINE_CACHE,
+            gate_evaluations=0,
+            cache_hit=True,
+            latency_seconds=latency,
+            report=report,
+        )

@@ -1,0 +1,192 @@
+"""Request/response types of the simulation service.
+
+A *job* is the fine-grained unit callers think in: one circuit (by
+fingerprint), one set of stimuli, one slot plane of operating points,
+one engine configuration.  The service's whole point is that jobs this
+small are a terrible match for the engine — the 3-D slot-plane
+parallelism (paper Sec. IV-B) only pays off when many of them share one
+dispatch — so jobs carry everything the batcher needs to decide *which*
+jobs may share a plane (``compat_key``) and everything the cache needs
+to recognize a repeat (``fingerprint``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.runtime.report import RunReport
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.grid import SlotPlan
+from repro.waveform.waveform import Waveform
+
+__all__ = ["JobHandle", "JobResult", "ServiceConfig", "SimulationJob"]
+
+ADMISSION_POLICIES = ("block", "reject")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational policy of a :class:`SimulationService`.
+
+    None of these knobs affect computed waveforms — they decide how jobs
+    are queued, coalesced and executed — so none of them enter the
+    result-cache fingerprint.
+
+    Attributes
+    ----------
+    max_batch_slots:
+        Flush a pending batch once it holds this many slots (the shared
+        slot plane's width; also the coalescing ceiling).
+    max_wait_ms:
+        Flush a pending batch once its oldest job has waited this long,
+        even if the batch is not full (tail-latency bound).
+    idle_ms:
+        Flush everything pending once the intake queue has been empty
+        for this long (no point holding jobs when nothing is arriving).
+    queue_depth:
+        Admission bound: maximum jobs admitted but not yet finished.
+    admission:
+        ``"block"`` — ``submit`` waits for capacity (optionally up to
+        ``block_timeout_s``); ``"reject"`` — ``submit`` raises
+        :class:`~repro.errors.AdmissionError` with a retry-after hint.
+    block_timeout_s:
+        Upper bound on a blocking admission wait (``None`` = forever).
+    workers:
+        Engine worker threads.  Each worker owns its own engine
+        instances (the arena pool is not thread-safe), so memory scales
+        with ``workers × circuits``.
+    cache_entries:
+        LRU result-cache capacity in jobs (``0`` disables caching).
+    num_devices:
+        ``> 1`` dispatches batches through
+        :class:`~repro.simulation.multi.MultiDeviceWaveSim` with that
+        many worker processes per batch.
+    """
+
+    max_batch_slots: int = 256
+    max_wait_ms: float = 5.0
+    idle_ms: float = 2.0
+    queue_depth: int = 1024
+    admission: str = "block"
+    block_timeout_s: Optional[float] = None
+    workers: int = 1
+    cache_entries: int = 256
+    num_devices: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch_slots < 1:
+            raise ServiceError("max_batch_slots must be positive")
+        if self.max_wait_ms < 0 or self.idle_ms < 0:
+            raise ServiceError("batching waits must be >= 0")
+        if self.queue_depth < 1:
+            raise ServiceError("queue_depth must be positive")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ServiceError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}")
+        if self.workers < 1:
+            raise ServiceError("workers must be positive")
+        if self.cache_entries < 0:
+            raise ServiceError("cache_entries must be >= 0")
+        if self.num_devices < 1:
+            raise ServiceError("num_devices must be positive")
+
+
+@dataclass
+class SimulationJob:
+    """One admitted job travelling through the service (internal)."""
+
+    circuit_key: str
+    pairs: List[PatternPair]
+    plan: SlotPlan
+    config: SimulationConfig
+    kernel_table: object
+    variation: object
+    fingerprint: str
+    compat_key: str
+    future: "Future[JobResult]" = field(default_factory=Future)
+    submitted: float = 0.0
+
+    @property
+    def num_slots(self) -> int:
+        return self.plan.num_slots
+
+
+@dataclass
+class JobResult:
+    """Demultiplexed outcome of one job.
+
+    ``report`` reuses the campaign vocabulary
+    (:class:`~repro.runtime.report.RunReport`): the job appears as one
+    chunk of the shared batch it rode in, with ``from_checkpoint`` set
+    when the result came from the cache instead of an engine dispatch.
+    ``gate_evaluations`` (and the report counters) are the job's
+    slot-share of the batch totals — lane accounting is batch-wide, so
+    per-job figures are an apportionment, not a separate measurement.
+    """
+
+    waveforms: List[Dict[str, Waveform]]
+    slot_labels: List[Tuple[int, float]]
+    engine: str
+    gate_evaluations: int
+    cache_hit: bool
+    latency_seconds: float
+    report: Optional[RunReport] = None
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.waveforms)
+
+    def waveform(self, slot: int, net: str) -> Waveform:
+        return self.waveforms[slot][net]
+
+
+class JobHandle:
+    """Caller-side future for one submitted job."""
+
+    def __init__(self, fingerprint: str, future: "Future[JobResult]") -> None:
+        self.fingerprint = fingerprint
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> JobResult:
+        """Block until the job finishes; re-raises job failures."""
+        return self._future.result(timeout=timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        return self._future.exception(timeout=timeout)
+
+
+def resolved_handle(fingerprint: str, result: JobResult) -> JobHandle:
+    """An already-completed handle (cache hits never enter the queue)."""
+    future: "Future[JobResult]" = Future()
+    future.set_result(result)
+    return JobHandle(fingerprint, future)
+
+
+def validate_job(compiled, pairs: Sequence[PatternPair], plan: SlotPlan,
+                 kernel_table) -> None:
+    """Fail fast at submission time with the engine's own checks.
+
+    The engine would raise identically at dispatch time, but by then the
+    job shares a batch — rejecting it synchronously keeps poison jobs
+    out of other callers' planes.
+    """
+    if not pairs:
+        raise ServiceError("job needs at least one pattern pair")
+    widths = {p.width for p in pairs}
+    if widths != {len(compiled.circuit.inputs)}:
+        raise ServiceError(
+            f"pattern width {sorted(widths)} does not match the "
+            f"{len(compiled.circuit.inputs)} circuit inputs")
+    if int(plan.pattern_indices.max()) >= len(pairs):
+        raise ServiceError("slot plan references missing pattern index")
+    if kernel_table is None and plan.distinct_voltages().size > 1:
+        raise ServiceError(
+            "static delay mode cannot differentiate operating points; "
+            "pass a kernel_table for voltage-aware jobs")

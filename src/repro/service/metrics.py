@@ -1,0 +1,215 @@
+"""Service observability: counters, occupancy histogram, latency quantiles.
+
+A :class:`MetricsRecorder` accumulates under a lock on the hot path
+(cheap integer updates plus a bounded latency window);
+:meth:`MetricsRecorder.snapshot` materializes an immutable
+:class:`ServiceMetrics` for reporting.  The quantities are the ones that
+tell you whether dynamic batching is *working*:
+
+* **batch occupancy histogram** — how full the shared slot planes were
+  when they dispatched (all-ones means coalescing never happened),
+* **coalesce factor** — jobs per engine dispatch (the headline number:
+  sequential submission has factor 1.0),
+* **cache hit rate** — fraction of lookups served without any dispatch,
+* **latency percentiles** — p50/p95/p99 over the recent completion
+  window, because batching trades tail latency for throughput and the
+  trade must be visible.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["MetricsRecorder", "ServiceMetrics"]
+
+#: Upper edges of the batch-occupancy buckets (slots per dispatched
+#: batch); the last bucket is open-ended.
+OCCUPANCY_EDGES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Completed-job latencies kept for the percentile window.
+LATENCY_WINDOW = 4096
+
+
+def _bucket_label(index: int) -> str:
+    if index == 0:
+        return "1"
+    if index >= len(OCCUPANCY_EDGES):
+        return f">{OCCUPANCY_EDGES[-1]}"
+    low = OCCUPANCY_EDGES[index - 1] + 1
+    high = OCCUPANCY_EDGES[index]
+    return str(high) if low == high else f"{low}-{high}"
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Immutable snapshot of one service's lifetime counters."""
+
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_failed: int
+    jobs_rejected: int
+    queue_depth: int
+    batches_dispatched: int
+    jobs_batched: int
+    slots_dispatched: int
+    occupancy_histogram: Dict[str, int]
+    cache: Dict[str, float]
+    latency_p50_ms: Optional[float]
+    latency_p95_ms: Optional[float]
+    latency_p99_ms: Optional[float]
+    retry_after_seconds: float = 0.0
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Jobs per engine dispatch (1.0 = no coalescing happened)."""
+        if self.batches_dispatched == 0:
+            return 1.0
+        return self.jobs_batched / self.batches_dispatched
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Slots per dispatched batch."""
+        if self.batches_dispatched == 0:
+            return 0.0
+        return self.slots_dispatched / self.batches_dispatched
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_rejected": self.jobs_rejected,
+            "queue_depth": self.queue_depth,
+            "batches_dispatched": self.batches_dispatched,
+            "jobs_batched": self.jobs_batched,
+            "slots_dispatched": self.slots_dispatched,
+            "coalesce_factor": self.coalesce_factor,
+            "mean_occupancy": self.mean_occupancy,
+            "occupancy_histogram": dict(self.occupancy_histogram),
+            "cache": dict(self.cache),
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+        }
+
+    def summary(self) -> str:
+        """Human-readable digest for the CLI."""
+        lines = [
+            f"service: {self.jobs_submitted} submitted, "
+            f"{self.jobs_completed} completed, {self.jobs_failed} failed, "
+            f"{self.jobs_rejected} rejected, queue depth {self.queue_depth}",
+            f"  batching: {self.batches_dispatched} dispatches, "
+            f"coalesce factor {self.coalesce_factor:.2f}, "
+            f"mean occupancy {self.mean_occupancy:.1f} slots",
+        ]
+        occupied = {k: v for k, v in self.occupancy_histogram.items() if v}
+        if occupied:
+            lines.append("  occupancy (slots/batch): "
+                         + ", ".join(f"{k}: {v}"
+                                     for k, v in occupied.items()))
+        if self.cache:
+            lines.append(
+                f"  cache: {self.cache.get('hits', 0):.0f} hits / "
+                f"{self.cache.get('misses', 0):.0f} misses "
+                f"(rate {self.cache.get('hit_rate', 0.0):.2f}), "
+                f"{self.cache.get('evictions', 0):.0f} evictions")
+        if self.latency_p50_ms is not None:
+            lines.append(
+                f"  latency: p50 {self.latency_p50_ms:.1f} ms, "
+                f"p95 {self.latency_p95_ms:.1f} ms, "
+                f"p99 {self.latency_p99_ms:.1f} ms")
+        return "\n".join(lines)
+
+
+@dataclass
+class MetricsRecorder:
+    """Thread-safe accumulator behind :meth:`SimulationService.metrics`."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_rejected: int = 0
+    batches_dispatched: int = 0
+    jobs_batched: int = 0
+    slots_dispatched: int = 0
+    _occupancy: List[int] = field(
+        default_factory=lambda: [0] * (len(OCCUPANCY_EDGES) + 1))
+    _latencies: deque = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Exponential moving average of per-job service seconds (the
+    #: admission controller's retry-after estimator).
+    ema_job_seconds: float = 0.0
+
+    def record_submitted(self, jobs: int = 1) -> None:
+        with self._lock:
+            self.jobs_submitted += jobs
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.jobs_rejected += 1
+
+    def record_batch(self, num_jobs: int, num_slots: int) -> None:
+        with self._lock:
+            self.batches_dispatched += 1
+            self.jobs_batched += num_jobs
+            self.slots_dispatched += num_slots
+            bucket = len(OCCUPANCY_EDGES)
+            for index, edge in enumerate(OCCUPANCY_EDGES):
+                if num_slots <= edge:
+                    bucket = index
+                    break
+            self._occupancy[bucket] += 1
+
+    def record_completed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.jobs_completed += 1
+            self._latencies.append(latency_seconds)
+            alpha = 0.2
+            self.ema_job_seconds = (
+                latency_seconds if self.ema_job_seconds == 0.0
+                else (1 - alpha) * self.ema_job_seconds
+                + alpha * latency_seconds)
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.jobs_failed += 1
+
+    def retry_after(self, backlog: int, workers: int) -> float:
+        """Backpressure hint: expected drain time of the current backlog."""
+        with self._lock:
+            per_job = self.ema_job_seconds or 0.001
+        return max(0.001, backlog * per_job / max(workers, 1))
+
+    def snapshot(self, queue_depth: int,
+                 cache_stats: Optional[dict] = None) -> ServiceMetrics:
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            percentiles = (
+                np.percentile(latencies, [50, 95, 99]) * 1e3
+                if latencies.size else None)
+            return ServiceMetrics(
+                jobs_submitted=self.jobs_submitted,
+                jobs_completed=self.jobs_completed,
+                jobs_failed=self.jobs_failed,
+                jobs_rejected=self.jobs_rejected,
+                queue_depth=queue_depth,
+                batches_dispatched=self.batches_dispatched,
+                jobs_batched=self.jobs_batched,
+                slots_dispatched=self.slots_dispatched,
+                occupancy_histogram={
+                    _bucket_label(i): count
+                    for i, count in enumerate(self._occupancy)},
+                cache=dict(cache_stats or {}),
+                latency_p50_ms=(float(percentiles[0])
+                                if percentiles is not None else None),
+                latency_p95_ms=(float(percentiles[1])
+                                if percentiles is not None else None),
+                latency_p99_ms=(float(percentiles[2])
+                                if percentiles is not None else None),
+            )

@@ -485,9 +485,7 @@ class GpuWaveSim:
         for subset in (np.nonzero(tracked)[0], np.nonzero(~quiet & ~tracked)[0]):
             if not subset.size:
                 continue
-            sub_plan = SlotPlan(
-                pattern_indices=plan.pattern_indices[subset],
-                voltages=plan.voltages[subset])
+            sub_plan = plan.take(subset)
             sub_results = self._run_batch_at_capacity(
                 v1, v2, sub_plan, kernel_table, capacity, stats, variation,
                 global_slots[subset], delay_cache)

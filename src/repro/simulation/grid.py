@@ -76,6 +76,29 @@ class SlotPlan:
         """All patterns under a single operating point (Table I setup)."""
         return cls.cross(num_patterns, [voltage])
 
+    @classmethod
+    def concat(cls, plans: Sequence["SlotPlan"],
+               pattern_offsets: Sequence[int] = None) -> "SlotPlan":
+        """Stack sub-plans into one shared plane (the service batcher).
+
+        ``pattern_offsets`` shifts each plan's pattern indices by the
+        position of that plan's stimuli in the combined pattern list, so
+        independently numbered jobs can share one plane without index
+        collisions.
+        """
+        if not plans:
+            raise ValueError("concat needs at least one plan")
+        if pattern_offsets is None:
+            pattern_offsets = [0] * len(plans)
+        if len(pattern_offsets) != len(plans):
+            raise ValueError("need one pattern offset per plan")
+        return cls(
+            pattern_indices=np.concatenate(
+                [p.pattern_indices + int(off)
+                 for p, off in zip(plans, pattern_offsets)]),
+            voltages=np.concatenate([p.voltages for p in plans]),
+        )
+
     # -- queries -------------------------------------------------------------------
 
     @property
@@ -93,6 +116,12 @@ class SlotPlan:
         """Slot indices evaluating at the given voltage."""
         return np.where(np.isclose(self.voltages, voltage))[0]
 
+    def take(self, indices) -> "SlotPlan":
+        """Sub-plan of the given slot indices (demux / chunk slicing)."""
+        chosen = np.asarray(indices, dtype=np.int64)
+        return SlotPlan(pattern_indices=self.pattern_indices[chosen],
+                        voltages=self.voltages[chosen])
+
     # -- batching -------------------------------------------------------------------
 
     def batches(self, max_slots: int) -> Iterator[Tuple[np.ndarray, "SlotPlan"]]:
@@ -105,7 +134,4 @@ class SlotPlan:
             raise ValueError("max_slots must be positive")
         for start in range(0, self.num_slots, max_slots):
             indices = np.arange(start, min(start + max_slots, self.num_slots))
-            yield indices, SlotPlan(
-                pattern_indices=self.pattern_indices[indices],
-                voltages=self.voltages[indices],
-            )
+            yield indices, self.take(indices)

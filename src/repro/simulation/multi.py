@@ -124,6 +124,7 @@ class MultiDeviceWaveSim:
         voltage: float = 0.8,
         kernel_table: Optional[DelayKernelTable] = None,
         variation=None,
+        global_slots: Optional[np.ndarray] = None,
     ) -> SimulationResult:
         """Simulate the slot plane across all devices.
 
@@ -132,10 +133,22 @@ class MultiDeviceWaveSim:
         distribution is independent of the device count); results are
         ordered by global slot index regardless of which device produced
         them.
+
+        ``global_slots`` lets a caller that itself sliced a larger plane
+        (the simulation service dispatching a coalesced batch) pin each
+        local slot's full-plane index; every per-device chunk forwards
+        its slice, so die factors stay bit-identical however the plane
+        is partitioned.
         """
         if not pairs:
             raise SimulationError("need at least one pattern pair")
         plan = plan or SlotPlan.uniform(len(pairs), voltage)
+        if global_slots is not None:
+            global_slots = np.asarray(global_slots, dtype=np.int64)
+            if global_slots.shape != (plan.num_slots,):
+                raise SimulationError(
+                    "global_slots must provide one index per plan slot"
+                )
         start = _time.perf_counter()
 
         devices = min(self.num_devices, plan.num_slots)
@@ -143,7 +156,8 @@ class MultiDeviceWaveSim:
             engine = GpuWaveSim(self.compiled.circuit, self.compiled.library,
                                 config=self.config, compiled=self.compiled)
             result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
-                                variation=variation)
+                                variation=variation,
+                                global_slots=global_slots)
             self.last_stats = engine.last_stats
             return SimulationResult(
                 circuit_name=result.circuit_name,
@@ -163,10 +177,12 @@ class MultiDeviceWaveSim:
             for indices, sub in chunks:
                 sub_pairs, sub_indices = _chunk_pairs(pairs,
                                                       sub.pattern_indices)
+                chunk_globals = (global_slots[indices]
+                                 if global_slots is not None else indices)
                 futures.append(pool.submit(
                     _run_chunk, self.compiled, self.config, kernel_table,
                     sub_pairs, sub_indices, sub.voltages,
-                    variation, indices,
+                    variation, chunk_globals,
                 ))
             for (indices, _sub), future in zip(chunks, futures):
                 chunk_waveforms, chunk_stats = future.result()

@@ -89,6 +89,15 @@ def test_sta_bounds_transport_arrivals(circuit, pattern_seed, library):
 @SLOW
 @given(circuit=circuit_strategy(), pattern_seed=st.integers(0, 1000))
 def test_inertial_never_adds_transitions(circuit, pattern_seed, library):
+    """Inertial filtering only removes transitions — gate-locally.
+
+    The guarantee holds per gate *for identical input waveforms*: it is
+    asserted on first-level gates, whose inputs are the (unfiltered)
+    primary stimuli in both modes.  Globally the property is false —
+    filtering an upstream pulse can unmask downstream switching that
+    cancelled out in transport mode, so deeper nets can legitimately
+    gain transitions (counterexample: circuit seed 3588, pattern seed
+    86)."""
     compiled = compile_circuit(circuit, library)
     rng = np.random.default_rng(pattern_seed)
     pairs = [PatternPair.random(len(circuit.inputs), rng) for _ in range(4)]
@@ -100,7 +109,12 @@ def test_inertial_never_adds_transitions(circuit, pattern_seed, library):
         circuit, library, compiled=compiled,
         config=SimulationConfig(record_all_nets=True,
                                 pulse_filtering="inertial")).run(pairs)
+    primary = set(circuit.inputs)
+    level1 = [gate.output for gate in circuit.gates
+              if all(pin in primary for pin in gate.inputs)]
+    assert level1
     for slot in range(len(pairs)):
-        total_transport = transport.total_transitions(slot)
-        total_inertial = inertial.total_transitions(slot)
-        assert total_inertial <= total_transport
+        for net in level1:
+            kept = len(inertial.waveform(slot, net).times)
+            original = len(transport.waveform(slot, net).times)
+            assert kept <= original, (slot, net)

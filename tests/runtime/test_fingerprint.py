@@ -1,0 +1,122 @@
+"""Tests for the shared fingerprint module (service cache + checkpoints).
+
+``campaign_fingerprint`` determinism/sensitivity is covered by
+``test_checkpoint.py``; this file covers what the extraction added: the
+service-facing identities and the compatibility key the batcher groups
+by.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generate import random_circuit
+from repro.runtime.fingerprint import (
+    Fingerprinter,
+    campaign_fingerprint,
+    circuit_fingerprint,
+    compatibility_fingerprint,
+    job_fingerprint,
+)
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+
+
+@pytest.fixture(scope="module")
+def compiled(library):
+    return compile_circuit(random_circuit("fp", 8, 60, seed=2), library)
+
+
+@pytest.fixture(scope="module")
+def other_compiled(library):
+    return compile_circuit(random_circuit("fp2", 8, 60, seed=3), library)
+
+
+class TestFingerprinter:
+    def test_framing_separates_boundaries(self):
+        # (b"ab", b"c") and (b"a", b"bc") must not collide: each feed is
+        # framed with its tag and an 8-byte length.
+        one = Fingerprinter()
+        one.feed("x", b"ab")
+        one.feed("y", b"c")
+        two = Fingerprinter()
+        two.feed("x", b"a")
+        two.feed("y", b"bc")
+        assert one.hexdigest() != two.hexdigest()
+
+    def test_array_feed_covers_dtype(self):
+        as_i64 = Fingerprinter()
+        as_i64.feed_array("a", np.arange(4, dtype=np.int64))
+        as_i32 = Fingerprinter()
+        as_i32.feed_array("a", np.arange(4, dtype=np.int32))
+        assert as_i64.hexdigest() != as_i32.hexdigest()
+
+
+class TestIdentities:
+    def test_job_fingerprint_is_campaign_fingerprint(self):
+        assert job_fingerprint is campaign_fingerprint
+
+    def test_circuit_fingerprint_distinguishes_circuits(self, compiled,
+                                                        other_compiled):
+        assert circuit_fingerprint(compiled) == circuit_fingerprint(compiled)
+        assert circuit_fingerprint(compiled) != \
+            circuit_fingerprint(other_compiled)
+
+
+class TestCompatibilityKey:
+    def test_same_inputs_same_key(self, compiled):
+        config = SimulationConfig()
+        assert compatibility_fingerprint(compiled, config, None, None) == \
+            compatibility_fingerprint(compiled, config, None, None)
+
+    def test_circuit_and_config_split_groups(self, compiled, other_compiled):
+        config = SimulationConfig()
+        base = compatibility_fingerprint(compiled, config, None, None)
+        assert compatibility_fingerprint(other_compiled, config,
+                                         None, None) != base
+        assert compatibility_fingerprint(
+            compiled, SimulationConfig(record_all_nets=True),
+            None, None) != base
+
+    def test_static_mode_splits_distinct_voltages(self, compiled):
+        config = SimulationConfig()
+        at_08 = compatibility_fingerprint(
+            compiled, config, None, None,
+            static_voltages=np.full(4, 0.8))
+        at_06 = compatibility_fingerprint(
+            compiled, config, None, None,
+            static_voltages=np.full(4, 0.6))
+        assert at_08 != at_06
+        # Slot multiplicity does not matter, only the distinct values.
+        assert compatibility_fingerprint(
+            compiled, config, None, None,
+            static_voltages=np.full(9, 0.8)) == at_08
+
+    def test_parametric_mode_ignores_voltages(self, compiled, kernel_table):
+        config = SimulationConfig()
+        base = compatibility_fingerprint(compiled, config, kernel_table,
+                                         None, static_voltages=None)
+        assert compatibility_fingerprint(compiled, config, kernel_table,
+                                         None, static_voltages=None) == base
+
+    def test_variation_splits_groups(self, compiled, kernel_table):
+        from repro.simulation.variation import ProcessVariation
+
+        config = SimulationConfig()
+        base = compatibility_fingerprint(compiled, config, kernel_table, None)
+        varied = compatibility_fingerprint(
+            compiled, config, kernel_table, ProcessVariation(sigma=0.05))
+        assert base != varied
+
+
+class TestBackendDoesNotSplitIdentity:
+    def test_backend_outside_fingerprint(self, compiled):
+        rng = np.random.default_rng(0)
+        pairs = [PatternPair.random(len(compiled.circuit.inputs), rng)
+                 for _ in range(2)]
+        from repro.simulation.grid import SlotPlan
+        plan = SlotPlan.uniform(2, 0.8)
+        a = job_fingerprint(compiled, pairs, plan,
+                            SimulationConfig(backend="numpy"), None, None)
+        b = job_fingerprint(compiled, pairs, plan,
+                            SimulationConfig(backend=None), None, None)
+        assert a == b

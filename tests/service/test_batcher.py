@@ -1,0 +1,88 @@
+"""Tests for the dynamic batcher's flush policy (pure logic, no threads)."""
+
+from concurrent.futures import Future
+
+from repro.service import DynamicBatcher
+from repro.service.jobs import SimulationJob
+from repro.simulation.grid import SlotPlan
+
+
+def job(compat: str, slots: int) -> SimulationJob:
+    return SimulationJob(
+        circuit_key="c", pairs=[None] * slots,
+        plan=SlotPlan.uniform(slots, 0.8), config=None, kernel_table=None,
+        variation=None, fingerprint=f"fp-{compat}-{slots}-{id(object())}",
+        compat_key=compat, future=Future())
+
+
+class TestFullnessFlush:
+    def test_flushes_at_max_slots(self):
+        batcher = DynamicBatcher(max_batch_slots=4, max_wait_seconds=10.0)
+        assert batcher.add(job("g", 2), now=0.0) == []
+        ready = batcher.add(job("g", 2), now=0.1)
+        assert len(ready) == 1
+        assert ready[0].num_jobs == 2
+        assert ready[0].num_slots == 4
+        assert batcher.pending_jobs == 0
+
+    def test_overflow_flushes_group_first(self):
+        batcher = DynamicBatcher(max_batch_slots=4, max_wait_seconds=10.0)
+        batcher.add(job("g", 3), now=0.0)
+        ready = batcher.add(job("g", 3), now=0.1)
+        # 3 + 3 > 4: the pending 3-slot batch flushes, the new job
+        # starts a fresh group (it has not reached the ceiling itself).
+        assert len(ready) == 1
+        assert ready[0].num_slots == 3
+        assert batcher.pending_slots == 3
+
+    def test_oversized_job_becomes_own_batch(self):
+        batcher = DynamicBatcher(max_batch_slots=4, max_wait_seconds=10.0)
+        ready = batcher.add(job("g", 9), now=0.0)
+        assert len(ready) == 1
+        assert ready[0].num_slots == 9
+
+    def test_compat_groups_do_not_mix(self):
+        batcher = DynamicBatcher(max_batch_slots=4, max_wait_seconds=10.0)
+        batcher.add(job("a", 2), now=0.0)
+        ready = batcher.add(job("b", 2), now=0.0)
+        assert ready == []
+        assert batcher.pending_jobs == 2
+        drained = batcher.drain()
+        assert sorted(b.compat_key for b in drained) == ["a", "b"]
+        assert all(b.num_jobs == 1 for b in drained)
+
+
+class TestAgeFlush:
+    def test_due_after_max_wait(self):
+        batcher = DynamicBatcher(max_batch_slots=100, max_wait_seconds=1.0)
+        batcher.add(job("g", 2), now=0.0)
+        assert batcher.due(now=0.5) == []
+        ready = batcher.due(now=1.0)
+        assert len(ready) == 1
+        assert batcher.pending_jobs == 0
+
+    def test_age_counts_from_oldest_job(self):
+        batcher = DynamicBatcher(max_batch_slots=100, max_wait_seconds=1.0)
+        batcher.add(job("g", 2), now=0.0)
+        batcher.add(job("g", 2), now=0.9)  # late arrival does not reset age
+        ready = batcher.due(now=1.0)
+        assert len(ready) == 1
+        assert ready[0].num_jobs == 2
+
+    def test_next_deadline(self):
+        batcher = DynamicBatcher(max_batch_slots=100, max_wait_seconds=1.0)
+        assert batcher.next_deadline(now=0.0) is None
+        batcher.add(job("a", 1), now=0.0)
+        batcher.add(job("b", 1), now=0.4)
+        assert batcher.next_deadline(now=0.5) == 0.5
+        assert batcher.next_deadline(now=2.0) == 0.0
+
+
+class TestDrain:
+    def test_drain_returns_everything_once(self):
+        batcher = DynamicBatcher(max_batch_slots=100, max_wait_seconds=1.0)
+        batcher.add(job("a", 1), now=0.0)
+        batcher.add(job("b", 2), now=0.0)
+        assert batcher.pending_slots == 3
+        assert len(batcher.drain()) == 2
+        assert batcher.drain() == []

@@ -1,0 +1,114 @@
+"""Tests for the service client and the JSON-lines transport."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import _load_circuit
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    SimulationService,
+    serve_jsonl,
+)
+
+
+@pytest.fixture()
+def service():
+    with SimulationService(config=ServiceConfig(
+            max_batch_slots=64, max_wait_ms=2000.0, idle_ms=20.0)) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def client(service, library):
+    return ServiceClient(service, library, _load_circuit, backend="numpy")
+
+
+class TestServiceClient:
+    def test_request_round_trip(self, client):
+        handle = client.request({"circuit": "random:60:2", "patterns": 4})
+        result = handle.result(timeout=60)
+        assert result.num_slots == 4
+        assert not result.cache_hit
+
+    def test_circuit_key_is_cached(self, client):
+        key1 = client.circuit_key("random:60:2")
+        key2 = client.circuit_key("random:60:2")
+        assert key1 == key2
+        assert client.service.circuit(key1) is not None
+
+    def test_request_requires_circuit(self, client):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="circuit"):
+            client.request({"patterns": 4})
+
+
+class TestServeJsonl:
+    def run_lines(self, client, lines):
+        out = io.StringIO()
+        status = serve_jsonl(io.StringIO("\n".join(lines) + "\n"), out,
+                             client)
+        assert status == 0
+        return [json.loads(line) for line in
+                out.getvalue().strip().splitlines()]
+
+    def test_responses_in_submission_order(self, client):
+        responses = self.run_lines(client, [
+            json.dumps({"id": "a", "circuit": "random:60:2", "patterns": 2}),
+            json.dumps({"id": "b", "circuit": "random:60:2", "patterns": 3,
+                        "seed": 1}),
+            json.dumps({"id": "c", "circuit": "random:60:2", "patterns": 2}),
+        ])
+        assert [r["id"] for r in responses] == ["a", "b", "c"]
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["slots"] == 2
+        assert responses[1]["slots"] == 3
+        assert responses[0]["gate_evaluations"] > 0
+        assert responses[0]["latest_arrival_s"] > 0
+
+    def test_bad_lines_report_per_line(self, client):
+        responses = self.run_lines(client, [
+            "this is not json",
+            json.dumps({"id": "x"}),  # missing circuit spec
+            json.dumps(["not", "an", "object"]),
+            json.dumps({"id": "ok", "circuit": "random:60:2",
+                        "patterns": 2}),
+        ])
+        assert len(responses) == 4
+        bad, no_spec, not_obj, good = responses
+        assert not bad["ok"] and bad["id"] is None
+        assert not no_spec["ok"] and no_spec["id"] == "x"
+        assert not not_obj["ok"]
+        assert good["ok"] and good["id"] == "ok"
+
+    def test_blank_lines_ignored(self, client):
+        responses = self.run_lines(client, [
+            "",
+            json.dumps({"id": "a", "circuit": "random:60:2", "patterns": 2}),
+            "   ",
+        ])
+        assert len(responses) == 1
+
+    def test_rejection_carries_retry_hint(self, library):
+        config = ServiceConfig(max_batch_slots=64, max_wait_ms=2000.0,
+                               idle_ms=500.0, queue_depth=1,
+                               admission="reject")
+        with SimulationService(config=config) as service:
+            client = ServiceClient(service, library, _load_circuit,
+                                   backend="numpy")
+            out = io.StringIO()
+            lines = [
+                json.dumps({"id": "a", "circuit": "random:60:2",
+                            "patterns": 2}),
+                json.dumps({"id": "b", "circuit": "random:60:2",
+                            "patterns": 2, "seed": 1}),
+            ]
+            serve_jsonl(io.StringIO("\n".join(lines) + "\n"), out, client)
+        responses = {r["id"]: r for r in
+                     (json.loads(line)
+                      for line in out.getvalue().strip().splitlines())}
+        assert responses["a"]["ok"]
+        assert not responses["b"]["ok"]
+        assert responses["b"]["retry_after_ms"] > 0

@@ -1,0 +1,370 @@
+"""Tests for the simulation service: batching, caching, admission, shutdown.
+
+The load-bearing property is **bit-identity**: a job's waveforms must be
+exactly what a standalone ``GpuWaveSim.run`` of the same request
+produces, no matter which batch the service coalesced it into.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.netlist.generate import random_circuit
+from repro.service import ServiceConfig, SimulationService
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.simulation.variation import ProcessVariation
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_circuit("svc", 10, 90, seed=11)
+
+
+@pytest.fixture(scope="module")
+def compiled(circuit, library):
+    return compile_circuit(circuit, library)
+
+
+def make_jobs(circuit, count, pairs_each=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return [[PatternPair.random(len(circuit.inputs), rng)
+             for _ in range(pairs_each)] for _ in range(count)]
+
+
+def coalescing_config(**overrides):
+    """Deterministic batching: generous waits, flush on fullness."""
+    defaults = dict(max_batch_slots=16, max_wait_ms=2000.0, idle_ms=500.0)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def assert_bit_identical(job_pairs, result, engine, **run_kwargs):
+    reference = engine.run(job_pairs, **run_kwargs)
+    assert len(reference.waveforms) == result.num_slots
+    for slot in range(result.num_slots):
+        ref_nets = reference.waveforms[slot]
+        got_nets = result.waveforms[slot]
+        assert set(ref_nets) == set(got_nets)
+        for net, ref in ref_nets.items():
+            got = got_nets[net]
+            assert got.initial == ref.initial, (slot, net)
+            assert np.array_equal(got.times, ref.times), (slot, net)
+
+
+class TestBatchingAndBitIdentity:
+    def test_coalesced_batch_is_bit_identical(self, circuit, library,
+                                              compiled):
+        jobs = make_jobs(circuit, 8)
+        with SimulationService(config=coalescing_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            handles = [service.submit(key, pairs) for pairs in jobs]
+            results = [h.result(timeout=60) for h in handles]
+            metrics = service.metrics()
+        # 8 jobs x 2 slots == max_batch_slots: exactly one dispatch.
+        assert metrics.batches_dispatched == 1
+        assert metrics.coalesce_factor == 8.0
+        assert metrics.jobs_completed == 8
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        for pairs, result in zip(jobs, results):
+            assert not result.cache_hit
+            assert_bit_identical(pairs, result, engine)
+
+    def test_parametric_batch_is_bit_identical(self, circuit, library,
+                                               compiled, kernel_table):
+        jobs = make_jobs(circuit, 4, seed=5)
+        voltages = [0.65, 0.95]
+        plans = [SlotPlan.cross(len(pairs), voltages) for pairs in jobs]
+        with SimulationService(config=coalescing_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            handles = [service.submit(key, pairs, plan=plan,
+                                      kernel_table=kernel_table)
+                       for pairs, plan in zip(jobs, plans)]
+            results = [h.result(timeout=60) for h in handles]
+            assert service.engine_dispatches == 1
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        for pairs, plan, result in zip(jobs, plans, results):
+            assert result.slot_labels == plan.labels()
+            assert_bit_identical(pairs, result, engine, plan=plan,
+                                 kernel_table=kernel_table)
+
+    def test_variation_ignores_batch_position(self, circuit, library,
+                                              compiled, kernel_table):
+        """Monte-Carlo die factors must use job-local slot indices."""
+        variation = ProcessVariation(sigma=0.05, seed=9)
+        jobs = make_jobs(circuit, 4, seed=7)
+        with SimulationService(config=coalescing_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            handles = [service.submit(key, pairs, kernel_table=kernel_table,
+                                      variation=variation)
+                       for pairs in jobs]
+            results = [h.result(timeout=60) for h in handles]
+            assert service.engine_dispatches == 1
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        # Every job — including those landing late in the shared plane —
+        # must match a standalone run, where its slots start at 0.
+        for pairs, result in zip(jobs, results):
+            assert_bit_identical(pairs, result, engine,
+                                 kernel_table=kernel_table,
+                                 variation=variation)
+
+    def test_static_voltages_do_not_coalesce(self, circuit, library,
+                                             compiled):
+        """Two valid static jobs at different voltages must not share a
+        plane (the engine rejects static multi-voltage planes)."""
+        jobs = make_jobs(circuit, 2, seed=3)
+        with SimulationService(config=coalescing_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            first = service.submit(key, jobs[0], voltage=0.8)
+            second = service.submit(key, jobs[1], voltage=0.6)
+            r1 = first.result(timeout=60)
+            r2 = second.result(timeout=60)
+            assert service.engine_dispatches == 2
+        assert r1.slot_labels == [(0, 0.8), (1, 0.8)]
+        assert r2.slot_labels == [(0, 0.6), (1, 0.6)]
+
+    def test_incompatible_configs_do_not_coalesce(self, circuit, library,
+                                                  compiled):
+        jobs = make_jobs(circuit, 2, seed=4)
+        with SimulationService(config=coalescing_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            a = service.submit(key, jobs[0],
+                               config=SimulationConfig(record_all_nets=True))
+            b = service.submit(key, jobs[1],
+                               config=SimulationConfig(record_all_nets=False))
+            ra, rb = a.result(timeout=60), b.result(timeout=60)
+            assert service.engine_dispatches == 2
+        assert len(ra.waveforms[0]) > len(rb.waveforms[0])
+
+
+class TestConcurrentSubmission:
+    def test_two_threads_get_their_own_slices(self, circuit, library,
+                                              compiled):
+        """Overlapping concurrent submissions demux correctly: every
+        thread's results are bit-identical to its own standalone runs."""
+        per_thread = 6
+        job_sets = {
+            name: make_jobs(circuit, per_thread, seed=seed)
+            for name, seed in (("t1", 21), ("t2", 22))
+        }
+        # One identical job in both threads: overlapping fingerprints.
+        job_sets["t2"][0] = [PatternPair(p.v1.copy(), p.v2.copy())
+                             for p in job_sets["t1"][0]]
+        outcomes = {}
+
+        with SimulationService(config=coalescing_config(
+                max_batch_slots=8, workers=2)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+
+            def worker(name):
+                handles = [service.submit(key, pairs)
+                           for pairs in job_sets[name]]
+                outcomes[name] = [h.result(timeout=60) for h in handles]
+
+            threads = [threading.Thread(target=worker, args=(name,))
+                       for name in job_sets]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+                assert not thread.is_alive()
+            metrics = service.metrics()
+
+        assert metrics.jobs_completed == 2 * per_thread
+        assert metrics.jobs_failed == 0
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        for name, jobs in job_sets.items():
+            for pairs, result in zip(jobs, outcomes[name]):
+                assert_bit_identical(pairs, result, engine)
+
+
+class TestResultCache:
+    def test_cache_hit_skips_engine_dispatch(self, circuit, library,
+                                             compiled):
+        pairs = make_jobs(circuit, 1, seed=8)[0]
+        with SimulationService(config=coalescing_config(
+                max_batch_slots=2)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            first = service.submit(key, pairs).result(timeout=60)
+            dispatches = service.engine_dispatches
+            assert dispatches == 1
+            second = service.submit(key, pairs).result(timeout=60)
+            assert service.engine_dispatches == dispatches  # no new dispatch
+            metrics = service.metrics()
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.engine == "cache"
+        assert second.gate_evaluations == 0
+        assert second.report.chunks[0].from_checkpoint
+        assert metrics.cache["hits"] == 1
+        # Cached waveforms are the same data.
+        for slot in range(first.num_slots):
+            for net, ref in first.waveforms[slot].items():
+                assert np.array_equal(second.waveforms[slot][net].times,
+                                      ref.times)
+
+    def test_different_stimuli_miss(self, circuit, library, compiled):
+        jobs = make_jobs(circuit, 2, seed=9)
+        with SimulationService(config=coalescing_config(
+                max_batch_slots=2)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, jobs[0]).result(timeout=60)
+            service.submit(key, jobs[1]).result(timeout=60)
+            assert service.engine_dispatches == 2
+
+    def test_cache_disabled(self, circuit, library, compiled):
+        pairs = make_jobs(circuit, 1, seed=10)[0]
+        with SimulationService(config=coalescing_config(
+                max_batch_slots=2, cache_entries=0)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, pairs).result(timeout=60)
+            repeat = service.submit(key, pairs).result(timeout=60)
+            assert service.engine_dispatches == 2
+        assert not repeat.cache_hit
+
+    def test_cache_hit_copies_do_not_alias_slots(self, circuit, library,
+                                                 compiled):
+        pairs = make_jobs(circuit, 1, seed=12)[0]
+        with SimulationService(config=coalescing_config(
+                max_batch_slots=2)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, pairs).result(timeout=60)
+            hit1 = service.submit(key, pairs).result(timeout=60)
+            hit1.waveforms[0].clear()  # caller mutates its copy
+            hit2 = service.submit(key, pairs).result(timeout=60)
+        assert hit2.cache_hit
+        assert len(hit2.waveforms[0]) > 0
+
+
+class TestAdmissionControl:
+    def test_reject_policy_raises_with_retry_hint(self, circuit, library,
+                                                  compiled):
+        jobs = make_jobs(circuit, 3, seed=13)
+        config = coalescing_config(queue_depth=2, admission="reject",
+                                   max_batch_slots=64)
+        with SimulationService(config=config) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            # Two jobs sit in the batcher (generous waits, plane not
+            # full), saturating the backlog.
+            service.submit(key, jobs[0])
+            service.submit(key, jobs[1])
+            with pytest.raises(AdmissionError) as excinfo:
+                service.submit(key, jobs[2])
+            assert excinfo.value.retry_after_seconds > 0
+            assert service.metrics().jobs_rejected == 1
+        # close() drains: the admitted jobs still completed.
+        assert service.metrics().jobs_completed == 2
+
+    def test_block_policy_times_out(self, circuit, library, compiled):
+        jobs = make_jobs(circuit, 3, seed=14)
+        config = coalescing_config(queue_depth=2, admission="block",
+                                   block_timeout_s=0.05, max_batch_slots=64)
+        with SimulationService(config=config) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, jobs[0])
+            service.submit(key, jobs[1])
+            with pytest.raises(AdmissionError):
+                service.submit(key, jobs[2])
+
+    def test_invalid_jobs_rejected_synchronously(self, circuit, library,
+                                                 compiled):
+        with SimulationService(config=coalescing_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            with pytest.raises(ServiceError, match="at least one"):
+                service.submit(key, [])
+            rng = np.random.default_rng(0)
+            wrong = [PatternPair.random(len(circuit.inputs) + 1, rng)]
+            with pytest.raises(ServiceError, match="width"):
+                service.submit(key, wrong)
+            pairs = make_jobs(circuit, 1, seed=15)[0]
+            multi = SlotPlan.cross(len(pairs), [0.6, 0.8])
+            with pytest.raises(ServiceError, match="static"):
+                service.submit(key, pairs, plan=multi)
+            with pytest.raises(ServiceError, match="unknown circuit"):
+                service.submit("not-a-fingerprint", pairs)
+
+
+class TestShutdown:
+    def test_close_drains_pending_jobs(self, circuit, library, compiled):
+        jobs = make_jobs(circuit, 3, seed=16)
+        service = SimulationService(config=coalescing_config(
+            max_batch_slots=64))
+        key = service.register_circuit(circuit, library, compiled=compiled)
+        handles = [service.submit(key, pairs) for pairs in jobs]
+        service.close()  # jobs were still waiting in the batcher
+        for handle in handles:
+            assert handle.result(timeout=60).num_slots == 2
+        assert service.metrics().jobs_completed == 3
+
+    def test_close_without_drain_fails_pending(self, circuit, library,
+                                               compiled):
+        jobs = make_jobs(circuit, 2, seed=17)
+        service = SimulationService(config=coalescing_config(
+            max_batch_slots=64))
+        key = service.register_circuit(circuit, library, compiled=compiled)
+        handles = [service.submit(key, pairs) for pairs in jobs]
+        service.close(drain=False)
+        for handle in handles:
+            with pytest.raises(ServiceClosedError):
+                handle.result(timeout=60)
+        assert service.metrics().jobs_failed == 2
+        assert service.metrics().queue_depth == 0
+
+    def test_submit_after_close_raises(self, circuit, library, compiled):
+        service = SimulationService(config=coalescing_config())
+        key = service.register_circuit(circuit, library, compiled=compiled)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(key, make_jobs(circuit, 1, seed=18)[0])
+        service.close()  # idempotent
+
+    def test_register_unknown_circuit_errors(self, library):
+        with SimulationService(config=coalescing_config()) as service:
+            with pytest.raises(ServiceError, match="unknown circuit"):
+                service.circuit("deadbeef")
+
+
+class TestMetrics:
+    def test_snapshot_shape(self, circuit, library, compiled):
+        jobs = make_jobs(circuit, 8, seed=19)
+        with SimulationService(config=coalescing_config(
+                max_batch_slots=2)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            for pairs in jobs:
+                service.submit(key, pairs).result(timeout=60)
+            metrics = service.metrics()
+        data = metrics.to_dict()
+        assert data["jobs_submitted"] == 8
+        assert data["jobs_completed"] == 8
+        assert data["slots_dispatched"] == 16
+        assert sum(metrics.occupancy_histogram.values()) == \
+            metrics.batches_dispatched
+        assert metrics.latency_p50_ms is not None
+        assert metrics.latency_p50_ms <= metrics.latency_p99_ms
+        assert "coalesce factor" in metrics.summary()

@@ -189,3 +189,44 @@ class TestExplore:
 
     def test_requires_kernels(self, verilog_file, capsys):
         assert main(["explore", verilog_file]) == 2
+
+
+class TestServe:
+    def run_serve(self, monkeypatch, capsys, lines, extra_args=()):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        status = main(["serve", "--backend", "numpy",
+                       "--max-wait-ms", "200", *extra_args])
+        captured = capsys.readouterr()
+        return status, captured
+
+    def test_json_lines_round_trip(self, monkeypatch, capsys):
+        import json
+
+        status, captured = self.run_serve(monkeypatch, capsys, [
+            json.dumps({"id": "a", "circuit": "random:60:3", "patterns": 2}),
+            json.dumps({"id": "b", "circuit": "random:60:3", "patterns": 2,
+                        "seed": 1}),
+        ])
+        assert status == 0
+        responses = [json.loads(line)
+                     for line in captured.out.strip().splitlines()]
+        assert [r["id"] for r in responses] == ["a", "b"]
+        assert all(r["ok"] for r in responses)
+        assert "service:" in captured.err
+        assert "coalesce factor" in captured.err
+
+    def test_metrics_json_output(self, monkeypatch, capsys, tmp_path):
+        import json
+
+        metrics_path = str(tmp_path / "metrics.json")
+        status, _ = self.run_serve(
+            monkeypatch, capsys,
+            [json.dumps({"id": "a", "circuit": "random:60:3",
+                         "patterns": 2})],
+            extra_args=["--metrics-json", metrics_path])
+        assert status == 0
+        metrics = json.load(open(metrics_path))
+        assert metrics["jobs_completed"] == 1
+        assert "occupancy_histogram" in metrics
