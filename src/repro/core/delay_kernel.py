@@ -167,6 +167,26 @@ class DelayKernelTable:
         -------
         Array of shape ``(G, pins, 2, S)`` with adapted delays.
         """
+        nv = np.asarray(self.space.normalize_voltage(voltages), dtype=np.float64)
+        nc = np.asarray(self.space.normalize_load(loads), dtype=np.float64)
+        return self.delays_from_normalized(type_ids, nv, nc, nominal_delays)
+
+    def delays_from_normalized(
+        self,
+        type_ids: np.ndarray,
+        nv: np.ndarray,
+        nc: np.ndarray,
+        nominal_delays: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`delays_for_gates` with pre-normalized predictors.
+
+        ``nv`` is ``φ_V`` of the slot voltages, ``nc`` is ``φ_C`` of the
+        per-gate loads.  The fused level-plan path caches both on the
+        compiled circuit (:class:`~repro.simulation.compiled.CircuitPlans`)
+        so repeated jobs skip the normalization pass; evaluation here is
+        the exact op sequence of :meth:`delays_for_gates`, so results
+        stay bit-identical.
+        """
         type_ids = np.asarray(type_ids, dtype=np.int64)
         nominal_delays = np.asarray(nominal_delays, dtype=np.float64)
         pins = nominal_delays.shape[1]
@@ -175,8 +195,8 @@ class DelayKernelTable:
                 f"gates have {pins} pins but the kernel table holds "
                 f"{self.max_pins}"
             )
-        nv = np.asarray(self.space.normalize_voltage(voltages), dtype=np.float64)
-        nc = np.asarray(self.space.normalize_load(loads), dtype=np.float64)
+        nv = np.asarray(nv, dtype=np.float64)
+        nc = np.asarray(nc, dtype=np.float64)
         # Follow the caller's pin dimension and insert a slot axis so the
         # coefficient dims (G, P, 2, 1) broadcast against the slot
         # voltages (S,) and per-gate loads (G, 1, 1, 1).

@@ -22,7 +22,9 @@ Report schema (version 1)::
       ],
       "speedups": {benchmark-name: {backend: numpy_wall / backend_wall}},
       "pruning_speedups": {scenario: {backend: dense_wall / sparse_wall}},
-      "service_speedups": {backend: sequential_wall / batched_wall}
+      "service_speedups": {backend: sequential_wall / batched_wall},
+      "dispatch_speedups": {backend: unfused_wall / fused_wall},
+      "parametric_ratios": {circuit: {backend: parametric_wall / static_wall}}
     }
 
 The low-activity scenario (``e2e_*_lowact_{sparse,dense}``) runs the
@@ -35,6 +37,15 @@ the same fine-grained jobs once as per-job ``GpuWaveSim.run`` calls and
 once through :class:`repro.service.SimulationService` (result cache
 disabled); ``service_speedups`` records the dynamic-batching win of
 coalescing small jobs into one shared slot plane.
+
+The level-dispatch scenario (``level_dispatch_{fused,unfused}``) runs
+the same parametric workload once through the fused level-plan path
+(one backend call per level, delays evaluated in-kernel) and once
+through the per-arity-group path; ``dispatch_speedups`` records the
+fusion win.  ``parametric_ratios`` tracks the cost of voltage-adaptive
+delays relative to static delays per circuit and backend — the number
+the fused path is meant to push toward 1.0 — and the regression gate
+fails when it degrades beyond the threshold against the baseline.
 
 Wall times are best-of-N (minimum over repeats) — the standard way to
 suppress scheduler noise in micro-benchmarks.
@@ -63,6 +74,7 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "bench_end_to_end",
     "bench_delay_kernel",
+    "bench_level_dispatch",
     "bench_low_activity",
     "bench_merge_kernel",
     "bench_service_throughput",
@@ -112,6 +124,13 @@ SERVICE_JOBS = 64
 SERVICE_JOBS_QUICK = 16
 SERVICE_SLOTS_PER_JOB = 2
 SERVICE_CIRCUIT = "s38417"
+
+#: Level-dispatch (fused vs unfused) scenario: one multi-voltage
+#: parametric workload, so the per-level dispatch and per-lane delay
+#: materialization costs the fusion removes are on the critical path.
+DISPATCH_CIRCUIT = "s38417"
+DISPATCH_PATTERNS = 8
+DISPATCH_PATTERNS_QUICK = 4
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -185,7 +204,7 @@ def bench_delay_kernel(backend_name: str, kernel_table, gates: int,
     wall = _best_of(call, repeats)
     return _entry("delays_for_gates", backend.name, wall,
                   gates * voltages.size, gates=gates,
-                  voltages=int(voltages.size))
+                  voltages=int(voltages.size), impl=backend.delays_impl)
 
 
 # -- end-to-end --------------------------------------------------------------------
@@ -215,9 +234,59 @@ def bench_end_to_end(backend_name: str, circuit_name: str, scale: float,
     wall = _best_of(call, repeats)
     evals = results[-1].gate_evaluations
     mode = "parametric" if parametric else "static"
+    phases = {name: round(seconds, 6) for name, seconds
+              in sim.last_stats.phase_seconds().items()}
     return _entry(f"e2e_{circuit_name}_{mode}", sim.backend.name, wall, evals,
                   circuit=circuit_name, scale=scale, patterns=len(pairs),
-                  gate_evaluations=int(evals))
+                  gate_evaluations=int(evals), phases=phases)
+
+
+def bench_level_dispatch(backend_name: str, circuit_name: str, scale: float,
+                         num_patterns: int, repeats: int = 2) -> List[dict]:
+    """Fused-vs-unfused pair on a parametric workload (two entries).
+
+    The same multi-voltage run goes once through the fused level-plan
+    path (one backend call per level, Horner delay scaling evaluated
+    inside the merge loop) and once through the per-arity-group path
+    with materialized per-lane delay arrays.  The two produce
+    bit-identical waveforms (asserted by the test suite); the wall-time
+    ratio is the fusion win recorded in ``dispatch_speedups``.
+    """
+    from repro.experiments.common import default_kernel_table, default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.grid import SlotPlan
+    from repro.simulation.gpu import GpuWaveSim
+
+    workload = prepare_workload(circuit_name, scale=scale)
+    library = default_library()
+    kernel_table = default_kernel_table(3)
+    pairs = workload.patterns.pairs[:num_patterns]
+    voltages = (0.6, 0.8, 1.0)
+    plan = SlotPlan.cross(len(pairs), voltages)
+    entries = []
+    for fused in (True, False):
+        sim = GpuWaveSim(workload.circuit, library,
+                         compiled=workload.compiled,
+                         config=SimulationConfig(backend=backend_name,
+                                                 fused=fused))
+        results = []
+
+        def call():
+            results.append(sim.run(pairs, plan=plan,
+                                   kernel_table=kernel_table))
+
+        call()
+        wall = _best_of(call, repeats)
+        evals = results[-1].gate_evaluations
+        mode = "fused" if fused else "unfused"
+        entries.append(_entry(
+            f"level_dispatch_{mode}", sim.backend.name, wall, evals,
+            circuit=circuit_name, scale=scale, patterns=len(pairs),
+            voltages=len(voltages), gate_evaluations=int(evals),
+            phases={name: round(seconds, 6) for name, seconds
+                    in sim.last_stats.phase_seconds().items()}))
+    return entries
 
 
 def _low_activity_pairs(pairs, num_patterns: int):
@@ -358,10 +427,16 @@ def run_suite(quick: bool = False,
         circuits = E2E_CIRCUITS_QUICK if quick else E2E_CIRCUITS
         patterns = E2E_PATTERNS_QUICK if quick else E2E_PATTERNS
         for circuit in circuits:
-            for parametric in ((False,) if quick else (False, True)):
+            for parametric in (False, True):
                 for name in chosen:
                     benchmarks.append(bench_end_to_end(
                         name, circuit, E2E_SCALE, patterns, parametric))
+
+        dispatch_patterns = (DISPATCH_PATTERNS_QUICK if quick
+                             else DISPATCH_PATTERNS)
+        for name in chosen:
+            benchmarks.extend(bench_level_dispatch(
+                name, DISPATCH_CIRCUIT, E2E_SCALE, dispatch_patterns))
 
         lowact = LOWACT_PATTERNS_QUICK if quick else LOWACT_PATTERNS
         for circuit in circuits:
@@ -388,6 +463,8 @@ def run_suite(quick: bool = False,
         "speedups": _speedups(benchmarks),
         "pruning_speedups": _pruning_speedups(benchmarks),
         "service_speedups": _service_speedups(benchmarks),
+        "dispatch_speedups": _dispatch_speedups(benchmarks),
+        "parametric_ratios": _parametric_ratios(benchmarks),
     }
 
 
@@ -426,6 +503,45 @@ def _pruning_speedups(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
     return speedups
 
 
+def _dispatch_speedups(benchmarks: List[dict]) -> Dict[str, float]:
+    """Per backend: wall(unfused per-arity-group) / wall(fused levels)."""
+    walls: Dict[str, Dict[str, float]] = {}
+    for entry in benchmarks:
+        for mode in ("fused", "unfused"):
+            if entry["name"] == f"level_dispatch_{mode}":
+                walls.setdefault(entry["backend"], {})[mode] = \
+                    entry["wall_seconds"]
+    return {backend: pair["unfused"] / pair["fused"]
+            for backend, pair in walls.items()
+            if "fused" in pair and "unfused" in pair and pair["fused"] > 0}
+
+
+def _parametric_ratios(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
+    """Per circuit: wall(parametric e2e) / wall(static e2e), by backend.
+
+    The overhead of voltage-adaptive delay evaluation relative to a
+    fixed-delay run of the same circuit — the quantity fused in-kernel
+    Horner scaling is meant to push toward 1.0.
+    """
+    walls: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for entry in benchmarks:
+        name = entry["name"]
+        for suffix in ("_parametric", "_static"):
+            if name.startswith("e2e_") and name.endswith(suffix) \
+                    and "_lowact_" not in name:
+                circuit = name[len("e2e_"):-len(suffix)]
+                walls.setdefault(circuit, {}).setdefault(
+                    entry["backend"], {})[suffix[1:]] = entry["wall_seconds"]
+    ratios: Dict[str, Dict[str, float]] = {}
+    for circuit, per_backend in walls.items():
+        for backend, pair in per_backend.items():
+            if "parametric" in pair and "static" in pair \
+                    and pair["static"] > 0:
+                ratios.setdefault(circuit, {})[backend] = \
+                    pair["parametric"] / pair["static"]
+    return ratios
+
+
 def _service_speedups(benchmarks: List[dict]) -> Dict[str, float]:
     """Per backend: wall(sequential per-job runs) / wall(batched service)."""
     walls: Dict[str, Dict[str, float]] = {}
@@ -462,6 +578,13 @@ def compare_reports(current: dict, baseline: dict,
     ``baseline * threshold``.  Benchmarks are matched by
     ``(name, backend)``; entries missing on either side are skipped
     (machines and backend availability legitimately differ).
+
+    The parametric/static wall ratio is gated separately: unlike raw
+    wall times it is machine-independent, so a fused-dispatch
+    regression shows up here even when the whole run got faster.  A
+    ``(circuit, backend)`` ratio regresses when it exceeds the
+    baseline's ratio by more than ``threshold``; pairs absent from
+    either record (e.g. kernel-only runs) are skipped.
     """
     previous = {(entry["name"], entry["backend"]): entry["wall_seconds"]
                 for entry in baseline.get("benchmarks", [])}
@@ -478,6 +601,19 @@ def compare_reports(current: dict, baseline: dict,
                 f"{entry['wall_seconds']:.4f}s vs baseline {before:.4f}s "
                 f"({ratio:.2f}x > {threshold:.2f}x threshold)"
             )
+    baseline_ratios = _parametric_ratios(baseline.get("benchmarks", []))
+    for circuit, per_backend in _parametric_ratios(
+            current.get("benchmarks", [])).items():
+        for backend, ratio in per_backend.items():
+            before = baseline_ratios.get(circuit, {}).get(backend)
+            if before is None or before <= 0:
+                continue
+            if ratio / before > threshold:
+                regressions.append(
+                    f"parametric_ratio[{circuit}/{backend}]: "
+                    f"{ratio:.2f} vs baseline {before:.2f} "
+                    f"({ratio / before:.2f}x > {threshold:.2f}x threshold)"
+                )
     return regressions
 
 
@@ -489,8 +625,13 @@ def _print_summary(report: dict, stream=None) -> None:
     for entry in report["benchmarks"]:
         evals = entry["gate_evals_per_second"]
         rate = f"{evals / 1e6:8.2f} Meval/s" if evals else "  n/a"
+        phases = entry.get("params", {}).get("phases") or {}
+        breakdown = ("  [" + " ".join(f"{name} {seconds * 1e3:.1f}ms"
+                                      for name, seconds in phases.items())
+                     + "]") if phases else ""
         print(f"  {entry['name']:32s} {entry['backend']:6s} "
-              f"{entry['wall_seconds'] * 1e3:10.3f} ms {rate}", file=stream)
+              f"{entry['wall_seconds'] * 1e3:10.3f} ms {rate}{breakdown}",
+              file=stream)
     for name, ratios in report.get("speedups", {}).items():
         interesting = {b: r for b, r in ratios.items() if b != "numpy"}
         if interesting:
@@ -503,6 +644,13 @@ def _print_summary(report: dict, stream=None) -> None:
     if service:
         text = ", ".join(f"{b} {r:.2f}x" for b, r in service.items())
         print(f"  service batching speedup: {text}", file=stream)
+    dispatch = report.get("dispatch_speedups", {})
+    if dispatch:
+        text = ", ".join(f"{b} {r:.2f}x" for b, r in dispatch.items())
+        print(f"  fused dispatch speedup: {text}", file=stream)
+    for circuit, ratios in report.get("parametric_ratios", {}).items():
+        text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
+        print(f"  parametric/static ratio — {circuit}: {text}", file=stream)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -529,6 +677,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--no-fail", action="store_true",
                         help="report regressions but exit 0 (artifact "
                              "recording on foreign machines)")
+    parser.add_argument("--fail-ratios", action="store_true",
+                        help="fail on parametric/static ratio regressions "
+                             "even with --no-fail (the ratio is "
+                             "machine-independent, so it gates on foreign "
+                             "machines where raw wall times cannot)")
     args = parser.parse_args(argv)
 
     backends = ([b.strip() for b in args.backends.split(",") if b.strip()]
@@ -553,7 +706,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             for message in regressions:
                 print(f"  {message}", file=sys.stderr)
+            ratio_regressions = [m for m in regressions
+                                 if m.startswith("parametric_ratio[")]
             if not args.no_fail:
+                return 3
+            if args.fail_ratios and ratio_regressions:
                 return 3
         else:
             print(f"no regressions vs {baseline_path} "

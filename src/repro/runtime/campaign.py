@@ -157,6 +157,9 @@ def _merge_stats(target: _BatchStats, source: Optional[_BatchStats]) -> None:
     target.retries += source.retries
     target.batches += source.batches
     target.lanes_skipped += source.lanes_skipped
+    target.delay_seconds += source.delay_seconds
+    target.merge_seconds += source.merge_seconds
+    target.pack_seconds += source.pack_seconds
 
 
 class CampaignRunner:
@@ -272,6 +275,7 @@ class CampaignRunner:
         report.wall_seconds = _time.perf_counter() - start
         report.gate_evaluations = totals.gate_evaluations
         report.lanes_skipped = totals.lanes_skipped
+        report.phase_seconds = totals.phase_seconds()
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
             slot_labels=plan.labels(),

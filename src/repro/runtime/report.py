@@ -13,7 +13,7 @@ to grow.  The report travels on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["AttemptReport", "ChunkReport", "RunReport"]
 
@@ -117,6 +117,13 @@ class RunReport:
     #: lane accounting).
     gate_evaluations: int = 0
     lanes_skipped: int = 0
+    #: Per-phase engine wall time summed across chunks: ``delay``
+    #: (online delay-kernel evaluation), ``merge`` (waveform merge
+    #: kernels; in fused dispatch the lane backends evaluate delays
+    #: inside the merge loop, so their delay share lands here) and
+    #: ``pack`` (waveform unpack / logic settle).  Empty for reports
+    #: predating the phase breakdown.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def num_chunks(self) -> int:
@@ -174,6 +181,7 @@ class RunReport:
             "gate_evaluations": self.gate_evaluations,
             "lanes_skipped": self.lanes_skipped,
             "active_fraction": self.active_fraction,
+            "phase_seconds": dict(self.phase_seconds),
             "wall_seconds": self.wall_seconds,
             "resumed": self.resumed,
             "warnings": list(self.warnings),
@@ -197,6 +205,10 @@ class RunReport:
             lines.insert(3, f"  lanes evaluated {self.gate_evaluations}, "
                             f"skipped {self.lanes_skipped} "
                             f"(active fraction {self.active_fraction:.3f})")
+        if self.phase_seconds:
+            phases = ", ".join(f"{name} {seconds:.3f}s"
+                               for name, seconds in self.phase_seconds.items())
+            lines.append(f"  engine phases: {phases}")
         for warning in self.warnings:
             lines.append(f"  warning: {warning}")
         return "\n".join(lines)

@@ -414,6 +414,8 @@ class SimulationService:
         stats = engine.last_stats
         seconds = _time.monotonic() - started
         total_slots = plan.num_slots
+        batch_phases = stats.phase_seconds()
+        self._metrics.record_phases(batch_phases)
 
         start = 0
         now = _time.monotonic()
@@ -437,6 +439,8 @@ class SimulationService:
                 wall_seconds=seconds,
                 gate_evaluations=evals,
                 lanes_skipped=skipped,
+                phase_seconds={name: value * n / total_slots
+                               for name, value in batch_phases.items()},
             )
             job_result = JobResult(
                 waveforms=wave_slice,

@@ -63,6 +63,10 @@ class ServiceMetrics:
     latency_p95_ms: Optional[float]
     latency_p99_ms: Optional[float]
     retry_after_seconds: float = 0.0
+    #: Engine wall time per phase (``delay`` / ``merge`` / ``pack``)
+    #: summed over every dispatched batch — the fused-dispatch
+    #: breakdown surfaced by ``repro bench`` and the service CLI.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def coalesce_factor(self) -> float:
@@ -95,6 +99,7 @@ class ServiceMetrics:
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p95_ms": self.latency_p95_ms,
             "latency_p99_ms": self.latency_p99_ms,
+            "phase_seconds": dict(self.phase_seconds),
         }
 
     def summary(self) -> str:
@@ -123,6 +128,10 @@ class ServiceMetrics:
                 f"  latency: p50 {self.latency_p50_ms:.1f} ms, "
                 f"p95 {self.latency_p95_ms:.1f} ms, "
                 f"p99 {self.latency_p99_ms:.1f} ms")
+        if any(self.phase_seconds.values()):
+            lines.append("  engine phases: " + ", ".join(
+                f"{name} {seconds:.3f}s"
+                for name, seconds in self.phase_seconds.items()))
         return "\n".join(lines)
 
 
@@ -145,6 +154,7 @@ class MetricsRecorder:
     #: Exponential moving average of per-job service seconds (the
     #: admission controller's retry-after estimator).
     ema_job_seconds: float = 0.0
+    _phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def record_submitted(self, jobs: int = 1) -> None:
         with self._lock:
@@ -165,6 +175,13 @@ class MetricsRecorder:
                     bucket = index
                     break
             self._occupancy[bucket] += 1
+
+    def record_phases(self, phases: Dict[str, float]) -> None:
+        """Accumulate one dispatch's per-phase engine wall time."""
+        with self._lock:
+            for name, seconds in phases.items():
+                self._phase_seconds[name] = (
+                    self._phase_seconds.get(name, 0.0) + seconds)
 
     def record_completed(self, latency_seconds: float) -> None:
         with self._lock:
@@ -212,4 +229,5 @@ class MetricsRecorder:
                                 if percentiles is not None else None),
                 latency_p99_ms=(float(percentiles[2])
                                 if percentiles is not None else None),
+                phase_seconds=dict(self._phase_seconds),
             )

@@ -40,19 +40,24 @@ the name to :data:`BACKEND_CHOICES`.
 from __future__ import annotations
 
 import os
+import time as _time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.simulation.kernels import MergeResult, waveform_merge_kernel
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.compiled import CircuitPlans, LevelPlan
+
 __all__ = [
     "BACKEND_CHOICES",
     "AUTO_ORDER",
     "ComputeBackend",
     "GroupResult",
+    "LevelsResult",
     "NumpyBackend",
     "available_backends",
     "backend_status",
@@ -76,16 +81,44 @@ class GroupResult:
     lanes: int            # gate instances evaluated (gates × slots)
     iterations: int       # kernel loop trips (diagnostics; see note below)
     overflow_lanes: int   # lanes that exceeded the waveform capacity
+    #: Seconds spent materializing per-voltage delay arrays inside the
+    #: call (numpy ``run_level`` only; the per-lane backends evaluate
+    #: the Horner kernel inside the merge loop, so their delay work is
+    #: inseparable from — and reported as — merge time).
+    delay_seconds: float = 0.0
 
     # Note: the numpy backend reports global lockstep iterations, the
     # per-lane backends report the summed per-lane event count — both
     # measure kernel work, on different axes.
 
 
+@dataclass
+class LevelsResult:
+    """Outcome of a whole-batch :meth:`ComputeBackend.run_levels` call.
+
+    Accounting matches the equivalent sequence of per-level
+    :meth:`ComputeBackend.run_level` calls exactly: ``kernel_calls``
+    counts non-empty levels dispatched (the overflowing level
+    included), ``lanes`` sums ``gates × slots`` over those levels.
+    """
+
+    lanes: int
+    iterations: int
+    overflow_lanes: int
+    kernel_calls: int
+    delay_seconds: float = 0.0
+
+
 class ComputeBackend:
     """Interface shared by all kernel implementations."""
 
     name = "?"
+
+    #: Which implementation actually executes :meth:`delays_for_gates`.
+    #: The base class evaluates through numpy; backends with a native
+    #: Horner evaluator override this so benchmarks and logs record the
+    #: real execution path instead of a silent fallback.
+    delays_impl = "numpy"
 
     def merge_kernel(
         self,
@@ -177,6 +210,110 @@ class ComputeBackend:
         return kernel_table.delays_for_gates(type_ids, loads, nominal_delays,
                                              voltages)
 
+    def run_level(
+        self,
+        plan: "LevelPlan",
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        slot_to_v: np.ndarray,
+        factors: Optional[np.ndarray],
+        capacity: int,
+        inertial: bool,
+        kernel_table=None,
+        nv: Optional[np.ndarray] = None,
+        nc: Optional[np.ndarray] = None,
+        delay_cache: Optional[Dict] = None,
+        lane_gates: Optional[np.ndarray] = None,
+        lane_slots: Optional[np.ndarray] = None,
+    ) -> GroupResult:
+        """Evaluate one whole level (all arity groups) in one call.
+
+        ``plan`` is the level's compile-time
+        :class:`~repro.simulation.compiled.LevelPlan`: arity-sorted
+        compacted arrays, so the backend loops the arity runs natively
+        instead of one engine dispatch per group.  Delay handling folds
+        into the same entry point:
+
+        * static mode (``kernel_table is None``) uses ``plan.nominal``
+          unchanged,
+        * parametric mode receives the polynomial table plus the
+          *pre-normalized* predictors — ``nv`` = ``φ_V`` per distinct
+          voltage, ``nc`` = ``φ_C`` per plan gate (cached on the plan) —
+          and evaluates the 2-D Horner kernel per (gate, voltage); the
+          per-lane backends do so inside the merge loop, never
+          materializing a per-lane delay array,
+        * Monte-Carlo ``factors`` (level-local ``(g, S)``, plan gate
+          order) scale each delay exactly as in :meth:`merge_group`.
+
+        ``lane_gates`` / ``lane_slots`` (plan-local, ``lane_gates``
+        non-decreasing) select the activity-compacted sparse path.
+        ``delay_cache`` memoizes materialized per-voltage arrays across
+        overflow retries (numpy path only).  Results are bit-identical
+        to the equivalent per-group :meth:`merge_group` dispatch.
+        """
+        raise NotImplementedError
+
+    def run_levels(
+        self,
+        plans: "CircuitPlans",
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        slot_to_v: np.ndarray,
+        factors: Optional[np.ndarray],
+        capacity: int,
+        inertial: bool,
+        kernel_table=None,
+        nv: Optional[np.ndarray] = None,
+        delay_cache: Optional[Dict] = None,
+    ) -> LevelsResult:
+        """Evaluate *every* level of the circuit in one backend call.
+
+        Dense (non-activity-tracked) counterpart of level-by-level
+        :meth:`run_level` dispatch: levels run strictly in order, each
+        against the arena the preceding levels finalized.  ``factors``
+        is the full ``(num_gates, S)`` Monte-Carlo array (circuit gate
+        order); backends gather it into plan order themselves.  ``nc``
+        is not a parameter — the per-level ``φ_C`` memos live on
+        ``plans``.  Stops at the first level with overflowing lanes so
+        the caller can retry at doubled capacity.
+
+        The base implementation loops :meth:`run_level`; backends with
+        per-call dispatch overhead (ctypes marshalling in the C
+        extension) override it with a single native whole-batch entry.
+        Results are bit-identical either way.
+        """
+        space = kernel_table.space if kernel_table is not None else None
+        nc_levels = (plans.normalized_loads(space)
+                     if kernel_table is not None else None)
+        lanes = 0
+        iterations = 0
+        kernel_calls = 0
+        delay_seconds = 0.0
+        num_slots = int(slot_to_v.size)
+        for index, plan in enumerate(plans.levels):
+            if plan.num_gates == 0:
+                continue
+            group_factors = (factors[plan.gate_indices]
+                             if factors is not None else None)
+            result = self.run_level(
+                plan, times_all, initial_all, slot_to_v, group_factors,
+                capacity, inertial, kernel_table=kernel_table, nv=nv,
+                nc=nc_levels[index] if nc_levels is not None else None,
+                delay_cache=delay_cache,
+            )
+            lanes += plan.num_gates * num_slots
+            iterations += result.iterations
+            kernel_calls += 1
+            delay_seconds += result.delay_seconds
+            if result.overflow_lanes:
+                return LevelsResult(lanes=lanes, iterations=iterations,
+                                    overflow_lanes=result.overflow_lanes,
+                                    kernel_calls=kernel_calls,
+                                    delay_seconds=delay_seconds)
+        return LevelsResult(lanes=lanes, iterations=iterations,
+                            overflow_lanes=0, kernel_calls=kernel_calls,
+                            delay_seconds=delay_seconds)
+
 
 class NumpyBackend(ComputeBackend):
     """The vectorized lockstep reference implementation."""
@@ -252,6 +389,43 @@ class NumpyBackend(ComputeBackend):
         return GroupResult(lanes=lanes, iterations=merged.iterations,
                            overflow_lanes=overflow_lanes)
 
+    def run_level(self, plan, times_all, initial_all, slot_to_v, factors,
+                  capacity, inertial, kernel_table=None, nv=None, nc=None,
+                  delay_cache=None, lane_gates=None, lane_slots=None):
+        delay_seconds = 0.0
+        if kernel_table is None:
+            per_voltage = plan.nominal[..., None]        # (g, P, 2, 1)
+        else:
+            key = ("fused", plan.level, nv.tobytes())
+            per_voltage = (delay_cache.get(key)
+                           if delay_cache is not None else None)
+            if per_voltage is None:
+                start = _time.perf_counter()
+                per_voltage = kernel_table.delays_from_normalized(
+                    plan.type_ids, nv, nc, plan.nominal)
+                delay_seconds = _time.perf_counter() - start
+                if delay_cache is not None:
+                    delay_cache[key] = per_voltage
+        # One padded dispatch for the whole level — the same max_pins
+        # group shape as the unfused level path (don't-care-padded
+        # tables, spare pins on the constant-0 dummy net).  Splitting
+        # into per-arity calls would multiply the lockstep kernel's
+        # fixed per-call cost; per lane the padded op sequence is
+        # bit-identical anyway.
+        if lane_gates is not None:
+            result = self.merge_group_sparse(
+                times_all, initial_all, plan.in_ids, plan.out_ids,
+                per_voltage, slot_to_v, factors, plan.padded_tables,
+                capacity, inertial, lane_gates, lane_slots)
+        else:
+            result = self.merge_group(
+                times_all, initial_all, plan.in_ids, plan.out_ids,
+                per_voltage, slot_to_v, factors, plan.padded_tables,
+                capacity, inertial)
+        return GroupResult(lanes=result.lanes, iterations=result.iterations,
+                           overflow_lanes=result.overflow_lanes,
+                           delay_seconds=delay_seconds)
+
 
 class _LaneBackend(ComputeBackend):
     """Shared shim for the per-lane scalar backends (numba / cext).
@@ -306,14 +480,41 @@ class _LaneBackend(ComputeBackend):
                            iterations=int(iterations),
                            overflow_lanes=int(overflow_lanes))
 
+    def run_level(self, plan, times_all, initial_all, slot_to_v, factors,
+                  capacity, inertial, kernel_table=None, nv=None, nc=None,
+                  delay_cache=None, lane_gates=None, lane_slots=None):
+        coeffs = None
+        if kernel_table is not None:
+            if plan.nominal.shape[1] > kernel_table.max_pins:
+                raise SimulationError(
+                    f"gates have {plan.nominal.shape[1]} pins but the "
+                    f"kernel table holds {kernel_table.max_pins}"
+                )
+            coeffs = kernel_table.coefficients
+        overflow_lanes, iterations = self._kernels.run_level(
+            times_all, initial_all, plan.in_ids, plan.out_ids, plan.tables,
+            plan.arities, plan.type_ids, plan.nominal, coeffs, nv, nc,
+            slot_to_v, factors, capacity, inertial, lane_gates, lane_slots,
+        )
+        lanes = (int(lane_gates.size) if lane_gates is not None
+                 else plan.num_gates * int(slot_to_v.size))
+        return GroupResult(lanes=lanes, iterations=int(iterations),
+                           overflow_lanes=int(overflow_lanes))
+
 
 class NumbaBackend(_LaneBackend):
     """``@njit(parallel=True)`` per-lane loops (requires numba)."""
 
     name = "numba"
+    delays_impl = "numba"
 
     def delays_for_gates(self, kernel_table, type_ids, loads, nominal_delays,
                          voltages):
+        if not hasattr(kernel_table, "coefficients"):
+            # Duck-typed delay model (LUT / analytical): only the
+            # ``delays_for_gates`` protocol is guaranteed.
+            return super().delays_for_gates(kernel_table, type_ids, loads,
+                                            nominal_delays, voltages)
         return self._kernels.delays_for_gates(kernel_table, type_ids, loads,
                                               nominal_delays, voltages)
 
@@ -322,6 +523,48 @@ class CextBackend(_LaneBackend):
     """ctypes-loaded C kernels (requires a working C compiler)."""
 
     name = "cext"
+    delays_impl = "cext"
+
+    def run_levels(self, plans, times_all, initial_all, slot_to_v, factors,
+                   capacity, inertial, kernel_table=None, nv=None,
+                   delay_cache=None):
+        # One ctypes crossing for the whole batch: the C entry loops the
+        # levels over the concatenated plan arrays, so the per-call
+        # marshalling cost (~15 array arguments) is paid once instead of
+        # once per level.
+        cat = plans.concat()
+        if cat.out_ids.size == 0:
+            return LevelsResult(lanes=0, iterations=0, overflow_lanes=0,
+                                kernel_calls=0)
+        coeffs = nc = None
+        if kernel_table is not None:
+            if cat.nominal.shape[1] > kernel_table.max_pins:
+                raise SimulationError(
+                    f"gates have {cat.nominal.shape[1]} pins but the "
+                    f"kernel table holds {kernel_table.max_pins}"
+                )
+            coeffs = kernel_table.coefficients
+            nc = plans.concat_normalized_loads(kernel_table.space)
+        gathered = (np.ascontiguousarray(factors[cat.gate_indices])
+                    if factors is not None else None)
+        overflow_lanes, iterations, levels_done, lanes = \
+            self._kernels.run_levels(
+                times_all, initial_all, cat, coeffs, nv, nc, slot_to_v,
+                gathered, capacity, inertial,
+            )
+        return LevelsResult(lanes=int(lanes), iterations=int(iterations),
+                            overflow_lanes=int(overflow_lanes),
+                            kernel_calls=int(levels_done))
+
+    def delays_for_gates(self, kernel_table, type_ids, loads, nominal_delays,
+                         voltages):
+        if not hasattr(kernel_table, "coefficients"):
+            # Duck-typed delay model (LUT / analytical): only the
+            # ``delays_for_gates`` protocol is guaranteed.
+            return super().delays_for_gates(kernel_table, type_ids, loads,
+                                            nominal_delays, voltages)
+        return self._kernels.delays_for_gates(kernel_table, type_ids, loads,
+                                              nominal_delays, voltages)
 
 
 # -- registry ----------------------------------------------------------------------

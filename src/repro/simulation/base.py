@@ -122,6 +122,14 @@ class SimulationConfig:
         either way; only ``gate_evaluations`` / ``lanes_skipped``
         accounting and throughput change.  Turn off for dense-dispatch
         benchmarking or ablation.
+    fused:
+        Fused level-plan execution (default on): dispatch each level as
+        one backend call over the precompiled
+        :class:`~repro.simulation.compiled.LevelPlan`, with the Horner
+        delay kernel evaluated inside the merge loop instead of a
+        separate per-batch delay pass.  Bit-identical to the unfused
+        per-arity-group path; turn off for ablation or to compare
+        timings.
     """
 
     pulse_filtering: str = "inertial"
@@ -130,6 +138,7 @@ class SimulationConfig:
     record_all_nets: bool = False
     backend: Optional[str] = None
     prune_inactive: bool = True
+    fused: bool = True
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import BACKEND_CHOICES

@@ -13,8 +13,11 @@ form in which the paper stores the netlist in GPU global memory:
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +25,15 @@ from repro.cells.library import CellLibrary
 from repro.netlist.circuit import Circuit
 from repro.netlist.sdf import SdfAnnotation, annotate_nominal
 
-__all__ = ["CompiledCircuit", "compile_circuit"]
+__all__ = [
+    "CompiledCircuit",
+    "CircuitPlans",
+    "ConcatPlans",
+    "LevelPlan",
+    "clear_level_plan_cache",
+    "compile_circuit",
+    "level_plan_cache_stats",
+]
 
 
 def _truth_table(cell) -> int:
@@ -49,6 +60,230 @@ def _pad_truth_table(table: int, arity: int, padded_arity: int) -> int:
         if (table >> (idx & ((1 << arity) - 1))) & 1:
             padded |= 1 << idx
     return padded
+
+
+@dataclass
+class LevelPlan:
+    """Compacted per-level execution plan for the fused dispatch path.
+
+    All arrays are gathered once at plan-build time and list the level's
+    gates sorted by (arity, gate index), so same-arity gates form
+    contiguous runs — a backend's ``run_level`` walks every arity group
+    in one native call instead of one Python dispatch per group.  The
+    per-lane backends use the *unpadded* ``tables`` and loop only each
+    gate's real pins; the vectorized numpy backend uses the don't-care
+    ``padded_tables`` and dispatches the whole level as one
+    ``max_pins``-wide group.  With the spare-pin inputs wired to the
+    constant-0 dummy net the two are bit-equivalent.
+    """
+
+    level: int
+    gate_indices: np.ndarray   # (g,) original gate ids, arity-sorted
+    arities: np.ndarray        # (g,) input pin counts
+    in_ids: np.ndarray         # (g, max_pins) net ids, spare pins -> dummy
+    out_ids: np.ndarray        # (g,) output net ids
+    tables: np.ndarray         # (g,) int64 truth tables (unpadded)
+    padded_tables: np.ndarray  # (g,) int64 truth tables (don't-care padded)
+    type_ids: np.ndarray       # (g,) cell type ids
+    loads: np.ndarray          # (g,) output load capacitances (farads)
+    nominal: np.ndarray        # (g, max_pins, 2) nominal delays (seconds)
+    group_offsets: np.ndarray  # (n_groups + 1,) row bounds of arity runs
+    group_arity: np.ndarray    # (n_groups,) arity of each run
+
+    @property
+    def num_gates(self) -> int:
+        return int(self.gate_indices.size)
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_arity.size)
+
+
+@dataclass
+class ConcatPlans:
+    """All level plans of a circuit concatenated row-wise.
+
+    The whole-batch native dispatch (``ComputeBackend.run_levels``)
+    walks every level in one call; ``level_offsets`` bounds each level's
+    rows in the concatenated arrays.  Row order inside a level matches
+    the per-level plan (arity-sorted), so per-level slices of these
+    arrays are exactly the :class:`LevelPlan` arrays.
+    """
+
+    level_offsets: np.ndarray  # (L + 1,) row bounds per level
+    gate_indices: np.ndarray   # (G,) original gate ids
+    arities: np.ndarray        # (G,)
+    in_ids: np.ndarray         # (G, max_pins)
+    out_ids: np.ndarray        # (G,)
+    tables: np.ndarray         # (G,) unpadded truth tables
+    type_ids: np.ndarray       # (G,)
+    nominal: np.ndarray        # (G, max_pins, 2)
+
+    @property
+    def num_levels(self) -> int:
+        return int(self.level_offsets.size - 1)
+
+
+def _build_level_plan(compiled: "CompiledCircuit", level: int,
+                      bucket: np.ndarray) -> LevelPlan:
+    arities = compiled.gate_arity[bucket]
+    order = np.argsort(arities, kind="stable")       # keeps gate-id order
+    gate_indices = np.ascontiguousarray(bucket[order])
+    arities = np.ascontiguousarray(arities[order])
+    group_arity, counts = np.unique(arities, return_counts=True)
+    offsets = np.zeros(group_arity.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return LevelPlan(
+        level=level,
+        gate_indices=gate_indices,
+        arities=arities,
+        in_ids=np.ascontiguousarray(compiled.padded_inputs[gate_indices]),
+        out_ids=np.ascontiguousarray(compiled.gate_output[gate_indices]),
+        tables=np.ascontiguousarray(compiled.truth_tables_i64[gate_indices]),
+        padded_tables=np.ascontiguousarray(
+            compiled.padded_truth_tables_i64[gate_indices]),
+        type_ids=np.ascontiguousarray(compiled.gate_type_ids[gate_indices]),
+        loads=np.ascontiguousarray(compiled.gate_loads[gate_indices]),
+        nominal=np.ascontiguousarray(compiled.nominal_delays[gate_indices]),
+        group_offsets=offsets,
+        group_arity=np.ascontiguousarray(group_arity, dtype=np.int64),
+    )
+
+
+class CircuitPlans:
+    """All level plans of one circuit plus predictor-normalization memos.
+
+    Instances are shared through a fingerprint-keyed process cache (see
+    :meth:`CompiledCircuit.plans`), so two independently compiled copies
+    of the same circuit — e.g. two service jobs or campaign retries with
+    the same ``circuit_fingerprint`` — reuse one set of plans *and* one
+    set of cached normalizations (``φ_V`` per distinct-voltage set,
+    ``φ_C`` per gate) instead of recomputing them per batch/chunk.
+    """
+
+    #: Distinct-voltage normalization memos kept per parameter space.
+    _VOLTAGE_MEMO_LIMIT = 16
+
+    def __init__(self, compiled: "CompiledCircuit",
+                 fingerprint: str = "") -> None:
+        self.fingerprint = fingerprint
+        self.max_pins = compiled.max_pins
+        self.levels: List[LevelPlan] = [
+            _build_level_plan(compiled, index, bucket)
+            for index, bucket in enumerate(compiled.levels)
+        ]
+        self._lock = threading.Lock()
+        self._norm_loads: Dict[object, Tuple[np.ndarray, ...]] = {}
+        self._norm_volts: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._concat: Optional[ConcatPlans] = None
+        self._concat_loads: Dict[object, np.ndarray] = {}
+
+    def concat(self) -> ConcatPlans:
+        """The levels concatenated row-wise, built once per circuit."""
+        with self._lock:
+            cached = self._concat
+        if cached is not None:
+            return cached
+        offsets = np.zeros(len(self.levels) + 1, dtype=np.int64)
+        np.cumsum([plan.num_gates for plan in self.levels],
+                  out=offsets[1:])
+        def _cat(field, empty_shape, dtype):
+            arrays = [getattr(plan, field) for plan in self.levels]
+            if not arrays:
+                return np.zeros(empty_shape, dtype=dtype)
+            return np.ascontiguousarray(np.concatenate(arrays))
+        built = ConcatPlans(
+            level_offsets=offsets,
+            gate_indices=_cat("gate_indices", (0,), np.int64),
+            arities=_cat("arities", (0,), np.int64),
+            in_ids=_cat("in_ids", (0, self.max_pins), np.int64),
+            out_ids=_cat("out_ids", (0,), np.int64),
+            tables=_cat("tables", (0,), np.int64),
+            type_ids=_cat("type_ids", (0,), np.int64),
+            nominal=_cat("nominal", (0, self.max_pins, 2), np.float64),
+        )
+        with self._lock:
+            if self._concat is None:
+                self._concat = built
+            return self._concat
+
+    def concat_normalized_loads(self, space) -> np.ndarray:
+        """``φ_C`` for every gate in concatenated plan-row order."""
+        with self._lock:
+            cached = self._concat_loads.get(space)
+        if cached is not None:
+            return cached
+        per_level = self.normalized_loads(space)
+        flat = (np.ascontiguousarray(np.concatenate(per_level))
+                if per_level else np.zeros(0, dtype=np.float64))
+        with self._lock:
+            return self._concat_loads.setdefault(space, flat)
+
+    def normalized_loads(self, space) -> Sequence[np.ndarray]:
+        """Per-level ``φ_C`` arrays (one ``(g,)`` array per level).
+
+        Computed with numpy's ``log2`` exactly as
+        :meth:`DelayKernelTable.delays_for_gates` would, then handed as
+        plain data to every backend — the C ``log2`` may differ from
+        ``np.log2`` in the last ulp, so normalization never happens in
+        native code.
+        """
+        with self._lock:
+            cached = self._norm_loads.get(space)
+        if cached is not None:
+            return cached
+        arrays = tuple(
+            np.ascontiguousarray(space.normalize_load(plan.loads),
+                                 dtype=np.float64)
+            for plan in self.levels
+        )
+        with self._lock:
+            return self._norm_loads.setdefault(space, arrays)
+
+    def normalized_voltages(self, space, voltages: np.ndarray) -> np.ndarray:
+        """``φ_V`` of a distinct-voltage set, memoized per (space, set)."""
+        key = (space, voltages.tobytes())
+        with self._lock:
+            cached = self._norm_volts.get(key)
+            if cached is not None:
+                self._norm_volts.move_to_end(key)
+                return cached
+        nv = np.ascontiguousarray(space.normalize_voltage(voltages),
+                                  dtype=np.float64)
+        with self._lock:
+            self._norm_volts[key] = nv
+            while len(self._norm_volts) > self._VOLTAGE_MEMO_LIMIT:
+                self._norm_volts.popitem(last=False)
+        return nv
+
+
+#: Process-wide plan cache keyed by ``circuit_fingerprint`` — the same
+#: identity the service layer uses to dedup registered circuits, so
+#: re-compiled copies of one circuit share plans.
+_PLAN_CACHE: "OrderedDict[str, CircuitPlans]" = OrderedDict()
+_PLAN_CACHE_LIMIT = 8
+_PLAN_CACHE_LOCK = threading.Lock()
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def level_plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss/entry counters of the fingerprint-keyed plan cache."""
+    with _PLAN_CACHE_LOCK:
+        return {
+            "hits": _plan_cache_hits,
+            "misses": _plan_cache_misses,
+            "entries": len(_PLAN_CACHE),
+        }
+
+
+def clear_level_plan_cache() -> None:
+    """Drop all cached plans and reset the counters (for tests)."""
+    global _plan_cache_hits, _plan_cache_misses
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE.clear()
+        _plan_cache_hits = 0
+        _plan_cache_misses = 0
 
 
 @dataclass
@@ -97,6 +332,47 @@ class CompiledCircuit:
 
     def net_id(self, net: str) -> int:
         return self.net_index[net]
+
+    def plans(self) -> CircuitPlans:
+        """The circuit's level plans, shared across equal fingerprints.
+
+        Each call keys the process-wide cache by
+        ``circuit_fingerprint(self)`` (plus a digest of the gate loads)
+        and either returns the cached :class:`CircuitPlans` or builds
+        and caches them.  Plans are *not* stored on the instance: they
+        hold a lock and must not travel through pickle, and an instance
+        attribute would go stale on the shallow-copy-and-mutate pattern
+        fault injectors use.  Callers cache the returned object.
+        """
+        global _plan_cache_hits, _plan_cache_misses
+        from repro.runtime.fingerprint import circuit_fingerprint
+
+        # The key is recomputed per call (callers cache the returned
+        # plans): caching it on the instance would survive the shallow
+        # ``copy.copy`` + delay-mutation pattern fault injectors use and
+        # serve stale plans.  ``circuit_fingerprint`` covers the nominal
+        # delays; the load digest covers custom-``loads`` compiles that
+        # share delays but not capacitances.
+        loads_digest = hashlib.sha256(
+            np.ascontiguousarray(self.gate_loads).tobytes()).hexdigest()[:16]
+        key = f"{circuit_fingerprint(self)}:{loads_digest}"
+        with _PLAN_CACHE_LOCK:
+            plans = _PLAN_CACHE.get(key)
+            if plans is not None:
+                _plan_cache_hits += 1
+                _PLAN_CACHE.move_to_end(key)
+                return plans
+        built = CircuitPlans(self, fingerprint=key)
+        with _PLAN_CACHE_LOCK:
+            plans = _PLAN_CACHE.get(key)
+            if plans is not None:          # lost a build race: keep first
+                _plan_cache_hits += 1
+                return plans
+            _plan_cache_misses += 1
+            _PLAN_CACHE[key] = built
+            while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+                _PLAN_CACHE.popitem(last=False)
+        return built
 
 
 def compile_circuit(

@@ -124,12 +124,27 @@ class _BatchStats:
     batches: int = 0
     lanes_skipped: int = 0
     backend: str = ""
+    #: Per-phase wall time (seconds): online delay evaluation, waveform
+    #: merge kernels, and waveform pack/settle.  In fused dispatch the
+    #: lane backends evaluate delays inside the merge loop, so their
+    #: delay share is folded into ``merge_seconds``.
+    delay_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    pack_seconds: float = 0.0
 
     @property
     def active_fraction(self) -> float:
         """Dispatched share of all lanes (1.0 when nothing was skipped)."""
         total = self.gate_evaluations + self.lanes_skipped
         return 1.0 if total == 0 else self.gate_evaluations / total
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """The per-phase timing breakdown as a plain dict."""
+        return {
+            "delay": self.delay_seconds,
+            "merge": self.merge_seconds,
+            "pack": self.pack_seconds,
+        }
 
 
 class _ArenaPool:
@@ -196,6 +211,11 @@ class GpuWaveSim:
         self.backend: ComputeBackend = resolve_backend(self.config.backend)
         self.last_stats: Optional[_BatchStats] = None
         self._arena_pool = _ArenaPool()
+        # Fused dispatch needs the per-level compacted plans; resolved
+        # lazily (and fingerprint-cached across engines/services) on
+        # first use.  Ablation per-arity grouping keeps the unfused path.
+        self._plans = None
+        self._fused = bool(self.config.fused) and not group_by_arity
 
     # -- public API ----------------------------------------------------------------
 
@@ -419,37 +439,78 @@ class GpuWaveSim:
                 global_slots = np.arange(num_slots)
             factors = variation.factors(compiled.num_gates, global_slots)
 
-        # Level-wise processing (the vertical grid dimension).
-        for level_index, level_gates in enumerate(compiled.levels):
-            if self.group_by_arity:
-                for group_index, (arity, gate_indices) in enumerate(
-                        compiled.level_groups[level_index]):
+        # Level-wise processing (the vertical grid dimension).  Fused
+        # dispatch needs the polynomial kernel table (its coefficients
+        # feed the in-kernel Horner evaluation); duck-typed alternative
+        # delay models (LUT / analytical backends) take the unfused
+        # per-group path, which only requires ``delays_for_gates``.
+        fused = self._fused and (kernel_table is None
+                                 or isinstance(kernel_table, DelayKernelTable))
+        if fused:
+            # One backend call per level over the precompiled plan, with
+            # predictor normalizations (phi_V, phi_C) resolved once from
+            # the fingerprint-cached plan memos.
+            plans = self._plans
+            if plans is None:
+                plans = self._plans = compiled.plans()
+            nv = None
+            nc_levels = None
+            if kernel_table is not None:
+                nv = plans.normalized_voltages(kernel_table.space, distinct_v)
+                nc_levels = plans.normalized_loads(kernel_table.space)
+            if activity is None:
+                # Dense batch: hand the whole level sequence to the
+                # backend in one call (the C extension loops levels
+                # natively, paying its ctypes marshalling cost once).
+                self._run_levels(
+                    plans, times_all, initial_all, slot_to_v, kernel_table,
+                    nv, capacity, inertial, stats, factors=factors,
+                    delay_cache=delay_cache,
+                )
+            else:
+                for level_index, level_plan in enumerate(plans.levels):
+                    self._run_level(
+                        level_plan, times_all, initial_all, slot_to_v,
+                        kernel_table, nv,
+                        nc_levels[level_index]
+                        if nc_levels is not None else None,
+                        capacity, inertial, stats, factors=factors,
+                        delay_cache=delay_cache, activity=activity,
+                    )
+        else:
+            for level_index, level_gates in enumerate(compiled.levels):
+                if self.group_by_arity:
+                    for group_index, (arity, gate_indices) in enumerate(
+                            compiled.level_groups[level_index]):
+                        self._run_group(
+                            gate_indices, arity,
+                            compiled.gate_inputs[gate_indices, :arity],
+                            compiled.gate_output[gate_indices],
+                            compiled.truth_tables_i64[gate_indices],
+                            times_all, initial_all,
+                            distinct_v, slot_to_v, kernel_table, capacity,
+                            inertial, stats, factors=factors,
+                            delay_cache=delay_cache,
+                            cache_key=(level_index, group_index),
+                            activity=activity,
+                        )
+                else:
                     self._run_group(
-                        gate_indices, arity,
-                        compiled.gate_inputs[gate_indices, :arity],
-                        compiled.gate_output[gate_indices],
-                        compiled.truth_tables_i64[gate_indices],
+                        level_gates, compiled.max_pins,
+                        compiled.level_inputs[level_index],
+                        compiled.level_outputs[level_index],
+                        compiled.level_tables[level_index],
                         times_all, initial_all,
                         distinct_v, slot_to_v, kernel_table, capacity,
                         inertial, stats, factors=factors,
-                        delay_cache=delay_cache,
-                        cache_key=(level_index, group_index),
+                        delay_cache=delay_cache, cache_key=(level_index,),
                         activity=activity,
                     )
-            else:
-                self._run_group(
-                    level_gates, compiled.max_pins,
-                    compiled.level_inputs[level_index],
-                    compiled.level_outputs[level_index],
-                    compiled.level_tables[level_index],
-                    times_all, initial_all,
-                    distinct_v, slot_to_v, kernel_table, capacity,
-                    inertial, stats, factors=factors,
-                    delay_cache=delay_cache, cache_key=(level_index,),
-                    activity=activity,
-                )
 
-        return self._unpack_waveforms(times_all, initial_all, num_slots)
+        pack_start = _time.perf_counter()
+        waveforms = self._unpack_waveforms(times_all, initial_all, num_slots)
+        stats.pack_seconds += _time.perf_counter() - pack_start
+        return waveforms
 
     def _run_batch_slot_compacted(
         self,
@@ -492,7 +553,9 @@ class GpuWaveSim:
             for local, slot in enumerate(subset):
                 results[int(slot)] = sub_results[local]
         if quiet_idx.size:
+            pack_start = _time.perf_counter()
             settled = self._settle_logic(first[quiet_idx])
+            stats.pack_seconds += _time.perf_counter() - pack_start
             for local, slot in enumerate(quiet_idx):
                 results[int(slot)] = settled[local]
         return results  # type: ignore[return-value]
@@ -680,8 +743,10 @@ class GpuWaveSim:
 
         # Online delay calculation (Sec. IV-A): adapt the nominal delays
         # to each distinct operating point (static mode: V = 1).
+        delay_start = _time.perf_counter()
         per_voltage = self._group_delays(gate_indices, arity, distinct_v,
                                          kernel_table, delay_cache, cache_key)
+        stats.delay_seconds += _time.perf_counter() - delay_start
         group_factors = factors[gate_indices] if factors is not None else None
 
         lane_gates = lane_slots = None
@@ -705,6 +770,7 @@ class GpuWaveSim:
                                            initial_all, num_slots)
                 lane_gates, lane_slots = np.nonzero(lane_active)
 
+        merge_start = _time.perf_counter()
         if lane_gates is not None:
             result = self.backend.merge_group_sparse(
                 times_all, initial_all, in_ids, out_ids, per_voltage,
@@ -716,6 +782,7 @@ class GpuWaveSim:
                 times_all, initial_all, in_ids, out_ids, per_voltage,
                 slot_to_v, group_factors, tables, capacity, inertial,
             )
+        stats.merge_seconds += _time.perf_counter() - merge_start
         stats.gate_evaluations += active_lanes
         stats.kernel_calls += 1
         stats.kernel_iterations += result.iterations
@@ -727,3 +794,117 @@ class GpuWaveSim:
             # A net is active downstream iff the lane kept >= 1 toggle
             # (all-cancelled lanes settle back to a quiet output).
             activity[out_ids] = np.isfinite(times_all[out_ids, :, 0])
+
+    def _run_levels(
+        self,
+        plans,
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        slot_to_v: np.ndarray,
+        kernel_table: Optional[DelayKernelTable],
+        nv: Optional[np.ndarray],
+        capacity: int,
+        inertial: bool,
+        stats: _BatchStats,
+        factors: Optional[np.ndarray] = None,
+        delay_cache: Optional[Dict] = None,
+    ) -> None:
+        """Whole-batch fused dispatch: every level in one backend call.
+
+        Dense counterpart of the per-level :meth:`_run_level` loop, used
+        when no activity tracking is in effect (every lane of every
+        level runs).  Accounting — gate evaluations, kernel calls,
+        kernel iterations, overflow behaviour — matches the per-level
+        loop exactly; see :meth:`ComputeBackend.run_levels`.
+        """
+        merge_start = _time.perf_counter()
+        result = self.backend.run_levels(
+            plans, times_all, initial_all, slot_to_v, factors, capacity,
+            inertial, kernel_table=kernel_table, nv=nv,
+            delay_cache=delay_cache,
+        )
+        wall = _time.perf_counter() - merge_start
+        stats.delay_seconds += result.delay_seconds
+        stats.merge_seconds += wall - result.delay_seconds
+        stats.gate_evaluations += result.lanes
+        stats.kernel_calls += result.kernel_calls
+        stats.kernel_iterations += result.iterations
+        if result.overflow_lanes:
+            raise WaveformOverflowError(
+                f"{result.overflow_lanes} lanes exceeded capacity {capacity}"
+            )
+
+    def _run_level(
+        self,
+        plan,
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        slot_to_v: np.ndarray,
+        kernel_table: Optional[DelayKernelTable],
+        nv: Optional[np.ndarray],
+        nc: Optional[np.ndarray],
+        capacity: int,
+        inertial: bool,
+        stats: _BatchStats,
+        factors: Optional[np.ndarray] = None,
+        delay_cache: Optional[Dict] = None,
+        activity: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fused dispatch of one whole level via its precompiled plan.
+
+        One :meth:`ComputeBackend.run_level` call covers every arity
+        group of the level; the lane backends evaluate the Horner delay
+        kernel inside the merge loop per (gate, voltage), so no per-lane
+        delay array is materialized.  ``nv``/``nc`` are the plan-cached
+        predictor normalizations (``None`` in static mode).  The
+        activity classification, lane accounting and results are
+        bit-identical to the unfused :meth:`_run_group` path — plan rows
+        are arity-sorted, but lanes are independent and each output net
+        is written by exactly one gate.
+        """
+        if plan.num_gates == 0:
+            return
+        num_slots = slot_to_v.size
+        total_lanes = plan.num_gates * num_slots
+        max_pins = plan.in_ids.shape[1]
+        group_factors = (factors[plan.gate_indices]
+                         if factors is not None else None)
+
+        lane_gates = lane_slots = None
+        active_lanes = total_lanes
+        if activity is not None:
+            lane_active = activity[plan.in_ids].any(axis=1)       # (g, S)
+            active_lanes = int(np.count_nonzero(lane_active))
+            stats.lanes_skipped += total_lanes - active_lanes
+            if active_lanes == 0:
+                self._settle_group_outputs(plan.in_ids, plan.out_ids,
+                                           plan.tables, max_pins,
+                                           initial_all, num_slots)
+                activity[plan.out_ids] = False
+                return
+            if active_lanes < total_lanes * SPARSE_DISPATCH_FRACTION:
+                self._settle_group_outputs(plan.in_ids, plan.out_ids,
+                                           plan.tables, max_pins,
+                                           initial_all, num_slots)
+                lane_gates, lane_slots = np.nonzero(lane_active)
+
+        merge_start = _time.perf_counter()
+        result = self.backend.run_level(
+            plan, times_all, initial_all, slot_to_v, group_factors,
+            capacity, inertial, kernel_table=kernel_table, nv=nv, nc=nc,
+            delay_cache=delay_cache, lane_gates=lane_gates,
+            lane_slots=lane_slots,
+        )
+        wall = _time.perf_counter() - merge_start
+        stats.delay_seconds += result.delay_seconds
+        stats.merge_seconds += wall - result.delay_seconds
+        stats.gate_evaluations += active_lanes
+        stats.kernel_calls += 1
+        stats.kernel_iterations += result.iterations
+        if result.overflow_lanes:
+            raise WaveformOverflowError(
+                f"{result.overflow_lanes} lanes exceeded capacity {capacity}"
+            )
+        if activity is not None:
+            activity[plan.out_ids] = np.isfinite(
+                times_all[plan.out_ids, :, 0])

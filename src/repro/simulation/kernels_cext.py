@@ -30,7 +30,8 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["load", "merge_lanes", "merge_group", "merge_group_sparse"]
+__all__ = ["load", "merge_lanes", "merge_group", "merge_group_sparse",
+           "delays_for_gates", "run_level", "run_levels"]
 
 INF = np.float64(np.inf)
 
@@ -294,6 +295,236 @@ void merge_group_sparse(double *times_all, uint8_t *initial_all,
     *out_overflow = overflow_lanes;
     *out_iterations = iterations;
 }
+
+/* Online delay calculation (Sec. IV-A): nested 2-D Horner evaluation
+ * with pre-normalized predictors.
+ *   coeffs (G, P, 2, n1, n1) gathered per gate   nominal (G, P, 2)
+ *   nv (V,) = phi_V per voltage   nc (G,) = phi_C per gate
+ *   out (G, P, 2, V)
+ * The scalar op order matches horner2d / the numba JIT exactly, so
+ * results are bit-identical to the numpy evaluator (normalization
+ * happens in numpy on the caller side: the C library log2 may differ
+ * from np.log2 in the last ulp). */
+void delays_for_gates(const double *coeffs, const double *nv,
+                      const double *nc, const double *nominal,
+                      double min_delay,
+                      int64_t G, int64_t P, int64_t V, int64_t n1,
+                      double *out)
+{
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (int64_t gate = 0; gate < G; gate++) {
+        const double c = nc[gate];
+        for (int64_t pin = 0; pin < P; pin++) {
+            for (int64_t pol = 0; pol < 2; pol++) {
+                const double *cc = coeffs
+                    + (((gate * P + pin) * 2 + pol) * n1 * n1);
+                const double d_nom = nominal[(gate * P + pin) * 2 + pol];
+                double *row = out + (((gate * P + pin) * 2 + pol) * V);
+                for (int64_t vi = 0; vi < V; vi++) {
+                    const double v = nv[vi];
+                    double result = 0.0;
+                    for (int64_t i = n1 - 1; i >= 0; i--) {
+                        double inner = 0.0;
+                        for (int64_t j = n1 - 1; j >= 0; j--)
+                            inner = inner * c + cc[i * n1 + j];
+                        result = result * v + inner;
+                    }
+                    double adapted = d_nom * (1.0 + result);
+                    row[vi] = adapted > min_delay ? adapted : min_delay;
+                }
+            }
+        }
+    }
+}
+
+/* Fused whole-level dispatch: every arity group of a level in one call,
+ * with the Horner delay kernel evaluated inside the merge loop per
+ * (gate, voltage) so per-lane delay arrays are never materialized.
+ *   in_ids (g, maxP)  out_ids/tables/arities/type_ids (g,)
+ *   nominal (g, maxP, 2)
+ *   parametric: coeffs (T, coeff_pins, 2, n1, n1) full table,
+ *               nv (V,) phi_V per distinct voltage, nc (g,) phi_C
+ *   static (parametric == 0): nominal delays used unchanged
+ *   sparse: only the (lane_gates, lane_slots) lanes (length L) run
+ * Gates are arity-sorted with unpadded truth tables; each lane loops
+ * only its real pins, which is bit-equivalent to the padded dispatch
+ * because spare pins read the constant-0 dummy net. */
+void run_level(double *times_all, uint8_t *initial_all,
+               const int64_t *in_ids, const int64_t *out_ids,
+               const int64_t *tables, const int64_t *arities,
+               const int64_t *type_ids, const double *nominal,
+               int32_t parametric, const double *coeffs,
+               int64_t coeff_pins, int64_t n1,
+               const double *nv, const double *nc, double min_delay,
+               const int64_t *slot_to_v,
+               const double *factors, int32_t has_factors,
+               int64_t g, int64_t maxP, int64_t S, int64_t cap,
+               int32_t inertial,
+               int32_t sparse, const int64_t *lane_gates,
+               const int64_t *lane_slots, int64_t L,
+               int64_t *out_overflow, int64_t *out_iterations)
+{
+    int64_t iterations = 0;
+    int64_t overflow_lanes = 0;
+    const int64_t total = sparse ? L : g * S;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+:iterations) reduction(+:overflow_lanes)
+#endif
+    for (int64_t lane = 0; lane < total; lane++) {
+        const int64_t gate = sparse ? lane_gates[lane] : lane / S;
+        const int64_t slot = sparse ? lane_slots[lane] : lane % S;
+        const int64_t arity = arities[gate];
+        const double factor = has_factors ? factors[gate * S + slot] : 1.0;
+        double pd[MAX_PINS][2];
+        if (parametric) {
+            const double v = nv[slot_to_v[slot]];
+            const double c = nc[gate];
+            for (int64_t pin = 0; pin < arity; pin++) {
+                const double *nom = nominal + (gate * maxP + pin) * 2;
+                for (int64_t pol = 0; pol < 2; pol++) {
+                    const double *cc = coeffs
+                        + (((type_ids[gate] * coeff_pins + pin) * 2 + pol)
+                           * n1 * n1);
+                    double result = 0.0;
+                    for (int64_t i = n1 - 1; i >= 0; i--) {
+                        double inner = 0.0;
+                        for (int64_t j = n1 - 1; j >= 0; j--)
+                            inner = inner * c + cc[i * n1 + j];
+                        result = result * v + inner;
+                    }
+                    double adapted = nom[pol] * (1.0 + result);
+                    pd[pin][pol] = adapted > min_delay ? adapted : min_delay;
+                }
+            }
+        } else {
+            for (int64_t pin = 0; pin < arity; pin++) {
+                const double *nom = nominal + (gate * maxP + pin) * 2;
+                pd[pin][0] = nom[0];
+                pd[pin][1] = nom[1];
+            }
+        }
+        int64_t pointers[MAX_PINS];
+        int64_t vals[MAX_PINS];
+        double current[MAX_PINS];
+        const double *in_rows[MAX_PINS];
+        const int64_t table = tables[gate];
+        int64_t index = 0;
+        for (int64_t pin = 0; pin < arity; pin++) {
+            const int64_t net = in_ids[gate * maxP + pin];
+            in_rows[pin] = times_all + (net * S + slot) * cap;
+            pointers[pin] = 0;
+            vals[pin] = initial_all[net * S + slot];
+            index |= vals[pin] << pin;
+        }
+        int64_t last_target = (table >> index) & 1;
+        const int64_t out_net = out_ids[gate];
+        initial_all[out_net * S + slot] = (uint8_t)last_target;
+        double *out = times_all + (out_net * S + slot) * cap;
+        int64_t depth = 0;
+        int64_t overflow = 0;
+        for (;;) {
+            double now = INFINITY;
+            for (int64_t pin = 0; pin < arity; pin++) {
+                double t = pointers[pin] < cap
+                    ? in_rows[pin][pointers[pin]] : INFINITY;
+                current[pin] = t;
+                if (t < now) now = t;
+            }
+            if (!(now < INFINITY)) break;
+            iterations++;
+            int64_t causing = -1;
+            for (int64_t pin = 0; pin < arity; pin++) {
+                if (current[pin] == now) {
+                    vals[pin] ^= 1;
+                    pointers[pin]++;
+                    if (causing < 0) causing = pin;
+                }
+            }
+            index = 0;
+            for (int64_t pin = 0; pin < arity; pin++)
+                index |= vals[pin] << pin;
+            int64_t new_val = (table >> index) & 1;
+            if (new_val == last_target) continue;
+            double delay = pd[causing][1 - new_val];
+            if (has_factors) delay = delay * factor;
+            double t_out = now + delay;
+            double width = inertial ? delay : 0.0;
+            if (depth > 0 && (t_out <= out[depth - 1]
+                              || t_out - out[depth - 1] < width)) {
+                depth--;
+                out[depth] = INFINITY;
+            } else if (depth >= cap) {
+                overflow = 1;
+            } else {
+                out[depth++] = t_out;
+            }
+            last_target ^= 1;
+        }
+        overflow_lanes += overflow;
+    }
+    *out_overflow = overflow_lanes;
+    *out_iterations = iterations;
+}
+
+/* Whole-batch fused dispatch: every level of the circuit in ONE library
+ * call.  The plan arrays are the per-level arrays concatenated row-wise
+ * (level_offsets bounds each level); each level runs the dense
+ * run_level body, and levels stay strictly ordered because a level's
+ * inputs are finalized by the preceding ones.  Stops after the first
+ * level with overflowing lanes (the caller discards the arena and
+ * retries at doubled capacity); out_levels_done / out_lanes report how
+ * many non-empty levels dispatched and how many lanes ran, so the
+ * caller's accounting matches the one-call-per-level path exactly. */
+void run_levels(double *times_all, uint8_t *initial_all,
+                const int64_t *in_ids, const int64_t *out_ids,
+                const int64_t *tables, const int64_t *arities,
+                const int64_t *type_ids, const double *nominal,
+                int32_t parametric, const double *coeffs,
+                int64_t coeff_pins, int64_t n1,
+                const double *nv, const double *nc, double min_delay,
+                const int64_t *slot_to_v,
+                const double *factors, int32_t has_factors,
+                const int64_t *level_offsets, int64_t num_levels,
+                int64_t maxP, int64_t S, int64_t cap,
+                int32_t inertial,
+                int64_t *out_overflow, int64_t *out_iterations,
+                int64_t *out_levels_done, int64_t *out_lanes)
+{
+    int64_t iterations_total = 0;
+    int64_t lanes_total = 0;
+    int64_t levels_done = 0;
+    int64_t overflow_total = 0;
+    for (int64_t level = 0; level < num_levels; level++) {
+        const int64_t lo = level_offsets[level];
+        const int64_t g = level_offsets[level + 1] - lo;
+        if (g == 0) continue;
+        int64_t overflow = 0;
+        int64_t iterations = 0;
+        run_level(times_all, initial_all,
+                  in_ids + lo * maxP, out_ids + lo, tables + lo,
+                  arities + lo, type_ids + lo, nominal + lo * maxP * 2,
+                  parametric, coeffs, coeff_pins, n1,
+                  nv, nc + (parametric ? lo : 0), min_delay, slot_to_v,
+                  factors + (has_factors ? lo * S : 0), has_factors,
+                  g, maxP, S, cap, inertial,
+                  0, level_offsets, level_offsets, 0,
+                  &overflow, &iterations);
+        iterations_total += iterations;
+        lanes_total += g * S;
+        levels_done++;
+        if (overflow) {
+            overflow_total = overflow;
+            break;
+        }
+    }
+    *out_overflow = overflow_total;
+    *out_iterations = iterations_total;
+    *out_levels_done = levels_done;
+    *out_lanes = lanes_total;
+}
 """
 
 _CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c99"]
@@ -381,6 +612,37 @@ def load():
             ctypes.POINTER(_i64), ctypes.POINTER(_i64),
         ]
         lib.merge_group_sparse.restype = None
+        lib.delays_for_gates.argtypes = [
+            _p_f64, _p_f64, _p_f64, _p_f64, ctypes.c_double,
+            _i64, _i64, _i64, _i64,
+            _p_f64,
+        ]
+        lib.delays_for_gates.restype = None
+        lib.run_level.argtypes = [
+            _p_f64, _p_u8,
+            _p_i64, _p_i64, _p_i64, _p_i64, _p_i64, _p_f64,
+            _i32, _p_f64, _i64, _i64,
+            _p_f64, _p_f64, ctypes.c_double,
+            _p_i64,
+            _p_f64, _i32,
+            _i64, _i64, _i64, _i64, _i32,
+            _i32, _p_i64, _p_i64, _i64,
+            ctypes.POINTER(_i64), ctypes.POINTER(_i64),
+        ]
+        lib.run_level.restype = None
+        lib.run_levels.argtypes = [
+            _p_f64, _p_u8,
+            _p_i64, _p_i64, _p_i64, _p_i64, _p_i64, _p_f64,
+            _i32, _p_f64, _i64, _i64,
+            _p_f64, _p_f64, ctypes.c_double,
+            _p_i64,
+            _p_f64, _i32,
+            _p_i64, _i64,
+            _i64, _i64, _i64, _i32,
+            ctypes.POINTER(_i64), ctypes.POINTER(_i64),
+            ctypes.POINTER(_i64), ctypes.POINTER(_i64),
+        ]
+        lib.run_levels.restype = None
         _lib = lib
     import sys
     return sys.modules[__name__]
@@ -474,3 +736,160 @@ def merge_group_sparse(times_all, initial_all, in_ids, out_ids, per_voltage,
         ctypes.byref(overflow), ctypes.byref(iterations),
     )
     return overflow.value, iterations.value
+
+
+def delays_for_gates(kernel_table, type_ids, loads, nominal_delays, voltages):
+    """Native batch delay kernel; drop-in for
+    :meth:`repro.core.delay_kernel.DelayKernelTable.delays_for_gates`.
+
+    Predictor normalization stays in numpy (C ``log2`` can differ from
+    ``np.log2`` in the last ulp); the Horner sweep runs in C.
+    """
+    from repro.core.delay_kernel import MIN_DELAY
+    from repro.errors import CharacterizationError
+
+    type_ids = np.ascontiguousarray(type_ids, dtype=np.int64)
+    nominal = np.ascontiguousarray(nominal_delays, dtype=np.float64)
+    pins = nominal.shape[1]
+    if pins > kernel_table.max_pins:
+        raise CharacterizationError(
+            f"gates have {pins} pins but the kernel table holds "
+            f"{kernel_table.max_pins}"
+        )
+    nv = np.ascontiguousarray(
+        np.atleast_1d(kernel_table.space.normalize_voltage(
+            np.asarray(voltages, dtype=np.float64))),
+        dtype=np.float64)
+    nc = np.ascontiguousarray(
+        np.atleast_1d(kernel_table.space.normalize_load(
+            np.asarray(loads, dtype=np.float64))),
+        dtype=np.float64)
+    coeffs = np.ascontiguousarray(
+        kernel_table.coefficients[type_ids][:, :pins], dtype=np.float64)
+    num_gates = type_ids.size
+    n1 = coeffs.shape[-1]
+    out = np.empty((num_gates, pins, 2, nv.size), dtype=np.float64)
+    _lib.delays_for_gates(
+        coeffs, nv, nc, nominal, MIN_DELAY,
+        num_gates, pins, nv.size, n1, out,
+    )
+    return out
+
+
+def run_level(times_all, initial_all, in_ids, out_ids, tables, arities,
+              type_ids, nominal, coeffs, nv, nc, slot_to_v, factors,
+              capacity, inertial, lane_gates, lane_slots):
+    """Fused whole-level dispatch (see ``ComputeBackend.run_level``).
+
+    ``coeffs`` is the full kernel-table coefficient array (parametric)
+    or ``None`` (static); ``lane_gates``/``lane_slots`` select the
+    sparse path when given.  Returns ``(overflow_lanes, iterations)``.
+    """
+    from repro.core.delay_kernel import MIN_DELAY
+
+    group_size, max_pins = in_ids.shape
+    if max_pins > MAX_PINS:
+        raise ValueError(f"cext backend supports at most {MAX_PINS} pins")
+    num_slots = slot_to_v.size
+    nominal = np.ascontiguousarray(nominal, dtype=np.float64)
+    parametric = coeffs is not None
+    if parametric:
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.float64)
+        coeff_pins = coeffs.shape[1]
+        n1 = coeffs.shape[-1]
+        nv = np.ascontiguousarray(nv, dtype=np.float64)
+        nc = np.ascontiguousarray(nc, dtype=np.float64)
+    else:
+        coeffs = np.zeros((1, 1, 2, 1, 1), dtype=np.float64)
+        coeff_pins = 1
+        n1 = 1
+        nv = np.zeros(1, dtype=np.float64)
+        nc = np.zeros(1, dtype=np.float64)
+    has_factors = factors is not None
+    if factors is None:
+        group_factors = np.zeros((1, 1), dtype=np.float64)
+    else:
+        group_factors = np.ascontiguousarray(factors, dtype=np.float64)
+    sparse = lane_gates is not None
+    if sparse:
+        lane_gates = np.ascontiguousarray(lane_gates, dtype=np.int64)
+        lane_slots = np.ascontiguousarray(lane_slots, dtype=np.int64)
+        num_lanes = lane_gates.size
+    else:
+        lane_gates = np.zeros(1, dtype=np.int64)
+        lane_slots = np.zeros(1, dtype=np.int64)
+        num_lanes = 0
+    overflow = _i64(0)
+    iterations = _i64(0)
+    _lib.run_level(
+        times_all, initial_all,
+        np.ascontiguousarray(in_ids, dtype=np.int64),
+        np.ascontiguousarray(out_ids, dtype=np.int64),
+        np.ascontiguousarray(tables, dtype=np.int64),
+        np.ascontiguousarray(arities, dtype=np.int64),
+        np.ascontiguousarray(type_ids, dtype=np.int64),
+        nominal,
+        int(parametric), coeffs, coeff_pins, n1,
+        nv, nc, MIN_DELAY,
+        np.ascontiguousarray(slot_to_v, dtype=np.int64),
+        group_factors, int(has_factors),
+        group_size, max_pins, num_slots, capacity,
+        int(bool(inertial)),
+        int(sparse), lane_gates, lane_slots, num_lanes,
+        ctypes.byref(overflow), ctypes.byref(iterations),
+    )
+    return overflow.value, iterations.value
+
+
+def run_levels(times_all, initial_all, cat, coeffs, nv, nc, slot_to_v,
+               factors, capacity, inertial):
+    """Whole-batch fused dispatch: every level in one library call.
+
+    ``cat`` is a :class:`repro.simulation.compiled.ConcatPlans`;
+    ``factors`` (if given) must already be gathered into concatenated
+    plan-row order.  Returns ``(overflow_lanes, iterations,
+    levels_done, lanes)``.
+    """
+    from repro.core.delay_kernel import MIN_DELAY
+
+    max_pins = cat.in_ids.shape[1]
+    if max_pins > MAX_PINS:
+        raise ValueError(f"cext backend supports at most {MAX_PINS} pins")
+    num_slots = slot_to_v.size
+    parametric = coeffs is not None
+    if parametric:
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.float64)
+        coeff_pins = coeffs.shape[1]
+        n1 = coeffs.shape[-1]
+        nv = np.ascontiguousarray(nv, dtype=np.float64)
+        nc = np.ascontiguousarray(nc, dtype=np.float64)
+    else:
+        coeffs = np.zeros((1, 1, 2, 1, 1), dtype=np.float64)
+        coeff_pins = 1
+        n1 = 1
+        nv = np.zeros(1, dtype=np.float64)
+        nc = np.zeros(1, dtype=np.float64)
+    has_factors = factors is not None
+    if factors is None:
+        factors = np.zeros((1, 1), dtype=np.float64)
+    else:
+        factors = np.ascontiguousarray(factors, dtype=np.float64)
+    overflow = _i64(0)
+    iterations = _i64(0)
+    levels_done = _i64(0)
+    lanes = _i64(0)
+    _lib.run_levels(
+        times_all, initial_all,
+        cat.in_ids, cat.out_ids, cat.tables, cat.arities, cat.type_ids,
+        cat.nominal,
+        int(parametric), coeffs, coeff_pins, n1,
+        nv, nc, MIN_DELAY,
+        np.ascontiguousarray(slot_to_v, dtype=np.int64),
+        factors, int(has_factors),
+        cat.level_offsets, cat.num_levels,
+        max_pins, num_slots, capacity,
+        int(bool(inertial)),
+        ctypes.byref(overflow), ctypes.byref(iterations),
+        ctypes.byref(levels_done), ctypes.byref(lanes),
+    )
+    return overflow.value, iterations.value, levels_done.value, lanes.value

@@ -25,7 +25,7 @@ from numba import njit, prange
 from repro.core.delay_kernel import MIN_DELAY
 
 __all__ = ["merge_lanes", "merge_group", "merge_group_sparse",
-           "delays_for_gates"]
+           "delays_for_gates", "run_level"]
 
 INF = np.float64(np.inf)
 
@@ -293,6 +293,148 @@ def merge_group_sparse(times_all, initial_all, in_ids, out_ids, per_voltage,
         bool(inertial),
         np.ascontiguousarray(lane_gates, dtype=np.int64),
         np.ascontiguousarray(lane_slots, dtype=np.int64),
+    )
+
+
+@njit(parallel=True, cache=True)
+def _run_level_jit(times_all, initial_all, in_ids, out_ids, tables, arities,
+                   type_ids, nominal, parametric, coeffs, nv, nc, min_delay,
+                   slot_to_v, factors, has_factors, capacity, inertial,
+                   sparse, lane_gates, lane_slots):
+    group_size, max_pins = in_ids.shape
+    num_slots = slot_to_v.size
+    n1 = coeffs.shape[-1]
+    total = lane_gates.size if sparse else group_size * num_slots
+    overflow_lanes = 0
+    iterations = 0
+    for lane in prange(total):
+        if sparse:
+            gate = lane_gates[lane]
+            slot = lane_slots[lane]
+        else:
+            gate = lane // num_slots
+            slot = lane % num_slots
+        arity = arities[gate]
+        factor = factors[gate, slot] if has_factors else 1.0
+        pd = np.empty((max_pins, 2), dtype=np.float64)
+        if parametric:
+            v = nv[slot_to_v[slot]]
+            c = nc[gate]
+            for pin in range(arity):
+                for polarity in range(2):
+                    # Nested Horner, identical op order to horner2d.
+                    result = 0.0
+                    for i in range(n1 - 1, -1, -1):
+                        inner = 0.0
+                        for j in range(n1 - 1, -1, -1):
+                            inner = inner * c + coeffs[type_ids[gate], pin,
+                                                       polarity, i, j]
+                        result = result * v + inner
+                    adapted = nominal[gate, pin, polarity] * (1.0 + result)
+                    pd[pin, polarity] = max(adapted, min_delay)
+        else:
+            for pin in range(arity):
+                pd[pin, 0] = nominal[gate, pin, 0]
+                pd[pin, 1] = nominal[gate, pin, 1]
+        pointers = np.zeros(arity, dtype=np.int64)
+        vals = np.empty(arity, dtype=np.int64)
+        table = tables[gate]
+        index = np.int64(0)
+        for pin in range(arity):
+            vals[pin] = initial_all[in_ids[gate, pin], slot]
+            index |= vals[pin] << pin
+        last_target = (table >> index) & 1
+        out_net = out_ids[gate]
+        initial_all[out_net, slot] = np.uint8(last_target)
+        depth = 0
+        lane_iterations = 0
+        lane_overflow = 0
+        while True:
+            now = INF
+            for pin in range(arity):
+                if pointers[pin] < capacity:
+                    t = times_all[in_ids[gate, pin], slot, pointers[pin]]
+                    if t < now:
+                        now = t
+            if now == INF:
+                break
+            lane_iterations += 1
+            causing = -1
+            for pin in range(arity):
+                if pointers[pin] < capacity and \
+                        times_all[in_ids[gate, pin], slot, pointers[pin]] == now:
+                    vals[pin] ^= 1
+                    pointers[pin] += 1
+                    if causing < 0:
+                        causing = pin
+            index = np.int64(0)
+            for pin in range(arity):
+                index |= vals[pin] << pin
+            new_val = (table >> index) & 1
+            if new_val == last_target:
+                continue
+            delay = pd[causing, 1 - new_val]
+            if has_factors:
+                delay = delay * factor
+            t_out = now + delay
+            width = delay if inertial else 0.0
+            if depth > 0 and (t_out <= times_all[out_net, slot, depth - 1]
+                              or t_out - times_all[out_net, slot, depth - 1]
+                              < width):
+                depth -= 1
+                times_all[out_net, slot, depth] = INF
+            elif depth >= capacity:
+                lane_overflow = 1
+            else:
+                times_all[out_net, slot, depth] = t_out
+                depth += 1
+            last_target ^= 1
+        overflow_lanes += lane_overflow
+        iterations += lane_iterations
+    return overflow_lanes, iterations
+
+
+def run_level(times_all, initial_all, in_ids, out_ids, tables, arities,
+              type_ids, nominal, coeffs, nv, nc, slot_to_v, factors,
+              capacity, inertial, lane_gates, lane_slots):
+    """Fused whole-level dispatch (see ``ComputeBackend.run_level``).
+
+    ``coeffs`` is the full kernel-table coefficient array (parametric)
+    or ``None`` (static); ``lane_gates``/``lane_slots`` select the
+    sparse path when given.  Returns ``(overflow_lanes, iterations)``.
+    """
+    parametric = coeffs is not None
+    if parametric:
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.float64)
+        nv = np.ascontiguousarray(nv, dtype=np.float64)
+        nc = np.ascontiguousarray(nc, dtype=np.float64)
+    else:
+        coeffs = np.zeros((1, 1, 2, 1, 1), dtype=np.float64)
+        nv = np.zeros(1, dtype=np.float64)
+        nc = np.zeros(1, dtype=np.float64)
+    has_factors = factors is not None
+    if factors is None:
+        factors = np.zeros((1, 1), dtype=np.float64)
+    sparse = lane_gates is not None
+    if sparse:
+        lane_gates = np.ascontiguousarray(lane_gates, dtype=np.int64)
+        lane_slots = np.ascontiguousarray(lane_slots, dtype=np.int64)
+    else:
+        lane_gates = np.zeros(1, dtype=np.int64)
+        lane_slots = np.zeros(1, dtype=np.int64)
+    return _run_level_jit(
+        times_all, initial_all,
+        np.ascontiguousarray(in_ids, dtype=np.int64),
+        np.ascontiguousarray(out_ids, dtype=np.int64),
+        np.ascontiguousarray(tables, dtype=np.int64),
+        np.ascontiguousarray(arities, dtype=np.int64),
+        np.ascontiguousarray(type_ids, dtype=np.int64),
+        np.ascontiguousarray(nominal, dtype=np.float64),
+        parametric, coeffs, nv, nc, MIN_DELAY,
+        np.ascontiguousarray(slot_to_v, dtype=np.int64),
+        np.ascontiguousarray(factors, dtype=np.float64),
+        has_factors, capacity, bool(inertial),
+        sparse, lane_gates, lane_slots,
     )
 
 

@@ -297,27 +297,35 @@ class TestSatelliteRegressions:
         for slot in range(len(pairs)):
             assert_equivalent(roomy, slot, tight, slot, circuit.nets())
 
+    @pytest.mark.parametrize("fused", [True, False])
     def test_delay_evaluation_reused_across_retries(self, library,
-                                                    kernel_table):
+                                                    kernel_table, fused):
         """Per-voltage polynomial evaluation depends only on the gates
-        and distinct voltages — capacity-doubling retries reuse it."""
+        and distinct voltages — capacity-doubling retries reuse it.
+
+        Counted on the numpy backend, whose fused and unfused paths
+        both funnel through ``delays_from_normalized`` (the lane
+        backends evaluate delays inside the merge loop and never
+        materialize them at all)."""
         circuit = random_circuit("reuse", 12, 200, seed=6)
         compiled = compile_circuit(circuit, library)
         pairs = make_pairs(circuit, 8, 6)
         sim = GpuWaveSim(circuit, library, compiled=compiled,
-                         config=SimulationConfig(waveform_capacity=2))
+                         config=SimulationConfig(waveform_capacity=2,
+                                                 backend="numpy",
+                                                 fused=fused))
         calls = []
-        original = kernel_table.delays_for_gates
+        original = kernel_table.delays_from_normalized
 
         def counting(*args, **kwargs):
             calls.append(1)
             return original(*args, **kwargs)
 
-        kernel_table.delays_for_gates = counting
+        kernel_table.delays_from_normalized = counting
         try:
             sim.run(pairs, kernel_table=kernel_table)
         finally:
-            kernel_table.delays_for_gates = original
+            kernel_table.delays_from_normalized = original
         assert sim.last_stats.retries > 0, "test needs the overflow path"
         levels = sum(1 for level in compiled.levels if level.size)
         assert len(calls) == levels

@@ -78,6 +78,45 @@ class TestRegressionGate:
         assert speedups["e2e_x_lowact"]["numpy"] == pytest.approx(3.0)
         assert "cext" not in speedups["e2e_x_lowact"]
 
+    def test_parametric_ratios_pair_static_with_parametric(self):
+        benchmarks = make_report({
+            ("e2e_x_static", "numpy"): 1.0,
+            ("e2e_x_parametric", "numpy"): 2.5,
+            # No static partner on cext: no ratio for it.
+            ("e2e_x_parametric", "cext"): 0.5,
+            # Low-activity entries end in _dense/_sparse, never pair.
+            ("e2e_x_lowact_dense", "numpy"): 3.0,
+        })["benchmarks"]
+        ratios = record._parametric_ratios(benchmarks)
+        assert ratios["x"]["numpy"] == pytest.approx(2.5)
+        assert "cext" not in ratios["x"]
+
+    def test_dispatch_speedups_pair_fused_with_unfused(self):
+        benchmarks = make_report({
+            ("level_dispatch_fused", "cext"): 0.5,
+            ("level_dispatch_unfused", "cext"): 1.5,
+            ("level_dispatch_fused", "numpy"): 1.0,
+        })["benchmarks"]
+        speedups = record._dispatch_speedups(benchmarks)
+        assert speedups == {"cext": pytest.approx(3.0)}
+
+    def test_parametric_ratio_regression_flagged(self):
+        """The ratio gate fires even when every raw wall time improved."""
+        baseline = make_report({("e2e_x_static", "numpy"): 1.0,
+                                ("e2e_x_parametric", "numpy"): 1.2})
+        current = make_report({("e2e_x_static", "numpy"): 0.5,
+                               ("e2e_x_parametric", "numpy"): 1.3})
+        messages = record.compare_reports(current, baseline, 1.5)
+        assert len(messages) == 1
+        assert "parametric_ratio[x/numpy]" in messages[0]
+
+    def test_parametric_ratio_within_threshold(self):
+        baseline = make_report({("e2e_x_static", "numpy"): 1.0,
+                                ("e2e_x_parametric", "numpy"): 2.0})
+        current = make_report({("e2e_x_static", "numpy"): 1.0,
+                               ("e2e_x_parametric", "numpy"): 2.2})
+        assert record.compare_reports(current, baseline, 1.5) == []
+
     def test_report_roundtrip(self, tmp_path):
         report = make_report({("merge", "numpy"): 1.0})
         path = str(tmp_path / "bench.json")
