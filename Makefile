@@ -2,7 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-pytest experiments examples clean
+.PHONY: install test lint bench bench-pytest chaos experiments examples clean
+
+# Seeded delays-only chaos plan for `make chaos` / the CI chaos job:
+# latency injection at every service/engine seam without altering
+# results or dispatch counts, so the ordinary assertions still hold
+# while every lock/timeout path runs under perturbed interleavings.
+CHAOS_PLAN = seed=1;service.demux:delay@p=0.15,ms=2;engine.alloc:delay@p=0.05,ms=1;backend.run_levels:delay@p=0.1,ms=1
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,6 +27,12 @@ bench:
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Service + fault suites under seeded latency injection (numpy backend).
+# PYTHONPATH=src so the target works from a bare checkout too.
+chaos:
+	PYTHONPATH=src REPRO_BACKEND=numpy REPRO_FAULTS="$(CHAOS_PLAN)" \
+		$(PYTHON) -m pytest tests/service tests/faults -q
 
 # Regenerate every paper exhibit (Fig. 4/5, Table I/II).
 experiments:

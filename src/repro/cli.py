@@ -242,6 +242,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import (ServiceClient, ServiceConfig,
                                SimulationService, serve_jsonl)
 
+    if args.faults:
+        from repro import faults
+        faults.activate(args.faults)
     library = _load_library()
     kernel_table = DelayKernelTable.load(args.kernels) if args.kernels else None
     config = ServiceConfig(
@@ -453,6 +456,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="compute backend (default: REPRO_BACKEND or auto)")
     p.add_argument("--metrics-json", default=None,
                    help="write the final service metrics to this file")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="activate a fault-injection plan, e.g. "
+                        "'seed=7;backend.merge_group:raise@n=3' "
+                        "(also: REPRO_FAULTS env var)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("convert", help="convert/emit design-exchange files")

@@ -64,6 +64,20 @@ class WaveformOverflowError(SimulationError):
     """
 
 
+class InjectedFaultError(SimulationError):
+    """A deterministic fault injected by an active fault plan.
+
+    Raised by :func:`repro.faults.trip` when a ``raise``-kind rule fires
+    at an instrumented site.  Carries the site name so recovery paths and
+    tests can tell injected faults from organic ones.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"injected fault at {site}{suffix}")
+        self.site = site
+
+
 class CampaignError(ReproError):
     """Errors in the fault-tolerant campaign runtime."""
 
@@ -109,6 +123,43 @@ class AdmissionError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A job was submitted to (or was pending in) a closed service."""
+
+
+class JobDeadlineError(ServiceError):
+    """A job missed its submission deadline and was cancelled.
+
+    The service fails the job's future with this error instead of
+    letting the caller wait indefinitely; the batch the job rode in (if
+    any) continues for its surviving neighbours.
+    """
+
+    def __init__(self, message: str, deadline_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled by its caller before it produced a result."""
+
+
+class CircuitOpenError(AdmissionError):
+    """The compatibility group's circuit breaker is open.
+
+    Subclasses :class:`AdmissionError` so transports that already
+    surface ``retry_after_seconds`` as a backpressure hint handle
+    breaker rejections for free: after repeated dispatch failures the
+    service refuses new work for the failing group until a half-open
+    probe succeeds.
+    """
+
+
+class WorkerLostError(ServiceError):
+    """An engine worker died or hung while executing a batch.
+
+    Raised on the batch's jobs only after the supervisor's single
+    re-queue attempt also failed (or the batch had already been
+    re-queued once).
+    """
 
 
 class TimingError(ReproError):

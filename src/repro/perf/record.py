@@ -24,7 +24,8 @@ Report schema (version 1)::
       "pruning_speedups": {scenario: {backend: dense_wall / sparse_wall}},
       "service_speedups": {backend: sequential_wall / batched_wall},
       "dispatch_speedups": {backend: unfused_wall / fused_wall},
-      "parametric_ratios": {circuit: {backend: parametric_wall / static_wall}}
+      "parametric_ratios": {circuit: {backend: parametric_wall / static_wall}},
+      "faults_disabled_overhead": {backend: seam_cost_fraction_of_e2e_wall}
     }
 
 The low-activity scenario (``e2e_*_lowact_{sparse,dense}``) runs the
@@ -46,6 +47,14 @@ fusion win.  ``parametric_ratios`` tracks the cost of voltage-adaptive
 delays relative to static delays per circuit and backend — the number
 the fused path is meant to push toward 1.0 — and the regression gate
 fails when it degrades beyond the threshold against the baseline.
+
+The fault-seam scenario (``fault_seams_e2e``) prices a single crossing
+of the *disabled* ``repro.faults.trip`` path, counts how many crossings
+one end-to-end run performs, and records the projected fraction of wall
+time in ``faults_disabled_overhead`` — the proof that leaving the
+fault-injection seams compiled into production paths is free.  Unlike
+the wall-time gates this one is absolute: the gate fails when any
+backend's fraction exceeds :data:`FAULT_OVERHEAD_CEILING`.
 
 Wall times are best-of-N (minimum over repeats) — the standard way to
 suppress scheduler noise in micro-benchmarks.
@@ -72,8 +81,10 @@ from repro.simulation.backend import (
 __all__ = [
     "DEFAULT_OUTPUT",
     "DEFAULT_THRESHOLD",
+    "FAULT_OVERHEAD_CEILING",
     "bench_end_to_end",
     "bench_delay_kernel",
+    "bench_fault_seams",
     "bench_level_dispatch",
     "bench_low_activity",
     "bench_merge_kernel",
@@ -131,6 +142,15 @@ SERVICE_CIRCUIT = "s38417"
 DISPATCH_CIRCUIT = "s38417"
 DISPATCH_PATTERNS = 8
 DISPATCH_PATTERNS_QUICK = 4
+
+#: Fault-seam scenario: spin calls through the disabled ``faults.trip``
+#: path to price one seam crossing, count the crossings one end-to-end
+#: run makes, and record the projected overhead fraction.  The guard:
+#: leaving the seams compiled into production paths must cost less than
+#: this fraction of end-to-end wall time when no plan is active.
+FAULT_SEAM_SPINS = 200_000
+FAULT_SEAM_SPINS_QUICK = 50_000
+FAULT_OVERHEAD_CEILING = 0.01
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -402,6 +422,64 @@ def bench_service_throughput(backend_name: str, num_jobs: int,
     ]
 
 
+def bench_fault_seams(backend_name: str, num_patterns: int,
+                      spins: int = FAULT_SEAM_SPINS,
+                      repeats: int = 2) -> dict:
+    """Disabled fault-injection overhead of one end-to-end run.
+
+    Three measurements compose the ``faults_disabled_overhead`` number:
+    the unit cost of crossing a seam with no plan active (``spins``
+    calls through ``faults.trip``), the number of seam crossings one
+    end-to-end run performs (counted by an activated *empty* plan —
+    same crossings, zero enactments), and the run's wall time.  The
+    recorded fraction ``crossings × unit_cost / wall`` is what the
+    seams cost production runs; :func:`compare_reports` fails when it
+    exceeds :data:`FAULT_OVERHEAD_CEILING`.
+    """
+    from repro import faults
+    from repro.experiments.common import default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.gpu import GpuWaveSim
+
+    assert faults.active_plan() is None, \
+        "fault benchmarks need injection disarmed"
+    trip = faults.trip
+
+    def spin():
+        for _ in range(spins):
+            trip("service.demux")
+
+    spin()
+    per_call = _best_of(spin, repeats) / spins
+
+    workload = prepare_workload(SERVICE_CIRCUIT, scale=E2E_SCALE)
+    library = default_library()
+    pairs = workload.patterns.pairs[:num_patterns]
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled,
+                     config=SimulationConfig(backend=backend_name))
+    results = []
+
+    def call():
+        results.append(sim.run(pairs))
+
+    call()
+    wall = _best_of(call, repeats)
+    evals = results[-1].gate_evaluations
+
+    with faults.injected(faults.FaultPlan()) as plan:
+        sim.run(pairs)
+        crossings = plan.calls()
+
+    overhead = crossings * per_call / wall if wall > 0 else 0.0
+    return _entry(
+        "fault_seams_e2e", sim.backend.name, wall, evals,
+        circuit=SERVICE_CIRCUIT, scale=E2E_SCALE, patterns=len(pairs),
+        seam_spins=spins, seam_call_ns=round(per_call * 1e9, 3),
+        seam_crossings=int(crossings),
+        overhead_fraction=overhead)
+
+
 # -- suite -------------------------------------------------------------------------
 
 
@@ -448,6 +526,11 @@ def run_suite(quick: bool = False,
         for name in chosen:
             benchmarks.extend(bench_service_throughput(name, service_jobs))
 
+        seam_spins = FAULT_SEAM_SPINS_QUICK if quick else FAULT_SEAM_SPINS
+        for name in chosen:
+            benchmarks.append(bench_fault_seams(name, patterns,
+                                                spins=seam_spins))
+
     return {
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": time.time(),
@@ -465,6 +548,7 @@ def run_suite(quick: bool = False,
         "service_speedups": _service_speedups(benchmarks),
         "dispatch_speedups": _dispatch_speedups(benchmarks),
         "parametric_ratios": _parametric_ratios(benchmarks),
+        "faults_disabled_overhead": _fault_overhead(benchmarks),
     }
 
 
@@ -542,6 +626,14 @@ def _parametric_ratios(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
     return ratios
 
 
+def _fault_overhead(benchmarks: List[dict]) -> Dict[str, float]:
+    """Per backend: projected fraction of e2e wall spent crossing
+    disabled fault seams (``crossings × unit_cost / wall``)."""
+    return {entry["backend"]: entry["params"]["overhead_fraction"]
+            for entry in benchmarks
+            if entry["name"] == "fault_seams_e2e"}
+
+
 def _service_speedups(benchmarks: List[dict]) -> Dict[str, float]:
     """Per backend: wall(sequential per-job runs) / wall(batched service)."""
     walls: Dict[str, Dict[str, float]] = {}
@@ -585,6 +677,11 @@ def compare_reports(current: dict, baseline: dict,
     ``(circuit, backend)`` ratio regresses when it exceeds the
     baseline's ratio by more than ``threshold``; pairs absent from
     either record (e.g. kernel-only runs) are skipped.
+
+    ``faults_disabled_overhead`` is gated against the absolute
+    :data:`FAULT_OVERHEAD_CEILING` rather than the baseline: the
+    contract is "disabled fault seams cost under 1% of end-to-end
+    wall", not "no slower than last time".
     """
     previous = {(entry["name"], entry["backend"]): entry["wall_seconds"]
                 for entry in baseline.get("benchmarks", [])}
@@ -600,6 +697,14 @@ def compare_reports(current: dict, baseline: dict,
                 f"{entry['name']}[{entry['backend']}]: "
                 f"{entry['wall_seconds']:.4f}s vs baseline {before:.4f}s "
                 f"({ratio:.2f}x > {threshold:.2f}x threshold)"
+            )
+    for backend, fraction in _fault_overhead(
+            current.get("benchmarks", [])).items():
+        if fraction > FAULT_OVERHEAD_CEILING:
+            regressions.append(
+                f"faults_disabled_overhead[{backend}]: "
+                f"{fraction:.4%} of e2e wall spent on disabled fault "
+                f"seams (> {FAULT_OVERHEAD_CEILING:.0%} ceiling)"
             )
     baseline_ratios = _parametric_ratios(baseline.get("benchmarks", []))
     for circuit, per_backend in _parametric_ratios(
@@ -651,6 +756,12 @@ def _print_summary(report: dict, stream=None) -> None:
     for circuit, ratios in report.get("parametric_ratios", {}).items():
         text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
         print(f"  parametric/static ratio — {circuit}: {text}", file=stream)
+    overhead = report.get("faults_disabled_overhead", {})
+    if overhead:
+        text = ", ".join(f"{b} {fraction:.4%}"
+                         for b, fraction in overhead.items())
+        print(f"  disabled fault-seam overhead: {text} "
+              f"(ceiling {FAULT_OVERHEAD_CEILING:.0%})", file=stream)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -43,6 +43,7 @@ import numpy as np
 from repro.cells.library import CellLibrary
 from repro.core.delay_kernel import DelayKernelTable
 from repro.errors import CampaignError, CheckpointError, ChunkExecutionError
+from repro.faults.plan import WorkerDeathError
 from repro.netlist.circuit import Circuit
 from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
 from repro.runtime.preflight import validate_campaign
@@ -143,8 +144,14 @@ def _campaign_chunk(
     engine = GpuWaveSim(compiled.circuit, compiled.library, config=config,
                         compiled=compiled, memory_budget=memory_budget)
     plan = SlotPlan(pattern_indices=pattern_indices, voltages=voltages)
-    result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
-                        variation=variation, global_slots=global_slots)
+    try:
+        result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                            variation=variation, global_slots=global_slots)
+    except WorkerDeathError:
+        # Injected worker death (``die`` fault kind): make it real.  The
+        # hard exit surfaces to the parent as a broken process pool —
+        # exactly the failure the campaign retry ladder already absorbs.
+        os._exit(1)
     return result.waveforms, engine.last_stats
 
 
@@ -157,6 +164,7 @@ def _merge_stats(target: _BatchStats, source: Optional[_BatchStats]) -> None:
     target.retries += source.retries
     target.batches += source.batches
     target.lanes_skipped += source.lanes_skipped
+    target.demotions.extend(source.demotions)
     target.delay_seconds += source.delay_seconds
     target.merge_seconds += source.merge_seconds
     target.pack_seconds += source.pack_seconds
@@ -276,6 +284,7 @@ class CampaignRunner:
         report.gate_evaluations = totals.gate_evaluations
         report.lanes_skipped = totals.lanes_skipped
         report.phase_seconds = totals.phase_seconds()
+        report.backend_demotions = list(totals.demotions)
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
             slot_labels=plan.labels(),

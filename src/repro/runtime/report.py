@@ -110,6 +110,11 @@ class RunReport:
     #: Compute backend resolved for the primary engine (``""`` for
     #: reports predating the backend layer).
     backend: str = ""
+    #: Backend demotion steps (``"cext->numpy"``) taken while the run's
+    #: chunks executed — the engine dropped to a safer kernel
+    #: implementation after repeated native faults.  ``backend`` then
+    #: names the post-demotion backend.
+    backend_demotions: List[str] = field(default_factory=list)
     #: Activity-pruning counters aggregated across every chunk's engine
     #: stats: lanes dispatched to the compute backends vs quiet lanes
     #: settled by the truth-table lookup (0 for reports predating sparse
@@ -172,6 +177,7 @@ class RunReport:
             "num_slots": self.num_slots,
             "chunk_slots": self.chunk_slots,
             "backend": self.backend,
+            "backend_demotions": list(self.backend_demotions),
             "num_chunks": self.num_chunks,
             "chunks_executed": self.chunks_executed,
             "chunks_from_checkpoint": self.chunks_from_checkpoint,
@@ -209,6 +215,9 @@ class RunReport:
             phases = ", ".join(f"{name} {seconds:.3f}s"
                                for name, seconds in self.phase_seconds.items())
             lines.append(f"  engine phases: {phases}")
+        if self.backend_demotions:
+            lines.append("  backend demotions: "
+                         + ", ".join(self.backend_demotions))
         for warning in self.warnings:
             lines.append(f"  warning: {warning}")
         return "\n".join(lines)

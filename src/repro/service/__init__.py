@@ -3,22 +3,29 @@
 Aggregates fine-grained simulation jobs from many callers into the wide
 slot planes the engines need: an async intake queue with admission
 control, a dynamic batcher (flush on fullness / age / queue-idle), a
-worker pool dispatching through the existing engines, per-job result
-demultiplexing, and a fingerprinted LRU result cache.  See
-:mod:`repro.service.core` for the execution model and the bit-identity
-contract, and ``docs/architecture.md`` §9 for the design.
+supervised worker pool dispatching through the existing engines
+(dead/hung workers replaced, their batch re-queued once), per-job
+result demultiplexing with deadlines and cancellation,
+per-compatibility-group circuit breakers, and a checksummed
+fingerprinted LRU result cache.  See :mod:`repro.service.core` for the
+execution model and the bit-identity contract, and
+``docs/architecture.md`` §9–§10 for the design.
 """
 
 from repro.service.batcher import DynamicBatcher, PendingBatch
-from repro.service.cache import CachedResult, ResultCache
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import CachedResult, ResultCache, waveform_checksum
 from repro.service.client import ServiceClient, serve_jsonl
 from repro.service.core import SimulationService
 from repro.service.jobs import JobHandle, JobResult, ServiceConfig
 from repro.service.metrics import MetricsRecorder, ServiceMetrics
+from repro.service.pool import EnginePool
 
 __all__ = [
     "CachedResult",
+    "CircuitBreaker",
     "DynamicBatcher",
+    "EnginePool",
     "JobHandle",
     "JobResult",
     "MetricsRecorder",
@@ -29,4 +36,5 @@ __all__ = [
     "ServiceMetrics",
     "SimulationService",
     "serve_jsonl",
+    "waveform_checksum",
 ]

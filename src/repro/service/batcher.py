@@ -39,6 +39,9 @@ class PendingBatch:
     compat_key: str
     jobs: List[SimulationJob] = field(default_factory=list)
     oldest: float = 0.0
+    #: Already re-queued once after a worker death/hang; a second loss
+    #: fails the batch's jobs instead (see ``repro.service.pool``).
+    requeued: bool = False
 
     @property
     def num_jobs(self) -> int:

@@ -1,28 +1,36 @@
-"""Fingerprinted LRU result cache.
+"""Fingerprinted LRU result cache with content-integrity verification.
 
 Keys are the shared :func:`repro.runtime.fingerprint.job_fingerprint`
 SHA-256 digests — the exact identity the campaign checkpoint manifest
 uses — so a cached entry answers a job precisely when a checkpoint
 directory would have resumed it: same circuit, stimuli, slot plane,
 semantic config, kernel table and variation model.  Operational knobs
-(backend, batching policy, capacity) never split the cache.
+(backend, batching policy, capacity, fault plans) never split the cache.
 
-Entries are immutable once stored: the waveform lists come straight
-from the engine's demultiplexed output and are handed back as shallow
-copies, so one caller mutating its per-slot dict cannot poison another
-caller's hit.
+Integrity: admission deep-copies the waveform arrays (a cached entry
+must not share memory with the result already handed to the submitting
+caller — and must not pin the engine's whole flat unpack buffer through
+zero-copy slices) and stores a CRC32 over the copied content.  Every
+hit re-derives the checksum; a mismatch means the entry rotted in
+memory (or a ``cache.get`` fault corrupted it), so it is **evicted and
+counted** (``integrity_evictions``), the lookup reports a miss, and the
+job recomputes instead of serving poisoned waveforms.
 """
 
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro import faults
 from repro.waveform.waveform import Waveform
 
-__all__ = ["CachedResult", "ResultCache"]
+__all__ = ["CachedResult", "ResultCache", "waveform_checksum"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +41,41 @@ class CachedResult:
     slot_labels: List[Tuple[int, float]]
     engine: str
     gate_evaluations: int
+    #: CRC32 of the waveform content at admission (0 = unverified).
+    checksum: int = 0
+
+
+def waveform_checksum(waveforms: List[Dict[str, Waveform]]) -> int:
+    """CRC32 over a result's full waveform content.
+
+    Covers net names, initial values and every toggle time, in slot
+    order with nets sorted per slot — the iteration order is part of
+    the checksum contract, so admit and verify must both use this
+    function.
+    """
+    crc = 0
+    for nets in waveforms:
+        for net in sorted(nets):
+            wave = nets[net]
+            crc = zlib.crc32(net.encode("utf-8"), crc)
+            crc = zlib.crc32(bytes((wave.initial,)), crc)
+            crc = zlib.crc32(np.ascontiguousarray(wave.times), crc)
+    return crc
+
+
+def _copied_entry(entry: CachedResult) -> CachedResult:
+    waveforms = [
+        {net: Waveform.trusted(wave.initial, wave.times.copy())
+         for net, wave in nets.items()}
+        for nets in entry.waveforms
+    ]
+    return CachedResult(
+        waveforms=waveforms,
+        slot_labels=list(entry.slot_labels),
+        engine=entry.engine,
+        gate_evaluations=entry.gate_evaluations,
+        checksum=waveform_checksum(waveforms),
+    )
 
 
 class ResultCache:
@@ -45,6 +88,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.integrity_evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -62,6 +106,15 @@ class ResultCache:
             if entry is None:
                 self.misses += 1
                 return None
+            # Fault seam: fires on the hit path, before verification —
+            # a ``corrupt`` rule rots this entry's (private) arrays,
+            # which the checksum below must catch.
+            faults.trip("cache.get", corruptible=entry.waveforms)
+            if waveform_checksum(entry.waveforms) != entry.checksum:
+                del self._entries[fingerprint]
+                self.integrity_evictions += 1
+                self.misses += 1
+                return None
             self._entries.move_to_end(fingerprint)
             self.hits += 1
             return entry
@@ -69,6 +122,7 @@ class ResultCache:
     def put(self, fingerprint: str, entry: CachedResult) -> None:
         if not self.enabled:
             return
+        entry = _copied_entry(entry)
         with self._lock:
             if fingerprint in self._entries:
                 self._entries.move_to_end(fingerprint)
@@ -97,5 +151,6 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "integrity_evictions": self.integrity_evictions,
                 "hit_rate": self.hit_rate,
             }

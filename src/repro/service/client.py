@@ -14,7 +14,7 @@ Two front ends over one :class:`~repro.service.core.SimulationService`:
 Request line schema (unknown keys are ignored)::
 
     {"id": "r1", "circuit": "suite:s27", "patterns": 8, "seed": 0,
-     "voltages": [0.8], "record_all_nets": false}
+     "voltages": [0.8], "record_all_nets": false, "deadline_ms": 5000}
 
 Response line schema::
 
@@ -23,7 +23,10 @@ Response line schema::
      "gate_evaluations": 1234}
 
 Failures respond ``{"id": ..., "ok": false, "error": "..."}``; an
-admission rejection additionally carries ``retry_after_ms``.
+admission rejection or open circuit breaker additionally carries
+``retry_after_ms`` (the breaker also sets ``"breaker": "open"``), and
+a deadline expiry sets ``"timeout": true`` with the ``deadline_ms``
+that was exceeded.
 """
 
 from __future__ import annotations
@@ -35,7 +38,12 @@ from typing import Dict, Optional
 
 from repro.atpg.patterns import random_pattern_set
 from repro.cells.library import CellLibrary
-from repro.errors import AdmissionError, ReproError
+from repro.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    JobDeadlineError,
+    ReproError,
+)
 from repro.service.core import SimulationService
 from repro.service.jobs import JobHandle, JobResult
 from repro.simulation.base import SimulationConfig
@@ -88,9 +96,11 @@ class ServiceClient:
         config = SimulationConfig(
             record_all_nets=bool(req.get("record_all_nets", False)),
             backend=self.backend)
-        return self.service.submit(key, patterns.pairs, plan=plan,
-                                   config=config,
-                                   kernel_table=self.kernel_table)
+        deadline_ms = req.get("deadline_ms")
+        return self.service.submit(
+            key, patterns.pairs, plan=plan, config=config,
+            kernel_table=self.kernel_table,
+            deadline_ms=None if deadline_ms is None else float(deadline_ms))
 
 
 def _response(req_id, result: JobResult) -> dict:
@@ -115,6 +125,12 @@ def _error_response(req_id, error: Exception) -> dict:
     if isinstance(error, AdmissionError):
         response["retry_after_ms"] = round(
             error.retry_after_seconds * 1e3, 3)
+    if isinstance(error, CircuitOpenError):
+        response["breaker"] = "open"
+    if isinstance(error, JobDeadlineError):
+        response["timeout"] = True
+        if error.deadline_ms is not None:
+            response["deadline_ms"] = error.deadline_ms
     return response
 
 

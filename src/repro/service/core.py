@@ -21,7 +21,15 @@ pay off.  The shape is deliberately that of an inference server:
   describing the batch it rode in;
 * **result cache** — a fingerprinted LRU (:mod:`repro.service.cache`)
   keyed by the same SHA-256 identity as campaign checkpoints; hits
-  resolve at submission time and never touch the queue or an engine.
+  resolve at submission time and never touch the queue or an engine;
+* **failure domains** — per-job deadlines and cancellation, a
+  supervised worker pool that replaces dead or hung workers and
+  re-queues their in-flight batch once (:mod:`repro.service.pool`),
+  per-compatibility-group circuit breakers
+  (:mod:`repro.service.breaker`), checksummed cache entries, and
+  automatic backend demotion on repeated native-kernel faults — all
+  exercised by the deterministic fault-injection plans of
+  :mod:`repro.faults`.
 
 **Bit-identity contract.**  A job's waveforms are bit-identical to a
 standalone ``GpuWaveSim.run`` of the same request no matter which
@@ -41,13 +49,21 @@ from __future__ import annotations
 import queue as _queue
 import threading
 import time as _time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import InvalidStateError
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.cells.library import CellLibrary
-from repro.errors import AdmissionError, ServiceClosedError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    JobCancelledError,
+    JobDeadlineError,
+    ServiceClosedError,
+    ServiceError,
+)
 from repro.netlist.circuit import Circuit
 from repro.runtime.fingerprint import (
     circuit_fingerprint,
@@ -56,6 +72,7 @@ from repro.runtime.fingerprint import (
 )
 from repro.runtime.report import AttemptReport, ChunkReport, RunReport
 from repro.service.batcher import DynamicBatcher, PendingBatch
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import CachedResult, ResultCache
 from repro.service.jobs import (
     JobHandle,
@@ -66,6 +83,7 @@ from repro.service.jobs import (
     validate_job,
 )
 from repro.service.metrics import MetricsRecorder, ServiceMetrics
+from repro.service.pool import EnginePool
 from repro.simulation.base import PatternPair, SimulationConfig
 from repro.simulation.compiled import CompiledCircuit, compile_circuit
 from repro.simulation.grid import SlotPlan
@@ -99,13 +117,22 @@ class SimulationService:
         self._queue: "_queue.Queue" = _queue.Queue()
         self._batcher = DynamicBatcher(self.config.max_batch_slots,
                                        self.config.max_wait_ms / 1e3)
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.config.workers,
-            thread_name_prefix="repro-service")
         self._engines = threading.local()
         self._admission = threading.Condition()
         self._backlog = 0
         self._closed = False
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
+        self._live: Dict[int, SimulationJob] = {}
+        self._live_lock = threading.Lock()
+        self._pool = EnginePool(
+            workers=self.config.workers,
+            handler=self._execute_batch,
+            on_batch_lost=self._fail_batch_jobs,
+            hang_timeout_s=self.config.hang_timeout_s,
+            tick_s=self.config.supervisor_tick_s,
+            on_tick=self._expire_deadlines,
+        )
         self._batch_thread = threading.Thread(
             target=self._batch_loop, name="repro-service-batcher", daemon=True)
         self._batch_thread.start()
@@ -132,7 +159,7 @@ class SimulationService:
             self._admission.notify_all()
         self._queue.put(_STOP if drain else _ABORT)
         self._batch_thread.join()
-        self._executor.shutdown(wait=True)
+        self._pool.close()
 
     @property
     def closed(self) -> bool:
@@ -180,13 +207,21 @@ class SimulationService:
         config: Optional[SimulationConfig] = None,
         kernel_table=None,
         variation=None,
+        deadline_ms: Optional[float] = None,
     ) -> JobHandle:
         """Submit one job; returns a :class:`JobHandle` future.
 
         Raises :class:`~repro.errors.AdmissionError` under the
         ``reject`` policy (or a timed-out ``block``) when the backlog is
-        full, and :class:`~repro.errors.ServiceClosedError` after
-        :meth:`close`.
+        full, :class:`~repro.errors.CircuitOpenError` when the job's
+        compatibility group has tripped its circuit breaker, and
+        :class:`~repro.errors.ServiceClosedError` after :meth:`close`.
+
+        ``deadline_ms`` bounds the job's total time in the service:
+        past it, the handle fails with
+        :class:`~repro.errors.JobDeadlineError` and the job is excluded
+        from any batch it had not yet ridden.  Cache hits resolve
+        immediately and never time out.
         """
         started = _time.monotonic()
         if self._closed:
@@ -198,6 +233,8 @@ class SimulationService:
             raise ServiceError("job needs at least one pattern pair")
         plan = plan or SlotPlan.uniform(len(pairs), voltage)
         validate_job(compiled, pairs, plan, kernel_table)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ServiceError("deadline_ms must be positive")
         fingerprint = job_fingerprint(compiled, pairs, plan, config,
                                       kernel_table, variation)
         self._metrics.record_submitted()
@@ -209,25 +246,44 @@ class SimulationService:
             return resolved_handle(
                 fingerprint, self._cached_result(compiled, cached, latency))
 
+        compat_key = compatibility_fingerprint(
+            compiled, config, kernel_table, variation,
+            static_voltages=(plan.voltages if kernel_table is None
+                             else None))
+        allowed, retry_after = self._breaker_for(compat_key).allow()
+        if not allowed:
+            self._metrics.record_breaker_rejected()
+            raise CircuitOpenError(
+                f"circuit breaker open for group {compat_key[:12]}…; "
+                f"retry in {retry_after:.3f}s",
+                retry_after_seconds=retry_after)
+
         job = SimulationJob(
             circuit_key=circuit_key, pairs=pairs, plan=plan, config=config,
             kernel_table=kernel_table, variation=variation,
-            fingerprint=fingerprint,
-            compat_key=compatibility_fingerprint(
-                compiled, config, kernel_table, variation,
-                static_voltages=(plan.voltages if kernel_table is None
-                                 else None)),
+            fingerprint=fingerprint, compat_key=compat_key,
         )
         self._admit(job)
         job.submitted = _time.monotonic()
+        if deadline_ms is not None:
+            job.deadline_ms = float(deadline_ms)
+            job.deadline = job.submitted + deadline_ms / 1e3
+        with self._live_lock:
+            self._live[id(job)] = job
         self._queue.put(job)
-        return JobHandle(fingerprint, job.future)
+        return JobHandle(fingerprint, job.future,
+                         canceller=lambda: self._cancel_job(job))
 
     def metrics(self) -> ServiceMetrics:
         """Point-in-time service metrics snapshot."""
         with self._admission:
             depth = self._backlog
-        return self._metrics.snapshot(depth, self._cache.stats())
+        with self._breakers_lock:
+            breakers = {key[:12]: breaker.stats()
+                        for key, breaker in self._breakers.items()}
+        return self._metrics.snapshot(depth, self._cache.stats(),
+                                      pool_stats=self._pool.stats(),
+                                      breakers=breakers)
 
     @property
     def engine_dispatches(self) -> int:
@@ -272,6 +328,71 @@ class SimulationService:
         with self._admission:
             self._backlog -= jobs
             self._admission.notify_all()
+
+    # -- job settlement -------------------------------------------------------
+
+    def _finish_job(self, job: SimulationJob, result=None,
+                    error=None) -> bool:
+        """Settle one job exactly once; returns False if already settled.
+
+        Every path that ends a job — demux success, batch failure,
+        deadline expiry, cancellation, worker loss, aborting close —
+        funnels through here.  The future's own set-once semantics are
+        the synchronizer: whichever caller wins updates the metrics and
+        releases the backlog slot; losers see ``InvalidStateError`` and
+        walk away.
+        """
+        try:
+            if error is not None:
+                job.future.set_exception(error)
+            else:
+                job.future.set_result(result)
+        except InvalidStateError:
+            return False
+        with self._live_lock:
+            self._live.pop(id(job), None)
+        if error is None:
+            self._metrics.record_completed(result.latency_seconds)
+        elif isinstance(error, JobDeadlineError):
+            self._metrics.record_timed_out()
+        elif isinstance(error, JobCancelledError):
+            self._metrics.record_cancelled()
+        else:
+            self._metrics.record_failed()
+        self._release()
+        return True
+
+    def _cancel_job(self, job: SimulationJob) -> bool:
+        return self._finish_job(job, error=JobCancelledError(
+            "job cancelled by caller"))
+
+    def _expire_deadlines(self) -> None:
+        """Supervisor tick: fail every live job past its deadline."""
+        now = _time.monotonic()
+        with self._live_lock:
+            expired = [job for job in self._live.values()
+                       if job.deadline is not None and now >= job.deadline]
+        for job in expired:
+            self._finish_job(job, error=JobDeadlineError(
+                f"job exceeded its {job.deadline_ms:g} ms deadline",
+                deadline_ms=job.deadline_ms))
+
+    def _fail_batch_jobs(self, batch: PendingBatch, error) -> None:
+        """Batch-wide failure path (worker loss, handler escape)."""
+        breaker = self._breaker_for(batch.compat_key)
+        for job in batch.jobs:
+            if self._finish_job(job, error=error):
+                breaker.record_failure()
+
+    def _breaker_for(self, compat_key: str) -> CircuitBreaker:
+        with self._breakers_lock:
+            breaker = self._breakers.get(compat_key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failures,
+                    reset_seconds=self.config.breaker_reset_s)
+                self._breakers[compat_key] = breaker
+            return breaker
 
     # -- batching loop --------------------------------------------------------
 
@@ -340,13 +461,10 @@ class SimulationService:
         else:
             error = ServiceClosedError("service closed before execution")
             for job in leftovers + [j for b in batches for j in b.jobs]:
-                job.future.set_exception(error)
-                self._metrics.record_failed()
-                self._release()
+                self._finish_job(job, error=error)
 
     def _dispatch(self, batch: PendingBatch) -> None:
-        self._metrics.record_batch(batch.num_jobs, batch.num_slots)
-        self._executor.submit(self._execute_batch, batch)
+        self._pool.submit(batch)
 
     # -- execution ------------------------------------------------------------
 
@@ -372,8 +490,16 @@ class SimulationService:
         return engine
 
     def _execute_batch(self, batch: PendingBatch) -> None:
-        jobs = batch.jobs
+        # Jobs settled while queued (deadline expiry, cancellation) ride
+        # no further: excluding them cannot change the other jobs'
+        # results because slot identity is job-local (``global_slots``).
+        jobs = [job for job in batch.jobs if not job.future.done()]
+        if not jobs:
+            return
+        self._metrics.record_batch(len(jobs),
+                                   sum(job.num_slots for job in jobs))
         started = _time.monotonic()
+        breaker = self._breaker_for(batch.compat_key)
         try:
             self._run_and_demux(jobs, started)
         except Exception as error:  # noqa: BLE001 - isolate, then report
@@ -384,12 +510,12 @@ class SimulationService:
                 for job in jobs:
                     single = PendingBatch(compat_key=job.compat_key)
                     single.add(job, _time.monotonic())
-                    self._metrics.record_batch(1, job.num_slots)
                     self._execute_batch(single)
             else:
-                jobs[0].future.set_exception(error)
-                self._metrics.record_failed()
-                self._release()
+                if self._finish_job(jobs[0], error=error):
+                    breaker.record_failure()
+        else:
+            breaker.record_success()
 
     def _run_and_demux(self, jobs: List[SimulationJob],
                        started: float) -> None:
@@ -411,7 +537,10 @@ class SimulationService:
                             kernel_table=jobs[0].kernel_table,
                             variation=jobs[0].variation,
                             global_slots=global_slots)
+        faults.trip("service.demux", corruptible=result.waveforms)
         stats = engine.last_stats
+        if stats.demotions:
+            self._metrics.record_demotions(len(stats.demotions))
         seconds = _time.monotonic() - started
         total_slots = plan.num_slots
         batch_phases = stats.phase_seconds()
@@ -436,6 +565,7 @@ class SimulationService:
                                         memory_budget=0,
                                         seconds=seconds)])],
                 backend=stats.backend,
+                backend_demotions=list(stats.demotions),
                 wall_seconds=seconds,
                 gate_evaluations=evals,
                 lanes_skipped=skipped,
@@ -457,9 +587,7 @@ class SimulationService:
                 engine=result.engine,
                 gate_evaluations=evals,
             ))
-            job.future.set_result(job_result)
-            self._metrics.record_completed(job_result.latency_seconds)
-            self._release()
+            self._finish_job(job, result=job_result)
 
     # -- cache ----------------------------------------------------------------
 

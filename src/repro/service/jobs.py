@@ -64,6 +64,20 @@ class ServiceConfig:
         ``> 1`` dispatches batches through
         :class:`~repro.simulation.multi.MultiDeviceWaveSim` with that
         many worker processes per batch.
+    hang_timeout_s:
+        A batch executing longer than this is declared hung: its worker
+        slot is abandoned and replaced, the batch re-queued once (see
+        :class:`~repro.service.pool.EnginePool`).  Must comfortably
+        exceed the largest legitimate batch runtime.
+    supervisor_tick_s:
+        Supervisor scan period — the granularity of worker health
+        checks and job-deadline expiry.
+    breaker_failures:
+        Consecutive dispatch failures that open a compatibility group's
+        circuit breaker (:mod:`repro.service.breaker`).
+    breaker_reset_s:
+        Open-state hold time before the breaker lets one half-open
+        probe job through.
     """
 
     max_batch_slots: int = 256
@@ -75,6 +89,10 @@ class ServiceConfig:
     workers: int = 1
     cache_entries: int = 256
     num_devices: int = 1
+    hang_timeout_s: float = 30.0
+    supervisor_tick_s: float = 0.05
+    breaker_failures: int = 5
+    breaker_reset_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_batch_slots < 1:
@@ -93,6 +111,12 @@ class ServiceConfig:
             raise ServiceError("cache_entries must be >= 0")
         if self.num_devices < 1:
             raise ServiceError("num_devices must be positive")
+        if self.hang_timeout_s <= 0 or self.supervisor_tick_s <= 0:
+            raise ServiceError("supervision timings must be positive")
+        if self.breaker_failures < 1:
+            raise ServiceError("breaker_failures must be positive")
+        if self.breaker_reset_s < 0:
+            raise ServiceError("breaker_reset_s must be >= 0")
 
 
 @dataclass
@@ -109,6 +133,12 @@ class SimulationJob:
     compat_key: str
     future: "Future[JobResult]" = field(default_factory=Future)
     submitted: float = 0.0
+    #: Monotonic completion deadline (``None`` = wait forever).  The
+    #: supervisor tick fails expired jobs with
+    #: :class:`~repro.errors.JobDeadlineError`; already-expired jobs are
+    #: excluded from the batches they rode in.
+    deadline: Optional[float] = None
+    deadline_ms: Optional[float] = None
 
     @property
     def num_slots(self) -> int:
@@ -147,9 +177,11 @@ class JobResult:
 class JobHandle:
     """Caller-side future for one submitted job."""
 
-    def __init__(self, fingerprint: str, future: "Future[JobResult]") -> None:
+    def __init__(self, fingerprint: str, future: "Future[JobResult]",
+                 canceller=None) -> None:
         self.fingerprint = fingerprint
         self._future = future
+        self._canceller = canceller
 
     def done(self) -> bool:
         return self._future.done()
@@ -160,6 +192,19 @@ class JobHandle:
 
     def exception(self, timeout: Optional[float] = None):
         return self._future.exception(timeout=timeout)
+
+    def cancel(self) -> bool:
+        """Cancel through the service (releases the job's backlog slot).
+
+        Returns True when the job was settled as cancelled — its
+        ``result()`` then raises
+        :class:`~repro.errors.JobCancelledError` — and False when it
+        had already completed or failed.  A job already riding a
+        dispatched batch still executes; its result is discarded.
+        """
+        if self._canceller is None:
+            return False
+        return bool(self._canceller())
 
 
 def resolved_handle(fingerprint: str, result: JobResult) -> JobHandle:

@@ -67,6 +67,26 @@ class ServiceMetrics:
     #: summed over every dispatched batch — the fused-dispatch
     #: breakdown surfaced by ``repro bench`` and the service CLI.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Failure-domain counters (see ``docs/architecture.md`` §10):
+    #: deadline expiries, caller cancellations, circuit-breaker
+    #: refusals, supervisor worker replacements (``workers_hung`` of
+    #: them abandoned as hung), batches re-queued after a worker loss,
+    #: and engine backend demotions observed on dispatched batches.
+    jobs_timed_out: int = 0
+    jobs_cancelled: int = 0
+    breaker_rejections: int = 0
+    workers_replaced: int = 0
+    workers_hung: int = 0
+    batches_requeued: int = 0
+    backend_demotions: int = 0
+    #: Per-compatibility-group breaker snapshots, keyed by the first 12
+    #: hex chars of the compat fingerprint.
+    breakers: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def integrity_evictions(self) -> int:
+        """Cache entries evicted on checksum mismatch (served as misses)."""
+        return int(self.cache.get("integrity_evictions", 0))
 
     @property
     def coalesce_factor(self) -> float:
@@ -100,6 +120,16 @@ class ServiceMetrics:
             "latency_p95_ms": self.latency_p95_ms,
             "latency_p99_ms": self.latency_p99_ms,
             "phase_seconds": dict(self.phase_seconds),
+            "jobs_timed_out": self.jobs_timed_out,
+            "jobs_cancelled": self.jobs_cancelled,
+            "breaker_rejections": self.breaker_rejections,
+            "workers_replaced": self.workers_replaced,
+            "workers_hung": self.workers_hung,
+            "batches_requeued": self.batches_requeued,
+            "backend_demotions": self.backend_demotions,
+            "integrity_evictions": self.integrity_evictions,
+            "breakers": {key: dict(value)
+                         for key, value in self.breakers.items()},
         }
 
     def summary(self) -> str:
@@ -132,6 +162,32 @@ class ServiceMetrics:
             lines.append("  engine phases: " + ", ".join(
                 f"{name} {seconds:.3f}s"
                 for name, seconds in self.phase_seconds.items()))
+        faults_line = []
+        if self.jobs_timed_out:
+            faults_line.append(f"{self.jobs_timed_out} timed out")
+        if self.jobs_cancelled:
+            faults_line.append(f"{self.jobs_cancelled} cancelled")
+        if self.breaker_rejections:
+            faults_line.append(
+                f"{self.breaker_rejections} breaker rejections")
+        if self.workers_replaced:
+            faults_line.append(
+                f"{self.workers_replaced} workers replaced "
+                f"({self.workers_hung} hung), "
+                f"{self.batches_requeued} batches re-queued")
+        if self.backend_demotions:
+            faults_line.append(f"{self.backend_demotions} backend demotions")
+        if self.integrity_evictions:
+            faults_line.append(
+                f"{self.integrity_evictions} integrity evictions")
+        if faults_line:
+            lines.append("  failures: " + ", ".join(faults_line))
+        open_breakers = {key: value["state"]
+                         for key, value in self.breakers.items()
+                         if value.get("state") != "closed"}
+        if open_breakers:
+            lines.append("  breakers: " + ", ".join(
+                f"{key}: {state}" for key, state in open_breakers.items()))
         return "\n".join(lines)
 
 
@@ -143,6 +199,10 @@ class MetricsRecorder:
     jobs_completed: int = 0
     jobs_failed: int = 0
     jobs_rejected: int = 0
+    jobs_timed_out: int = 0
+    jobs_cancelled: int = 0
+    breaker_rejections: int = 0
+    backend_demotions: int = 0
     batches_dispatched: int = 0
     jobs_batched: int = 0
     slots_dispatched: int = 0
@@ -197,6 +257,22 @@ class MetricsRecorder:
         with self._lock:
             self.jobs_failed += 1
 
+    def record_timed_out(self) -> None:
+        with self._lock:
+            self.jobs_timed_out += 1
+
+    def record_cancelled(self) -> None:
+        with self._lock:
+            self.jobs_cancelled += 1
+
+    def record_breaker_rejected(self) -> None:
+        with self._lock:
+            self.breaker_rejections += 1
+
+    def record_demotions(self, count: int) -> None:
+        with self._lock:
+            self.backend_demotions += count
+
     def retry_after(self, backlog: int, workers: int) -> float:
         """Backpressure hint: expected drain time of the current backlog."""
         with self._lock:
@@ -204,7 +280,10 @@ class MetricsRecorder:
         return max(0.001, backlog * per_job / max(workers, 1))
 
     def snapshot(self, queue_depth: int,
-                 cache_stats: Optional[dict] = None) -> ServiceMetrics:
+                 cache_stats: Optional[dict] = None,
+                 pool_stats: Optional[dict] = None,
+                 breakers: Optional[Dict[str, dict]] = None) -> ServiceMetrics:
+        pool_stats = pool_stats or {}
         with self._lock:
             latencies = np.asarray(self._latencies, dtype=np.float64)
             percentiles = (
@@ -230,4 +309,12 @@ class MetricsRecorder:
                 latency_p99_ms=(float(percentiles[2])
                                 if percentiles is not None else None),
                 phase_seconds=dict(self._phase_seconds),
+                jobs_timed_out=self.jobs_timed_out,
+                jobs_cancelled=self.jobs_cancelled,
+                breaker_rejections=self.breaker_rejections,
+                backend_demotions=self.backend_demotions,
+                workers_replaced=pool_stats.get("workers_replaced", 0),
+                workers_hung=pool_stats.get("workers_hung", 0),
+                batches_requeued=pool_stats.get("batches_requeued", 0),
+                breakers=dict(breakers or {}),
             )

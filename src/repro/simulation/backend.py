@@ -55,12 +55,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "BACKEND_CHOICES",
     "AUTO_ORDER",
+    "DEMOTION_ORDER",
     "ComputeBackend",
     "GroupResult",
     "LevelsResult",
     "NumpyBackend",
     "available_backends",
     "backend_status",
+    "demote_backend",
     "resolve_backend",
 ]
 
@@ -586,6 +588,8 @@ def _load(name: str) -> Optional[ComputeBackend]:
     if name in _FAILURES:
         return None
     try:
+        from repro import faults
+        faults.trip("backend.load")
         if name == "numpy":
             backend: ComputeBackend = NumpyBackend()
         elif name == "numba":
@@ -646,3 +650,26 @@ def backend_status() -> Dict[str, str]:
     for name in BACKEND_CHOICES[1:]:
         status[name] = "ok" if _load(name) is not None else _FAILURES[name]
     return status
+
+
+#: Demotion ladder walked when a native kernel faults repeatedly: from
+#: the most accelerated backend down to the always-available numpy port.
+DEMOTION_ORDER = ("cext", "numba", "numpy")
+
+
+def demote_backend(name: str) -> Optional[ComputeBackend]:
+    """Next *loadable* backend below ``name`` on the demotion ladder.
+
+    Skips rungs whose dependency is missing on this machine (e.g.
+    cext → numpy when numba is not installed).  Returns ``None`` at the
+    numpy floor — there is nothing safer to fall back to.
+    """
+    try:
+        position = DEMOTION_ORDER.index(name)
+    except ValueError:  # pragma: no cover - unknown engine name
+        return None
+    for candidate in DEMOTION_ORDER[position + 1:]:
+        backend = _load(candidate)
+        if backend is not None:
+            return backend
+    return None

@@ -130,6 +130,18 @@ class SimulationConfig:
         separate per-batch delay pass.  Bit-identical to the unfused
         per-arity-group path; turn off for ablation or to compare
         timings.
+    faults:
+        Optional fault-plan spec string (see :mod:`repro.faults`).  The
+        first engine constructed with it arms the plan process-wide
+        (``faults.ensure``); an already-active plan wins.  Operational
+        only — never part of job/campaign fingerprints, since an
+        injection-free run is bit-identical to one with seams compiled
+        in but no plan armed.
+    demote_after:
+        Consecutive non-overflow kernel faults an engine absorbs before
+        demoting its compute backend one rung (cext → numba → numpy,
+        skipping unavailable rungs).  At the numpy floor the fault
+        propagates instead.
     """
 
     pulse_filtering: str = "inertial"
@@ -139,6 +151,8 @@ class SimulationConfig:
     backend: Optional[str] = None
     prune_inactive: bool = True
     fused: bool = True
+    faults: Optional[str] = None
+    demote_after: int = 2
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import BACKEND_CHOICES
@@ -155,6 +169,8 @@ class SimulationConfig:
                 f"backend must be one of {BACKEND_CHOICES} or None, "
                 f"got {self.backend!r}"
             )
+        if self.demote_after < 1:
+            raise ValueError("demote_after must be >= 1")
 
 
 @dataclass

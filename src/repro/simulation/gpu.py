@@ -52,17 +52,22 @@ path entirely.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.cells.library import CellLibrary
 from repro.core.delay_kernel import DelayKernelTable
 from repro.errors import SimulationError, WaveformOverflowError
 from repro.netlist.circuit import Circuit
 from repro.netlist.sdf import SdfAnnotation
-from repro.simulation.backend import ComputeBackend, resolve_backend
+from repro.simulation.backend import (
+    ComputeBackend,
+    demote_backend,
+    resolve_backend,
+)
 from repro.simulation.base import (
     LAUNCH_TIME,
     PatternPair,
@@ -124,6 +129,9 @@ class _BatchStats:
     batches: int = 0
     lanes_skipped: int = 0
     backend: str = ""
+    #: Backend demotion steps taken during this run (``"cext->numpy"``),
+    #: in order; ``backend`` reflects the post-demotion backend.
+    demotions: List[str] = field(default_factory=list)
     #: Per-phase wall time (seconds): online delay evaluation, waveform
     #: merge kernels, and waveform pack/settle.  In fused dispatch the
     #: lane backends evaluate delays inside the merge loop, so their
@@ -165,6 +173,7 @@ class _ArenaPool:
 
     def acquire(self, nets: int, slots: int, capacity: int):
         """A zeroed ``(times, initial)`` arena pair of the given shape."""
+        faults.trip("engine.alloc")
         n_times = nets * slots * capacity
         if self._times is None or self._times.size < n_times:
             self._times = np.empty(n_times, dtype=np.float64)
@@ -208,8 +217,14 @@ class GpuWaveSim:
         self.compiled = compiled or compile_circuit(circuit, library, annotation, loads)
         self.memory_budget = memory_budget
         self.group_by_arity = group_by_arity
+        if self.config.faults:
+            faults.ensure(self.config.faults)
         self.backend: ComputeBackend = resolve_backend(self.config.backend)
         self.last_stats: Optional[_BatchStats] = None
+        #: Demotion steps taken over the engine's lifetime (see
+        #: ``_absorb_kernel_fault``); per-run steps live on the stats.
+        self.demotions: List[str] = []
+        self._kernel_faults = 0
         self._arena_pool = _ArenaPool()
         # Fused dispatch needs the per-level compacted plans; resolved
         # lazily (and fingerprint-cached across engines/services) on
@@ -292,13 +307,14 @@ class GpuWaveSim:
         self.last_stats = stats
         mode = "gpu-static" if kernel_table is None else "gpu-parametric"
         sparse = ",sparse" if self.config.prune_inactive else ""
+        demoted = "".join(f",demoted:{step}" for step in stats.demotions)
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
             slot_labels=plan.labels(),
             waveforms=waveforms,  # type: ignore[arg-type]
             runtime_seconds=runtime,
             gate_evaluations=stats.gate_evaluations,
-            engine=f"{mode}[{self.backend.name}{sparse}]",
+            engine=f"{mode}[{self.backend.name}{sparse}{demoted}]",
         )
 
     # -- internals ---------------------------------------------------------------------
@@ -333,6 +349,40 @@ class GpuWaveSim:
                     raise
                 capacity *= 2
                 stats.retries += 1
+            except Exception as error:  # noqa: BLE001 - demotion ladder
+                if not self._absorb_kernel_fault(error, stats):
+                    raise
+
+    def _absorb_kernel_fault(self, error: Exception,
+                             stats: _BatchStats) -> bool:
+        """Retry policy for non-overflow batch failures.
+
+        The batch is retried on the same backend until ``demote_after``
+        consecutive faults, then the backend is demoted one rung
+        (cext → numba → numpy, skipping unavailable rungs) and the
+        counter resets.  Returns False — re-raise — at the numpy floor,
+        so total attempts are bounded by ``demote_after × rungs``.  A
+        successful demoted retry leaves the engine on the demoted
+        backend: a native kernel that faulted repeatedly is not trusted
+        again.  (:class:`WorkerDeathError` is a ``BaseException`` and
+        never reaches this handler — a dead worker is not a kernel
+        fault.)
+        """
+        del error  # the retry decision depends only on the fault count
+        self._kernel_faults += 1
+        stats.retries += 1
+        if self._kernel_faults < self.config.demote_after:
+            return True
+        demoted = demote_backend(self.backend.name)
+        if demoted is None:
+            return False
+        step = f"{self.backend.name}->{demoted.name}"
+        self.backend = demoted
+        self._kernel_faults = 0
+        self.demotions.append(step)
+        stats.demotions.append(step)
+        stats.backend = demoted.name
+        return True
 
     def _run_batch_within_budget(
         self,
@@ -770,6 +820,7 @@ class GpuWaveSim:
                                            initial_all, num_slots)
                 lane_gates, lane_slots = np.nonzero(lane_active)
 
+        faults.trip("backend.merge_group")
         merge_start = _time.perf_counter()
         if lane_gates is not None:
             result = self.backend.merge_group_sparse(
@@ -817,6 +868,7 @@ class GpuWaveSim:
         kernel iterations, overflow behaviour — matches the per-level
         loop exactly; see :meth:`ComputeBackend.run_levels`.
         """
+        faults.trip("backend.run_levels")
         merge_start = _time.perf_counter()
         result = self.backend.run_levels(
             plans, times_all, initial_all, slot_to_v, factors, capacity,
@@ -888,6 +940,7 @@ class GpuWaveSim:
                                            initial_all, num_slots)
                 lane_gates, lane_slots = np.nonzero(lane_active)
 
+        faults.trip("backend.merge_group")
         merge_start = _time.perf_counter()
         result = self.backend.run_level(
             plan, times_all, initial_all, slot_to_v, group_factors,

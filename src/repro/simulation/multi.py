@@ -74,6 +74,7 @@ def _merge_stats(target: _BatchStats, source: Optional[_BatchStats]) -> None:
     target.retries += source.retries
     target.batches += source.batches
     target.lanes_skipped += source.lanes_skipped
+    target.demotions.extend(source.demotions)
     target.delay_seconds += source.delay_seconds
     target.merge_seconds += source.merge_seconds
     target.pack_seconds += source.pack_seconds

@@ -1,0 +1,20 @@
+"""Fault-suite isolation: every test starts with injection disarmed.
+
+The fault plan is process-wide state (deliberately — seams must be one
+global load on the hot path), so each test here clears any activation
+stack it left behind and shields itself from an ambient ``REPRO_FAULTS``
+(the chaos CI job sets one for the *service* suite; the deterministic
+assertions in this suite need full control of the plan).
+"""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()

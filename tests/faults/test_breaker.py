@@ -1,0 +1,57 @@
+"""Circuit-breaker state machine, driven with explicit clocks."""
+
+from repro.service.breaker import CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_seconds=10.0)
+        for _ in range(2):
+            breaker.record_failure(now=0.0)
+        assert breaker.allow(now=0.0) == (True, 0.0)
+        breaker.record_failure(now=0.0)
+        allowed, retry = breaker.allow(now=1.0)
+        assert not allowed
+        assert 0.0 < retry <= 10.0
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_seconds=10.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_success()
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=0.0)[0]
+
+    def test_half_open_grants_single_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0)
+        breaker.record_failure(now=0.0)
+        assert not breaker.allow(now=1.0)[0]
+        # Past reset_seconds: exactly one probe slot.
+        assert breaker.allow(now=6.0)[0]
+        assert not breaker.allow(now=6.0)[0]
+        assert breaker.stats()["state"] == "half-open"
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=6.0)[0]
+        breaker.record_success()
+        assert breaker.stats()["state"] == "closed"
+        assert breaker.allow(now=6.0) == (True, 0.0)
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=6.0)[0]
+        breaker.record_failure(now=6.0)
+        assert not breaker.allow(now=7.0)[0]
+        assert breaker.times_opened == 2
+        # The re-opened window is timed from the probe failure.
+        assert breaker.allow(now=12.0)[0]
+
+    def test_rejections_are_counted(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0)
+        breaker.record_failure(now=0.0)
+        for _ in range(3):
+            breaker.allow(now=1.0)
+        assert breaker.stats()["rejections"] == 3

@@ -1,0 +1,123 @@
+"""Engine-layer fault handling: seams, retry absorption, backend demotion."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import InjectedFaultError
+from repro.netlist.generate import random_circuit
+from repro.simulation import backend as backend_mod
+from repro.simulation.backend import available_backends, demote_backend
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.gpu import GpuWaveSim
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_circuit("flt", 8, 60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def compiled(circuit, library):
+    return compile_circuit(circuit, library)
+
+
+def make_pairs(circuit, count=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [PatternPair.random(len(circuit.inputs), rng)
+            for _ in range(count)]
+
+
+def make_engine(circuit, library, compiled, **config_kwargs):
+    config_kwargs.setdefault("backend", "numpy")
+    return GpuWaveSim(circuit, library, compiled=compiled,
+                      config=SimulationConfig(**config_kwargs))
+
+
+class TestDemotionLadder:
+    def test_demote_walks_to_next_loadable_rung(self):
+        floor = demote_backend("cext")
+        assert floor is not None  # numba may be absent; numpy never is
+        assert floor.name in ("numba", "numpy")
+        assert demote_backend("numpy") is None
+
+    def test_transient_kernel_fault_is_retried_in_place(self, circuit,
+                                                        library, compiled):
+        engine = make_engine(circuit, library, compiled, demote_after=2)
+        pairs = make_pairs(circuit)
+        baseline = engine.run(pairs)
+        with faults.injected("backend.run_levels:raise@n=1"):
+            result = engine.run(pairs)
+        assert engine.backend.name == "numpy"
+        assert engine.last_stats.retries >= 1
+        assert engine.demotions == []
+        for slot in range(len(baseline.waveforms)):
+            for net, ref in baseline.waveforms[slot].items():
+                got = result.waveforms[slot][net]
+                assert got.initial == ref.initial
+                assert np.array_equal(got.times, ref.times)
+
+    def test_fault_at_numpy_floor_propagates(self, circuit, library,
+                                             compiled):
+        engine = make_engine(circuit, library, compiled, demote_after=1)
+        with faults.injected("engine.alloc:raise@n=1"):
+            with pytest.raises(InjectedFaultError) as info:
+                engine.run(make_pairs(circuit))
+        assert info.value.site == "engine.alloc"
+
+    @pytest.mark.skipif("cext" not in available_backends(),
+                        reason="needs the C extension backend")
+    def test_native_faults_demote_to_numpy(self, circuit, library, compiled):
+        engine = make_engine(circuit, library, compiled, backend="cext",
+                             demote_after=1)
+        pairs = make_pairs(circuit, seed=5)
+        reference = make_engine(circuit, library, compiled).run(pairs)
+        with faults.injected("backend.run_levels:raise@n=1"):
+            result = engine.run(pairs)
+        assert engine.backend.name == "numpy"
+        assert engine.demotions == ["cext->numpy"]
+        assert "demoted:cext->numpy" in result.engine
+        assert engine.last_stats.demotions == ["cext->numpy"]
+        for slot in range(len(reference.waveforms)):
+            for net, ref in reference.waveforms[slot].items():
+                got = result.waveforms[slot][net]
+                assert got.initial == ref.initial
+                assert np.array_equal(got.times, ref.times)
+
+    def test_config_faults_arm_a_plan_on_first_engine(self, circuit, library,
+                                                      compiled):
+        assert faults.active_plan() is None
+        make_engine(circuit, library, compiled,
+                    faults="cache.get:raise@n=99")
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.rules[0].site == "cache.get"
+        # A second engine with a different spec keeps the armed plan.
+        make_engine(circuit, library, compiled,
+                    faults="service.demux:raise@n=1")
+        assert faults.active_plan() is plan
+
+
+class TestBackendLoadSeam:
+    def test_concrete_backend_reports_injected_load_failure(self):
+        backend_mod._clear_caches()
+        try:
+            with faults.injected("backend.load:raise@n=1"):
+                with pytest.raises(Exception) as info:
+                    backend_mod.resolve_backend("numpy")
+            assert "injected fault" in str(info.value)
+        finally:
+            backend_mod._clear_caches()
+
+    def test_single_load_fault_reaches_next_rung(self):
+        backend_mod._clear_caches()
+        try:
+            with faults.injected("backend.load:raise@n=1"):
+                resolved = backend_mod.resolve_backend("auto")
+            assert resolved is not None
+            # The first rung's failure is cached with the injected cause.
+            assert any("injected fault" in reason
+                       for reason in backend_mod._FAILURES.values())
+        finally:
+            backend_mod._clear_caches()

@@ -117,6 +117,39 @@ class TestRegressionGate:
                                ("e2e_x_parametric", "numpy"): 2.2})
         assert record.compare_reports(current, baseline, 1.5) == []
 
+    def test_fault_overhead_extracted_per_backend(self):
+        benchmarks = [
+            {"name": "fault_seams_e2e", "backend": "numpy",
+             "wall_seconds": 1.0, "params": {"overhead_fraction": 2e-5}},
+            {"name": "fault_seams_e2e", "backend": "cext",
+             "wall_seconds": 0.1, "params": {"overhead_fraction": 3e-4}},
+            {"name": "waveform_merge_kernel", "backend": "numpy",
+             "wall_seconds": 2.0, "params": {}},
+        ]
+        assert record._fault_overhead(benchmarks) == {"numpy": 2e-5,
+                                                      "cext": 3e-4}
+
+    def test_fault_overhead_ceiling_flagged(self):
+        """The seam-overhead gate is absolute, not baseline-relative."""
+        current = {"benchmarks": [
+            {"name": "fault_seams_e2e", "backend": "numpy",
+             "wall_seconds": 1.0,
+             "params": {"overhead_fraction":
+                        record.FAULT_OVERHEAD_CEILING * 2}},
+        ]}
+        messages = record.compare_reports(current, {"benchmarks": []}, 1.5)
+        assert len(messages) == 1
+        assert "faults_disabled_overhead[numpy]" in messages[0]
+
+    def test_fault_overhead_under_ceiling_passes(self):
+        current = {"benchmarks": [
+            {"name": "fault_seams_e2e", "backend": "numpy",
+             "wall_seconds": 1.0,
+             "params": {"overhead_fraction":
+                        record.FAULT_OVERHEAD_CEILING / 10}},
+        ]}
+        assert record.compare_reports(current, {"benchmarks": []}, 1.5) == []
+
     def test_report_roundtrip(self, tmp_path):
         report = make_report({("merge", "numpy"): 1.0})
         path = str(tmp_path / "bench.json")
