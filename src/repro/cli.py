@@ -254,6 +254,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission=args.admission,
         workers=args.workers,
         cache_entries=args.cache_entries,
+        shards=args.shards,
     )
     with SimulationService(config=config) as service:
         client = ServiceClient(service, library, _load_circuit,
@@ -449,6 +450,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="behaviour at the queue-depth bound")
     p.add_argument("--workers", type=int, default=1,
                    help="engine worker threads")
+    p.add_argument("--shards", type=int, default=0,
+                   help="execute batches in this many worker processes "
+                        "behind shared-memory planes (0 = in-process "
+                        "engine pool)")
     p.add_argument("--cache-entries", type=int, default=256,
                    help="result-cache capacity (0 disables the cache)")
     p.add_argument("--backend", default=None,

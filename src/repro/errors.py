@@ -162,6 +162,16 @@ class WorkerLostError(ServiceError):
     """
 
 
+class ShardError(ServiceError):
+    """A shard worker process failed outside normal job execution.
+
+    Covers spawn failures (after the router's single retry), protocol
+    violations on the control pipe, and shard-side exceptions whose
+    original type cannot be reconstructed in the parent — the message
+    carries the shard-side type name and text.
+    """
+
+
 class TimingError(ReproError):
     """Errors in static timing analysis or path enumeration."""
 

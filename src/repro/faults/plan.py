@@ -53,6 +53,8 @@ FAULT_SITES = (
     "service.demux",         # batch result demultiplexing
     "cache.get",             # result-cache hit path
     "engine.alloc",          # waveform-arena acquisition
+    "shard.dispatch",        # shard-side batch execution (in the worker process)
+    "shard.spawn",           # router-side shard process spawn
 )
 
 #: Supported fault kinds.

@@ -23,6 +23,7 @@ Report schema (version 1)::
       "speedups": {benchmark-name: {backend: numpy_wall / backend_wall}},
       "pruning_speedups": {scenario: {backend: dense_wall / sparse_wall}},
       "service_speedups": {backend: sequential_wall / batched_wall},
+      "service_scaling": {backend: {num_shards: inproc_wall / sharded_wall}},
       "dispatch_speedups": {backend: unfused_wall / fused_wall},
       "parametric_ratios": {circuit: {backend: parametric_wall / static_wall}},
       "faults_disabled_overhead": {backend: seam_cost_fraction_of_e2e_wall}
@@ -38,6 +39,14 @@ the same fine-grained jobs once as per-job ``GpuWaveSim.run`` calls and
 once through :class:`repro.service.SimulationService` (result cache
 disabled); ``service_speedups`` records the dynamic-batching win of
 coalescing small jobs into one shared slot plane.
+
+The service-scaling scenario (``service_scaling_{inproc,shardsN}``)
+runs the same job stream through the in-process service and through
+``ServiceConfig(shards=N)`` worker processes with the zero-copy
+shared-memory transport; ``service_scaling`` records the wall ratio per
+shard count.  Interpret it against ``machine.cpu_count``: without
+spare cores the ratio prices the multi-process transport overhead
+rather than a parallelism win.
 
 The level-dispatch scenario (``level_dispatch_{fused,unfused}``) runs
 the same parametric workload once through the fused level-plan path
@@ -88,6 +97,7 @@ __all__ = [
     "bench_level_dispatch",
     "bench_low_activity",
     "bench_merge_kernel",
+    "bench_service_scaling",
     "bench_service_throughput",
     "compare_reports",
     "load_report",
@@ -135,6 +145,19 @@ SERVICE_JOBS = 64
 SERVICE_JOBS_QUICK = 16
 SERVICE_SLOTS_PER_JOB = 2
 SERVICE_CIRCUIT = "s38417"
+
+#: Service-scaling scenario: the same job stream through the in-process
+#: service and through ``shards=N`` worker processes.  Queue depth 1
+#: forces the router to spill the single hot compatibility group across
+#: every shard, so the number measures multi-process scaling (plus the
+#: shared-memory transport overhead), not consistent-hash placement.
+#: Interpret against ``machine.cpu_count``: with one core, sharding can
+#: only add IPC overhead — the speedup column is then an honest price
+#: tag, not a win.
+SCALING_JOBS = 32
+SCALING_JOBS_QUICK = 8
+SCALING_SHARDS = (1, 2, 4)
+SCALING_SHARDS_QUICK = (1, 2)
 
 #: Level-dispatch (fused vs unfused) scenario: one multi-voltage
 #: parametric workload, so the per-level dispatch and per-lane delay
@@ -422,6 +445,78 @@ def bench_service_throughput(backend_name: str, num_jobs: int,
     ]
 
 
+def bench_service_scaling(backend_name: str, num_jobs: int,
+                          shard_counts: Sequence[int],
+                          repeats: int = 2) -> List[dict]:
+    """In-process vs multi-process-sharded service on one job stream.
+
+    The same ``num_jobs`` fine-grained jobs run once through the
+    in-process service (``shards=0``, the supervised thread pool) and
+    once per entry of ``shard_counts`` through the multi-process shard
+    router with its zero-copy shared-memory transport.  Process spawn
+    and circuit registration happen outside the timed region — the
+    number is steady-state dispatch throughput.  ``shard_queue_depth=1``
+    makes the single hot compatibility group spill across every shard,
+    so all worker processes participate.
+
+    ``service_scaling`` in the report records the wall-time ratio of
+    the in-process run to each sharded run per backend.  Read it next
+    to ``machine.cpu_count``: sharding buys parallelism only when there
+    are cores to spill onto; on a single-core machine the ratio prices
+    the IPC/shared-memory overhead instead.
+    """
+    from repro.experiments.common import default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.service import ServiceConfig, SimulationService
+    from repro.simulation.base import SimulationConfig
+
+    workload = prepare_workload(SERVICE_CIRCUIT, scale=E2E_SCALE)
+    library = default_library()
+    source = workload.patterns.pairs
+    jobs = [[source[(num_jobs * i + j) % len(source)]
+             for j in range(SERVICE_SLOTS_PER_JOB)]
+            for i in range(num_jobs)]
+    config = SimulationConfig(backend=backend_name)
+    backend = resolve_backend(backend_name).name
+    # Several small batches per pass, so there is something to spread.
+    batching = dict(max_batch_slots=SERVICE_SLOTS_PER_JOB * 4,
+                    max_wait_ms=50.0, idle_ms=10.0, cache_entries=0)
+
+    def measure(service_config: ServiceConfig) -> tuple:
+        with SimulationService(config=service_config) as service:
+            key = service.register_circuit(workload.circuit, library,
+                                           compiled=workload.compiled)
+            evals: List[int] = []
+
+            def run_stream():
+                handles = [service.submit(key, pairs, config=config)
+                           for pairs in jobs]
+                evals.append(sum(handle.result(timeout=300).gate_evaluations
+                                 for handle in handles))
+
+            run_stream()  # warm-up: shard engines, arenas, plan caches
+            wall = _best_of(run_stream, repeats)
+            metrics = service.metrics()
+        return wall, evals[-1], metrics
+
+    entries = []
+    params = dict(circuit=SERVICE_CIRCUIT, scale=E2E_SCALE, jobs=num_jobs,
+                  slots_per_job=SERVICE_SLOTS_PER_JOB,
+                  cpu_count=os.cpu_count())
+    wall, evals, _ = measure(ServiceConfig(**batching))
+    entries.append(_entry("service_scaling_inproc", backend, wall, evals,
+                          shards=0, **params))
+    for shards in shard_counts:
+        wall, evals, metrics = measure(
+            ServiceConfig(shards=shards, shard_queue_depth=1, **batching))
+        entries.append(_entry(
+            f"service_scaling_shards{shards}", backend, wall, evals,
+            shards=shards, rebalances=metrics.shard_rebalances,
+            ipc_rx_bytes=metrics.ipc_rx_bytes,
+            shm_out_bytes=metrics.shm_out_bytes, **params))
+    return entries
+
+
 def bench_fault_seams(backend_name: str, num_patterns: int,
                       spins: int = FAULT_SEAM_SPINS,
                       repeats: int = 2) -> dict:
@@ -526,6 +621,12 @@ def run_suite(quick: bool = False,
         for name in chosen:
             benchmarks.extend(bench_service_throughput(name, service_jobs))
 
+        scaling_jobs = SCALING_JOBS_QUICK if quick else SCALING_JOBS
+        scaling_shards = SCALING_SHARDS_QUICK if quick else SCALING_SHARDS
+        for name in chosen:
+            benchmarks.extend(bench_service_scaling(name, scaling_jobs,
+                                                    scaling_shards))
+
         seam_spins = FAULT_SEAM_SPINS_QUICK if quick else FAULT_SEAM_SPINS
         for name in chosen:
             benchmarks.append(bench_fault_seams(name, patterns,
@@ -546,6 +647,7 @@ def run_suite(quick: bool = False,
         "speedups": _speedups(benchmarks),
         "pruning_speedups": _pruning_speedups(benchmarks),
         "service_speedups": _service_speedups(benchmarks),
+        "service_scaling": _service_scaling(benchmarks),
         "dispatch_speedups": _dispatch_speedups(benchmarks),
         "parametric_ratios": _parametric_ratios(benchmarks),
         "faults_disabled_overhead": _fault_overhead(benchmarks),
@@ -646,6 +748,34 @@ def _service_speedups(benchmarks: List[dict]) -> Dict[str, float]:
             for backend, pair in walls.items()
             if "sequential" in pair and "batched" in pair
             and pair["batched"] > 0}
+
+
+def _service_scaling(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
+    """Per backend: wall(in-process) / wall(shards=N), keyed by N.
+
+    A ratio above 1.0 means the sharded service beat the in-process one
+    on this machine; below 1.0 it prices the multi-process transport
+    overhead (expected whenever ``machine.cpu_count`` leaves no spare
+    cores for the shards to use).
+    """
+    inproc: Dict[str, float] = {}
+    sharded: Dict[str, Dict[str, float]] = {}
+    for entry in benchmarks:
+        name = entry["name"]
+        if name == "service_scaling_inproc":
+            inproc[entry["backend"]] = entry["wall_seconds"]
+        elif name.startswith("service_scaling_shards"):
+            shards = str(entry["params"]["shards"])
+            sharded.setdefault(entry["backend"], {})[shards] = \
+                entry["wall_seconds"]
+    ratios: Dict[str, Dict[str, float]] = {}
+    for backend, walls in sharded.items():
+        base = inproc.get(backend)
+        if base is None:
+            continue
+        ratios[backend] = {shards: base / wall
+                           for shards, wall in walls.items() if wall > 0}
+    return ratios
 
 
 # -- persistence / regression gate -------------------------------------------------
@@ -749,6 +879,15 @@ def _print_summary(report: dict, stream=None) -> None:
     if service:
         text = ", ".join(f"{b} {r:.2f}x" for b, r in service.items())
         print(f"  service batching speedup: {text}", file=stream)
+    scaling = report.get("service_scaling", {})
+    if scaling:
+        cores = report.get("machine", {}).get("cpu_count")
+        for backend, ratios in scaling.items():
+            text = ", ".join(f"{shards} shards {ratio:.2f}x"
+                             for shards, ratio in sorted(
+                                 ratios.items(), key=lambda kv: int(kv[0])))
+            print(f"  service sharding speedup [{backend}] "
+                  f"({cores} cpu): {text}", file=stream)
     dispatch = report.get("dispatch_speedups", {})
     if dispatch:
         text = ", ".join(f"{b} {r:.2f}x" for b, r in dispatch.items())

@@ -7,9 +7,14 @@ supervised worker pool dispatching through the existing engines
 (dead/hung workers replaced, their batch re-queued once), per-job
 result demultiplexing with deadlines and cancellation,
 per-compatibility-group circuit breakers, and a checksummed
-fingerprinted LRU result cache.  See :mod:`repro.service.core` for the
-execution model and the bit-identity contract, and
-``docs/architecture.md`` §9–§10 for the design.
+fingerprinted LRU result cache.  With ``ServiceConfig(shards=N)`` the
+worker pool is replaced by a multi-process shard router: batches route
+to spawned worker processes by consistent hash of their compatibility
+group, with stimuli and result waveforms carried through zero-copy
+shared-memory planes (:mod:`repro.service.shm`,
+:mod:`repro.service.shard`, :mod:`repro.service.router`).  See
+:mod:`repro.service.core` for the execution model and the bit-identity
+contract, and ``docs/architecture.md`` §9–§11 for the design.
 """
 
 from repro.service.batcher import DynamicBatcher, PendingBatch
@@ -20,6 +25,8 @@ from repro.service.core import SimulationService
 from repro.service.jobs import JobHandle, JobResult, ServiceConfig
 from repro.service.metrics import MetricsRecorder, ServiceMetrics
 from repro.service.pool import EnginePool
+from repro.service.router import ShardRouter
+from repro.service.shm import SharedArena, sweep_orphans
 
 __all__ = [
     "CachedResult",
@@ -34,7 +41,10 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceMetrics",
+    "SharedArena",
+    "ShardRouter",
     "SimulationService",
     "serve_jsonl",
+    "sweep_orphans",
     "waveform_checksum",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -119,10 +119,23 @@ class ResultCache:
             self.hits += 1
             return entry
 
-    def put(self, fingerprint: str, entry: CachedResult) -> None:
+    def put(self, fingerprint: str, entry: CachedResult,
+            copy: bool = True) -> None:
+        """Admit one entry; verification-on-hit applies either way.
+
+        ``copy=False`` is the demux hot-loop's fast path: the caller
+        guarantees the entry's arrays are already private (the service
+        builds them with one bulk gather per job instead of one
+        ``ndarray.copy`` per waveform), so admission only derives the
+        missing checksum instead of deep-copying a second time.
+        """
         if not self.enabled:
             return
-        entry = _copied_entry(entry)
+        if copy:
+            entry = _copied_entry(entry)
+        elif entry.checksum == 0:
+            entry = replace(entry,
+                            checksum=waveform_checksum(entry.waveforms))
         with self._lock:
             if fingerprint in self._entries:
                 self._entries.move_to_end(fingerprint)

@@ -16,6 +16,12 @@ pay off.  The shape is deliberately that of an inference server:
   (the waveform-arena pool is per engine and not thread-safe); batches
   dispatch through :class:`~repro.simulation.gpu.GpuWaveSim` or, with
   ``num_devices > 1``, :class:`~repro.simulation.multi.MultiDeviceWaveSim`;
+  with ``shards > 0`` the pool is replaced wholesale by a
+  :class:`~repro.service.router.ShardRouter` over spawned worker
+  *processes* — compatibility groups map to shards by consistent hash,
+  stimuli and result waveforms move through shared-memory planes
+  (:mod:`repro.service.shm`), and demux happens in the parent directly
+  on the shard's mapped result plane;
 * **demultiplexing** — each job receives exactly its slice of the
   shared plane, with a per-job :class:`~repro.runtime.report.RunReport`
   describing the batch it rode in;
@@ -54,6 +60,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.errors as _errors
 from repro import faults
 from repro.cells.library import CellLibrary
 from repro.errors import (
@@ -63,6 +70,7 @@ from repro.errors import (
     JobDeadlineError,
     ServiceClosedError,
     ServiceError,
+    ShardError,
 )
 from repro.netlist.circuit import Circuit
 from repro.runtime.fingerprint import (
@@ -87,6 +95,7 @@ from repro.service.pool import EnginePool
 from repro.simulation.base import PatternPair, SimulationConfig
 from repro.simulation.compiled import CompiledCircuit, compile_circuit
 from repro.simulation.grid import SlotPlan
+from repro.waveform.waveform import Waveform
 
 __all__ = ["SimulationService"]
 
@@ -125,14 +134,34 @@ class SimulationService:
         self._breakers_lock = threading.Lock()
         self._live: Dict[int, SimulationJob] = {}
         self._live_lock = threading.Lock()
-        self._pool = EnginePool(
-            workers=self.config.workers,
-            handler=self._execute_batch,
-            on_batch_lost=self._fail_batch_jobs,
-            hang_timeout_s=self.config.hang_timeout_s,
-            tick_s=self.config.supervisor_tick_s,
-            on_tick=self._expire_deadlines,
-        )
+        self._pool = None
+        self._router = None
+        if self.config.shards > 0:
+            from repro.service.router import ShardRouter
+            self._router = ShardRouter(
+                num_shards=self.config.shards,
+                combine=self._combine,
+                on_batch_done=self._complete_shard_batch,
+                on_batch_error=self._shard_batch_error,
+                on_batch_lost=self._fail_batch_jobs,
+                on_dispatch=self._record_shard_dispatch,
+                ring_slots=self.config.shard_ring_slots,
+                segment_bytes=self.config.shard_segment_bytes,
+                queue_depth=self.config.shard_queue_depth,
+                hang_timeout_s=self.config.hang_timeout_s,
+                tick_s=self.config.supervisor_tick_s,
+                spawn_timeout_s=self.config.shard_spawn_timeout_s,
+                on_tick=self._expire_deadlines,
+            )
+        else:
+            self._pool = EnginePool(
+                workers=self.config.workers,
+                handler=self._execute_batch,
+                on_batch_lost=self._fail_batch_jobs,
+                hang_timeout_s=self.config.hang_timeout_s,
+                tick_s=self.config.supervisor_tick_s,
+                on_tick=self._expire_deadlines,
+            )
         self._batch_thread = threading.Thread(
             target=self._batch_loop, name="repro-service-batcher", daemon=True)
         self._batch_thread.start()
@@ -159,7 +188,12 @@ class SimulationService:
             self._admission.notify_all()
         self._queue.put(_STOP if drain else _ABORT)
         self._batch_thread.join()
-        self._pool.close()
+        self._executor.close()
+
+    @property
+    def _executor(self):
+        """The batch executor: shard router or in-process engine pool."""
+        return self._router if self._router is not None else self._pool
 
     @property
     def closed(self) -> bool:
@@ -185,6 +219,12 @@ class SimulationService:
         key = circuit_fingerprint(compiled)
         with self._circuits_lock:
             self._circuits.setdefault(key, compiled)
+        if self._router is not None:
+            # Broadcast the compiled form together with the parent's
+            # already-built level plans: every shard's plan cache is
+            # warm before its first batch (and after every respawn —
+            # the router replays this registration).
+            self._router.register_circuit(key, compiled, compiled.plans())
         return key
 
     def circuit(self, circuit_key: str) -> CompiledCircuit:
@@ -282,7 +322,7 @@ class SimulationService:
             breakers = {key[:12]: breaker.stats()
                         for key, breaker in self._breakers.items()}
         return self._metrics.snapshot(depth, self._cache.stats(),
-                                      pool_stats=self._pool.stats(),
+                                      pool_stats=self._executor.stats(),
                                       breakers=breakers)
 
     @property
@@ -352,7 +392,8 @@ class SimulationService:
         with self._live_lock:
             self._live.pop(id(job), None)
         if error is None:
-            self._metrics.record_completed(result.latency_seconds)
+            self._metrics.record_completed(result.latency_seconds,
+                                           shard=job.shard)
         elif isinstance(error, JobDeadlineError):
             self._metrics.record_timed_out()
         elif isinstance(error, JobCancelledError):
@@ -464,7 +505,17 @@ class SimulationService:
                 self._finish_job(job, error=error)
 
     def _dispatch(self, batch: PendingBatch) -> None:
-        self._pool.submit(batch)
+        if self._router is not None:
+            # Group registration rides the same FIFO control pipe as
+            # the batch, so it always lands first; register_group is an
+            # idempotent no-op after the first call per group.
+            job = batch.jobs[0]
+            self._router.register_group(
+                batch.compat_key, job.circuit_key, job.config,
+                job.kernel_table, job.variation)
+            self._router.submit(batch)
+        else:
+            self._pool.submit(batch)
 
     # -- execution ------------------------------------------------------------
 
@@ -517,10 +568,8 @@ class SimulationService:
         else:
             breaker.record_success()
 
-    def _run_and_demux(self, jobs: List[SimulationJob],
-                       started: float) -> None:
-        compiled = self.circuit(jobs[0].circuit_key)
-        config = jobs[0].config
+    def _combine(self, jobs: List[SimulationJob]):
+        """Concatenate a batch's jobs into one shared slot plane."""
         combined_pairs: List[PatternPair] = []
         offsets: List[int] = []
         for job in jobs:
@@ -531,7 +580,13 @@ class SimulationService:
         # depend on where in the shared plane a job landed.
         global_slots = np.concatenate(
             [np.arange(job.num_slots, dtype=np.int64) for job in jobs])
+        return combined_pairs, plan, global_slots
 
+    def _run_and_demux(self, jobs: List[SimulationJob],
+                       started: float) -> None:
+        compiled = self.circuit(jobs[0].circuit_key)
+        config = jobs[0].config
+        combined_pairs, plan, global_slots = self._combine(jobs)
         engine = self._engine_for(jobs[0].circuit_key, config)
         result = engine.run(combined_pairs, plan=plan,
                             kernel_table=jobs[0].kernel_table,
@@ -539,55 +594,171 @@ class SimulationService:
                             global_slots=global_slots)
         faults.trip("service.demux", corruptible=result.waveforms)
         stats = engine.last_stats
-        if stats.demotions:
-            self._metrics.record_demotions(len(stats.demotions))
+        self._settle_batch(
+            jobs, compiled, config, result.waveforms,
+            engine_name=result.engine, backend=stats.backend,
+            gate_evaluations=stats.gate_evaluations,
+            lanes_skipped=stats.lanes_skipped,
+            demotions=list(stats.demotions),
+            phase_seconds=stats.phase_seconds(), started=started)
+
+    def _settle_batch(self, jobs: List[SimulationJob],
+                      compiled: CompiledCircuit, config: SimulationConfig,
+                      waveforms, engine_name: str, backend,
+                      gate_evaluations: int, lanes_skipped: int,
+                      demotions: List[str], phase_seconds: Dict[str, float],
+                      started: float) -> None:
+        """Demultiplex one executed plane into per-job results.
+
+        Shared by the in-process path (waveforms fresh off the engine)
+        and the sharded path (waveforms rebuilt from a mapped result
+        plane) — the apportionment, reports, caching and settlement are
+        identical either way, which is most of the bit-identity
+        contract.
+        """
+        if demotions:
+            self._metrics.record_demotions(len(demotions))
         seconds = _time.monotonic() - started
-        total_slots = plan.num_slots
-        batch_phases = stats.phase_seconds()
-        self._metrics.record_phases(batch_phases)
+        total_slots = sum(job.num_slots for job in jobs)
+        self._metrics.record_phases(phase_seconds)
 
         start = 0
         now = _time.monotonic()
         for position, job in enumerate(jobs):
             n = job.num_slots
-            wave_slice = result.waveforms[start:start + n]
+            wave_slice = waveforms[start:start + n]
             start += n
-            evals = stats.gate_evaluations * n // total_slots
-            skipped = stats.lanes_skipped * n // total_slots
+            evals = gate_evaluations * n // total_slots
+            skipped = lanes_skipped * n // total_slots
             report = RunReport(
                 circuit_name=compiled.circuit.name,
                 num_slots=n,
                 chunk_slots=total_slots,
                 chunks=[ChunkReport(index=position, num_slots=n,
                                     attempts=[AttemptReport(
-                                        engine=f"service:{result.engine}",
+                                        engine=f"service:{engine_name}",
                                         waveform_capacity=config.waveform_capacity,
                                         memory_budget=0,
                                         seconds=seconds)])],
-                backend=stats.backend,
-                backend_demotions=list(stats.demotions),
+                backend=backend,
+                backend_demotions=list(demotions),
                 wall_seconds=seconds,
                 gate_evaluations=evals,
                 lanes_skipped=skipped,
                 phase_seconds={name: value * n / total_slots
-                               for name, value in batch_phases.items()},
+                               for name, value in phase_seconds.items()},
             )
             job_result = JobResult(
                 waveforms=wave_slice,
                 slot_labels=job.plan.labels(),
-                engine=result.engine,
+                engine=engine_name,
                 gate_evaluations=evals,
                 cache_hit=False,
                 latency_seconds=now - job.submitted,
                 report=report,
             )
+            # One bulk gather makes the cache entry private up front, so
+            # admission can skip its per-waveform deep copy
+            # (``copy=False``); the CRC32 verify-on-hit is unchanged.
             self._cache.put(job.fingerprint, CachedResult(
-                waveforms=wave_slice,
+                waveforms=_private_waveforms(wave_slice),
                 slot_labels=job_result.slot_labels,
-                engine=result.engine,
+                engine=engine_name,
                 gate_evaluations=evals,
-            ))
+            ), copy=False)
             self._finish_job(job, result=job_result)
+
+    # -- sharded execution (router callbacks) ---------------------------------
+
+    def _record_shard_dispatch(self, batch: PendingBatch,
+                               jobs: List[SimulationJob],
+                               shard_index: int) -> None:
+        """Router callback: one batch left for a shard process."""
+        for job in jobs:
+            job.shard = shard_index
+        self._metrics.record_batch(len(jobs),
+                                   sum(job.num_slots for job in jobs))
+
+    def _complete_shard_batch(self, batch: PendingBatch,
+                              jobs: List[SimulationJob], outcome: dict,
+                              arena, shard_index: int,
+                              started: float) -> None:
+        """Router callback: demux one ``done`` reply.
+
+        ``arena`` is the parent's zero-copy mapping of the shard's
+        result plane; the waveform payload never crossed a pipe.
+        """
+        from repro.service.shard import unpack_result_plane, wanted_nets
+
+        breaker = self._breaker_for(batch.compat_key)
+        try:
+            compiled = self.circuit(jobs[0].circuit_key)
+            config = jobs[0].config
+            waveforms = unpack_result_plane(
+                arena, outcome["layout"], wanted_nets(compiled, config))
+            faults.trip("service.demux", corruptible=waveforms)
+            self._settle_batch(
+                jobs, compiled, config, waveforms,
+                engine_name=outcome["engine"], backend=outcome["backend"],
+                gate_evaluations=outcome["gate_evaluations"],
+                lanes_skipped=outcome["lanes_skipped"],
+                demotions=list(outcome["demotions"]),
+                phase_seconds=outcome["phase_seconds"], started=started)
+        except Exception as error:  # noqa: BLE001 - isolate, then report
+            self._isolate_or_fail(jobs, error, breaker)
+        else:
+            breaker.record_success()
+
+    def _shard_batch_error(self, batch: PendingBatch,
+                           jobs: List[SimulationJob], exc_name: str,
+                           message: str) -> None:
+        """Router callback: the shard reported a batch failure."""
+        error = self._rebuild_shard_error(exc_name, message)
+        breaker = self._breaker_for(batch.compat_key)
+        self._isolate_or_fail(jobs, error, breaker)
+
+    def _isolate_or_fail(self, jobs: List[SimulationJob],
+                         error: BaseException, breaker) -> None:
+        """Sharded poison isolation: singletons re-dispatch, one fails.
+
+        The in-process pool re-runs singletons inline on the same
+        worker; here the re-dispatch goes back through the router (the
+        shard serves other groups meanwhile), with the same outcome:
+        only the guilty job surfaces the failure.
+        """
+        if len(jobs) > 1:
+            for job in jobs:
+                if job.future.done():
+                    continue
+                single = PendingBatch(compat_key=job.compat_key)
+                single.add(job, _time.monotonic())
+                self._dispatch(single)
+        else:
+            if self._finish_job(jobs[0], error=error):
+                breaker.record_failure()
+
+    @staticmethod
+    def _rebuild_shard_error(exc_name: str, message: str) -> Exception:
+        """Best-effort reconstruction of a shard-side exception.
+
+        Only ``(type name, message)`` cross the process boundary — a
+        traceback object would not pickle and the classes may carry
+        unpicklable payloads.  Names resolve against
+        :mod:`repro.errors`, then builtins; anything else (or a
+        constructor wanting more arguments) degrades to
+        :class:`~repro.errors.ShardError` with the name preserved in
+        the text.
+        """
+        import builtins
+
+        for namespace in (_errors, builtins):
+            cls = getattr(namespace, exc_name, None)
+            if isinstance(cls, type) and issubclass(cls, Exception):
+                try:
+                    return cls(message)
+                except TypeError:
+                    break
+        return ShardError(f"shard raised {exc_name}: {message}")
 
     # -- cache ----------------------------------------------------------------
 
@@ -610,3 +781,29 @@ class SimulationService:
             latency_seconds=latency,
             report=report,
         )
+
+
+def _private_waveforms(wave_slice) -> List[Dict[str, Waveform]]:
+    """Privately-owned copy of one job's waveform slice, in one gather.
+
+    The cache must not retain views into the engine's (or the shard
+    plane's) batch-wide flat buffer; instead of one ``ndarray.copy``
+    per waveform, every toggle array is gathered into a single freshly
+    allocated buffer and sliced back out — one C-level ``concatenate``
+    for the whole job.
+    """
+    chunks = [wave.times
+              for nets in wave_slice for wave in nets.values()]
+    flat = (np.concatenate(chunks) if chunks
+            else np.empty(0, dtype=np.float64))
+    out: List[Dict[str, Waveform]] = []
+    position = 0
+    for nets in wave_slice:
+        copied = {}
+        for net, wave in nets.items():
+            size = wave.times.size
+            copied[net] = Waveform.trusted(
+                wave.initial, flat[position:position + size])
+            position += size
+        out.append(copied)
+    return out

@@ -78,6 +78,27 @@ class ServiceConfig:
     breaker_reset_s:
         Open-state hold time before the breaker lets one half-open
         probe job through.
+    shards:
+        ``> 0`` executes batches in that many spawned shard *processes*
+        behind a :class:`~repro.service.router.ShardRouter` instead of
+        the in-process engine pool: compatibility groups map to shards
+        by consistent hash, stimuli and result waveforms travel through
+        shared-memory planes, and dead shards are respawned with their
+        in-flight batches re-queued once.  Mutually exclusive with
+        ``num_devices > 1`` (a shard is already a process).
+    shard_ring_slots:
+        Input/result ring slots per shard — the per-shard pipelining
+        depth (batches packed or awaiting demux at once).
+    shard_queue_depth:
+        Backlog (queued + in flight) at which a batch spills from its
+        home shard to the least-loaded one.
+    shard_spawn_timeout_s:
+        A spawned shard that has not reported ready within this window
+        is declared wedged, killed and respawned.
+    shard_segment_bytes:
+        Initial size of every shared-memory plane; planes grow (by
+        powers of two, under a new segment generation) when a batch
+        overflows them.
     """
 
     max_batch_slots: int = 256
@@ -93,6 +114,11 @@ class ServiceConfig:
     supervisor_tick_s: float = 0.05
     breaker_failures: int = 5
     breaker_reset_s: float = 1.0
+    shards: int = 0
+    shard_ring_slots: int = 4
+    shard_queue_depth: int = 4
+    shard_spawn_timeout_s: float = 60.0
+    shard_segment_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.max_batch_slots < 1:
@@ -117,6 +143,20 @@ class ServiceConfig:
             raise ServiceError("breaker_failures must be positive")
         if self.breaker_reset_s < 0:
             raise ServiceError("breaker_reset_s must be >= 0")
+        if self.shards < 0:
+            raise ServiceError("shards must be >= 0")
+        if self.shards > 0 and self.num_devices > 1:
+            raise ServiceError(
+                "shards and num_devices are mutually exclusive "
+                "(a shard is already a process)")
+        if self.shard_ring_slots < 1:
+            raise ServiceError("shard_ring_slots must be positive")
+        if self.shard_queue_depth < 1:
+            raise ServiceError("shard_queue_depth must be positive")
+        if self.shard_spawn_timeout_s <= 0:
+            raise ServiceError("shard_spawn_timeout_s must be positive")
+        if self.shard_segment_bytes < 4096:
+            raise ServiceError("shard_segment_bytes must be >= 4096")
 
 
 @dataclass
@@ -139,6 +179,10 @@ class SimulationJob:
     #: excluded from the batches they rode in.
     deadline: Optional[float] = None
     deadline_ms: Optional[float] = None
+    #: Index of the shard that executed (or is executing) the job's
+    #: batch; ``None`` until dispatch, and always ``None`` without
+    #: sharding.  Feeds the per-shard latency dimension of the metrics.
+    shard: Optional[int] = None
 
     @property
     def num_slots(self) -> int:

@@ -82,6 +82,25 @@ class ServiceMetrics:
     #: Per-compatibility-group breaker snapshots, keyed by the first 12
     #: hex chars of the compat fingerprint.
     breakers: Dict[str, dict] = field(default_factory=dict)
+    #: Sharded-service counters (all zero / empty without sharding).
+    #: ``shards`` maps shard index (as a string) to that shard's
+    #: occupancy and transport counters (queue depth, in-flight batches,
+    #: dispatches, respawns, per-shard IPC/shm bytes, …);
+    #: ``shard_latency_ms`` holds per-shard p50/p95/p99 over the recent
+    #: completion window — the shard dimension of the latency
+    #: percentiles.  ``ipc_*_bytes`` count *control-pipe* traffic only
+    #: (pickled descriptors), while ``shm_*_bytes`` count the payload
+    #: bytes that moved through shared-memory planes — the gap between
+    #: the two is the zero-copy contract made measurable.
+    shard_rebalances: int = 0
+    shard_errors: int = 0
+    ipc_tx_bytes: int = 0
+    ipc_rx_bytes: int = 0
+    shm_in_bytes: int = 0
+    shm_out_bytes: int = 0
+    shards: Dict[str, dict] = field(default_factory=dict)
+    shard_latency_ms: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
 
     @property
     def integrity_evictions(self) -> int:
@@ -130,6 +149,17 @@ class ServiceMetrics:
             "integrity_evictions": self.integrity_evictions,
             "breakers": {key: dict(value)
                          for key, value in self.breakers.items()},
+            "shard_rebalances": self.shard_rebalances,
+            "shard_errors": self.shard_errors,
+            "ipc_tx_bytes": self.ipc_tx_bytes,
+            "ipc_rx_bytes": self.ipc_rx_bytes,
+            "shm_in_bytes": self.shm_in_bytes,
+            "shm_out_bytes": self.shm_out_bytes,
+            "shards": {key: dict(value)
+                       for key, value in self.shards.items()},
+            "shard_latency_ms": {key: dict(value)
+                                 for key, value in
+                                 self.shard_latency_ms.items()},
         }
 
     def summary(self) -> str:
@@ -188,6 +218,22 @@ class ServiceMetrics:
         if open_breakers:
             lines.append("  breakers: " + ", ".join(
                 f"{key}: {state}" for key, state in open_breakers.items()))
+        if self.shards:
+            lines.append(
+                f"  shards: {len(self.shards)} processes, "
+                f"{self.shard_rebalances} rebalances, "
+                f"ipc {self.ipc_tx_bytes + self.ipc_rx_bytes} B, "
+                f"shm {self.shm_in_bytes + self.shm_out_bytes} B")
+            for key in sorted(self.shards, key=int):
+                entry = self.shards[key]
+                pcts = self.shard_latency_ms.get(key)
+                tail = (f", p95 {pcts['p95']:.1f} ms"
+                        if pcts else "")
+                lines.append(
+                    f"    shard {key}: {entry.get('dispatches', 0)} "
+                    f"dispatches, {entry.get('jobs', 0)} jobs, "
+                    f"queue {entry.get('queue_depth', 0)}, "
+                    f"{entry.get('respawns', 0)} respawns{tail}")
         return "\n".join(lines)
 
 
@@ -210,6 +256,8 @@ class MetricsRecorder:
         default_factory=lambda: [0] * (len(OCCUPANCY_EDGES) + 1))
     _latencies: deque = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    #: Per-shard completion-latency windows (shard index -> deque).
+    _shard_latencies: Dict[int, deque] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
     #: Exponential moving average of per-job service seconds (the
     #: admission controller's retry-after estimator).
@@ -243,10 +291,17 @@ class MetricsRecorder:
                 self._phase_seconds[name] = (
                     self._phase_seconds.get(name, 0.0) + seconds)
 
-    def record_completed(self, latency_seconds: float) -> None:
+    def record_completed(self, latency_seconds: float,
+                         shard: Optional[int] = None) -> None:
         with self._lock:
             self.jobs_completed += 1
             self._latencies.append(latency_seconds)
+            if shard is not None:
+                window = self._shard_latencies.get(shard)
+                if window is None:
+                    window = self._shard_latencies[shard] = deque(
+                        maxlen=LATENCY_WINDOW)
+                window.append(latency_seconds)
             alpha = 0.2
             self.ema_job_seconds = (
                 latency_seconds if self.ema_job_seconds == 0.0
@@ -289,6 +344,14 @@ class MetricsRecorder:
             percentiles = (
                 np.percentile(latencies, [50, 95, 99]) * 1e3
                 if latencies.size else None)
+            shard_latency_ms: Dict[str, Dict[str, float]] = {}
+            for shard, window in self._shard_latencies.items():
+                values = np.asarray(window, dtype=np.float64)
+                if not values.size:
+                    continue
+                p50, p95, p99 = np.percentile(values, [50, 95, 99]) * 1e3
+                shard_latency_ms[str(shard)] = {
+                    "p50": float(p50), "p95": float(p95), "p99": float(p99)}
             return ServiceMetrics(
                 jobs_submitted=self.jobs_submitted,
                 jobs_completed=self.jobs_completed,
@@ -317,4 +380,12 @@ class MetricsRecorder:
                 workers_hung=pool_stats.get("workers_hung", 0),
                 batches_requeued=pool_stats.get("batches_requeued", 0),
                 breakers=dict(breakers or {}),
+                shard_rebalances=pool_stats.get("shard_rebalances", 0),
+                shard_errors=pool_stats.get("shard_errors", 0),
+                ipc_tx_bytes=pool_stats.get("ipc_tx_bytes", 0),
+                ipc_rx_bytes=pool_stats.get("ipc_rx_bytes", 0),
+                shm_in_bytes=pool_stats.get("shm_in_bytes", 0),
+                shm_out_bytes=pool_stats.get("shm_out_bytes", 0),
+                shards=dict(pool_stats.get("shards", {})),
+                shard_latency_ms=shard_latency_ms,
             )

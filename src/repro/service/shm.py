@@ -1,0 +1,246 @@
+"""Shared-memory arenas for the sharded service.
+
+The router (parent) and its shard worker processes exchange *stimuli*
+and *result waveforms* through ``multiprocessing.shared_memory``
+segments instead of pickling them through a pipe: the parent packs a
+batch's pattern pairs and slot plane into a per-shard **input plane**,
+the shard runs the engine and writes the packed waveform payload into a
+per-shard **result plane**, and the parent maps that segment zero-copy
+for demultiplexing.  The control pipe only ever carries small pickled
+descriptors (segment names, offsets, counters), which is what the
+``ipc_*_bytes`` counters in :class:`~repro.service.metrics.ServiceMetrics`
+measure.
+
+Ownership and naming rules (see ``docs/architecture.md`` §11):
+
+* every segment is named ``repro-svc-<owner pid>-<tag>``; the *owner*
+  is the process that created the segment and the only one that may
+  unlink it during normal operation;
+* input planes are owned by the parent, result planes by the shard
+  that writes them;
+* after a shard dies, the parent reclaims the dead process's segments
+  by name (:func:`sweep_pid`) — the owner pid in the name makes that
+  safe: a dead pid cannot be writing;
+* at startup, :func:`sweep_orphans` unlinks every ``repro-svc-*``
+  segment whose embedded owner pid is no longer alive, so a parent
+  crash (SIGKILL, OOM) never leaks ``/dev/shm`` space past the next
+  service start.
+
+Python < 3.13 footgun: merely *attaching* to a segment registers it
+with the attaching process's ``resource_tracker``, which unlinks it
+when that process exits — destroying a segment the owner still uses.
+:func:`attach` therefore passes ``track=False`` where supported and
+unregisters the segment from the tracker otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedArena",
+    "segment_name",
+    "sweep_orphans",
+    "sweep_pid",
+    "unlink_segment",
+]
+
+#: Leading component of every segment name the service creates.
+SEGMENT_PREFIX = "repro-svc"
+
+#: Where POSIX shared memory appears as files (Linux).  The sweep is a
+#: graceful no-op on platforms without it.
+_SHM_ROOT = "/dev/shm"
+
+_NAME_RE = re.compile(rf"^{SEGMENT_PREFIX}-(\d+)-")
+
+
+def segment_name(owner_pid: int, tag: str) -> str:
+    """Canonical segment name: ``repro-svc-<owner pid>-<tag>``."""
+    return f"{SEGMENT_PREFIX}-{owner_pid}-{tag}"
+
+
+def _unregister(shm: shared_memory.SharedMemory) -> None:
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def _quiet_unlink(shm: shared_memory.SharedMemory) -> None:
+    """``shm.unlink()`` without resource-tracker noise.
+
+    ``SharedMemory.unlink`` unregisters from the tracker — but we
+    already unregistered at create/attach time, and an unmatched
+    unregister makes the tracker process print a ``KeyError`` traceback
+    at exit.  Re-register first so the pair balances.  On Python 3.13+
+    a ``track=False`` handle skips the unregister (``_track`` is
+    False), so no rebalance is needed there.
+    """
+    if getattr(shm, "_track", True):
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.register(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+    shm.unlink()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: attach, then undo the resource_tracker
+        # registration so this process's exit cannot unlink a segment
+        # it does not own.
+        shm = shared_memory.SharedMemory(name=name)
+        _unregister(shm)
+        return shm
+
+
+class SharedArena:
+    """One shared-memory segment plus numpy views into it.
+
+    Create with :meth:`create` (owner) or :meth:`attach` (reader /
+    writer that does not own the lifetime).  ``close()`` drops this
+    process's mapping; ``unlink()`` destroys the segment and is the
+    owner's job — attachers never unlink during normal operation.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self.owner = owner
+        self.name = shm.name
+        self.size = shm.size
+        self._closed = False
+
+    @classmethod
+    def create(cls, name: str, size: int) -> "SharedArena":
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(int(size), 1))
+        arena = cls(shm, owner=True)
+        # The owner manages the lifetime explicitly (and sweep_* covers
+        # crashes); keep the tracker out of it so a tracker teardown in
+        # one process cannot destroy segments another still maps.
+        _unregister(shm)
+        return arena
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedArena":
+        return cls(_attach_untracked(name), owner=False)
+
+    @property
+    def buf(self) -> memoryview:
+        return self._shm.buf
+
+    def ndarray(self, shape: Tuple[int, ...], dtype, offset: int = 0
+                ) -> np.ndarray:
+        """A zero-copy numpy view of ``shape``/``dtype`` at ``offset``."""
+        return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf,
+                          offset=offset)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform noise
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent; missing segment is fine)."""
+        try:
+            _quiet_unlink(self._shm)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+
+def unlink_segment(name: str) -> bool:
+    """Unlink a segment by name; True when it existed."""
+    try:
+        shm = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    try:
+        _quiet_unlink(shm)
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        return False
+    finally:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+    return True
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def _service_segments(root: str = _SHM_ROOT) -> List[Tuple[str, int]]:
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return []
+    found = []
+    for name in names:
+        match = _NAME_RE.match(name)
+        if match:
+            found.append((name, int(match.group(1))))
+    return found
+
+
+def sweep_pid(pid: int, root: str = _SHM_ROOT) -> List[str]:
+    """Unlink every service segment owned by (dead) ``pid``.
+
+    The router calls this after a shard process dies: the shard owned
+    its result planes, and a dead owner cannot reclaim them itself.
+    Only call with a pid known to be dead — the name embeds the owner,
+    so this never touches a live process's segments by accident.
+    """
+    removed = []
+    for name, owner in _service_segments(root):
+        if owner == pid and unlink_segment(name):
+            removed.append(name)
+    return removed
+
+
+def sweep_orphans(root: str = _SHM_ROOT,
+                  skip_pid: Optional[int] = None) -> List[str]:
+    """Unlink every service segment whose owner process is dead.
+
+    Run at router startup: a parent crash leaves both its own input
+    planes and its shards' result planes behind (a SIGKILL outruns any
+    ``atexit``); the embedded owner pid makes them identifiable and
+    safely reclaimable by the next service on the machine.  Returns the
+    reclaimed segment names.
+    """
+    removed = []
+    for name, owner in _service_segments(root):
+        if owner == skip_pid or _pid_alive(owner):
+            continue
+        if unlink_segment(name):
+            removed.append(name)
+    return removed

@@ -33,6 +33,7 @@ __all__ = [
     "clear_level_plan_cache",
     "compile_circuit",
     "level_plan_cache_stats",
+    "seed_level_plan_cache",
 ]
 
 
@@ -178,6 +179,31 @@ class CircuitPlans:
         self._concat: Optional[ConcatPlans] = None
         self._concat_loads: Dict[object, np.ndarray] = {}
 
+    def __getstate__(self) -> dict:
+        """Pickle the pure-array payload (plan warming across processes).
+
+        The lock cannot travel, and the normalization memos are keyed
+        by live parameter-space objects — a warmed shard rebuilds those
+        on first use.  ``levels`` and the concatenated form are the
+        expensive parts and they are plain numpy dataclasses.
+        """
+        return {
+            "fingerprint": self.fingerprint,
+            "max_pins": self.max_pins,
+            "levels": self.levels,
+            "concat": self._concat,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.fingerprint = state["fingerprint"]
+        self.max_pins = state["max_pins"]
+        self.levels = state["levels"]
+        self._lock = threading.Lock()
+        self._norm_loads = {}
+        self._norm_volts = OrderedDict()
+        self._concat = state.get("concat")
+        self._concat_loads = {}
+
     def concat(self) -> ConcatPlans:
         """The levels concatenated row-wise, built once per circuit."""
         with self._lock:
@@ -284,6 +310,27 @@ def clear_level_plan_cache() -> None:
         _PLAN_CACHE.clear()
         _plan_cache_hits = 0
         _plan_cache_misses = 0
+
+
+def seed_level_plan_cache(plans: "CircuitPlans") -> None:
+    """Insert pre-built plans under their own fingerprint key.
+
+    This is how a shard worker process is warmed at spawn: the parent
+    pickles the :class:`CircuitPlans` it already built (pure arrays —
+    see ``CircuitPlans.__getstate__``) and the shard seeds its process
+    cache, so the first batch dispatched to a fresh shard hits the plan
+    cache instead of rebuilding every level plan.  A plan already cached
+    under the same fingerprint wins (live memos must not be discarded);
+    plans without a fingerprint are not cacheable and are ignored.
+    """
+    if not plans.fingerprint:
+        return
+    with _PLAN_CACHE_LOCK:
+        if plans.fingerprint in _PLAN_CACHE:
+            return
+        _PLAN_CACHE[plans.fingerprint] = plans
+        while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.popitem(last=False)
 
 
 @dataclass

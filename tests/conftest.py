@@ -12,6 +12,18 @@ from repro.electrical.spice import AnalyticalSpice
 from repro.netlist.generate import random_circuit
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards", type=int, default=2,
+        help="worker-process count for sharded-service tests "
+             "(tests/service/test_shards.py)")
+
+
+@pytest.fixture(scope="session")
+def shard_count(request):
+    return max(1, int(request.config.getoption("--shards")))
+
+
 @pytest.fixture(scope="session")
 def library():
     return make_nangate15_library()

@@ -1,0 +1,287 @@
+"""Tests for the multi-process sharded service (``ServiceConfig(shards=N)``).
+
+Contracts under test (``docs/architecture.md`` §11):
+
+* results coming back through a shard's shared-memory result plane are
+  **bit-identical** to a standalone ``GpuWaveSim.run`` of the same
+  request, including Monte-Carlo sampling;
+* waveform payloads travel through shared memory, never the control
+  pipe — ``ipc_rx_bytes`` stays descriptor-sized while
+  ``shm_out_bytes`` carries the data;
+* every shard's level-plan cache is warmed at registration time, before
+  its first batch;
+* a shard SIGKILLed mid-batch is respawned with its registry replayed
+  and its in-flight batch re-queued exactly once, with every job still
+  settling correctly;
+* the ``shard.spawn`` / ``shard.dispatch`` fault seams drive the
+  retry, error-propagation and poison-isolation paths.
+
+The shard count comes from the ``--shards`` pytest option (default 2).
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import InjectedFaultError, ServiceError, ShardError
+from repro.netlist.generate import random_circuit
+from repro.service import ServiceConfig, SimulationService
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.variation import ProcessVariation
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_circuit("svc", 10, 90, seed=11)
+
+
+@pytest.fixture(scope="module")
+def compiled(circuit, library):
+    return compile_circuit(circuit, library)
+
+
+@pytest.fixture(scope="module")
+def sharded(circuit, library, compiled, shard_count):
+    """One sharded service shared by the read-only tests below."""
+    service = SimulationService(config=sharded_config(shard_count))
+    key = service.register_circuit(circuit, library, compiled=compiled)
+    yield service, key
+    service.close()
+
+
+def make_jobs(circuit, count, pairs_each=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return [[PatternPair.random(len(circuit.inputs), rng)
+             for _ in range(pairs_each)] for _ in range(count)]
+
+
+def sharded_config(shard_count, **overrides):
+    """Deterministic batching over ``shard_count`` worker processes."""
+    defaults = dict(shards=shard_count, max_batch_slots=16,
+                    max_wait_ms=2000.0, idle_ms=500.0, cache_entries=0)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def assert_bit_identical(job_pairs, result, engine, **run_kwargs):
+    reference = engine.run(job_pairs, **run_kwargs)
+    assert len(reference.waveforms) == result.num_slots
+    for slot in range(result.num_slots):
+        ref_nets = reference.waveforms[slot]
+        got_nets = result.waveforms[slot]
+        assert set(ref_nets) == set(got_nets)
+        for net, ref in ref_nets.items():
+            got = got_nets[net]
+            assert got.initial == ref.initial, (slot, net)
+            assert np.array_equal(got.times, ref.times), (slot, net)
+
+
+class TestShardedBitIdentity:
+    def test_results_bit_identical_to_standalone(self, sharded, circuit,
+                                                 library, compiled):
+        service, key = sharded
+        jobs = make_jobs(circuit, 8, seed=3)
+        handles = [service.submit(key, pairs) for pairs in jobs]
+        results = [h.result(timeout=180) for h in handles]
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        for pairs, result in zip(jobs, results):
+            assert_bit_identical(pairs, result, engine)
+
+    def test_zero_copy_result_transport(self, sharded, circuit):
+        service, key = sharded
+        jobs = make_jobs(circuit, 4, seed=21)
+        handles = [service.submit(key, pairs) for pairs in jobs]
+        for handle in handles:
+            handle.result(timeout=180)
+        metrics = service.metrics()
+        assert metrics.shm_in_bytes > 0
+        assert metrics.shm_out_bytes > 0
+        # Waveform payloads never cross the control pipe: everything the
+        # parent receives is descriptor-sized, while the packed results
+        # it demuxed rode shared memory.
+        assert metrics.ipc_rx_bytes < metrics.shm_out_bytes
+        assert metrics.shards  # per-shard metrics dimension exists
+        assert sum(s["dispatches"] for s in metrics.shards.values()) >= 1
+        assert metrics.shard_latency_ms  # shard dimension on percentiles
+        assert all(pcts["p95"] >= pcts["p50"] >= 0.0
+                   for pcts in metrics.shard_latency_ms.values())
+
+    def test_plan_cache_warm_before_first_batch(self, sharded):
+        # Registration broadcasts the parent's already-built CircuitPlans
+        # to every shard, so no shard — busy or idle — has ever missed.
+        service, _ = sharded
+        router = service._router
+        for index in range(router.num_shards):
+            info = router.ping(index, timeout_s=30.0)
+            assert info is not None, f"shard {index} did not answer ping"
+            stats = info["plan_cache"]
+            assert stats["entries"] >= 1
+            assert stats["misses"] == 0
+
+    def test_monte_carlo_bit_identical(self, sharded, circuit, library,
+                                       compiled, kernel_table):
+        # Monte-Carlo die factors must use job-local slot indices no
+        # matter which shard and batch position a job landed in.
+        service, key = sharded
+        variation = ProcessVariation(sigma=0.05, seed=9)
+        jobs = make_jobs(circuit, 4, seed=7)
+        handles = [service.submit(key, pairs, kernel_table=kernel_table,
+                                  variation=variation)
+                   for pairs in jobs]
+        results = [h.result(timeout=180) for h in handles]
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        for pairs, result in zip(jobs, results):
+            assert_bit_identical(pairs, result, engine,
+                                 kernel_table=kernel_table,
+                                 variation=variation)
+
+
+class TestShardDeath:
+    def test_shard_death_storm(self, circuit, library, compiled,
+                               shard_count, monkeypatch):
+        """SIGKILL one shard mid-batch during a 64-job run.
+
+        Every job must still settle with correct bits, the dead shard
+        must be respawned exactly once, and the single in-flight batch
+        (ring depth 1) re-queued exactly once.
+        """
+        # Hold every batch in the shard for 250 ms so the kill lands
+        # while one is provably in flight (spawned children inherit the
+        # environment and resolve it at their first seam crossing).
+        monkeypatch.setenv("REPRO_FAULTS", "shard.dispatch:delay@p=1,ms=250")
+        faults.reset()
+        jobs = make_jobs(circuit, 64, pairs_each=1, seed=13)
+        config = sharded_config(shard_count, max_batch_slots=8,
+                                shard_ring_slots=1, shard_queue_depth=2)
+        service = SimulationService(config=config)
+        try:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            handles = [service.submit(key, pairs) for pairs in jobs]
+            router = service._router
+            victim = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                stats = router.stats()
+                busy = [int(idx) for idx, s in stats["shards"].items()
+                        if s["inflight"] >= 1]
+                if busy:
+                    victim = busy[0]
+                    break
+                time.sleep(0.01)
+            assert victim is not None, "no shard ever had an in-flight batch"
+            os.kill(router.shard_pid(victim), signal.SIGKILL)
+
+            results = [h.result(timeout=300) for h in handles]
+            engine = GpuWaveSim(circuit, library, compiled=compiled,
+                                config=SimulationConfig())
+            for pairs, result in zip(jobs, results):
+                assert_bit_identical(pairs, result, engine)
+
+            metrics = service.metrics()
+            assert metrics.jobs_completed >= 64
+            assert metrics.workers_replaced == 1
+            # ring depth 1 => exactly the one in-flight batch re-queued
+            assert metrics.batches_requeued == 1
+            stats = router.stats()
+            assert stats["shards"][str(victim)]["respawns"] == 1
+            assert stats["shards"][str(victim)]["requeues"] == 1
+            if shard_count >= 2:
+                # one hot group + tiny per-shard backlog => the router
+                # must have spilled work off the home shard
+                assert metrics.shard_rebalances >= 1
+        finally:
+            service.close()
+            faults.reset()
+
+
+class TestShardFaultSeams:
+    def test_spawn_fault_is_retried(self, circuit, library, compiled):
+        # first spawn attempt dies; the router's single retry succeeds
+        with faults.injected("shard.spawn:raise@n=1"):
+            service = SimulationService(config=sharded_config(1))
+            try:
+                key = service.register_circuit(circuit, library,
+                                               compiled=compiled)
+                pairs = make_jobs(circuit, 1, seed=31)[0]
+                result = service.submit(key, pairs).result(timeout=180)
+                engine = GpuWaveSim(circuit, library, compiled=compiled,
+                                    config=SimulationConfig())
+                assert_bit_identical(pairs, result, engine)
+            finally:
+                service.close()
+
+    def test_persistent_spawn_failure_surfaces_and_leaks_nothing(self):
+        before = set(os.listdir("/dev/shm")) if os.path.isdir(
+            "/dev/shm") else set()
+        with faults.injected("shard.spawn:raise@p=1"):
+            with pytest.raises(ShardError):
+                SimulationService(config=sharded_config(1))
+        if os.path.isdir("/dev/shm"):
+            leaked = {n for n in set(os.listdir("/dev/shm")) - before
+                      if n.startswith("repro-svc")}
+            assert leaked == set()
+
+    def test_dispatch_fault_propagates_original_type(self, circuit, library,
+                                                     compiled, monkeypatch):
+        # a single-job batch failing inside the shard must fail that
+        # job's future with the reconstructed exception type
+        monkeypatch.setenv("REPRO_FAULTS", "shard.dispatch:raise@n=1")
+        faults.reset()
+        service = SimulationService(config=sharded_config(1))
+        try:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            handle = service.submit(key, make_jobs(circuit, 1, seed=41)[0])
+            with pytest.raises(InjectedFaultError):
+                handle.result(timeout=180)
+        finally:
+            service.close()
+            faults.reset()
+
+    def test_dispatch_fault_isolates_poison_batch(self, circuit, library,
+                                                  compiled, monkeypatch):
+        # a multi-job batch failing in the shard is split into
+        # singletons and re-dispatched; the fault fired once, so every
+        # job still completes with correct bits
+        monkeypatch.setenv("REPRO_FAULTS", "shard.dispatch:raise@n=1")
+        faults.reset()
+        jobs = make_jobs(circuit, 4, seed=43)
+        service = SimulationService(
+            config=sharded_config(1, max_batch_slots=8))
+        try:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            handles = [service.submit(key, pairs) for pairs in jobs]
+            results = [h.result(timeout=180) for h in handles]
+            engine = GpuWaveSim(circuit, library, compiled=compiled,
+                                config=SimulationConfig())
+            for pairs, result in zip(jobs, results):
+                assert_bit_identical(pairs, result, engine)
+        finally:
+            service.close()
+            faults.reset()
+
+
+class TestShardConfig:
+    def test_shards_and_num_devices_are_exclusive(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(shards=2, num_devices=2)
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(shards=-1)
+
+    def test_ring_and_segment_floors(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(shards=1, shard_ring_slots=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(shards=1, shard_segment_bytes=1024)

@@ -1,0 +1,133 @@
+"""Tests for the shared-memory arena layer: naming, lifecycle, sweeps.
+
+The contracts here back the sharded service's zero-copy transport
+(``docs/architecture.md`` §11): segments are named after their owner
+pid, attachers never destroy them, and the sweep functions reclaim
+exactly the segments whose owner process is dead.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.service.shm import (
+    SharedArena,
+    segment_name,
+    sweep_orphans,
+    sweep_pid,
+    unlink_segment,
+)
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="POSIX shared memory not mounted")
+
+
+def _dead_pid():
+    """A pid guaranteed to belong to no live process."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestArenaLifecycle:
+    def test_create_write_attach_read_unlink(self):
+        name = segment_name(os.getpid(), "t-lifecycle")
+        arena = SharedArena.create(name, 4096)
+        try:
+            arena.ndarray((16,), np.float64)[:] = np.arange(16.0)
+            reader = SharedArena.attach(name)
+            got = np.array(reader.ndarray((16,), np.float64))
+            reader.close()
+            assert np.array_equal(got, np.arange(16.0))
+        finally:
+            arena.close()
+            arena.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArena.attach(name)
+
+    def test_ndarray_views_share_the_segment(self):
+        name = segment_name(os.getpid(), "t-views")
+        with SharedArena.create(name, 4096) as arena:
+            a = arena.ndarray((8,), np.uint32)
+            b = arena.ndarray((8,), np.uint32)
+            a[3] = 0xDEAD
+            assert b[3] == 0xDEAD
+
+    def test_unlink_is_idempotent(self):
+        name = segment_name(os.getpid(), "t-idem")
+        arena = SharedArena.create(name, 1024)
+        arena.close()
+        arena.unlink()
+        arena.unlink()  # second unlink of a gone segment must not raise
+        assert unlink_segment(name) is False
+
+    def test_owner_context_manager_destroys_segment(self):
+        name = segment_name(os.getpid(), "t-ctx")
+        with SharedArena.create(name, 1024) as arena:
+            arena.ndarray((4,), np.uint8)[:] = 1
+        assert unlink_segment(name) is False
+
+    def test_attacher_context_manager_keeps_segment(self):
+        name = segment_name(os.getpid(), "t-attach")
+        owner = SharedArena.create(name, 1024)
+        try:
+            with SharedArena.attach(name):
+                pass
+            # the attacher closed its mapping but must not unlink
+            assert unlink_segment(name) is True
+        finally:
+            owner.close()
+
+
+class TestSweeps:
+    def test_sweep_pid_reclaims_only_that_owner(self):
+        dead = _dead_pid()
+        victim = segment_name(dead, "t-sweep")
+        keeper = segment_name(os.getpid(), "t-keeper")
+        SharedArena.create(victim, 1024).close()
+        SharedArena.create(keeper, 1024).close()
+        try:
+            removed = sweep_pid(dead)
+            assert victim in removed
+            assert keeper not in removed
+            assert unlink_segment(victim) is False
+        finally:
+            unlink_segment(keeper)
+
+    def test_sweep_orphans_spares_live_owners(self):
+        dead = _dead_pid()
+        orphan = segment_name(dead, "t-orphan")
+        mine = segment_name(os.getpid(), "t-mine")
+        SharedArena.create(orphan, 1024).close()
+        SharedArena.create(mine, 1024).close()
+        try:
+            removed = sweep_orphans()
+            assert orphan in removed
+            assert mine not in removed
+            assert unlink_segment(orphan) is False
+            # a live owner's segment is still there
+            assert unlink_segment(mine) is True
+        finally:
+            unlink_segment(mine)
+
+    def test_sweep_orphans_skip_pid(self):
+        # skip_pid protects segments the caller vouches for even when
+        # the embedded owner is dead (the router passes its own pid).
+        dead = _dead_pid()
+        name = segment_name(dead, "t-skipped")
+        SharedArena.create(name, 1024).close()
+        try:
+            assert name not in sweep_orphans(skip_pid=dead)
+            assert unlink_segment(name) is True
+        finally:
+            unlink_segment(name)
+
+    def test_foreign_names_are_ignored(self):
+        # only repro-svc-<pid>- segments are candidates; anything else
+        # in /dev/shm is invisible to the sweeps.
+        assert all(n.startswith("repro-svc-")
+                   for n in sweep_orphans(skip_pid=os.getpid()))
