@@ -25,6 +25,7 @@ Report schema (version 1)::
       "service_speedups": {backend: sequential_wall / batched_wall},
       "service_scaling": {backend: {num_shards: inproc_wall / sharded_wall}},
       "dispatch_speedups": {backend: unfused_wall / fused_wall},
+      "incremental_speedups": {scenario: {backend: full_wall / delta_wall}},
       "parametric_ratios": {circuit: {backend: parametric_wall / static_wall}},
       "faults_disabled_overhead": {backend: seam_cost_fraction_of_e2e_wall}
     }
@@ -56,6 +57,14 @@ fusion win.  ``parametric_ratios`` tracks the cost of voltage-adaptive
 delays relative to static delays per circuit and backend — the number
 the fused path is meant to push toward 1.0 — and the regression gate
 fails when it degrades beyond the threshold against the baseline.
+
+The incremental scenario (``incremental_{voltage_sweep,stimulus}_
+{full,delta}``) replays near-duplicate jobs against a captured base
+arena: a voltage sweep with one of 16 operating points moved, and a
+stimulus perturbation flipping 1 in 32 input bits.  ``incremental_
+speedups`` records wall(full re-sim) / wall(delta path, including the
+``select_delta`` diff) — the win of splicing unchanged lanes from the
+base and re-evaluating only changed cones.
 
 The fault-seam scenario (``fault_seams_e2e``) prices a single crossing
 of the *disabled* ``repro.faults.trip`` path, counts how many crossings
@@ -165,6 +174,19 @@ SCALING_SHARDS_QUICK = (1, 2)
 DISPATCH_CIRCUIT = "s38417"
 DISPATCH_PATTERNS = 8
 DISPATCH_PATTERNS_QUICK = 4
+
+#: Incremental re-simulation scenario: near-duplicate traffic replayed
+#: against a retained base arena.  The voltage-sweep variant shares 15
+#: of its 16 operating points with the base (the AVFS re-tuning case:
+#: one point moved, the rest of the plane splices); the stimulus
+#: variant flips 1 in 32 input bits of the pattern plane, so cones of
+#: influence re-evaluate and everything outside them splices.
+INCR_CIRCUIT = "s38417"
+INCR_SCALE = 0.05
+INCR_SWEEP_VOLTAGES = 16
+INCR_PATTERNS = 8
+INCR_PATTERNS_QUICK = 4
+INCR_FLIP_ONE_IN = 32
 
 #: Fault-seam scenario: spin calls through the disabled ``faults.trip``
 #: path to price one seam crossing, count the crossings one end-to-end
@@ -329,6 +351,111 @@ def bench_level_dispatch(backend_name: str, circuit_name: str, scale: float,
             voltages=len(voltages), gate_evaluations=int(evals),
             phases={name: round(seconds, 6) for name, seconds
                     in sim.last_stats.phase_seconds().items()}))
+    return entries
+
+
+def bench_incremental_resim(backend_name: str, circuit_name: str,
+                            scale: float, num_patterns: int,
+                            repeats: int = 2) -> List[dict]:
+    """Delta re-simulation vs full re-simulation (four entries).
+
+    A base run over a ``num_patterns x INCR_SWEEP_VOLTAGES`` slot plane
+    is captured once (untimed — the arena is a by-product of normal
+    service traffic).  Two near-duplicate variants are then timed both
+    from scratch (``*_full``) and through the delta path (``*_delta``,
+    including the ``select_delta`` diff — the whole price of reuse):
+
+    * ``incremental_voltage_sweep``: one of 16 operating points moved;
+      the 15 shared points splice in full, the new point simulates.
+    * ``incremental_stimulus``: 1 in ``INCR_FLIP_ONE_IN`` input nets
+      flipped in one pattern; the changed cones re-evaluate on that
+      pattern's slots, everything else splices.
+
+    The ``*_delta`` entries record ``delta_fraction``, ``lanes_spliced``
+    and ``bytes_spliced``; ``incremental_speedups`` records the wall
+    ratio per scenario and backend.
+    """
+    from repro.experiments.common import default_kernel_table, default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.simulation.base import PatternPair, SimulationConfig
+    from repro.simulation.delta import select_delta
+    from repro.simulation.grid import SlotPlan
+    from repro.simulation.gpu import GpuWaveSim
+
+    workload = prepare_workload(circuit_name, scale=scale)
+    library = default_library()
+    kernel_table = default_kernel_table(3)
+    pairs = workload.patterns.pairs[:num_patterns]
+    points = INCR_SWEEP_VOLTAGES
+    sweep = [round(0.6 + 0.4 * i / (points - 1), 6) for i in range(points)]
+    base_plan = SlotPlan.cross(len(pairs), sweep)
+
+    # Variant 1: re-sweep with one operating point moved off-grid.
+    shifted_plan = SlotPlan.cross(len(pairs), sweep[:-1] + [1.05])
+    # Variant 2: flip 1 in INCR_FLIP_ONE_IN input nets of one pattern.
+    v1 = np.stack([p.v1 for p in pairs])
+    v2 = np.stack([p.v2 for p in pairs]).copy()
+    width = v1.shape[1]
+    flips = max(1, width // INCR_FLIP_ONE_IN)
+    positions = np.linspace(0, width - 1, flips).astype(np.int64)
+    v2[0, positions] ^= 1
+    perturbed = [PatternPair(v1[i], v2[i]) for i in range(len(pairs))]
+
+    scenarios = (("incremental_voltage_sweep", pairs, shifted_plan),
+                 ("incremental_stimulus", perturbed, base_plan))
+    entries = []
+    for label, job_pairs, job_plan in scenarios:
+        base_sim = GpuWaveSim(workload.circuit, library,
+                              compiled=workload.compiled,
+                              config=SimulationConfig(backend=backend_name))
+        arena = base_sim.run(pairs, plan=base_plan,
+                             kernel_table=kernel_table,
+                             capture_base=True).base_arena
+        jv1 = np.stack([p.v1 for p in job_pairs])
+        jv2 = np.stack([p.v2 for p in job_pairs])
+
+        full_sim = GpuWaveSim(workload.circuit, library,
+                              compiled=workload.compiled,
+                              config=SimulationConfig(backend=backend_name))
+        full_results = []
+
+        def full_call():
+            full_results.append(full_sim.run(job_pairs, plan=job_plan,
+                                             kernel_table=kernel_table))
+
+        full_call()
+        full_wall = _best_of(full_call, repeats)
+        full_evals = full_results[-1].gate_evaluations
+        entries.append(_entry(
+            f"{label}_full", full_sim.backend.name, full_wall, full_evals,
+            circuit=circuit_name, scale=scale, patterns=len(pairs),
+            voltages=points, gate_evaluations=int(full_evals)))
+
+        delta_sim = GpuWaveSim(workload.circuit, library,
+                               compiled=workload.compiled,
+                               config=SimulationConfig(backend=backend_name))
+        delta_results = []
+
+        def delta_call():
+            selected = select_delta([arena], jv1, jv2,
+                                    job_plan.pattern_indices,
+                                    job_plan.voltages, None, None, 0.5)
+            assert selected is not None
+            delta_results.append(delta_sim.run(job_pairs, plan=job_plan,
+                                               kernel_table=kernel_table,
+                                               delta=selected[0]))
+
+        delta_call()
+        delta_wall = _best_of(delta_call, repeats)
+        stats = delta_sim.last_stats
+        evals = delta_results[-1].gate_evaluations
+        entries.append(_entry(
+            f"{label}_delta", delta_sim.backend.name, delta_wall, evals,
+            circuit=circuit_name, scale=scale, patterns=len(pairs),
+            voltages=points, gate_evaluations=int(evals),
+            delta_fraction=round(stats.delta_fraction, 6),
+            lanes_spliced=int(stats.lanes_spliced),
+            bytes_spliced=int(stats.bytes_spliced)))
     return entries
 
 
@@ -611,6 +738,11 @@ def run_suite(quick: bool = False,
             benchmarks.extend(bench_level_dispatch(
                 name, DISPATCH_CIRCUIT, E2E_SCALE, dispatch_patterns))
 
+        incr_patterns = INCR_PATTERNS_QUICK if quick else INCR_PATTERNS
+        for name in chosen:
+            benchmarks.extend(bench_incremental_resim(
+                name, INCR_CIRCUIT, INCR_SCALE, incr_patterns))
+
         lowact = LOWACT_PATTERNS_QUICK if quick else LOWACT_PATTERNS
         for circuit in circuits:
             for name in chosen:
@@ -649,6 +781,7 @@ def run_suite(quick: bool = False,
         "service_speedups": _service_speedups(benchmarks),
         "service_scaling": _service_scaling(benchmarks),
         "dispatch_speedups": _dispatch_speedups(benchmarks),
+        "incremental_speedups": _incremental_speedups(benchmarks),
         "parametric_ratios": _parametric_ratios(benchmarks),
         "faults_disabled_overhead": _fault_overhead(benchmarks),
     }
@@ -700,6 +833,28 @@ def _dispatch_speedups(benchmarks: List[dict]) -> Dict[str, float]:
     return {backend: pair["unfused"] / pair["fused"]
             for backend, pair in walls.items()
             if "fused" in pair and "unfused" in pair and pair["fused"] > 0}
+
+
+def _incremental_speedups(benchmarks: List[dict]
+                          ) -> Dict[str, Dict[str, float]]:
+    """Per incremental scenario: wall(full re-sim) / wall(delta)."""
+    walls: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for entry in benchmarks:
+        name = entry["name"]
+        if not name.startswith("incremental_"):
+            continue
+        for suffix in ("_full", "_delta"):
+            if name.endswith(suffix):
+                scenario = name[:-len(suffix)]
+                walls.setdefault(scenario, {}).setdefault(
+                    entry["backend"], {})[suffix[1:]] = entry["wall_seconds"]
+    speedups: Dict[str, Dict[str, float]] = {}
+    for scenario, per_backend in walls.items():
+        for backend, pair in per_backend.items():
+            if "full" in pair and "delta" in pair and pair["delta"] > 0:
+                speedups.setdefault(scenario, {})[backend] = \
+                    pair["full"] / pair["delta"]
+    return speedups
 
 
 def _parametric_ratios(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
@@ -892,6 +1047,9 @@ def _print_summary(report: dict, stream=None) -> None:
     if dispatch:
         text = ", ".join(f"{b} {r:.2f}x" for b, r in dispatch.items())
         print(f"  fused dispatch speedup: {text}", file=stream)
+    for name, ratios in report.get("incremental_speedups", {}).items():
+        text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
+        print(f"  incremental re-sim speedup — {name}: {text}", file=stream)
     for circuit, ratios in report.get("parametric_ratios", {}).items():
         text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
         print(f"  parametric/static ratio — {circuit}: {text}", file=stream)

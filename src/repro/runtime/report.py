@@ -122,6 +122,10 @@ class RunReport:
     #: lane accounting).
     gate_evaluations: int = 0
     lanes_skipped: int = 0
+    #: Lanes served by splicing a cached base arena instead of any
+    #: dispatch or settle — nonzero only on the service's incremental
+    #: re-simulation path (0 for reports predating delta evaluation).
+    lanes_spliced: int = 0
     #: Per-phase engine wall time summed across chunks: ``delay``
     #: (online delay-kernel evaluation), ``merge`` (waveform merge
     #: kernels; in fused dispatch the lane backends evaluate delays
@@ -138,6 +142,13 @@ class RunReport:
     def active_fraction(self) -> float:
         """Dispatched share of all lanes (1.0 when nothing was skipped)."""
         total = self.gate_evaluations + self.lanes_skipped
+        return 1.0 if total == 0 else self.gate_evaluations / total
+
+    @property
+    def delta_fraction(self) -> float:
+        """Evaluated share of (evaluated + spliced) lanes — 1.0 when
+        the run never spliced from a cached base."""
+        total = self.gate_evaluations + self.lanes_spliced
         return 1.0 if total == 0 else self.gate_evaluations / total
 
     @property
@@ -187,6 +198,8 @@ class RunReport:
             "gate_evaluations": self.gate_evaluations,
             "lanes_skipped": self.lanes_skipped,
             "active_fraction": self.active_fraction,
+            "lanes_spliced": self.lanes_spliced,
+            "delta_fraction": self.delta_fraction,
             "phase_seconds": dict(self.phase_seconds),
             "wall_seconds": self.wall_seconds,
             "resumed": self.resumed,
@@ -207,6 +220,9 @@ class RunReport:
             + (f", backend {self.backend}" if self.backend else ""),
             f"  wall time {self.wall_seconds:.3f}s",
         ]
+        if self.lanes_spliced:
+            lines.insert(3, f"  delta: {self.lanes_spliced} lanes spliced "
+                            f"(delta fraction {self.delta_fraction:.3f})")
         if self.lanes_skipped:
             lines.insert(3, f"  lanes evaluated {self.gate_evaluations}, "
                             f"skipped {self.lanes_skipped} "

@@ -30,7 +30,8 @@ import numpy as np
 from repro import faults
 from repro.waveform.waveform import Waveform
 
-__all__ = ["CachedResult", "ResultCache", "waveform_checksum"]
+__all__ = ["CachedBase", "CachedResult", "ResultCache", "base_checksum",
+           "waveform_checksum"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,58 @@ def waveform_checksum(waveforms: List[Dict[str, Waveform]]) -> int:
     return crc
 
 
+@dataclass(frozen=True)
+class CachedBase:
+    """One pinned base arena in a compatibility group's delta ring.
+
+    ``arena`` is a :class:`~repro.simulation.delta.BaseArena` whose
+    payload the service hands over without deep-copying (the engine's
+    capture already owns private memory — the base-ring extension of
+    the ``put(copy=False)`` fast path); ``tag`` is the producing job's
+    fingerprint, which both deduplicates retention and lets operators
+    trace a splice back to its origin run.
+    """
+
+    arena: object
+    tag: str
+    checksum: int
+
+
+def base_checksum(arena) -> int:
+    """CRC32 over a base arena's full content.
+
+    Covers the waveform payload *and* the selection metadata — a rotted
+    stimulus plane would silently mis-map slots even with pristine
+    toggle times, so everything :func:`select_delta` or the splice path
+    reads is part of the chain.
+    """
+    crc = 0
+    for array in (arena.initial, arena.counts, arena.starts, arena.times,
+                  arena.v1, arena.v2, arena.voltages, arena.global_slots):
+        crc = zlib.crc32(np.ascontiguousarray(array), crc)
+    return crc
+
+
+def _base_corruptible(arena) -> List[Dict[str, Waveform]]:
+    """A ``[{net: Waveform}]`` view of a base arena for the fault
+    layer's ``corrupt`` rules: toggle-bearing ``(net, slot)`` blocks as
+    zero-copy :class:`Waveform` views into ``arena.times``, so a flipped
+    mantissa bit lands in the pinned payload itself (and the next
+    integrity verification must catch it).  Built only when a fault plan
+    is armed — the hot path never materializes it.
+    """
+    views: List[Dict[str, Waveform]] = []
+    rows, cols = np.nonzero(arena.counts)
+    per_slot: Dict[int, Dict[str, Waveform]] = {}
+    for row, col in zip(rows.tolist(), cols.tolist()):
+        start = int(arena.starts[row, col])
+        count = int(arena.counts[row, col])
+        per_slot.setdefault(col, {})[f"n{row}"] = Waveform.trusted(
+            int(arena.initial[row, col]), arena.times[start:start + count])
+    views.extend(per_slot.values())
+    return views
+
+
 def _copied_entry(entry: CachedResult) -> CachedResult:
     waveforms = [
         {net: Waveform.trusted(wave.initial, wave.times.copy())
@@ -81,14 +134,23 @@ def _copied_entry(entry: CachedResult) -> CachedResult:
 class ResultCache:
     """Thread-safe LRU over job fingerprints with hit/miss/eviction counters."""
 
-    def __init__(self, max_entries: int) -> None:
+    def __init__(self, max_entries: int, max_bases: int = 0) -> None:
         self.max_entries = max_entries
+        #: Per compatibility group, how many base arenas to pin for
+        #: incremental re-simulation (0 disables the base ring).
+        self.max_bases = max_bases
         self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self._bases: "OrderedDict[str, OrderedDict[str, CachedBase]]" = \
+            OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.integrity_evictions = 0
+        #: Delta selections served from the base ring.
+        self.base_hits = 0
+        #: Bytes currently pinned by retained base arenas.
+        self.base_bytes_pinned = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -146,9 +208,75 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def put_base(self, group_key: str, arena, tag: str) -> None:
+        """Pin a base arena in ``group_key``'s delta ring.
+
+        No deep copy: the arena's payload is already private (engine
+        capture / per-job ``take``), so retention is the base-ring
+        extension of the ``put(copy=False)`` fast path — admission only
+        derives the integrity checksum.  The ring holds the newest
+        ``max_bases`` arenas per group; re-admitting an existing ``tag``
+        is a no-op (the splice of a fully cached job must not displace
+        the ring's diversity with a byte-identical duplicate).
+        """
+        if self.max_bases <= 0 or not self.enabled:
+            return
+        entry = CachedBase(arena=arena, tag=tag,
+                           checksum=base_checksum(arena))
+        with self._lock:
+            ring = self._bases.setdefault(group_key, OrderedDict())
+            if tag in ring:
+                return
+            ring[tag] = entry
+            self.base_bytes_pinned += arena.nbytes
+            while len(ring) > self.max_bases:
+                _, dropped = ring.popitem(last=False)
+                self.base_bytes_pinned -= dropped.arena.nbytes
+                self.evictions += 1
+
+    def bases_for(self, group_key: str) -> List[object]:
+        """Integrity-verified candidate base arenas, newest first.
+
+        Every lookup re-derives each candidate's checksum (same
+        verify-on-hit contract as :meth:`get`); a mismatch evicts the
+        rotted arena and counts an ``integrity_eviction`` instead of
+        letting a poisoned base splice into fresh results.  The
+        ``cache.get`` fault seam fires per candidate — but its
+        corruptible waveform view is only materialized while a fault
+        plan is armed.
+        """
+        if self.max_bases <= 0 or not self.enabled:
+            return []
+        with self._lock:
+            ring = self._bases.get(group_key)
+            if not ring:
+                return []
+            survivors: List[object] = []
+            for tag in list(ring):
+                entry = ring[tag]
+                faults.trip(
+                    "cache.get",
+                    corruptible=(_base_corruptible(entry.arena)
+                                 if faults.active_plan() is not None
+                                 else None))
+                if base_checksum(entry.arena) != entry.checksum:
+                    del ring[tag]
+                    self.base_bytes_pinned -= entry.arena.nbytes
+                    self.integrity_evictions += 1
+                    continue
+                survivors.append(entry.arena)
+            return survivors[::-1]
+
+    def record_base_hit(self) -> None:
+        """Count one delta selection served from the base ring."""
+        with self._lock:
+            self.base_hits += 1
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._bases.clear()
+            self.base_bytes_pinned = 0
 
     @property
     def hit_rate(self) -> float:
@@ -166,4 +294,8 @@ class ResultCache:
                 "evictions": self.evictions,
                 "integrity_evictions": self.integrity_evictions,
                 "hit_rate": self.hit_rate,
+                "bases": sum(len(ring) for ring in self._bases.values()),
+                "max_bases": self.max_bases,
+                "base_hits": self.base_hits,
+                "base_bytes_pinned": self.base_bytes_pinned,
             }

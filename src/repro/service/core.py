@@ -94,6 +94,7 @@ from repro.service.metrics import MetricsRecorder, ServiceMetrics
 from repro.service.pool import EnginePool
 from repro.simulation.base import PatternPair, SimulationConfig
 from repro.simulation.compiled import CompiledCircuit, compile_circuit
+from repro.simulation.delta import DeltaPlan, select_delta
 from repro.simulation.grid import SlotPlan
 from repro.waveform.waveform import Waveform
 
@@ -121,7 +122,18 @@ class SimulationService:
         self.config = config or ServiceConfig()
         self._circuits: Dict[str, CompiledCircuit] = {}
         self._circuits_lock = threading.Lock()
-        self._cache = ResultCache(self.config.cache_entries)
+        # Delta evaluation needs the engine-level capture/delta kwargs
+        # and a parent-side base ring; with shards the ring lives inside
+        # each shard process instead (arenas never cross a pipe), and
+        # the multi-device engine has no delta path.
+        self._delta_enabled = (self.config.shards == 0
+                               and self.config.num_devices == 1
+                               and self.config.delta_bases > 0
+                               and self.config.cache_entries > 0)
+        self._cache = ResultCache(
+            self.config.cache_entries,
+            max_bases=(self.config.delta_bases
+                       if self._delta_enabled else 0))
         self._metrics = MetricsRecorder()
         self._queue: "_queue.Queue" = _queue.Queue()
         self._batcher = DynamicBatcher(self.config.max_batch_slots,
@@ -152,6 +164,8 @@ class SimulationService:
                 tick_s=self.config.supervisor_tick_s,
                 spawn_timeout_s=self.config.shard_spawn_timeout_s,
                 on_tick=self._expire_deadlines,
+                delta_bases=self.config.delta_bases,
+                delta_threshold=self.config.delta_threshold,
             )
         else:
             self._pool = EnginePool(
@@ -303,6 +317,8 @@ class SimulationService:
             kernel_table=kernel_table, variation=variation,
             fingerprint=fingerprint, compat_key=compat_key,
         )
+        if self._delta_enabled:
+            job.delta = self._select_delta(job)
         self._admit(job)
         job.submitted = _time.monotonic()
         if deadline_ms is not None:
@@ -313,6 +329,29 @@ class SimulationService:
         self._queue.put(job)
         return JobHandle(fingerprint, job.future,
                          canceller=lambda: self._cancel_job(job))
+
+    def _select_delta(self, job: SimulationJob):
+        """Pick a base from the compat group's ring, or ``None``.
+
+        Exact-fingerprint hits never reach here (they resolve above),
+        so a selected plan always has *something* to re-evaluate — but
+        a job repeating a base's stimuli under the same plane still
+        fully splices.  ``global_slots`` are job-local on both sides
+        (the combine step pins them), so Monte-Carlo eligibility holds
+        no matter which batches the base and the variant rode in.
+        """
+        bases = self._cache.bases_for(job.compat_key)
+        if not bases:
+            return None
+        v1 = np.stack([pair.v1 for pair in job.pairs])
+        v2 = np.stack([pair.v2 for pair in job.pairs])
+        selected = select_delta(
+            bases, v1, v2, job.plan.pattern_indices, job.plan.voltages,
+            None, job.variation, self.config.delta_threshold)
+        if selected is None:
+            return None
+        self._cache.record_base_hit()
+        return selected[0]
 
     def metrics(self) -> ServiceMetrics:
         """Point-in-time service metrics snapshot."""
@@ -588,10 +627,19 @@ class SimulationService:
         config = jobs[0].config
         combined_pairs, plan, global_slots = self._combine(jobs)
         engine = self._engine_for(jobs[0].circuit_key, config)
+        kwargs = {}
+        if self._delta_enabled:
+            delta = DeltaPlan.concat(
+                [job.delta for job in jobs],
+                [job.num_slots for job in jobs],
+                width=len(compiled.circuit.inputs))
+            if delta is not None:
+                kwargs["delta"] = delta
+            kwargs["capture_base"] = True
         result = engine.run(combined_pairs, plan=plan,
                             kernel_table=jobs[0].kernel_table,
                             variation=jobs[0].variation,
-                            global_slots=global_slots)
+                            global_slots=global_slots, **kwargs)
         faults.trip("service.demux", corruptible=result.waveforms)
         stats = engine.last_stats
         self._settle_batch(
@@ -600,24 +648,30 @@ class SimulationService:
             gate_evaluations=stats.gate_evaluations,
             lanes_skipped=stats.lanes_skipped,
             demotions=list(stats.demotions),
-            phase_seconds=stats.phase_seconds(), started=started)
+            phase_seconds=stats.phase_seconds(), started=started,
+            lanes_spliced=stats.lanes_spliced,
+            base_arena=result.base_arena)
 
     def _settle_batch(self, jobs: List[SimulationJob],
                       compiled: CompiledCircuit, config: SimulationConfig,
                       waveforms, engine_name: str, backend,
                       gate_evaluations: int, lanes_skipped: int,
                       demotions: List[str], phase_seconds: Dict[str, float],
-                      started: float) -> None:
+                      started: float, lanes_spliced: int = 0,
+                      base_arena=None) -> None:
         """Demultiplex one executed plane into per-job results.
 
         Shared by the in-process path (waveforms fresh off the engine)
         and the sharded path (waveforms rebuilt from a mapped result
         plane) — the apportionment, reports, caching and settlement are
         identical either way, which is most of the bit-identity
-        contract.
+        contract.  ``base_arena`` (in-process delta path only) is the
+        batch's captured waveform state; each job's slice is pinned in
+        its compat group's base ring for later incremental jobs.
         """
         if demotions:
             self._metrics.record_demotions(len(demotions))
+        self._metrics.record_splice(gate_evaluations, lanes_spliced)
         seconds = _time.monotonic() - started
         total_slots = sum(job.num_slots for job in jobs)
         self._metrics.record_phases(phase_seconds)
@@ -627,9 +681,15 @@ class SimulationService:
         for position, job in enumerate(jobs):
             n = job.num_slots
             wave_slice = waveforms[start:start + n]
+            if base_arena is not None:
+                self._cache.put_base(
+                    job.compat_key,
+                    base_arena.take(np.arange(start, start + n)),
+                    tag=job.fingerprint)
             start += n
             evals = gate_evaluations * n // total_slots
             skipped = lanes_skipped * n // total_slots
+            spliced = lanes_spliced * n // total_slots
             report = RunReport(
                 circuit_name=compiled.circuit.name,
                 num_slots=n,
@@ -645,6 +705,7 @@ class SimulationService:
                 wall_seconds=seconds,
                 gate_evaluations=evals,
                 lanes_skipped=skipped,
+                lanes_spliced=spliced,
                 phase_seconds={name: value * n / total_slots
                                for name, value in phase_seconds.items()},
             )
@@ -703,7 +764,8 @@ class SimulationService:
                 gate_evaluations=outcome["gate_evaluations"],
                 lanes_skipped=outcome["lanes_skipped"],
                 demotions=list(outcome["demotions"]),
-                phase_seconds=outcome["phase_seconds"], started=started)
+                phase_seconds=outcome["phase_seconds"], started=started,
+                lanes_spliced=outcome.get("lanes_spliced", 0))
         except Exception as error:  # noqa: BLE001 - isolate, then report
             self._isolate_or_fail(jobs, error, breaker)
         else:

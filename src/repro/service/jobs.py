@@ -99,6 +99,21 @@ class ServiceConfig:
         Initial size of every shared-memory plane; planes grow (by
         powers of two, under a new segment generation) when a batch
         overflows them.
+    delta_bases:
+        Base arenas pinned per compatibility group for incremental
+        re-simulation (``0`` disables the delta path).  A completed
+        batch's full waveform state is retained (zero-copy, integrity
+        checksummed); later near-duplicate jobs in the same group diff
+        against the ring, splice unchanged slots and re-evaluate only
+        the cone of influence of changed inputs.  Bit-identical to the
+        full path, so — like every knob here — never part of the job
+        fingerprint.  With ``shards > 0`` the ring lives shard-local
+        (arenas never cross the process boundary); a respawned shard
+        simply starts cold and falls back to full simulation.
+    delta_threshold:
+        Changed-input fraction at or above which a candidate base is
+        rejected and the job runs the full path — a near-disjoint job
+        must not pay cone overhead on top of a full simulation.
     """
 
     max_batch_slots: int = 256
@@ -119,6 +134,8 @@ class ServiceConfig:
     shard_queue_depth: int = 4
     shard_spawn_timeout_s: float = 60.0
     shard_segment_bytes: int = 1 << 20
+    delta_bases: int = 4
+    delta_threshold: float = 0.35
 
     def __post_init__(self) -> None:
         if self.max_batch_slots < 1:
@@ -157,6 +174,10 @@ class ServiceConfig:
             raise ServiceError("shard_spawn_timeout_s must be positive")
         if self.shard_segment_bytes < 4096:
             raise ServiceError("shard_segment_bytes must be >= 4096")
+        if self.delta_bases < 0:
+            raise ServiceError("delta_bases must be >= 0")
+        if not 0.0 < self.delta_threshold <= 1.0:
+            raise ServiceError("delta_threshold must be in (0, 1]")
 
 
 @dataclass
@@ -183,6 +204,10 @@ class SimulationJob:
     #: batch; ``None`` until dispatch, and always ``None`` without
     #: sharding.  Feeds the per-shard latency dimension of the metrics.
     shard: Optional[int] = None
+    #: Optional :class:`~repro.simulation.delta.DeltaPlan` selected at
+    #: submission against the cache's base ring; the batcher merges the
+    #: plans of coalesced jobs into one batch-wide delta.
+    delta: object = None
 
     @property
     def num_slots(self) -> int:

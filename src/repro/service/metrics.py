@@ -101,6 +101,28 @@ class ServiceMetrics:
     shards: Dict[str, dict] = field(default_factory=dict)
     shard_latency_ms: Dict[str, Dict[str, float]] = field(
         default_factory=dict)
+    #: Incremental re-simulation counters: lanes actually dispatched vs
+    #: lanes served by splicing a cached base arena, summed over every
+    #: dispatched batch.  ``delta_fraction`` is the evaluated share —
+    #: 1.0 means the delta path never saved anything.
+    lanes_evaluated: int = 0
+    lanes_spliced: int = 0
+
+    @property
+    def delta_fraction(self) -> float:
+        """Evaluated share of (evaluated + spliced) lanes."""
+        total = self.lanes_evaluated + self.lanes_spliced
+        return 1.0 if total == 0 else self.lanes_evaluated / total
+
+    @property
+    def base_hits(self) -> int:
+        """Delta selections served from the cache's base ring."""
+        return int(self.cache.get("base_hits", 0))
+
+    @property
+    def base_bytes_pinned(self) -> int:
+        """Bytes currently pinned by retained base arenas."""
+        return int(self.cache.get("base_bytes_pinned", 0))
 
     @property
     def integrity_evictions(self) -> int:
@@ -160,6 +182,11 @@ class ServiceMetrics:
             "shard_latency_ms": {key: dict(value)
                                  for key, value in
                                  self.shard_latency_ms.items()},
+            "lanes_evaluated": self.lanes_evaluated,
+            "lanes_spliced": self.lanes_spliced,
+            "delta_fraction": self.delta_fraction,
+            "base_hits": self.base_hits,
+            "base_bytes_pinned": self.base_bytes_pinned,
         }
 
     def summary(self) -> str:
@@ -183,6 +210,13 @@ class ServiceMetrics:
                 f"{self.cache.get('misses', 0):.0f} misses "
                 f"(rate {self.cache.get('hit_rate', 0.0):.2f}), "
                 f"{self.cache.get('evictions', 0):.0f} evictions")
+        if self.lanes_spliced:
+            lines.append(
+                f"  delta: {self.lanes_spliced} lanes spliced / "
+                f"{self.lanes_evaluated} evaluated "
+                f"(fraction {self.delta_fraction:.3f}), "
+                f"{self.base_hits} base hits, "
+                f"{self.base_bytes_pinned} B pinned")
         if self.latency_p50_ms is not None:
             lines.append(
                 f"  latency: p50 {self.latency_p50_ms:.1f} ms, "
@@ -252,6 +286,8 @@ class MetricsRecorder:
     batches_dispatched: int = 0
     jobs_batched: int = 0
     slots_dispatched: int = 0
+    lanes_evaluated: int = 0
+    lanes_spliced: int = 0
     _occupancy: List[int] = field(
         default_factory=lambda: [0] * (len(OCCUPANCY_EDGES) + 1))
     _latencies: deque = field(
@@ -328,6 +364,12 @@ class MetricsRecorder:
         with self._lock:
             self.backend_demotions += count
 
+    def record_splice(self, evaluated: int, spliced: int) -> None:
+        """Accumulate one batch's evaluated/spliced lane split."""
+        with self._lock:
+            self.lanes_evaluated += evaluated
+            self.lanes_spliced += spliced
+
     def retry_after(self, backlog: int, workers: int) -> float:
         """Backpressure hint: expected drain time of the current backlog."""
         with self._lock:
@@ -388,4 +430,6 @@ class MetricsRecorder:
                 shm_out_bytes=pool_stats.get("shm_out_bytes", 0),
                 shards=dict(pool_stats.get("shards", {})),
                 shard_latency_ms=shard_latency_ms,
+                lanes_evaluated=self.lanes_evaluated,
+                lanes_spliced=self.lanes_spliced,
             )

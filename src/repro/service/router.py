@@ -171,9 +171,16 @@ class ShardRouter:
         spawn_timeout_s: float = 120.0,
         on_tick: Optional[Callable[[], None]] = None,
         name: str = "repro-router",
+        delta_bases: int = 0,
+        delta_threshold: float = 0.35,
     ) -> None:
         if num_shards < 1:
             raise ShardError("need at least one shard")
+        #: Delta policy forwarded with every group registration — the
+        #: base rings live shard-local (arenas never cross a pipe), so
+        #: the policy travels to where the selection happens.
+        self._delta_bases = delta_bases
+        self._delta_threshold = delta_threshold
         self._combine = combine
         self._on_batch_done = on_batch_done
         self._on_batch_error = on_batch_error
@@ -278,9 +285,9 @@ class ShardRouter:
             if compat_key in self._groups:
                 return
             self._groups[compat_key] = (circuit_key, config, kernel_table,
-                                        variation)
-        message = ("group", compat_key, circuit_key, config, kernel_table,
-                   variation)
+                                        variation, self._delta_bases,
+                                        self._delta_threshold)
+        message = ("group", compat_key) + self._groups[compat_key]
         for handle in self._handles:
             self._send(handle, message)
 
@@ -637,6 +644,11 @@ class ShardRouter:
         if dead_pid is not None:
             # The dead shard owned its result planes; reclaim by name.
             sweep_pid(dead_pid)
+        # A crash storm within one service lifetime must not accumulate
+        # orphans: the startup sweep only ran once, so every respawn
+        # re-sweeps segments whose owning pid no longer exists (other
+        # live services keep theirs — the sweep checks liveness).
+        sweep_orphans(skip_pid=os.getpid())
         with self._lock:
             self.shards_respawned += 1
             if hung:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -45,6 +46,7 @@ from repro.faults.plan import WorkerDeathError
 from repro.service.shm import SharedArena, segment_name
 from repro.simulation.base import PatternPair, SimulationConfig
 from repro.simulation.compiled import CompiledCircuit, seed_level_plan_cache
+from repro.simulation.delta import select_delta
 from repro.simulation.grid import SlotPlan
 from repro.waveform.waveform import Waveform
 
@@ -248,8 +250,13 @@ class _ShardWorker:
         self.shard_index = shard_index
         self.conn = conn
         self.circuits: Dict[str, CompiledCircuit] = {}
-        #: compat_key -> (circuit_key, config, kernel_table, variation)
+        #: compat_key -> (circuit_key, config, kernel_table, variation,
+        #:                delta_bases, delta_threshold)
         self.groups: Dict[str, tuple] = {}
+        #: compat_key -> ring of retained base arenas (shard-local: the
+        #: arenas never cross the pipe, and a respawned shard simply
+        #: starts cold — full simulation until new bases accumulate).
+        self.bases: Dict[str, deque] = {}
         self.engines: Dict[tuple, object] = {}
         self.inputs: Dict[str, SharedArena] = {}
         self.results = [
@@ -311,11 +318,12 @@ class _ShardWorker:
 
     def register_group(self, compat_key: str, circuit_key: str,
                        config: SimulationConfig, kernel_table,
-                       variation) -> None:
+                       variation, delta_bases: int = 0,
+                       delta_threshold: float = 0.35) -> None:
         if config.faults:
             faults.ensure(config.faults)
         self.groups[compat_key] = (circuit_key, config, kernel_table,
-                                   variation)
+                                   variation, delta_bases, delta_threshold)
 
     def info(self) -> dict:
         from repro.simulation.compiled import level_plan_cache_stats
@@ -357,7 +365,8 @@ class _ShardWorker:
         if group is None:
             raise KeyError(
                 f"unregistered compatibility group {desc['compat_key'][:12]}")
-        circuit_key, config, kernel_table, variation = group
+        (circuit_key, config, kernel_table, variation, delta_bases,
+         delta_threshold) = group
         compiled = self.circuits[circuit_key]
         layout = desc["layout"]
         arena = self.attach_input(desc["in_name"])
@@ -372,8 +381,30 @@ class _ShardWorker:
         global_slots = arena.ndarray(slots, np.int64, layout["off_gslots"])
 
         engine = self.engine_for(circuit_key, config)
+        kwargs = {}
+        if delta_bases > 0:
+            # Shard-local delta: diff against this shard's retained
+            # base ring.  Selection compares the batch's own stimulus
+            # views; the captured arena owns private memory (the base
+            # ring must survive the input plane's slot being recycled).
+            ring = self.bases.get(desc["compat_key"])
+            if ring:
+                selected = select_delta(
+                    list(ring)[::-1], v1, v2, plan.pattern_indices,
+                    plan.voltages, global_slots, variation,
+                    delta_threshold)
+                if selected is not None:
+                    kwargs["delta"] = selected[0]
+            kwargs["capture_base"] = True
         result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
-                            variation=variation, global_slots=global_slots)
+                            variation=variation, global_slots=global_slots,
+                            **kwargs)
+        if result.base_arena is not None:
+            ring = self.bases.get(desc["compat_key"])
+            if ring is None or ring.maxlen != delta_bases:
+                ring = self.bases[desc["compat_key"]] = deque(
+                    maxlen=delta_bases)
+            ring.append(result.base_arena)
         stats = engine.last_stats
         plane = self.results[desc["out_slot"]]
         _, out_layout = _pack_result(
@@ -385,6 +416,7 @@ class _ShardWorker:
             "backend": stats.backend,
             "gate_evaluations": int(stats.gate_evaluations),
             "lanes_skipped": int(stats.lanes_skipped),
+            "lanes_spliced": int(stats.lanes_spliced),
             "demotions": list(stats.demotions),
             "phase_seconds": stats.phase_seconds(),
         }))

@@ -196,6 +196,11 @@ class SimulationResult:
     gate_evaluations: int
     engine: str
     report: Optional[object] = None
+    #: Full-state snapshot captured when the engine ran with
+    #: ``capture_base=True`` — a
+    #: :class:`~repro.simulation.delta.BaseArena` the service retains
+    #: for incremental re-simulation; ``None`` otherwise.
+    base_arena: Optional[object] = None
 
     @property
     def num_slots(self) -> int:

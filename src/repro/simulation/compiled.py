@@ -165,6 +165,9 @@ class CircuitPlans:
     #: Distinct-voltage normalization memos kept per parameter space.
     _VOLTAGE_MEMO_LIMIT = 16
 
+    #: Cone-of-influence memos kept per distinct changed-input row.
+    _CONE_MEMO_LIMIT = 64
+
     def __init__(self, compiled: "CompiledCircuit",
                  fingerprint: str = "") -> None:
         self.fingerprint = fingerprint
@@ -178,6 +181,7 @@ class CircuitPlans:
         self._norm_volts: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._concat: Optional[ConcatPlans] = None
         self._concat_loads: Dict[object, np.ndarray] = {}
+        self._cones: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
 
     def __getstate__(self) -> dict:
         """Pickle the pure-array payload (plan warming across processes).
@@ -203,6 +207,7 @@ class CircuitPlans:
         self._norm_volts = OrderedDict()
         self._concat = state.get("concat")
         self._concat_loads = {}
+        self._cones = OrderedDict()
 
     def concat(self) -> ConcatPlans:
         """The levels concatenated row-wise, built once per circuit."""
@@ -281,6 +286,48 @@ class CircuitPlans:
             while len(self._norm_volts) > self._VOLTAGE_MEMO_LIMIT:
                 self._norm_volts.popitem(last=False)
         return nv
+
+    def input_cones(self, compiled: "CompiledCircuit",
+                    changed_rows: np.ndarray) -> np.ndarray:
+        """Cone of influence of changed-input sets through the levels.
+
+        ``changed_rows`` is ``(R, num_inputs)`` bool — each row one
+        distinct changed-input set.  Returns ``(num_nets + 1, R)`` bool:
+        net × row membership in the cone (a net is in the cone iff some
+        changed input reaches it through the level graph; the dummy net
+        never is).  The propagation is one ``any`` reduction per level
+        over the per-level fanin arrays — rows are memoized by content
+        (delta traffic repeats the same few perturbation patterns), so
+        a sweep's second job pays nothing.
+        """
+        changed_rows = np.ascontiguousarray(changed_rows, dtype=bool)
+        num_rows = changed_rows.shape[0]
+        keys = [changed_rows[row].tobytes() for row in range(num_rows)]
+        out = np.zeros((compiled.num_nets + 1, num_rows), dtype=bool)
+        missing: List[int] = []
+        with self._lock:
+            for row, key in enumerate(keys):
+                cached = self._cones.get(key)
+                if cached is None:
+                    missing.append(row)
+                else:
+                    self._cones.move_to_end(key)
+                    out[:, row] = cached
+        if missing:
+            cols = np.zeros((compiled.num_nets + 1, len(missing)),
+                            dtype=bool)
+            cols[compiled.input_net_ids] = changed_rows[missing].T
+            for plan in self.levels:
+                cols[plan.out_ids] = cols[plan.in_ids].any(axis=1)
+            cols[compiled.dummy_net_id] = False
+            out[:, missing] = cols
+            with self._lock:
+                for local, row in enumerate(missing):
+                    self._cones[keys[row]] = np.ascontiguousarray(
+                        cols[:, local])
+                while len(self._cones) > self._CONE_MEMO_LIMIT:
+                    self._cones.popitem(last=False)
+        return out
 
 
 #: Process-wide plan cache keyed by ``circuit_fingerprint`` — the same

@@ -1,0 +1,331 @@
+"""Incremental re-simulation: cached base arenas and delta plans.
+
+Service traffic is near-duplicate — the same circuit re-simulated under
+slightly different stimuli or operating points (an AVFS voltage sweep
+shares 15 of 16 points between consecutive jobs).  The exact-fingerprint
+``ResultCache`` cannot exploit that: one flipped input or one new
+voltage misses, and the whole dense/sparse simulation runs again.
+
+This module holds the pieces that make *partial* reuse possible:
+
+* :class:`BaseArena` — a compact, self-contained snapshot of one run's
+  full internal waveform state (per-``(net, slot)`` initial values,
+  toggle counts and a flat toggle-time array, plus the stimuli and
+  operating points that produced it).  The engine captures one as a
+  by-product of a normal run (``capture_base=True``) and the service
+  retains it in the cache's base ring, keyed by compatibility group.
+* :class:`DeltaPlan` — the per-slot mapping of an incoming job onto a
+  base arena: which base slot each job slot reuses (``-1`` = no match,
+  simulate from scratch) and which input bits changed.  The engine
+  turns the changed bits into a cone of influence
+  (:meth:`~repro.simulation.compiled.CircuitPlans.input_cones`) and
+  only dispatches lanes inside the cone; everything else is *spliced*
+  out of the base arena, bit-identical by construction.
+* :func:`select_delta` — the cheap base-selection policy: diff the
+  job's stimuli/operating points against every retained base, pick the
+  base with the smallest total changed-input cost, and refuse (return
+  ``None``) when the changed fraction reaches the fallback threshold —
+  a near-disjoint job must not pay cone overhead on top of a full run.
+
+Correctness requirements baked into the layout:
+
+* ``starts[net, slot]`` are arbitrary offsets into ``times`` — each
+  ``(net, slot)`` block is contiguous and ascending, but there is no
+  global ordering requirement, so :meth:`BaseArena.take` and
+  :meth:`BaseArena.concat` never reshuffle payload bytes.
+* Monte-Carlo splice safety is keyed on ``global_slots``: per-die delay
+  factors derive deterministically from the global slot index, so a
+  base slot is only eligible for a variation-bearing job when its
+  global slot matches — a spliced lane and a recomputed lane then see
+  identical randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BaseArena", "DeltaPlan", "select_delta"]
+
+
+def _gather_blocks(counts: np.ndarray, starts: np.ndarray,
+                   times: np.ndarray) -> Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray]:
+    """Gather the ragged ``(net, slot)`` blocks named by ``counts`` /
+    ``starts`` (2-D, same shape) out of ``times`` into a fresh flat
+    array, in ``np.nonzero`` (row-major) order.
+
+    Returns ``(rows, cols, new_starts, flat)`` where ``new_starts`` are
+    the block offsets inside ``flat`` for the nonzero positions.
+    """
+    rows, cols = np.nonzero(counts)
+    cnt = counts[rows, cols]
+    ends = np.cumsum(cnt)
+    total = int(ends[-1]) if ends.size else 0
+    offsets = ends - cnt
+    span = np.arange(total, dtype=np.int64) - np.repeat(offsets, cnt)
+    src = np.repeat(starts[rows, cols], cnt) + span
+    return rows, cols, offsets, times[src]
+
+
+@dataclass
+class BaseArena:
+    """Snapshot of one run's full waveform state, splice-ready.
+
+    ``initial``/``counts``/``starts`` are ``(num_nets, num_slots)``;
+    ``times`` is the flat toggle-time payload; ``v1``/``v2`` are the
+    per-slot stimulus planes ``(num_slots, width)`` and ``voltages`` /
+    ``global_slots`` the per-slot operating points — everything
+    :func:`select_delta` needs to diff a new job without touching the
+    payload.
+    """
+
+    initial: np.ndarray
+    counts: np.ndarray
+    starts: np.ndarray
+    times: np.ndarray
+    v1: np.ndarray
+    v2: np.ndarray
+    voltages: np.ndarray
+    global_slots: np.ndarray
+    #: The base run's already-unpacked per-slot waveform dicts (wanted
+    #: nets only), shared by reference.  A fully spliced slot is served
+    #: straight from here — zero per-waveform reconstruction cost — when
+    #: the requesting run wants the same net set; the payload arrays
+    #: above stay authoritative for cone seeding and re-capture.
+    waveforms: Optional[List[Dict[str, object]]] = None
+
+    @property
+    def num_nets(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def num_slots(self) -> int:
+        return self.counts.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return (self.initial.nbytes + self.counts.nbytes
+                + self.starts.nbytes + self.times.nbytes + self.v1.nbytes
+                + self.v2.nbytes + self.voltages.nbytes
+                + self.global_slots.nbytes)
+
+    @classmethod
+    def assemble(cls, capture: Dict[int, tuple], num_nets: int,
+                 num_slots: int, v1: np.ndarray, v2: np.ndarray,
+                 voltages: np.ndarray, global_slots: np.ndarray,
+                 waveforms: Optional[List[Dict[str, object]]] = None
+                 ) -> "BaseArena":
+        """Build an arena from the engine's per-slot capture records.
+
+        ``capture[slot]`` is ``(initial (N,), counts (N,), flat times)``
+        with the flat chunk net-major inside the slot.  Chunks may be
+        views into engine scratch; concatenation makes the arena own
+        private memory.
+        """
+        initial = np.zeros((num_nets, num_slots), dtype=np.uint8)
+        counts = np.zeros((num_nets, num_slots), dtype=np.int64)
+        starts = np.zeros((num_nets, num_slots), dtype=np.int64)
+        chunks: List[np.ndarray] = []
+        offset = 0
+        for slot in range(num_slots):
+            init_s, cnt_s, flat_s = capture[slot]
+            initial[:, slot] = init_s
+            counts[:, slot] = cnt_s
+            ends = np.cumsum(cnt_s)
+            starts[:, slot] = offset + ends - cnt_s
+            chunks.append(np.asarray(flat_s, dtype=np.float64).reshape(-1))
+            offset += int(ends[-1]) if ends.size else 0
+        times = (np.concatenate(chunks) if chunks
+                 else np.empty(0, dtype=np.float64))
+        return cls(
+            initial=initial, counts=counts, starts=starts, times=times,
+            v1=np.ascontiguousarray(v1, dtype=np.uint8),
+            v2=np.ascontiguousarray(v2, dtype=np.uint8),
+            voltages=np.asarray(voltages, dtype=np.float64).copy(),
+            global_slots=np.asarray(global_slots, dtype=np.int64).copy(),
+            waveforms=waveforms,
+        )
+
+    def column(self, slot: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One slot's capture record ``(initial, counts, flat times)``
+        in net-major order — the passthrough used when a fully spliced
+        slot must itself feed a new base capture."""
+        counts = self.counts[:, slot:slot + 1]
+        starts = self.starts[:, slot:slot + 1]
+        _, _, _, flat = _gather_blocks(counts, starts, self.times)
+        return (self.initial[:, slot].copy(), self.counts[:, slot].copy(),
+                flat)
+
+    def take(self, indices: np.ndarray) -> "BaseArena":
+        """A private arena holding only the given slots (gathered
+        payload; shares nothing with ``self``)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        counts = self.counts[:, indices]
+        rows, cols, offsets, flat = _gather_blocks(
+            counts, self.starts[:, indices], self.times)
+        starts = np.zeros_like(counts)
+        starts[rows, cols] = offsets
+        return BaseArena(
+            initial=self.initial[:, indices].copy(),
+            counts=counts.copy(), starts=starts, times=flat,
+            v1=self.v1[indices].copy(), v2=self.v2[indices].copy(),
+            voltages=self.voltages[indices].copy(),
+            global_slots=self.global_slots[indices].copy(),
+            waveforms=(None if self.waveforms is None
+                       else [self.waveforms[int(i)] for i in indices]),
+        )
+
+    @classmethod
+    def concat(cls, arenas: Sequence["BaseArena"]) -> "BaseArena":
+        """Concatenate along the slot axis; block offsets shift by each
+        arena's cumulative payload size, payload bytes never move
+        relative to each other."""
+        if len(arenas) == 1:
+            return arenas[0]
+        starts = []
+        offset = 0
+        for arena in arenas:
+            starts.append(arena.starts + offset)
+            offset += arena.times.size
+        if all(a.waveforms is not None for a in arenas):
+            waveforms: Optional[List[Dict[str, object]]] = []
+            for arena in arenas:
+                waveforms.extend(arena.waveforms)  # type: ignore[arg-type]
+        else:
+            waveforms = None
+        return cls(
+            initial=np.concatenate([a.initial for a in arenas], axis=1),
+            counts=np.concatenate([a.counts for a in arenas], axis=1),
+            starts=np.concatenate(starts, axis=1),
+            times=np.concatenate([a.times for a in arenas]),
+            v1=np.concatenate([a.v1 for a in arenas], axis=0),
+            v2=np.concatenate([a.v2 for a in arenas], axis=0),
+            voltages=np.concatenate([a.voltages for a in arenas]),
+            global_slots=np.concatenate([a.global_slots for a in arenas]),
+            waveforms=waveforms,
+        )
+
+
+@dataclass
+class DeltaPlan:
+    """Per-slot mapping of a job onto a :class:`BaseArena`.
+
+    ``base_slot[s]`` is the base slot job slot ``s`` reuses (``-1`` =
+    unmapped, simulate from scratch); ``changed_inputs[s]`` flags the
+    input positions whose stimulus differs from the mapped base slot
+    (all-``False`` = full splice, no evaluation at all).
+    """
+
+    base: BaseArena
+    base_slot: np.ndarray
+    changed_inputs: np.ndarray
+
+    def take(self, indices: np.ndarray) -> "DeltaPlan":
+        indices = np.asarray(indices, dtype=np.int64)
+        return DeltaPlan(self.base, self.base_slot[indices].copy(),
+                         self.changed_inputs[indices].copy())
+
+    @staticmethod
+    def concat(plans: Sequence[Optional["DeltaPlan"]],
+               slot_counts: Sequence[int], width: int
+               ) -> Optional["DeltaPlan"]:
+        """Merge per-job plans into one batch plan (``None`` jobs get
+        all-unmapped rows); returns ``None`` when no job has a plan."""
+        if not any(plan is not None for plan in plans):
+            return None
+        arenas = [plan.base for plan in plans if plan is not None]
+        offsets = np.cumsum([0] + [a.num_slots for a in arenas])
+        base = BaseArena.concat(arenas)
+        slot_rows: List[np.ndarray] = []
+        changed_rows: List[np.ndarray] = []
+        used = 0
+        for plan, n in zip(plans, slot_counts):
+            if plan is None:
+                slot_rows.append(np.full(n, -1, dtype=np.int64))
+                changed_rows.append(np.zeros((n, width), dtype=bool))
+            else:
+                mapped = plan.base_slot >= 0
+                shifted = plan.base_slot + np.where(
+                    mapped, offsets[used], 0)
+                slot_rows.append(shifted.astype(np.int64))
+                changed_rows.append(plan.changed_inputs)
+                used += 1
+        return DeltaPlan(base, np.concatenate(slot_rows),
+                         np.concatenate(changed_rows, axis=0))
+
+
+def select_delta(bases: Sequence[BaseArena], v1: np.ndarray,
+                 v2: np.ndarray, pattern_indices: np.ndarray,
+                 voltages: np.ndarray, global_slots: Optional[np.ndarray],
+                 variation, threshold: float
+                 ) -> Optional[Tuple[DeltaPlan, float]]:
+    """Pick the best base for a job, or ``None`` to run the full path.
+
+    ``v1``/``v2`` are the job's stacked pattern planes ``(P, width)``;
+    ``pattern_indices``/``voltages`` its slot plane.  A base slot is
+    *eligible* for a job slot only at the same voltage (delay tables
+    are voltage-dependent) and — under Monte-Carlo ``variation`` — the
+    same global slot index (die factors derive from it).  The changed
+    fraction is the mean per-slot changed-input share, 1.0 for slots no
+    base slot can serve; at ``frac >= threshold`` the job is not worth
+    a delta pass and the caller falls back to full simulation.
+    """
+    if not bases:
+        return None
+    width = v1.shape[1]
+    if width == 0:
+        return None
+    pattern_indices = np.asarray(pattern_indices, dtype=np.int64)
+    pv1 = v1[pattern_indices]
+    pt = (v1 != v2)[pattern_indices]
+    num_slots = pv1.shape[0]
+    voltages = np.asarray(voltages, dtype=np.float64)
+    if global_slots is None:
+        global_slots = np.arange(num_slots, dtype=np.int64)
+    else:
+        global_slots = np.asarray(global_slots, dtype=np.int64)
+
+    unmatched = width + 1
+    toggles = v1 != v2
+    best: Optional[tuple] = None
+    for index, base in enumerate(bases):
+        if base.v1.shape[1] != width:
+            continue
+        bt = base.v1 != base.v2
+        # Diff per distinct *pattern* (P x base slots), then gather per
+        # job slot — a multi-voltage plane repeats each pattern at every
+        # operating point, so this is a num_voltages-fold saving over
+        # the naive per-slot broadcast.
+        pat_diff = ((v1[:, None, :] != base.v1[None, :, :])
+                    | (toggles[:, None, :] != bt[None, :, :])).sum(axis=2)
+        diff = pat_diff[pattern_indices]
+        eligible = voltages[:, None] == base.voltages[None, :]
+        if variation is not None:
+            eligible &= (global_slots[:, None]
+                         == base.global_slots[None, :])
+        cost = np.where(eligible, diff, unmatched)
+        slot_of = np.argmin(cost, axis=1)
+        slot_cost = cost[np.arange(num_slots), slot_of]
+        total = int(np.minimum(slot_cost, width).sum())
+        if best is None or total < best[0]:
+            best = (total, slot_of, slot_cost, index)
+    if best is None:
+        return None
+    total, slot_of, slot_cost, index = best
+    frac = total / float(num_slots * width)
+    if frac >= threshold:
+        return None
+    base = bases[index]
+    mapped = slot_cost <= width
+    base_slot = np.where(mapped, slot_of, -1).astype(np.int64)
+    changed = np.zeros((num_slots, width), dtype=bool)
+    if mapped.any():
+        rows = np.nonzero(mapped)[0]
+        cols = base_slot[rows]
+        bt = base.v1 != base.v2
+        changed[rows] = ((pv1[rows] != base.v1[cols])
+                         | (pt[rows] != bt[cols]))
+    return DeltaPlan(base, base_slot, changed), frac

@@ -75,6 +75,7 @@ from repro.simulation.base import (
     SimulationResult,
 )
 from repro.simulation.compiled import CompiledCircuit, compile_circuit
+from repro.simulation.delta import BaseArena, DeltaPlan
 from repro.simulation.grid import SlotPlan
 from repro.waveform.waveform import Waveform
 
@@ -128,6 +129,14 @@ class _BatchStats:
     retries: int = 0
     batches: int = 0
     lanes_skipped: int = 0
+    #: Lanes whose waveforms were spliced out of a cached base arena
+    #: instead of being evaluated or settled (delta runs only).  For a
+    #: fully base-mapped delta run
+    #: ``lanes_spliced + gate_evaluations == gates * slots`` exactly.
+    lanes_spliced: int = 0
+    #: Payload bytes reused from the base arena (toggle times + initial
+    #: values) — the zero-copy volume the delta path avoided recomputing.
+    bytes_spliced: int = 0
     backend: str = ""
     #: Backend demotion steps taken during this run (``"cext->numpy"``),
     #: in order; ``backend`` reflects the post-demotion backend.
@@ -144,6 +153,12 @@ class _BatchStats:
     def active_fraction(self) -> float:
         """Dispatched share of all lanes (1.0 when nothing was skipped)."""
         total = self.gate_evaluations + self.lanes_skipped
+        return 1.0 if total == 0 else self.gate_evaluations / total
+
+    @property
+    def delta_fraction(self) -> float:
+        """Evaluated share of a delta run's lanes (1.0 = no splicing)."""
+        total = self.gate_evaluations + self.lanes_spliced
         return 1.0 if total == 0 else self.gate_evaluations / total
 
     def phase_seconds(self) -> Dict[str, float]:
@@ -242,6 +257,8 @@ class GpuWaveSim:
         kernel_table: Optional[DelayKernelTable] = None,
         variation: Optional["ProcessVariation"] = None,
         global_slots: Optional[np.ndarray] = None,
+        delta: Optional[DeltaPlan] = None,
+        capture_base: bool = False,
     ) -> SimulationResult:
         """Simulate a slot plane.
 
@@ -266,6 +283,16 @@ class GpuWaveSim:
             slot.  Monte-Carlo die factors follow these *global* indices,
             so chunked runs stay bit-identical to a whole-plane run.
             Defaults to ``0..num_slots-1`` (the plan is the whole plane).
+        delta:
+            Optional :class:`~repro.simulation.delta.DeltaPlan` mapping
+            slots onto a cached base arena: fully matching slots are
+            spliced straight out of the base, slots with changed inputs
+            re-evaluate only the cone of influence, unmapped slots run
+            from scratch.  Results are bit-identical to ``delta=None``.
+        capture_base:
+            Capture this run's full waveform state as a
+            :class:`~repro.simulation.delta.BaseArena` on
+            ``result.base_arena`` so later jobs can delta against it.
         """
         if not pairs:
             raise SimulationError("need at least one pattern pair")
@@ -290,23 +317,51 @@ class GpuWaveSim:
         v2 = np.stack([p.v2 for p in pairs])
         if v1.shape[1] != len(self.compiled.circuit.inputs):
             raise SimulationError("pattern width does not match circuit inputs")
+        if delta is not None:
+            if delta.base_slot.shape != (plan.num_slots,):
+                raise SimulationError(
+                    "delta plan must map every plan slot")
+            if delta.changed_inputs.shape != (plan.num_slots, v1.shape[1]):
+                raise SimulationError(
+                    "delta changed-input plane does not match the stimuli")
+            if delta.base.num_nets != self.compiled.num_nets:
+                raise SimulationError(
+                    "delta base arena belongs to a different circuit")
+            if delta.base_slot.size and (
+                    int(delta.base_slot.max()) >= delta.base.num_slots):
+                raise SimulationError(
+                    "delta plan references a missing base slot")
 
         stats = _BatchStats(backend=self.backend.name)
         start = _time.perf_counter()
         waveforms: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots
+        capture: Optional[Dict[int, tuple]] = {} if capture_base else None
         max_slots = self._max_batch_slots()
         for indices, sub_plan in plan.batches(max_slots):
             stats.batches += 1
             batch_globals = (global_slots[indices] if global_slots is not None
                              else indices)
-            batch_waveforms = self._run_batch(v1, v2, sub_plan, kernel_table,
-                                              stats, variation, batch_globals)
+            batch_waveforms = self._run_batch(
+                v1, v2, sub_plan, kernel_table, stats, variation,
+                batch_globals,
+                delta=delta.take(indices) if delta is not None else None,
+                capture=capture, capture_slots=indices)
             for local, slot in enumerate(indices):
                 waveforms[int(slot)] = batch_waveforms[local]
+        base_arena = None
+        if capture is not None:
+            plane_slots = (global_slots if global_slots is not None
+                           else np.arange(plan.num_slots, dtype=np.int64))
+            base_arena = BaseArena.assemble(
+                capture, self.compiled.num_nets, plan.num_slots,
+                v1=v1[plan.pattern_indices], v2=v2[plan.pattern_indices],
+                voltages=plan.voltages, global_slots=plane_slots,
+                waveforms=list(waveforms))
         runtime = _time.perf_counter() - start
         self.last_stats = stats
         mode = "gpu-static" if kernel_table is None else "gpu-parametric"
         sparse = ",sparse" if self.config.prune_inactive else ""
+        delta_tag = ",delta" if stats.lanes_spliced else ""
         demoted = "".join(f",demoted:{step}" for step in stats.demotions)
         return SimulationResult(
             circuit_name=self.compiled.circuit.name,
@@ -314,7 +369,8 @@ class GpuWaveSim:
             waveforms=waveforms,  # type: ignore[arg-type]
             runtime_seconds=runtime,
             gate_evaluations=stats.gate_evaluations,
-            engine=f"{mode}[{self.backend.name}{sparse}{demoted}]",
+            engine=f"{mode}[{self.backend.name}{sparse}{delta_tag}{demoted}]",
+            base_arena=base_arena,
         )
 
     # -- internals ---------------------------------------------------------------------
@@ -333,6 +389,9 @@ class GpuWaveSim:
         stats: _BatchStats,
         variation: Optional["ProcessVariation"] = None,
         global_slots: Optional[np.ndarray] = None,
+        delta: Optional[DeltaPlan] = None,
+        capture: Optional[Dict[int, tuple]] = None,
+        capture_slots: Optional[np.ndarray] = None,
     ) -> List[Dict[str, Waveform]]:
         capacity = self.config.waveform_capacity
         # Per-voltage delays depend only on (gates, distinct voltages) —
@@ -343,7 +402,8 @@ class GpuWaveSim:
             try:
                 return self._run_batch_within_budget(
                     v1, v2, plan, kernel_table, capacity, stats, variation,
-                    global_slots, delay_cache)
+                    global_slots, delay_cache, delta=delta, capture=capture,
+                    capture_slots=capture_slots)
             except WaveformOverflowError:
                 if not self.config.grow_on_overflow or capacity >= MAX_CAPACITY:
                     raise
@@ -395,6 +455,9 @@ class GpuWaveSim:
         variation: Optional["ProcessVariation"],
         global_slots: Optional[np.ndarray],
         delay_cache: Optional[Dict],
+        delta: Optional[DeltaPlan] = None,
+        capture: Optional[Dict[int, tuple]] = None,
+        capture_slots: Optional[np.ndarray] = None,
     ) -> List[Dict[str, Waveform]]:
         """Run one batch at the given capacity, re-chunking first if the
         grown capacity would blow the memory budget (a retried batch is
@@ -404,14 +467,21 @@ class GpuWaveSim:
         if plan.num_slots <= max_slots:
             return self._run_batch_at_capacity(
                 v1, v2, plan, kernel_table, capacity, stats, variation,
-                global_slots, delay_cache)
+                global_slots, delay_cache, delta=delta, capture=capture,
+                capture_slots=capture_slots)
         if global_slots is None:
             global_slots = np.arange(plan.num_slots, dtype=np.int64)
+        if capture is not None and capture_slots is None:
+            capture_slots = np.arange(plan.num_slots, dtype=np.int64)
         results: List[Optional[Dict[str, Waveform]]] = [None] * plan.num_slots
         for indices, sub_plan in plan.batches(max_slots):
             sub_waveforms = self._run_batch_at_capacity(
                 v1, v2, sub_plan, kernel_table, capacity, stats, variation,
-                global_slots[indices], delay_cache)
+                global_slots[indices], delay_cache,
+                delta=delta.take(indices) if delta is not None else None,
+                capture=capture,
+                capture_slots=(capture_slots[indices]
+                               if capture_slots is not None else None))
             for local, slot in enumerate(indices):
                 results[int(slot)] = sub_waveforms[local]
         return results  # type: ignore[return-value]
@@ -427,10 +497,23 @@ class GpuWaveSim:
         variation: Optional["ProcessVariation"] = None,
         global_slots: Optional[np.ndarray] = None,
         delay_cache: Optional[Dict] = None,
+        delta: Optional[DeltaPlan] = None,
+        capture: Optional[Dict[int, tuple]] = None,
+        capture_slots: Optional[np.ndarray] = None,
     ) -> List[Dict[str, Waveform]]:
         compiled = self.compiled
         num_slots = plan.num_slots
         inertial = self.config.pulse_filtering == "inertial"
+        if capture is not None and capture_slots is None:
+            capture_slots = np.arange(num_slots, dtype=np.int64)
+
+        # Delta evaluation: slots mapped onto a cached base arena splice
+        # or cone-evaluate; only unmapped slots fall through to the full
+        # path below.
+        if delta is not None and bool((delta.base_slot >= 0).any()):
+            return self._run_batch_delta(
+                v1, v2, plan, kernel_table, capacity, stats, variation,
+                global_slots, delay_cache, delta, capture, capture_slots)
 
         # Load stimuli (Fig. 2 step 3): per slot, its pattern pair.
         pattern_of_slot = plan.pattern_indices
@@ -455,7 +538,8 @@ class GpuWaveSim:
             if n_quiet or (0 < n_tracked < num_slots):
                 return self._run_batch_slot_compacted(
                     v1, v2, plan, kernel_table, capacity, stats, variation,
-                    global_slots, delay_cache, first, quiet, tracked)
+                    global_slots, delay_cache, first, quiet, tracked,
+                    capture, capture_slots)
             track_lanes = n_tracked == num_slots
 
         # Waveform memory: (nets + dummy, slots, capacity) toggle times.
@@ -558,6 +642,9 @@ class GpuWaveSim:
                     )
 
         pack_start = _time.perf_counter()
+        if capture is not None:
+            self._capture_batch(times_all, initial_all, num_slots, capture,
+                                capture_slots)
         waveforms = self._unpack_waveforms(times_all, initial_all, num_slots)
         stats.pack_seconds += _time.perf_counter() - pack_start
         return waveforms
@@ -576,6 +663,8 @@ class GpuWaveSim:
         first: np.ndarray,
         quiet: np.ndarray,
         tracked: np.ndarray,
+        capture: Optional[Dict[int, tuple]] = None,
+        capture_slots: Optional[np.ndarray] = None,
     ) -> List[Dict[str, Waveform]]:
         """Split a batch into quiet / lane-tracked / dense slot classes.
 
@@ -599,19 +688,314 @@ class GpuWaveSim:
             sub_plan = plan.take(subset)
             sub_results = self._run_batch_at_capacity(
                 v1, v2, sub_plan, kernel_table, capacity, stats, variation,
-                global_slots[subset], delay_cache)
+                global_slots[subset], delay_cache, capture=capture,
+                capture_slots=(capture_slots[subset]
+                               if capture_slots is not None else None))
             for local, slot in enumerate(subset):
                 results[int(slot)] = sub_results[local]
         if quiet_idx.size:
             pack_start = _time.perf_counter()
-            settled = self._settle_logic(first[quiet_idx])
+            values, inverse = self._settle_values(first[quiet_idx])
+            settled = self._settle_waveforms(values, inverse)
+            if capture is not None:
+                no_counts = np.zeros(compiled.num_nets, dtype=np.int64)
+                no_times = np.empty(0, dtype=np.float64)
+                for local, slot in enumerate(quiet_idx):
+                    capture[int(capture_slots[int(slot)])] = (
+                        values[: compiled.num_nets, inverse[local]].copy(),
+                        no_counts, no_times)
             stats.pack_seconds += _time.perf_counter() - pack_start
             for local, slot in enumerate(quiet_idx):
                 results[int(slot)] = settled[local]
         return results  # type: ignore[return-value]
 
-    def _settle_logic(self, first: np.ndarray) -> List[Dict[str, Waveform]]:
-        """Pure logic settle for toggle-free slots.
+    def _run_batch_delta(
+        self,
+        v1: np.ndarray,
+        v2: np.ndarray,
+        plan: SlotPlan,
+        kernel_table: Optional[DelayKernelTable],
+        capacity: int,
+        stats: _BatchStats,
+        variation: Optional["ProcessVariation"],
+        global_slots: Optional[np.ndarray],
+        delay_cache: Optional[Dict],
+        delta: DeltaPlan,
+        capture: Optional[Dict[int, tuple]],
+        capture_slots: Optional[np.ndarray],
+    ) -> List[Dict[str, Waveform]]:
+        """Partition a delta batch into splice / cone / full slot classes.
+
+        Slots whose stimuli and operating point match a base slot
+        exactly are *spliced*: their waveforms are zero-copy views into
+        the base arena and every lane counts as ``lanes_spliced``.
+        Slots with changed inputs re-evaluate only the cone of influence
+        (:meth:`_run_batch_delta_cone`); slots no base slot could serve
+        re-enter the normal full path.
+        """
+        compiled = self.compiled
+        num_slots = plan.num_slots
+        if global_slots is None:
+            global_slots = np.arange(num_slots, dtype=np.int64)
+        base = delta.base
+        mapped = delta.base_slot >= 0
+        changed_any = delta.changed_inputs.any(axis=1)
+        results: List[Optional[Dict[str, Waveform]]] = [None] * num_slots
+
+        unmapped_idx = np.nonzero(~mapped)[0]
+        if unmapped_idx.size:
+            sub = self._run_batch_at_capacity(
+                v1, v2, plan.take(unmapped_idx), kernel_table, capacity,
+                stats, variation, global_slots[unmapped_idx], delay_cache,
+                capture=capture,
+                capture_slots=(capture_slots[unmapped_idx]
+                               if capture_slots is not None else None))
+            for local, slot in enumerate(unmapped_idx):
+                results[int(slot)] = sub[local]
+
+        splice_idx = np.nonzero(mapped & ~changed_any)[0]
+        if splice_idx.size:
+            pack_start = _time.perf_counter()
+            cols = delta.base_slot[splice_idx]
+            spliced = self._splice_waveforms(base, cols)
+            stats.lanes_spliced += compiled.num_gates * int(splice_idx.size)
+            stats.bytes_spliced += (
+                int(base.counts[:, cols].sum()) * 8
+                + compiled.num_nets * int(splice_idx.size))
+            if capture is not None:
+                for local, slot in enumerate(splice_idx):
+                    capture[int(capture_slots[int(slot)])] = base.column(
+                        int(cols[local]))
+            stats.pack_seconds += _time.perf_counter() - pack_start
+            for local, slot in enumerate(splice_idx):
+                results[int(slot)] = spliced[local]
+
+        cone_idx = np.nonzero(mapped & changed_any)[0]
+        if cone_idx.size:
+            sub = self._run_batch_delta_cone(
+                v1, v2, plan.take(cone_idx), kernel_table, capacity, stats,
+                variation, global_slots[cone_idx], delay_cache,
+                delta.take(cone_idx), capture,
+                (capture_slots[cone_idx]
+                 if capture_slots is not None else None))
+            for local, slot in enumerate(cone_idx):
+                results[int(slot)] = sub[local]
+        return results  # type: ignore[return-value]
+
+    def _run_batch_delta_cone(
+        self,
+        v1: np.ndarray,
+        v2: np.ndarray,
+        plan: SlotPlan,
+        kernel_table: Optional[DelayKernelTable],
+        capacity: int,
+        stats: _BatchStats,
+        variation: Optional["ProcessVariation"],
+        global_slots: np.ndarray,
+        delay_cache: Optional[Dict],
+        delta: DeltaPlan,
+        capture: Optional[Dict[int, tuple]],
+        capture_slots: Optional[np.ndarray],
+    ) -> List[Dict[str, Waveform]]:
+        """Cone-of-influence re-evaluation against a seeded base arena.
+
+        The per-slot activity mask is the *static* cone of the changed
+        inputs: every lane inside the cone is dispatched (or settled and
+        sparsely dispatched) exactly as the lane-tracked path would, and
+        every lane outside it is spliced — its output row is seeded with
+        the base toggles and its accounting goes to ``lanes_spliced``.
+        ``splice=True`` keeps the per-level dispatch from narrowing the
+        mask or touching the accounting of skipped lanes, so
+        ``lanes_spliced + gate_evaluations`` over a cone slot is exactly
+        ``gates``.  Cone *output* rows stay ``+inf`` from the pool reset
+        (the unpack counts every finite entry, so a re-evaluated row
+        must start empty); a dense-dispatched group rewriting a seeded
+        non-cone row writes bit-identical values — its inputs, delays
+        and factors match the base run by eligibility construction.
+        """
+        compiled = self.compiled
+        num_slots = plan.num_slots
+        inertial = self.config.pulse_filtering == "inertial"
+        base = delta.base
+        base_cols = delta.base_slot
+
+        counts = base.counts[:, base_cols]                 # (N, S)
+        if counts.size and int(counts.max()) > capacity:
+            raise WaveformOverflowError(
+                f"base waveforms exceed capacity {capacity}")
+
+        plans = self._plans
+        if plans is None:
+            plans = self._plans = compiled.plans()
+        rows, inverse = np.unique(delta.changed_inputs, axis=0,
+                                  return_inverse=True)
+        activity = plans.input_cones(compiled, rows)[:, inverse]
+
+        times_all, initial_all = self._arena_pool.acquire(
+            compiled.num_nets + 1, num_slots, capacity)
+
+        pack_start = _time.perf_counter()
+        initial_all[: compiled.num_nets] = base.initial[:, base_cols]
+        splice_mask = ~activity[: compiled.num_nets] & (counts > 0)
+        nets, slots = np.nonzero(splice_mask)
+        if nets.size:
+            cnt = counts[nets, slots]
+            ends = np.cumsum(cnt)
+            total = int(ends[-1])
+            span = np.arange(total, dtype=np.int64) - np.repeat(
+                ends - cnt, cnt)
+            src = np.repeat(base.starts[nets, base_cols[slots]], cnt) + span
+            dst = np.repeat((nets * num_slots + slots) * capacity, cnt) + span
+            times_all.reshape(-1)[dst] = base.times[src]
+            stats.bytes_spliced += total * 8
+        stats.pack_seconds += _time.perf_counter() - pack_start
+
+        # Variant stimuli overwrite the input rows — value-identical for
+        # unchanged inputs, by construction of the changed mask.
+        pattern_of_slot = plan.pattern_indices
+        first = v1[pattern_of_slot]
+        toggles = (v1 != v2)[pattern_of_slot]
+        initial_all[compiled.input_net_ids] = first.T
+        times_all[compiled.input_net_ids, :, 0] = np.where(
+            toggles.T, LAUNCH_TIME, INF)
+
+        distinct_v, slot_to_v = np.unique(plan.voltages, return_inverse=True)
+        slot_to_v = np.ascontiguousarray(slot_to_v, dtype=np.int64)
+        factors = None
+        if variation is not None:
+            factors = variation.factors(compiled.num_gates, global_slots)
+
+        fused = self._fused and (kernel_table is None
+                                 or isinstance(kernel_table, DelayKernelTable))
+        if fused:
+            nv = None
+            nc_levels = None
+            if kernel_table is not None:
+                nv = plans.normalized_voltages(kernel_table.space, distinct_v)
+                nc_levels = plans.normalized_loads(kernel_table.space)
+            for level_index, level_plan in enumerate(plans.levels):
+                self._run_level(
+                    level_plan, times_all, initial_all, slot_to_v,
+                    kernel_table, nv,
+                    nc_levels[level_index]
+                    if nc_levels is not None else None,
+                    capacity, inertial, stats, factors=factors,
+                    delay_cache=delay_cache, activity=activity,
+                    splice=True)
+        else:
+            for level_index, level_gates in enumerate(compiled.levels):
+                if self.group_by_arity:
+                    for group_index, (arity, gate_indices) in enumerate(
+                            compiled.level_groups[level_index]):
+                        self._run_group(
+                            gate_indices, arity,
+                            compiled.gate_inputs[gate_indices, :arity],
+                            compiled.gate_output[gate_indices],
+                            compiled.truth_tables_i64[gate_indices],
+                            times_all, initial_all,
+                            distinct_v, slot_to_v, kernel_table, capacity,
+                            inertial, stats, factors=factors,
+                            delay_cache=delay_cache,
+                            cache_key=(level_index, group_index),
+                            activity=activity, splice=True)
+                else:
+                    self._run_group(
+                        level_gates, compiled.max_pins,
+                        compiled.level_inputs[level_index],
+                        compiled.level_outputs[level_index],
+                        compiled.level_tables[level_index],
+                        times_all, initial_all,
+                        distinct_v, slot_to_v, kernel_table, capacity,
+                        inertial, stats, factors=factors,
+                        delay_cache=delay_cache, cache_key=(level_index,),
+                        activity=activity, splice=True)
+
+        pack_start = _time.perf_counter()
+        if capture is not None:
+            self._capture_batch(times_all, initial_all, num_slots, capture,
+                                capture_slots)
+        waveforms = self._unpack_waveforms(times_all, initial_all, num_slots)
+        stats.pack_seconds += _time.perf_counter() - pack_start
+        return waveforms
+
+    def _splice_waveforms(self, base: BaseArena, cols: np.ndarray
+                          ) -> List[Dict[str, Waveform]]:
+        """Wanted-net waveform dicts for fully matching slots — zero-copy
+        slices of the base arena's flat toggle-time payload."""
+        compiled = self.compiled
+        if self.config.record_all_nets:
+            wanted = list(compiled.net_index)
+        else:
+            wanted = list(compiled.circuit.outputs)
+        cached = base.waveforms
+        if cached is not None and cached:
+            # Fast path: the base run's own unpacked dicts, shared by
+            # reference (waveforms are immutable once returned).  Only
+            # valid when this run wants the same net set the base
+            # recorded — otherwise fall through to payload slicing.
+            sample = cached[0]
+            if (len(sample) == len(wanted)
+                    and all(net in sample for net in wanted)):
+                return [cached[int(col)] for col in cols]
+        if self.config.record_all_nets:
+            counts = base.counts[:, cols]
+            starts = base.starts[:, cols]
+            initials = base.initial[:, cols]
+        else:
+            net_ids = np.asarray([compiled.net_index[n] for n in wanted],
+                                 dtype=np.int64)
+            counts = base.counts[net_ids][:, cols]
+            starts = base.starts[net_ids][:, cols]
+            initials = base.initial[net_ids][:, cols]
+        times = base.times
+        num_slots = int(cols.size)
+        trusted = Waveform.trusted
+        result: List[Dict[str, Waveform]] = [dict() for _ in range(num_slots)]
+        for row, net in enumerate(wanted):
+            row_counts = counts[row].tolist()
+            row_starts = starts[row].tolist()
+            row_initials = initials[row].tolist()
+            for slot in range(num_slots):
+                start = row_starts[slot]
+                result[slot][net] = trusted(
+                    row_initials[slot], times[start:start + row_counts[slot]])
+        return result
+
+    def _capture_batch(
+        self,
+        times_all: np.ndarray,
+        initial_all: np.ndarray,
+        num_slots: int,
+        capture: Dict[int, tuple],
+        capture_slots: np.ndarray,
+    ) -> None:
+        """Record the batch's full per-slot waveform state (every real
+        net) as capture records keyed by plane-level slot index.
+
+        Overflow retries and backend demotions simply overwrite a slot's
+        record, so whatever attempt succeeded last defines the arena.
+        The flat extraction is one vectorized pass; the initial values
+        are copied out of the pooled arena (which the next batch resets
+        in place), while the toggle chunks reference the fresh flat
+        array.
+        """
+        num_nets = self.compiled.num_nets
+        sub = times_all[:num_nets]
+        finite = np.isfinite(sub)
+        counts = finite.sum(axis=2)                        # (N, S)
+        flat = sub.transpose(1, 0, 2)[finite.transpose(1, 0, 2)]
+        slot_sizes = counts.sum(axis=0)
+        ends = np.cumsum(slot_sizes)
+        for local in range(num_slots):
+            end = int(ends[local])
+            capture[int(capture_slots[local])] = (
+                initial_all[:num_nets, local].copy(),
+                counts[:, local],
+                flat[end - int(slot_sizes[local]):end])
+
+    def _settle_values(self, first: np.ndarray
+                       ) -> tuple:
+        """Settled logic values for toggle-free slots.
 
         One truth-table sweep per level over the ``(gates, quiet_slots)``
         plane — no waveform arena, no kernel dispatch.  Matches what
@@ -619,9 +1003,9 @@ class GpuWaveSim:
         input toggles every merge degenerates to the same table lookup.
 
         Slots repeating the same input vector settle identically, so the
-        sweep runs once per *unique* vector and the slots share the
-        (immutable) :class:`Waveform` objects — on realistic campaigns
-        quiet background stimuli repeat heavily.
+        sweep runs once per *unique* vector; returns the per-unique-
+        vector ``(num_nets + 1, U)`` value plane and the slot → unique
+        inverse mapping.
         """
         compiled = self.compiled
         first, inverse = np.unique(first, axis=0, return_inverse=True)
@@ -637,6 +1021,14 @@ class GpuWaveSim:
                 index |= initial[in_ids[:, pin]].astype(np.int64) << pin
             initial[out_ids] = ((tables[:, None] >> index) & 1).astype(
                 np.uint8)
+        return initial, inverse
+
+    def _settle_waveforms(self, initial: np.ndarray, inverse: np.ndarray
+                          ) -> List[Dict[str, Waveform]]:
+        """Toggle-free waveform dicts from a settled value plane; slots
+        repeating a unique vector share the (immutable) waveforms."""
+        compiled = self.compiled
+        quiet = initial.shape[1]
         if self.config.record_all_nets:
             wanted = list(compiled.net_index)
             values = initial[: compiled.num_nets]
@@ -653,6 +1045,11 @@ class GpuWaveSim:
             for slot in range(quiet):
                 settled[slot][net] = trusted(row_values[slot], no_toggles)
         return [settled[u].copy() for u in inverse.tolist()]
+
+    def _settle_logic(self, first: np.ndarray) -> List[Dict[str, Waveform]]:
+        """Pure logic settle for toggle-free slots (values + waveforms)."""
+        values, inverse = self._settle_values(first)
+        return self._settle_waveforms(values, inverse)
 
     def _unpack_waveforms(
         self,
@@ -764,6 +1161,7 @@ class GpuWaveSim:
         delay_cache: Optional[Dict] = None,
         cache_key: tuple = (),
         activity: Optional[np.ndarray] = None,
+        splice: bool = False,
     ) -> None:
         """Evaluate one SIMD thread group across all slots.
 
@@ -785,6 +1183,15 @@ class GpuWaveSim:
         is decoupled from the dispatch choice, so the
         ``gate_evaluations`` / ``lanes_skipped`` split is invariant
         across backends and slot-plane chunkings either way.
+
+        With ``splice=True`` (delta cone evaluation) ``activity`` is the
+        *static* cone-of-influence mask: lanes outside it are spliced
+        from the base arena rather than skipped, so their count goes to
+        ``lanes_spliced``, and the mask is never mutated — the all-quiet
+        write is a no-op by cone construction (``cone[out] =
+        any(cone[in])``), while the end-of-group ``isfinite`` narrowing
+        would wrongly re-activate non-cone outputs whose seeded base
+        rows carry toggles.
         """
         if gate_indices.size == 0:
             return
@@ -804,12 +1211,16 @@ class GpuWaveSim:
         if activity is not None:
             lane_active = activity[in_ids].any(axis=1)           # (g, S)
             active_lanes = int(np.count_nonzero(lane_active))
-            stats.lanes_skipped += total_lanes - active_lanes
+            if splice:
+                stats.lanes_spliced += total_lanes - active_lanes
+            else:
+                stats.lanes_skipped += total_lanes - active_lanes
             if active_lanes == 0:
                 # Whole group is quiet: settle, outputs stay toggle-free.
                 self._settle_group_outputs(in_ids, out_ids, tables, arity,
                                            initial_all, num_slots)
-                activity[out_ids] = False
+                if not splice:
+                    activity[out_ids] = False
                 return
             if active_lanes < total_lanes * SPARSE_DISPATCH_FRACTION:
                 # Settle every lane's output from the input initial
@@ -841,7 +1252,7 @@ class GpuWaveSim:
             raise WaveformOverflowError(
                 f"{result.overflow_lanes} lanes exceeded capacity {capacity}"
             )
-        if activity is not None:
+        if activity is not None and not splice:
             # A net is active downstream iff the lane kept >= 1 toggle
             # (all-cancelled lanes settle back to a quiet output).
             activity[out_ids] = np.isfinite(times_all[out_ids, :, 0])
@@ -901,6 +1312,7 @@ class GpuWaveSim:
         factors: Optional[np.ndarray] = None,
         delay_cache: Optional[Dict] = None,
         activity: Optional[np.ndarray] = None,
+        splice: bool = False,
     ) -> None:
         """Fused dispatch of one whole level via its precompiled plan.
 
@@ -927,12 +1339,16 @@ class GpuWaveSim:
         if activity is not None:
             lane_active = activity[plan.in_ids].any(axis=1)       # (g, S)
             active_lanes = int(np.count_nonzero(lane_active))
-            stats.lanes_skipped += total_lanes - active_lanes
+            if splice:
+                stats.lanes_spliced += total_lanes - active_lanes
+            else:
+                stats.lanes_skipped += total_lanes - active_lanes
             if active_lanes == 0:
                 self._settle_group_outputs(plan.in_ids, plan.out_ids,
                                            plan.tables, max_pins,
                                            initial_all, num_slots)
-                activity[plan.out_ids] = False
+                if not splice:
+                    activity[plan.out_ids] = False
                 return
             if active_lanes < total_lanes * SPARSE_DISPATCH_FRACTION:
                 self._settle_group_outputs(plan.in_ids, plan.out_ids,
@@ -958,6 +1374,6 @@ class GpuWaveSim:
             raise WaveformOverflowError(
                 f"{result.overflow_lanes} lanes exceeded capacity {capacity}"
             )
-        if activity is not None:
+        if activity is not None and not splice:
             activity[plan.out_ids] = np.isfinite(
                 times_all[plan.out_ids, :, 0])

@@ -1,0 +1,285 @@
+"""Service-level incremental re-simulation: base rings end to end.
+
+The service retains each compatibility group's recent base arenas in a
+small ring next to the exact-fingerprint cache.  A near-duplicate job
+(cache *miss*) is diffed against the ring at submit time and, when the
+changed fraction is under ``delta_threshold``, rides its batch with a
+:class:`~repro.simulation.delta.DeltaPlan`: unchanged lanes are spliced
+from the base, changed cones re-evaluate — bit-identical to a full run.
+
+Contracts under test:
+
+* a variant job after a base run shows ``lanes_spliced`` in its report
+  and the service metrics (``base_hits``, ``base_bytes_pinned``,
+  ``delta_fraction``), with waveforms bit-identical to standalone;
+* near-disjoint traffic refuses the delta path (threshold fallback);
+* a corrupted base arena is caught by its checksum on lookup, evicted
+  (``integrity_evictions``), and the job silently runs the full path;
+* ``delta_bases=0`` disables retention entirely; the config knobs
+  validate their ranges.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import ServiceError
+from repro.netlist.generate import random_circuit
+from repro.service import ServiceConfig, SimulationService
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.simulation.variation import ProcessVariation
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_circuit("dsvc", 10, 90, seed=17)
+
+
+@pytest.fixture(scope="module")
+def compiled(circuit, library):
+    return compile_circuit(circuit, library)
+
+
+def make_pairs(circuit, count, seed):
+    rng = np.random.default_rng(seed)
+    return [PatternPair.random(len(circuit.inputs), rng)
+            for _ in range(count)]
+
+
+def variant_of(pairs, seed):
+    """One flipped v2 bit: a cache miss with a tiny changed fraction."""
+    rng = np.random.default_rng(seed)
+    out = [PatternPair(p.v1.copy(), p.v2.copy()) for p in pairs]
+    victim = out[rng.integers(len(out))]
+    victim.v2[rng.integers(victim.v2.size)] ^= 1
+    return out
+
+
+def delta_config(**overrides):
+    """Deterministic batching with the delta path enabled."""
+    defaults = dict(max_batch_slots=16, max_wait_ms=2000.0, idle_ms=500.0,
+                    cache_entries=64, delta_bases=4, delta_threshold=0.35)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def assert_bit_identical(job_pairs, result, engine, **run_kwargs):
+    reference = engine.run(job_pairs, **run_kwargs)
+    assert len(reference.waveforms) == result.num_slots
+    for slot in range(result.num_slots):
+        ref_nets = reference.waveforms[slot]
+        got_nets = result.waveforms[slot]
+        assert set(ref_nets) == set(got_nets)
+        for net, ref in ref_nets.items():
+            got = got_nets[net]
+            assert got.initial == ref.initial, (slot, net)
+            assert np.array_equal(got.times, ref.times), (slot, net)
+
+
+class TestDeltaEndToEnd:
+    def test_variant_job_splices_from_base(self, circuit, library, compiled,
+                                           kernel_table):
+        base_pairs = make_pairs(circuit, 4, seed=51)
+        var_pairs = variant_of(base_pairs, seed=52)
+        with SimulationService(config=delta_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            base = service.submit(key, base_pairs,
+                                  kernel_table=kernel_table).result(
+                timeout=120)
+            variant = service.submit(key, var_pairs,
+                                     kernel_table=kernel_table).result(
+                timeout=120)
+            metrics = service.metrics()
+
+        assert base.report.lanes_spliced == 0
+        assert not variant.cache_hit
+        assert variant.report.lanes_spliced > 0
+        assert variant.report.delta_fraction < 1.0
+        assert ",delta" in variant.engine
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        assert_bit_identical(var_pairs, variant, engine,
+                             kernel_table=kernel_table)
+
+        assert metrics.base_hits == 1
+        assert metrics.base_bytes_pinned > 0
+        assert metrics.lanes_spliced > 0
+        assert metrics.delta_fraction < 1.0
+        assert metrics.cache["bases"] >= 1
+
+    def test_voltage_sweep_variant(self, circuit, library, compiled,
+                                   kernel_table):
+        """The AVFS motivating case: re-sweep with one new operating
+        point's worth of stimulus change, most of the plane spliced."""
+        pairs = make_pairs(circuit, 2, seed=53)
+        plan = SlotPlan.cross(len(pairs), [0.6, 0.7, 0.8, 0.9, 1.0])
+        var_pairs = variant_of(pairs, seed=54)
+        with SimulationService(config=delta_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, pairs, plan=plan,
+                           kernel_table=kernel_table).result(timeout=120)
+            variant = service.submit(key, var_pairs, plan=plan,
+                                     kernel_table=kernel_table).result(
+                timeout=120)
+        assert variant.report.lanes_spliced > 0
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        assert_bit_identical(var_pairs, variant, engine, plan=plan,
+                             kernel_table=kernel_table)
+
+    def test_monte_carlo_variant(self, circuit, library, compiled,
+                                 kernel_table):
+        pairs = make_pairs(circuit, 3, seed=55)
+        var_pairs = variant_of(pairs, seed=56)
+        variation = ProcessVariation(sigma=0.1, seed=42)
+        with SimulationService(config=delta_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, pairs, kernel_table=kernel_table,
+                           variation=variation).result(timeout=120)
+            variant = service.submit(key, var_pairs,
+                                     kernel_table=kernel_table,
+                                     variation=variation).result(timeout=120)
+        assert variant.report.lanes_spliced > 0
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        assert_bit_identical(var_pairs, variant, engine,
+                             kernel_table=kernel_table, variation=variation)
+
+    def test_exact_resubmission_prefers_cache(self, circuit, library,
+                                              compiled):
+        """An exact repeat is an exact-fingerprint hit — the delta path
+        only serves misses."""
+        pairs = make_pairs(circuit, 2, seed=57)
+        with SimulationService(config=delta_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, pairs).result(timeout=120)
+            redo = service.submit(key, pairs).result(timeout=120)
+            metrics = service.metrics()
+        assert redo.cache_hit
+        assert redo.engine == "cache"
+        assert metrics.base_hits == 0
+
+
+class TestFallbacks:
+    def test_threshold_fallback_on_disjoint_traffic(self, circuit, library,
+                                                    compiled):
+        """Every input bit changed: the changed fraction hits 1.0 and
+        the job must pay nothing for the delta machinery."""
+        width = len(circuit.inputs)
+        zeros = np.zeros(width, dtype=np.uint8)
+        ones = np.ones(width, dtype=np.uint8)
+        base_pairs = [PatternPair(zeros.copy(), zeros.copy())
+                      for _ in range(3)]
+        far_pairs = [PatternPair(ones.copy(), ones.copy())
+                     for _ in range(3)]
+        with SimulationService(config=delta_config()) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, base_pairs).result(timeout=120)
+            far = service.submit(key, far_pairs).result(timeout=120)
+            metrics = service.metrics()
+        assert far.report.lanes_spliced == 0
+        assert ",delta" not in far.engine
+        assert metrics.base_hits == 0
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        assert_bit_identical(far_pairs, far, engine)
+
+    def test_corrupt_base_evicts_and_falls_back(self, circuit, library,
+                                                compiled):
+        """A rotted base arena must never reach the splice path: the
+        checksum catches it at lookup, the ring entry is evicted, and
+        the variant silently runs the full simulation — still correct."""
+        base_pairs = make_pairs(circuit, 4, seed=58)
+        var_pairs = variant_of(base_pairs, seed=59)
+        with faults.injected("seed=7;cache.get:corrupt@p=1") as plan:
+            with SimulationService(config=delta_config()) as service:
+                key = service.register_circuit(circuit, library,
+                                               compiled=compiled)
+                service.submit(key, base_pairs).result(timeout=120)
+                variant = service.submit(key, var_pairs).result(timeout=120)
+                metrics = service.metrics()
+        assert plan.stats()["fired"]["cache.get:corrupt"] >= 1
+        assert metrics.integrity_evictions >= 1
+        assert metrics.base_hits == 0
+        assert variant.report.lanes_spliced == 0
+        assert ",delta" not in variant.engine
+        # The rotted base is gone; the one ring entry left is the
+        # variant's own freshly captured arena.
+        assert metrics.cache["bases"] == 1
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        assert_bit_identical(var_pairs, variant, engine)
+
+    def test_delta_disabled_without_bases(self, circuit, library, compiled):
+        base_pairs = make_pairs(circuit, 3, seed=60)
+        var_pairs = variant_of(base_pairs, seed=61)
+        with SimulationService(config=delta_config(
+                delta_bases=0)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, base_pairs).result(timeout=120)
+            variant = service.submit(key, var_pairs).result(timeout=120)
+            metrics = service.metrics()
+        assert variant.report.lanes_spliced == 0
+        assert metrics.base_hits == 0
+        assert metrics.cache["max_bases"] == 0
+        assert metrics.base_bytes_pinned == 0
+
+    def test_ring_keeps_at_most_delta_bases(self, circuit, library,
+                                            compiled):
+        with SimulationService(config=delta_config(
+                delta_bases=1)) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            for seed in (62, 63, 64):
+                pairs = make_pairs(circuit, 2, seed=seed)
+                service.submit(key, pairs).result(timeout=120)
+            metrics = service.metrics()
+        assert metrics.cache["bases"] == 1
+        assert metrics.base_bytes_pinned > 0
+
+
+class TestConfigKnobs:
+    def test_negative_delta_bases_rejected(self):
+        with pytest.raises(ServiceError, match="delta_bases"):
+            ServiceConfig(delta_bases=-1)
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.2, 1.5])
+    def test_threshold_range_enforced(self, threshold):
+        with pytest.raises(ServiceError, match="delta_threshold"):
+            ServiceConfig(delta_threshold=threshold)
+
+
+class TestShardedDelta:
+    def test_shard_local_ring_splices(self, circuit, library, compiled,
+                                      kernel_table, shard_count):
+        """Base retention lives in the shard: a variant routed to the
+        same compatibility group splices against the shard's ring and
+        the splice counters travel back through the result plane."""
+        base_pairs = make_pairs(circuit, 4, seed=65)
+        var_pairs = variant_of(base_pairs, seed=66)
+        config = delta_config(shards=shard_count)
+        with SimulationService(config=config) as service:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            service.submit(key, base_pairs,
+                           kernel_table=kernel_table).result(timeout=180)
+            variant = service.submit(key, var_pairs,
+                                     kernel_table=kernel_table).result(
+                timeout=180)
+            metrics = service.metrics()
+        assert variant.report.lanes_spliced > 0
+        assert metrics.lanes_spliced > 0
+        assert metrics.delta_fraction < 1.0
+        engine = GpuWaveSim(circuit, library, compiled=compiled,
+                            config=SimulationConfig())
+        assert_bit_identical(var_pairs, variant, engine,
+                             kernel_table=kernel_table)

@@ -203,6 +203,67 @@ class TestShardDeath:
             faults.reset()
 
 
+class TestOrphanSweepOnRespawn:
+    def test_two_sigkills_each_sweep_foreign_orphans(self, circuit, library,
+                                                     compiled, shard_count):
+        """Respawn-time orphan sweep (not just router startup).
+
+        Plant a shm segment owned by an already-dead pid before each of
+        two sequential shard SIGKILLs: every ``_recover`` must re-run
+        ``sweep_orphans`` and reclaim it — a crash storm on a long-lived
+        service must not accumulate dead segments until restart.  Live
+        services' segments survive (the sweep checks owner liveness).
+        """
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        import multiprocessing
+        from multiprocessing import shared_memory
+
+        from repro.service import shm as shm_mod
+
+        def plant_orphan(tag):
+            proc = multiprocessing.get_context("spawn").Process(target=int)
+            proc.start()
+            proc.join()
+            name = shm_mod.segment_name(proc.pid, tag)
+            segment = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=64)
+            shm_mod._unregister(segment)
+            segment.close()
+            return name
+
+        service = SimulationService(config=sharded_config(shard_count))
+        try:
+            key = service.register_circuit(circuit, library,
+                                           compiled=compiled)
+            pairs = make_jobs(circuit, 1, seed=41)[0]
+            engine = GpuWaveSim(circuit, library, compiled=compiled,
+                                config=SimulationConfig())
+            assert_bit_identical(pairs, service.submit(key, pairs).result(
+                timeout=180), engine)
+            router = service._router
+            for round_index in (1, 2):
+                orphan = plant_orphan(f"orphan{round_index}")
+                assert os.path.exists(os.path.join("/dev/shm", orphan))
+                os.kill(router.shard_pid(0), signal.SIGKILL)
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    stats = router.stats()
+                    if (stats["shards"]["0"]["respawns"] >= round_index
+                            and not os.path.exists(
+                                os.path.join("/dev/shm", orphan))):
+                        break
+                    time.sleep(0.02)
+                assert router.stats()["shards"]["0"]["respawns"] == \
+                    round_index
+                assert not os.path.exists(os.path.join("/dev/shm", orphan))
+                # The respawned shard still serves traffic correctly.
+                result = service.submit(key, pairs).result(timeout=180)
+                assert_bit_identical(pairs, result, engine)
+        finally:
+            service.close()
+
+
 class TestShardFaultSeams:
     def test_spawn_fault_is_retried(self, circuit, library, compiled):
         # first spawn attempt dies; the router's single retry succeeds

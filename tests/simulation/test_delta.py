@@ -1,0 +1,480 @@
+"""Bit-identity and accounting contracts of incremental re-simulation.
+
+The delta path (``docs/architecture.md`` §12) must be invisible in the
+output: splicing lanes out of a cached :class:`BaseArena` and cone-only
+re-evaluation must produce waveforms **bit-identical** to a from-scratch
+run on every backend, across multi-voltage slot planes, Monte-Carlo
+variation, sparse (pruned) dispatch, fused and unfused kernels, batch
+chunking and overflow-retry capacity growth.
+
+The accounting contract is exact, not approximate: every (gate, slot)
+lane is either dispatched or spliced, never both and never dropped —
+``lanes_spliced + gate_evaluations + lanes_skipped == gates * slots``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generate import random_circuit
+from repro.simulation.backend import available_backends
+from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.delta import BaseArena, DeltaPlan, select_delta
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.simulation.variation import ProcessVariation
+
+CONCRETE = available_backends()
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_circuit("delta", 12, 200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def compiled(circuit, library):
+    return compile_circuit(circuit, library)
+
+
+def make_pairs(circuit, count, seed):
+    rng = np.random.default_rng(seed)
+    return [PatternPair.random(len(circuit.inputs), rng)
+            for _ in range(count)]
+
+
+def stack(pairs):
+    return (np.stack([p.v1 for p in pairs]),
+            np.stack([p.v2 for p in pairs]))
+
+
+def flip_bits(pairs, flips, seed):
+    """Return a copy of ``pairs`` with ``flips`` random v2 bits flipped."""
+    rng = np.random.default_rng(seed)
+    v1, v2 = stack(pairs)
+    v2 = v2.copy()
+    width = v1.shape[1]
+    for _ in range(flips):
+        v2[rng.integers(len(pairs)), rng.integers(width)] ^= 1
+    return [PatternPair(v1[i], v2[i]) for i in range(len(pairs))]
+
+
+def make_engine(circuit, compiled, library, *, backend, fused=True,
+                prune=False, capacity=None, memory_budget=None):
+    kwargs = dict(record_all_nets=True, backend=backend, fused=fused,
+                  prune_inactive=prune)
+    if capacity is not None:
+        kwargs["waveform_capacity"] = capacity
+    extra = {} if memory_budget is None else {"memory_budget": memory_budget}
+    return GpuWaveSim(circuit, library, config=SimulationConfig(**kwargs),
+                      compiled=compiled, **extra)
+
+
+def assert_identical(circuit, reference, result):
+    for slot in range(reference.num_slots):
+        for net in circuit.nets():
+            ref = reference.waveform(slot, net)
+            got = result.waveform(slot, net)
+            assert got.initial == ref.initial, (slot, net)
+            assert got.times.tolist() == ref.times.tolist(), (slot, net)
+
+
+def capture_and_select(engine, base_pairs, var_pairs, plan, kernel_table,
+                       variation, threshold=0.99):
+    """Run the base with capture, then select a delta plan for the
+    variant against the captured arena."""
+    base_result = engine.run(base_pairs, plan=plan,
+                             kernel_table=kernel_table, variation=variation,
+                             capture_base=True)
+    arena = base_result.base_arena
+    assert arena is not None
+    v1, v2 = stack(var_pairs)
+    selected = select_delta([arena], v1, v2, plan.pattern_indices,
+                            plan.voltages, None, variation, threshold)
+    return base_result, arena, selected
+
+
+class TestFullSplice:
+    """Zero-diff resubmission: every lane spliced, nothing dispatched."""
+
+    @pytest.mark.parametrize("backend_name", CONCRETE)
+    @pytest.mark.parametrize("voltages", [[0.8], [0.6, 0.8, 1.0]])
+    def test_zero_diff_splices_everything(self, circuit, compiled, library,
+                                          kernel_table, backend_name,
+                                          voltages):
+        pairs = make_pairs(circuit, 6, seed=21)
+        plan = SlotPlan.cross(len(pairs), voltages)
+        engine = make_engine(circuit, compiled, library,
+                             backend=backend_name)
+        base_result, _, selected = capture_and_select(
+            engine, pairs, pairs, plan, kernel_table, None)
+        assert selected is not None
+        delta_plan, frac = selected
+        assert frac == 0.0
+        assert (delta_plan.base_slot >= 0).all()
+        assert not delta_plan.changed_inputs.any()
+
+        redo = make_engine(circuit, compiled, library, backend=backend_name)
+        result = redo.run(pairs, plan=plan, kernel_table=kernel_table,
+                          delta=delta_plan)
+        assert_identical(circuit, base_result, result)
+        stats = redo.last_stats
+        assert stats.gate_evaluations == 0
+        assert stats.lanes_spliced == compiled.num_gates * plan.num_slots
+        assert stats.bytes_spliced > 0
+        assert ",delta" in result.engine
+
+    def test_monte_carlo_zero_diff(self, circuit, compiled, library,
+                                   kernel_table):
+        pairs = make_pairs(circuit, 4, seed=22)
+        plan = SlotPlan.cross(len(pairs), [0.6, 1.0])
+        variation = ProcessVariation(sigma=0.1, seed=42)
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        base_result, _, selected = capture_and_select(
+            engine, pairs, pairs, plan, kernel_table, variation)
+        assert selected is not None
+        redo = make_engine(circuit, compiled, library, backend="numpy")
+        result = redo.run(pairs, plan=plan, kernel_table=kernel_table,
+                          variation=variation, delta=selected[0])
+        assert_identical(circuit, base_result, result)
+        assert redo.last_stats.gate_evaluations == 0
+
+
+class TestConeBitIdentity:
+    """Changed inputs re-evaluate their cone; the rest is spliced —
+    and the merged result is bit-identical to a from-scratch run."""
+
+    @pytest.mark.parametrize("backend_name", CONCRETE)
+    @pytest.mark.parametrize("voltages,variation", [
+        ([0.8], None),
+        ([0.6, 0.8, 1.0], None),
+        ([0.8], ProcessVariation(sigma=0.1, seed=42)),
+        ([0.6, 1.0], ProcessVariation(sigma=0.15, seed=7)),
+    ])
+    def test_single_flip_cone(self, circuit, compiled, library, kernel_table,
+                              backend_name, voltages, variation):
+        base_pairs = make_pairs(circuit, 6, seed=23)
+        var_pairs = flip_bits(base_pairs, 1, seed=24)
+        plan = SlotPlan.cross(len(base_pairs), voltages)
+        engine = make_engine(circuit, compiled, library,
+                             backend=backend_name)
+        _, _, selected = capture_and_select(
+            engine, base_pairs, var_pairs, plan, kernel_table, variation)
+        assert selected is not None
+        delta_plan, frac = selected
+        assert 0.0 < frac < 0.1
+
+        delta_engine = make_engine(circuit, compiled, library,
+                                   backend=backend_name)
+        delta_result = delta_engine.run(
+            var_pairs, plan=plan, kernel_table=kernel_table,
+            variation=variation, delta=delta_plan)
+        full_engine = make_engine(circuit, compiled, library,
+                                  backend=backend_name)
+        full_result = full_engine.run(
+            var_pairs, plan=plan, kernel_table=kernel_table,
+            variation=variation)
+        assert_identical(circuit, full_result, delta_result)
+
+        stats = delta_engine.last_stats
+        total = compiled.num_gates * plan.num_slots
+        assert stats.lanes_spliced + stats.gate_evaluations == total
+        assert stats.lanes_spliced > 0
+        assert stats.gate_evaluations > 0
+
+    @pytest.mark.parametrize("backend_name", CONCRETE)
+    @pytest.mark.parametrize("seed", [101, 202, 303, 404])
+    def test_property_random_variants(self, circuit, compiled, library,
+                                      kernel_table, backend_name, seed):
+        """Property check: random base/variant pairs with a random
+        number of flipped bits stay bit-identical and fully accounted."""
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(3, 8))
+        base_pairs = make_pairs(circuit, count, seed=seed)
+        flips = int(rng.integers(1, 5))
+        var_pairs = flip_bits(base_pairs, flips, seed=seed + 1)
+        voltages = [0.8] if rng.integers(2) else [0.6, 0.8]
+        plan = SlotPlan.cross(count, voltages)
+        engine = make_engine(circuit, compiled, library,
+                             backend=backend_name)
+        _, _, selected = capture_and_select(
+            engine, base_pairs, var_pairs, plan, kernel_table, None)
+        assert selected is not None
+        delta_engine = make_engine(circuit, compiled, library,
+                                   backend=backend_name)
+        delta_result = delta_engine.run(var_pairs, plan=plan,
+                                        kernel_table=kernel_table,
+                                        delta=selected[0])
+        full_result = make_engine(circuit, compiled, library,
+                                  backend=backend_name).run(
+            var_pairs, plan=plan, kernel_table=kernel_table)
+        assert_identical(circuit, full_result, delta_result)
+        stats = delta_engine.last_stats
+        total = compiled.num_gates * plan.num_slots
+        assert stats.lanes_spliced + stats.gate_evaluations == total
+
+    @pytest.mark.parametrize("backend_name", CONCRETE)
+    def test_static_delays(self, circuit, compiled, library, backend_name):
+        """The delta path also serves static (nominal SDF) delay mode."""
+        base_pairs = make_pairs(circuit, 5, seed=41)
+        var_pairs = flip_bits(base_pairs, 1, seed=42)
+        plan = SlotPlan.uniform(len(base_pairs), 0.8)
+        engine = make_engine(circuit, compiled, library,
+                             backend=backend_name)
+        _, _, selected = capture_and_select(
+            engine, base_pairs, var_pairs, plan, None, None)
+        assert selected is not None
+        delta_engine = make_engine(circuit, compiled, library,
+                                   backend=backend_name)
+        delta_result = delta_engine.run(var_pairs, plan=plan,
+                                        delta=selected[0])
+        full_result = make_engine(circuit, compiled, library,
+                                  backend=backend_name).run(var_pairs,
+                                                            plan=plan)
+        assert_identical(circuit, full_result, delta_result)
+        stats = delta_engine.last_stats
+        total = compiled.num_gates * plan.num_slots
+        assert stats.lanes_spliced + stats.gate_evaluations == total
+        assert stats.lanes_spliced > 0
+
+    @pytest.mark.parametrize("fused,prune", [(False, False), (True, True),
+                                             (False, True)])
+    def test_dispatch_mode_variants(self, circuit, compiled, library,
+                                    kernel_table, fused, prune):
+        """Unfused and sparse dispatch honour the splice contract: with
+        pruning, skipped + spliced + evaluated still covers every lane."""
+        base_pairs = make_pairs(circuit, 5, seed=25)
+        var_pairs = flip_bits(base_pairs, 2, seed=26)
+        plan = SlotPlan.cross(len(base_pairs), [0.6, 0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy",
+                             fused=fused, prune=prune)
+        _, _, selected = capture_and_select(
+            engine, base_pairs, var_pairs, plan, kernel_table, None)
+        assert selected is not None
+        delta_engine = make_engine(circuit, compiled, library,
+                                   backend="numpy", fused=fused, prune=prune)
+        delta_result = delta_engine.run(var_pairs, plan=plan,
+                                        kernel_table=kernel_table,
+                                        delta=selected[0])
+        full_result = make_engine(circuit, compiled, library,
+                                  backend="numpy", fused=fused,
+                                  prune=prune).run(
+            var_pairs, plan=plan, kernel_table=kernel_table)
+        assert_identical(circuit, full_result, delta_result)
+        stats = delta_engine.last_stats
+        total = compiled.num_gates * plan.num_slots
+        covered = (stats.lanes_spliced + stats.gate_evaluations
+                   + stats.lanes_skipped)
+        assert covered == total
+
+    def test_chunked_batches(self, circuit, compiled, library, kernel_table):
+        """A tiny memory budget splits the plane into several batches;
+        the delta plan is sliced per batch and must still be exact."""
+        base_pairs = make_pairs(circuit, 8, seed=27)
+        var_pairs = flip_bits(base_pairs, 1, seed=28)
+        plan = SlotPlan.cross(len(base_pairs), [0.6, 0.8])
+        budget = (compiled.num_nets + 1) * 16 * 8 * 4  # ~4 slots per batch
+        engine = make_engine(circuit, compiled, library, backend="numpy",
+                             memory_budget=budget)
+        _, _, selected = capture_and_select(
+            engine, base_pairs, var_pairs, plan, kernel_table, None)
+        assert selected is not None
+        delta_engine = make_engine(circuit, compiled, library,
+                                   backend="numpy", memory_budget=budget)
+        delta_result = delta_engine.run(var_pairs, plan=plan,
+                                        kernel_table=kernel_table,
+                                        delta=selected[0])
+        assert delta_engine.last_stats.batches > 1
+        full_result = make_engine(circuit, compiled, library,
+                                  backend="numpy").run(
+            var_pairs, plan=plan, kernel_table=kernel_table)
+        assert_identical(circuit, full_result, delta_result)
+
+    def test_overflow_retry_grows_capacity(self, circuit, compiled, library,
+                                           kernel_table):
+        """A cone pass whose base toggles exceed the starting capacity
+        raises ``WaveformOverflowError`` internally and retries doubled,
+        exactly like the dense path."""
+        base_pairs = make_pairs(circuit, 4, seed=29)
+        var_pairs = flip_bits(base_pairs, 1, seed=30)
+        plan = SlotPlan.cross(len(base_pairs), [0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        _, arena, selected = capture_and_select(
+            engine, base_pairs, var_pairs, plan, kernel_table, None)
+        assert selected is not None
+        assert int(arena.counts.max()) > 2  # the retry below is real
+        delta_engine = make_engine(circuit, compiled, library,
+                                   backend="numpy", capacity=2)
+        delta_result = delta_engine.run(var_pairs, plan=plan,
+                                        kernel_table=kernel_table,
+                                        delta=selected[0])
+        assert delta_engine.last_stats.retries > 0
+        full_result = make_engine(circuit, compiled, library,
+                                  backend="numpy").run(
+            var_pairs, plan=plan, kernel_table=kernel_table)
+        assert_identical(circuit, full_result, delta_result)
+
+
+class TestSelection:
+    """The base-selection policy: eligibility, threshold, arena algebra."""
+
+    def test_threshold_fallback(self, circuit, compiled, library,
+                                kernel_table):
+        """A near-disjoint job must refuse the delta path."""
+        base_pairs = make_pairs(circuit, 4, seed=31)
+        other_pairs = make_pairs(circuit, 4, seed=99)
+        plan = SlotPlan.cross(len(base_pairs), [0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        result = engine.run(base_pairs, plan=plan, kernel_table=kernel_table,
+                            capture_base=True)
+        v1, v2 = stack(other_pairs)
+        selected = select_delta([result.base_arena], v1, v2,
+                                plan.pattern_indices, plan.voltages, None,
+                                None, 0.35)
+        assert selected is None
+        # With the threshold effectively off, the same diff is accepted.
+        selected = select_delta([result.base_arena], v1, v2,
+                                plan.pattern_indices, plan.voltages, None,
+                                None, 1.0)
+        assert selected is not None
+        assert selected[1] >= 0.35
+
+    def test_voltage_eligibility(self, circuit, compiled, library,
+                                 kernel_table):
+        """A base at different operating points cannot serve any slot."""
+        pairs = make_pairs(circuit, 4, seed=32)
+        plan = SlotPlan.cross(len(pairs), [0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                            capture_base=True)
+        v1, v2 = stack(pairs)
+        shifted = SlotPlan.cross(len(pairs), [0.6])
+        selected = select_delta([result.base_arena], v1, v2,
+                                shifted.pattern_indices, shifted.voltages,
+                                None, None, 0.35)
+        assert selected is None
+
+    def test_monte_carlo_global_slot_eligibility(self, circuit, compiled,
+                                                 library, kernel_table):
+        """Under variation a base slot only matches the same global slot
+        (per-die factors derive from it); a shifted plane is refused."""
+        pairs = make_pairs(circuit, 4, seed=33)
+        plan = SlotPlan.cross(len(pairs), [0.8])
+        variation = ProcessVariation(sigma=0.1, seed=42)
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        offset = np.arange(plan.num_slots, dtype=np.int64) + 100
+        result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                            variation=variation, global_slots=offset,
+                            capture_base=True)
+        v1, v2 = stack(pairs)
+        # Same stimuli, but job global slots 0..3 vs base 100..103.
+        selected = select_delta([result.base_arena], v1, v2,
+                                plan.pattern_indices, plan.voltages,
+                                None, variation, 0.99)
+        assert selected is None
+        # Matching global slots are accepted as a full splice.
+        selected = select_delta([result.base_arena], v1, v2,
+                                plan.pattern_indices, plan.voltages,
+                                offset, variation, 0.99)
+        assert selected is not None
+        assert selected[1] == 0.0
+        # Without variation the global-slot pin does not apply.
+        selected = select_delta([result.base_arena], v1, v2,
+                                plan.pattern_indices, plan.voltages,
+                                None, None, 0.99)
+        assert selected is not None
+
+    def test_partial_slot_coverage_mixes_paths(self, circuit, compiled,
+                                               library, kernel_table):
+        """Slots with no eligible base slot (here: a voltage the base
+        never ran) simulate from scratch inside the same batch as
+        spliced slots, and the merge is bit-identical."""
+        base_pairs = make_pairs(circuit, 4, seed=34)
+        plan = SlotPlan.cross(len(base_pairs), [0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        base_result = engine.run(base_pairs, plan=plan,
+                                 kernel_table=kernel_table,
+                                 capture_base=True)
+        # Same stimuli, but half the job plane runs at 0.6 V, which the
+        # base never visited: those slots are unmapped.
+        v1, v2 = stack(base_pairs)
+        job_plan = SlotPlan.cross(len(base_pairs), [0.8, 0.6])
+        selected = select_delta([base_result.base_arena], v1, v2,
+                                job_plan.pattern_indices, job_plan.voltages,
+                                None, None, 0.75)
+        assert selected is not None
+        delta_plan, _ = selected
+        mapped = delta_plan.base_slot >= 0
+        assert mapped.sum() == 4
+        assert (job_plan.voltages[mapped] == 0.8).all()
+        delta_engine = make_engine(circuit, compiled, library,
+                                   backend="numpy")
+        delta_result = delta_engine.run(base_pairs, plan=job_plan,
+                                        kernel_table=kernel_table,
+                                        delta=delta_plan)
+        full_result = make_engine(circuit, compiled, library,
+                                  backend="numpy").run(
+            base_pairs, plan=job_plan, kernel_table=kernel_table)
+        assert_identical(circuit, full_result, delta_result)
+        stats = delta_engine.last_stats
+        assert stats.lanes_spliced == compiled.num_gates * 4
+
+    def test_newest_base_wins_ties(self, circuit, compiled, library,
+                                   kernel_table):
+        pairs = make_pairs(circuit, 3, seed=35)
+        plan = SlotPlan.cross(len(pairs), [0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        result = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                            capture_base=True)
+        first = result.base_arena
+        second = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                            capture_base=True).base_arena
+        v1, v2 = stack(pairs)
+        selected = select_delta([second, first], v1, v2,
+                                plan.pattern_indices, plan.voltages,
+                                None, None, 0.99)
+        assert selected is not None
+        assert selected[0].base is second
+
+    def test_arena_take_and_concat_roundtrip(self, circuit, compiled,
+                                             library, kernel_table):
+        """take/concat never reshuffle payload bytes: splitting an arena
+        per slot and concatenating it back reproduces every waveform."""
+        pairs = make_pairs(circuit, 4, seed=36)
+        plan = SlotPlan.cross(len(pairs), [0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        arena = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                           capture_base=True).base_arena
+        parts = [arena.take(np.array([slot]))
+                 for slot in range(arena.num_slots)]
+        rebuilt = BaseArena.concat(parts)
+        assert rebuilt.num_slots == arena.num_slots
+        for net in range(arena.num_nets):
+            for slot in range(arena.num_slots):
+                count = int(arena.counts[net, slot])
+                assert int(rebuilt.counts[net, slot]) == count
+                assert rebuilt.initial[net, slot] == arena.initial[net, slot]
+                a = arena.times[int(arena.starts[net, slot]):][:count]
+                b = rebuilt.times[int(rebuilt.starts[net, slot]):][:count]
+                assert a.tolist() == b.tolist()
+
+    def test_delta_plan_concat_offsets_base_slots(self, circuit, compiled,
+                                                  library, kernel_table):
+        pairs = make_pairs(circuit, 2, seed=37)
+        plan = SlotPlan.cross(len(pairs), [0.8])
+        engine = make_engine(circuit, compiled, library, backend="numpy")
+        arena = engine.run(pairs, plan=plan, kernel_table=kernel_table,
+                           capture_base=True).base_arena
+        v1, v2 = stack(pairs)
+        width = v1.shape[1]
+        single = select_delta([arena], v1, v2, plan.pattern_indices,
+                              plan.voltages, None, None, 0.99)[0]
+        merged = DeltaPlan.concat([single, None, single], [2, 3, 2], width)
+        assert merged is not None
+        assert merged.base_slot.tolist()[:2] == [0, 1]
+        assert merged.base_slot.tolist()[2:5] == [-1, -1, -1]
+        # The third job's base slots are offset past the second copy of
+        # the arena in the concatenated base.
+        assert merged.base_slot.tolist()[5:] == [arena.num_slots,
+                                                 arena.num_slots + 1]
+        assert merged.base.num_slots == 2 * arena.num_slots
