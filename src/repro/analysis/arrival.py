@@ -77,7 +77,7 @@ def latest_arrivals(
             by_voltage[voltage] = arrival
             critical[voltage] = slot
     return ArrivalReport(
-        circuit_name=result.circuit_name,
+        circuit_name=getattr(result, "circuit_name", circuit.name),
         by_voltage=by_voltage,
         critical_slot=critical,
     )

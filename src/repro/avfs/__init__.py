@@ -9,6 +9,9 @@ into voltage–frequency operating tables and runtime scaling decisions.
 from repro.avfs.scaling import VoltageFrequencyPoint, VoltageFrequencyTable
 from repro.avfs.controller import AvfsController
 from repro.avfs.explorer import DesignSpaceExplorer, OperatingPointResult
+from repro.avfs.loop import (ClosedLoopRunner, DisturbanceModel, LoopConfig,
+                             LoopReport, LoopStep, TemperatureDrift,
+                             VoltageDroop)
 
 __all__ = [
     "VoltageFrequencyPoint",
@@ -16,4 +19,11 @@ __all__ = [
     "AvfsController",
     "DesignSpaceExplorer",
     "OperatingPointResult",
+    "ClosedLoopRunner",
+    "DisturbanceModel",
+    "LoopConfig",
+    "LoopReport",
+    "LoopStep",
+    "TemperatureDrift",
+    "VoltageDroop",
 ]

@@ -4,19 +4,27 @@ The controller owns a characterized :class:`VoltageFrequencyTable` and
 plays the runtime role of an adaptive voltage/frequency manager:
 
 * :meth:`set_performance` picks the lowest voltage sustaining a demanded
-  clock frequency (dynamic voltage scaling),
+  clock frequency (dynamic voltage scaling), clamped to the table's
+  vth-floor and frequency-boost constraints,
 * :meth:`apply_aging` derates the table for accumulated performance
   degradation and re-decides — the self-adaptation loop the paper cites
   as AVFS motivation (refs. [4, 5]),
 * :meth:`run_workload` steps through a demand trace and records the
   chosen operating points with an energy-proportionality estimate
-  (E ∝ V² per cycle).
+  (E ∝ V² per cycle),
+* :meth:`decide` closes the loop on *measured* timing: given the latest
+  simulated arrival at the current supply, it steps the commanded
+  voltage one regulator level up on a violation or down when the next
+  level still meets the clock period — the per-iteration policy
+  :class:`repro.avfs.loop.ClosedLoopRunner` drives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Sequence
+
+import numpy as np
 
 from repro.avfs.scaling import VoltageFrequencyTable
 from repro.errors import ParameterError
@@ -32,6 +40,8 @@ class AvfsDecision:
     voltage: float
     frequency: float
     relative_energy: float  # per-cycle energy relative to the top point
+    #: True when the demand had to be clamped to the boost cap.
+    boost_limited: bool = False
 
 
 @dataclass
@@ -49,25 +59,81 @@ class AvfsController:
             [p.voltage for p in self.table],
             [p.critical_delay * (1.0 + self.aging_derate) for p in self.table],
             guardband=self.table.points[0].guardband,
+            vth_floor=self.table.vth_floor,
+            boost_cap=self.table.boost_cap,
+            nominal_voltage=self.table.nominal_voltage,
         )
 
     # -- runtime decisions ---------------------------------------------------------
 
     def set_performance(self, frequency: float) -> AvfsDecision:
-        """Choose the minimum voltage sustaining ``frequency``."""
+        """Choose the minimum voltage sustaining ``frequency``.
+
+        Demands above the table's frequency-boost cap are clamped to it
+        (and flagged ``boost_limited``); the chosen supply is clamped to
+        the vth floor.
+        """
         if frequency <= 0:
             raise ParameterError("frequency must be positive")
         table = self._derated()
-        voltage = table.voltage_for(frequency)
+        clamped = table.clamp_frequency(frequency)
+        voltage = table.clamp_voltage(table.voltage_for(clamped))
         top = table.points[-1].voltage
         decision = AvfsDecision(
             demanded_frequency=frequency,
             voltage=voltage,
             frequency=table.frequency_at(voltage),
             relative_energy=(voltage / top) ** 2,
+            boost_limited=clamped < frequency,
         )
         self.history.append(decision)
         return decision
+
+    def decide(self, voltage: float, measured_arrival: float,
+               period: float) -> float:
+        """One closed-loop step: next commanded supply from measurement.
+
+        ``measured_arrival`` is the latest simulated transition arrival
+        observed at the current ``voltage`` (disturbances included);
+        ``period`` the clock period the system must meet.  The policy is
+        a discrete regulator walk over the (derated) table grid:
+
+        * the guardbanded arrival misses the period → step one grid
+          level **up** (stay at the top when already there);
+        * otherwise, predict the next lower level's arrival by scaling
+          its characterized delay with the measured/characterized ratio
+          at the current level; step **down** only when the prediction
+          still meets the period — measurement-driven, so droop and
+          drift push the loop back up even when the static table says
+          the level is safe.
+
+        The returned voltage is always a characterized grid point at or
+        above the vth floor.
+        """
+        if period <= 0:
+            raise ParameterError("clock period must be positive")
+        if measured_arrival < 0:
+            raise ParameterError("measured arrival must be non-negative")
+        table = self._derated()
+        grid = table.points
+        index = int(np.argmin([abs(p.voltage - voltage) for p in grid]))
+        current = grid[index]
+        guardband = current.guardband
+        if measured_arrival * (1.0 + guardband) > period:
+            index = min(index + 1, len(grid) - 1)
+            return table.clamp_voltage(grid[index].voltage)
+        if index > 0:
+            lower = grid[index - 1]
+            # Transfer the measured-vs-characterized ratio to the next
+            # level: a drooped/drifted die that runs slow at this level
+            # is assumed equally slow one level down.
+            ratio = measured_arrival / current.critical_delay \
+                if current.critical_delay > 0 else 1.0
+            predicted = lower.critical_delay * max(ratio, 1.0)
+            if predicted * (1.0 + guardband) <= period \
+                    and lower.voltage >= table.vth_floor:
+                return table.clamp_voltage(lower.voltage)
+        return table.clamp_voltage(current.voltage)
 
     def apply_aging(self, additional_derate: float) -> None:
         """Account for additional delay degradation (e.g. NBTI aging)."""

@@ -19,9 +19,12 @@ from repro.cells.library import CellLibrary
 from repro.core.delay_kernel import DelayKernelTable
 from repro.errors import ParameterError
 from repro.netlist.circuit import Circuit
+from repro.runtime.report import (AttemptReport, ChunkReport, RunReport)
 from repro.simulation.base import PatternPair, SimulationConfig
+from repro.simulation.compiled import level_plan_cache_stats
 from repro.simulation.gpu import GpuWaveSim
 from repro.simulation.grid import SlotPlan
+from repro.simulation.pool import engine_pool_stats, pooled_engine
 from repro.avfs.scaling import VoltageFrequencyTable
 
 __all__ = ["OperatingPointResult", "DesignSpaceExplorer"]
@@ -52,7 +55,18 @@ class OperatingPointResult:
 
 
 class DesignSpaceExplorer:
-    """Voltage-sweep exploration driver on top of :class:`GpuWaveSim`."""
+    """Voltage-sweep exploration driver on top of :class:`GpuWaveSim`.
+
+    The engine comes from the process-wide pool
+    (:func:`repro.simulation.pool.pooled_engine`) unless an explicit
+    ``simulator`` is passed: every explorer (and the closed-loop runner)
+    working the same circuit under the same configuration shares one
+    engine, so resolved level plans and pooled waveform arenas stay warm
+    across sweeps.  Each sweep leaves a
+    :class:`~repro.runtime.report.RunReport` on :attr:`last_report` with
+    the engine accounting and the plan-cache/pool hits the sharing
+    bought.
+    """
 
     def __init__(
         self,
@@ -60,15 +74,62 @@ class DesignSpaceExplorer:
         library: CellLibrary,
         kernel_table: DelayKernelTable,
         record_activity: bool = False,
+        simulator: Optional[GpuWaveSim] = None,
     ) -> None:
         self.circuit = circuit
         self.library = library
         self.kernel_table = kernel_table
         self.record_activity = record_activity
         config = SimulationConfig(record_all_nets=record_activity)
-        self.simulator = GpuWaveSim(circuit, library, config=config)
+        self._pool_hits_pending = 0
+        if simulator is None:
+            pool_before = engine_pool_stats()["hits"]
+            simulator = pooled_engine(circuit, library, config=config)
+            self._pool_hits_pending = (engine_pool_stats()["hits"]
+                                       - pool_before)
+        self.simulator = simulator
         self._loads = circuit.net_loads(library) if record_activity else None
         self.last_runtime: float = 0.0
+        self.last_report: Optional[RunReport] = None
+
+    def _run(self, pairs: Sequence[PatternPair], plan: SlotPlan):
+        """One engine run wrapped in RunReport accounting."""
+        plans_before = level_plan_cache_stats()
+        pool_before = engine_pool_stats()["hits"]
+        start = _time.perf_counter()
+        result = self.simulator.run(pairs, plan=plan,
+                                    kernel_table=self.kernel_table)
+        self.last_runtime = _time.perf_counter() - start
+        plans_after = level_plan_cache_stats()
+        stats = self.simulator.last_stats
+        report = RunReport(
+            circuit_name=self.circuit.name,
+            num_slots=plan.num_slots,
+            chunk_slots=plan.num_slots,
+            chunks=[ChunkReport(index=0, num_slots=plan.num_slots,
+                                attempts=[AttemptReport(
+                                    engine=result.engine,
+                                    waveform_capacity=self.simulator.config
+                                    .waveform_capacity,
+                                    memory_budget=self.simulator
+                                    .memory_budget,
+                                    seconds=self.last_runtime)])],
+            wall_seconds=self.last_runtime,
+            backend=self.simulator.backend.name,
+            gate_evaluations=int(stats.gate_evaluations) if stats else 0,
+            lanes_skipped=int(stats.lanes_skipped) if stats else 0,
+            lanes_spliced=int(stats.lanes_spliced) if stats else 0,
+            phase_seconds=(dict(stats.phase_seconds()) if stats else {}),
+            plan_cache_hits=(plans_after["hits"] - plans_before["hits"]
+                             + engine_pool_stats()["hits"] - pool_before
+                             + self._pool_hits_pending),
+            plan_cache_misses=(plans_after["misses"]
+                               - plans_before["misses"]),
+        )
+        self._pool_hits_pending = 0
+        result.report = report
+        self.last_report = report
+        return result
 
     def sweep(
         self,
@@ -86,10 +147,7 @@ class DesignSpaceExplorer:
                     f"[{space.v_min}, {space.v_max}]"
                 )
         plan = SlotPlan.cross(len(pairs), voltages)
-        start = _time.perf_counter()
-        result = self.simulator.run(pairs, plan=plan,
-                                    kernel_table=self.kernel_table)
-        self.last_runtime = _time.perf_counter() - start
+        result = self._run(pairs, plan)
         arrivals = latest_arrivals(result, self.circuit, plan=plan)
 
         points: List[OperatingPointResult] = []

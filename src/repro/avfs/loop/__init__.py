@@ -1,0 +1,28 @@
+"""Closed-loop AVFS scenario engine.
+
+Where :class:`~repro.avfs.explorer.DesignSpaceExplorer` sweeps a static
+operating grid, this package *plays* an AVFS system against the
+simulator: :class:`ClosedLoopRunner` iterates simulate → measure →
+:meth:`~repro.avfs.controller.AvfsController.decide` → re-simulate under
+pluggable supply/thermal disturbances
+(:mod:`~repro.avfs.loop.disturbance`), with per-iteration energy
+accounting and a resumable, fault-seamed trajectory checkpoint.  See
+``docs/architecture.md`` §13 for the dataflow.
+"""
+
+from repro.avfs.loop.disturbance import (DisturbanceModel,
+                                         TemperatureDrift, VoltageDroop)
+from repro.avfs.loop.report import LoopReport, LoopStep
+from repro.avfs.loop.runner import (ClosedLoopRunner, LoopConfig,
+                                    LOOP_MANIFEST_NAME)
+
+__all__ = [
+    "ClosedLoopRunner",
+    "DisturbanceModel",
+    "LOOP_MANIFEST_NAME",
+    "LoopConfig",
+    "LoopReport",
+    "LoopStep",
+    "TemperatureDrift",
+    "VoltageDroop",
+]

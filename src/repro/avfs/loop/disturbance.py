@@ -1,0 +1,160 @@
+"""Disturbance models for the closed AVFS loop.
+
+A real AVFS system never sees the clean characterized operating point:
+the supply droops under switching load and delays drift with die
+temperature.  The closed-loop runner threads a set of
+:class:`DisturbanceModel` instances through every iteration; each model
+contributes
+
+* a **voltage offset** (volts, usually negative) added to the commanded
+  supply before simulation — the supply the silicon actually sees, and
+* a **delay scale** (unitless, usually >= 1) applied to the *measured*
+  latest arrival before the controller decides.
+
+The split is deliberate.  Droop changes the simulated operating point
+(the engine evaluates delay kernels at the disturbed voltage), while
+drift multiplies the measurement instead of perturbing per-gate delays:
+the simulated waveforms at a given (voltage, stimuli, variation) triple
+stay bit-identical across iterations, which is what lets the runner
+splice cached base arenas when the trajectory revisits an operating
+point.  A drift model that re-scaled delays inside the engine would
+invalidate every cached base each iteration and with it the whole
+incremental re-simulation path.
+
+Determinism: any randomness is drawn from ``(seed, iteration)`` streams,
+so a trajectory replays exactly under a fixed seed — the property the
+checkpoint/resume tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["DisturbanceModel", "VoltageDroop", "TemperatureDrift"]
+
+
+class DisturbanceModel:
+    """Base class: a disturbance that perturbs the loop's plant.
+
+    Subclasses override one (or both) hooks; the defaults are the
+    identity disturbance.
+    """
+
+    def voltage_offset(self, iteration: int,
+                       activity_per_pattern: Optional[float]) -> float:
+        """Supply offset (volts) for this iteration.
+
+        ``activity_per_pattern`` is the mean toggles-per-pattern observed
+        in the *previous* iteration (``None`` on the first, or when the
+        loop does not record activity).
+        """
+        return 0.0
+
+    def delay_scale(self, iteration: int) -> float:
+        """Multiplier applied to the measured latest arrival."""
+        return 1.0
+
+    def describe(self) -> dict:
+        """JSON-serializable identity, fed into the loop fingerprint."""
+        return {"kind": type(self).__name__}
+
+
+@dataclass(frozen=True)
+class VoltageDroop(DisturbanceModel):
+    """Activity-correlated supply droop (IR drop).
+
+    The droop is proportional to the previous iteration's switching
+    activity — a busy circuit pulls the rail down harder::
+
+        offset = -coupling * (activity / reference_activity) - jitter
+
+    Attributes
+    ----------
+    coupling:
+        Droop in volts at ``reference_activity`` toggles per pattern.
+    reference_activity:
+        Activity level that produces exactly ``coupling`` volts of
+        droop.  When the loop has no activity measurement yet (first
+        iteration, or energy recording off) the model assumes the
+        reference level, i.e. a constant ``coupling`` droop.
+    jitter:
+        Sigma of an additional random droop component (volts); drawn
+        half-normal (droop only deepens) from the ``(seed, iteration)``
+        stream, so it is reproducible and checkpoint-safe.
+    seed:
+        Base seed for the jitter stream.
+    """
+
+    coupling: float
+    reference_activity: float = 1.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.coupling < 0:
+            raise ParameterError("droop coupling must be non-negative")
+        if self.reference_activity <= 0:
+            raise ParameterError("reference activity must be positive")
+        if self.jitter < 0:
+            raise ParameterError("droop jitter must be non-negative")
+
+    def voltage_offset(self, iteration: int,
+                       activity_per_pattern: Optional[float]) -> float:
+        level = (activity_per_pattern / self.reference_activity
+                 if activity_per_pattern is not None else 1.0)
+        offset = -self.coupling * level
+        if self.jitter > 0:
+            rng = np.random.default_rng([self.seed, iteration])
+            offset -= abs(float(rng.normal(0.0, self.jitter)))
+        return offset
+
+    def describe(self) -> dict:
+        return {
+            "kind": "VoltageDroop",
+            "coupling": self.coupling,
+            "reference_activity": self.reference_activity,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class TemperatureDrift(DisturbanceModel):
+    """Slow thermal delay drift: the die heats up as the loop runs.
+
+    The measured arrival is scaled by ``1 + rate * iteration`` capped at
+    ``1 + max_drift`` — a linear warm-up ramp into thermal steady state.
+    Applied to the measurement (not the simulated delays) so cached base
+    arenas stay valid; see the module docstring.
+
+    Attributes
+    ----------
+    rate:
+        Relative delay increase per iteration (e.g. ``0.01`` = +1%/iter).
+    max_drift:
+        Saturation ceiling for the total relative increase.
+    """
+
+    rate: float
+    max_drift: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ParameterError("drift rate must be non-negative")
+        if self.max_drift < 0:
+            raise ParameterError("max drift must be non-negative")
+
+    def delay_scale(self, iteration: int) -> float:
+        return 1.0 + min(self.rate * iteration, self.max_drift)
+
+    def describe(self) -> dict:
+        return {
+            "kind": "TemperatureDrift",
+            "rate": self.rate,
+            "max_drift": self.max_drift,
+        }

@@ -1,0 +1,613 @@
+"""Closed-loop AVFS scenario engine: simulate → measure → decide → repeat.
+
+The runner closes the loop the paper's design-space exploration only
+opens: instead of sweeping a static grid, it *plays* an AVFS system —
+each iteration simulates the full pattern set at the currently commanded
+(and disturbance-perturbed) supply, measures the latest transition
+arrival and switching energy, and hands the measurement to the
+:class:`~repro.avfs.controller.AvfsController`, whose
+:meth:`~repro.avfs.controller.AvfsController.decide` policy walks the
+regulator one characterized grid level up or down.  The trajectory of
+``(voltage, frequency, slack, energy, violations)`` is the result.
+
+Performance leans on the PR 5–8 stack end to end:
+
+* the engine comes from the process-wide pool
+  (:func:`~repro.simulation.pool.pooled_engine`), so level plans and
+  waveform arenas stay warm across iterations and across an explorer
+  characterization of the same circuit;
+* every simulated operating point is captured as a
+  :class:`~repro.simulation.delta.BaseArena`; when the trajectory
+  revisits a (quantized) supply — which is every iteration once the loop
+  settles — :func:`~repro.simulation.delta.select_delta` maps the new
+  plane onto the cached base and the engine splices instead of
+  simulating, bit-identical by construction;
+* disturbances are applied so the splice stays legal: droop perturbs the
+  *commanded* voltage (quantized to the regulator step, so disturbed
+  supplies repeat exactly), drift scales the *measurement* (see
+  :mod:`repro.avfs.loop.disturbance`).
+
+Fault tolerance mirrors the campaign runner: each iteration crosses the
+``loop.step`` fault seam and is checkpointed as one JSON step file under
+a fingerprint-pinned manifest, so a crashed (or fault-injected) loop
+resumes mid-trajectory.  Cached base arenas are deliberately *not*
+persisted — a resumed loop re-warms its delta ring, trading a few full
+iterations for a checkpoint format that stays small and
+corruption-tolerant.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import time as _time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import faults
+from repro.analysis.activity import switching_activity
+from repro.analysis.arrival import latest_arrivals
+from repro.analysis.power import dynamic_power
+from repro.avfs.controller import AvfsController
+from repro.avfs.loop.disturbance import DisturbanceModel
+from repro.avfs.loop.report import LoopReport, LoopStep
+from repro.cells.library import CellLibrary
+from repro.core.delay_kernel import DelayKernelTable
+from repro.errors import CheckpointError, ParameterError
+from repro.netlist.circuit import Circuit
+from repro.runtime.fingerprint import (Fingerprinter, feed_compiled,
+                                       feed_config, feed_kernel_table,
+                                       feed_stimuli, feed_variation)
+from repro.runtime.report import AttemptReport, ChunkReport, RunReport
+from repro.simulation.base import (PatternPair, SimulationConfig,
+                                   SimulationResult)
+from repro.simulation.compiled import level_plan_cache_stats
+from repro.simulation.delta import DeltaPlan, select_delta
+from repro.simulation.gpu import GpuWaveSim
+from repro.simulation.grid import SlotPlan
+from repro.simulation.pool import engine_pool_stats, pooled_engine
+
+__all__ = ["LoopConfig", "ClosedLoopRunner", "LOOP_MANIFEST_NAME"]
+
+LOOP_MANIFEST_NAME = "loop_manifest.json"
+
+#: Bumped whenever the step or manifest layout changes incompatibly.
+LOOP_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LoopConfig:
+    """Policy knobs of one closed-loop run.
+
+    Attributes
+    ----------
+    period:
+        Clock period the system must meet (seconds).
+    max_iterations:
+        Iteration budget; the loop stops here even without convergence.
+    settle_iterations:
+        Consecutive stable, violation-free iterations (controller
+        commands the same supply it measured at) that count as
+        convergence.  Set it above ``max_iterations`` to force a
+        full-length trajectory (benchmarks do).
+    initial_voltage:
+        First commanded supply; defaults to the table's top point.
+    use_delta:
+        Splice cached base arenas when the trajectory revisits an
+        operating point (bit-identical; off = always simulate fully).
+    delta_threshold:
+        Changed-fraction ceiling passed to
+        :func:`~repro.simulation.delta.select_delta`.
+    max_bases:
+        Base arenas retained, one per distinct visited supply (LRU).
+    regulator_step:
+        Supply quantization (volts): disturbed voltages snap to this
+        grid, like a real regulator's discrete levels — and exactly
+        repeating levels are what makes delta reuse possible.
+    record_energy:
+        Record all nets and account per-iteration switching energy
+        (needed by activity-coupled droop models).
+    """
+
+    period: float
+    max_iterations: int = 20
+    settle_iterations: int = 3
+    initial_voltage: Optional[float] = None
+    use_delta: bool = True
+    delta_threshold: float = 0.45
+    max_bases: int = 4
+    regulator_step: float = 0.005
+    record_energy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ParameterError("clock period must be positive")
+        if self.max_iterations < 1:
+            raise ParameterError("need at least one iteration")
+        if self.settle_iterations < 1:
+            raise ParameterError("settle_iterations must be >= 1")
+        if not 0.0 < self.delta_threshold <= 1.0:
+            raise ParameterError("delta threshold must be in (0, 1]")
+        if self.max_bases < 1:
+            raise ParameterError("max_bases must be >= 1")
+        if self.regulator_step <= 0:
+            raise ParameterError("regulator step must be positive")
+
+
+class ClosedLoopRunner:
+    """Drive an :class:`AvfsController` against the simulator in a loop.
+
+    Parameters
+    ----------
+    controller:
+        The decision policy; its table also supplies the vth-floor /
+        boost-cap clamps every disturbed operating point passes through.
+    disturbances:
+        :class:`~repro.avfs.loop.disturbance.DisturbanceModel` instances
+        applied every iteration.
+    variation:
+        Optional Monte-Carlo model.  A
+        :class:`~repro.simulation.variation.StateDependentVariation` is
+        bound to each iteration's slot plane automatically (per-pattern
+        sigma scales with the iteration's supply); the per-die noise
+        stays keyed on the fixed global slot index, so delta splicing
+        stays bit-identical.
+    simulator:
+        Explicit engine; default is the shared pooled engine for
+        (circuit, config) — the same instance a
+        :class:`~repro.avfs.explorer.DesignSpaceExplorer` of this
+        circuit uses.
+    service:
+        A running :class:`~repro.service.SimulationService`; iterations
+        are then submitted as service jobs (the service's own delta ring
+        and result cache replace the local one) and the loop report
+        carries a service-metrics snapshot.
+    checkpoint_dir:
+        Trajectory checkpoint directory (resumable); ``None`` disables
+        checkpointing.
+    backend:
+        Compute-backend override for the loop's engine (``None`` defers
+        to ``REPRO_BACKEND`` / auto-detection); ignored when an explicit
+        ``simulator`` or ``service`` is supplied.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        kernel_table: DelayKernelTable,
+        controller: AvfsController,
+        config: LoopConfig,
+        disturbances: Sequence[DisturbanceModel] = (),
+        variation=None,
+        simulator: Optional[GpuWaveSim] = None,
+        service=None,
+        checkpoint_dir=None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.library = library
+        self.kernel_table = kernel_table
+        self.controller = controller
+        self.config = config
+        self.disturbances = list(disturbances)
+        self.variation = variation
+        self.service = service
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+
+        self.sim_config = SimulationConfig(
+            record_all_nets=config.record_energy, backend=backend)
+        self._pool_hits_pending = 0
+        if service is not None:
+            self.simulator = None
+            self._circuit_key = service.register_circuit(circuit, library)
+            self._compiled = service.circuit(self._circuit_key)
+        else:
+            if simulator is None:
+                pool_before = engine_pool_stats()["hits"]
+                simulator = pooled_engine(circuit, library,
+                                          config=self.sim_config)
+                self._pool_hits_pending = (engine_pool_stats()["hits"]
+                                           - pool_before)
+            self.simulator = simulator
+            self._compiled = simulator.compiled
+        self._loads = (circuit.net_loads(library)
+                       if config.record_energy else None)
+        # Base-arena ring keyed by quantized supply — stimuli never
+        # change across iterations, so one base per voltage is complete.
+        self._bases: "OrderedDict[float, object]" = OrderedDict()
+        # Measurement memo keyed the same way: a fully spliced iteration
+        # is bit-identical to the base it spliced from, so its arrival /
+        # activity extraction (python-side, all nets) is too — reuse it.
+        self._measurements: dict = {}
+
+    # -- voltage helpers ------------------------------------------------------
+
+    def _quantize(self, voltage: float) -> float:
+        step = self.config.regulator_step
+        return round(round(voltage / step) * step, 9)
+
+    def _effective_voltage(self, commanded: float, iteration: int,
+                           activity: Optional[float]) -> float:
+        offset = sum(d.voltage_offset(iteration, activity)
+                     for d in self.disturbances)
+        table = self.controller.table
+        return self._quantize(table.clamp_voltage(commanded + offset))
+
+    def _drift_scale(self, iteration: int) -> float:
+        scale = 1.0
+        for model in self.disturbances:
+            scale *= model.delay_scale(iteration)
+        return scale
+
+    # -- simulation -----------------------------------------------------------
+
+    def _bound_variation(self, plan: SlotPlan, global_slots: np.ndarray):
+        variation = self.variation
+        if variation is None:
+            return None
+        bound = getattr(variation, "bound", None)
+        if bound is None:
+            return variation
+        return bound(plan.voltages, global_slots)
+
+    def _simulate(self, pairs: Sequence[PatternPair], plan: SlotPlan,
+                  voltage: float, global_slots: np.ndarray,
+                  v1: np.ndarray, v2: np.ndarray):
+        """One iteration's engine (or service) run.
+
+        Returns ``(result, delta_used)``.
+        """
+        variation = self._bound_variation(plan, global_slots)
+        if self.service is not None:
+            handle = self.service.submit(
+                self._circuit_key, pairs, plan=plan, config=self.sim_config,
+                kernel_table=self.kernel_table, variation=variation)
+            result = handle.result()
+            stats = None
+            spliced = getattr(result, "lanes_spliced", 0)
+            return result, stats, bool(spliced)
+
+        delta = None
+        if self.config.use_delta:
+            base = self._bases.get(voltage)
+            if base is not None:
+                # Exact revisit: stimuli and slot order never change
+                # within a run, so the base captured at this supply maps
+                # slot-for-slot with zero changed inputs — build the
+                # full-splice plan directly instead of paying the
+                # select_delta stimulus diff every settled iteration.
+                self._bases.move_to_end(voltage)
+                delta = DeltaPlan(
+                    base, np.arange(plan.num_slots, dtype=np.int64),
+                    np.zeros((plan.num_slots, v1.shape[1]), dtype=bool))
+            elif self._bases:
+                picked = select_delta(
+                    list(self._bases.values()), v1, v2,
+                    plan.pattern_indices, plan.voltages, global_slots,
+                    variation, self.config.delta_threshold)
+                if picked is not None:
+                    delta = picked[0]
+        capture = self.config.use_delta and voltage not in self._bases
+        result = self.simulator.run(
+            pairs, plan=plan, kernel_table=self.kernel_table,
+            variation=variation, global_slots=global_slots,
+            delta=delta, capture_base=capture)
+        if capture and result.base_arena is not None:
+            self._bases[voltage] = result.base_arena
+            self._bases.move_to_end(voltage)
+            while len(self._bases) > self.config.max_bases:
+                self._bases.popitem(last=False)
+        return result, self.simulator.last_stats, delta is not None
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _fingerprint(self, pairs: Sequence[PatternPair]) -> str:
+        fp = Fingerprinter()
+        feed_compiled(fp, self._compiled)
+        feed_stimuli(fp, pairs)
+        feed_config(fp, self.sim_config)
+        feed_kernel_table(fp, self.kernel_table)
+        feed_variation(fp, self.variation)
+        table = self.controller.table
+        fp.feed_json("loop", {
+            "period": self.config.period,
+            "max_iterations": self.config.max_iterations,
+            "settle_iterations": self.config.settle_iterations,
+            "initial_voltage": self.config.initial_voltage,
+            "regulator_step": self.config.regulator_step,
+            "record_energy": self.config.record_energy,
+            "aging_derate": self.controller.aging_derate,
+            "table": [[p.voltage, p.critical_delay, p.guardband]
+                      for p in table],
+            "vth_floor": table.vth_floor,
+            "boost_cap": table.boost_cap,
+            "nominal_voltage": table.nominal_voltage,
+            "disturbances": [d.describe() for d in self.disturbances],
+        })
+        return fp.hexdigest()
+
+    def _step_path(self, iteration: int) -> Path:
+        return self.checkpoint_dir / f"step_{iteration:05d}.json"
+
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.checkpoint_dir), prefix=".step.", suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _load_checkpoint(self, fingerprint: str) -> List[LoopStep]:
+        """Restore the completed trajectory prefix (may be empty)."""
+        store = self.checkpoint_dir
+        manifest_path = store / LOOP_MANIFEST_NAME
+        if not manifest_path.exists():
+            store.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(manifest_path, json.dumps({
+                "format_version": LOOP_FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "circuit": self.circuit.name,
+            }, indent=2).encode("utf-8"))
+            return []
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as stream:
+                manifest = json.load(stream)
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"unreadable loop manifest {manifest_path}: {error}"
+            ) from error
+        if manifest.get("format_version") != LOOP_FORMAT_VERSION:
+            raise CheckpointError(
+                f"loop manifest {manifest_path} has format version "
+                f"{manifest.get('format_version')!r}, expected "
+                f"{LOOP_FORMAT_VERSION}")
+        if manifest.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint directory {store} belongs to a different "
+                "closed-loop campaign (fingerprint mismatch) — refusing "
+                "to resume")
+        steps: List[LoopStep] = []
+        # A contiguous prefix only: a gap means a later step file was
+        # lost, and the loop state past the gap cannot be trusted.
+        for iteration in range(self.config.max_iterations):
+            path = self._step_path(iteration)
+            if not path.exists():
+                break
+            try:
+                with open(path, "r", encoding="utf-8") as stream:
+                    payload = json.load(stream)
+                steps.append(LoopStep.from_dict(payload,
+                                                from_checkpoint=True))
+            except (OSError, ValueError, KeyError):
+                # Corrupt step: drop it and everything after — those
+                # iterations re-execute (degrade to recomputation, never
+                # to a wrong trajectory).
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                break
+        return steps
+
+    def _save_step(self, step: LoopStep) -> None:
+        if self.checkpoint_dir is None:
+            return
+        self._atomic_write(
+            self._step_path(step.iteration),
+            json.dumps(step.to_dict(), indent=2).encode("utf-8"))
+
+    # -- the loop -------------------------------------------------------------
+
+    def run(self, pairs: Sequence[PatternPair]) -> LoopReport:
+        """Play the closed loop over ``pairs``; returns the trajectory."""
+        pairs = list(pairs)
+        if not pairs:
+            raise ParameterError("need at least one pattern pair")
+        table = self.controller.table
+        space = self.kernel_table.space
+        for point in table:
+            if not space.v_min <= point.voltage <= space.v_max:
+                raise ParameterError(
+                    f"table point {point.voltage} V outside characterized "
+                    f"kernel space [{space.v_min}, {space.v_max}]")
+
+        started = _time.perf_counter()
+        v1 = np.stack([p.v1 for p in pairs])
+        v2 = np.stack([p.v2 for p in pairs])
+        # One die trajectory stepping through time: the global slot of a
+        # pattern is fixed across iterations, so Monte-Carlo factors —
+        # and with them delta eligibility — repeat whenever a supply
+        # level repeats.
+        global_slots = np.arange(len(pairs), dtype=np.int64)
+
+        voltage = self._quantize(table.clamp_voltage(
+            self.config.initial_voltage
+            if self.config.initial_voltage is not None
+            else table.points[-1].voltage))
+
+        steps: List[LoopStep] = []
+        resumed = False
+        if self.checkpoint_dir is not None:
+            steps = self._load_checkpoint(self._fingerprint(pairs))
+            resumed = bool(steps)
+            if steps:
+                voltage = self._quantize(
+                    table.clamp_voltage(steps[-1].next_voltage))
+
+        activity_per_pattern = (steps[-1].activity_per_pattern
+                                if steps else None)
+        settled, converged_at = self._replay_convergence(steps)
+
+        chunks: List[ChunkReport] = [
+            ChunkReport(index=s.iteration, num_slots=len(pairs),
+                        from_checkpoint=True) for s in steps]
+        plans_before = level_plan_cache_stats()
+        pool_hits_before = engine_pool_stats()["hits"]
+        gate_evaluations = lanes_skipped = lanes_spliced = 0
+        phase_totals: dict = {}
+        backend = ""
+
+        for iteration in range(len(steps), self.config.max_iterations):
+            if converged_at is not None:
+                break
+            faults.trip("loop.step")
+            step_start = _time.perf_counter()
+            v_eff = self._effective_voltage(voltage, iteration,
+                                            activity_per_pattern)
+            drift = self._drift_scale(iteration)
+            plan = SlotPlan.uniform(len(pairs), v_eff)
+            result, stats, delta_used = self._simulate(
+                pairs, plan, v_eff, global_slots, v1, v2)
+
+            # A fully spliced iteration reproduced the cached base
+            # bit-for-bit (same stimuli, same supply, same Monte-Carlo
+            # slots), so the arrival / activity extraction — a python
+            # walk over every recorded waveform — is reproduced too.
+            # Reuse the measurement instead of re-deriving it.
+            full_splice = (stats is not None and delta_used
+                           and int(stats.gate_evaluations) == 0)
+            memo = self._measurements.get(v_eff) if full_splice else None
+            if memo is None:
+                arrivals = latest_arrivals(result, self.circuit, plan=plan)
+                raw_arrival = arrivals.at(v_eff)
+                if not math.isfinite(raw_arrival):
+                    raw_arrival = 0.0
+                energy = None
+                if self.config.record_energy:
+                    activity = switching_activity(result)
+                    power = dynamic_power(activity, self._loads, v_eff,
+                                          frequency=1.0 / self.config.period)
+                    energy = power.energy_per_pattern
+                    activity_per_pattern = (activity.total_toggles
+                                            / activity.num_slots)
+                self._measurements[v_eff] = (raw_arrival, energy,
+                                             activity_per_pattern)
+            else:
+                raw_arrival, energy, activity_per_pattern = memo
+            measured = raw_arrival * drift
+
+            guardband = table.points[0].guardband
+            slack = self.config.period - measured * (1.0 + guardband)
+            violation = slack < 0
+            # Decide from the *commanded* set-point: the measurement
+            # already carries the disturbance, and stepping relative to
+            # the drooped supply would re-command the level the droop
+            # just invalidated (a persistent-violation livelock).
+            next_voltage = self._quantize(self.controller.decide(
+                voltage, measured, self.config.period))
+            seconds = _time.perf_counter() - step_start
+
+            step = LoopStep(
+                iteration=iteration,
+                commanded_voltage=voltage,
+                effective_voltage=v_eff,
+                frequency=table.clamp_frequency(1.0 / self.config.period),
+                measured_arrival=measured,
+                raw_arrival=raw_arrival,
+                slack=slack,
+                violation=violation,
+                next_voltage=next_voltage,
+                energy_per_pattern=energy,
+                activity_per_pattern=activity_per_pattern,
+                delta_used=delta_used,
+                lanes_spliced=int(stats.lanes_spliced) if stats else 0,
+                gate_evaluations=(int(stats.gate_evaluations)
+                                  if stats else 0),
+                seconds=seconds,
+            )
+            self._save_step(step)
+            steps.append(step)
+
+            engine_label = getattr(result, "engine", "service")
+            chunks.append(ChunkReport(
+                index=iteration, num_slots=plan.num_slots,
+                attempts=[AttemptReport(
+                    engine=engine_label,
+                    waveform_capacity=(self.simulator.config
+                                       .waveform_capacity
+                                       if self.simulator else 0),
+                    memory_budget=(self.simulator.memory_budget
+                                   if self.simulator else 0),
+                    seconds=seconds)]))
+            if stats:
+                gate_evaluations += int(stats.gate_evaluations)
+                lanes_skipped += int(stats.lanes_skipped)
+                lanes_spliced += int(stats.lanes_spliced)
+                for name, value in stats.phase_seconds().items():
+                    phase_totals[name] = phase_totals.get(name, 0) + value
+            if self.simulator is not None:
+                backend = self.simulator.backend.name
+
+            settled, converged_at = self._advance_convergence(
+                settled, converged_at, step)
+            voltage = next_voltage
+
+        wall = _time.perf_counter() - started
+        plans_after = level_plan_cache_stats()
+        run_report = RunReport(
+            circuit_name=self.circuit.name,
+            num_slots=len(pairs) * len(steps),
+            chunk_slots=len(pairs),
+            chunks=chunks,
+            wall_seconds=wall,
+            resumed=resumed,
+            backend=backend,
+            gate_evaluations=gate_evaluations,
+            lanes_skipped=lanes_skipped,
+            lanes_spliced=lanes_spliced,
+            plan_cache_hits=(plans_after["hits"] - plans_before["hits"]
+                             + engine_pool_stats()["hits"]
+                             - pool_hits_before + self._pool_hits_pending),
+            plan_cache_misses=(plans_after["misses"]
+                               - plans_before["misses"]),
+            phase_seconds=phase_totals,
+        )
+        self._pool_hits_pending = 0
+        return LoopReport(
+            circuit_name=self.circuit.name,
+            period=self.config.period,
+            steps=steps,
+            converged_at=converged_at,
+            resumed=resumed,
+            wall_seconds=wall,
+            backend=backend,
+            run_report=run_report,
+            service_metrics=(self.service.metrics().to_dict()
+                             if self.service is not None else None),
+        )
+
+    # -- convergence ----------------------------------------------------------
+
+    def _advance_convergence(self, settled: int, converged_at: Optional[int],
+                             step: LoopStep):
+        """Fold one step into the (settled counter, converged-at) state."""
+        if converged_at is not None:
+            return settled, converged_at
+        stable = (not step.violation
+                  and abs(step.next_voltage - step.commanded_voltage) < 1e-9)
+        settled = settled + 1 if stable else 0
+        if settled >= self.config.settle_iterations:
+            converged_at = step.iteration
+        return settled, converged_at
+
+    def _replay_convergence(self, steps: Sequence[LoopStep]):
+        """Recompute convergence state from a restored prefix."""
+        settled, converged_at = 0, None
+        for step in steps:
+            settled, converged_at = self._advance_convergence(
+                settled, converged_at, step)
+        return settled, converged_at

@@ -1,15 +1,35 @@
-"""Voltage–frequency operating tables with guardbands."""
+"""Voltage–frequency operating tables with guardbands and constraints.
+
+Beyond the characterized (voltage, delay) points themselves, a table can
+carry the two physical limits real DVFS tables (lumos, ROADMAP item 4)
+encode:
+
+* a **vth floor** — the minimum supply the process sustains reliably
+  (near-/sub-threshold operation is outside the characterized model), and
+* a **frequency-boost cap** — turbo points may not exceed ``boost_cap``
+  times the nominal-voltage frequency (default 1.3x, the lumos table
+  ceiling).
+
+Both are validated at construction with errors naming the offending
+point, and :meth:`clamp_voltage` / :meth:`clamp_frequency` give
+controllers one place to keep disturbed operating points legal.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ParameterError
 
-__all__ = ["VoltageFrequencyPoint", "VoltageFrequencyTable"]
+__all__ = ["DEFAULT_BOOST_CAP", "VoltageFrequencyPoint",
+           "VoltageFrequencyTable"]
+
+#: Frequency-boost ceiling relative to the nominal operating point —
+#: turbo entries of the lumos DVFS tables top out at 1.3x nominal.
+DEFAULT_BOOST_CAP = 1.3
 
 
 @dataclass(frozen=True, order=True)
@@ -43,16 +63,63 @@ class VoltageFrequencyTable:
 
     * :meth:`frequency_at` — how fast can the system clock at voltage v,
     * :meth:`voltage_for` — what is the minimum voltage sustaining a
-      target frequency (the DVS energy-saving decision).
+      target frequency (the DVS energy-saving decision),
+
+    subject to the construction-validated constraints:
+
+    * ``vth_floor`` — no characterized point may sit below it, and
+      :meth:`clamp_voltage` never returns a supply under it;
+    * ``boost_cap`` — points above ``nominal_voltage`` may not clock
+      faster than ``boost_cap`` times the nominal frequency
+      (``nominal_voltage`` defaults to the highest characterized point,
+      which makes the cap non-binding for floor-to-top tables).
     """
 
-    def __init__(self, points: Sequence[VoltageFrequencyPoint]) -> None:
+    def __init__(self, points: Sequence[VoltageFrequencyPoint],
+                 vth_floor: float = 0.0,
+                 boost_cap: float = DEFAULT_BOOST_CAP,
+                 nominal_voltage: Optional[float] = None) -> None:
         if not points:
             raise ParameterError("voltage-frequency table needs at least one point")
         self.points: List[VoltageFrequencyPoint] = sorted(points)
         voltages = [p.voltage for p in self.points]
         if len(set(voltages)) != len(voltages):
             raise ParameterError("duplicate voltages in VF table")
+        if vth_floor < 0:
+            raise ParameterError("vth floor must be non-negative")
+        if boost_cap < 1.0:
+            raise ParameterError(
+                f"frequency-boost cap must be >= 1.0 (got {boost_cap}); "
+                "a cap below 1x would forbid the nominal point itself")
+        below = [p.voltage for p in self.points if p.voltage < vth_floor]
+        if below:
+            raise ParameterError(
+                f"operating point(s) {below} V below the {vth_floor} V "
+                "vth floor — near-threshold points are outside the "
+                "characterized delay model")
+        self.vth_floor = float(vth_floor)
+        self.boost_cap = float(boost_cap)
+        if nominal_voltage is None:
+            nominal_voltage = self.points[-1].voltage
+        if not any(np.isclose(p.voltage, nominal_voltage)
+                   for p in self.points):
+            raise ParameterError(
+                f"nominal voltage {nominal_voltage} V is not a "
+                "characterized point")
+        self.nominal_voltage = float(nominal_voltage)
+        nominal = next(p for p in self.points
+                       if np.isclose(p.voltage, nominal_voltage))
+        limit = self.boost_cap * nominal.max_frequency
+        over = [p for p in self.points
+                if p.max_frequency > limit * (1.0 + 1e-12)]
+        if over:
+            worst = max(over, key=lambda p: p.max_frequency)
+            raise ParameterError(
+                f"boost point {worst.voltage} V clocks "
+                f"{worst.max_frequency / nominal.max_frequency:.2f}x the "
+                f"nominal {self.nominal_voltage} V frequency, above the "
+                f"{self.boost_cap}x boost cap")
+        self.max_boost_frequency = limit
 
     def __len__(self) -> int:
         return len(self.points)
@@ -66,6 +133,9 @@ class VoltageFrequencyTable:
         voltages: Sequence[float],
         delays: Sequence[float],
         guardband: float = 0.10,
+        vth_floor: float = 0.0,
+        boost_cap: float = DEFAULT_BOOST_CAP,
+        nominal_voltage: Optional[float] = None,
     ) -> "VoltageFrequencyTable":
         """Build from simulated critical delays per voltage."""
         if len(voltages) != len(delays):
@@ -84,7 +154,8 @@ class VoltageFrequencyTable:
                     guardband=guardband,
                 )
             )
-        return cls(points)
+        return cls(points, vth_floor=vth_floor, boost_cap=boost_cap,
+                   nominal_voltage=nominal_voltage)
 
     def frequency_at(self, voltage: float) -> float:
         """Safe frequency at ``voltage`` (linear interpolation, clamped).
@@ -106,8 +177,18 @@ class VoltageFrequencyTable:
 
         Only characterized grid points are returned (an AVFS regulator
         steps through discrete levels).  Raises when even the highest
-        voltage is too slow.
+        voltage is too slow, or when the demand exceeds the boost cap.
         """
+        if frequency > max(p.max_frequency for p in self.points):
+            raise ParameterError(
+                f"no characterized voltage reaches {frequency:.3e} Hz "
+                f"(max {max(p.max_frequency for p in self.points):.3e} Hz)"
+            )
+        if frequency > self.max_boost_frequency:
+            raise ParameterError(
+                f"{frequency:.3e} Hz exceeds the {self.boost_cap}x boost "
+                f"cap ({self.max_boost_frequency:.3e} Hz over the "
+                f"{self.nominal_voltage} V nominal point)")
         for point in self.points:  # sorted ascending by voltage
             if point.max_frequency >= frequency:
                 return point.voltage
@@ -116,6 +197,29 @@ class VoltageFrequencyTable:
             f"(max {self.points[-1].max_frequency:.3e} Hz)"
         )
 
+    # -- constraint clamps ----------------------------------------------------
+
+    def clamp_voltage(self, voltage: float) -> float:
+        """Nearest legal supply: at or above the vth floor, within the
+        characterized range.  The one call site for keeping disturbed
+        operating points (droop under the floor, overshoot past the top)
+        inside the model."""
+        low = max(self.vth_floor, self.points[0].voltage)
+        high = self.points[-1].voltage
+        return float(min(max(voltage, low), high))
+
+    def clamp_frequency(self, frequency: float) -> float:
+        """Demand limited to the boost cap (never below zero)."""
+        return float(min(max(frequency, 0.0), self.max_boost_frequency))
+
+    def grid_at_or_above(self, voltage: float) -> float:
+        """Lowest characterized grid point at or above ``voltage`` (the
+        discrete level a regulator actually switches to)."""
+        for point in self.points:
+            if point.voltage >= voltage - 1e-12:
+                return point.voltage
+        return self.points[-1].voltage
+
     def summary(self) -> str:
         lines = ["V [V]   delay      f_max"]
         for point in self.points:
@@ -123,4 +227,7 @@ class VoltageFrequencyTable:
                 f"{point.voltage:5.2f}  {point.critical_delay*1e12:8.1f}ps "
                 f"{point.max_frequency/1e9:7.3f}GHz"
             )
+        if self.vth_floor > 0:
+            lines.append(f"vth floor {self.vth_floor:.2f} V, boost cap "
+                         f"{self.boost_cap:.1f}x @ {self.nominal_voltage:.2f} V")
         return "\n".join(lines)

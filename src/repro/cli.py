@@ -10,6 +10,7 @@ Wraps the library's main flows for shell use:
 * ``campaign``    — fault-tolerant sweep with checkpoint/resume,
 * ``serve``       — JSON-lines simulation service with dynamic batching,
 * ``explore``     — AVFS design-space exploration / VF table,
+* ``avfs-loop``   — closed-loop AVFS scenario with disturbances,
 * ``bench``       — record kernel/e2e benchmarks, check for regressions.
 
 Circuits are specified either as a file (``.v`` structural Verilog or
@@ -334,6 +335,82 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_avfs_loop(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.atpg.patterns import random_pattern_set
+    from repro.avfs import (AvfsController, ClosedLoopRunner,
+                            DesignSpaceExplorer, LoopConfig,
+                            TemperatureDrift, VoltageDroop)
+
+    library = _load_library()
+    circuit = _load_circuit(args.circuit, library)
+    if not args.kernels:
+        print("error: avfs-loop needs --kernels (run 'characterize' first)",
+              file=sys.stderr)
+        return 2
+    kernel_table = DelayKernelTable.load(args.kernels)
+    patterns = random_pattern_set(circuit, args.patterns, seed=args.seed)
+
+    # Characterize the operating table on the same engine the loop will
+    # reuse (shared via the process-wide pool).
+    explorer = DesignSpaceExplorer(circuit, library, kernel_table)
+    table = explorer.voltage_frequency_table(
+        patterns.pairs, _voltages(args.voltages), guardband=args.guardband)
+    if args.period is not None:
+        period = args.period
+    else:
+        # Default: 20% of slack on top of the mid-table critical delay.
+        mid = table.points[len(table.points) // 2]
+        period = mid.critical_delay * (1.0 + args.guardband) * 1.2
+    print(f"closing the loop on {circuit.name} at period "
+          f"{si_format(period, unit='s')}")
+
+    disturbances = []
+    if args.droop > 0:
+        disturbances.append(VoltageDroop(
+            args.droop, reference_activity=args.droop_reference,
+            jitter=args.droop_jitter, seed=args.seed))
+    if args.drift > 0:
+        disturbances.append(TemperatureDrift(args.drift))
+    variation = None
+    if args.sigma is not None:
+        from repro.simulation.variation import StateDependentVariation
+        variation = StateDependentVariation(
+            sigma=args.sigma, seed=args.variation_seed,
+            voltage_sensitivity=args.voltage_sensitivity,
+            v_ref=table.points[-1].voltage)
+
+    config = LoopConfig(
+        period=period,
+        max_iterations=args.iterations,
+        settle_iterations=args.settle,
+        use_delta=not args.no_delta,
+        record_energy=not args.no_energy,
+    )
+    service = None
+    try:
+        if args.service:
+            from repro.service import SimulationService
+            service = SimulationService()
+        runner = ClosedLoopRunner(
+            circuit, library, kernel_table, AvfsController(table), config,
+            disturbances=disturbances, variation=variation, service=service,
+            checkpoint_dir=args.checkpoint_dir, backend=args.backend)
+        report = runner.run(patterns.pairs)
+    finally:
+        if service is not None:
+            service.close()
+    print(report.summary())
+    if report.run_report is not None:
+        print(report.run_report.summary())
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as stream:
+            json.dump(report.to_dict(), stream, indent=2)
+        print(f"loop report -> {args.report_json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.record import main as bench_main
 
@@ -507,6 +584,48 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--guardband", type=float, default=0.10)
     p.add_argument("--kernels", default=None)
     p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser(
+        "avfs-loop",
+        help="closed-loop AVFS scenario: simulate -> measure -> decide")
+    p.add_argument("circuit")
+    p.add_argument("--patterns", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kernels", default=None)
+    p.add_argument("--voltages", default="0.55,0.65,0.8,0.95,1.1",
+                   help="operating grid characterized before the loop")
+    p.add_argument("--guardband", type=float, default=0.10)
+    p.add_argument("--period", type=float, default=None,
+                   help="clock period in seconds (default: derived from "
+                        "the mid-table critical delay)")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--settle", type=int, default=3,
+                   help="consecutive stable iterations = convergence")
+    p.add_argument("--droop", type=float, default=0.0,
+                   help="supply droop in volts at the reference activity")
+    p.add_argument("--droop-reference", type=float, default=1.0,
+                   help="toggles/pattern producing exactly --droop volts")
+    p.add_argument("--droop-jitter", type=float, default=0.0,
+                   help="random droop sigma in volts (seeded)")
+    p.add_argument("--drift", type=float, default=0.0,
+                   help="thermal delay drift per iteration (fraction)")
+    p.add_argument("--sigma", type=float, default=None,
+                   help="state-dependent Monte-Carlo sigma")
+    p.add_argument("--voltage-sensitivity", type=float, default=0.0,
+                   help="sigma growth per volt below the top voltage")
+    p.add_argument("--variation-seed", type=int, default=0)
+    p.add_argument("--no-delta", action="store_true",
+                   help="disable base-arena splicing between iterations")
+    p.add_argument("--no-energy", action="store_true",
+                   help="skip per-iteration energy accounting")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="resumable trajectory checkpoint directory")
+    p.add_argument("--service", action="store_true",
+                   help="run iterations through a local simulation service")
+    p.add_argument("--backend", default=None,
+                   choices=["numpy", "numba", "cext", "auto"])
+    p.add_argument("--report-json", default=None)
+    p.set_defaults(func=_cmd_avfs_loop)
 
     return parser
 

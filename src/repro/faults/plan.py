@@ -55,6 +55,7 @@ FAULT_SITES = (
     "engine.alloc",          # waveform-arena acquisition
     "shard.dispatch",        # shard-side batch execution (in the worker process)
     "shard.spawn",           # router-side shard process spawn
+    "loop.step",             # closed-loop AVFS iteration (before checkpointing)
 )
 
 #: Supported fault kinds.

@@ -26,6 +26,7 @@ Report schema (version 1)::
       "service_scaling": {backend: {num_shards: inproc_wall / sharded_wall}},
       "dispatch_speedups": {backend: unfused_wall / fused_wall},
       "incremental_speedups": {scenario: {backend: full_wall / delta_wall}},
+      "closed_loop_speedups": {backend: full_wall / delta_wall},
       "parametric_ratios": {circuit: {backend: parametric_wall / static_wall}},
       "faults_disabled_overhead": {backend: seam_cost_fraction_of_e2e_wall}
     }
@@ -65,6 +66,14 @@ stimulus perturbation flipping 1 in 32 input bits.  ``incremental_
 speedups`` records wall(full re-sim) / wall(delta path, including the
 ``select_delta`` diff) — the win of splicing unchanged lanes from the
 base and re-evaluating only changed cones.
+
+The closed-loop scenario (``avfs_closed_loop_{full,delta}``) plays one
+AVFS control trajectory (:class:`repro.avfs.loop.ClosedLoopRunner`,
+constant droop, convergence disabled) once with full re-simulation every
+iteration and once with base-arena splicing on; both trajectories are
+asserted bit-identical and ``closed_loop_speedups`` records the wall
+ratio — the payoff of incremental re-simulation inside a feedback loop
+that keeps revisiting the settled operating point.
 
 The fault-seam scenario (``fault_seams_e2e``) prices a single crossing
 of the *disabled* ``repro.faults.trip`` path, counts how many crossings
@@ -181,6 +190,20 @@ DISPATCH_PATTERNS_QUICK = 4
 #: one point moved, the rest of the plane splices); the stimulus
 #: variant flips 1 in 32 input bits of the pattern plane, so cones of
 #: influence re-evaluate and everything outside them splices.
+#: Closed-loop AVFS scenario (``avfs_closed_loop_{full,delta}``): one
+#: trajectory of LOOP_ITERATIONS simulate→measure→decide steps, timed
+#: with base-arena splicing on and off.  ``closed_loop_speedups``
+#: records wall(full)/wall(delta); the trajectories are asserted
+#: bit-identical before either entry is recorded.
+LOOP_CIRCUIT = "s38417"
+LOOP_SCALE = 0.1
+LOOP_PATTERNS = 8
+LOOP_PATTERNS_QUICK = 4
+#: Long enough that the 4 distinct supplies the controller visits (and
+#: their base captures) amortize: the remaining iterations fully splice.
+LOOP_ITERATIONS = 32
+LOOP_ITERATIONS_QUICK = 10
+
 INCR_CIRCUIT = "s38417"
 INCR_SCALE = 0.05
 INCR_SWEEP_VOLTAGES = 16
@@ -456,6 +479,76 @@ def bench_incremental_resim(backend_name: str, circuit_name: str,
             delta_fraction=round(stats.delta_fraction, 6),
             lanes_spliced=int(stats.lanes_spliced),
             bytes_spliced=int(stats.bytes_spliced)))
+    return entries
+
+
+def bench_closed_loop(backend_name: str, circuit_name: str, scale: float,
+                      num_patterns: int, iterations: int,
+                      repeats: int = 2) -> List[dict]:
+    """Closed-loop AVFS trajectory with and without delta splicing.
+
+    One :class:`~repro.avfs.loop.ClosedLoopRunner` trajectory — constant
+    droop, convergence disabled so every iteration executes — is timed
+    twice: ``avfs_closed_loop_full`` re-simulates the full plane every
+    iteration, ``avfs_closed_loop_delta`` splices cached base arenas
+    whenever the commanded supply repeats (which, once the controller
+    settles, is every remaining iteration).  Both trajectories must be
+    bit-identical — the delta path's correctness contract — and the
+    entries are auto-gated by the wall-time comparison like every other
+    benchmark; ``closed_loop_speedups`` records the per-backend ratio.
+    """
+    from repro.avfs import (AvfsController, ClosedLoopRunner,
+                            DesignSpaceExplorer, LoopConfig, VoltageDroop)
+    from repro.experiments.common import default_kernel_table, default_library
+    from repro.experiments.workload import prepare_workload
+    from repro.simulation.base import SimulationConfig
+    from repro.simulation.gpu import GpuWaveSim
+
+    workload = prepare_workload(circuit_name, scale=scale)
+    library = default_library()
+    kernel_table = default_kernel_table(3)
+    pairs = workload.patterns.pairs[:num_patterns]
+    voltages = [0.6, 0.7, 0.8, 0.9, 1.0]
+
+    sim = GpuWaveSim(workload.circuit, library, compiled=workload.compiled,
+                     config=SimulationConfig(backend=backend_name))
+    explorer = DesignSpaceExplorer(workload.circuit, library, kernel_table,
+                                   simulator=sim)
+    table = explorer.voltage_frequency_table(pairs, voltages, guardband=0.05)
+    period = 1.15 / table.frequency_at(0.8)
+    disturbances = [VoltageDroop(0.004)]
+
+    entries = []
+    trajectories = {}
+    for mode, use_delta in (("full", False), ("delta", True)):
+        config = LoopConfig(period=period, max_iterations=iterations,
+                            settle_iterations=iterations + 1,
+                            use_delta=use_delta, record_energy=False)
+        results = []
+
+        def call():
+            runner = ClosedLoopRunner(
+                workload.circuit, library, kernel_table,
+                AvfsController(table), config,
+                disturbances=disturbances, simulator=sim)
+            results.append(runner.run(pairs))
+
+        call()
+        wall = _best_of(call, repeats)
+        report = results[-1]
+        trajectories[mode] = report
+        entries.append(_entry(
+            f"avfs_closed_loop_{mode}", sim.backend.name, wall,
+            report.run_report.gate_evaluations,
+            circuit=circuit_name, scale=scale, patterns=len(pairs),
+            iterations=report.num_iterations,
+            delta_reuse=round(report.delta_reuse_fraction, 6),
+            lanes_spliced=int(report.run_report.lanes_spliced),
+            converged_at=report.converged_at))
+    full_arrivals = [s.raw_arrival for s in trajectories["full"].steps]
+    delta_arrivals = [s.raw_arrival for s in trajectories["delta"].steps]
+    assert full_arrivals == delta_arrivals, \
+        "closed-loop delta trajectory diverged from full re-simulation"
     return entries
 
 
@@ -743,6 +836,14 @@ def run_suite(quick: bool = False,
             benchmarks.extend(bench_incremental_resim(
                 name, INCR_CIRCUIT, INCR_SCALE, incr_patterns))
 
+        loop_patterns = LOOP_PATTERNS_QUICK if quick else LOOP_PATTERNS
+        loop_iterations = (LOOP_ITERATIONS_QUICK if quick
+                           else LOOP_ITERATIONS)
+        for name in chosen:
+            benchmarks.extend(bench_closed_loop(
+                name, LOOP_CIRCUIT, LOOP_SCALE, loop_patterns,
+                loop_iterations))
+
         lowact = LOWACT_PATTERNS_QUICK if quick else LOWACT_PATTERNS
         for circuit in circuits:
             for name in chosen:
@@ -782,6 +883,7 @@ def run_suite(quick: bool = False,
         "service_scaling": _service_scaling(benchmarks),
         "dispatch_speedups": _dispatch_speedups(benchmarks),
         "incremental_speedups": _incremental_speedups(benchmarks),
+        "closed_loop_speedups": _closed_loop_speedups(benchmarks),
         "parametric_ratios": _parametric_ratios(benchmarks),
         "faults_disabled_overhead": _fault_overhead(benchmarks),
     }
@@ -855,6 +957,19 @@ def _incremental_speedups(benchmarks: List[dict]
                 speedups.setdefault(scenario, {})[backend] = \
                     pair["full"] / pair["delta"]
     return speedups
+
+
+def _closed_loop_speedups(benchmarks: List[dict]) -> Dict[str, float]:
+    """Per backend: wall(full re-sim loop) / wall(delta-splicing loop)."""
+    walls: Dict[str, Dict[str, float]] = {}
+    for entry in benchmarks:
+        for mode in ("full", "delta"):
+            if entry["name"] == f"avfs_closed_loop_{mode}":
+                walls.setdefault(entry["backend"], {})[mode] = \
+                    entry["wall_seconds"]
+    return {backend: pair["full"] / pair["delta"]
+            for backend, pair in walls.items()
+            if "full" in pair and "delta" in pair and pair["delta"] > 0}
 
 
 def _parametric_ratios(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
@@ -1050,6 +1165,10 @@ def _print_summary(report: dict, stream=None) -> None:
     for name, ratios in report.get("incremental_speedups", {}).items():
         text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
         print(f"  incremental re-sim speedup — {name}: {text}", file=stream)
+    closed_loop = report.get("closed_loop_speedups", {})
+    if closed_loop:
+        text = ", ".join(f"{b} {r:.2f}x" for b, r in closed_loop.items())
+        print(f"  closed-loop delta speedup: {text}", file=stream)
     for circuit, ratios in report.get("parametric_ratios", {}).items():
         text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
         print(f"  parametric/static ratio — {circuit}: {text}", file=stream)

@@ -108,12 +108,21 @@ def feed_variation(fp: Fingerprinter, variation=None) -> None:
     if variation is None:
         fp.feed("variation", b"none")
     else:
-        fp.feed_json("variation", {
+        payload = {
             "sigma": variation.sigma,
             "seed": variation.seed,
             "distribution": variation.distribution,
             "group_size": variation.group_size,
-        })
+        }
+        # State-dependent statistical timing: the voltage binding is part
+        # of the identity (same noise stream, different spread).  Plain
+        # ProcessVariation keeps the legacy payload unchanged.
+        sensitivity = getattr(variation, "voltage_sensitivity", None)
+        if sensitivity is not None:
+            payload["voltage_sensitivity"] = sensitivity
+            payload["v_ref"] = variation.v_ref
+            payload["slot_voltages"] = list(variation.slot_voltages)
+        fp.feed_json("variation", payload)
 
 
 # -- composed identities -----------------------------------------------------------

@@ -126,6 +126,12 @@ class RunReport:
     #: dispatch or settle — nonzero only on the service's incremental
     #: re-simulation path (0 for reports predating delta evaluation).
     lanes_spliced: int = 0
+    #: Level-plan resolutions avoided while this run executed: pooled
+    #: engines and the fingerprint-keyed plan cache serving repeated
+    #: sweeps/iterations of one circuit (0 for single-shot runs and
+    #: reports predating the engine pool).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     #: Per-phase engine wall time summed across chunks: ``delay``
     #: (online delay-kernel evaluation), ``merge`` (waveform merge
     #: kernels; in fused dispatch the lane backends evaluate delays
@@ -200,6 +206,8 @@ class RunReport:
             "active_fraction": self.active_fraction,
             "lanes_spliced": self.lanes_spliced,
             "delta_fraction": self.delta_fraction,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
             "phase_seconds": dict(self.phase_seconds),
             "wall_seconds": self.wall_seconds,
             "resumed": self.resumed,
@@ -223,6 +231,9 @@ class RunReport:
         if self.lanes_spliced:
             lines.insert(3, f"  delta: {self.lanes_spliced} lanes spliced "
                             f"(delta fraction {self.delta_fraction:.3f})")
+        if self.plan_cache_hits:
+            lines.append(f"  plan cache: {self.plan_cache_hits} hits, "
+                         f"{self.plan_cache_misses} misses")
         if self.lanes_skipped:
             lines.insert(3, f"  lanes evaluated {self.gate_evaluations}, "
                             f"skipped {self.lanes_skipped} "

@@ -242,6 +242,17 @@ class JobResult:
     def waveform(self, slot: int, net: str) -> Waveform:
         return self.waveforms[slot][net]
 
+    def latest_arrival(self, slot: int, nets=None) -> float:
+        """Latest toggle time over ``nets`` (default: all recorded nets)
+        — the :class:`~repro.simulation.base.SimulationResult` contract,
+        so the analysis layer accepts job results unchanged."""
+        chosen = nets if nets is not None else list(self.waveforms[slot])
+        latest = float("-inf")
+        for net in chosen:
+            latest = max(latest,
+                         self.waveform(slot, net).latest_transition())
+        return latest
+
 
 class JobHandle:
     """Caller-side future for one submitted job."""

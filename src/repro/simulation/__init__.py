@@ -24,13 +24,25 @@ from repro.simulation.zero_delay import ZeroDelaySimulator
 from repro.simulation.event_driven import EventDrivenSimulator
 from repro.simulation.gpu import GpuWaveSim
 from repro.simulation.multi import MultiDeviceWaveSim
-from repro.simulation.variation import ProcessVariation
+from repro.simulation.pool import (
+    clear_engine_pool,
+    engine_pool_stats,
+    pooled_engine,
+)
+from repro.simulation.variation import (
+    ProcessVariation,
+    StateDependentVariation,
+)
 
 __all__ = [
     "available_backends",
     "backend_status",
     "resolve_backend",
+    "clear_engine_pool",
+    "engine_pool_stats",
+    "pooled_engine",
     "ProcessVariation",
+    "StateDependentVariation",
     "PatternPair",
     "SimulationConfig",
     "SimulationResult",

@@ -1,0 +1,104 @@
+"""Process-wide engine pool: one :class:`GpuWaveSim` per (circuit, config).
+
+The AVFS control plane re-simulates the *same* circuit many times — a
+design-space sweep is dozens of slot planes, a closed loop dozens of
+iterations, and both often interleave (characterize a table, then close
+the loop on it).  Constructing a fresh engine per call site re-compiles
+nothing (the level-plan cache in :mod:`repro.simulation.compiled` is
+already fingerprint-keyed process-wide) but it does re-resolve plans,
+re-grow waveform arenas and throw away the per-engine scratch that makes
+steady-state iterations cheap.
+
+:func:`pooled_engine` hands every caller with the same compiled circuit
+and the same :class:`SimulationConfig` the *same* engine instance, so
+
+* the engine's resolved level plans (``_plans``) and pooled arenas stay
+  warm across explorer sweeps and loop iterations, and
+* plan-cache hits become observable: each pool hit is one avoided
+  ``CompiledCircuit.plans()`` resolution, surfaced through
+  :func:`engine_pool_stats` and the ``plan_cache_hits`` field of
+  :class:`repro.runtime.report.RunReport`.
+
+Engines are keyed by the compiled circuit's content fingerprint — two
+independently parsed copies of one netlist share an engine.  The pool is
+bounded (LRU, :data:`POOL_CAPACITY`) and :func:`clear_engine_pool`
+drops it for tests.
+
+Thread-safety: the pool dict is lock-guarded; the engines themselves
+have the same single-caller contract as any directly constructed
+:class:`GpuWaveSim` (the service layer keeps per-worker engines for
+exactly that reason, and does not use this pool).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.simulation.base import SimulationConfig
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+from repro.simulation.gpu import GpuWaveSim
+
+__all__ = [
+    "POOL_CAPACITY",
+    "clear_engine_pool",
+    "engine_pool_stats",
+    "pooled_engine",
+]
+
+#: Engines retained before the least-recently-used one is dropped.
+POOL_CAPACITY = 8
+
+_lock = threading.Lock()
+_pool: "OrderedDict[Tuple[str, SimulationConfig], GpuWaveSim]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def pooled_engine(circuit, library, config: Optional[SimulationConfig] = None,
+                  compiled: Optional[CompiledCircuit] = None) -> GpuWaveSim:
+    """The shared engine for ``(circuit, config)``; built on first use.
+
+    ``config`` participates in the key verbatim (it is a frozen
+    dataclass): a ``record_all_nets=True`` explorer and a bare simulator
+    get different engines, two identically configured callers share one.
+    """
+    from repro.runtime.fingerprint import circuit_fingerprint
+
+    global _hits, _misses
+    config = config or SimulationConfig()
+    compiled = compiled or compile_circuit(circuit, library)
+    key = (circuit_fingerprint(compiled), config)
+    with _lock:
+        engine = _pool.get(key)
+        if engine is not None:
+            _hits += 1
+            _pool.move_to_end(key)
+            return engine
+        _misses += 1
+    # Construction outside the lock: compiling plans can be expensive
+    # and must not serialize unrelated circuits.  A racing duplicate is
+    # harmless — last one in wins the slot, both are correct engines.
+    engine = GpuWaveSim(circuit, library, config=config, compiled=compiled)
+    with _lock:
+        _pool[key] = engine
+        _pool.move_to_end(key)
+        while len(_pool) > POOL_CAPACITY:
+            _pool.popitem(last=False)
+    return engine
+
+
+def engine_pool_stats() -> Dict[str, int]:
+    """Hit/miss/entry counters of the process-wide engine pool."""
+    with _lock:
+        return {"hits": _hits, "misses": _misses, "entries": len(_pool)}
+
+
+def clear_engine_pool() -> None:
+    """Drop every pooled engine and reset the counters (tests)."""
+    global _hits, _misses
+    with _lock:
+        _pool.clear()
+        _hits = 0
+        _misses = 0

@@ -11,17 +11,28 @@ and fault grading (paper refs. [12, 13]) on the same engine.
 
 Factors are derived deterministically from ``(seed, slot)`` so results
 are independent of batching and reproducible across engines.
+
+:class:`StateDependentVariation` extends the model with the
+voltage-dependence Pirbadian et al. observe for voltage-scaled circuits:
+delay variability grows as the supply approaches threshold, so the
+per-slot sigma scales with each slot's operating voltage while the
+underlying per-die noise stream stays keyed on the global slot index.
+Two slots with the same global slot *and* the same voltage therefore see
+identical factors — exactly the eligibility rule
+:func:`repro.simulation.delta.select_delta` enforces, so spliced and
+recomputed lanes agree bit-for-bit under state-dependent statistics too.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["ProcessVariation"]
+__all__ = ["ProcessVariation", "StateDependentVariation"]
 
 
 @dataclass(frozen=True)
@@ -83,4 +94,114 @@ class ProcessVariation:
                 else:
                     cache[die] = np.maximum(1.0 + self.sigma * noise, 0.05)
             result[:, column] = cache[die]
+        return result
+
+
+@dataclass(frozen=True)
+class StateDependentVariation:
+    """Voltage-dependent Monte-Carlo delay spread (state-dependent
+    statistical timing, per Pirbadian et al.).
+
+    The effective sigma of a slot grows linearly as its supply drops
+    below ``v_ref``::
+
+        sigma_eff(v) = sigma * (1 + voltage_sensitivity * max(0, v_ref - v))
+
+    and the per-die noise stream is the same deterministic
+    ``(seed, die)`` stream :class:`ProcessVariation` uses, so the
+    voltage only re-scales the spread — it never re-rolls the dice.  The
+    instance must be *bound* to a slot plane (:meth:`bound`) before the
+    engine asks for factors: ``slot_voltages[global_slot]`` supplies the
+    voltage of every global slot, which is how per-pattern factors stay
+    independent of batching.
+
+    Attributes
+    ----------
+    sigma:
+        Spread at (and above) ``v_ref`` — the :class:`ProcessVariation`
+        baseline.
+    voltage_sensitivity:
+        Relative sigma growth per volt below ``v_ref`` (1/V).  0 makes
+        the model collapse to plain :class:`ProcessVariation`.
+    v_ref:
+        Supply at which the characterized ``sigma`` was extracted.
+    slot_voltages:
+        Voltage per *global* slot index (a tuple, so instances stay
+        hashable/fingerprintable).  Empty until :meth:`bound`.
+    """
+
+    sigma: float
+    seed: int = 0
+    distribution: str = "lognormal"
+    group_size: int = 1
+    voltage_sensitivity: float = 0.0
+    v_ref: float = 1.0
+    slot_voltages: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise SimulationError("variation sigma must be non-negative")
+        if self.distribution not in ("lognormal", "normal"):
+            raise SimulationError(
+                f"unknown variation distribution {self.distribution!r}")
+        if self.group_size < 1:
+            raise SimulationError("group_size must be >= 1")
+        if self.voltage_sensitivity < 0:
+            raise SimulationError("voltage sensitivity must be non-negative")
+        if self.v_ref <= 0:
+            raise SimulationError("reference voltage must be positive")
+
+    def bound(self, voltages, global_slots=None) -> "StateDependentVariation":
+        """A copy bound to a slot plane: ``voltages[i]`` is the supply of
+        the slot whose *global* index is ``global_slots[i]`` (identity
+        mapping by default)."""
+        voltages = np.asarray(voltages, dtype=np.float64)
+        if global_slots is None:
+            table = tuple(float(v) for v in voltages)
+        else:
+            global_slots = np.asarray(global_slots, dtype=np.int64)
+            if global_slots.shape != voltages.shape:
+                raise SimulationError(
+                    "global_slots must align with voltages")
+            size = int(global_slots.max()) + 1 if global_slots.size else 0
+            dense = np.full(size, self.v_ref, dtype=np.float64)
+            dense[global_slots] = voltages
+            table = tuple(float(v) for v in dense)
+        return StateDependentVariation(
+            sigma=self.sigma, seed=self.seed,
+            distribution=self.distribution, group_size=self.group_size,
+            voltage_sensitivity=self.voltage_sensitivity, v_ref=self.v_ref,
+            slot_voltages=table)
+
+    def sigma_at(self, voltage: float) -> float:
+        """Effective spread at one supply voltage."""
+        headroom = max(0.0, self.v_ref - voltage)
+        return self.sigma * (1.0 + self.voltage_sensitivity * headroom)
+
+    def factors(self, num_gates: int, slot_indices: np.ndarray) -> np.ndarray:
+        """Delay factors of shape ``(num_gates, len(slot_indices))``.
+
+        Same contract as :meth:`ProcessVariation.factors`; raises when a
+        requested global slot has no bound voltage.
+        """
+        slot_indices = np.asarray(slot_indices, dtype=np.int64)
+        result = np.empty((num_gates, slot_indices.size), dtype=np.float64)
+        noise_cache = {}
+        for column, slot in enumerate(slot_indices):
+            index = int(slot)
+            if index >= len(self.slot_voltages):
+                raise SimulationError(
+                    f"global slot {index} has no bound voltage — call "
+                    "StateDependentVariation.bound(voltages, global_slots) "
+                    "for the slot plane first")
+            die = index // self.group_size
+            if die not in noise_cache:
+                rng = np.random.default_rng([self.seed, die])
+                noise_cache[die] = rng.standard_normal(num_gates)
+            sigma = self.sigma_at(self.slot_voltages[index])
+            noise = noise_cache[die]
+            if self.distribution == "lognormal":
+                result[:, column] = np.exp(sigma * noise)
+            else:
+                result[:, column] = np.maximum(1.0 + sigma * noise, 0.05)
         return result

@@ -43,6 +43,74 @@ class TestConstruction:
             VoltageFrequencyTable([point, point])
 
 
+class TestConstraints:
+    def make(self, **kwargs):
+        return VoltageFrequencyTable.from_delays(VOLTAGES, DELAYS,
+                                                 guardband=0.0, **kwargs)
+
+    def test_vth_floor_rejects_near_threshold_points(self):
+        with pytest.raises(ParameterError, match="vth floor"):
+            self.make(vth_floor=0.7)
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ParameterError, match="non-negative"):
+            self.make(vth_floor=-0.1)
+
+    def test_boost_cap_below_one_rejected(self):
+        with pytest.raises(ParameterError, match="boost cap"):
+            self.make(boost_cap=0.9)
+
+    def test_boost_cap_rejects_turbo_point(self):
+        # Nominal at 0.8 V (1 GHz): the 1.0 V point clocks 2x nominal,
+        # over the default 1.3x cap.
+        with pytest.raises(ParameterError, match="boost cap"):
+            self.make(nominal_voltage=0.8)
+
+    def test_boost_cap_admits_turbo_within_cap(self):
+        table = self.make(nominal_voltage=0.8, boost_cap=2.0)
+        assert table.max_boost_frequency == pytest.approx(2e9)
+
+    def test_nominal_must_be_characterized(self):
+        with pytest.raises(ParameterError, match="not a"):
+            self.make(nominal_voltage=0.9)
+
+    def test_nominal_defaults_to_top_point(self):
+        table = self.make()
+        assert table.nominal_voltage == 1.0
+        assert table.max_boost_frequency == pytest.approx(1.3 * 2e9)
+
+    def test_clamp_voltage_floor_and_range(self):
+        table = self.make(vth_floor=0.55)
+        assert table.clamp_voltage(0.3) == 0.6   # floor < lowest point
+        assert table.clamp_voltage(1.4) == 1.0
+        assert table.clamp_voltage(0.75) == 0.75
+        floored = VoltageFrequencyTable.from_delays(
+            [0.7, 1.0], [1e-9, 0.5e-9], guardband=0.0, vth_floor=0.65)
+        assert floored.clamp_voltage(0.0) == 0.7
+
+    def test_clamp_frequency_to_boost_cap(self):
+        table = self.make()
+        assert table.clamp_frequency(1e12) == table.max_boost_frequency
+        assert table.clamp_frequency(-5.0) == 0.0
+        assert table.clamp_frequency(1e9) == 1e9
+
+    def test_clamped_demand_is_always_servable(self):
+        # Construction caps every point at the boost limit, so an
+        # over-cap demand clamps to a frequency voltage_for can serve.
+        table = self.make(nominal_voltage=0.8, boost_cap=2.0)
+        assert table.voltage_for(table.clamp_frequency(9e9)) == 1.0
+
+    def test_grid_at_or_above(self):
+        table = self.make()
+        assert table.grid_at_or_above(0.65) == 0.8
+        assert table.grid_at_or_above(0.8) == 0.8
+        assert table.grid_at_or_above(1.2) == 1.0
+        assert table.grid_at_or_above(0.1) == 0.6
+
+    def test_summary_mentions_constraints(self):
+        assert "vth floor" in self.make(vth_floor=0.55).summary()
+
+
 class TestQueries:
     @pytest.fixture
     def table(self):
