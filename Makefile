@@ -8,7 +8,7 @@ PYTHON ?= python
 # latency injection at every service/engine seam without altering
 # results or dispatch counts, so the ordinary assertions still hold
 # while every lock/timeout path runs under perturbed interleavings.
-CHAOS_PLAN = seed=1;service.demux:delay@p=0.15,ms=2;engine.alloc:delay@p=0.05,ms=1;backend.run_levels:delay@p=0.1,ms=1;shard.dispatch:delay@p=0.1,ms=2;shard.spawn:delay@p=0.5,ms=5
+CHAOS_PLAN = seed=1;service.demux:delay@p=0.15,ms=2;engine.alloc:delay@p=0.05,ms=1;backend.run_levels:delay@p=0.1,ms=1;shard.dispatch:delay@p=0.1,ms=2;shard.spawn:delay@p=0.5,ms=5;charz.fit:delay@p=0.05,ms=1
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop

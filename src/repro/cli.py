@@ -88,16 +88,75 @@ def _voltages(text: str) -> List[float]:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.characterization import (FIXED_GRID_EVALUATIONS,
+                                             AdaptiveConfig)
+    from repro.core.charz_cache import CoefficientCache
+
     library = _load_library()
     spice = AnalyticalSpice(_corner(args.corner, args.temperature))
-    print(f"characterizing {len(library)} cells at order 2*{args.order} "
-          f"({args.corner} corner"
+    adaptive = None
+    if args.adaptive:
+        adaptive = AdaptiveConfig(target_error=args.target_error,
+                                  budget=args.budget)
+        mode = (f"adaptive sampling (target error {adaptive.target_error:g}, "
+                f"budget {adaptive.budget}/entry, auto order)")
+    else:
+        mode = f"fixed 12x9 grid, order 2*{args.order}"
+    cache = CoefficientCache(args.cache_dir) if args.cache_dir else None
+    print(f"characterizing {len(library)} cells ({args.corner} corner"
           + (f", {args.temperature:g} C" if args.temperature is not None else "")
-          + ") ...")
-    table = characterize_library(library, spice, n=args.order).compile()
+          + f", {mode}"
+          + (f", {args.workers} workers" if args.workers > 1 else "")
+          + (f", cache {args.cache_dir}" if cache else "") + ") ...")
+    start = time.perf_counter()
+    characterization = characterize_library(
+        library, spice, n=args.order, adaptive=adaptive,
+        workers=args.workers, cache=cache)
+    wall = time.perf_counter() - start
+    entries = list(characterization.all_entries())
+    charged = characterization.total_evaluations()
+    fixed_baseline = FIXED_GRID_EVALUATIONS * len(entries)
+    print(f"  {len(entries)} delay surfaces, {charged} SPICE delay "
+          f"evaluations charged vs {fixed_baseline} fixed-grid "
+          f"({fixed_baseline / charged:.2f}x); {spice.delay_evaluations} "
+          f"performed this run in {wall:.2f}s")
+    table = characterization.compile()
     table.save(args.output)
     print(f"wrote {table.num_types} cell types "
           f"({table.memory_bytes / 1024:.0f} KiB) to {args.output}")
+    if args.report:
+        report = {
+            "mode": "adaptive" if adaptive else "fixed",
+            "corner": args.corner,
+            "order": None if adaptive else args.order,
+            "workers": args.workers,
+            "wall_seconds": wall,
+            "evaluations": {
+                "charged": charged,
+                "performed": spice.delay_evaluations,
+                "fixed_grid_baseline": fixed_baseline,
+                "ratio_vs_fixed": fixed_baseline / charged,
+            },
+            "entries": [
+                {
+                    "cell": entry.cell_name,
+                    "pin": entry.pin_name,
+                    "polarity": entry.polarity.name.lower(),
+                    "evaluations": entry.evaluations,
+                    "fixed_grid_evaluations": FIXED_GRID_EVALUATIONS,
+                    "half_order": entry.fit.polynomial.n,
+                    "max_fit_error": entry.fit.max_abs_error,
+                }
+                for entry in entries
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote evaluation report to {args.report}")
     return 0
 
 
@@ -448,6 +507,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--temperature", type=float, default=None,
                    help="junction temperature in Celsius")
     p.add_argument("--output", default="kernels.npz")
+    p.add_argument("--adaptive", action="store_true",
+                   help="error-driven adaptive sampling with per-entry "
+                        "order selection instead of the fixed 12x9 grid")
+    p.add_argument("--target-error", type=float, default=0.012,
+                   help="adaptive stopping target as a fraction of the "
+                        "nominal delay (default 0.012)")
+    p.add_argument("--budget", type=int, default=36,
+                   help="adaptive per-entry cap on SPICE delay "
+                        "evaluations (default 36)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel fitting workers (default 1: inline)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent coefficient-cache directory "
+                        "(fingerprint-keyed; warm hits skip SPICE)")
+    p.add_argument("--report", default=None,
+                   help="write a JSON report of per-entry SPICE "
+                        "evaluations vs the fixed-grid baseline")
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("stats", help="circuit statistics")

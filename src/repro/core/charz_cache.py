@@ -1,0 +1,227 @@
+"""Persistent coefficient cache for cell characterizations.
+
+Characterizing a library is the dominant preprocessing cost (the paper
+reports minutes of SPICE per cell); the results are pure functions of
+the cell geometry, the process corner, the parameter space and the flow
+settings.  This module keys fitted coefficient sets by exactly that
+identity (:func:`repro.runtime.fingerprint.characterization_fingerprint`)
+and stores them in two layers:
+
+* a **process-wide memo** — repeated ``characterize_library`` calls in
+  one process (experiments, the service, the AVFS loop) share the same
+  :class:`~repro.core.characterization.CellCharacterization` objects;
+* an **on-disk store** — one ``.npz`` per cell under a cache directory
+  (``REPRO_CHARZ_CACHE`` or ``~/.cache/repro/charz``), written atomically
+  (tmp + ``os.replace``) so concurrent writers and crashes can never
+  leave a torn file.  A warm disk cache makes re-characterization of an
+  unchanged library **zero** SPICE evaluations in a fresh process.
+
+Corrupt or unreadable cache files are treated as misses (and removed
+when possible): the cache can only ever cost a re-characterization,
+never wrong coefficients.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["CACHE_ENV", "CoefficientCache", "default_cache_dir"]
+
+#: Environment variable overriding the default on-disk cache directory.
+CACHE_ENV = "REPRO_CHARZ_CACHE"
+
+#: Bump when the stored payload or its semantics change: old entries
+#: become misses instead of deserialization errors.
+_SCHEMA = 1
+
+_MEMO: Dict[str, object] = {}
+_MEMO_LOCK = threading.Lock()
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CHARZ_CACHE`` or the per-user cache directory."""
+    override = os.environ.get(CACHE_ENV, "").strip()
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "charz")
+
+
+class CoefficientCache:
+    """Two-layer (memo + disk) cache of per-cell characterizations."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = str(directory) if directory is not None else default_cache_dir()
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "memo_hits": self.memo_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "directory": self.directory,
+            }
+
+    @staticmethod
+    def clear_memo() -> None:
+        """Drop the process-wide memo (tests; disk entries survive)."""
+        with _MEMO_LOCK:
+            _MEMO.clear()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.npz")
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, key: str, cell, space):
+        """The cached characterization of ``cell`` under ``key``, or None."""
+        with _MEMO_LOCK:
+            hit = _MEMO.get(key)
+        if hit is not None:
+            with self._lock:
+                self.memo_hits += 1
+            return hit
+        loaded = self._load(key, cell, space)
+        if loaded is not None:
+            with _MEMO_LOCK:
+                _MEMO.setdefault(key, loaded)
+            with self._lock:
+                self.disk_hits += 1
+            return loaded
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, cell_characterization) -> None:
+        """Memoize and persist one cell's characterization under ``key``."""
+        with _MEMO_LOCK:
+            _MEMO[key] = cell_characterization
+        try:
+            self._store(key, cell_characterization)
+        except OSError:
+            # An unwritable cache directory degrades to memo-only.
+            pass
+
+    # -- disk layer -----------------------------------------------------------
+
+    def _store(self, key: str, cell_char) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entries = []
+        arrays: Dict[str, np.ndarray] = {}
+        for i, pin in enumerate(cell_char.pins):
+            entries.append({
+                "pin_name": pin.pin_name,
+                "pin_index": pin.pin_index,
+                "polarity": int(pin.polarity),
+                "evaluations": pin.evaluations,
+                "fit": {
+                    "mean_abs_error": pin.fit.mean_abs_error,
+                    "rms_error": pin.fit.rms_error,
+                    "max_abs_error": pin.fit.max_abs_error,
+                    "r_squared": pin.fit.r_squared,
+                    "condition_number": pin.fit.condition_number,
+                    "sample_count": pin.fit.sample_count,
+                    "method": pin.fit.method,
+                },
+            })
+            arrays[f"p{i}_coefficients"] = pin.fit.polynomial.coefficients
+            arrays[f"p{i}_nominal"] = pin.nominal_delays
+            arrays[f"p{i}_sweep_voltages"] = pin.sweep.voltages
+            arrays[f"p{i}_sweep_loads"] = pin.sweep.loads
+            arrays[f"p{i}_sweep_delays"] = pin.sweep.delays
+        meta = {
+            "schema": _SCHEMA,
+            "cell": cell_char.cell.name,
+            "elapsed_seconds": cell_char.elapsed_seconds,
+            "entries": entries,
+        }
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".npz")
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                np.savez(stream, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load(self, key: str, cell, space):
+        from repro.cells.cell import DrivePolarity
+        from repro.core.characterization import (
+            CellCharacterization,
+            PinCharacterization,
+            _deviation_reference,
+        )
+        from repro.core.polynomial import SurfacePolynomial
+        from repro.core.regression import FitResult
+        from repro.electrical.spice import DelayGrid
+
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+                if meta.get("schema") != _SCHEMA or meta.get("cell") != cell.name:
+                    return None
+                pins = []
+                for i, entry in enumerate(meta["entries"]):
+                    sweep = DelayGrid(
+                        voltages=archive[f"p{i}_sweep_voltages"],
+                        loads=archive[f"p{i}_sweep_loads"],
+                        delays=archive[f"p{i}_sweep_delays"],
+                    )
+                    nominal = archive[f"p{i}_nominal"]
+                    stats = entry["fit"]
+                    fit = FitResult(
+                        polynomial=SurfacePolynomial(archive[f"p{i}_coefficients"]),
+                        mean_abs_error=stats["mean_abs_error"],
+                        rms_error=stats["rms_error"],
+                        max_abs_error=stats["max_abs_error"],
+                        r_squared=stats["r_squared"],
+                        condition_number=stats["condition_number"],
+                        sample_count=stats["sample_count"],
+                        solve_seconds=0.0,
+                        method=stats["method"],
+                    )
+                    pins.append(PinCharacterization(
+                        cell_name=cell.name,
+                        pin_name=entry["pin_name"],
+                        pin_index=entry["pin_index"],
+                        polarity=DrivePolarity(entry["polarity"]),
+                        space=space,
+                        fit=fit,
+                        reference=_deviation_reference(sweep, nominal, space),
+                        nominal_delays=nominal,
+                        sweep=sweep,
+                        evaluations=entry["evaluations"],
+                    ))
+                return CellCharacterization(
+                    cell=cell,
+                    pins=tuple(pins),
+                    elapsed_seconds=float(meta.get("elapsed_seconds", 0.0)),
+                )
+        except Exception:
+            # Torn, truncated or stale-format file: drop it and re-fit.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None

@@ -217,7 +217,15 @@ class DelayKernelTable:
         library = characterization.library
         names = tuple(library.names())
         max_pins = max(cell.num_inputs for cell in library)
-        n1 = characterization.n + 1
+        # Entries may carry different half-orders (the adaptive flow
+        # selects per entry); the dense table is sized for the largest
+        # and smaller grids are zero-padded at the high-power end, which
+        # evaluates bit-identically under Horner.
+        n1 = max(
+            [characterization.n + 1]
+            + [entry.fit.polynomial.coefficients.shape[0]
+               for entry in characterization.all_entries()]
+        )
         coefficients = np.zeros((len(names), max_pins, 2, n1, n1), dtype=np.float64)
         pin_counts = np.zeros(len(names), dtype=np.int64)
         for type_id, name in enumerate(names):
@@ -225,11 +233,9 @@ class DelayKernelTable:
             pin_counts[type_id] = cell_char.cell.num_inputs
             for entry in cell_char.pins:
                 grid = entry.fit.polynomial.coefficients
-                if grid.shape != (n1, n1):
-                    raise CharacterizationError(
-                        f"{name}/{entry.pin_name}: inconsistent polynomial order"
-                    )
-                coefficients[type_id, entry.pin_index, int(entry.polarity)] = grid
+                side = grid.shape[0]
+                coefficients[type_id, entry.pin_index, int(entry.polarity),
+                             :side, :side] = grid
         return cls(
             coefficients=coefficients,
             pin_counts=pin_counts,

@@ -42,8 +42,8 @@ class GridInterpolator:
             raise ValueError(
                 f"value grid {z.shape} does not match axes ({len(x)}, {len(y)})"
             )
-        if len(x) < 2 or len(y) < 2:
-            raise ValueError("interpolation grid needs at least 2x2 samples")
+        if len(x) < 1 or len(y) < 1:
+            raise ValueError("interpolation grid needs at least 1x1 samples")
         if np.any(np.diff(x) <= 0) or np.any(np.diff(y) <= 0):
             raise ValueError("grid axes must be strictly increasing")
         object.__setattr__(self, "x_axis", x)
@@ -62,22 +62,13 @@ class GridInterpolator:
         scalar = np.ndim(x) == 0 and np.ndim(y) == 0
         x_b, y_b = np.broadcast_arrays(x, y)
 
-        xi = np.clip(np.searchsorted(self.x_axis, x_b, side="right") - 1, 0,
-                     len(self.x_axis) - 2)
-        yi = np.clip(np.searchsorted(self.y_axis, y_b, side="right") - 1, 0,
-                     len(self.y_axis) - 2)
-
-        x0 = self.x_axis[xi]
-        x1 = self.x_axis[xi + 1]
-        y0 = self.y_axis[yi]
-        y1 = self.y_axis[yi + 1]
-        tx = np.clip((x_b - x0) / (x1 - x0), 0.0, 1.0)
-        ty = np.clip((y_b - y0) / (y1 - y0), 0.0, 1.0)
+        xi, xj, tx = self._locate(self.x_axis, x_b)
+        yi, yj, ty = self._locate(self.y_axis, y_b)
 
         v00 = self.values[xi, yi]
-        v01 = self.values[xi, yi + 1]
-        v10 = self.values[xi + 1, yi]
-        v11 = self.values[xi + 1, yi + 1]
+        v01 = self.values[xi, yj]
+        v10 = self.values[xj, yi]
+        v11 = self.values[xj, yj]
         result = (
             v00 * (1 - tx) * (1 - ty)
             + v10 * tx * (1 - ty)
@@ -85,6 +76,24 @@ class GridInterpolator:
             + v11 * tx * ty
         )
         return float(result) if scalar else result
+
+    @staticmethod
+    def _locate(axis: np.ndarray, queries: np.ndarray):
+        """Cell index pair and interpolation weight along one axis.
+
+        A single-sample axis is *flat*: every query maps to the lone
+        sample with zero weight toward the (identical) upper neighbor,
+        which makes single-row/-column grids interpolate as constants
+        along that axis.
+        """
+        if len(axis) == 1:
+            zero = np.zeros(queries.shape, dtype=np.intp)
+            return zero, zero, np.zeros(queries.shape, dtype=np.float64)
+        lo = np.clip(np.searchsorted(axis, queries, side="right") - 1, 0,
+                     len(axis) - 2)
+        hi = lo + 1
+        t = np.clip((queries - axis[lo]) / (axis[hi] - axis[lo]), 0.0, 1.0)
+        return lo, hi, t
 
 
 def subsample(interpolator: GridInterpolator, factor: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

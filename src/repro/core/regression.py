@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Dict, Sequence
+
 import numpy as np
 
 from repro.core.polynomial import SurfacePolynomial, design_matrix
 from repro.errors import RegressionError
 
-__all__ = ["FitResult", "fit_polynomial"]
+__all__ = ["FitResult", "OrderSelection", "fit_polynomial", "select_half_order"]
 
 
 @dataclass(frozen=True)
@@ -127,3 +129,68 @@ def fit_polynomial(
         solve_seconds=solve_seconds,
         method=used,
     )
+
+
+@dataclass(frozen=True)
+class OrderSelection:
+    """Cross-validated half-order choice plus the per-candidate scores."""
+
+    n: int
+    cv_errors: Dict[int, float]
+
+
+def select_half_order(
+    v: np.ndarray,
+    c: np.ndarray,
+    y: np.ndarray,
+    candidates: Sequence[int] = (1, 2, 3, 4),
+    folds: int = 4,
+    tolerance: float = 0.05,
+) -> OrderSelection:
+    """Pick a polynomial half-order by deterministic K-fold cross-validation.
+
+    Every candidate ``n`` is scored by the mean held-out RMS error over
+    ``folds`` strided folds (fold ``k`` holds out samples ``k, k+folds,
+    k+2·folds, …`` — deterministic, no RNG, so selection is reproducible
+    across processes).  Candidates whose coefficient count exceeds the
+    training-fold size are skipped.  The winner is the *smallest* order
+    whose CV error is within ``tolerance`` (relative) of the best score
+    — the parsimony rule that keeps kernels cheap when a low order
+    already explains the surface.
+    """
+    v = np.asarray(v, dtype=np.float64).ravel()
+    c = np.asarray(c, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if not (len(v) == len(c) == len(y)):
+        raise RegressionError("v, c and y must have equal sample counts")
+    if folds < 2:
+        raise RegressionError("cross-validation needs at least 2 folds")
+    folds = min(folds, len(y))
+    indices = np.arange(len(y))
+    scores: Dict[int, float] = {}
+    for n in sorted(set(int(k) for k in candidates)):
+        if n < 0:
+            raise RegressionError("half-order candidates must be >= 0")
+        coefficients = (n + 1) ** 2
+        fold_errors = []
+        feasible = True
+        for k in range(folds):
+            test = indices % folds == k
+            train = ~test
+            if int(train.sum()) < coefficients or not test.any():
+                feasible = False
+                break
+            fit = fit_polynomial(v[train], c[train], y[train], n=n, method="auto")
+            predicted = fit.polynomial.evaluate(v[test], c[test])
+            fold_errors.append(float(np.sqrt(np.mean((predicted - y[test]) ** 2))))
+        if feasible:
+            scores[n] = float(np.mean(fold_errors))
+    if not scores:
+        raise RegressionError(
+            f"no feasible half-order among {tuple(candidates)} for "
+            f"{len(y)} samples in {folds} folds"
+        )
+    best = min(scores.values())
+    ceiling = best * (1.0 + tolerance) + 1e-12
+    chosen = min(n for n, score in scores.items() if score <= ceiling)
+    return OrderSelection(n=chosen, cv_errors=scores)

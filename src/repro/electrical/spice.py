@@ -13,6 +13,7 @@ loads ``C ∈ {2^i fF | i = −1 … 7}``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -101,14 +102,43 @@ class AnalyticalSpice:
         #: matches the paper's observation that a full sweep takes a few
         #: minutes per cell on real SPICE).
         self.transient_runs = 0
+        #: Number of delay points evaluated so far.  The adaptive
+        #: characterization flow budgets and reports against this counter
+        #: (its whole point is doing fewer of these); it equals
+        #: ``transient_runs`` because every transient analysis measures
+        #: exactly one delay point.
+        self.delay_evaluations = 0
+        # Counters are guarded: characterize_library fans one spice out
+        # across pool workers, and ``+=`` is not atomic.
+        self._lock = threading.Lock()
 
     # -- single measurements ----------------------------------------------------
 
     def measure(self, cell: Cell, pin: CellPin, polarity: DrivePolarity,
                 v: float, c: float) -> float:
         """One transient analysis: the pin-to-pin delay at ``(v, c)``."""
-        self.transient_runs += 1
-        return float(self.model.pin_delay(cell, pin, polarity, v, c))
+        return float(self.delays_at(cell, pin, polarity, [(v, c)])[0])
+
+    def delays_at(self, cell: Cell, pin: CellPin, polarity: DrivePolarity,
+                  points) -> np.ndarray:
+        """Batched transient analyses at arbitrary operating points.
+
+        ``points`` is an ``(m, 2)`` array-like of ``(v, c)`` pairs; the
+        return value is the ``(m,)`` array of propagation delays.  One
+        transient analysis is counted per point, so adaptive sampling
+        cost is measured exactly.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(
+                f"points must have shape (m, 2), got {pts.shape}")
+        with self._lock:
+            self.transient_runs += pts.shape[0]
+            self.delay_evaluations += pts.shape[0]
+        return np.asarray(
+            self.model.pin_delay(cell, pin, polarity, pts[:, 0], pts[:, 1]),
+            dtype=np.float64,
+        )
 
     # -- sweeps -----------------------------------------------------------------
 
@@ -118,11 +148,11 @@ class AnalyticalSpice:
         """Parameter sweep over a (voltage × load) grid (Fig. 1 step A)."""
         v_arr = np.asarray(voltages, dtype=np.float64)
         c_arr = np.asarray(loads, dtype=np.float64)
-        self.transient_runs += v_arr.size * c_arr.size
-        delays = self.model.pin_delay(
-            cell, pin, polarity, v_arr[:, None], c_arr[None, :]
-        )
-        return DelayGrid(voltages=v_arr, loads=c_arr, delays=np.asarray(delays))
+        v_mesh, c_mesh = np.meshgrid(v_arr, c_arr, indexing="ij")
+        delays = self.delays_at(
+            cell, pin, polarity, np.column_stack([v_mesh.ravel(), c_mesh.ravel()])
+        ).reshape(v_arr.size, c_arr.size)
+        return DelayGrid(voltages=v_arr, loads=c_arr, delays=delays)
 
     def sweep_cell(self, cell: Cell,
                    voltages: Sequence[float] = PAPER_VOLTAGES,

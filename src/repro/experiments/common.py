@@ -8,12 +8,14 @@ from typing import Dict, List, Optional, Sequence
 from repro.cells.library import CellLibrary
 from repro.cells.nangate15 import make_nangate15_library
 from repro.core.characterization import LibraryCharacterization, characterize_library
+from repro.core.charz_cache import CoefficientCache
 from repro.core.delay_kernel import DelayKernelTable
 from repro.electrical.spice import AnalyticalSpice
 from repro.units import format_runtime, meps, si_format
 
 __all__ = [
     "default_library",
+    "default_charz_cache",
     "default_characterization",
     "default_kernel_table",
     "format_table",
@@ -23,7 +25,7 @@ __all__ = [
 ]
 
 _LIBRARY: Optional[CellLibrary] = None
-_CHARACTERIZATIONS: Dict[int, LibraryCharacterization] = {}
+_CACHE: Optional[CoefficientCache] = None
 _TABLES: Dict[int, DelayKernelTable] = {}
 
 
@@ -35,13 +37,25 @@ def default_library() -> CellLibrary:
     return _LIBRARY
 
 
+def default_charz_cache() -> CoefficientCache:
+    """The shared coefficient cache every experiment routes through."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = CoefficientCache()
+    return _CACHE
+
+
 def default_characterization(n: int = 3) -> LibraryCharacterization:
-    """Library characterization at half-order ``n``, cached per process."""
-    if n not in _CHARACTERIZATIONS:
-        _CHARACTERIZATIONS[n] = characterize_library(
-            default_library(), AnalyticalSpice(), n=n
-        )
-    return _CHARACTERIZATIONS[n]
+    """Library characterization at half-order ``n``.
+
+    Cells come from the fingerprint-keyed coefficient cache (process
+    memo + on-disk store), so repeated calls — including across worker
+    *processes*, which the old per-process dict could not serve — cost
+    zero SPICE evaluations once the cache is warm.
+    """
+    return characterize_library(
+        default_library(), AnalyticalSpice(), n=n, cache=default_charz_cache()
+    )
 
 
 def default_kernel_table(n: int = 3) -> DelayKernelTable:

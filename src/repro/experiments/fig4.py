@@ -22,10 +22,11 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.cells.nangate15 import FIG4_FAMILIES
-from repro.core.characterization import characterize_cell
+from repro.core.characterization import characterize_cell_cached
 from repro.core.parameters import ParameterSpace
 from repro.electrical.spice import AnalyticalSpice
-from repro.experiments.common import default_library, format_table
+from repro.experiments.common import (default_charz_cache, default_library,
+                                      format_table)
 from repro.experiments.paper_data import PAPER_FIG4
 
 __all__ = ["Fig4Result", "OrderStats", "run", "main"]
@@ -79,6 +80,7 @@ def run(
     library = default_library().select(families)
     space = ParameterSpace.paper_default()
     spice = AnalyticalSpice()
+    cache = default_charz_cache()
     order_stats: List[OrderStats] = []
     for n in orders:
         means: List[float] = []
@@ -86,8 +88,9 @@ def run(
         maxima: List[float] = []
         solve_times: List[float] = []
         for cell in library:
-            characterization = characterize_cell(
-                spice, cell, space=space, n=n, subsample_factor=subsample_factor
+            characterization = characterize_cell_cached(
+                spice, cell, cache,
+                space=space, n=n, subsample_factor=subsample_factor,
             )
             for entry in characterization.pins:
                 mean, std, maximum = entry.evaluation_error(grid)

@@ -19,10 +19,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.cells.cell import DrivePolarity
-from repro.core.characterization import PinCharacterization, characterize_pin
+from repro.core.characterization import (PinCharacterization,
+                                         characterize_cell_cached)
 from repro.core.parameters import ParameterSpace
 from repro.electrical.spice import AnalyticalSpice
-from repro.experiments.common import default_library
+from repro.experiments.common import default_charz_cache, default_library
 from repro.experiments.paper_data import PAPER_FIG5
 
 __all__ = ["Fig5Result", "run", "main"]
@@ -58,9 +59,9 @@ def run(cell_name: str = "NOR2_X2", pin_name: str = "A1", n: int = 3,
     cell = library[cell_name]
     pin = cell.pin(pin_name)
     space = ParameterSpace.paper_default()
-    characterization = characterize_pin(
-        AnalyticalSpice(), cell, pin, DrivePolarity.RISE, space=space, n=n
-    )
+    characterization = characterize_cell_cached(
+        AnalyticalSpice(), cell, default_charz_cache(), space=space, n=n
+    ).entry(pin.name, DrivePolarity.RISE)
     nv = np.linspace(0.0, 1.0, grid)
     nc = np.linspace(0.0, 1.0, grid)
     reference = characterization.reference(nv[:, None], nc[None, :])

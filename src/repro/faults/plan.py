@@ -56,6 +56,7 @@ FAULT_SITES = (
     "shard.dispatch",        # shard-side batch execution (in the worker process)
     "shard.spawn",           # router-side shard process spawn
     "loop.step",             # closed-loop AVFS iteration (before checkpointing)
+    "charz.fit",             # characterization regression step (per fit call)
 )
 
 #: Supported fault kinds.

@@ -28,6 +28,8 @@ Report schema (version 1)::
       "incremental_speedups": {scenario: {backend: full_wall / delta_wall}},
       "closed_loop_speedups": {backend: full_wall / delta_wall},
       "parametric_ratios": {circuit: {backend: parametric_wall / static_wall}},
+      "characterization_speedups": {"evaluation_ratio": ...,
+                                    "warm_cache_evaluations": ..., ...},
       "faults_disabled_overhead": {backend: seam_cost_fraction_of_e2e_wall}
     }
 
@@ -75,6 +77,20 @@ asserted bit-identical and ``closed_loop_speedups`` records the wall
 ratio — the payoff of incremental re-simulation inside a feedback loop
 that keeps revisiting the settled operating point.
 
+The characterization scenario (``characterization_{fixed,adaptive,
+pool,warm_cache}``) characterizes the cell library once on the fixed
+12×9 SPICE grid, once with the error-driven adaptive sampler, once
+through the fitting worker pool, and once against a warm coefficient
+cache.  ``characterization_speedups`` records the SPICE-evaluation
+ratio, the worst fit error of both flows against the fixed grid's
+bilinear reference (the Fig. 4/5 yardstick), the pool scaling, and the
+warm-cache evaluation count.  Three of its gates are absolute and
+machine-independent (like the fault-seam gate): the adaptive flow must
+spend at least :data:`CHARZ_EVAL_RATIO_FLOOR`× fewer evaluations, keep
+its worst error within ``max(fixed × CHARZ_ERROR_FACTOR,
+CHARZ_ERROR_FLOOR)``, and the warm-cache pass must perform **zero**
+SPICE evaluations.
+
 The fault-seam scenario (``fault_seams_e2e``) prices a single crossing
 of the *disabled* ``repro.faults.trip`` path, counts how many crossings
 one end-to-end run performs, and records the projected fraction of wall
@@ -106,9 +122,13 @@ from repro.simulation.backend import (
 )
 
 __all__ = [
+    "CHARZ_ERROR_FACTOR",
+    "CHARZ_ERROR_FLOOR",
+    "CHARZ_EVAL_RATIO_FLOOR",
     "DEFAULT_OUTPUT",
     "DEFAULT_THRESHOLD",
     "FAULT_OVERHEAD_CEILING",
+    "bench_characterization",
     "bench_end_to_end",
     "bench_delay_kernel",
     "bench_fault_seams",
@@ -210,6 +230,23 @@ INCR_SWEEP_VOLTAGES = 16
 INCR_PATTERNS = 8
 INCR_PATTERNS_QUICK = 4
 INCR_FLIP_ONE_IN = 32
+
+#: Characterization scenario: fixed-grid vs adaptive library
+#: characterization.  Quick mode restricts the library to a family
+#: subset (logged) so the CI smoke stays fast; the gates are per-flow
+#: ratios and hold on the subset too.
+CHARZ_FAMILIES_QUICK = ("INV", "NAND2", "NOR2", "BUF")
+CHARZ_PARITY_GRID = 64
+CHARZ_POOL_WORKERS = 4
+#: Adaptive characterization must spend at least this many times fewer
+#: SPICE delay evaluations than the 12×9 fixed grid.
+CHARZ_EVAL_RATIO_FLOOR = 3.0
+#: ... while its worst fit error vs the fixed grid's bilinear reference
+#: stays within ``max(fixed_worst × FACTOR, FLOOR)`` — parity with the
+#: Fig. 4/5 accuracy, with an absolute floor so near-zero fixed errors
+#: do not make the relative gate impossibly tight.
+CHARZ_ERROR_FACTOR = 1.25
+CHARZ_ERROR_FLOOR = 0.02
 
 #: Fault-seam scenario: spin calls through the disabled ``faults.trip``
 #: path to price one seam crossing, count the crossings one end-to-end
@@ -795,6 +832,95 @@ def bench_fault_seams(backend_name: str, num_patterns: int,
         overhead_fraction=overhead)
 
 
+def bench_characterization(quick: bool = False,
+                           workers: int = CHARZ_POOL_WORKERS) -> List[dict]:
+    """Fixed-grid vs adaptive vs pooled vs warm-cache characterization.
+
+    Four entries, all backend-independent (``backend="numpy"`` — the
+    SPICE stand-in is pure NumPy): the full library on the fixed 12×9
+    grid, the same library through the error-driven adaptive sampler
+    (sequential, then through the fitting worker pool), and a repeat
+    adaptive run against a pre-warmed coefficient cache.  Each entry's
+    params carry the SPICE ``delay_evaluations`` it performed; the
+    fixed/adaptive entries also carry their worst fit error against the
+    fixed grid's bilinear reference on a
+    :data:`CHARZ_PARITY_GRID`² probe — the Fig. 4/5 accuracy metric
+    that :func:`compare_reports` gates.
+    """
+    import tempfile
+
+    from repro.core.characterization import (AdaptiveConfig,
+                                             characterize_library)
+    from repro.core.charz_cache import CoefficientCache
+    from repro.electrical.spice import AnalyticalSpice
+    from repro.experiments.common import default_library
+
+    library = default_library()
+    if quick:
+        library = library.select(CHARZ_FAMILIES_QUICK)
+    config = AdaptiveConfig()
+    common = dict(cells=len(library),
+                  families="quick-subset" if quick else "all")
+
+    spice = AnalyticalSpice()
+    start = time.perf_counter()
+    fixed = characterize_library(library, spice)
+    fixed_wall = time.perf_counter() - start
+    fixed_evals = spice.delay_evaluations
+
+    spice = AnalyticalSpice()
+    start = time.perf_counter()
+    adaptive = characterize_library(library, spice, adaptive=config)
+    adaptive_wall = time.perf_counter() - start
+    adaptive_evals = spice.delay_evaluations
+
+    # Worst |fit - fixed-grid bilinear reference| over every entry, on
+    # the same equidistant normalized probe grid Fig. 4/5 use.
+    nv = np.linspace(0.0, 1.0, CHARZ_PARITY_GRID)[:, None]
+    nc = np.linspace(0.0, 1.0, CHARZ_PARITY_GRID)[None, :]
+    fixed_worst = 0.0
+    adaptive_worst = 0.0
+    for cell_name, fixed_cell in fixed.cells.items():
+        for entry in fixed_cell.pins:
+            reference = entry.reference(nv, nc)
+            fixed_worst = max(fixed_worst, float(np.abs(
+                entry.fit.polynomial.evaluate(nv, nc) - reference).max()))
+            other = adaptive.entry(cell_name, entry.pin_name, entry.polarity)
+            adaptive_worst = max(adaptive_worst, float(np.abs(
+                other.fit.polynomial.evaluate(nv, nc) - reference).max()))
+
+    spice = AnalyticalSpice()
+    start = time.perf_counter()
+    characterize_library(library, spice, adaptive=config, workers=workers)
+    pool_wall = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = CoefficientCache(tmp)
+        characterize_library(library, AnalyticalSpice(), adaptive=config,
+                             cache=cache)
+        CoefficientCache.clear_memo()  # warm run must come from disk
+        warm_spice = AnalyticalSpice()
+        start = time.perf_counter()
+        characterize_library(library, warm_spice, adaptive=config,
+                             cache=cache)
+        warm_wall = time.perf_counter() - start
+        warm_evals = warm_spice.delay_evaluations
+
+    return [
+        _entry("characterization_fixed", "numpy", fixed_wall, fixed_evals,
+               delay_evaluations=fixed_evals, worst_error=fixed_worst,
+               **common),
+        _entry("characterization_adaptive", "numpy", adaptive_wall,
+               adaptive_evals, delay_evaluations=adaptive_evals,
+               worst_error=adaptive_worst, target_error=config.target_error,
+               budget=config.budget, **common),
+        _entry("characterization_pool", "numpy", pool_wall, adaptive_evals,
+               delay_evaluations=adaptive_evals, workers=workers, **common),
+        _entry("characterization_warm_cache", "numpy", warm_wall, warm_evals,
+               delay_evaluations=warm_evals, **common),
+    ]
+
+
 # -- suite -------------------------------------------------------------------------
 
 
@@ -865,6 +991,9 @@ def run_suite(quick: bool = False,
             benchmarks.append(bench_fault_seams(name, patterns,
                                                 spins=seam_spins))
 
+        # Backend-independent (pure-NumPy SPICE stand-in): run once.
+        benchmarks.extend(bench_characterization(quick=quick))
+
     return {
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": time.time(),
@@ -885,6 +1014,7 @@ def run_suite(quick: bool = False,
         "incremental_speedups": _incremental_speedups(benchmarks),
         "closed_loop_speedups": _closed_loop_speedups(benchmarks),
         "parametric_ratios": _parametric_ratios(benchmarks),
+        "characterization_speedups": _characterization_speedups(benchmarks),
         "faults_disabled_overhead": _fault_overhead(benchmarks),
     }
 
@@ -998,6 +1128,38 @@ def _parametric_ratios(benchmarks: List[dict]) -> Dict[str, Dict[str, float]]:
     return ratios
 
 
+def _characterization_speedups(benchmarks: List[dict]) -> dict:
+    """Adaptive-vs-fixed characterization: evaluations, parity, cache, pool."""
+    by_name = {entry["name"]: entry for entry in benchmarks
+               if entry["name"].startswith("characterization_")}
+    fixed = by_name.get("characterization_fixed")
+    adaptive = by_name.get("characterization_adaptive")
+    if fixed is None or adaptive is None:
+        return {}
+    fixed_evals = fixed["params"]["delay_evaluations"]
+    adaptive_evals = adaptive["params"]["delay_evaluations"]
+    section = {
+        "fixed_evaluations": fixed_evals,
+        "adaptive_evaluations": adaptive_evals,
+        "evaluation_ratio": (fixed_evals / adaptive_evals
+                             if adaptive_evals else None),
+        "fixed_worst_error": fixed["params"]["worst_error"],
+        "adaptive_worst_error": adaptive["params"]["worst_error"],
+        "wall_speedup": (fixed["wall_seconds"] / adaptive["wall_seconds"]
+                         if adaptive["wall_seconds"] > 0 else None),
+    }
+    warm = by_name.get("characterization_warm_cache")
+    if warm is not None:
+        section["warm_cache_evaluations"] = \
+            warm["params"]["delay_evaluations"]
+    pool = by_name.get("characterization_pool")
+    if pool is not None and pool["wall_seconds"] > 0:
+        section["pool_workers"] = pool["params"]["workers"]
+        section["pool_speedup"] = \
+            adaptive["wall_seconds"] / pool["wall_seconds"]
+    return section
+
+
 def _fault_overhead(benchmarks: List[dict]) -> Dict[str, float]:
     """Per backend: projected fraction of e2e wall spent crossing
     disabled fault seams (``crossings × unit_cost / wall``)."""
@@ -1082,6 +1244,14 @@ def compare_reports(current: dict, baseline: dict,
     :data:`FAULT_OVERHEAD_CEILING` rather than the baseline: the
     contract is "disabled fault seams cost under 1% of end-to-end
     wall", not "no slower than last time".
+
+    ``characterization_speedups`` is likewise gated absolutely (and is
+    machine-independent, so it also fires under ``--fail-ratios``):
+    adaptive characterization must spend at least
+    :data:`CHARZ_EVAL_RATIO_FLOOR`× fewer SPICE delay evaluations than
+    the fixed grid while its worst fit error stays within
+    ``max(fixed_worst × CHARZ_ERROR_FACTOR, CHARZ_ERROR_FLOOR)``, and
+    the warm-cache pass must perform zero evaluations.
     """
     previous = {(entry["name"], entry["backend"]): entry["wall_seconds"]
                 for entry in baseline.get("benchmarks", [])}
@@ -1105,6 +1275,32 @@ def compare_reports(current: dict, baseline: dict,
                 f"faults_disabled_overhead[{backend}]: "
                 f"{fraction:.4%} of e2e wall spent on disabled fault "
                 f"seams (> {FAULT_OVERHEAD_CEILING:.0%} ceiling)"
+            )
+    charz = _characterization_speedups(current.get("benchmarks", []))
+    if charz:
+        ratio = charz.get("evaluation_ratio") or 0.0
+        if ratio < CHARZ_EVAL_RATIO_FLOOR:
+            regressions.append(
+                f"characterization[evals]: adaptive spent only {ratio:.2f}x "
+                f"fewer SPICE evaluations than the fixed grid "
+                f"({charz['fixed_evaluations']} -> "
+                f"{charz['adaptive_evaluations']}; "
+                f"floor {CHARZ_EVAL_RATIO_FLOOR:.1f}x)"
+            )
+        ceiling = max(charz["fixed_worst_error"] * CHARZ_ERROR_FACTOR,
+                      CHARZ_ERROR_FLOOR)
+        if charz["adaptive_worst_error"] > ceiling:
+            regressions.append(
+                f"characterization[error]: adaptive worst fit error "
+                f"{charz['adaptive_worst_error']:.4f} exceeds "
+                f"{ceiling:.4f} (fixed worst "
+                f"{charz['fixed_worst_error']:.4f} x {CHARZ_ERROR_FACTOR})"
+            )
+        if charz.get("warm_cache_evaluations"):
+            regressions.append(
+                f"characterization[cache]: warm-cache characterize_library "
+                f"performed {charz['warm_cache_evaluations']} SPICE "
+                f"evaluations (expected 0)"
             )
     baseline_ratios = _parametric_ratios(baseline.get("benchmarks", []))
     for circuit, per_backend in _parametric_ratios(
@@ -1172,6 +1368,17 @@ def _print_summary(report: dict, stream=None) -> None:
     for circuit, ratios in report.get("parametric_ratios", {}).items():
         text = ", ".join(f"{b} {r:.2f}x" for b, r in ratios.items())
         print(f"  parametric/static ratio — {circuit}: {text}", file=stream)
+    charz = report.get("characterization_speedups", {})
+    if charz:
+        ratio = charz.get("evaluation_ratio")
+        print(f"  characterization: {ratio:.2f}x fewer SPICE evals "
+              f"({charz['fixed_evaluations']} -> "
+              f"{charz['adaptive_evaluations']}), worst error "
+              f"{charz['adaptive_worst_error']:.4f} vs fixed "
+              f"{charz['fixed_worst_error']:.4f}, warm cache "
+              f"{charz.get('warm_cache_evaluations', 'n/a')} evals, "
+              f"pool({charz.get('pool_workers', '?')}) "
+              f"{charz.get('pool_speedup', 0.0):.2f}x", file=stream)
     overhead = report.get("faults_disabled_overhead", {})
     if overhead:
         text = ", ".join(f"{b} {fraction:.4%}"
@@ -1205,10 +1412,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="report regressions but exit 0 (artifact "
                              "recording on foreign machines)")
     parser.add_argument("--fail-ratios", action="store_true",
-                        help="fail on parametric/static ratio regressions "
-                             "even with --no-fail (the ratio is "
-                             "machine-independent, so it gates on foreign "
-                             "machines where raw wall times cannot)")
+                        help="fail on parametric/static ratio and "
+                             "characterization-gate regressions even with "
+                             "--no-fail (both are machine-independent, so "
+                             "they gate on foreign machines where raw wall "
+                             "times cannot)")
     args = parser.parse_args(argv)
 
     backends = ([b.strip() for b in args.backends.split(",") if b.strip()]
@@ -1233,8 +1441,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             for message in regressions:
                 print(f"  {message}", file=sys.stderr)
-            ratio_regressions = [m for m in regressions
-                                 if m.startswith("parametric_ratio[")]
+            ratio_regressions = [
+                m for m in regressions
+                if m.startswith(("parametric_ratio[", "characterization["))]
             if not args.no_fail:
                 return 3
             if args.fail_ratios and ratio_regressions:

@@ -30,6 +30,7 @@ import numpy as np
 __all__ = [
     "Fingerprinter",
     "campaign_fingerprint",
+    "characterization_fingerprint",
     "circuit_fingerprint",
     "compatibility_fingerprint",
     "job_fingerprint",
@@ -163,6 +164,74 @@ def circuit_fingerprint(compiled) -> str:
     """Identity of a compiled circuit alone (the service circuit key)."""
     fp = Fingerprinter()
     feed_compiled(fp, compiled)
+    return fp.hexdigest()
+
+
+def feed_cell(fp: Fingerprinter, cell) -> None:
+    """Everything about a cell that shapes its delay surfaces."""
+    fp.feed_json("cell", {
+        "name": cell.name,
+        "family": cell.family,
+        "strength": cell.strength,
+        "parasitic": cell.parasitic,
+        "output": cell.output,
+        "pins": [
+            {
+                "name": pin.name,
+                "index": pin.index,
+                "input_cap": pin.input_cap,
+                "effort": pin.effort,
+                "parasitic_weight": pin.parasitic_weight,
+            }
+            for pin in sorted(cell.pins, key=lambda p: p.index)
+        ],
+    })
+
+
+def feed_corner(fp: Fingerprinter, corner) -> None:
+    """Process-corner identity: all four α-power parameter sets."""
+    fp.feed_json("corner", {
+        "name": corner.name,
+        "coupling": corner.coupling,
+        "noise": corner.noise,
+        "alpha_power": {
+            edge: {"k": params.k, "vth": params.vth, "alpha": params.alpha}
+            for edge, params in (
+                ("rise_load", corner.rise_load),
+                ("fall_load", corner.fall_load),
+                ("rise_par", corner.rise_par),
+                ("fall_par", corner.fall_par),
+            )
+        },
+    })
+
+
+def feed_space(fp: Fingerprinter, space) -> None:
+    """Parameter-space bounds and nominal point (the normalizers)."""
+    fp.feed_json("space", {
+        "v_min": space.v_min,
+        "v_max": space.v_max,
+        "c_min": space.c_min,
+        "c_max": space.c_max,
+        "v_nom": space.v_nom,
+    })
+
+
+def characterization_fingerprint(cell, corner, space, flow: dict) -> str:
+    """Coefficient-cache key for one cell's characterization.
+
+    Two invocations get the same digest exactly when they would fit the
+    same coefficient sets: same cell geometry, same process corner, same
+    parameter space and the same flow settings (``flow`` is the JSON-able
+    mode/order/budget bundle built by ``characterize_library``).  Purely
+    operational knobs — worker count, cache directory — are excluded, per
+    the module contract.
+    """
+    fp = Fingerprinter()
+    feed_cell(fp, cell)
+    feed_corner(fp, corner)
+    feed_space(fp, space)
+    fp.feed_json("charz_flow", flow)
     return fp.hexdigest()
 
 

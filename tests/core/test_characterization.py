@@ -5,11 +5,15 @@ import pytest
 
 from repro.cells.cell import DrivePolarity
 from repro.core.characterization import (
+    FIXED_GRID_EVALUATIONS,
+    AdaptiveConfig,
     characterize_cell,
     characterize_library,
     characterize_pin,
 )
 from repro.core.parameters import ParameterSpace
+from repro.electrical.spice import AnalyticalSpice
+from repro.errors import CharacterizationError
 from repro.units import FF
 
 
@@ -99,3 +103,153 @@ class TestCellAndLibrary:
         table = characterization.compile()
         assert table.num_types == len(library)
         assert table.n == characterization.n
+
+
+@pytest.fixture(scope="module")
+def adaptive_result(library):
+    """Full-library adaptive characterization plus its SPICE eval count."""
+    spice = AnalyticalSpice()
+    result = characterize_library(library, spice, adaptive=AdaptiveConfig())
+    return result, spice.delay_evaluations
+
+
+class TestAdaptiveCharacterization:
+    def test_accuracy_parity_matrix(self, adaptive_result, characterization):
+        """Every Nangate15 entry stays at fixed-grid accuracy parity.
+
+        Yardstick per entry: max |fit − reference| on the 64×64
+        normalized probe, where the reference is the *fixed* grid's
+        bilinear interpolation (the Fig. 4/5 error definition).  The
+        adaptive fit may not be worse than 1.1× the fixed fit's own
+        error (floored at 2 % of d_nom so near-exact fixed fits do not
+        make the bound degenerate).
+        """
+        adaptive, _ = adaptive_result
+        nv = np.linspace(0.0, 1.0, 64)[:, None]
+        nc = np.linspace(0.0, 1.0, 64)[None, :]
+        offenders = []
+        for fixed_cell in characterization.cells.values():
+            for fixed_entry in fixed_cell.pins:
+                reference = fixed_entry.reference(nv, nc)
+                fixed_error = float(np.abs(
+                    fixed_entry.fit.polynomial.evaluate(nv, nc)
+                    - reference).max())
+                entry = adaptive.entry(fixed_entry.cell_name,
+                                       fixed_entry.pin_name,
+                                       fixed_entry.polarity)
+                error = float(np.abs(
+                    entry.fit.polynomial.evaluate(nv, nc) - reference).max())
+                if error > max(1.1 * fixed_error, 0.02):
+                    offenders.append((fixed_entry.cell_name,
+                                      fixed_entry.pin_name,
+                                      fixed_entry.polarity.name,
+                                      error, fixed_error))
+        assert not offenders, f"{len(offenders)} entries: {offenders[:5]}"
+
+    def test_library_error_within_paper_thresholds(self, adaptive_result):
+        # The Fig. 4 headline bounds (avg max < 2.7 %, worst < 5.35 %)
+        # must hold for the adaptive fits against their own references.
+        adaptive, _ = adaptive_result
+        maxima = [entry.evaluation_error(64)[2]
+                  for entry in adaptive.all_entries()]
+        assert float(np.mean(maxima)) < 0.027
+        assert float(np.max(maxima)) < 0.0535
+
+    def test_at_least_3x_fewer_evaluations(self, adaptive_result):
+        adaptive, performed = adaptive_result
+        entries = list(adaptive.all_entries())
+        fixed_total = FIXED_GRID_EVALUATIONS * len(entries)
+        assert performed == adaptive.total_evaluations()
+        assert fixed_total >= 3 * performed
+
+    def test_budget_respected_per_entry(self, adaptive_result):
+        adaptive, _ = adaptive_result
+        config = AdaptiveConfig()
+        seed = (len(config.seed_voltage_fractions) + 1) * \
+            len(config.seed_load_fractions)
+        for entry in adaptive.all_entries():
+            assert seed <= entry.evaluations <= config.budget
+
+    def test_auto_order_selection_varies(self, adaptive_result):
+        adaptive, _ = adaptive_result
+        orders = {entry.fit.polynomial.n for entry in adaptive.all_entries()}
+        assert orders <= {1, 2, 3, 4}
+        assert adaptive.n == max(orders)
+
+    def test_fixed_order_override(self, library):
+        subset = library.select(["INV"])
+        result = characterize_library(
+            subset, AnalyticalSpice(), adaptive=AdaptiveConfig(order=2))
+        assert {entry.fit.polynomial.n
+                for entry in result.all_entries()} == {2}
+
+    def test_mixed_order_compile_pads_coefficients(self, adaptive_result):
+        adaptive, _ = adaptive_result
+        table = adaptive.compile()
+        assert table.n == adaptive.n
+        side = table.n + 1
+        # A lower-order entry's coefficients land zero-padded at the
+        # high-power end; Horner evaluation is then bit-identical.
+        for entry in adaptive.all_entries():
+            coeffs = entry.fit.polynomial.coefficients
+            if coeffs.shape[0] < side:
+                break
+        else:
+            pytest.skip("library selected one order everywhere")
+        nv = np.linspace(0.0, 1.0, 7)
+        padded = np.zeros((side, side))
+        padded[:coeffs.shape[0], :coeffs.shape[1]] = coeffs
+        from repro.core.polynomial import SurfacePolynomial
+        np.testing.assert_array_equal(
+            SurfacePolynomial(padded).evaluate(nv[:, None], nv[None, :]),
+            entry.fit.polynomial.evaluate(nv[:, None], nv[None, :]))
+
+    def test_config_validation(self):
+        with pytest.raises(CharacterizationError):
+            AdaptiveConfig(target_error=0.0)
+        with pytest.raises(CharacterizationError):
+            AdaptiveConfig(budget=10)  # smaller than the seed grid
+        with pytest.raises(CharacterizationError):
+            AdaptiveConfig(order=7)
+
+    def test_tighter_target_spends_more(self, library, space):
+        spice = AnalyticalSpice()
+        cell = library["NOR2_X2"]
+        loose = characterize_pin(
+            spice, cell, cell.pins[0], DrivePolarity.RISE, space=space,
+            adaptive=AdaptiveConfig(target_error=0.05, budget=80))
+        tight = characterize_pin(
+            spice, cell, cell.pins[0], DrivePolarity.RISE, space=space,
+            adaptive=AdaptiveConfig(target_error=0.005, budget=80))
+        assert tight.evaluations >= loose.evaluations
+
+
+class TestParallelCharacterization:
+    def test_pooled_matches_inline(self, library):
+        subset = library.select(["INV", "NAND2", "NOR2"])
+        inline = characterize_library(subset, AnalyticalSpice(),
+                                      adaptive=AdaptiveConfig())
+        pooled = characterize_library(subset, AnalyticalSpice(),
+                                      adaptive=AdaptiveConfig(), workers=4)
+        assert set(pooled.cells) == set(inline.cells)
+        for name, cell_char in inline.cells.items():
+            for a, b in zip(cell_char.pins, pooled.cells[name].pins):
+                np.testing.assert_array_equal(
+                    a.fit.polynomial.coefficients,
+                    b.fit.polynomial.coefficients)
+
+    def test_injected_fit_failure_surfaces(self, library):
+        from repro import faults
+        subset = library.select(["INV"])
+        with faults.injected("charz.fit:raise@n=1"):
+            with pytest.raises(Exception) as info:
+                characterize_library(subset, AnalyticalSpice())
+        assert "charz.fit" in str(info.value)
+
+    def test_pool_survives_worker_death(self, library):
+        from repro import faults
+        subset = library.select(["INV", "NAND2"])
+        with faults.injected("charz.fit:die@n=1"):
+            result = characterize_library(subset, AnalyticalSpice(),
+                                          workers=2)
+        assert set(result.cells) == {cell.name for cell in subset}

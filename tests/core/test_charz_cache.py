@@ -1,0 +1,174 @@
+"""Tests for the fingerprint-keyed persistent coefficient cache."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import (
+    AdaptiveConfig,
+    characterize_cell,
+    characterize_cell_cached,
+    characterize_library,
+)
+from repro.core.charz_cache import CACHE_ENV, CoefficientCache, default_cache_dir
+from repro.electrical.model import TransistorCorner
+from repro.electrical.spice import AnalyticalSpice
+from repro.runtime.fingerprint import characterization_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Isolate the process-wide memo per test."""
+    CoefficientCache.clear_memo()
+    yield
+    CoefficientCache.clear_memo()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CoefficientCache(str(tmp_path / "charz"))
+
+
+FLOW = {"mode": "fixed", "n": 2, "subsample_factor": 4, "method": "auto"}
+
+
+class TestFingerprint:
+    def test_deterministic(self, library, space):
+        corner = TransistorCorner.typical()
+        cell = library["INV_X1"]
+        a = characterization_fingerprint(cell, corner, space, FLOW)
+        b = characterization_fingerprint(cell, corner, space, FLOW)
+        assert a == b
+        assert len(a) == 64  # sha-256 hex
+
+    def test_sensitive_to_every_input(self, library, space):
+        corner = TransistorCorner.typical()
+        cell = library["INV_X1"]
+        base = characterization_fingerprint(cell, corner, space, FLOW)
+        assert characterization_fingerprint(
+            library["INV_X2"], corner, space, FLOW) != base
+        assert characterization_fingerprint(
+            cell, TransistorCorner.slow(), space, FLOW) != base
+        assert characterization_fingerprint(
+            cell, corner.at_temperature(125.0), space, FLOW) != base
+        assert characterization_fingerprint(
+            cell, corner, space, dict(FLOW, n=3)) != base
+
+    def test_adaptive_flow_distinct_from_fixed(self, library, space):
+        corner = TransistorCorner.typical()
+        cell = library["INV_X1"]
+        adaptive_flow = dict(FLOW, mode="adaptive", budget=36)
+        assert characterization_fingerprint(
+            cell, corner, space, adaptive_flow) != \
+            characterization_fingerprint(cell, corner, space, FLOW)
+
+
+class TestRoundTrip:
+    def test_disk_round_trip_is_exact(self, library, space, cache):
+        cell = library["NAND2_X1"]
+        spice = AnalyticalSpice()
+        original = characterize_cell(spice, cell, space=space, n=2)
+        cache.put("k" * 64, original)
+        CoefficientCache.clear_memo()  # force the disk path
+        loaded = cache.get("k" * 64, cell, space)
+        assert loaded is not None
+        assert cache.stats()["disk_hits"] == 1
+        for a, b in zip(original.pins, loaded.pins):
+            assert a.pin_name == b.pin_name
+            assert a.polarity == b.polarity
+            assert a.evaluations == b.evaluations
+            np.testing.assert_array_equal(
+                a.fit.polynomial.coefficients, b.fit.polynomial.coefficients)
+            np.testing.assert_array_equal(a.sweep.delays, b.sweep.delays)
+            # The rebuilt bilinear reference answers identically.
+            assert a.reference(0.3, 0.7) == pytest.approx(b.reference(0.3, 0.7))
+
+    def test_memo_returns_same_object(self, library, space, cache):
+        cell = library["INV_X1"]
+        original = characterize_cell(AnalyticalSpice(), cell, space=space, n=1)
+        cache.put("m" * 64, original)
+        assert cache.get("m" * 64, cell, space) is original
+        assert cache.stats()["memo_hits"] == 1
+
+    def test_miss_and_corrupt_file(self, library, space, cache):
+        cell = library["INV_X1"]
+        assert cache.get("a" * 64, cell, space) is None
+        assert cache.stats()["misses"] == 1
+        original = characterize_cell(AnalyticalSpice(), cell, space=space, n=1)
+        cache.put("a" * 64, original)
+        CoefficientCache.clear_memo()
+        path = cache._path("a" * 64)
+        with open(path, "wb") as stream:
+            stream.write(b"not an npz archive")
+        assert cache.get("a" * 64, cell, space) is None
+        assert not os.path.exists(path)  # corrupt entries are dropped
+
+    def test_unwritable_directory_degrades_to_memo(self, library, space, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("file where the directory should be")
+        cache = CoefficientCache(str(blocker / "sub"))
+        cell = library["INV_X1"]
+        original = characterize_cell(AnalyticalSpice(), cell, space=space, n=1)
+        cache.put("b" * 64, original)  # must not raise
+        assert cache.get("b" * 64, cell, space) is original
+
+
+class TestWarmLibrary:
+    def test_warm_cache_performs_zero_evaluations(self, library, cache):
+        subset = library.select(["INV", "NAND2"])
+        config = AdaptiveConfig()
+        characterize_library(subset, AnalyticalSpice(), adaptive=config,
+                             cache=cache)
+        CoefficientCache.clear_memo()  # fresh-process equivalent
+        spice = AnalyticalSpice()
+        warm = characterize_library(subset, spice, adaptive=config,
+                                    cache=cache)
+        assert spice.delay_evaluations == 0
+        assert spice.transient_runs == 0
+        # Charged evaluations survive the round trip for reporting.
+        assert warm.total_evaluations() > 0
+
+    def test_flow_change_invalidates(self, library, cache):
+        subset = library.select(["INV"])
+        characterize_library(subset, AnalyticalSpice(), n=2, cache=cache)
+        spice = AnalyticalSpice()
+        characterize_library(subset, spice, n=3, cache=cache)
+        assert spice.delay_evaluations > 0
+
+    def test_path_like_cache_argument(self, library, tmp_path):
+        subset = library.select(["INV"])
+        characterize_library(subset, AnalyticalSpice(),
+                             cache=str(tmp_path / "d"))
+        CoefficientCache.clear_memo()
+        spice = AnalyticalSpice()
+        characterize_library(subset, spice, cache=str(tmp_path / "d"))
+        assert spice.delay_evaluations == 0
+
+
+class TestCellCached:
+    def test_fills_then_hits(self, library, space, cache):
+        cell = library["NOR2_X1"]
+        spice = AnalyticalSpice()
+        first = characterize_cell_cached(spice, cell, cache, space=space, n=2)
+        evals = spice.delay_evaluations
+        assert evals > 0
+        second = characterize_cell_cached(spice, cell, cache, space=space, n=2)
+        assert spice.delay_evaluations == evals
+        assert second is first  # memo layer returns the same object
+
+    def test_no_cache_recomputes(self, library, space):
+        cell = library["INV_X1"]
+        spice = AnalyticalSpice()
+        characterize_cell_cached(spice, cell, None, space=space, n=1)
+        evals = spice.delay_evaluations
+        characterize_cell_cached(spice, cell, None, space=space, n=1)
+        assert spice.delay_evaluations == 2 * evals
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "/tmp/somewhere")
+        assert default_cache_dir() == "/tmp/somewhere"
+        monkeypatch.delenv(CACHE_ENV)
+        assert default_cache_dir().endswith(os.path.join("repro", "charz"))

@@ -41,13 +41,36 @@ class TestGridInterpolator:
         assert result.shape == (2, 2)
 
     @pytest.mark.parametrize("x, y, z", [
-        (np.asarray([0.0]), np.asarray([0.0, 1.0]), np.zeros((1, 2))),
+        (np.asarray([]), np.asarray([0.0, 1.0]), np.zeros((0, 2))),
         (np.asarray([0.0, 1.0]), np.asarray([0.0, 1.0]), np.zeros((3, 2))),
         (np.asarray([1.0, 0.0]), np.asarray([0.0, 1.0]), np.zeros((2, 2))),
     ])
     def test_invalid_grids(self, x, y, z):
         with pytest.raises(ValueError):
             GridInterpolator(x, y, z)
+
+    def test_single_row_grid_is_flat_along_x(self):
+        # The adaptive sampler starts from partial grids; a lone voltage
+        # line must interpolate as a constant along the missing axis.
+        interp = GridInterpolator(np.asarray([0.5]), np.asarray([0.0, 1.0]),
+                                  np.asarray([[1.0, 3.0]]))
+        for x in (-1.0, 0.0, 0.5, 2.0):
+            assert interp(x, 0.5) == pytest.approx(2.0)
+        np.testing.assert_allclose(
+            interp(np.asarray([0.0, 1.0]), np.asarray([0.0, 1.0])),
+            [1.0, 3.0])
+
+    def test_single_column_grid_is_flat_along_y(self):
+        interp = GridInterpolator(np.asarray([0.0, 2.0]), np.asarray([0.7]),
+                                  np.asarray([[1.0], [5.0]]))
+        assert interp(1.0, -3.0) == pytest.approx(3.0)
+        assert interp(1.0, 9.0) == pytest.approx(3.0)
+
+    def test_single_point_grid(self):
+        interp = GridInterpolator(np.asarray([0.3]), np.asarray([0.7]),
+                                  np.asarray([[4.2]]))
+        assert interp(0.0, 0.0) == pytest.approx(4.2)
+        assert interp(1.0, 1.0) == pytest.approx(4.2)
 
 
 class TestSubsample:
@@ -82,6 +105,23 @@ class TestSubsample:
         x, y, values = subsample(interp, 3)
         expected = x[:, None] + y[None, :]
         np.testing.assert_allclose(values, expected, rtol=1e-12)
+
+    def test_round_trip_through_densified_grid(self):
+        # Subsampling, re-wrapping, and querying at the original nodes
+        # must reproduce the original values exactly: the densified grid
+        # contains the original samples as knots.
+        interp = simple_grid()
+        dense = GridInterpolator(*subsample(interp, 4))
+        queried = dense(interp.x_axis[:, None], interp.y_axis[None, :])
+        np.testing.assert_allclose(queried, interp.values, rtol=1e-12)
+
+    def test_single_row_grid_subsamples(self):
+        interp = GridInterpolator(np.asarray([0.5]), np.asarray([0.0, 1.0]),
+                                  np.asarray([[1.0, 3.0]]))
+        x, y, values = subsample(interp, 4)
+        assert len(x) == 1
+        assert len(y) == 5
+        np.testing.assert_allclose(values[0], [1.0, 1.5, 2.0, 2.5, 3.0])
 
 
 class TestLutDelayModel:

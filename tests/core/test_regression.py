@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.polynomial import SurfacePolynomial
-from repro.core.regression import fit_polynomial
+from repro.core.regression import fit_polynomial, select_half_order
 from repro.errors import RegressionError
 
 
@@ -76,6 +76,51 @@ class TestDiagnostics:
         ridged = fit_polynomial(v, c, y, n=2, ridge=10.0)
         assert np.abs(ridged.polynomial.coefficients).sum() < \
             np.abs(plain.polynomial.coefficients).sum()
+
+
+class TestOrderSelection:
+    @pytest.mark.parametrize("true_n", [1, 2, 3])
+    def test_recovers_true_order(self, true_n, rng):
+        truth = SurfacePolynomial(rng.normal(size=(true_n + 1, true_n + 1)))
+        v, c = grid_samples(16)
+        y = truth.evaluate(v, c)
+        selection = select_half_order(v, c, y)
+        # Higher orders fit an exact polynomial equally well (within the
+        # tolerance), so the tie-break must pick the smallest.
+        assert selection.n == true_n
+
+    def test_noise_prevents_overfit(self, rng):
+        truth = SurfacePolynomial(rng.normal(size=(2, 2)))
+        v, c = grid_samples(8)
+        y = truth.evaluate(v, c) + rng.normal(scale=0.05, size=v.size)
+        selection = select_half_order(v, c, y)
+        assert selection.n <= 2
+
+    def test_cv_errors_reported_per_candidate(self, rng):
+        v, c = grid_samples(12)
+        y = v**2 + c
+        selection = select_half_order(v, c, y, candidates=(1, 2, 3))
+        assert set(selection.cv_errors) == {1, 2, 3}
+        assert all(err >= 0 for err in selection.cv_errors.values())
+        # A rational target keeps improving with order; the selected
+        # candidate must be within tolerance of the best CV error.
+        best = min(selection.cv_errors.values())
+        assert selection.cv_errors[selection.n] <= best * 1.05 + 1e-12
+
+    def test_infeasible_candidates_skipped(self):
+        # 12 samples cannot train a fold for n=4 ((4+1)^2 = 25 > fold
+        # size); the selection must fall back to the feasible orders.
+        v, c = grid_samples(4)  # 16 samples, 12 per training fold
+        y = v + c
+        selection = select_half_order(v, c, y, candidates=(1, 4))
+        assert selection.n == 1
+        assert 4 not in selection.cv_errors
+
+    def test_no_feasible_candidate_raises(self):
+        v = np.linspace(0, 1, 6)
+        c = np.linspace(0, 1, 6)
+        with pytest.raises(RegressionError, match="feasible"):
+            select_half_order(v, c, v + c, candidates=(4,))
 
 
 class TestValidation:

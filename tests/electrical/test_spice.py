@@ -75,6 +75,46 @@ class TestSweep:
         spice.sweep(cell, cell.pins[0], DrivePolarity.RISE)
         assert spice.transient_runs == 1 + 12 * 9
 
+    def test_delay_evaluation_counter(self, library):
+        spice = AnalyticalSpice()
+        cell = library["INV_X1"]
+        assert spice.delay_evaluations == 0
+        spice.measure(cell, cell.pins[0], DrivePolarity.RISE, 0.8, 2 * FF)
+        assert spice.delay_evaluations == 1
+        spice.sweep(cell, cell.pins[0], DrivePolarity.FALL)
+        assert spice.delay_evaluations == 1 + 12 * 9
+
+
+class TestDelaysAt:
+    def test_matches_pointwise_measurements(self, library):
+        spice = AnalyticalSpice()
+        cell = library["NAND2_X1"]
+        pin = cell.pins[1]
+        points = np.asarray([[0.6, 1 * FF], [0.8, 4 * FF], [1.05, 64 * FF]])
+        batched = spice.delays_at(cell, pin, DrivePolarity.RISE, points)
+        assert batched.shape == (3,)
+        for k, (v, c) in enumerate(points):
+            direct = spice.model.pin_delay(cell, pin, DrivePolarity.RISE, v, c)
+            assert batched[k] == pytest.approx(direct)
+        assert spice.delay_evaluations == 3
+
+    def test_matches_sweep_grid(self, library):
+        spice = AnalyticalSpice()
+        cell = library["NOR2_X2"]
+        pin = cell.pins[0]
+        grid = spice.sweep(cell, pin, DrivePolarity.FALL)
+        vv, cc = np.meshgrid(grid.voltages, grid.loads, indexing="ij")
+        points = np.column_stack([vv.ravel(), cc.ravel()])
+        batched = spice.delays_at(cell, pin, DrivePolarity.FALL, points)
+        np.testing.assert_allclose(batched.reshape(grid.shape), grid.delays)
+
+    def test_rejects_bad_point_shapes(self, library):
+        spice = AnalyticalSpice()
+        cell = library["INV_X1"]
+        for bad in (np.zeros(4), np.zeros((2, 3)), np.zeros((2, 2, 1))):
+            with pytest.raises(ValueError, match="shape"):
+                spice.delays_at(cell, cell.pins[0], DrivePolarity.RISE, bad)
+
     def test_sweep_cell_covers_all_entries(self, library):
         spice = AnalyticalSpice()
         cell = library["NAND3_X1"]

@@ -38,6 +38,42 @@ class TestCharacterize:
         assert main(["characterize", "--order", "1", "--corner", "slow",
                      "--temperature", "125", "--output", out]) == 0
 
+    def test_adaptive_with_report_and_cache(self, tmp_path, capsys):
+        import json
+
+        from repro.core.charz_cache import CoefficientCache
+
+        CoefficientCache.clear_memo()
+        out = str(tmp_path / "k_adaptive.npz")
+        report_path = str(tmp_path / "report.json")
+        cache_dir = str(tmp_path / "cache")
+        assert main(["characterize", "--adaptive", "--budget", "30",
+                     "--target-error", "0.02", "--workers", "2",
+                     "--cache-dir", cache_dir, "--report", report_path,
+                     "--output", out]) == 0
+        assert "adaptive sampling" in capsys.readouterr().out
+        with open(report_path, encoding="utf-8") as stream:
+            report = json.load(stream)
+        assert report["mode"] == "adaptive"
+        assert report["evaluations"]["ratio_vs_fixed"] > 3.0
+        assert report["evaluations"]["performed"] == \
+            report["evaluations"]["charged"]
+        for entry in report["entries"]:
+            assert entry["evaluations"] <= 30
+            assert entry["fixed_grid_evaluations"] == 108
+        # Second run hits the on-disk cache: zero SPICE work performed.
+        CoefficientCache.clear_memo()
+        assert main(["characterize", "--adaptive", "--budget", "30",
+                     "--target-error", "0.02",
+                     "--cache-dir", cache_dir, "--report", report_path,
+                     "--output", out]) == 0
+        with open(report_path, encoding="utf-8") as stream:
+            warm = json.load(stream)
+        assert warm["evaluations"]["performed"] == 0
+        assert warm["evaluations"]["charged"] == \
+            report["evaluations"]["charged"]
+        assert DelayKernelTable.load(out).num_types > 0
+
 
 class TestStats:
     def test_suite_spec(self, capsys):

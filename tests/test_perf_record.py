@@ -150,6 +150,56 @@ class TestRegressionGate:
         ]}
         assert record.compare_reports(current, {"benchmarks": []}, 1.5) == []
 
+    @staticmethod
+    def charz_benchmarks(fixed_evals=39960, adaptive_evals=12000,
+                         fixed_err=0.017, adaptive_err=0.019, warm_evals=0):
+        return [
+            {"name": "characterization_fixed", "backend": "numpy",
+             "wall_seconds": 4.0,
+             "params": {"delay_evaluations": fixed_evals,
+                        "worst_error": fixed_err}},
+            {"name": "characterization_adaptive", "backend": "numpy",
+             "wall_seconds": 2.0,
+             "params": {"delay_evaluations": adaptive_evals,
+                        "worst_error": adaptive_err}},
+            {"name": "characterization_pool", "backend": "numpy",
+             "wall_seconds": 1.0,
+             "params": {"delay_evaluations": adaptive_evals, "workers": 4}},
+            {"name": "characterization_warm_cache", "backend": "numpy",
+             "wall_seconds": 0.1,
+             "params": {"delay_evaluations": warm_evals}},
+        ]
+
+    def test_characterization_section(self):
+        section = record._characterization_speedups(self.charz_benchmarks())
+        assert section["evaluation_ratio"] == pytest.approx(39960 / 12000)
+        assert section["warm_cache_evaluations"] == 0
+        assert section["pool_speedup"] == pytest.approx(2.0)
+        assert section["pool_workers"] == 4
+        assert section["wall_speedup"] == pytest.approx(2.0)
+
+    def test_characterization_gates_pass(self):
+        current = {"benchmarks": self.charz_benchmarks()}
+        assert record.compare_reports(current, {"benchmarks": []}, 1.5) == []
+
+    def test_characterization_eval_ratio_gate(self):
+        current = {"benchmarks": self.charz_benchmarks(adaptive_evals=20000)}
+        messages = record.compare_reports(current, {"benchmarks": []}, 1.5)
+        assert len(messages) == 1
+        assert "characterization[evals]" in messages[0]
+
+    def test_characterization_error_gate(self):
+        current = {"benchmarks": self.charz_benchmarks(adaptive_err=0.08)}
+        messages = record.compare_reports(current, {"benchmarks": []}, 1.5)
+        assert len(messages) == 1
+        assert "characterization[error]" in messages[0]
+
+    def test_characterization_warm_cache_gate(self):
+        current = {"benchmarks": self.charz_benchmarks(warm_evals=108)}
+        messages = record.compare_reports(current, {"benchmarks": []}, 1.5)
+        assert len(messages) == 1
+        assert "characterization[cache]" in messages[0]
+
     def test_report_roundtrip(self, tmp_path):
         report = make_report({("merge", "numpy"): 1.0})
         path = str(tmp_path / "bench.json")
